@@ -1,0 +1,176 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//   * gas metering on/off (TinyEVM removes it for off-chain runs),
+//   * the cost of 256-bit word emulation (per-opcode throughput),
+//   * stack/memory cap sensitivity (why 8 KB is the paper's "favourable
+//     memory allocation point"),
+//   * interpreter throughput on a representative constructor workload.
+#include <benchmark/benchmark.h>
+
+#include "channel/manager.hpp"
+#include "corpus/corpus.hpp"
+#include "evm/asm.hpp"
+#include "evm/vm.hpp"
+
+namespace {
+
+using namespace tinyevm;
+using evm::Assembler;
+using evm::Opcode;
+
+/// A counting loop of `iters` iterations used as the standard workload.
+evm::Bytes loop_program(std::uint64_t iters) {
+  Assembler a;
+  a.push(iters);
+  const auto loop = a.label();
+  a.push(1).swap(1).op(Opcode::SUB).dup(1);
+  a.push_label(loop).op(Opcode::JUMPI);
+  return a.take();
+}
+
+void run_program(benchmark::State& state, const evm::Bytes& code,
+                 evm::VmConfig config, std::int64_t gas = 1'000'000'000) {
+  channel::SensorBank sensors;
+  sensors.set_reading(7, U256{22});
+  channel::DeviceHost host(sensors, config);
+  evm::Vm vm{config};
+  evm::Message msg;
+  msg.code = code;
+  msg.gas = gas;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    const auto r = vm.execute(host, msg);
+    benchmark::DoNotOptimize(r);
+    ops += r.stats.ops_executed;
+  }
+  state.counters["ops/s"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+
+// --- ablation: gas metering ---
+void BM_Loop_TinyEvm_NoGas(benchmark::State& state) {
+  run_program(state, loop_program(10'000), evm::VmConfig::tiny());
+}
+BENCHMARK(BM_Loop_TinyEvm_NoGas);
+
+void BM_Loop_Ethereum_Gas(benchmark::State& state) {
+  run_program(state, loop_program(10'000), evm::VmConfig::ethereum());
+}
+BENCHMARK(BM_Loop_Ethereum_Gas);
+
+// --- ablation: 256-bit emulation cost by opcode class ---
+void BM_Op_Add(benchmark::State& state) {
+  Assembler a;
+  a.push_word(U256::max() - U256{5});
+  for (int i = 0; i < 200; ++i) a.dup(1).op(Opcode::ADD);
+  run_program(state, a.take(), evm::VmConfig::tiny());
+}
+BENCHMARK(BM_Op_Add);
+
+void BM_Op_Mul(benchmark::State& state) {
+  Assembler a;
+  a.push_word(*U256::from_hex("0x123456789abcdef0fedcba9876543210"));
+  for (int i = 0; i < 200; ++i) a.dup(1).op(Opcode::MUL);
+  run_program(state, a.take(), evm::VmConfig::tiny());
+}
+BENCHMARK(BM_Op_Mul);
+
+void BM_Op_Div(benchmark::State& state) {
+  Assembler a;
+  a.push_word(U256::max());
+  for (int i = 0; i < 200; ++i) {
+    a.push(12345).dup(2).op(Opcode::DIV).op(Opcode::POP);
+  }
+  run_program(state, a.take(), evm::VmConfig::tiny());
+}
+BENCHMARK(BM_Op_Div);
+
+void BM_Op_Sha3(benchmark::State& state) {
+  Assembler a;
+  for (int i = 0; i < 50; ++i) {
+    a.push(64).push(0).op(Opcode::SHA3).op(Opcode::POP);
+  }
+  run_program(state, a.take(), evm::VmConfig::tiny());
+}
+BENCHMARK(BM_Op_Sha3);
+
+void BM_Op_Sstore(benchmark::State& state) {
+  Assembler a;
+  for (int i = 0; i < 100; ++i) {
+    a.push(i + 1).push(i % 16).op(Opcode::SSTORE);
+  }
+  run_program(state, a.take(), evm::VmConfig::tiny());
+}
+BENCHMARK(BM_Op_Sstore);
+
+// --- ablation: memory-cap sensitivity (the "8 KB favourable point") ---
+void BM_DeployAtMemoryCap(benchmark::State& state) {
+  const auto cap = static_cast<std::size_t>(state.range(0));
+  corpus::GeneratorConfig cfg;
+  cfg.count = 64;
+  const corpus::Generator gen{cfg};
+  evm::VmConfig config = evm::VmConfig::tiny();
+  config.memory_limit = cap;
+
+  std::size_t deployed = 0;
+  std::size_t total = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < cfg.count; ++i) {
+      const auto outcome = corpus::deploy_on_device(gen.make(i), config);
+      ++total;
+      if (outcome.success) ++deployed;
+    }
+  }
+  state.counters["deploy_rate_%"] =
+      100.0 * static_cast<double>(deployed) / static_cast<double>(total);
+}
+BENCHMARK(BM_DeployAtMemoryCap)
+    ->Arg(2048)
+    ->Arg(4096)
+    ->Arg(8192)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+// --- ablation: stack-cap sensitivity ---
+void BM_DeployAtStackCap(benchmark::State& state) {
+  const auto cap = static_cast<std::size_t>(state.range(0));
+  corpus::GeneratorConfig cfg;
+  cfg.count = 64;
+  const corpus::Generator gen{cfg};
+  evm::VmConfig config = evm::VmConfig::tiny();
+  config.stack_limit = cap;
+
+  std::size_t deployed = 0;
+  std::size_t total = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < cfg.count; ++i) {
+      const auto outcome = corpus::deploy_on_device(gen.make(i), config);
+      ++total;
+      if (outcome.success) ++deployed;
+    }
+  }
+  state.counters["deploy_rate_%"] =
+      100.0 * static_cast<double>(deployed) / static_cast<double>(total);
+}
+BENCHMARK(BM_DeployAtStackCap)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(96)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// --- end-to-end: template deployment + one payment on the endpoint ---
+void BM_ChannelOpenAndPay(benchmark::State& state) {
+  for (auto _ : state) {
+    channel::ChannelEndpoint car("car",
+                                 channel::PrivateKey::from_seed("car-key"),
+                                 keccak256("bench"));
+    car.sensors().set_reading(7, U256{22});
+    benchmark::DoNotOptimize(car.open_channel(U256{1}, U256{10}, 7));
+    benchmark::DoNotOptimize(car.make_payment(U256{1}));
+  }
+}
+BENCHMARK(BM_ChannelOpenAndPay)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Figure 5: electric current (mA) drawn over a complete off-chain payment
+// round. Prints the trace as a time series (10 ms sampling, like the
+// paper's measurement setup) plus an ASCII strip chart per component.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "device/offchain_round.hpp"
+
+int main() {
+  using namespace tinyevm::device;
+
+  Mote car_mote("smart-car");
+  Mote lot_mote("parking-lot");
+  tinyevm::channel::ChannelEndpoint car(
+      "car", tinyevm::channel::PrivateKey::from_seed("car-key"),
+      tinyevm::keccak256("trace-anchor"));
+  tinyevm::channel::ChannelEndpoint lot(
+      "lot", tinyevm::channel::PrivateKey::from_seed("lot-key"),
+      tinyevm::keccak256("trace-anchor"));
+  car.sensors().set_reading(7, tinyevm::U256{22});
+  lot.sensors().set_reading(7, tinyevm::U256{21});
+
+  OffchainRound round(car_mote, lot_mote, car, lot);
+  const RoundResult result =
+      round.run(tinyevm::U256{1}, tinyevm::U256{10}, 7, 1);
+  if (!result.ok) {
+    std::printf("round failed!\n");
+    return 1;
+  }
+
+  std::printf("=========================================================\n");
+  std::printf("Figure 5: current draw over one off-chain round (car mote)\n");
+  std::printf("=========================================================\n");
+
+  std::printf("\nphase timeline:\n");
+  std::printf("  sensor-data exchange : %7.1f ms\n",
+              result.timing.exchange_sensor_us / 1000.0);
+  std::printf("  open channel (VM)    : %7.1f ms  (paper: ~200 ms)\n",
+              result.timing.open_channel_us / 1000.0);
+  std::printf("  sign payment         : %7.1f ms  (paper: ~350 ms signature)\n",
+              result.timing.sign_payment_us / 1000.0);
+  std::printf("  register side-chain  : %7.1f ms  (paper: ~80 ms)\n",
+              result.timing.register_sidechain_us / 1000.0);
+  std::printf("  closing exchange     : %7.1f ms\n",
+              result.timing.closing_exchange_us / 1000.0);
+  std::printf("  total                : %7.1f ms  (paper: ~1.6 s)\n",
+              result.timing.total_us / 1000.0);
+
+  // Resample the segment trace to a 10 ms grid: current at each sample is
+  // the maximum draw within the window (matches how a scope peak-detects).
+  const auto& trace = car_mote.trace();
+  const std::uint64_t total_us = car_mote.now_us();
+  constexpr std::uint64_t kStepUs = 10'000;
+  std::vector<double> samples(total_us / kStepUs + 1, 0.0);
+  for (const auto& seg : trace) {
+    const std::uint64_t first = seg.start_us / kStepUs;
+    const std::uint64_t last = (seg.start_us + seg.duration_us) / kStepUs;
+    for (std::uint64_t s = first; s <= last && s < samples.size(); ++s) {
+      samples[s] = std::max(samples[s], seg.current_ma);
+    }
+  }
+
+  std::printf("\ncurrent trace (time_s, mA) at 10 ms sampling:\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i % 2 != 0) continue;  // print every 20 ms to keep it readable
+    const double t = static_cast<double>(i) * kStepUs / 1e6;
+    const int bars = static_cast<int>(samples[i] * 2);
+    std::printf("  %5.2f  %5.1f |%-52.*s|\n", t, samples[i], bars,
+                "####################################################");
+  }
+
+  std::printf("\ncomponent activity totals (car mote):\n");
+  const auto& e = car_mote.energest();
+  for (PowerState s :
+       {PowerState::CryptoEngine, PowerState::Tx, PowerState::Rx,
+        PowerState::CpuActive, PowerState::Lpm2}) {
+    std::printf("  %-24s %8.1f ms  %6.1f mJ\n",
+                std::string(to_string(s)).c_str(), e.time_ms(s),
+                e.energy_mj(s));
+  }
+  return 0;
+}

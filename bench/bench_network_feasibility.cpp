@@ -1,0 +1,118 @@
+// Extension bench — the paper's future-work question (§VIII): are payment
+// networks / routing feasible on low-power motes?
+//
+// Each hop of a multi-hop payment costs two signature rounds (lock +
+// settle), and every signature is a 350 ms / 19.1 mJ crypto-engine
+// operation on a CC2538. This bench sweeps hop count and link loss and
+// reports end-to-end latency, per-mote energy, and battery impact — the
+// trade-off a deployment would actually face.
+#include <cstdio>
+
+#include "device/mote.hpp"
+#include "network/payment_network.hpp"
+
+using namespace tinyevm;
+
+namespace {
+
+network::Address addr(std::uint8_t id) {
+  network::Address a{};
+  a[19] = id;
+  return a;
+}
+
+/// Device-level cost of one multi-hop payment: per the HTLC protocol, the
+/// payer does 1 sign + 1 verify; each intermediary does 1 verify + 2 signs
+/// (ack the incoming lock, offer the outgoing one) + 1 settle-verify; plus
+/// one radio exchange per hop in each phase.
+struct HopCosts {
+  double latency_ms = 0;
+  double payer_energy_mj = 0;
+  double intermediary_energy_mj = 0;
+};
+
+HopCosts model_payment(unsigned hops, unsigned loss_percent) {
+  // Lock phase marches hop by hop to the receiver; settle phase marches
+  // back. Simulate the payer and the first intermediary as real motes;
+  // remaining hops contribute serialized latency of the same shape.
+  device::Mote payer("payer");
+  device::Mote fwd("intermediary");
+  device::TschLink link(payer, fwd);
+  link.set_loss_rate(loss_percent);
+
+  // Payer: build + sign the lock, ship it.
+  payer.keccak256_latency();
+  payer.ecdsa_sign_latency();
+  link.transfer(payer, 300);
+  // First intermediary: verify, re-sign the forwarded lock.
+  fwd.keccak256_latency();
+  fwd.ecdsa_verify_latency();
+  fwd.ecdsa_sign_latency();
+
+  const std::uint64_t one_hop_us = std::max(payer.now_us(), fwd.now_us());
+  // Settle leg per hop: reveal message + settlement signature + verify.
+  device::Mote s_payer("payer-settle");
+  device::Mote s_fwd("fwd-settle");
+  device::TschLink settle_link(s_payer, s_fwd);
+  settle_link.set_loss_rate(loss_percent);
+  settle_link.transfer(s_fwd, 120);
+  s_fwd.ecdsa_sign_latency();
+  s_payer.ecdsa_verify_latency();
+  const std::uint64_t settle_us = std::max(s_payer.now_us(), s_fwd.now_us());
+
+  HopCosts costs;
+  costs.latency_ms =
+      static_cast<double>(one_hop_us) / 1000.0 * hops +
+      static_cast<double>(settle_us) / 1000.0 * hops;
+  costs.payer_energy_mj = payer.energest().total_energy_mj() +
+                          s_payer.energest().total_energy_mj();
+  costs.intermediary_energy_mj = fwd.energest().total_energy_mj() +
+                                 s_fwd.energest().total_energy_mj();
+  return costs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Extension: payment-network feasibility on low-power motes\n");
+  std::printf("==============================================================\n");
+
+  // Protocol-level check on a line topology: signatures really scale 2/hop.
+  std::printf("\nprotocol signature count (line topology, 1 payment):\n");
+  for (unsigned hops : {1u, 2u, 4u, 8u}) {
+    network::PaymentNetwork net;
+    for (unsigned i = 0; i < hops; ++i) {
+      net.open_channel(addr(static_cast<std::uint8_t>(i + 1)),
+                       addr(static_cast<std::uint8_t>(i + 2)), U256{1000},
+                       U256{0});
+    }
+    const auto outcome =
+        net.pay(addr(1), addr(static_cast<std::uint8_t>(hops + 1)), U256{10});
+    std::printf("  %u hop(s): success=%s  signature rounds=%zu\n", hops,
+                outcome.success ? "yes" : "no", outcome.signature_rounds);
+  }
+
+  std::printf("\ndevice-model cost per payment (CC2538, lossless link):\n");
+  std::printf("  %-6s %12s %16s %20s\n", "hops", "latency", "payer energy",
+              "per-intermediary");
+  for (unsigned hops : {1u, 2u, 3u, 5u, 8u}) {
+    const auto c = model_payment(hops, 0);
+    std::printf("  %-6u %9.0f ms %13.1f mJ %17.1f mJ\n", hops, c.latency_ms,
+                c.payer_energy_mj, c.intermediary_energy_mj);
+  }
+
+  std::printf("\nlossy-link sensitivity (3 hops):\n");
+  std::printf("  %-10s %12s\n", "loss", "latency");
+  for (unsigned loss : {0u, 10u, 30u, 50u}) {
+    const auto c = model_payment(3, loss);
+    std::printf("  %7u %%  %9.0f ms\n", loss, c.latency_ms);
+  }
+
+  std::printf("\nconclusion: each hop adds ~2 crypto-engine signatures\n"
+              "(~0.7 s, ~38 mJ across the route); direct channels stay the\n"
+              "right default for IoT, multi-hop is affordable for occasional\n"
+              "payments — consistent with the paper deferring networks to\n"
+              "future work.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Baseline comparison — IoT opcode vs the oracle pattern (paper §II-B).
+//
+// The status quo the paper argues against: a contract cannot read a sensor,
+// so the reading travels  mote --radio--> gateway --tx--> oracle contract
+// on the main chain, and the consumer contract reads it back in a second
+// transaction. TinyEVM's alternative is one local opcode.
+//
+// This bench runs both paths on the same substrate and reports latency,
+// energy on the mote, and on-chain fees — quantifying the gap the paper
+// motivates qualitatively.
+#include <cstdio>
+
+#include "abi/abi.hpp"
+#include "chain/chain.hpp"
+#include "channel/manager.hpp"
+#include "device/mote.hpp"
+#include "evm/asm.hpp"
+
+using namespace tinyevm;
+
+namespace {
+
+/// Path A: TinyEVM IoT opcode — contract samples the sensor locally.
+struct LocalResult {
+  double latency_ms;
+  double energy_mj;
+  U256 reading;
+};
+
+LocalResult run_local_opcode() {
+  device::Mote mote("sensor-mote");
+  channel::SensorBank sensors;
+  sensors.set_reading(7, U256{22});
+  channel::DeviceHost host(sensors, evm::VmConfig::tiny());
+
+  evm::Assembler prog;
+  prog.sensor(7, false, U256{0});
+  prog.push(0x0c).op(evm::Opcode::SSTORE);
+  prog.push(0x0c).op(evm::Opcode::SLOAD);
+  prog.push(0).op(evm::Opcode::MSTORE);
+  prog.push(32).push(0).op(evm::Opcode::RETURN);
+
+  evm::Vm vm{evm::VmConfig::tiny()};
+  evm::Message msg;
+  msg.code = prog.take();
+  const auto r = vm.execute(host, msg);
+  mote.spend_cpu_cycles(r.stats.mcu_cycles);
+
+  return LocalResult{static_cast<double>(mote.now_us()) / 1000.0,
+                     mote.energest().total_energy_mj(),
+                     U256::from_bytes(r.output)};
+}
+
+/// Path B: oracle round-trip. The mote radios the reading to a gateway
+/// (signed), the gateway submits it to an oracle contract on the main
+/// chain, a block confirms, and the consumer contract SLOADs it.
+struct OracleResult {
+  double mote_latency_ms;
+  double mote_energy_mj;
+  double end_to_end_s;
+  U256 fees_paid;
+  U256 reading;
+};
+
+OracleResult run_oracle_path() {
+  // -- mote side: sign the reading, radio it to the gateway --
+  device::Mote mote("sensor-mote");
+  device::Mote gateway("gateway");
+  device::TschLink uplink(mote, gateway);
+  mote.keccak256_latency();
+  mote.ecdsa_sign_latency();  // the oracle requires attributable data
+  uplink.transfer(mote, 150);
+
+  // -- chain side: oracle contract stores the reading --
+  chain::Blockchain mainnet;
+  const auto gw_key = channel::PrivateKey::from_seed("gateway");
+  mainnet.credit(gw_key.address(), U256{10'000'000});
+
+  // Oracle contract: sstore(key, calldata[0..32]); reader returns it.
+  evm::Assembler oracle;
+  oracle.push(0).op(evm::Opcode::CALLDATALOAD);
+  oracle.push(1).op(evm::Opcode::SSTORE);
+  oracle.op(evm::Opcode::STOP);
+  chain::Transaction deploy;
+  deploy.data = evm::Assembler::deployer(oracle.take());
+  const auto deployed = mainnet.submit(gw_key, deploy);
+
+  chain::Transaction update;
+  update.to = deployed->contract_address;
+  update.data.assign(32, 0);
+  update.data[31] = 22;
+  const auto updated = mainnet.submit(gw_key, update);
+  mainnet.mine_block();  // confirmation
+
+  // Consumer read (another transaction in the general case).
+  evm::Assembler reader;
+  reader.push(1).op(evm::Opcode::SLOAD);
+  reader.push(0).op(evm::Opcode::MSTORE);
+  reader.push(32).push(0).op(evm::Opcode::RETURN);
+  // (The consumer contract would CALL the oracle; a direct storage read
+  // keeps the fee accounting conservative — the real path costs more.)
+  const U256 reading =
+      mainnet.storage_at(deployed->contract_address, U256{1});
+
+  OracleResult out;
+  out.mote_latency_ms = static_cast<double>(mote.now_us()) / 1000.0;
+  out.mote_energy_mj = mote.energest().total_energy_mj();
+  // End-to-end: mote path + gateway backhaul (~100 ms) + one block
+  // confirmation (15 s nominal).
+  out.end_to_end_s = out.mote_latency_ms / 1000.0 + 0.1 + 15.0;
+  out.fees_paid = deployed->fee_paid + updated->fee_paid;
+  out.reading = reading;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Baseline: IoT opcode (TinyEVM) vs oracle round-trip\n");
+  std::printf("==============================================================\n");
+
+  const auto local = run_local_opcode();
+  const auto oracle = run_oracle_path();
+
+  std::printf("\n  %-28s %16s %16s\n", "", "IoT opcode", "oracle path");
+  std::printf("  %-28s %13.2f ms %13.0f ms\n", "mote-side latency",
+              local.latency_ms, oracle.mote_latency_ms);
+  std::printf("  %-28s %13.2f mJ %13.1f mJ\n", "mote-side energy",
+              local.energy_mj, oracle.mote_energy_mj);
+  std::printf("  %-28s %13.2f ms %13.1f s\n", "sensor-to-contract latency",
+              local.latency_ms, oracle.end_to_end_s);
+  std::printf("  %-28s %16s %16s\n", "on-chain fees (wei)", "0",
+              oracle.fees_paid.to_decimal().c_str());
+  std::printf("  %-28s %16s %16s\n", "reading delivered",
+              local.reading.to_decimal().c_str(),
+              oracle.reading.to_decimal().c_str());
+
+  std::printf("\n  the oracle path needs a signature + radio + gateway +\n"
+              "  two on-chain transactions + a block confirmation before a\n"
+              "  contract can *price* anything off the sensor; the IoT\n"
+              "  opcode does it in-place for ~%.0fx less mote energy and\n"
+              "  ~%.0fx lower latency.\n",
+              oracle.mote_energy_mj / local.energy_mj,
+              oracle.end_to_end_s * 1000.0 / local.latency_ms);
+  return 0;
+}

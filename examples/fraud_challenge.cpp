@@ -1,0 +1,93 @@
+// Dispute walk-through (paper §V, "Detection"): the car tries to settle the
+// channel on an old, cheap state; the parking lot catches it during the
+// challenge period, submits the newer doubly-signed state, and claims the
+// insurance. Sequence numbers — not synchronized clocks — decide who wins.
+//
+//   $ ./examples/fraud_challenge
+#include <cstdio>
+
+#include "chain/template_contract.hpp"
+
+using namespace tinyevm;
+
+namespace {
+
+channel::SignedState make_state(const U256& id, std::uint64_t seq,
+                                std::uint64_t paid,
+                                const channel::PrivateKey& sender,
+                                const channel::PrivateKey& receiver) {
+  channel::ChannelState s;
+  s.channel_id = id;
+  s.sequence = seq;
+  s.paid_total = U256{paid};
+  s.sensor_data = U256{1};
+  channel::SignedState out;
+  out.state = s;
+  out.sender_sig = secp256k1::sign(s.digest(), sender);
+  out.receiver_sig = secp256k1::sign(s.digest(), receiver);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  chain::Blockchain mainnet;
+  const auto car = channel::PrivateKey::from_seed("cheating-car");
+  const auto lot = channel::PrivateKey::from_seed("honest-lot");
+  mainnet.credit(car.address(), U256{100'000});
+  mainnet.credit(lot.address(), U256{100'000});
+
+  chain::Address addr{};
+  addr[19] = 0xF0;
+  auto owned = std::make_unique<chain::TemplateContract>(
+      mainnet, addr, lot.address(), /*challenge_period=*/10);
+  chain::TemplateContract* tmpl = owned.get();
+  mainnet.register_native(addr, std::move(owned));
+
+  tmpl->deposit(car.address(), U256{2'000}, U256{400});
+  const U256 id = *tmpl->create_payment_channel(car.address());
+  std::printf("channel %s open: 1600 wei budget, 400 wei insurance bond\n",
+              id.to_decimal().c_str());
+
+  // Off-chain, the parties signed up to seq 9 for 1,200 wei...
+  const auto honest = make_state(id, 9, 1'200, car, lot);
+  // ...but the car commits the stale seq-2 state worth only 100 wei.
+  const auto stale = make_state(id, 2, 100, car, lot);
+
+  std::printf("\ncar commits stale state: seq %llu, paid %s wei -> %s\n",
+              static_cast<unsigned long long>(stale.state.sequence),
+              stale.state.paid_total.to_decimal().c_str(),
+              std::string(chain::to_string(tmpl->on_chain_commit(stale)))
+                  .c_str());
+  std::printf("car requests exit (starts the challenge window)\n");
+  tmpl->request_exit(car.address(), id);
+
+  mainnet.mine_blocks(3);  // the lot notices within the window
+
+  const U256 lot_before = mainnet.balance_of(lot.address());
+  const auto status = tmpl->challenge(lot.address(), honest);
+  const U256 lot_after = mainnet.balance_of(lot.address());
+  std::printf("\nlot challenges with seq %llu, paid %s wei -> %s\n",
+              static_cast<unsigned long long>(honest.state.sequence),
+              honest.state.paid_total.to_decimal().c_str(),
+              std::string(chain::to_string(status)).c_str());
+  std::printf("insurance slashed to the challenger: +%s wei\n",
+              (lot_after - lot_before).to_decimal().c_str());
+
+  mainnet.mine_blocks(8);  // window expires
+  tmpl->finalize(id);
+  std::printf("\nsettlement after the challenge period:\n");
+  std::printf("  lot balance: %s wei (received the honest 1,200 + 400 bond)\n",
+              mainnet.balance_of(lot.address()).to_decimal().c_str());
+  std::printf("  car balance: %s wei (refund minus payment, bond gone)\n",
+              mainnet.balance_of(car.address()).to_decimal().c_str());
+  std::printf("  channel closed: %s\n",
+              tmpl->channel(id)->closed ? "yes" : "no");
+
+  // The reverse attack — replaying the stale state as a challenge — fails.
+  std::printf("\nreplaying the stale state as a challenge now: %s\n",
+              std::string(chain::to_string(tmpl->challenge(lot.address(),
+                                                           stale)))
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: assemble a contract, run it on the TinyEVM profile, read a
+// sensor from bytecode, and inspect the execution statistics.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "channel/manager.hpp"
+#include "evm/asm.hpp"
+#include "evm/vm.hpp"
+
+using namespace tinyevm;
+
+int main() {
+  // 1. A mote with a temperature sensor (device id 7).
+  channel::SensorBank sensors;
+  sensors.set_reading(7, U256{22});
+  channel::DeviceHost host(sensors, evm::VmConfig::tiny());
+
+  // 2. Assemble a contract: price = sensor_reading * 3 + 10, store it,
+  //    return it. The 0x0c SENSOR opcode is TinyEVM's IoT extension.
+  evm::Assembler prog;
+  prog.sensor(7, /*actuate=*/false, U256{0});  // push temperature
+  prog.push(3).op(evm::Opcode::MUL);
+  prog.push(10).op(evm::Opcode::ADD);
+  prog.dup(1);
+  prog.push(0x01).op(evm::Opcode::SSTORE);  // slot 1 = price
+  prog.push(0).op(evm::Opcode::MSTORE);
+  prog.push(32).push(0).op(evm::Opcode::RETURN);
+
+  // 3. Execute on the TinyEVM profile: 96-element stack, 8 KB memory,
+  //    1 KB storage, no gas (off-chain execution is free).
+  evm::Vm vm{evm::VmConfig::tiny()};
+  evm::Message msg;
+  msg.code = prog.take();
+  const evm::ExecResult result = vm.execute(host, msg);
+
+  if (!result.ok()) {
+    std::printf("execution failed: %s\n",
+                std::string(evm::to_string(result.status)).c_str());
+    return 1;
+  }
+
+  const U256 price = U256::from_bytes(result.output);
+  std::printf("sensor reading : 22 C\n");
+  std::printf("computed price : %s wei/hour\n", price.to_decimal().c_str());
+  std::printf("stored slot 1  : %s\n",
+              host.sload(msg.self, U256{1}).to_decimal().c_str());
+  std::printf("ops executed   : %llu\n",
+              static_cast<unsigned long long>(result.stats.ops_executed));
+  std::printf("max stack ptr  : %zu elements\n",
+              result.stats.max_stack_pointer);
+  std::printf("MCU cycles     : %llu (%.2f ms at 32 MHz)\n",
+              static_cast<unsigned long long>(result.stats.mcu_cycles),
+              static_cast<double>(result.stats.mcu_cycles) / 32'000.0);
+  return 0;
+}

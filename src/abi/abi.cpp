@@ -1,0 +1,110 @@
+#include "abi/abi.hpp"
+
+#include <cstring>
+
+#include "crypto/hash.hpp"
+
+namespace tinyevm::abi {
+
+std::array<std::uint8_t, 4> selector(std::string_view signature) {
+  const Hash256 h = keccak256(signature);
+  return {h[0], h[1], h[2], h[3]};
+}
+
+Encoder::Encoder(std::string_view signature) : selector_(selector(signature)) {}
+
+Encoder& Encoder::add_uint(const U256& v) {
+  slots_.push_back(Slot{v.to_word(), std::nullopt});
+  return *this;
+}
+
+Encoder& Encoder::add_address(const secp256k1::Address& a) {
+  Slot s;
+  std::memcpy(s.head.data() + 12, a.data(), 20);
+  slots_.push_back(s);
+  return *this;
+}
+
+Encoder& Encoder::add_bool(bool b) { return add_uint(U256{b ? 1ULL : 0ULL}); }
+
+Encoder& Encoder::add_bytes32(const std::array<std::uint8_t, 32>& w) {
+  slots_.push_back(Slot{w, std::nullopt});
+  return *this;
+}
+
+Encoder& Encoder::add_bytes(std::span<const std::uint8_t> data) {
+  // Tail layout: length word followed by the payload padded to 32 bytes.
+  Bytes tail(32, 0);
+  const auto len = U256{data.size()}.to_word();
+  std::memcpy(tail.data(), len.data(), 32);
+  tail.insert(tail.end(), data.begin(), data.end());
+  while (tail.size() % 32 != 0) tail.push_back(0);
+  slots_.push_back(Slot{{}, std::move(tail)});
+  return *this;
+}
+
+Bytes Encoder::build() const {
+  Bytes out;
+  if (selector_) {
+    out.insert(out.end(), selector_->begin(), selector_->end());
+  }
+  const std::size_t head_size = slots_.size() * 32;
+  std::size_t tail_offset = head_size;
+
+  Bytes tails;
+  for (const Slot& slot : slots_) {
+    if (slot.tail) {
+      const auto offset = U256{tail_offset}.to_word();
+      out.insert(out.end(), offset.begin(), offset.end());
+      tails.insert(tails.end(), slot.tail->begin(), slot.tail->end());
+      tail_offset += slot.tail->size();
+    } else {
+      out.insert(out.end(), slot.head.begin(), slot.head.end());
+    }
+  }
+  out.insert(out.end(), tails.begin(), tails.end());
+  return out;
+}
+
+std::optional<std::array<std::uint8_t, 32>> Decoder::next_word() {
+  if (head_pos_ + 32 > data_.size()) return std::nullopt;
+  std::array<std::uint8_t, 32> w;
+  std::memcpy(w.data(), data_.data() + head_pos_, 32);
+  head_pos_ += 32;
+  return w;
+}
+
+std::optional<U256> Decoder::read_uint() {
+  const auto w = next_word();
+  if (!w) return std::nullopt;
+  return U256::from_word(*w);
+}
+
+std::optional<secp256k1::Address> Decoder::read_address() {
+  const auto w = next_word();
+  if (!w) return std::nullopt;
+  secp256k1::Address a;
+  std::memcpy(a.data(), w->data() + 12, 20);
+  return a;
+}
+
+std::optional<bool> Decoder::read_bool() {
+  const auto v = read_uint();
+  if (!v) return std::nullopt;
+  return !v->is_zero();
+}
+
+std::optional<Bytes> Decoder::read_bytes() {
+  const auto offset = read_uint();
+  if (!offset || !offset->fits_u64()) return std::nullopt;
+  const std::uint64_t off = offset->as_u64();
+  if (off + 32 > data_.size()) return std::nullopt;
+  const U256 len = U256::from_bytes(data_.subspan(off, 32));
+  if (!len.fits_u64()) return std::nullopt;
+  const std::uint64_t n = len.as_u64();
+  if (off + 32 + n > data_.size()) return std::nullopt;
+  const auto payload = data_.subspan(off + 32, n);
+  return Bytes{payload.begin(), payload.end()};
+}
+
+}  // namespace tinyevm::abi

@@ -1,0 +1,68 @@
+// Minimal Solidity ABI encoding — function selectors plus the static types
+// (uint256, address, bytes32, bool) and dynamic `bytes` used by the channel
+// message formats and the examples. This is the subset a TinyEVM mote needs
+// to call the on-chain Template contract and to format off-chain payments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "crypto/secp256k1.hpp"
+#include "u256/u256.hpp"
+
+namespace tinyevm::abi {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// First 4 bytes of keccak256 of the canonical signature, e.g.
+/// "close(uint256,bytes)".
+[[nodiscard]] std::array<std::uint8_t, 4> selector(std::string_view signature);
+
+/// Incremental call-data builder. Static arguments are appended in order;
+/// dynamic `bytes` arguments are collected and laid out with offsets in the
+/// standard head/tail form when `build()` is called.
+class Encoder {
+ public:
+  explicit Encoder(std::string_view signature);
+  /// Encoder without a selector (for constructor arguments).
+  Encoder() = default;
+
+  Encoder& add_uint(const U256& v);
+  Encoder& add_address(const secp256k1::Address& a);
+  Encoder& add_bool(bool b);
+  Encoder& add_bytes32(const std::array<std::uint8_t, 32>& w);
+  Encoder& add_bytes(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] Bytes build() const;
+
+ private:
+  struct Slot {
+    std::array<std::uint8_t, 32> head{};  // static value or offset placeholder
+    std::optional<Bytes> tail;            // set for dynamic arguments
+  };
+  std::optional<std::array<std::uint8_t, 4>> selector_;
+  std::vector<Slot> slots_;
+};
+
+/// Cursor-style decoder for return data / call data (after the selector).
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::optional<U256> read_uint();
+  std::optional<secp256k1::Address> read_address();
+  std::optional<bool> read_bool();
+  /// Follows the head offset to read a dynamic `bytes` value.
+  std::optional<Bytes> read_bytes();
+
+ private:
+  std::optional<std::array<std::uint8_t, 32>> next_word();
+
+  std::span<const std::uint8_t> data_;
+  std::size_t head_pos_ = 0;
+};
+
+}  // namespace tinyevm::abi

@@ -1,0 +1,294 @@
+#include "chain/chain.hpp"
+
+#include <cstring>
+
+namespace tinyevm::chain {
+namespace {
+
+/// Host adapter exposing Blockchain state to the Ethereum-profile EVM.
+class ChainHost : public evm::Host {
+ public:
+  ChainHost(Blockchain& chain, std::map<Address, Account>& accounts,
+            std::vector<evm::LogEntry>& logs, const Block& head,
+            const evm::Vm& vm)
+      : chain_(chain),
+        accounts_(accounts),
+        logs_(logs),
+        head_(head),
+        vm_(vm) {}
+
+  U256 sload(const Address& addr, const U256& key) override {
+    auto& st = accounts_[addr].storage;
+    const auto it = st.find(key);
+    return it == st.end() ? U256{} : it->second;
+  }
+  bool sstore(const Address& addr, const U256& key,
+              const U256& value) override {
+    auto& st = accounts_[addr].storage;
+    if (value.is_zero()) {
+      st.erase(key);
+    } else {
+      st[key] = value;
+    }
+    return true;
+  }
+  U256 balance(const Address& addr) override {
+    return accounts_[addr].balance;
+  }
+  evm::Bytes code_at(const Address& addr) override {
+    return accounts_[addr].code;
+  }
+  evm::BlockInfo block_info() override {
+    evm::BlockInfo info;
+    info.number = head_.number;
+    info.timestamp = head_.timestamp;
+    info.gas_limit = 8'000'000;
+    return info;
+  }
+  Hash256 block_hash(std::uint64_t number) override {
+    Hash256 h{};
+    // Only the current chain head lineage matters to the simulation.
+    h[23] = 0xB1;
+    for (unsigned i = 0; i < 8; ++i) {
+      h[31 - i] = static_cast<std::uint8_t>(number >> (8 * i));
+    }
+    return h;
+  }
+  evm::CallResult call(const evm::CallRequest& req) override {
+    if (chain_.is_native(req.to)) {
+      const auto [ok, output] =
+          chain_.native(req.to)->invoke(req.sender, req.value, req.data);
+      return evm::CallResult{ok, output, req.gas};
+    }
+    // Value transfer first (CALL semantics).
+    if (!req.value.is_zero() &&
+        !chain_.transfer(req.sender, req.to, req.value)) {
+      return evm::CallResult{false, {}, 0};
+    }
+    const evm::Bytes code = code_at(req.to);
+    if (code.empty()) return evm::CallResult{true, {}, req.gas};
+    evm::Message msg;
+    msg.self = req.kind == evm::CallKind::DelegateCall ? req.sender : req.to;
+    msg.caller = req.sender;
+    msg.value = req.value;
+    msg.data = req.data;
+    msg.code = code;
+    msg.gas = req.gas;
+    msg.depth = req.depth;
+    msg.is_static = req.is_static;
+    const evm::ExecResult r = vm_.execute(*this, msg);
+    return evm::CallResult{r.ok(), r.output, r.gas_left};
+  }
+  evm::CreateResult create(const evm::CreateRequest& req) override {
+    Account& sender = accounts_[req.sender];
+    const Address addr =
+        Blockchain::derive_create_address(req.sender, sender.nonce);
+    sender.nonce += 1;
+    if (!req.value.is_zero() &&
+        !chain_.transfer(req.sender, addr, req.value)) {
+      return evm::CreateResult{false, {}, 0};
+    }
+    evm::Message msg;
+    msg.self = addr;
+    msg.caller = req.sender;
+    msg.value = req.value;
+    msg.code = req.init_code;
+    msg.gas = req.gas;
+    msg.depth = req.depth;
+    const evm::ExecResult r = vm_.execute(*this, msg);
+    if (!r.ok()) return evm::CreateResult{false, {}, r.gas_left};
+    accounts_[addr].code = r.output;
+    return evm::CreateResult{true, addr, r.gas_left};
+  }
+  void emit_log(evm::LogEntry entry) override {
+    logs_.push_back(std::move(entry));
+  }
+  void self_destruct(const Address& addr, const Address& beneficiary) override {
+    // Copy before transferring: transfer() mutates the source balance,
+    // and passing a reference into it would zero the amount mid-flight.
+    const U256 swept = accounts_[addr].balance;
+    chain_.transfer(addr, beneficiary, swept);
+    accounts_[addr].code.clear();
+    accounts_[addr].storage.clear();
+  }
+  std::optional<U256> sensor_access(const evm::SensorRequest&) override {
+    return std::nullopt;  // no sensors on the main chain
+  }
+
+ private:
+  Blockchain& chain_;
+  std::map<Address, Account>& accounts_;
+  std::vector<evm::LogEntry>& logs_;
+  const Block& head_;
+  const evm::Vm& vm_;
+};
+
+}  // namespace
+
+Hash256 Transaction::digest() const {
+  std::vector<rlp::Item> fields;
+  fields.push_back(rlp::Item::bytes(from));
+  fields.push_back(to ? rlp::Item::bytes(*to) : rlp::Item::bytes(rlp::Bytes{}));
+  fields.push_back(rlp::Item::quantity(value));
+  fields.push_back(rlp::Item::bytes(data));
+  fields.push_back(rlp::Item::quantity(U256{nonce}));
+  fields.push_back(
+      rlp::Item::quantity(U256{static_cast<std::uint64_t>(gas_limit)}));
+  fields.push_back(rlp::Item::quantity(gas_price));
+  return keccak256(rlp::encode(rlp::Item::list(std::move(fields))));
+}
+
+Blockchain::Blockchain() : vm_(evm::VmConfig::ethereum()) {
+  Block genesis;
+  genesis.number = 0;
+  genesis.timestamp = 1'600'000'000;
+  genesis.hash = keccak256("tinyevm-genesis");
+  blocks_.push_back(genesis);
+}
+
+void Blockchain::credit(const Address& addr, const U256& amount) {
+  accounts_[addr].balance += amount;
+}
+
+U256 Blockchain::balance_of(const Address& addr) const {
+  const auto it = accounts_.find(addr);
+  return it == accounts_.end() ? U256{} : it->second.balance;
+}
+
+std::uint64_t Blockchain::nonce_of(const Address& addr) const {
+  const auto it = accounts_.find(addr);
+  return it == accounts_.end() ? 0 : it->second.nonce;
+}
+
+const evm::Bytes* Blockchain::code_of(const Address& addr) const {
+  const auto it = accounts_.find(addr);
+  return it == accounts_.end() ? nullptr : &it->second.code;
+}
+
+U256 Blockchain::storage_at(const Address& addr, const U256& key) const {
+  const auto it = accounts_.find(addr);
+  if (it == accounts_.end()) return U256{};
+  const auto slot = it->second.storage.find(key);
+  return slot == it->second.storage.end() ? U256{} : slot->second;
+}
+
+void Blockchain::mine_block() {
+  Block next;
+  next.number = blocks_.back().number + 1;
+  next.timestamp = blocks_.back().timestamp + 15;  // nominal 15 s cadence
+  next.parent_hash = blocks_.back().hash;
+  std::array<std::uint8_t, 40> seed{};
+  std::memcpy(seed.data(), next.parent_hash.data(), 32);
+  for (unsigned i = 0; i < 8; ++i) {
+    seed[32 + i] = static_cast<std::uint8_t>(next.number >> (8 * i));
+  }
+  next.hash = keccak256(seed);
+  blocks_.push_back(next);
+}
+
+void Blockchain::mine_blocks(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) mine_block();
+}
+
+bool Blockchain::transfer(const Address& from, const Address& to,
+                          U256 amount) {
+  Account& src = accounts_[from];
+  if (src.balance < amount) return false;
+  src.balance -= amount;
+  accounts_[to].balance += amount;
+  return true;
+}
+
+Address Blockchain::derive_create_address(const Address& sender,
+                                          std::uint64_t nonce) {
+  const auto payload = rlp::encode(rlp::Item::list(
+      {rlp::Item::bytes(sender), rlp::Item::quantity(U256{nonce})}));
+  const Hash256 h = keccak256(payload);
+  Address out;
+  std::memcpy(out.data(), h.data() + 12, 20);
+  return out;
+}
+
+void Blockchain::register_native(const Address& addr,
+                                 std::unique_ptr<NativeContract> contract) {
+  natives_[addr] = std::move(contract);
+}
+
+std::optional<Receipt> Blockchain::apply(const Transaction& tx,
+                                         const secp256k1::Signature& sig) {
+  // Sender authentication: the recovered address must match tx.from.
+  const auto signer = secp256k1::recover_address(tx.digest(), sig);
+  if (!signer || *signer != tx.from) return std::nullopt;
+
+  Account& sender = accounts_[tx.from];
+  if (tx.nonce != sender.nonce) return std::nullopt;
+
+  // Up-front fee escrow (gas_limit * price) — the paper's motivation for
+  // channels is precisely that this fee makes micropayments unaffordable.
+  const U256 max_fee =
+      U256{static_cast<std::uint64_t>(tx.gas_limit)} * tx.gas_price;
+  if (sender.balance < max_fee + tx.value) return std::nullopt;
+  sender.nonce += 1;
+  sender.balance -= max_fee;
+
+  Receipt receipt;
+  const std::size_t log_mark = logs_.size();
+  ChainHost host(*this, accounts_, logs_, blocks_.back(), vm_);
+
+  if (!tx.to) {
+    // Contract creation.
+    evm::CreateRequest req;
+    req.sender = tx.from;
+    req.value = tx.value;
+    req.init_code = tx.data;
+    req.gas = tx.gas_limit;
+    // create() bumps the nonce again for address derivation; compensate so
+    // the external nonce advances exactly once per transaction.
+    sender.nonce -= 1;
+    const auto r = host.create(req);
+    receipt.success = r.success;
+    receipt.contract_address = r.address;
+    receipt.gas_used = tx.gas_limit - r.gas_left;
+  } else if (is_native(*tx.to)) {
+    if (!tx.value.is_zero() && !transfer(tx.from, *tx.to, tx.value)) {
+      receipt.success = false;
+    } else {
+      const auto [ok, output] =
+          natives_.at(*tx.to)->invoke(tx.from, tx.value, tx.data);
+      receipt.success = ok;
+      receipt.output = output;
+      receipt.gas_used = 21'000;  // flat native-call cost
+    }
+  } else {
+    evm::CallRequest req;
+    req.to = *tx.to;
+    req.sender = tx.from;
+    req.value = tx.value;
+    req.data = tx.data;
+    req.gas = tx.gas_limit;
+    const auto r = host.call(req);
+    receipt.success = r.success;
+    receipt.output = r.output;
+    receipt.gas_used = tx.gas_limit - r.gas_left;
+  }
+
+  if (receipt.gas_used < 21'000) receipt.gas_used = 21'000;  // intrinsic gas
+  receipt.fee_paid =
+      U256{static_cast<std::uint64_t>(receipt.gas_used)} * tx.gas_price;
+  // Refund the unused escrow.
+  sender.balance += max_fee - receipt.fee_paid;
+  receipt.logs.assign(logs_.begin() + static_cast<long>(log_mark),
+                      logs_.end());
+  blocks_.back().tx_hashes.push_back(tx.digest());
+  return receipt;
+}
+
+std::optional<Receipt> Blockchain::submit(const PrivateKey& key,
+                                          Transaction tx) {
+  tx.from = key.address();
+  tx.nonce = nonce_of(tx.from);
+  const auto sig = secp256k1::sign(tx.digest(), key);
+  return apply(tx, sig);
+}
+
+}  // namespace tinyevm::chain

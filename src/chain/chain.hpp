@@ -1,0 +1,142 @@
+// Simulated Ethereum main chain — the substrate the on-chain half of
+// TinyEVM runs on. Provides accounts, balances, nonces, signed
+// transactions, block production (block height doubles as the challenge
+// clock), EVM contract deployment/calls in the Ethereum profile, and a
+// native-contract hook used to host the Template contract.
+//
+// Consensus is out of scope for the paper as well: both parties trust the
+// chain's finality, and the evaluation never measures mining. The chain
+// here is a single-node state machine with deterministic block production.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "crypto/secp256k1.hpp"
+#include "evm/host.hpp"
+#include "evm/vm.hpp"
+#include "rlp/rlp.hpp"
+#include "u256/u256.hpp"
+
+namespace tinyevm::chain {
+
+using secp256k1::Address;
+using secp256k1::PrivateKey;
+
+struct Account {
+  U256 balance;
+  std::uint64_t nonce = 0;
+  evm::Bytes code;
+  std::map<U256, U256> storage;
+};
+
+struct Transaction {
+  Address from{};
+  std::optional<Address> to;  ///< nullopt = contract creation
+  U256 value;
+  evm::Bytes data;
+  std::uint64_t nonce = 0;
+  std::int64_t gas_limit = 8'000'000;
+  U256 gas_price{1};
+
+  [[nodiscard]] Hash256 digest() const;
+};
+
+struct Receipt {
+  bool success = false;
+  Address contract_address{};  ///< set for creations
+  evm::Bytes output;
+  std::int64_t gas_used = 0;
+  U256 fee_paid;
+  std::vector<evm::LogEntry> logs;
+};
+
+struct Block {
+  std::uint64_t number = 0;
+  std::uint64_t timestamp = 0;
+  Hash256 parent_hash{};
+  Hash256 hash{};
+  std::vector<Hash256> tx_hashes;
+};
+
+/// A native contract executes C++ instead of bytecode when called. The
+/// on-chain Template contract registers through this hook, mirroring how a
+/// production deployment would publish audited Solidity.
+class NativeContract {
+ public:
+  virtual ~NativeContract() = default;
+  /// Returns (success, output). May mutate chain state through the
+  /// blockchain reference captured at registration.
+  virtual std::pair<bool, evm::Bytes> invoke(const Address& caller,
+                                             const U256& value,
+                                             std::span<const std::uint8_t>
+                                                 data) = 0;
+};
+
+class Blockchain {
+ public:
+  Blockchain();
+
+  // -- accounts --
+  void credit(const Address& addr, const U256& amount);
+  [[nodiscard]] U256 balance_of(const Address& addr) const;
+  [[nodiscard]] std::uint64_t nonce_of(const Address& addr) const;
+  [[nodiscard]] const evm::Bytes* code_of(const Address& addr) const;
+  [[nodiscard]] U256 storage_at(const Address& addr, const U256& key) const;
+
+  // -- blocks (the logical challenge clock) --
+  [[nodiscard]] std::uint64_t height() const { return blocks_.back().number; }
+  [[nodiscard]] const Block& head() const { return blocks_.back(); }
+  /// Seals the current block and starts the next (advances the clock).
+  void mine_block();
+  void mine_blocks(std::uint64_t n);
+
+  // -- transactions --
+  /// Applies a transaction (nonce + fee checks, EVM execution). The
+  /// sender's key signs the canonical digest; a bad signature is rejected.
+  std::optional<Receipt> apply(const Transaction& tx,
+                               const secp256k1::Signature& sig);
+  /// Convenience: sign with `key` and apply.
+  std::optional<Receipt> submit(const PrivateKey& key, Transaction tx);
+
+  // -- native contracts --
+  void register_native(const Address& addr,
+                       std::unique_ptr<NativeContract> contract);
+  [[nodiscard]] bool is_native(const Address& addr) const {
+    return natives_.contains(addr);
+  }
+  /// Nullptr when no native contract lives at `addr`.
+  [[nodiscard]] NativeContract* native(const Address& addr) {
+    const auto it = natives_.find(addr);
+    return it == natives_.end() ? nullptr : it->second.get();
+  }
+
+  /// CREATE address derivation: keccak256(rlp([sender, nonce]))[12..].
+  static Address derive_create_address(const Address& sender,
+                                       std::uint64_t nonce);
+
+  /// Direct value transfer between accounts (used by native contracts to
+  /// move escrowed funds). False on insufficient balance. Takes `amount`
+  /// by value: callers often pass a live balance reference, which the
+  /// transfer itself mutates.
+  bool transfer(const Address& from, const Address& to, U256 amount);
+
+  [[nodiscard]] const std::vector<evm::LogEntry>& all_logs() const {
+    return logs_;
+  }
+
+ private:
+  Account& account(const Address& addr) { return accounts_[addr]; }
+
+  std::map<Address, Account> accounts_;
+  std::map<Address, std::unique_ptr<NativeContract>> natives_;
+  std::vector<Block> blocks_;
+  std::vector<evm::LogEntry> logs_;
+  evm::Vm vm_;
+};
+
+}  // namespace tinyevm::chain

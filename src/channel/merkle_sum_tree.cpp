@@ -1,0 +1,83 @@
+#include "channel/merkle_sum_tree.hpp"
+
+#include <cstring>
+
+namespace tinyevm::channel {
+
+SumNode MerkleSumTree::filler() {
+  return SumNode{U256{}, Hash256{}};
+}
+
+SumNode MerkleSumTree::combine(const SumNode& left, const SumNode& right) {
+  std::array<std::uint8_t, 128> buf;
+  const auto ls = left.sum.to_word();
+  const auto rs = right.sum.to_word();
+  std::memcpy(buf.data(), ls.data(), 32);
+  std::memcpy(buf.data() + 32, left.hash.data(), 32);
+  std::memcpy(buf.data() + 64, rs.data(), 32);
+  std::memcpy(buf.data() + 96, right.hash.data(), 32);
+  return SumNode{left.sum + right.sum, keccak256(buf)};
+}
+
+std::size_t MerkleSumTree::append(const U256& value, const Hash256& digest) {
+  leaves_.push_back(SumNode{value, digest});
+  return leaves_.size() - 1;
+}
+
+std::vector<std::vector<SumNode>> MerkleSumTree::build_layers() const {
+  std::vector<std::vector<SumNode>> layers;
+  layers.push_back(leaves_);
+  while (layers.back().size() > 1) {
+    const auto& prev = layers.back();
+    std::vector<SumNode> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      const SumNode& left = prev[i];
+      const SumNode right = i + 1 < prev.size() ? prev[i + 1] : filler();
+      next.push_back(combine(left, right));
+    }
+    layers.push_back(std::move(next));
+  }
+  return layers;
+}
+
+SumNode MerkleSumTree::root() const {
+  if (leaves_.empty()) {
+    return SumNode{U256{}, keccak256(std::string_view{})};
+  }
+  return build_layers().back()[0];
+}
+
+std::optional<Proof> MerkleSumTree::prove(std::size_t index) const {
+  if (index >= leaves_.size()) return std::nullopt;
+  const auto layers = build_layers();
+  Proof proof;
+  std::size_t pos = index;
+  for (std::size_t level = 0; level + 1 < layers.size(); ++level) {
+    const auto& layer = layers[level];
+    const bool is_right = (pos % 2) == 1;
+    const std::size_t sibling_pos = is_right ? pos - 1 : pos + 1;
+    const SumNode sibling =
+        sibling_pos < layer.size() ? layer[sibling_pos] : filler();
+    proof.push_back(ProofStep{sibling, is_right});
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleSumTree::verify(const SumNode& root, const U256& value,
+                           const Hash256& digest, const Proof& proof,
+                           const U256& cap) {
+  SumNode node{value, digest};
+  if (node.sum > cap) return false;
+  for (const ProofStep& step : proof) {
+    node = step.sibling_on_left ? combine(step.sibling, node)
+                                : combine(node, step.sibling);
+    // Audit condition: partial sums along the path may never exceed the
+    // locked funds; a violation anywhere invalidates the commitment.
+    if (node.sum > cap) return false;
+  }
+  return node == root;
+}
+
+}  // namespace tinyevm::channel

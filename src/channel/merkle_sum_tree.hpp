@@ -1,0 +1,73 @@
+// Merkle-Sum-Tree (Plasma-style, paper §IV-E): every node carries the sum of
+// the payments beneath it next to the hash, so an on-chain verifier can audit
+// that the total committed value never exceeds the locked funds while
+// checking membership with a logarithmic proof.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "u256/u256.hpp"
+
+namespace tinyevm::channel {
+
+struct SumNode {
+  U256 sum;
+  Hash256 hash{};
+
+  friend bool operator==(const SumNode& a, const SumNode& b) = default;
+};
+
+/// One step of a membership proof: the sibling node and which side it
+/// hangs on.
+struct ProofStep {
+  SumNode sibling;
+  bool sibling_on_left = false;
+};
+
+using Proof = std::vector<ProofStep>;
+
+/// Append-only Merkle-Sum-Tree. Leaves are (value, digest) pairs — for
+/// TinyEVM, the digest of a committed channel state and the payment sum it
+/// carries. The tree is rebuilt lazily; odd nodes are paired with an empty
+/// (0, zero-hash) filler.
+class MerkleSumTree {
+ public:
+  /// Appends a leaf and returns its index.
+  std::size_t append(const U256& value, const Hash256& digest);
+
+  [[nodiscard]] std::size_t size() const { return leaves_.size(); }
+  [[nodiscard]] bool empty() const { return leaves_.empty(); }
+
+  /// Root node; (0, keccak("")) for an empty tree.
+  [[nodiscard]] SumNode root() const;
+
+  /// Total committed value (the root sum).
+  [[nodiscard]] U256 total() const { return root().sum; }
+
+  /// Membership proof for leaf `index`; nullopt when out of range.
+  [[nodiscard]] std::optional<Proof> prove(std::size_t index) const;
+
+  /// Verifies that (value, digest) is a leaf under `root` via `proof`, and
+  /// that every partial sum on the path stays <= `cap` (the audit condition:
+  /// "if it exceeds the allowed range, the payment is invalid").
+  static bool verify(const SumNode& root, const U256& value,
+                     const Hash256& digest, const Proof& proof,
+                     const U256& cap);
+
+  /// Parent-node combinator, exposed for tests: hash over both children's
+  /// sums and hashes, sum added.
+  static SumNode combine(const SumNode& left, const SumNode& right);
+
+  /// The empty filler node used to pair odd layers.
+  static SumNode filler();
+
+ private:
+  [[nodiscard]] std::vector<std::vector<SumNode>> build_layers() const;
+
+  std::vector<SumNode> leaves_;
+};
+
+}  // namespace tinyevm::channel

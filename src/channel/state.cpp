@@ -1,0 +1,93 @@
+#include "channel/state.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace tinyevm::channel {
+
+rlp::Bytes ChannelState::encode() const {
+  return rlp::encode(rlp::Item::list({
+      rlp::Item::quantity(channel_id),
+      rlp::Item::quantity(U256{sequence}),
+      rlp::Item::quantity(paid_total),
+      rlp::Item::quantity(sensor_data),
+      rlp::Item::bytes(prev_hash),
+  }));
+}
+
+std::optional<ChannelState> ChannelState::decode(
+    std::span<const std::uint8_t> data) {
+  const auto item = rlp::decode(data);
+  if (!item || !item->is_list()) return std::nullopt;
+  const auto& fields = item->as_list();
+  if (fields.size() != 5) return std::nullopt;
+  for (unsigned i = 0; i < 4; ++i) {
+    if (fields[i].is_list()) return std::nullopt;
+  }
+  if (fields[4].is_list() || fields[4].as_bytes().size() != 32) {
+    return std::nullopt;
+  }
+  try {
+    ChannelState out;
+    out.channel_id = fields[0].as_quantity();
+    const U256 seq = fields[1].as_quantity();
+    if (!seq.fits_u64()) return std::nullopt;
+    out.sequence = seq.as_u64();
+    out.paid_total = fields[2].as_quantity();
+    out.sensor_data = fields[3].as_quantity();
+    std::copy(fields[4].as_bytes().begin(), fields[4].as_bytes().end(),
+              out.prev_hash.begin());
+    return out;
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+Hash256 ChannelState::digest() const { return keccak256(encode()); }
+
+std::optional<SignedState::Signers> SignedState::recover_signers() const {
+  const Hash256 d = state.digest();
+  const auto sender = secp256k1::recover_address(d, sender_sig);
+  const auto receiver = secp256k1::recover_address(d, receiver_sig);
+  if (!sender || !receiver) return std::nullopt;
+  return Signers{*sender, *receiver};
+}
+
+bool SignedState::verify(const Address& sender,
+                         const Address& receiver) const {
+  const auto signers = recover_signers();
+  return signers && signers->sender == sender &&
+         signers->receiver == receiver;
+}
+
+bool SideChainLog::append(const SignedState& signed_state) {
+  if (signed_state.state.prev_hash != head_) return false;
+  // Sequence numbers are the per-channel logical clock: they must advance
+  // within a channel, while a fresh channel may restart at 1 ("the nodes
+  // can open and close an arbitrary number of payment channels", §IV-A).
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->state.channel_id != signed_state.state.channel_id) continue;
+    if (signed_state.state.sequence <= it->state.sequence) return false;
+    break;
+  }
+  head_ = signed_state.state.digest();
+  entries_.push_back(signed_state);
+  return true;
+}
+
+bool SideChainLog::audit(const Hash256& genesis) const {
+  Hash256 expected = genesis;
+  std::map<U256, std::uint64_t> channel_clocks;
+  for (const SignedState& entry : entries_) {
+    if (entry.state.prev_hash != expected) return false;
+    const auto it = channel_clocks.find(entry.state.channel_id);
+    if (it != channel_clocks.end() && entry.state.sequence <= it->second) {
+      return false;
+    }
+    channel_clocks[entry.state.channel_id] = entry.state.sequence;
+    expected = entry.state.digest();
+  }
+  return expected == head_;
+}
+
+}  // namespace tinyevm::channel

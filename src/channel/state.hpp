@@ -1,0 +1,99 @@
+// Off-chain channel state and signed payment messages.
+//
+// A payment is a "stand-alone artifact that can claim money from the
+// main-chain" (paper §IV-D): it binds the channel id, a monotone sequence
+// number (the logical clock), the cumulative amount paid, and the sensor
+// data the price was derived from, all under both parties' ECDSA
+// signatures. Sequence numbers give causal order without synchronized time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "crypto/secp256k1.hpp"
+#include "rlp/rlp.hpp"
+#include "u256/u256.hpp"
+
+namespace tinyevm::channel {
+
+using secp256k1::Address;
+using secp256k1::PrivateKey;
+using secp256k1::Signature;
+
+/// One off-chain channel state (also the payment message format — each
+/// payment is the next state of the channel).
+struct ChannelState {
+  U256 channel_id;
+  std::uint64_t sequence = 0;  ///< logical clock; strictly increasing
+  U256 paid_total;             ///< cumulative, never decreasing
+  U256 sensor_data;            ///< reading the price was computed from
+  Hash256 prev_hash{};         ///< hash link to the previous state
+
+  /// Canonical RLP encoding (stable across devices).
+  [[nodiscard]] rlp::Bytes encode() const;
+  static std::optional<ChannelState> decode(
+      std::span<const std::uint8_t> data);
+
+  /// keccak256 of the canonical encoding — what both parties sign.
+  [[nodiscard]] Hash256 digest() const;
+
+  friend bool operator==(const ChannelState& a,
+                         const ChannelState& b) = default;
+};
+
+/// A channel state plus the signatures that make it enforceable on-chain.
+struct SignedState {
+  ChannelState state;
+  Signature sender_sig;
+  Signature receiver_sig;
+
+  /// Recovers both signer addresses from the state digest; nullopt when
+  /// either signature is malformed.
+  struct Signers {
+    Address sender;
+    Address receiver;
+  };
+  [[nodiscard]] std::optional<Signers> recover_signers() const;
+
+  /// True when the signatures recover exactly (sender, receiver).
+  [[nodiscard]] bool verify(const Address& sender,
+                            const Address& receiver) const;
+};
+
+/// Device-local, hash-linked side-chain log: "each execution of the payment
+/// channel extends the local (side-chain) log of the node, which links each
+/// state with the previous" (§IV-D).
+class SideChainLog {
+ public:
+  /// The genesis link anchors at the on-chain root published with the
+  /// template, binding the log to the main chain.
+  explicit SideChainLog(const Hash256& genesis) : head_(genesis) {}
+
+  /// Hash expected in the next state's prev_hash field.
+  [[nodiscard]] const Hash256& head() const { return head_; }
+
+  /// Appends; false when the state's prev_hash does not extend the head or
+  /// its sequence does not advance the log.
+  bool append(const SignedState& signed_state);
+
+  [[nodiscard]] const std::vector<SignedState>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::optional<SignedState> latest() const {
+    if (entries_.empty()) return std::nullopt;
+    return entries_.back();
+  }
+
+  /// Verifies the whole chain of hash links from the genesis anchor —
+  /// "ensures that no transactions are omitted".
+  [[nodiscard]] bool audit(const Hash256& genesis) const;
+
+ private:
+  Hash256 head_;
+  std::vector<SignedState> entries_;
+};
+
+}  // namespace tinyevm::channel

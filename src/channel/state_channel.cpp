@@ -1,0 +1,105 @@
+#include "channel/state_channel.hpp"
+
+#include <stdexcept>
+
+namespace tinyevm::channel {
+
+rlp::Bytes AppState::encode() const {
+  return rlp::encode(rlp::Item::list({
+      rlp::Item::quantity(channel_id),
+      rlp::Item::quantity(U256{version}),
+      rlp::Item::bytes(payload),
+      rlp::Item::bytes(prev_hash),
+  }));
+}
+
+std::optional<AppState> AppState::decode(std::span<const std::uint8_t> data) {
+  const auto item = rlp::decode(data);
+  if (!item || !item->is_list()) return std::nullopt;
+  const auto& fields = item->as_list();
+  if (fields.size() != 4) return std::nullopt;
+  for (const auto& f : fields) {
+    if (f.is_list()) return std::nullopt;
+  }
+  if (fields[3].as_bytes().size() != 32) return std::nullopt;
+  try {
+    AppState out;
+    out.channel_id = fields[0].as_quantity();
+    const U256 version = fields[1].as_quantity();
+    if (!version.fits_u64()) return std::nullopt;
+    out.version = version.as_u64();
+    out.payload = fields[2].as_bytes();
+    std::copy(fields[3].as_bytes().begin(), fields[3].as_bytes().end(),
+              out.prev_hash.begin());
+    return out;
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+Hash256 AppState::digest() const { return keccak256(encode()); }
+
+bool SignedAppState::verify(const secp256k1::Address& initiator,
+                            const secp256k1::Address& responder) const {
+  const Hash256 d = state.digest();
+  const auto a = secp256k1::recover_address(d, initiator_sig);
+  const auto b = secp256k1::recover_address(d, responder_sig);
+  return a && b && *a == initiator && *b == responder;
+}
+
+StateChannelSession::StateChannelSession(const secp256k1::PrivateKey& key,
+                                         const secp256k1::Address& peer,
+                                         bool is_initiator,
+                                         const U256& channel_id,
+                                         const Hash256& anchor)
+    : key_(key),
+      peer_(peer),
+      is_initiator_(is_initiator),
+      channel_id_(channel_id),
+      head_(anchor) {}
+
+SignedAppState StateChannelSession::propose(rlp::Bytes payload) const {
+  SignedAppState out;
+  out.state.channel_id = channel_id_;
+  out.state.version = version_ + 1;
+  out.state.payload = std::move(payload);
+  out.state.prev_hash = head_;
+  const Hash256 d = out.state.digest();
+  if (is_initiator_) {
+    out.initiator_sig = secp256k1::sign(d, key_);
+  } else {
+    out.responder_sig = secp256k1::sign(d, key_);
+  }
+  return out;
+}
+
+std::optional<secp256k1::Signature> StateChannelSession::countersign(
+    const AppState& state) const {
+  if (state.channel_id != channel_id_) return std::nullopt;
+  if (state.version != version_ + 1) return std::nullopt;
+  if (state.prev_hash != head_) return std::nullopt;
+  return secp256k1::sign(state.digest(), key_);
+}
+
+bool StateChannelSession::accept(const SignedAppState& signed_state) {
+  if (signed_state.state.channel_id != channel_id_) return false;
+  if (signed_state.state.version != version_ + 1) return false;
+  if (signed_state.state.prev_hash != head_) return false;
+  const auto initiator = is_initiator_ ? self() : peer_;
+  const auto responder = is_initiator_ ? peer_ : self();
+  if (!signed_state.verify(initiator, responder)) return false;
+  head_ = signed_state.state.digest();
+  version_ = signed_state.state.version;
+  payload_ = signed_state.state.payload;
+  history_.push_back(signed_state);
+  return true;
+}
+
+bool StateChannelSession::proposal_beats(const AppState& mine,
+                                         const AppState& theirs) const {
+  if (mine.version != theirs.version) return mine.version > theirs.version;
+  // Deterministic tie-break: the initiator's proposal dominates.
+  return is_initiator_;
+}
+
+}  // namespace tinyevm::channel

@@ -1,0 +1,105 @@
+// Generic state channels — the §II-C generalization TinyEVM's payment
+// channels specialize: two mutually-distrusting parties evolve *arbitrary
+// application state* off-chain under double signatures, a per-channel
+// logical clock, and a hash link, and either party can later hold the
+// final state against the other.
+//
+// The payment channel stores (paid_total, sensor_data); an application
+// channel stores whatever the app serializes — an SLA monitor's breach
+// counters, a firmware-update negotiation, a shared sensor calibration.
+// Only the envelope is fixed: version, app payload, hash link, signatures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "crypto/secp256k1.hpp"
+#include "rlp/rlp.hpp"
+#include "u256/u256.hpp"
+
+namespace tinyevm::channel {
+
+/// One version of the application state.
+struct AppState {
+  U256 channel_id;
+  std::uint64_t version = 0;  ///< logical clock, strictly increasing
+  rlp::Bytes payload;         ///< app-defined serialized state
+  Hash256 prev_hash{};        ///< link to the previous accepted version
+
+  [[nodiscard]] rlp::Bytes encode() const;
+  static std::optional<AppState> decode(std::span<const std::uint8_t> data);
+  [[nodiscard]] Hash256 digest() const;
+
+  friend bool operator==(const AppState& a, const AppState& b) = default;
+};
+
+/// App state plus both parties' signatures over its digest.
+struct SignedAppState {
+  AppState state;
+  secp256k1::Signature initiator_sig;
+  secp256k1::Signature responder_sig;
+
+  [[nodiscard]] bool verify(const secp256k1::Address& initiator,
+                            const secp256k1::Address& responder) const;
+};
+
+/// One party's view of a generic state channel. Both sides run one; the
+/// transport between them is the application's concern (TSCH, BLE, …).
+///
+/// Update flow: either party `propose`s the next state (version = latest
+/// accepted + 1); the peer validates and `countersign`s; both `accept` the
+/// doubly-signed result. Concurrent proposals at the same version are
+/// resolved deterministically: the initiator's proposal wins ties, so the
+/// responder re-bases (`proposal_beats` tells who should yield).
+class StateChannelSession {
+ public:
+  StateChannelSession(const secp256k1::PrivateKey& key,
+                      const secp256k1::Address& peer, bool is_initiator,
+                      const U256& channel_id, const Hash256& anchor);
+
+  [[nodiscard]] secp256k1::Address self() const { return key_.address(); }
+  [[nodiscard]] const secp256k1::Address& peer() const { return peer_; }
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] const rlp::Bytes& current_payload() const {
+    return payload_;
+  }
+  [[nodiscard]] const std::vector<SignedAppState>& history() const {
+    return history_;
+  }
+
+  /// Builds and self-signs the next state carrying `payload`.
+  [[nodiscard]] SignedAppState propose(rlp::Bytes payload) const;
+
+  /// Validates a peer proposal (channel id, version, hash link) and signs
+  /// it; nullopt when invalid.
+  [[nodiscard]] std::optional<secp256k1::Signature> countersign(
+      const AppState& state) const;
+
+  /// Records a doubly-signed state; false when signatures or links fail.
+  bool accept(const SignedAppState& signed_state);
+
+  /// Tie-break for concurrent proposals at the same version: true when
+  /// `mine` should win over `theirs` (initiator's proposals dominate).
+  [[nodiscard]] bool proposal_beats(const AppState& mine,
+                                    const AppState& theirs) const;
+
+  /// Latest doubly-signed state — the artifact to settle with.
+  [[nodiscard]] std::optional<SignedAppState> final_state() const {
+    if (history_.empty()) return std::nullopt;
+    return history_.back();
+  }
+
+ private:
+  secp256k1::PrivateKey key_;
+  secp256k1::Address peer_;
+  bool is_initiator_;
+  U256 channel_id_;
+  Hash256 head_;
+  std::uint64_t version_ = 0;
+  rlp::Bytes payload_;
+  std::vector<SignedAppState> history_;
+};
+
+}  // namespace tinyevm::channel

@@ -1,0 +1,59 @@
+// Hand-assembled EVM bytecode for the off-chain payment-channel contract —
+// the deployable "smart contract template" both motes execute locally
+// (paper §IV-D, Listings 1/2).
+//
+// Constructor (Listing 2 pattern):
+//     sensor_reading = SENSOR(device, param)   // 0x0c IoT opcode
+//     sstore(SLOT_SENSOR, sensor_reading)
+//     sstore(SLOT_RATE, calldata[0])           // negotiated hourly rate
+//     return runtime
+//
+// Runtime dispatch (selector in calldata word 0, big-endian low byte):
+//     0x01 pay(units)    -> paid_total += units * rate; seq += 1;
+//                           log1(paid_total, seq); return paid_total
+//     0x02 status()      -> return (seq << 128) | paid_total
+//     0x03 close()       -> log1(paid_total, seq); selfdestruct(caller)
+//     otherwise          -> revert
+//
+// Storage layout (8-bit TinyEVM keys):
+//     0x0c sensor reading   (the paper stores it at the opcode's own slot)
+//     0x01 negotiated rate
+//     0x02 cumulative paid_total
+//     0x03 sequence number (logical clock)
+#pragma once
+
+#include <cstdint>
+
+#include "evm/state.hpp"
+#include "u256/u256.hpp"
+
+namespace tinyevm::channel {
+
+struct TemplateSlots {
+  static constexpr std::uint8_t kSensor = 0x0c;
+  static constexpr std::uint8_t kRate = 0x01;
+  static constexpr std::uint8_t kPaidTotal = 0x02;
+  static constexpr std::uint8_t kSequence = 0x03;
+};
+
+/// Function selectors for the runtime dispatcher (single byte in the low
+/// byte of calldata word 0).
+struct TemplateFn {
+  static constexpr std::uint64_t kPay = 0x01;
+  static constexpr std::uint64_t kStatus = 0x02;
+  static constexpr std::uint64_t kClose = 0x03;
+};
+
+/// Deployment bytecode: constructor (sensor read + rate init) + runtime.
+/// `sensor_device` names the on-board device sampled at deploy time.
+evm::Bytes payment_channel_init_code(std::uint32_t sensor_device);
+
+/// Just the runtime, for size accounting and direct execution.
+evm::Bytes payment_channel_runtime();
+
+/// ABI helpers for the single-word calldata convention of the template.
+evm::Bytes encode_pay_call(const U256& units);
+evm::Bytes encode_status_call();
+evm::Bytes encode_close_call();
+
+}  // namespace tinyevm::channel

@@ -1,0 +1,427 @@
+#include "crypto/secp256k1.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace tinyevm::secp256k1 {
+namespace {
+
+// p = 2^256 - 2^32 - 977
+const U256 kP = U256{0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL,
+                     0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFEFFFFFC2FULL};
+// n (group order)
+const U256 kN = U256{0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFEULL,
+                     0xBAAEDCE6AF48A03BULL, 0xBFD25E8CD0364141ULL};
+// Generator coordinates.
+const U256 kGx = U256{0x79BE667EF9DCBBACULL, 0x55A06295CE870B07ULL,
+                      0x029BFCDB2DCE28D9ULL, 0x59F2815B16F81798ULL};
+const U256 kGy = U256{0x483ADA7726A3C465ULL, 0x5DA4FBFC0E1108A8ULL,
+                      0xFD17B448A6855419ULL, 0x9C47D08FFB10D4B8ULL};
+
+// 2^256 - p = 2^32 + 977; fits a single limb, enabling fast folding
+// reduction of 512-bit products.
+constexpr std::uint64_t kPComplement = 0x1000003D1ULL;
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// Reduce a 5-limb value (4 limbs + carry limb `extra`) modulo p by folding
+// extra * 2^256 ≡ extra * kPComplement (mod p).
+U256 fold_once(const U256& lo, u64 extra, bool& overflow) {
+  U256 add = U256{extra} * U256{kPComplement};
+  // add < 2^97, lo < 2^256: the sum can carry one bit out.
+  U256 sum = lo + add;
+  overflow = sum < lo;  // wrapped past 2^256
+  return sum;
+}
+
+// a * b mod p using the 2^256 ≡ 2^32 + 977 identity (two folds + final
+// conditional subtractions).
+U256 mul_mod_p(const U256& a, const U256& b) {
+  const U512 wide = U512::mul(a, b);
+  U256 lo{wide.limb(3), wide.limb(2), wide.limb(1), wide.limb(0)};
+  const U256 hi{wide.limb(7), wide.limb(6), wide.limb(5), wide.limb(4)};
+
+  // r = lo + hi * kPComplement (hi * c is up to 2^256 * 2^33 -> 2 limbs of
+  // overflow handled by a second fold).
+  const U512 hi_c = U512::mul(hi, U256{kPComplement});
+  const U256 hi_c_lo{hi_c.limb(3), hi_c.limb(2), hi_c.limb(1), hi_c.limb(0)};
+  const u64 hi_c_hi = hi_c.limb(4);  // < 2^33
+
+  U256 r = lo + hi_c_lo;
+  u64 carry = (r < lo) ? 1 : 0;
+  // Fold (carry + hi_c_hi) * 2^256.
+  bool ovf = false;
+  r = fold_once(r, carry + hi_c_hi, ovf);
+  if (ovf) {
+    // One more tiny fold; the addend is kPComplement < 2^65 so no further
+    // overflow is possible after subtraction below.
+    r = r + U256{kPComplement};
+  }
+  while (r >= kP) r -= kP;
+  return r;
+}
+
+U256 add_mod_p(const U256& a, const U256& b) {
+  U256 r = a + b;
+  if (r < a || r >= kP) r -= kP;  // wrapped or exceeded p
+  return r;
+}
+
+U256 sub_mod_p(const U256& a, const U256& b) {
+  if (a >= b) return a - b;
+  return a + (kP - b);
+}
+
+// Generic modular helpers for the scalar field (cold path; U512-based).
+U256 mul_mod_n(const U256& a, const U256& b) {
+  return U256::mulmod(a, b, kN);
+}
+
+U256 add_mod_n(const U256& a, const U256& b) {
+  return U256::addmod(a, b, kN);
+}
+
+U256 inv_mod_n(const U256& a) {
+  // Fermat: a^(n-2) mod n.
+  U256 result{1};
+  U256 base = a % kN;
+  U256 e = kN - U256{2};
+  for (unsigned i = 0; i < e.bit_length(); ++i) {
+    if (e.bit(i)) result = mul_mod_n(result, base);
+    base = mul_mod_n(base, base);
+  }
+  return result;
+}
+
+}  // namespace
+
+U256 field_prime() { return kP; }
+U256 group_order() { return kN; }
+
+Fe::Fe(const U256& v) : v_(v) { assert(v < kP); }
+
+Fe Fe::from_reduced(const U256& v) {
+  Fe out;
+  out.v_ = v % kP;
+  return out;
+}
+
+Fe operator+(const Fe& a, const Fe& b) { return Fe{add_mod_p(a.v_, b.v_)}; }
+Fe operator-(const Fe& a, const Fe& b) { return Fe{sub_mod_p(a.v_, b.v_)}; }
+Fe operator*(const Fe& a, const Fe& b) { return Fe{mul_mod_p(a.v_, b.v_)}; }
+
+Fe Fe::inverse() const {
+  // a^(p-2) via square-and-multiply (LSB first).
+  Fe result{U256{1}};
+  Fe base = *this;
+  const U256 e = kP - U256{2};
+  for (unsigned i = 0; i < e.bit_length(); ++i) {
+    if (e.bit(i)) result = result * base;
+    base = base.square();
+  }
+  return result;
+}
+
+std::optional<Fe> Fe::sqrt() const {
+  // p ≡ 3 (mod 4): sqrt(a) = a^((p+1)/4) when a is a QR.
+  Fe result{U256{1}};
+  Fe base = *this;
+  const U256 e = (kP + U256{1}) >> 2;
+  for (unsigned i = 0; i < e.bit_length(); ++i) {
+    if (e.bit(i)) result = result * base;
+    base = base.square();
+  }
+  if (result.square() == *this) return result;
+  return std::nullopt;
+}
+
+Fe Fe::negate() const {
+  if (v_.is_zero()) return *this;
+  return Fe{kP - v_};
+}
+
+bool AffinePoint::on_curve() const {
+  if (infinity) return true;
+  const Fe seven{U256{7}};
+  return y.square() == x.square() * x + seven;
+}
+
+JacobianPoint JacobianPoint::infinity() {
+  return {Fe{U256{1}}, Fe{U256{1}}, Fe{U256{0}}};
+}
+
+JacobianPoint JacobianPoint::from_affine(const AffinePoint& p) {
+  if (p.infinity) return infinity();
+  return {p.x, p.y, Fe{U256{1}}};
+}
+
+AffinePoint JacobianPoint::to_affine() const {
+  if (z.is_zero()) return AffinePoint{};
+  const Fe z_inv = z.inverse();
+  const Fe z_inv2 = z_inv.square();
+  return AffinePoint{x * z_inv2, y * z_inv2 * z_inv, false};
+}
+
+AffinePoint generator() { return AffinePoint{Fe{kGx}, Fe{kGy}, false}; }
+
+JacobianPoint double_point(const JacobianPoint& p) {
+  if (p.z.is_zero() || p.y.is_zero()) return JacobianPoint::infinity();
+  // Standard dbl-2009-l formulas for a = 0.
+  const Fe a = p.x.square();
+  const Fe b = p.y.square();
+  const Fe c = b.square();
+  Fe d = (p.x + b).square() - a - c;
+  d = d + d;  // D = 2*((X+B)^2 - A - C)
+  const Fe e = a + a + a;
+  const Fe f = e.square();
+  const Fe x3 = f - (d + d);
+  Fe c8 = c + c;
+  c8 = c8 + c8;
+  c8 = c8 + c8;
+  const Fe y3 = e * (d - x3) - c8;
+  const Fe z3 = (p.y * p.z) + (p.y * p.z);
+  return {x3, y3, z3};
+}
+
+JacobianPoint add(const JacobianPoint& p, const JacobianPoint& q) {
+  if (p.z.is_zero()) return q;
+  if (q.z.is_zero()) return p;
+  // add-2007-bl.
+  const Fe z1z1 = p.z.square();
+  const Fe z2z2 = q.z.square();
+  const Fe u1 = p.x * z2z2;
+  const Fe u2 = q.x * z1z1;
+  const Fe s1 = p.y * q.z * z2z2;
+  const Fe s2 = q.y * p.z * z1z1;
+  if (u1 == u2) {
+    if (s1 == s2) return double_point(p);
+    return JacobianPoint::infinity();
+  }
+  const Fe h = u2 - u1;
+  Fe i = h + h;
+  i = i.square();
+  const Fe j = h * i;
+  Fe r = s2 - s1;
+  r = r + r;
+  const Fe v = u1 * i;
+  const Fe x3 = r.square() - j - (v + v);
+  Fe s1j = s1 * j;
+  const Fe y3 = r * (v - x3) - (s1j + s1j);
+  const Fe z3 = ((p.z + q.z).square() - z1z1 - z2z2) * h;
+  return {x3, y3, z3};
+}
+
+JacobianPoint scalar_mul(const U256& k, const AffinePoint& p) {
+  JacobianPoint acc = JacobianPoint::infinity();
+  const JacobianPoint base = JacobianPoint::from_affine(p);
+  for (int i = static_cast<int>(k.bit_length()) - 1; i >= 0; --i) {
+    acc = double_point(acc);
+    if (k.bit(static_cast<unsigned>(i))) acc = add(acc, base);
+  }
+  return acc;
+}
+
+JacobianPoint shamir_mul(const U256& k1, const U256& k2,
+                         const AffinePoint& p) {
+  const JacobianPoint g = JacobianPoint::from_affine(generator());
+  const JacobianPoint q = JacobianPoint::from_affine(p);
+  const JacobianPoint gq = add(g, q);
+  JacobianPoint acc = JacobianPoint::infinity();
+  const unsigned bits = std::max(k1.bit_length(), k2.bit_length());
+  for (int i = static_cast<int>(bits) - 1; i >= 0; --i) {
+    acc = double_point(acc);
+    const bool b1 = k1.bit(static_cast<unsigned>(i));
+    const bool b2 = k2.bit(static_cast<unsigned>(i));
+    if (b1 && b2) {
+      acc = add(acc, gq);
+    } else if (b1) {
+      acc = add(acc, g);
+    } else if (b2) {
+      acc = add(acc, q);
+    }
+  }
+  return acc;
+}
+
+std::array<std::uint8_t, 64> PublicKey::serialize() const {
+  std::array<std::uint8_t, 64> out;
+  const auto xw = point.x.value().to_word();
+  const auto yw = point.y.value().to_word();
+  std::memcpy(out.data(), xw.data(), 32);
+  std::memcpy(out.data() + 32, yw.data(), 32);
+  return out;
+}
+
+Address PublicKey::address() const {
+  const auto ser = serialize();
+  const Hash256 h = keccak256(ser);
+  Address out;
+  std::memcpy(out.data(), h.data() + 12, 20);
+  return out;
+}
+
+std::optional<PrivateKey> PrivateKey::from_scalar(const U256& k) {
+  if (k.is_zero() || k >= kN) return std::nullopt;
+  return PrivateKey{k};
+}
+
+std::optional<PrivateKey> PrivateKey::from_bytes(const Hash256& bytes) {
+  return from_scalar(U256::from_bytes(bytes));
+}
+
+PrivateKey PrivateKey::from_seed(std::string_view seed) {
+  Hash256 h = keccak256(seed);
+  for (;;) {
+    if (auto key = from_bytes(h)) return *key;
+    h = keccak256(h);
+  }
+}
+
+PublicKey PrivateKey::public_key() const {
+  return PublicKey{scalar_mul(d_, generator()).to_affine()};
+}
+
+std::array<std::uint8_t, 65> Signature::serialize() const {
+  std::array<std::uint8_t, 65> out;
+  const auto rw = r.to_word();
+  const auto sw = s.to_word();
+  std::memcpy(out.data(), rw.data(), 32);
+  std::memcpy(out.data() + 32, sw.data(), 32);
+  out[64] = static_cast<std::uint8_t>(27 + recovery_id);
+  return out;
+}
+
+std::optional<Signature> Signature::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != 65) return std::nullopt;
+  Signature sig;
+  sig.r = U256::from_bytes(bytes.subspan(0, 32));
+  sig.s = U256::from_bytes(bytes.subspan(32, 32));
+  const std::uint8_t v = bytes[64];
+  if (v != 27 && v != 28 && v != 0 && v != 1) return std::nullopt;
+  sig.recovery_id = static_cast<std::uint8_t>(v >= 27 ? v - 27 : v);
+  return sig;
+}
+
+U256 rfc6979_nonce(const U256& key, const Hash256& digest) {
+  // RFC 6979 §3.2 with SHA-256; qlen == hlen == 256 so bits2octets is a
+  // plain reduction mod n.
+  const auto key_word = key.to_word();
+  const U256 h_reduced = U256::from_bytes(digest) % kN;
+  const auto h_word = h_reduced.to_word();
+
+  std::array<std::uint8_t, 32> v;
+  std::array<std::uint8_t, 32> k;
+  v.fill(0x01);
+  k.fill(0x00);
+
+  auto hmac_concat = [&](std::uint8_t sep_byte, bool include_material) {
+    std::vector<std::uint8_t> msg(v.begin(), v.end());
+    msg.push_back(sep_byte);
+    if (include_material) {
+      msg.insert(msg.end(), key_word.begin(), key_word.end());
+      msg.insert(msg.end(), h_word.begin(), h_word.end());
+    }
+    return hmac_sha256(k, msg);
+  };
+
+  Hash256 t = hmac_concat(0x00, true);
+  std::memcpy(k.data(), t.data(), 32);
+  t = hmac_sha256(k, v);
+  std::memcpy(v.data(), t.data(), 32);
+  t = hmac_concat(0x01, true);
+  std::memcpy(k.data(), t.data(), 32);
+  t = hmac_sha256(k, v);
+  std::memcpy(v.data(), t.data(), 32);
+
+  for (;;) {
+    t = hmac_sha256(k, v);
+    std::memcpy(v.data(), t.data(), 32);
+    const U256 candidate = U256::from_bytes(v);
+    if (!candidate.is_zero() && candidate < kN) return candidate;
+    // Retry path: K = HMAC(K, V || 0x00); V = HMAC(K, V).
+    std::vector<std::uint8_t> msg(v.begin(), v.end());
+    msg.push_back(0x00);
+    t = hmac_sha256(k, msg);
+    std::memcpy(k.data(), t.data(), 32);
+    t = hmac_sha256(k, v);
+    std::memcpy(v.data(), t.data(), 32);
+  }
+}
+
+Signature sign(const Hash256& digest, const PrivateKey& key) {
+  const U256 z = U256::from_bytes(digest) % kN;
+  U256 k = rfc6979_nonce(key.scalar(), digest);
+  for (;;) {
+    const AffinePoint rp = scalar_mul(k, generator()).to_affine();
+    const U256 r = rp.x.value() % kN;
+    if (r.is_zero()) {
+      k = add_mod_n(k, U256{1});
+      continue;
+    }
+    const U256 k_inv = inv_mod_n(k);
+    U256 s = mul_mod_n(k_inv, add_mod_n(z, mul_mod_n(r, key.scalar())));
+    if (s.is_zero()) {
+      k = add_mod_n(k, U256{1});
+      continue;
+    }
+    std::uint8_t rec = rp.y.value().bit(0) ? 1 : 0;
+    // Low-s normalization (Ethereum/BIP-62): s' = n - s flips R.y parity.
+    if (s > (kN >> 1)) {
+      s = kN - s;
+      rec ^= 1;
+    }
+    return Signature{r, s, rec};
+  }
+}
+
+bool verify(const Hash256& digest, const Signature& sig,
+            const PublicKey& pub) {
+  if (sig.r.is_zero() || sig.r >= kN || sig.s.is_zero() || sig.s >= kN) {
+    return false;
+  }
+  if (pub.point.infinity || !pub.point.on_curve()) return false;
+  const U256 z = U256::from_bytes(digest) % kN;
+  const U256 s_inv = inv_mod_n(sig.s);
+  const U256 u1 = mul_mod_n(z, s_inv);
+  const U256 u2 = mul_mod_n(sig.r, s_inv);
+  const AffinePoint r_point = shamir_mul(u1, u2, pub.point).to_affine();
+  if (r_point.infinity) return false;
+  return r_point.x.value() % kN == sig.r;
+}
+
+std::optional<PublicKey> recover(const Hash256& digest, const Signature& sig) {
+  if (sig.r.is_zero() || sig.r >= kN || sig.s.is_zero() || sig.s >= kN) {
+    return std::nullopt;
+  }
+  // R.x = r (we ignore the r + n overflow case: probability ~2^-128 and
+  // Ethereum tooling does the same for channel messages).
+  if (sig.r >= kP) return std::nullopt;
+  const Fe x{sig.r};
+  const Fe y2 = x.square() * x + Fe{U256{7}};
+  const auto y_opt = y2.sqrt();
+  if (!y_opt) return std::nullopt;
+  Fe y = *y_opt;
+  const bool y_is_odd = y.value().bit(0);
+  if (y_is_odd != (sig.recovery_id == 1)) y = y.negate();
+
+  const AffinePoint r_point{x, y, false};
+  // Q = r^{-1} (s*R - z*G)
+  const U256 r_inv = inv_mod_n(sig.r);
+  const U256 z = U256::from_bytes(digest) % kN;
+  const U256 u1 = mul_mod_n(kN - (z % kN), r_inv);  // -z * r^-1
+  const U256 u2 = mul_mod_n(sig.s, r_inv);
+  const AffinePoint q = shamir_mul(u1, u2, r_point).to_affine();
+  if (q.infinity) return std::nullopt;
+  return PublicKey{q};
+}
+
+std::optional<Address> recover_address(const Hash256& digest,
+                                       const Signature& sig) {
+  const auto pub = recover(digest, sig);
+  if (!pub) return std::nullopt;
+  return pub->address();
+}
+
+}  // namespace tinyevm::secp256k1

@@ -1,0 +1,71 @@
+// CC2538 / OpenMote-B device model — the calibration header.
+//
+// The paper evaluates on an OpenMote-B (TI-CC2538 SoC: 32-bit Cortex-M3 @
+// 32 MHz, 32 KB RAM, 512 KB ROM, crypto engine @ 250 MHz, 802.15.4 radio).
+// We substitute the physical board with a declarative timing/current model;
+// every constant below is taken from the paper's Tables III-V or the SoC
+// datasheet values the paper cites, so the calibration is auditable in one
+// place.
+#pragma once
+
+#include <cstdint>
+
+namespace tinyevm::device {
+
+/// Static platform parameters (paper §VI-A).
+struct Cc2538Spec {
+  static constexpr std::uint64_t kCpuHz = 32'000'000;       // 32 MHz M3
+  static constexpr std::uint64_t kCryptoHz = 250'000'000;   // crypto engine
+  static constexpr std::uint32_t kRamBytes = 32 * 1024;
+  static constexpr std::uint32_t kRomBytes = 512 * 1024;
+  static constexpr double kSupplyVolts = 2.1;               // Table IV
+
+  /// Cycles per millisecond at the CPU clock.
+  static constexpr std::uint64_t kCyclesPerMs = kCpuHz / 1000;
+};
+
+/// Current draw per power state in milliamps (paper Table IV).
+struct CurrentDraw {
+  static constexpr double kCryptoEngineMa = 26.0;
+  static constexpr double kTxMa = 24.0;
+  static constexpr double kRxMa = 20.0;
+  static constexpr double kCpuActiveMa = 13.0;
+  static constexpr double kLpm2Ma = 1.3;
+};
+
+/// Crypto-operation latencies in microseconds (paper Table V).
+/// ECDSA and SHA-256 run on the hardware engine; Keccak-256 is software.
+struct CryptoLatency {
+  static constexpr std::uint64_t kEcdsaSignUs = 350'000;  // 350 ms HW
+  static constexpr std::uint64_t kEcdsaVerifyUs = 350'000;  // same engine path
+  static constexpr std::uint64_t kSha256Us = 1'000;       // 1 ms HW
+  static constexpr std::uint64_t kKeccak256Us = 5'000;    // 5 ms SW
+};
+
+/// 802.15.4 / TSCH radio parameters (Contiki-NG defaults the paper uses).
+struct RadioSpec {
+  static constexpr std::uint64_t kBitrateBps = 250'000;  // 2.4 GHz O-QPSK
+  static constexpr std::uint32_t kMaxFrameBytes = 127;
+  static constexpr std::uint64_t kTimeslotUs = 10'000;   // 10 ms TSCH slot
+  static constexpr std::uint32_t kSlotframeLength = 7;   // minimal schedule
+  /// Per-frame radio-on overhead beyond payload airtime (CCA, turnaround,
+  /// ACK wait) — keeps the modeled TX/RX totals at the paper's Table IV
+  /// scale (32 ms TX / 52 ms RX for a full round).
+  static constexpr std::uint64_t kFrameOverheadUs = 2'000;
+
+  /// Airtime of `bytes` of MAC payload including the ACK exchange.
+  static constexpr std::uint64_t frame_airtime_us(std::uint32_t bytes) {
+    const std::uint64_t phy = bytes + 6 /* PHY header+len */;
+    return phy * 8 * 1'000'000 / kBitrateBps + kFrameOverheadUs;
+  }
+};
+
+/// Contiki-NG memory-footprint constants (paper Table III). The TinyEVM
+/// RAM/ROM rows are *measured* from the configured VM at runtime; the OS
+/// rows are fixed by the Contiki-NG build the paper used.
+struct ContikiFootprint {
+  static constexpr std::uint32_t kOsRamBytes = 10'394;
+  static constexpr std::uint32_t kOsRomBytes = 40'527;
+};
+
+}  // namespace tinyevm::device

@@ -1,0 +1,68 @@
+#include "device/footprint.hpp"
+
+#include "evm/opcodes.hpp"
+
+namespace tinyevm::device {
+
+std::uint32_t vm_ram_bytes(const evm::VmConfig& config) {
+  // Fixed arenas on the MCU build (the paper's §VI-A configuration):
+  const std::uint32_t stack_arena =
+      static_cast<std::uint32_t>(config.stack_limit) * 32;     // 3 KB
+  const std::uint32_t memory_arena =
+      static_cast<std::uint32_t>(config.memory_limit);         // 8 KB
+  const std::uint32_t storage_arena =
+      static_cast<std::uint32_t>(config.storage_limit);        // 1 KB
+  // Interpreter bookkeeping: frame registers, a JUMPDEST bitmap sized for
+  // the 8 KB deployment ceiling (1 bit/byte), return-data buffer and the
+  // host's contract/slot tables.
+  const std::uint32_t analysis_bitmap = 8192 / 8;
+  const std::uint32_t frame_state = 256;
+  const std::uint32_t host_tables = 512;
+  return stack_arena + memory_arena + storage_arena + analysis_bitmap +
+         frame_state + host_tables;
+}
+
+std::uint32_t vm_rom_bytes() {
+  // Opcode metadata table (one packed descriptor per active opcode) plus
+  // the dispatch/handler code. The descriptor packs to 8 bytes on the MCU;
+  // handler code measured at ~1.2 KB thumb-2 in the reference build.
+  const auto& table = evm::opcode_table();
+  std::uint32_t active = 0;
+  for (const auto& inf : table) {
+    if (inf.defined || inf.tinyevm) ++active;
+  }
+  const std::uint32_t metadata = active * 8;
+  const std::uint32_t handlers = 1220;
+  return metadata + handlers;
+}
+
+FootprintRow FootprintReport::total() const {
+  FootprintRow out{"Total footprint", 0, 0};
+  for (const auto& row : rows) {
+    out.ram_bytes += row.ram_bytes;
+    out.rom_bytes += row.rom_bytes;
+  }
+  return out;
+}
+
+FootprintRow FootprintReport::available() const {
+  const FootprintRow t = total();
+  return FootprintRow{"Available memory",
+                      Cc2538Spec::kRamBytes - t.ram_bytes,
+                      Cc2538Spec::kRomBytes - t.rom_bytes};
+}
+
+FootprintReport footprint_report(const evm::VmConfig& config,
+                                 std::uint32_t template_bytes) {
+  FootprintReport report;
+  report.rows.push_back(FootprintRow{"Contiki-NG OS",
+                                     ContikiFootprint::kOsRamBytes,
+                                     ContikiFootprint::kOsRomBytes});
+  report.rows.push_back(
+      FootprintRow{"TinyEVM", vm_ram_bytes(config), vm_rom_bytes()});
+  report.rows.push_back(
+      FootprintRow{"Smart Contract Template", template_bytes, 0});
+  return report;
+}
+
+}  // namespace tinyevm::device

@@ -1,0 +1,53 @@
+// Memory-footprint accounting (paper Table III): how the 32 KB of RAM and
+// 512 KB of ROM divide between Contiki-NG, the TinyEVM module, and the
+// deployed smart-contract template. The OS rows come from the calibration
+// header; the TinyEVM rows are computed from the configured VM (stack,
+// memory, storage arenas plus interpreter state), and the template row from
+// the actual bytecode this repo assembles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/cc2538.hpp"
+#include "evm/vm.hpp"
+
+namespace tinyevm::device {
+
+struct FootprintRow {
+  std::string component;
+  std::uint32_t ram_bytes = 0;
+  std::uint32_t rom_bytes = 0;
+
+  [[nodiscard]] double ram_percent() const {
+    return 100.0 * ram_bytes / Cc2538Spec::kRamBytes;
+  }
+  [[nodiscard]] double rom_percent() const {
+    return 100.0 * rom_bytes / Cc2538Spec::kRomBytes;
+  }
+};
+
+struct FootprintReport {
+  std::vector<FootprintRow> rows;
+
+  [[nodiscard]] FootprintRow total() const;
+  [[nodiscard]] FootprintRow available() const;
+};
+
+/// RAM a VM instance reserves at the given configuration: the 3 KB stack
+/// arena, the 8 KB RAM arena, the 1 KB side-chain storage, plus interpreter
+/// bookkeeping (analysis bitmap, frame state, host tables).
+[[nodiscard]] std::uint32_t vm_ram_bytes(const evm::VmConfig& config);
+
+/// ROM for the interpreter: dispatch table + opcode metadata + handlers.
+/// Derived from the sizes of this repo's compiled tables, scaled to the
+/// thumb-2 footprint the paper reports (1,937 B).
+[[nodiscard]] std::uint32_t vm_rom_bytes();
+
+/// Builds the Table III report for a VM configuration and a deployed
+/// template of `template_bytes`.
+[[nodiscard]] FootprintReport footprint_report(const evm::VmConfig& config,
+                                               std::uint32_t template_bytes);
+
+}  // namespace tinyevm::device

@@ -1,0 +1,55 @@
+#include "device/mote.hpp"
+
+namespace tinyevm::device {
+
+std::uint64_t TschLink::transfer(Mote& from, std::uint32_t payload_bytes) {
+  Mote& to = peer(from);
+  delivery_failed_ = false;
+  const std::uint64_t start = std::max(from.now_us(), to.now_us());
+  // Both radios meet at the next shared timeslot; intervening time is LPM2.
+  std::uint64_t slot = next_slot(start);
+  from.sleep_until(slot);
+  to.sleep_until(slot);
+
+  const std::uint32_t frames = frames_needed(payload_bytes);
+  constexpr std::uint32_t kMacPayload = RadioSpec::kMaxFrameBytes - 21;
+  std::uint32_t remaining = payload_bytes;
+  for (std::uint32_t f = 0; f < frames; ++f) {
+    const std::uint32_t chunk = std::min(remaining, kMacPayload);
+    remaining -= chunk;
+    const std::uint64_t airtime = RadioSpec::frame_airtime_us(chunk + 21);
+
+    // Transmit until the ACK arrives or the retry budget is exhausted.
+    // A lost frame still costs the full TX/RX window (the sender waits
+    // out the missing ACK), then both sides rendezvous at the next slot.
+    unsigned attempt = 0;
+    for (;; ++attempt) {
+      from.spend(PowerState::Tx, airtime);
+      to.spend(PowerState::Rx, airtime + 400 /* guard */);
+      if (!frame_lost()) break;
+      ++retransmissions_;
+      if (attempt + 1 >= kMaxRetries) {
+        delivery_failed_ = true;
+        break;
+      }
+      slot = next_slot(std::max(from.now_us(), to.now_us()));
+      from.sleep_until(slot);
+      to.sleep_until(slot);
+    }
+    if (delivery_failed_) break;
+
+    // Next frame waits for the next slot; idle remainder is LPM2.
+    if (f + 1 < frames) {
+      slot = next_slot(std::max(from.now_us(), to.now_us()));
+      from.sleep_until(slot);
+      to.sleep_until(slot);
+    }
+  }
+  // Re-align both clocks to the transfer end.
+  const std::uint64_t end = std::max(from.now_us(), to.now_us());
+  from.sleep_until(end);
+  to.sleep_until(end);
+  return end - start;
+}
+
+}  // namespace tinyevm::device

@@ -1,0 +1,163 @@
+// Simulated mote: a CC2538-class device with a microsecond clock, Energest
+// accounting, a current-trace recorder (Figure 5), a TSCH link, and the
+// device-side crypto latency model (Table V). The VM cycle counts produced
+// by the interpreter are converted to CPU-active time here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "device/cc2538.hpp"
+#include "device/energest.hpp"
+
+namespace tinyevm::device {
+
+/// One sample of the Figure 5 current trace: the device entered `state` at
+/// `start_us` and stayed for `duration_us`, drawing `current_ma`.
+struct TraceSegment {
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  PowerState state = PowerState::Lpm2;
+  double current_ma = 0.0;
+};
+
+/// A mote's local clock + energy ledger. All protocol/VM layers report
+/// their activity here; nothing else touches time.
+class Mote {
+ public:
+  explicit Mote(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t now_us() const { return now_us_; }
+  [[nodiscard]] const Energest& energest() const { return energest_; }
+  [[nodiscard]] const std::vector<TraceSegment>& trace() const {
+    return trace_;
+  }
+
+  /// Spends wall-clock time in `state`, advancing the local clock.
+  void spend(PowerState state, std::uint64_t duration_us) {
+    if (duration_us == 0) return;
+    trace_.push_back(TraceSegment{now_us_, duration_us, state,
+                                  current_ma(state)});
+    energest_.accumulate(state, duration_us);
+    now_us_ += duration_us;
+  }
+
+  /// CPU-active time for `cycles` MCU cycles (the interpreter's output).
+  void spend_cpu_cycles(std::uint64_t cycles) {
+    spend(PowerState::CpuActive,
+          cycles * 1'000'000 / Cc2538Spec::kCpuHz);
+  }
+
+  /// Idles until the local clock reaches `target_us` (radio
+  /// synchronization, waiting for the peer's slot). A TSCH node is never
+  /// fully asleep: once per slotframe it wakes to listen for enhanced
+  /// beacons / keep-alives, so long sleeps interleave one short RX window
+  /// per slotframe with LPM2 — visible as the periodic RX blips in the
+  /// paper's Figure 5 trace.
+  void sleep_until(std::uint64_t target_us) {
+    constexpr std::uint64_t kSlotframeUs =
+        RadioSpec::kTimeslotUs * RadioSpec::kSlotframeLength;
+    constexpr std::uint64_t kIdleListenUs = 2'200;
+    while (target_us > now_us_) {
+      const std::uint64_t remaining = target_us - now_us_;
+      if (remaining > kSlotframeUs) {
+        spend(PowerState::Lpm2, kSlotframeUs - kIdleListenUs);
+        spend(PowerState::Rx, kIdleListenUs);
+      } else {
+        spend(PowerState::Lpm2, remaining);
+      }
+    }
+  }
+
+  // --- device crypto (Table V latencies; the digests themselves are
+  // computed by the caller with the host-side primitives) ---
+  void ecdsa_sign_latency() {
+    spend(PowerState::CryptoEngine, CryptoLatency::kEcdsaSignUs);
+  }
+  void ecdsa_verify_latency() {
+    spend(PowerState::CryptoEngine, CryptoLatency::kEcdsaVerifyUs);
+  }
+  void sha256_latency() {
+    spend(PowerState::CryptoEngine, CryptoLatency::kSha256Us);
+  }
+  /// Keccak is software: CPU-active, not crypto-engine (Table V).
+  void keccak256_latency() {
+    spend(PowerState::CpuActive, CryptoLatency::kKeccak256Us);
+  }
+
+  void reset() {
+    now_us_ = 0;
+    energest_.reset();
+    trace_.clear();
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t now_us_ = 0;
+  Energest energest_;
+  std::vector<TraceSegment> trace_;
+};
+
+/// Point-to-point TSCH link between two motes. Transfers are quantized to
+/// 10 ms timeslots; the sender spends TX airtime, the receiver RX airtime
+/// (plus guard listening), and both sleep through unused slot remainder in
+/// LPM2 — reproducing the duty-cycled shape of the Figure 5 trace.
+///
+/// Failure injection: `set_loss_rate(p)` drops each frame with
+/// deterministic pseudo-probability p; dropped frames are retransmitted in
+/// the next slot (up to `kMaxRetries`), costing extra TX/RX time and
+/// energy, so lossy-link sensitivity can be benchmarked.
+class TschLink {
+ public:
+  static constexpr unsigned kMaxRetries = 8;
+
+  TschLink(Mote& a, Mote& b) : a_(a), b_(b) {}
+
+  /// Per-frame loss probability in percent (0-99), applied with a
+  /// deterministic LCG so runs are reproducible.
+  void set_loss_rate(unsigned percent) { loss_percent_ = percent % 100; }
+
+  [[nodiscard]] std::uint32_t frames_retransmitted() const {
+    return retransmissions_;
+  }
+  [[nodiscard]] bool last_transfer_failed() const { return delivery_failed_; }
+
+  /// Number of MAC frames needed for `payload_bytes`.
+  [[nodiscard]] static std::uint32_t frames_needed(std::uint32_t payload_bytes) {
+    constexpr std::uint32_t kMacPayload =
+        RadioSpec::kMaxFrameBytes - 21;  // MAC header + MIC overhead
+    return (payload_bytes + kMacPayload - 1) / kMacPayload;
+  }
+
+  /// Sends `payload_bytes` from `from` to the other mote. Both clocks
+  /// advance to the end of the transfer; returns the transfer time in µs.
+  std::uint64_t transfer(Mote& from, std::uint32_t payload_bytes);
+
+ private:
+  [[nodiscard]] Mote& peer(Mote& m) { return &m == &a_ ? b_ : a_; }
+
+  /// Next slot boundary at or after `t`.
+  [[nodiscard]] static std::uint64_t next_slot(std::uint64_t t) {
+    const std::uint64_t slot = RadioSpec::kTimeslotUs;
+    return (t + slot - 1) / slot * slot;
+  }
+
+  /// Deterministic per-frame loss decision.
+  [[nodiscard]] bool frame_lost() {
+    if (loss_percent_ == 0) return false;
+    rng_state_ = rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (rng_state_ >> 33) % 100 < loss_percent_;
+  }
+
+  Mote& a_;
+  Mote& b_;
+  unsigned loss_percent_ = 0;
+  std::uint64_t rng_state_ = 0x5DEECE66DULL;
+  std::uint32_t retransmissions_ = 0;
+  bool delivery_failed_ = false;
+};
+
+}  // namespace tinyevm::device

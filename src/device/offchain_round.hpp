@@ -1,0 +1,67 @@
+// Full off-chain payment-round simulation between two motes (paper §VI-C,
+// Figure 5 and Table IV): sensor-data exchange over TSCH, template
+// execution on the local TinyEVM to open the channel, a signed payment,
+// the side-chain registration, and the closing signature exchange.
+//
+// The two real subsystems (TinyEVM interpreter, secp256k1 signer) produce
+// the artifacts; the Mote model maps their work onto device time and
+// current draw.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "channel/manager.hpp"
+#include "device/mote.hpp"
+
+namespace tinyevm::device {
+
+/// Per-phase timing of one round, for the Figure 5 narration.
+struct RoundTiming {
+  std::uint64_t exchange_sensor_us = 0;  ///< initial TSCH data exchange
+  std::uint64_t open_channel_us = 0;     ///< VM execution of the template
+  std::uint64_t sign_payment_us = 0;     ///< ECDSA on the crypto engine
+  std::uint64_t register_sidechain_us = 0;  ///< VM run logging the payment
+  std::uint64_t closing_exchange_us = 0;    ///< signature exchange over TSCH
+  std::uint64_t total_us = 0;
+  /// The paper's headline metric — "complete an off-chain payment in
+  /// 584 ms": the payer-side latency of sign + ship + side-chain
+  /// registration for one payment.
+  std::uint64_t payment_latency_us = 0;
+};
+
+struct RoundResult {
+  RoundTiming timing;
+  bool ok = false;
+  U256 paid_total;
+  std::uint64_t sequence = 0;
+};
+
+/// Orchestrates the paper's evaluation scenario: `car` pays `lot` for
+/// parking, both simulated as CC2538 motes.
+class OffchainRound {
+ public:
+  OffchainRound(Mote& car_mote, Mote& lot_mote,
+                channel::ChannelEndpoint& car, channel::ChannelEndpoint& lot)
+      : car_mote_(car_mote), lot_mote_(lot_mote), car_(car), lot_(lot) {}
+
+  /// Runs one complete round: open channel (id/rate pre-agreed on-chain),
+  /// `payments` signed payments, close. Mirrors Figure 5's single-payment
+  /// round when payments == 1.
+  RoundResult run(const U256& channel_id, const U256& rate,
+                  std::uint32_t sensor_device, unsigned payments = 1);
+
+ private:
+  /// Converts the VM cycles an endpoint accumulated since the last call
+  /// into CPU time on `mote`.
+  void account_vm(Mote& mote, channel::ChannelEndpoint& endpoint,
+                  std::uint64_t& cursor);
+
+  Mote& car_mote_;
+  Mote& lot_mote_;
+  channel::ChannelEndpoint& car_;
+  channel::ChannelEndpoint& lot_;
+};
+
+}  // namespace tinyevm::device

@@ -1,0 +1,105 @@
+#include "evm/asm.hpp"
+
+#include <cstdio>
+
+namespace tinyevm::evm {
+
+Assembler& Assembler::push(const U256& v) {
+  const unsigned bytes = v.byte_length() == 0 ? 1 : v.byte_length();
+  code_.push_back(static_cast<std::uint8_t>(0x60 + bytes - 1));
+  const auto word = v.to_word();
+  code_.insert(code_.end(), word.end() - bytes, word.end());
+  return *this;
+}
+
+Assembler& Assembler::push_word(const U256& v) {
+  code_.push_back(0x7f);  // PUSH32
+  const auto word = v.to_word();
+  code_.insert(code_.end(), word.begin(), word.end());
+  return *this;
+}
+
+std::uint64_t Assembler::label() {
+  const std::uint64_t pc = code_.size();
+  code_.push_back(static_cast<std::uint8_t>(Opcode::JUMPDEST));
+  return pc;
+}
+
+Assembler& Assembler::push_label(std::uint64_t pc) {
+  code_.push_back(0x61);  // PUSH2
+  code_.push_back(static_cast<std::uint8_t>(pc >> 8));
+  code_.push_back(static_cast<std::uint8_t>(pc & 0xFF));
+  return *this;
+}
+
+Assembler& Assembler::sensor(std::uint32_t device_id, bool actuate,
+                             const U256& param) {
+  const std::uint64_t selector =
+      (static_cast<std::uint64_t>(device_id) << 1) | (actuate ? 1 : 0);
+  push(param);
+  push(selector);
+  return op(Opcode::SENSOR);
+}
+
+Bytes Assembler::deployer(const Bytes& runtime, const Bytes& prologue) {
+  // Layout: [prologue] PUSH2 len PUSH2 offset PUSH1 0 CODECOPY
+  //         PUSH2 len PUSH1 0 RETURN [runtime]
+  // The copy offset depends on the constructor length, which depends on the
+  // immediate widths — PUSH2 keeps them fixed so one pass suffices.
+  Assembler ctor;
+  ctor.raw(prologue);
+  // PUSH2+PUSH2+PUSH1+CODECOPY + PUSH2+PUSH1+RETURN = 3+3+2+1 + 3+2+1 bytes.
+  const std::uint64_t fixed = 15;
+  const std::uint64_t offset = prologue.size() + fixed;
+  const auto len = static_cast<std::uint16_t>(runtime.size());
+  ctor.raw(0x61)
+      .raw(static_cast<std::uint8_t>(len >> 8))
+      .raw(static_cast<std::uint8_t>(len & 0xFF));  // PUSH2 len
+  ctor.raw(0x61)
+      .raw(static_cast<std::uint8_t>(offset >> 8))
+      .raw(static_cast<std::uint8_t>(offset & 0xFF));  // PUSH2 offset
+  ctor.raw(0x60).raw(0x00);                            // PUSH1 0
+  ctor.op(Opcode::CODECOPY);
+  ctor.raw(0x61)
+      .raw(static_cast<std::uint8_t>(len >> 8))
+      .raw(static_cast<std::uint8_t>(len & 0xFF));  // PUSH2 len
+  ctor.raw(0x60).raw(0x00);                         // PUSH1 0
+  ctor.op(Opcode::RETURN);
+  Bytes out = ctor.take();
+  out.insert(out.end(), runtime.begin(), runtime.end());
+  return out;
+}
+
+std::vector<DisasmEntry> disassemble(std::span<const std::uint8_t> code) {
+  std::vector<DisasmEntry> out;
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    DisasmEntry entry;
+    entry.pc = pc;
+    entry.opcode = code[pc];
+    const OpInfo& inf = info(code[pc]);
+    if (inf.defined || code[pc] == 0x0c) {
+      entry.name = std::string(inf.name);
+      if (is_push(code[pc])) {
+        const unsigned n = push_size(code[pc]);
+        entry.name += std::to_string(n);
+        for (unsigned i = 1; i <= n && pc + i < code.size(); ++i) {
+          entry.immediate.push_back(code[pc + i]);
+        }
+        pc += n;
+      } else if (is_dup(code[pc])) {
+        entry.name += std::to_string(code[pc] - 0x7f);
+      } else if (is_swap(code[pc])) {
+        entry.name += std::to_string(code[pc] - 0x8f);
+      }
+      // LOGn names carry their index in the opcode table already.
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "UNDEFINED(0x%02x)", code[pc]);
+      entry.name = buf;
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace tinyevm::evm

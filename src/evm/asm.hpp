@@ -1,0 +1,88 @@
+// Tiny EVM assembler — a fluent builder for bytecode used by the tests, the
+// examples, the payment-channel template, and the synthetic corpus
+// generator. Also provides a disassembler for diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "evm/opcodes.hpp"
+#include "evm/state.hpp"
+#include "u256/u256.hpp"
+
+namespace tinyevm::evm {
+
+class Assembler {
+ public:
+  /// Appends a bare opcode.
+  Assembler& op(Opcode o) {
+    code_.push_back(static_cast<std::uint8_t>(o));
+    return *this;
+  }
+  Assembler& raw(std::uint8_t byte) {
+    code_.push_back(byte);
+    return *this;
+  }
+  Assembler& raw(std::span<const std::uint8_t> bytes) {
+    code_.insert(code_.end(), bytes.begin(), bytes.end());
+    return *this;
+  }
+
+  /// PUSHn with the smallest immediate that holds `v` (PUSH1 0 for zero).
+  Assembler& push(const U256& v);
+  Assembler& push(std::uint64_t v) { return push(U256{v}); }
+  /// PUSH32 of a full word (addresses, hashes).
+  Assembler& push_word(const U256& v);
+
+  /// DUPn / SWAPn / LOGn helpers (n is 1-based for dup/swap, 0-based topics
+  /// for log).
+  Assembler& dup(unsigned n) {
+    code_.push_back(static_cast<std::uint8_t>(0x80 + n - 1));
+    return *this;
+  }
+  Assembler& swap(unsigned n) {
+    code_.push_back(static_cast<std::uint8_t>(0x90 + n - 1));
+    return *this;
+  }
+  Assembler& log(unsigned topics) {
+    code_.push_back(static_cast<std::uint8_t>(0xa0 + topics));
+    return *this;
+  }
+
+  /// Marks a JUMPDEST and returns its program counter.
+  std::uint64_t label();
+  /// PUSH2 of a label value (fits all code the 8 KB deployment limit
+  /// allows).
+  Assembler& push_label(std::uint64_t pc);
+
+  /// SENSOR convenience: encodes (device, actuate) into the selector word,
+  /// pushes parameter then selector, then the 0x0c opcode.
+  Assembler& sensor(std::uint32_t device_id, bool actuate, const U256& param);
+
+  [[nodiscard]] std::size_t size() const { return code_.size(); }
+  [[nodiscard]] const Bytes& bytes() const { return code_; }
+  [[nodiscard]] Bytes take() { return std::move(code_); }
+
+  /// Standard deployment wrapper: a constructor that CODECOPYs `runtime`
+  /// into memory and RETURNs it, followed by the runtime itself. `prologue`
+  /// runs inside the constructor before the copy (storage init etc.).
+  static Bytes deployer(const Bytes& runtime, const Bytes& prologue = {});
+
+ private:
+  Bytes code_;
+};
+
+/// One decoded instruction.
+struct DisasmEntry {
+  std::uint64_t pc = 0;
+  std::uint8_t opcode = 0;
+  std::string name;
+  Bytes immediate;
+};
+
+/// Linear disassembly (PUSH immediates consumed; undefined bytes named
+/// "UNDEFINED(0x..)").
+std::vector<DisasmEntry> disassemble(std::span<const std::uint8_t> code);
+
+}  // namespace tinyevm::evm

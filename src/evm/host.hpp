@@ -1,0 +1,136 @@
+// Host interface — everything the interpreter needs from its environment:
+// account state, nested calls, logs, and (TinyEVM's extension) the sensor /
+// actuator bus behind the 0x0c SENSOR opcode.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "crypto/secp256k1.hpp"
+#include "evm/state.hpp"
+#include "u256/u256.hpp"
+
+namespace tinyevm::evm {
+
+using Address = secp256k1::Address;
+
+/// Block header fields exposed by the blockchain opcodes (EVM profile only;
+/// the TinyEVM profile traps on these, paper Table I).
+struct BlockInfo {
+  std::uint64_t number = 0;
+  std::uint64_t timestamp = 0;
+  Address coinbase{};
+  U256 difficulty;
+  std::uint64_t gas_limit = 0;
+};
+
+/// Kind of a nested call requested via CALL/CALLCODE/DELEGATECALL/STATICCALL.
+enum class CallKind : std::uint8_t { Call, CallCode, DelegateCall, StaticCall };
+
+struct CallRequest {
+  CallKind kind = CallKind::Call;
+  Address to{};
+  Address sender{};
+  U256 value;
+  Bytes data;
+  std::int64_t gas = 0;
+  int depth = 0;
+  bool is_static = false;
+};
+
+struct CallResult {
+  bool success = false;
+  Bytes output;
+  std::int64_t gas_left = 0;
+};
+
+struct CreateRequest {
+  Address sender{};
+  U256 value;
+  Bytes init_code;
+  std::int64_t gas = 0;
+  int depth = 0;
+};
+
+struct CreateResult {
+  bool success = false;
+  Address address{};
+  std::int64_t gas_left = 0;
+};
+
+struct LogEntry {
+  Address address{};
+  std::vector<U256> topics;
+  Bytes data;
+};
+
+/// TinyEVM SENSOR opcode request. The opcode pops (selector, parameter):
+/// the selector's low bit chooses read (0) vs actuate (1) and the remaining
+/// bits name the device ("details such as which sensor to use … are given
+/// as options to the opcode", paper §IV-B).
+struct SensorRequest {
+  std::uint32_t device_id = 0;
+  bool actuate = false;
+  U256 parameter;
+};
+
+/// Abstract execution environment. The chain module implements it for
+/// on-chain transactions; the device module implements it for off-chain
+/// execution on a mote (local storage, real sensors, no block data).
+class Host {
+ public:
+  virtual ~Host() = default;
+
+  // -- Account state --
+  virtual U256 sload(const Address& addr, const U256& key) = 0;
+  /// False signals storage exhaustion (TinyEVM's 1 KB side-chain budget).
+  virtual bool sstore(const Address& addr, const U256& key,
+                      const U256& value) = 0;
+  virtual U256 balance(const Address& addr) = 0;
+  virtual Bytes code_at(const Address& addr) = 0;
+
+  // -- Block data (EVM profile only) --
+  virtual BlockInfo block_info() = 0;
+  virtual Hash256 block_hash(std::uint64_t number) = 0;
+
+  // -- Nested execution --
+  virtual CallResult call(const CallRequest& req) = 0;
+  virtual CreateResult create(const CreateRequest& req) = 0;
+
+  // -- Effects --
+  virtual void emit_log(LogEntry entry) = 0;
+  virtual void self_destruct(const Address& addr,
+                             const Address& beneficiary) = 0;
+
+  // -- IoT (TinyEVM profile) --
+  /// Nullopt when the device does not exist or the read fails; failure
+  /// aborts the executing contract.
+  virtual std::optional<U256> sensor_access(const SensorRequest& req) = 0;
+};
+
+/// A Host base with neutral defaults so concrete hosts override only what
+/// their environment supports.
+class NullHost : public Host {
+ public:
+  U256 sload(const Address&, const U256&) override { return U256{}; }
+  bool sstore(const Address&, const U256&, const U256&) override {
+    return true;
+  }
+  U256 balance(const Address&) override { return U256{}; }
+  Bytes code_at(const Address&) override { return {}; }
+  BlockInfo block_info() override { return {}; }
+  Hash256 block_hash(std::uint64_t) override { return {}; }
+  CallResult call(const CallRequest&) override { return {}; }
+  CreateResult create(const CreateRequest&) override { return {}; }
+  void emit_log(LogEntry) override {}
+  void self_destruct(const Address&, const Address&) override {}
+  std::optional<U256> sensor_access(const SensorRequest&) override {
+    return std::nullopt;
+  }
+};
+
+}  // namespace tinyevm::evm

@@ -1,0 +1,216 @@
+#include "evm/opcodes.hpp"
+
+namespace tinyevm::evm {
+namespace {
+
+// Istanbul-era static gas tiers.
+constexpr std::uint16_t kZero = 0;
+constexpr std::uint16_t kBase = 2;
+constexpr std::uint16_t kVeryLow = 3;
+constexpr std::uint16_t kLow = 5;
+constexpr std::uint16_t kMid = 8;
+constexpr std::uint16_t kHigh = 10;
+constexpr std::uint16_t kSha3 = 30;
+constexpr std::uint16_t kSload = 800;
+constexpr std::uint16_t kSstore = 20000;  // dynamic part handled in interpreter
+constexpr std::uint16_t kBalance = 700;
+constexpr std::uint16_t kExt = 700;
+constexpr std::uint16_t kBlockhash = 20;
+constexpr std::uint16_t kJumpdest = 1;
+constexpr std::uint16_t kLog = 375;
+constexpr std::uint16_t kCreate = 32000;
+constexpr std::uint16_t kCall = 700;
+constexpr std::uint16_t kSelfdestruct = 5000;
+
+// Baseline MCU cycle costs for the 32 MHz Cortex-M3 model. 256-bit limb
+// loops dominate: a plain ADD walks 8×32-bit limbs with carries, MUL is a
+// schoolbook product, DIV a bit-by-bit long division. Values are per the
+// paper's observation that one opcode costs "in the order of hundreds of
+// MCU cycles" (§III-C), with expensive opcodes proportionally higher.
+constexpr std::uint32_t kCycStack = 60;      // push/pop/dup/swap: word moves
+constexpr std::uint32_t kCycAdd = 180;       // limb loop with carry
+constexpr std::uint32_t kCycCmp = 140;
+constexpr std::uint32_t kCycBit = 120;
+constexpr std::uint32_t kCycMul = 750;
+constexpr std::uint32_t kCycDiv = 4200;      // binary long division
+constexpr std::uint32_t kCycModArith = 5200; // 512-bit intermediate
+constexpr std::uint32_t kCycExpBase = 2600;  // + per-bit cost in interpreter
+constexpr std::uint32_t kCycSha3Base = 42000;  // keccak-f permutation in SW
+constexpr std::uint32_t kCycMem = 220;       // bounds check + 32-byte copy
+constexpr std::uint32_t kCycStorage = 900;   // slot search + word copy
+constexpr std::uint32_t kCycJump = 90;
+constexpr std::uint32_t kCycEnv = 160;
+constexpr std::uint32_t kCycCopy = 300;      // + per-byte cost in interpreter
+constexpr std::uint32_t kCycCall = 9000;     // frame setup
+constexpr std::uint32_t kCycCreate = 15000;
+constexpr std::uint32_t kCycLog = 1200;
+constexpr std::uint32_t kCycSensor = 12000;  // ADC sampling latency
+
+struct TableBuilder {
+  std::array<OpInfo, 256> table{};
+
+  void def(std::uint8_t op, std::string_view name, OpCategory cat,
+           std::uint8_t in, std::uint8_t out, std::uint16_t gas,
+           std::uint32_t cycles, bool tinyevm) {
+    table[op] = OpInfo{name, cat, in, out, gas, true, tinyevm, cycles};
+  }
+};
+
+std::array<OpInfo, 256> build_table() {
+  TableBuilder b;
+  using C = OpCategory;
+
+  // --- Operation opcodes (27 in both profiles). ---
+  b.def(0x00, "STOP", C::Operation, 0, 0, kZero, 20, true);
+  b.def(0x01, "ADD", C::Operation, 2, 1, kVeryLow, kCycAdd, true);
+  b.def(0x02, "MUL", C::Operation, 2, 1, kLow, kCycMul, true);
+  b.def(0x03, "SUB", C::Operation, 2, 1, kVeryLow, kCycAdd, true);
+  b.def(0x04, "DIV", C::Operation, 2, 1, kLow, kCycDiv, true);
+  b.def(0x05, "SDIV", C::Operation, 2, 1, kLow, kCycDiv + 300, true);
+  b.def(0x06, "MOD", C::Operation, 2, 1, kLow, kCycDiv, true);
+  b.def(0x07, "SMOD", C::Operation, 2, 1, kLow, kCycDiv + 300, true);
+  b.def(0x08, "ADDMOD", C::Operation, 3, 1, kMid, kCycModArith, true);
+  b.def(0x09, "MULMOD", C::Operation, 3, 1, kMid, kCycModArith + 2600, true);
+  b.def(0x0a, "EXP", C::Operation, 2, 1, kHigh, kCycExpBase, true);
+  b.def(0x0b, "SIGNEXTEND", C::Operation, 2, 1, kLow, kCycBit + 80, true);
+  b.def(0x10, "LT", C::Operation, 2, 1, kVeryLow, kCycCmp, true);
+  b.def(0x11, "GT", C::Operation, 2, 1, kVeryLow, kCycCmp, true);
+  b.def(0x12, "SLT", C::Operation, 2, 1, kVeryLow, kCycCmp + 40, true);
+  b.def(0x13, "SGT", C::Operation, 2, 1, kVeryLow, kCycCmp + 40, true);
+  b.def(0x14, "EQ", C::Operation, 2, 1, kVeryLow, kCycCmp, true);
+  b.def(0x15, "ISZERO", C::Operation, 1, 1, kVeryLow, kCycCmp - 40, true);
+  b.def(0x16, "AND", C::Operation, 2, 1, kVeryLow, kCycBit, true);
+  b.def(0x17, "OR", C::Operation, 2, 1, kVeryLow, kCycBit, true);
+  b.def(0x18, "XOR", C::Operation, 2, 1, kVeryLow, kCycBit, true);
+  b.def(0x19, "NOT", C::Operation, 1, 1, kVeryLow, kCycBit - 30, true);
+  b.def(0x1a, "BYTE", C::Operation, 2, 1, kVeryLow, kCycBit, true);
+  b.def(0x1b, "SHL", C::Operation, 2, 1, kVeryLow, kCycBit + 110, true);
+  b.def(0x1c, "SHR", C::Operation, 2, 1, kVeryLow, kCycBit + 110, true);
+  b.def(0x1d, "SAR", C::Operation, 2, 1, kVeryLow, kCycBit + 150, true);
+  b.def(0x20, "SHA3", C::Operation, 2, 1, kSha3, kCycSha3Base, true);
+
+  // --- IoT opcode (TinyEVM only). ---
+  b.def(0x0c, "SENSOR", C::Iot, 2, 1, kZero, kCycSensor, true);
+  b.table[0x0c].defined = false;  // unused slot in the original EVM
+
+  // --- Smart-contract opcodes (25 EVM / 21 TinyEVM). GAS, GASPRICE and the
+  // EXTCODE* pair need live chain state or fee accounting, so the TinyEVM
+  // profile drops them (paper: "no charging for the off-chain
+  // computations"). ---
+  b.def(0x30, "ADDRESS", C::SmartContract, 0, 1, kBase, kCycEnv, true);
+  b.def(0x31, "BALANCE", C::SmartContract, 1, 1, kBalance, kCycEnv + 240, true);
+  b.def(0x32, "ORIGIN", C::SmartContract, 0, 1, kBase, kCycEnv, true);
+  b.def(0x33, "CALLER", C::SmartContract, 0, 1, kBase, kCycEnv, true);
+  b.def(0x34, "CALLVALUE", C::SmartContract, 0, 1, kBase, kCycEnv, true);
+  b.def(0x35, "CALLDATALOAD", C::SmartContract, 1, 1, kVeryLow, kCycMem, true);
+  b.def(0x36, "CALLDATASIZE", C::SmartContract, 0, 1, kBase, kCycEnv, true);
+  b.def(0x37, "CALLDATACOPY", C::SmartContract, 3, 0, kVeryLow, kCycCopy, true);
+  b.def(0x38, "CODESIZE", C::SmartContract, 0, 1, kBase, kCycEnv, true);
+  b.def(0x39, "CODECOPY", C::SmartContract, 3, 0, kVeryLow, kCycCopy, true);
+  b.def(0x3a, "GASPRICE", C::SmartContract, 0, 1, kBase, kCycEnv, false);
+  b.def(0x3b, "EXTCODESIZE", C::SmartContract, 1, 1, kExt, kCycEnv, false);
+  b.def(0x3c, "EXTCODECOPY", C::SmartContract, 4, 0, kExt, kCycCopy, false);
+  b.def(0x3d, "RETURNDATASIZE", C::SmartContract, 0, 1, kBase, kCycEnv, true);
+  b.def(0x3e, "RETURNDATACOPY", C::SmartContract, 3, 0, kVeryLow, kCycCopy,
+        true);
+  b.def(0x5a, "GAS", C::SmartContract, 0, 1, kBase, kCycEnv, false);
+  b.def(0xa0, "LOG0", C::SmartContract, 2, 0, kLog, kCycLog, true);
+  b.def(0xa1, "LOG1", C::SmartContract, 3, 0, kLog * 2, kCycLog + 400, true);
+  b.def(0xa2, "LOG2", C::SmartContract, 4, 0, kLog * 3, kCycLog + 800, true);
+  b.def(0xa3, "LOG3", C::SmartContract, 5, 0, kLog * 4, kCycLog + 1200, true);
+  b.def(0xa4, "LOG4", C::SmartContract, 6, 0, kLog * 5, kCycLog + 1600, true);
+  b.def(0xf0, "CREATE", C::SmartContract, 3, 1, kCreate, kCycCreate, true);
+  b.def(0xf1, "CALL", C::SmartContract, 7, 1, kCall, kCycCall, true);
+  b.def(0xf2, "CALLCODE", C::SmartContract, 7, 1, kCall, kCycCall, true);
+  b.def(0xf3, "RETURN", C::SmartContract, 2, 0, kZero, kCycMem, true);
+  b.def(0xf4, "DELEGATECALL", C::SmartContract, 6, 1, kCall, kCycCall, true);
+  b.def(0xfa, "STATICCALL", C::SmartContract, 6, 1, kCall, kCycCall, true);
+  b.def(0xfd, "REVERT", C::SmartContract, 2, 0, kZero, kCycMem, true);
+  b.def(0xff, "SELFDESTRUCT", C::SmartContract, 1, 0, kSelfdestruct,
+        kCycEnv + 500, true);
+  // INVALID (0xfe) aborts by definition; it is "defined" but belongs to no
+  // category in the paper's census (it is not an *active* operation).
+  b.table[0xfe] =
+      OpInfo{"INVALID", C::Unassigned, 0, 0, 0, true, true, 20};
+
+  // --- Memory opcodes (13 in both; PUSH/DUP/SWAP are families). ---
+  b.def(0x50, "POP", C::Memory, 1, 0, kBase, kCycStack, true);
+  b.def(0x51, "MLOAD", C::Memory, 1, 1, kVeryLow, kCycMem, true);
+  b.def(0x52, "MSTORE", C::Memory, 2, 0, kVeryLow, kCycMem, true);
+  b.def(0x53, "MSTORE8", C::Memory, 2, 0, kVeryLow, kCycMem - 90, true);
+  b.def(0x54, "SLOAD", C::Memory, 1, 1, kSload, kCycStorage, true);
+  b.def(0x55, "SSTORE", C::Memory, 2, 0, kSstore, kCycStorage + 300, true);
+  b.def(0x56, "JUMP", C::Memory, 1, 0, kMid, kCycJump, true);
+  b.def(0x57, "JUMPI", C::Memory, 2, 0, kHigh, kCycJump + 40, true);
+  b.def(0x58, "PC", C::Memory, 0, 1, kBase, kCycStack, true);
+  b.def(0x59, "MSIZE", C::Memory, 0, 1, kBase, kCycStack, true);
+  // JUMPDEST is a position marker consumed by static analysis rather than an
+  // operation; keeping it out of the census reproduces the paper's counts
+  // (13 memory opcodes, 71 active total).
+  b.def(0x5b, "JUMPDEST", C::Unassigned, 0, 0, kJumpdest, 10, true);
+  for (unsigned op = 0x60; op <= 0x7f; ++op) {
+    b.def(static_cast<std::uint8_t>(op), "PUSH", C::Memory, 0, 1, kVeryLow,
+          kCycStack + (op - 0x5f) * 6, true);
+  }
+  for (unsigned op = 0x80; op <= 0x8f; ++op) {
+    b.def(static_cast<std::uint8_t>(op), "DUP", C::Memory,
+          static_cast<std::uint8_t>(op - 0x7f), 0, kVeryLow, kCycStack, true);
+    b.table[op].stack_out = static_cast<std::uint8_t>(op - 0x7f + 1);
+  }
+  for (unsigned op = 0x90; op <= 0x9f; ++op) {
+    b.def(static_cast<std::uint8_t>(op), "SWAP", C::Memory,
+          static_cast<std::uint8_t>(op - 0x8e), 0, kVeryLow, kCycStack + 30,
+          true);
+    b.table[op].stack_out = static_cast<std::uint8_t>(op - 0x8e);
+  }
+
+  // --- Blockchain opcodes (6; EVM profile only). ---
+  b.def(0x40, "BLOCKHASH", C::Blockchain, 1, 1, kBlockhash, kCycEnv, false);
+  b.def(0x41, "COINBASE", C::Blockchain, 0, 1, kBase, kCycEnv, false);
+  b.def(0x42, "TIMESTAMP", C::Blockchain, 0, 1, kBase, kCycEnv, false);
+  b.def(0x43, "NUMBER", C::Blockchain, 0, 1, kBase, kCycEnv, false);
+  b.def(0x44, "DIFFICULTY", C::Blockchain, 0, 1, kBase, kCycEnv, false);
+  b.def(0x45, "GASLIMIT", C::Blockchain, 0, 1, kBase, kCycEnv, false);
+
+  return b.table;
+}
+
+}  // namespace
+
+const std::array<OpInfo, 256>& opcode_table() {
+  static const std::array<OpInfo, 256> kTable = build_table();
+  return kTable;
+}
+
+const OpInfo& info(Opcode op) { return info(static_cast<std::uint8_t>(op)); }
+const OpInfo& info(std::uint8_t raw) { return opcode_table()[raw]; }
+
+CategoryCensus census(bool tinyevm_profile) {
+  CategoryCensus out;
+  const auto& table = opcode_table();
+  for (unsigned op = 0; op < 256; ++op) {
+    const OpInfo& inf = table[op];
+    const bool active = tinyevm_profile
+                            ? inf.tinyevm && (inf.defined || op == 0x0c)
+                            : inf.defined;
+    if (!active || inf.category == OpCategory::Unassigned) continue;
+    // Families: only the first member of PUSH/DUP/SWAP/LOG counts.
+    if ((is_push(static_cast<std::uint8_t>(op)) && op != 0x60) ||
+        (is_dup(static_cast<std::uint8_t>(op)) && op != 0x80) ||
+        (is_swap(static_cast<std::uint8_t>(op)) && op != 0x90) ||
+        (is_log(static_cast<std::uint8_t>(op)) && op != 0xa0)) {
+      continue;
+    }
+    switch (inf.category) {
+      case OpCategory::Operation: ++out.operation; break;
+      case OpCategory::SmartContract: ++out.smart_contract; break;
+      case OpCategory::Memory: ++out.memory; break;
+      case OpCategory::Blockchain: ++out.blockchain; break;
+      case OpCategory::Iot: ++out.iot; break;
+      case OpCategory::Unassigned: break;
+    }
+  }
+  return out;
+}
+
+}  // namespace tinyevm::evm

@@ -1,0 +1,176 @@
+// EVM opcode set and metadata.
+//
+// The paper (Table I) groups the 71 active opcodes of the 2019-era EVM into
+// five categories and specifies which survive in TinyEVM:
+//
+//   category          EVM   TinyEVM   composition (families count once)
+//   operation          27     27      STOP + arithmetic + compare/bitwise + SHA3
+//   smart contract     25     21      env/call/return family minus GAS,
+//                                     GASPRICE, EXTCODESIZE, EXTCODECOPY
+//   memory             13     13      stack/memory/storage/jump family
+//   blockchain          6      -      BLOCKHASH..GASLIMIT, all removed
+//   IoT                 -      1      SENSOR (0x0c, a formerly-unused opcode)
+//
+// PUSH1-32, DUP1-16, SWAP1-16 and LOG0-4 count as one family member each,
+// which reproduces both the per-category counts and the 71-opcode total.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace tinyevm::evm {
+
+enum class Opcode : std::uint8_t {
+  STOP = 0x00,
+  ADD = 0x01,
+  MUL = 0x02,
+  SUB = 0x03,
+  DIV = 0x04,
+  SDIV = 0x05,
+  MOD = 0x06,
+  SMOD = 0x07,
+  ADDMOD = 0x08,
+  MULMOD = 0x09,
+  EXP = 0x0a,
+  SIGNEXTEND = 0x0b,
+  SENSOR = 0x0c,  // TinyEVM IoT opcode (unused slot in the original EVM)
+
+  LT = 0x10,
+  GT = 0x11,
+  SLT = 0x12,
+  SGT = 0x13,
+  EQ = 0x14,
+  ISZERO = 0x15,
+  AND = 0x16,
+  OR = 0x17,
+  XOR = 0x18,
+  NOT = 0x19,
+  BYTE = 0x1a,
+  SHL = 0x1b,
+  SHR = 0x1c,
+  SAR = 0x1d,
+
+  SHA3 = 0x20,
+
+  ADDRESS = 0x30,
+  BALANCE = 0x31,
+  ORIGIN = 0x32,
+  CALLER = 0x33,
+  CALLVALUE = 0x34,
+  CALLDATALOAD = 0x35,
+  CALLDATASIZE = 0x36,
+  CALLDATACOPY = 0x37,
+  CODESIZE = 0x38,
+  CODECOPY = 0x39,
+  GASPRICE = 0x3a,
+  EXTCODESIZE = 0x3b,
+  EXTCODECOPY = 0x3c,
+  RETURNDATASIZE = 0x3d,
+  RETURNDATACOPY = 0x3e,
+
+  BLOCKHASH = 0x40,
+  COINBASE = 0x41,
+  TIMESTAMP = 0x42,
+  NUMBER = 0x43,
+  DIFFICULTY = 0x44,
+  GASLIMIT = 0x45,
+
+  POP = 0x50,
+  MLOAD = 0x51,
+  MSTORE = 0x52,
+  MSTORE8 = 0x53,
+  SLOAD = 0x54,
+  SSTORE = 0x55,
+  JUMP = 0x56,
+  JUMPI = 0x57,
+  PC = 0x58,
+  MSIZE = 0x59,
+  GAS = 0x5a,
+  JUMPDEST = 0x5b,
+
+  PUSH1 = 0x60,
+  // ... PUSH2..PUSH32 are 0x61..0x7f
+  PUSH32 = 0x7f,
+  DUP1 = 0x80,
+  DUP16 = 0x8f,
+  SWAP1 = 0x90,
+  SWAP16 = 0x9f,
+  LOG0 = 0xa0,
+  LOG4 = 0xa4,
+
+  CREATE = 0xf0,
+  CALL = 0xf1,
+  CALLCODE = 0xf2,
+  RETURN = 0xf3,
+  DELEGATECALL = 0xf4,
+  STATICCALL = 0xfa,
+  REVERT = 0xfd,
+  INVALID = 0xfe,
+  SELFDESTRUCT = 0xff,
+};
+
+/// Paper Table I categories.
+enum class OpCategory : std::uint8_t {
+  Operation,      ///< computation: arithmetic, compare, bitwise, SHA3, STOP
+  SmartContract,  ///< environment, calls, returns, logs, lifecycle
+  Memory,         ///< stack / RAM / storage / control-flow family
+  Blockchain,     ///< block-header introspection (absent in TinyEVM)
+  Iot,            ///< TinyEVM sensor/actuator extension
+  Unassigned,     ///< not an active opcode
+};
+
+struct OpInfo {
+  std::string_view name;
+  OpCategory category = OpCategory::Unassigned;
+  std::uint8_t stack_in = 0;    ///< operands popped
+  std::uint8_t stack_out = 0;   ///< results pushed
+  std::uint16_t base_gas = 0;   ///< static gas charge (Istanbul-era values)
+  bool defined = false;         ///< active in the original EVM
+  bool tinyevm = false;         ///< active in the TinyEVM profile
+  /// Baseline MCU cycles to execute on the modeled 32 MHz Cortex-M3
+  /// (256-bit emulation: "hundreds of cycles" per opcode, paper §III-C).
+  std::uint32_t mcu_cycles = 0;
+};
+
+/// Metadata for every possible byte value (undefined entries have
+/// `defined == false`).
+const std::array<OpInfo, 256>& opcode_table();
+
+[[nodiscard]] const OpInfo& info(Opcode op);
+[[nodiscard]] const OpInfo& info(std::uint8_t raw);
+
+/// PUSH1..PUSH32 immediate size; 0 for non-push opcodes.
+[[nodiscard]] constexpr unsigned push_size(std::uint8_t op) {
+  return (op >= 0x60 && op <= 0x7f) ? op - 0x5f : 0;
+}
+[[nodiscard]] constexpr bool is_push(std::uint8_t op) {
+  return op >= 0x60 && op <= 0x7f;
+}
+[[nodiscard]] constexpr bool is_dup(std::uint8_t op) {
+  return op >= 0x80 && op <= 0x8f;
+}
+[[nodiscard]] constexpr bool is_swap(std::uint8_t op) {
+  return op >= 0x90 && op <= 0x9f;
+}
+[[nodiscard]] constexpr bool is_log(std::uint8_t op) {
+  return op >= 0xa0 && op <= 0xa4;
+}
+
+/// Category census used by the Table I benchmark: counts *family* members
+/// (PUSH/DUP/SWAP/LOG collapse to one entry each) to match the paper's
+/// accounting.
+struct CategoryCensus {
+  unsigned operation = 0;
+  unsigned smart_contract = 0;
+  unsigned memory = 0;
+  unsigned blockchain = 0;
+  unsigned iot = 0;
+  [[nodiscard]] unsigned total() const {
+    return operation + smart_contract + memory + blockchain + iot;
+  }
+};
+[[nodiscard]] CategoryCensus census(bool tinyevm_profile);
+
+}  // namespace tinyevm::evm

@@ -1,0 +1,171 @@
+// VM state containers: operand stack, byte-addressed memory, and the two
+// storage flavours (256-bit Ethereum keys vs TinyEVM's 8-bit / 1 KB
+// side-chain storage, paper Table I).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "u256/u256.hpp"
+
+namespace tinyevm::evm {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Operand stack with a configurable element limit (Ethereum: 1024 elements;
+/// TinyEVM: 3 KB = 96 elements, paper §VI-A). Tracks the maximum stack
+/// pointer reached, which Figure 3c reports per contract.
+class Stack {
+ public:
+  explicit Stack(std::size_t limit) : limit_(limit) { data_.reserve(64); }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t limit() const { return limit_; }
+  [[nodiscard]] std::size_t max_pointer() const { return max_pointer_; }
+
+  /// False on overflow.
+  [[nodiscard]] bool push(const U256& v) {
+    if (data_.size() >= limit_) return false;
+    data_.push_back(v);
+    max_pointer_ = std::max(max_pointer_, data_.size());
+    return true;
+  }
+  /// Nullopt on underflow.
+  std::optional<U256> pop() {
+    if (data_.empty()) return std::nullopt;
+    U256 v = data_.back();
+    data_.pop_back();
+    return v;
+  }
+  /// Peek at depth n from the top (0 == top); nullopt if out of range.
+  [[nodiscard]] std::optional<U256> peek(std::size_t n = 0) const {
+    if (n >= data_.size()) return std::nullopt;
+    return data_[data_.size() - 1 - n];
+  }
+  /// DUPn: duplicate the n-th item (1-based) onto the top.
+  [[nodiscard]] bool dup(unsigned n) {
+    if (n == 0 || n > data_.size()) return false;
+    return push(data_[data_.size() - n]);
+  }
+  /// SWAPn: exchange top with the (n+1)-th item (1-based n).
+  [[nodiscard]] bool swap(unsigned n) {
+    if (n == 0 || n + 1 > data_.size()) return false;
+    std::swap(data_.back(), data_[data_.size() - 1 - n]);
+    return true;
+  }
+
+ private:
+  std::vector<U256> data_;
+  std::size_t limit_;
+  std::size_t max_pointer_ = 0;
+};
+
+/// Byte-addressed, zero-initialized, word-expanding memory. A non-zero
+/// `limit` caps growth (TinyEVM: 8 KB); Ethereum-mode growth is bounded by
+/// gas instead. Peak size feeds the Figure 3a/3b memory-usage statistics.
+class Memory {
+ public:
+  explicit Memory(std::size_t limit) : limit_(limit) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t peak() const { return data_.size(); }
+
+  /// Grows to cover [offset, offset+len) rounded up to 32-byte words.
+  /// False when the growth would exceed the configured limit.
+  [[nodiscard]] bool expand(std::uint64_t offset, std::uint64_t len) {
+    if (len == 0) return true;
+    const std::uint64_t end = offset + len;
+    if (end < offset) return false;  // address overflow
+    const std::uint64_t words = (end + 31) / 32;
+    const std::uint64_t target = words * 32;
+    if (limit_ != 0 && target > limit_) return false;
+    if (target > data_.size()) data_.resize(target, 0);
+    return true;
+  }
+
+  [[nodiscard]] U256 load_word(std::uint64_t offset) const {
+    std::array<std::uint8_t, 32> buf{};
+    for (unsigned i = 0; i < 32; ++i) {
+      if (offset + i < data_.size()) buf[i] = data_[offset + i];
+    }
+    return U256::from_word(buf);
+  }
+  void store_word(std::uint64_t offset, const U256& v) {
+    const auto w = v.to_word();
+    std::copy(w.begin(), w.end(), data_.begin() + static_cast<long>(offset));
+  }
+  void store_byte(std::uint64_t offset, std::uint8_t b) { data_[offset] = b; }
+  /// Copies `src` into memory, zero-filling when src is shorter than len
+  /// (EVM *COPY semantics).
+  void store_bytes(std::uint64_t offset, std::span<const std::uint8_t> src,
+                   std::uint64_t src_offset, std::uint64_t len) {
+    for (std::uint64_t i = 0; i < len; ++i) {
+      const std::uint64_t s = src_offset + i;
+      data_[offset + i] = s < src.size() ? src[s] : 0;
+    }
+  }
+  [[nodiscard]] Bytes read(std::uint64_t offset, std::uint64_t len) const {
+    Bytes out(len, 0);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      if (offset + i < data_.size()) out[i] = data_[offset + i];
+    }
+    return out;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> view() const { return data_; }
+
+ private:
+  Bytes data_;
+  std::size_t limit_;
+};
+
+/// TinyEVM side-chain storage: keys truncated to 8 bits (256 slots) with a
+/// 1 KB byte budget — 32 words of 32 bytes. SSTORE beyond the budget fails
+/// the execution, mirroring the paper's fixed allocation (Table I: "8-bit
+/// storage space"; §VI-A: "1 KB for off-chain storage").
+class TinyStorage {
+ public:
+  /// `byte_limit == 0` means unbounded (the Ethereum-profile convention
+  /// used across VmConfig limits).
+  explicit TinyStorage(std::size_t byte_limit = 1024)
+      : slot_limit_(byte_limit == 0 ? SIZE_MAX : byte_limit / 32) {}
+
+  [[nodiscard]] U256 load(const U256& key) const {
+    const auto it = slots_.find(truncate(key));
+    return it == slots_.end() ? U256{} : it->second;
+  }
+  /// False when the slot budget is exhausted by a new key.
+  [[nodiscard]] bool store(const U256& key, const U256& value) {
+    const std::uint8_t k = truncate(key);
+    const auto it = slots_.find(k);
+    if (it != slots_.end()) {
+      if (value.is_zero()) {
+        slots_.erase(it);
+      } else {
+        it->second = value;
+      }
+      return true;
+    }
+    if (value.is_zero()) return true;
+    if (slots_.size() >= slot_limit_) return false;
+    slots_.emplace(k, value);
+    return true;
+  }
+  [[nodiscard]] std::size_t used_slots() const { return slots_.size(); }
+  [[nodiscard]] std::size_t slot_limit() const { return slot_limit_; }
+  [[nodiscard]] const std::map<std::uint8_t, U256>& slots() const {
+    return slots_;
+  }
+
+  static std::uint8_t truncate(const U256& key) {
+    return static_cast<std::uint8_t>(key.limb(0) & 0xFF);
+  }
+
+ private:
+  std::map<std::uint8_t, U256> slots_;
+  std::size_t slot_limit_;
+};
+
+}  // namespace tinyevm::evm

@@ -1,0 +1,778 @@
+#include "evm/vm.hpp"
+
+#include <cstring>
+
+#include "crypto/hash.hpp"
+
+namespace tinyevm::evm {
+
+std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::Success: return "success";
+    case Status::Revert: return "revert";
+    case Status::OutOfGas: return "out of gas";
+    case Status::StackOverflow: return "stack overflow";
+    case Status::StackUnderflow: return "stack underflow";
+    case Status::OutOfMemory: return "out of memory";
+    case Status::StorageExhausted: return "storage exhausted";
+    case Status::InvalidJump: return "invalid jump";
+    case Status::InvalidOpcode: return "invalid opcode";
+    case Status::ForbiddenOpcode: return "forbidden opcode";
+    case Status::SensorFailure: return "sensor failure";
+    case Status::CallDepthExceeded: return "call depth exceeded";
+    case Status::StaticViolation: return "static violation";
+    case Status::WatchdogExpired: return "watchdog expired";
+  }
+  return "unknown";
+}
+
+CodeAnalysis::CodeAnalysis(std::span<const std::uint8_t> code)
+    : jumpdest_(code.size(), false) {
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const std::uint8_t op = code[pc];
+    if (op == static_cast<std::uint8_t>(Opcode::JUMPDEST)) {
+      jumpdest_[pc] = true;
+    } else if (is_push(op)) {
+      pc += push_size(op);  // immediates are data, never jump targets
+    }
+  }
+}
+
+namespace {
+
+/// Interpreter frame; created per message and torn down when the run ends.
+class Frame {
+ public:
+  Frame(const VmConfig& config, Host& host, const Message& msg)
+      : config_(config),
+        host_(host),
+        msg_(msg),
+        analysis_(msg.code),
+        stack_(config.stack_limit),
+        memory_(config.memory_limit),
+        gas_(msg.gas) {}
+
+  ExecResult run();
+
+ private:
+  // -- helpers --------------------------------------------------------
+  [[nodiscard]] bool charge(std::int64_t amount) {
+    if (!config_.metering) return true;
+    gas_ -= amount;
+    return gas_ >= 0;
+  }
+
+  /// Quadratic memory-expansion gas (Ethereum profile); hard cap check
+  /// (TinyEVM profile) happens inside Memory::expand.
+  [[nodiscard]] bool charge_memory(std::uint64_t offset, std::uint64_t len) {
+    if (len == 0) return true;
+    if (!config_.metering) return true;
+    const std::uint64_t end = offset + len;
+    if (end < offset) return false;
+    const std::uint64_t new_words = (end + 31) / 32;
+    const std::uint64_t old_words = (memory_.size() + 31) / 32;
+    if (new_words <= old_words) return true;
+    auto cost = [](std::uint64_t w) {
+      return static_cast<std::int64_t>(3 * w + w * w / 512);
+    };
+    return charge(cost(new_words) - cost(old_words));
+  }
+
+  /// Pops a memory (offset, length) pair, validating both fit in 64 bits.
+  struct MemRange {
+    std::uint64_t offset;
+    std::uint64_t len;
+  };
+  std::optional<MemRange> pop_range() {
+    const auto off = stack_.pop();
+    const auto len = stack_.pop();
+    if (!off || !len) {
+      fail(Status::StackUnderflow);
+      return std::nullopt;
+    }
+    if (!len->is_zero() && (!off->fits_u64() || !len->fits_u64())) {
+      fail(config_.metering ? Status::OutOfGas : Status::OutOfMemory);
+      return std::nullopt;
+    }
+    return MemRange{off->fits_u64() ? off->as_u64() : 0, len->as_u64()};
+  }
+
+  /// Prepares a memory range: expansion gas + hard-cap growth.
+  bool grow(std::uint64_t offset, std::uint64_t len) {
+    if (!charge_memory(offset, len)) {
+      fail(Status::OutOfGas);
+      return false;
+    }
+    if (!memory_.expand(offset, len)) {
+      fail(Status::OutOfMemory);
+      return false;
+    }
+    return true;
+  }
+
+  void fail(Status status) {
+    status_ = status;
+    done_ = true;
+  }
+
+  bool push(const U256& v) {
+    if (!stack_.push(v)) {
+      fail(Status::StackOverflow);
+      return false;
+    }
+    return true;
+  }
+
+  std::optional<U256> pop() {
+    auto v = stack_.pop();
+    if (!v) fail(Status::StackUnderflow);
+    return v;
+  }
+
+  void step();
+  void op_sensor();
+  void op_sha3();
+  void op_copy(std::span<const std::uint8_t> src, bool external_code);
+  void op_log(unsigned topic_count);
+  void op_create();
+  void op_call(CallKind kind);
+  void op_return(bool revert);
+  void op_sstore();
+  void op_exp();
+
+  // -- state ----------------------------------------------------------
+  const VmConfig& config_;
+  Host& host_;
+  const Message& msg_;
+  CodeAnalysis analysis_;
+  Stack stack_;
+  Memory memory_;
+  Bytes return_data_;  // last nested-call output (RETURNDATA*)
+  Bytes output_;
+  std::uint64_t pc_ = 0;
+  std::int64_t gas_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t ops_ = 0;
+  Status status_ = Status::Success;
+  bool done_ = false;
+};
+
+ExecResult Frame::run() {
+  if (msg_.depth > config_.max_call_depth) {
+    return ExecResult{Status::CallDepthExceeded, {}, gas_, {}};
+  }
+  while (!done_) {
+    if (pc_ >= msg_.code.size()) break;  // implicit STOP
+    step();
+  }
+  ExecResult result;
+  result.status = status_;
+  result.output = std::move(output_);
+  result.gas_left = status_ == Status::Success || status_ == Status::Revert
+                        ? gas_
+                        : 0;
+  result.stats.max_stack_pointer = stack_.max_pointer();
+  result.stats.peak_memory = memory_.peak();
+  result.stats.ops_executed = ops_;
+  result.stats.mcu_cycles = cycles_;
+  return result;
+}
+
+void Frame::step() {
+  const std::uint8_t op = msg_.code[pc_];
+  const OpInfo& inf = info(op);
+
+  const bool profile_tiny = config_.profile == VmProfile::TinyEvm;
+  if (!inf.defined && !(profile_tiny && op == 0x0c && config_.iot_opcodes)) {
+    fail(Status::InvalidOpcode);
+    return;
+  }
+  if (profile_tiny && !inf.tinyevm) {
+    fail(Status::ForbiddenOpcode);
+    return;
+  }
+  if (!profile_tiny) {
+    if (op == 0x0c) {
+      fail(Status::InvalidOpcode);  // SENSOR unknown to the original EVM
+      return;
+    }
+    if (inf.category == OpCategory::Blockchain && !config_.block_opcodes) {
+      fail(Status::ForbiddenOpcode);
+      return;
+    }
+  }
+
+  if (!charge(inf.base_gas)) {
+    fail(Status::OutOfGas);
+    return;
+  }
+  cycles_ += inf.mcu_cycles;
+  ++ops_;
+  if (config_.max_ops != 0 && ops_ > config_.max_ops) {
+    fail(Status::WatchdogExpired);
+    return;
+  }
+  ++pc_;  // opcodes below adjust pc_ for jumps/push immediates
+
+  const auto opcode = static_cast<Opcode>(op);
+
+  // PUSH/DUP/SWAP/LOG families first (range dispatch).
+  if (is_push(op)) {
+    const unsigned n = push_size(op);
+    std::array<std::uint8_t, 32> imm{};
+    for (unsigned i = 0; i < n; ++i) {
+      const std::uint64_t idx = pc_ + i;
+      imm[32 - n + i] = idx < msg_.code.size() ? msg_.code[idx] : 0;
+    }
+    pc_ += n;
+    push(U256::from_word(imm));
+    return;
+  }
+  if (is_dup(op)) {
+    if (!stack_.dup(op - 0x7f)) {
+      fail(stack_.size() >= config_.stack_limit ? Status::StackOverflow
+                                                : Status::StackUnderflow);
+    }
+    return;
+  }
+  if (is_swap(op)) {
+    if (!stack_.swap(op - 0x8f)) fail(Status::StackUnderflow);
+    return;
+  }
+  if (is_log(op)) {
+    op_log(op - 0xa0);
+    return;
+  }
+
+  switch (opcode) {
+    case Opcode::STOP:
+      done_ = true;
+      return;
+
+    // --- binary arithmetic / comparison / bitwise ---
+    case Opcode::ADD:
+    case Opcode::MUL:
+    case Opcode::SUB:
+    case Opcode::DIV:
+    case Opcode::SDIV:
+    case Opcode::MOD:
+    case Opcode::SMOD:
+    case Opcode::LT:
+    case Opcode::GT:
+    case Opcode::SLT:
+    case Opcode::SGT:
+    case Opcode::EQ:
+    case Opcode::AND:
+    case Opcode::OR:
+    case Opcode::XOR:
+    case Opcode::BYTE:
+    case Opcode::SHL:
+    case Opcode::SHR:
+    case Opcode::SAR:
+    case Opcode::SIGNEXTEND: {
+      const auto a = pop();
+      const auto b = pop();
+      if (!a || !b) return;
+      U256 r;
+      switch (opcode) {
+        case Opcode::ADD: r = *a + *b; break;
+        case Opcode::MUL: r = *a * *b; break;
+        case Opcode::SUB: r = *a - *b; break;
+        case Opcode::DIV: r = *a / *b; break;
+        case Opcode::SDIV: r = U256::sdiv(*a, *b); break;
+        case Opcode::MOD: r = *a % *b; break;
+        case Opcode::SMOD: r = U256::smod(*a, *b); break;
+        case Opcode::LT: r = U256{*a < *b ? 1ULL : 0ULL}; break;
+        case Opcode::GT: r = U256{*a > *b ? 1ULL : 0ULL}; break;
+        case Opcode::SLT: r = U256{U256::slt(*a, *b) ? 1ULL : 0ULL}; break;
+        case Opcode::SGT: r = U256{U256::sgt(*a, *b) ? 1ULL : 0ULL}; break;
+        case Opcode::EQ: r = U256{*a == *b ? 1ULL : 0ULL}; break;
+        case Opcode::AND: r = *a & *b; break;
+        case Opcode::OR: r = *a | *b; break;
+        case Opcode::XOR: r = *a ^ *b; break;
+        case Opcode::BYTE: r = U256::byte(*a, *b); break;
+        case Opcode::SHL:
+          r = a->fits_u64() && a->as_u64() < 256
+                  ? (*b << static_cast<unsigned>(a->as_u64()))
+                  : U256{};
+          break;
+        case Opcode::SHR:
+          r = a->fits_u64() && a->as_u64() < 256
+                  ? (*b >> static_cast<unsigned>(a->as_u64()))
+                  : U256{};
+          break;
+        case Opcode::SAR: r = U256::sar(*a, *b); break;
+        case Opcode::SIGNEXTEND: r = U256::signextend(*a, *b); break;
+        default: return;  // unreachable
+      }
+      push(r);
+      return;
+    }
+
+    case Opcode::ADDMOD:
+    case Opcode::MULMOD: {
+      const auto a = pop();
+      const auto b = pop();
+      const auto m = pop();
+      if (!a || !b || !m) return;
+      push(opcode == Opcode::ADDMOD ? U256::addmod(*a, *b, *m)
+                                    : U256::mulmod(*a, *b, *m));
+      return;
+    }
+
+    case Opcode::EXP:
+      op_exp();
+      return;
+
+    case Opcode::ISZERO:
+    case Opcode::NOT: {
+      const auto a = pop();
+      if (!a) return;
+      push(opcode == Opcode::ISZERO ? U256{a->is_zero() ? 1ULL : 0ULL} : ~*a);
+      return;
+    }
+
+    case Opcode::SENSOR:
+      op_sensor();
+      return;
+
+    case Opcode::SHA3:
+      op_sha3();
+      return;
+
+    // --- environment ---
+    case Opcode::ADDRESS:
+      push(U256::from_bytes(msg_.self));
+      return;
+    case Opcode::ORIGIN:
+      push(U256::from_bytes(msg_.origin));
+      return;
+    case Opcode::CALLER:
+      push(U256::from_bytes(msg_.caller));
+      return;
+    case Opcode::CALLVALUE:
+      push(msg_.value);
+      return;
+    case Opcode::BALANCE: {
+      const auto a = pop();
+      if (!a) return;
+      Address addr{};
+      const auto w = a->to_word();
+      std::memcpy(addr.data(), w.data() + 12, 20);
+      push(host_.balance(addr));
+      return;
+    }
+    case Opcode::CALLDATALOAD: {
+      const auto off = pop();
+      if (!off) return;
+      std::array<std::uint8_t, 32> buf{};
+      if (off->fits_u64()) {
+        const std::uint64_t o = off->as_u64();
+        for (unsigned i = 0; i < 32; ++i) {
+          if (o + i < msg_.data.size()) buf[i] = msg_.data[o + i];
+        }
+      }
+      push(U256::from_word(buf));
+      return;
+    }
+    case Opcode::CALLDATASIZE:
+      push(U256{msg_.data.size()});
+      return;
+    case Opcode::CODESIZE:
+      push(U256{msg_.code.size()});
+      return;
+    case Opcode::RETURNDATASIZE:
+      push(U256{return_data_.size()});
+      return;
+    case Opcode::CALLDATACOPY:
+      op_copy(msg_.data, false);
+      return;
+    case Opcode::CODECOPY:
+      op_copy(msg_.code, false);
+      return;
+    case Opcode::RETURNDATACOPY:
+      op_copy(return_data_, false);
+      return;
+    case Opcode::GASPRICE:
+      push(U256{1});  // flat price in the simulated chain
+      return;
+    case Opcode::EXTCODESIZE: {
+      const auto a = pop();
+      if (!a) return;
+      Address addr{};
+      const auto w = a->to_word();
+      std::memcpy(addr.data(), w.data() + 12, 20);
+      push(U256{host_.code_at(addr).size()});
+      return;
+    }
+    case Opcode::EXTCODECOPY: {
+      const auto a = pop();
+      if (!a) return;
+      Address addr{};
+      const auto w = a->to_word();
+      std::memcpy(addr.data(), w.data() + 12, 20);
+      op_copy(host_.code_at(addr), true);
+      return;
+    }
+
+    // --- block data ---
+    case Opcode::BLOCKHASH: {
+      const auto n = pop();
+      if (!n) return;
+      push(n->fits_u64()
+               ? U256::from_bytes(host_.block_hash(n->as_u64()))
+               : U256{});
+      return;
+    }
+    case Opcode::COINBASE:
+      push(U256::from_bytes(host_.block_info().coinbase));
+      return;
+    case Opcode::TIMESTAMP:
+      push(U256{host_.block_info().timestamp});
+      return;
+    case Opcode::NUMBER:
+      push(U256{host_.block_info().number});
+      return;
+    case Opcode::DIFFICULTY:
+      push(host_.block_info().difficulty);
+      return;
+    case Opcode::GASLIMIT:
+      push(U256{host_.block_info().gas_limit});
+      return;
+
+    // --- stack / memory / storage / control flow ---
+    case Opcode::POP:
+      pop();
+      return;
+    case Opcode::MLOAD: {
+      const auto off = pop();
+      if (!off) return;
+      if (!off->fits_u64()) {
+        fail(config_.metering ? Status::OutOfGas : Status::OutOfMemory);
+        return;
+      }
+      if (!grow(off->as_u64(), 32)) return;
+      push(memory_.load_word(off->as_u64()));
+      return;
+    }
+    case Opcode::MSTORE: {
+      const auto off = pop();
+      const auto val = pop();
+      if (!off || !val) return;
+      if (!off->fits_u64()) {
+        fail(config_.metering ? Status::OutOfGas : Status::OutOfMemory);
+        return;
+      }
+      if (!grow(off->as_u64(), 32)) return;
+      memory_.store_word(off->as_u64(), *val);
+      return;
+    }
+    case Opcode::MSTORE8: {
+      const auto off = pop();
+      const auto val = pop();
+      if (!off || !val) return;
+      if (!off->fits_u64()) {
+        fail(config_.metering ? Status::OutOfGas : Status::OutOfMemory);
+        return;
+      }
+      if (!grow(off->as_u64(), 1)) return;
+      memory_.store_byte(off->as_u64(),
+                         static_cast<std::uint8_t>(val->limb(0) & 0xFF));
+      return;
+    }
+    case Opcode::SLOAD: {
+      const auto key = pop();
+      if (!key) return;
+      push(host_.sload(msg_.self, *key));
+      return;
+    }
+    case Opcode::SSTORE:
+      op_sstore();
+      return;
+    case Opcode::JUMP: {
+      const auto dest = pop();
+      if (!dest) return;
+      if (!dest->fits_u64() || !analysis_.valid_jumpdest(dest->as_u64())) {
+        fail(Status::InvalidJump);
+        return;
+      }
+      pc_ = dest->as_u64();
+      return;
+    }
+    case Opcode::JUMPI: {
+      const auto dest = pop();
+      const auto cond = pop();
+      if (!dest || !cond) return;
+      if (cond->is_zero()) return;
+      if (!dest->fits_u64() || !analysis_.valid_jumpdest(dest->as_u64())) {
+        fail(Status::InvalidJump);
+        return;
+      }
+      pc_ = dest->as_u64();
+      return;
+    }
+    case Opcode::PC:
+      push(U256{pc_ - 1});
+      return;
+    case Opcode::MSIZE:
+      push(U256{memory_.size()});
+      return;
+    case Opcode::GAS:
+      push(U256{static_cast<std::uint64_t>(gas_ > 0 ? gas_ : 0)});
+      return;
+    case Opcode::JUMPDEST:
+      return;
+
+    // --- lifecycle ---
+    case Opcode::CREATE:
+      op_create();
+      return;
+    case Opcode::CALL:
+    case Opcode::CALLCODE:
+      op_call(opcode == Opcode::CALL ? CallKind::Call : CallKind::CallCode);
+      return;
+    case Opcode::DELEGATECALL:
+      op_call(CallKind::DelegateCall);
+      return;
+    case Opcode::STATICCALL:
+      op_call(CallKind::StaticCall);
+      return;
+    case Opcode::RETURN:
+      op_return(false);
+      return;
+    case Opcode::REVERT:
+      op_return(true);
+      return;
+    case Opcode::INVALID:
+      fail(Status::InvalidOpcode);
+      return;
+    case Opcode::SELFDESTRUCT: {
+      if (msg_.is_static) {
+        fail(Status::StaticViolation);
+        return;
+      }
+      const auto a = pop();
+      if (!a) return;
+      Address beneficiary{};
+      const auto w = a->to_word();
+      std::memcpy(beneficiary.data(), w.data() + 12, 20);
+      host_.self_destruct(msg_.self, beneficiary);
+      done_ = true;
+      return;
+    }
+
+    default:
+      fail(Status::InvalidOpcode);
+      return;
+  }
+}
+
+void Frame::op_exp() {
+  const auto base = pop();
+  const auto e = pop();
+  if (!base || !e) return;
+  const unsigned exp_bytes = e->byte_length();
+  if (!charge(static_cast<std::int64_t>(50) * exp_bytes)) {
+    fail(Status::OutOfGas);
+    return;
+  }
+  cycles_ += 900ULL * exp_bytes;  // square-and-multiply per exponent byte
+  push(U256::exp(*base, *e));
+}
+
+void Frame::op_sensor() {
+  if (config_.profile != VmProfile::TinyEvm || !config_.iot_opcodes) {
+    fail(Status::InvalidOpcode);
+    return;
+  }
+  if (msg_.is_static) {
+    // Reads are pure but actuation mutates the world; the selector decides,
+    // so conservatively forbid both under STATICCALL.
+    fail(Status::StaticViolation);
+    return;
+  }
+  const auto selector = pop();
+  const auto param = pop();
+  if (!selector || !param) return;
+  SensorRequest req;
+  req.actuate = selector->bit(0);
+  req.device_id = static_cast<std::uint32_t>((selector->limb(0) >> 1) &
+                                             0x7FFFFFFFULL);
+  req.parameter = *param;
+  const auto reading = host_.sensor_access(req);
+  if (!reading) {
+    fail(Status::SensorFailure);
+    return;
+  }
+  push(*reading);
+}
+
+void Frame::op_sha3() {
+  const auto range = pop_range();
+  if (!range) return;
+  const std::uint64_t words = (range->len + 31) / 32;
+  if (!charge(static_cast<std::int64_t>(6 * words))) {
+    fail(Status::OutOfGas);
+    return;
+  }
+  if (!grow(range->offset, range->len)) return;
+  cycles_ += 3200ULL * words;  // software keccak absorb cost per word
+  const Bytes data = memory_.read(range->offset, range->len);
+  push(U256::from_bytes(keccak256(data)));
+}
+
+void Frame::op_copy(std::span<const std::uint8_t> src, bool /*external*/) {
+  const auto dst = pop();
+  const auto src_off = pop();
+  const auto len = pop();
+  if (!dst || !src_off || !len) return;
+  if (len->is_zero()) return;
+  if (!dst->fits_u64() || !len->fits_u64()) {
+    fail(config_.metering ? Status::OutOfGas : Status::OutOfMemory);
+    return;
+  }
+  const std::uint64_t n = len->as_u64();
+  const std::uint64_t words = (n + 31) / 32;
+  if (!charge(static_cast<std::int64_t>(3 * words))) {
+    fail(Status::OutOfGas);
+    return;
+  }
+  if (!grow(dst->as_u64(), n)) return;
+  cycles_ += 6ULL * n;  // ~6 cycles/byte memcpy on the M3
+  memory_.store_bytes(dst->as_u64(), src,
+                      src_off->fits_u64() ? src_off->as_u64() : src.size(),
+                      n);
+}
+
+void Frame::op_log(unsigned topic_count) {
+  if (msg_.is_static) {
+    fail(Status::StaticViolation);
+    return;
+  }
+  const auto range = pop_range();
+  if (!range) return;
+  LogEntry entry;
+  entry.address = msg_.self;
+  for (unsigned i = 0; i < topic_count; ++i) {
+    const auto t = pop();
+    if (!t) return;
+    entry.topics.push_back(*t);
+  }
+  if (!charge(static_cast<std::int64_t>(8 * range->len))) {
+    fail(Status::OutOfGas);
+    return;
+  }
+  if (!grow(range->offset, range->len)) return;
+  entry.data = memory_.read(range->offset, range->len);
+  host_.emit_log(std::move(entry));
+}
+
+void Frame::op_sstore() {
+  if (msg_.is_static) {
+    fail(Status::StaticViolation);
+    return;
+  }
+  const auto key = pop();
+  const auto value = pop();
+  if (!key || !value) return;
+  if (!host_.sstore(msg_.self, *key, *value)) {
+    fail(Status::StorageExhausted);
+    return;
+  }
+}
+
+void Frame::op_create() {
+  if (msg_.is_static) {
+    fail(Status::StaticViolation);
+    return;
+  }
+  const auto value = pop();
+  if (!value) return;
+  const auto range = pop_range();
+  if (!range) return;
+  if (!grow(range->offset, range->len)) return;
+
+  CreateRequest req;
+  req.sender = msg_.self;
+  req.value = *value;
+  req.init_code = memory_.read(range->offset, range->len);
+  req.gas = gas_;
+  req.depth = msg_.depth + 1;
+  const CreateResult res = host_.create(req);
+  if (config_.metering) gas_ = res.gas_left;
+  push(res.success ? U256::from_bytes(res.address) : U256{});
+}
+
+void Frame::op_call(CallKind kind) {
+  const auto gas_arg = pop();
+  const auto to_arg = pop();
+  if (!gas_arg || !to_arg) return;
+
+  U256 value;
+  if (kind == CallKind::Call || kind == CallKind::CallCode) {
+    const auto v = pop();
+    if (!v) return;
+    value = *v;
+  }
+  if (kind == CallKind::Call && msg_.is_static && !value.is_zero()) {
+    fail(Status::StaticViolation);
+    return;
+  }
+
+  const auto in = pop_range();
+  if (!in) return;
+  const auto out = pop_range();
+  if (!out) return;
+  if (!grow(in->offset, in->len)) return;
+  if (!grow(out->offset, out->len)) return;
+
+  Address to{};
+  const auto w = to_arg->to_word();
+  std::memcpy(to.data(), w.data() + 12, 20);
+
+  CallRequest req;
+  req.kind = kind;
+  req.to = to;
+  req.sender = kind == CallKind::DelegateCall ? msg_.caller : msg_.self;
+  req.value = kind == CallKind::DelegateCall ? msg_.value : value;
+  req.data = memory_.read(in->offset, in->len);
+  req.depth = msg_.depth + 1;
+  req.is_static = msg_.is_static || kind == CallKind::StaticCall;
+  // 63/64 rule when metering; otherwise pass the requested gas through.
+  const std::int64_t available = config_.metering ? gas_ - gas_ / 64 : gas_;
+  req.gas = gas_arg->fits_u64() && static_cast<std::int64_t>(
+                                       gas_arg->as_u64()) < available
+                ? static_cast<std::int64_t>(gas_arg->as_u64())
+                : available;
+
+  const CallResult res = host_.call(req);
+  return_data_ = res.output;
+  if (config_.metering) {
+    gas_ -= req.gas - res.gas_left;
+    if (gas_ < 0) {
+      fail(Status::OutOfGas);
+      return;
+    }
+  }
+  const std::uint64_t n = std::min<std::uint64_t>(out->len, res.output.size());
+  if (n > 0) memory_.store_bytes(out->offset, res.output, 0, n);
+  push(U256{res.success ? 1ULL : 0ULL});
+}
+
+void Frame::op_return(bool revert) {
+  const auto range = pop_range();
+  if (!range) return;
+  if (!grow(range->offset, range->len)) return;
+  output_ = memory_.read(range->offset, range->len);
+  status_ = revert ? Status::Revert : Status::Success;
+  done_ = true;
+}
+
+}  // namespace
+
+ExecResult Vm::execute(Host& host, const Message& msg) const {
+  Frame frame(config_, host, msg);
+  return frame.run();
+}
+
+}  // namespace tinyevm::evm

@@ -1,0 +1,125 @@
+// The TinyEVM interpreter.
+//
+// One interpreter, two profiles (paper §IV-B): the Ethereum profile meters
+// gas, allows a 1024-deep stack and the blockchain opcodes; the TinyEVM
+// profile removes gas ("no charging for the off-chain computations"), caps
+// the stack at 3 KB / memory at 8 KB, truncates storage keys to 8 bits, and
+// enables the 0x0c SENSOR opcode.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "evm/host.hpp"
+#include "evm/opcodes.hpp"
+#include "evm/state.hpp"
+#include "u256/u256.hpp"
+
+namespace tinyevm::evm {
+
+enum class VmProfile : std::uint8_t { Ethereum, TinyEvm };
+
+struct VmConfig {
+  VmProfile profile = VmProfile::TinyEvm;
+  std::size_t stack_limit = 96;      ///< elements (96 * 32 B = 3 KB)
+  std::size_t memory_limit = 8192;   ///< bytes; 0 = unbounded (gas-bounded)
+  std::size_t storage_limit = 1024;  ///< TinyEVM side-chain budget (bytes)
+  bool metering = false;             ///< charge gas, abort on exhaustion
+  bool block_opcodes = false;        ///< BLOCKHASH..GASLIMIT available
+  bool iot_opcodes = true;           ///< SENSOR (0x0c) available
+  bool gas_introspection = false;    ///< GAS/GASPRICE/EXTCODE* available
+  int max_call_depth = 8;            ///< nested frames an MCU can afford
+  /// Watchdog: abort after this many executed operations (0 = unlimited).
+  /// Gas bounds on-chain execution; off-chain the mote's watchdog timer
+  /// plays that role — without it a buggy contract would wedge the device.
+  std::uint64_t max_ops = 50'000'000;
+
+  /// Original EVM (Istanbul-era) semantics.
+  static VmConfig ethereum() {
+    return VmConfig{VmProfile::Ethereum, 1024,  0,    0,   true,
+                    true,                false, true, 1024, 0};
+  }
+  /// The paper's MCU configuration (§VI-A).
+  static VmConfig tiny() { return VmConfig{}; }
+};
+
+enum class Status : std::uint8_t {
+  Success,
+  Revert,
+  OutOfGas,
+  StackOverflow,
+  StackUnderflow,
+  OutOfMemory,       ///< TinyEVM 8 KB memory cap exceeded
+  StorageExhausted,  ///< TinyEVM 1 KB side-chain storage cap exceeded
+  InvalidJump,
+  InvalidOpcode,     ///< undefined byte, or INVALID (0xfe)
+  ForbiddenOpcode,   ///< opcode not in the active profile
+  SensorFailure,     ///< SENSOR opcode: no such device / read failed
+  CallDepthExceeded,
+  StaticViolation,   ///< state mutation inside STATICCALL
+  WatchdogExpired,   ///< VmConfig::max_ops exceeded (runaway off-chain code)
+};
+
+[[nodiscard]] std::string_view to_string(Status s);
+
+/// Execution request: run `code` in the context of account `self`.
+struct Message {
+  Address self{};
+  Address caller{};
+  Address origin{};
+  U256 value;
+  Bytes data;
+  Bytes code;
+  std::int64_t gas = 10'000'000;
+  int depth = 0;
+  bool is_static = false;
+};
+
+/// Per-run statistics consumed by the evaluation harness (Figures 3/4,
+/// Table II).
+struct ExecStats {
+  std::size_t max_stack_pointer = 0;  ///< Fig 3c
+  std::size_t peak_memory = 0;        ///< Fig 3a/3b (bytes)
+  std::uint64_t ops_executed = 0;
+  std::uint64_t mcu_cycles = 0;       ///< Fig 4 (deployment time model)
+};
+
+struct ExecResult {
+  Status status = Status::Success;
+  Bytes output;
+  std::int64_t gas_left = 0;
+  ExecStats stats;
+
+  [[nodiscard]] bool ok() const { return status == Status::Success; }
+};
+
+/// JUMPDEST bitmap produced by one linear pre-pass over the code (PUSH
+/// immediates are skipped, so data bytes can't alias a jump target).
+class CodeAnalysis {
+ public:
+  explicit CodeAnalysis(std::span<const std::uint8_t> code);
+  [[nodiscard]] bool valid_jumpdest(std::uint64_t pc) const {
+    return pc < jumpdest_.size() && jumpdest_[pc];
+  }
+
+ private:
+  std::vector<bool> jumpdest_;
+};
+
+/// Executes one message. Nested CALL/CREATE are delegated to the host,
+/// which typically re-enters another Vm::execute with depth+1.
+class Vm {
+ public:
+  explicit Vm(VmConfig config) : config_(config) {}
+
+  [[nodiscard]] const VmConfig& config() const { return config_; }
+
+  ExecResult execute(Host& host, const Message& msg) const;
+
+ private:
+  VmConfig config_;
+};
+
+}  // namespace tinyevm::evm

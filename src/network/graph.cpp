@@ -1,0 +1,150 @@
+#include "network/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace tinyevm::network {
+
+std::size_t ChannelGraph::add_channel(const Address& a, const Address& b,
+                                      const U256& capacity_ab,
+                                      const U256& capacity_ba,
+                                      const U256& channel_id) {
+  const std::size_t index = edges_.size();
+  edges_.push_back(ChannelEdge{a, b, capacity_ab, capacity_ba, channel_id});
+  adjacency_.emplace(a, index);
+  adjacency_.emplace(b, index);
+  return index;
+}
+
+void ChannelGraph::remove_channel(std::size_t edge_index) {
+  if (edge_index >= edges_.size() || !edges_[edge_index]) return;
+  const ChannelEdge edge = *edges_[edge_index];
+  edges_[edge_index].reset();
+  for (const Address* node : {&edge.a, &edge.b}) {
+    auto [lo, hi] = adjacency_.equal_range(*node);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == edge_index) {
+        adjacency_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+const ChannelEdge* ChannelGraph::edge(std::size_t index) const {
+  if (index >= edges_.size() || !edges_[index]) return nullptr;
+  return &*edges_[index];
+}
+
+std::vector<std::size_t> ChannelGraph::edges_of(const Address& node) const {
+  std::vector<std::size_t> out;
+  auto [lo, hi] = adjacency_.equal_range(node);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+bool ChannelGraph::apply_payment(std::size_t edge_index, const Address& from,
+                                 const U256& amount) {
+  if (edge_index >= edges_.size() || !edges_[edge_index]) return false;
+  ChannelEdge& e = *edges_[edge_index];
+  if (from != e.a && from != e.b) return false;
+  U256& forward = from == e.a ? e.capacity_ab : e.capacity_ba;
+  U256& backward = from == e.a ? e.capacity_ba : e.capacity_ab;
+  if (forward < amount) return false;
+  forward -= amount;
+  backward += amount;
+  return true;
+}
+
+std::optional<ChannelGraph::Route> ChannelGraph::find_route(
+    const Address& from, const Address& to, const U256& amount) const {
+  if (from == to) return Route{{}, {from}};
+  // BFS over nodes; remember the (edge, previous node) that discovered
+  // each node.
+  std::map<Address, std::pair<std::size_t, Address>> parent;
+  std::deque<Address> frontier{from};
+  std::map<Address, bool> seen{{from, true}};
+
+  while (!frontier.empty()) {
+    const Address node = frontier.front();
+    frontier.pop_front();
+    auto [lo, hi] = adjacency_.equal_range(node);
+    for (auto it = lo; it != hi; ++it) {
+      const auto* e = edge(it->second);
+      if (!e) continue;
+      if (e->capacity_from(node) < amount) continue;
+      const Address next = e->a == node ? e->b : e->a;
+      if (seen[next]) continue;
+      seen[next] = true;
+      parent[next] = {it->second, node};
+      if (next == to) {
+        // Reconstruct.
+        Route route;
+        Address cursor = to;
+        while (cursor != from) {
+          const auto& [edge_idx, prev] = parent[cursor];
+          route.edges.push_back(edge_idx);
+          route.nodes.push_back(cursor);
+          cursor = prev;
+        }
+        route.nodes.push_back(from);
+        std::reverse(route.edges.begin(), route.edges.end());
+        std::reverse(route.nodes.begin(), route.nodes.end());
+        return route;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ChannelGraph::Route> ChannelGraph::find_rebalance_cycle(
+    const Address& node, const U256& amount, std::size_t max_hops) const {
+  // DFS for a simple cycle node -> ... -> node with capacity everywhere.
+  struct Frame {
+    Address at;
+    std::vector<std::size_t> edges;
+    std::vector<Address> visited;
+  };
+  std::vector<Frame> stack{{node, {}, {node}}};
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    if (frame.edges.size() >= max_hops) continue;
+    auto [lo, hi] = adjacency_.equal_range(frame.at);
+    for (auto it = lo; it != hi; ++it) {
+      const auto* e = edge(it->second);
+      if (!e) continue;
+      if (e->capacity_from(frame.at) < amount) continue;
+      // No edge reuse.
+      if (std::find(frame.edges.begin(), frame.edges.end(), it->second) !=
+          frame.edges.end()) {
+        continue;
+      }
+      const Address next = e->a == frame.at ? e->b : e->a;
+      if (next == node) {
+        if (frame.edges.size() + 1 >= 3) {  // a real cycle, not an echo
+          Route route;
+          route.edges = frame.edges;
+          route.edges.push_back(it->second);
+          route.nodes = frame.visited;
+          route.nodes.push_back(node);
+          return route;
+        }
+        continue;
+      }
+      if (std::find(frame.visited.begin(), frame.visited.end(), next) !=
+          frame.visited.end()) {
+        continue;
+      }
+      Frame child = frame;
+      child.at = next;
+      child.edges.push_back(it->second);
+      child.visited.push_back(next);
+      stack.push_back(std::move(child));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tinyevm::network

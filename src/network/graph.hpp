@@ -1,0 +1,84 @@
+// Channel graph and route discovery — the paper's stated future work
+// ("we will investigate the feasibility of payment networks and payment
+// routing algorithms on low-power IoT devices", §VIII), built in the style
+// of Lightning/Raiden on top of TinyEVM channels.
+//
+// Nodes are mote addresses; edges are open payment channels with a
+// *directional* capacity each way (how much each side can still send
+// before the channel is exhausted in that direction). Routing minimizes
+// hop count (each hop costs a signature round on a constrained mote, so
+// hops — not fees — are the scarce resource in IoT networks).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "crypto/secp256k1.hpp"
+#include "u256/u256.hpp"
+
+namespace tinyevm::network {
+
+using secp256k1::Address;
+
+/// One directional capacity pair for an open channel.
+struct ChannelEdge {
+  Address a{};
+  Address b{};
+  U256 capacity_ab;  ///< a can still send this much to b
+  U256 capacity_ba;  ///< b can still send this much to a
+  U256 channel_id;
+
+  [[nodiscard]] const U256& capacity_from(const Address& from) const {
+    return from == a ? capacity_ab : capacity_ba;
+  }
+};
+
+/// Undirected multigraph of payment channels with directional balances.
+class ChannelGraph {
+ public:
+  /// Adds a channel; both capacities given explicitly. Returns the edge
+  /// index. Parallel channels between the same pair are allowed.
+  std::size_t add_channel(const Address& a, const Address& b,
+                          const U256& capacity_ab, const U256& capacity_ba,
+                          const U256& channel_id);
+
+  /// Removes a channel by edge index (closing it on-chain).
+  void remove_channel(std::size_t edge_index);
+
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+  [[nodiscard]] const ChannelEdge* edge(std::size_t index) const;
+  [[nodiscard]] std::vector<std::size_t> edges_of(const Address& node) const;
+
+  /// Moves `amount` of directional capacity from->to across edge `index`
+  /// (a payment shifts balance: sender capacity down, receiver capacity
+  /// up). False when the capacity is insufficient.
+  bool apply_payment(std::size_t edge_index, const Address& from,
+                     const U256& amount);
+
+  /// A route is the sequence of edge indices from sender to receiver.
+  struct Route {
+    std::vector<std::size_t> edges;
+    std::vector<Address> nodes;  ///< sender first, receiver last
+    [[nodiscard]] std::size_t hops() const { return edges.size(); }
+  };
+
+  /// BFS shortest-hop route with at least `amount` of directional
+  /// capacity on every hop. Nullopt when no such route exists.
+  [[nodiscard]] std::optional<Route> find_route(const Address& from,
+                                                const Address& to,
+                                                const U256& amount) const;
+
+  /// All simple cycles through `node` with positive shiftable capacity —
+  /// used by the Revive-style rebalancer. Bounded depth keeps it cheap.
+  [[nodiscard]] std::optional<Route> find_rebalance_cycle(
+      const Address& node, const U256& amount,
+      std::size_t max_hops = 5) const;
+
+ private:
+  std::vector<std::optional<ChannelEdge>> edges_;  // nullopt = removed
+  std::multimap<Address, std::size_t> adjacency_;
+};
+
+}  // namespace tinyevm::network

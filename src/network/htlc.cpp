@@ -1,0 +1,34 @@
+#include "network/htlc.hpp"
+
+#include <cstring>
+
+namespace tinyevm::network {
+
+bool Htlc::fulfil(std::span<const std::uint8_t> preimage) {
+  if (state != State::Pending) return false;
+  if (keccak256(preimage) != payment_hash) return false;
+  state = State::Fulfilled;
+  return true;
+}
+
+bool Htlc::expire(std::uint64_t current_sequence) {
+  if (state != State::Pending) return false;
+  if (current_sequence <= expiry_sequence) return false;
+  state = State::Expired;
+  return true;
+}
+
+PaymentSecret PaymentSecret::derive(std::string_view seed,
+                                    std::uint64_t attempt) {
+  std::vector<std::uint8_t> material(seed.begin(), seed.end());
+  for (unsigned i = 0; i < 8; ++i) {
+    material.push_back(static_cast<std::uint8_t>(attempt >> (8 * i)));
+  }
+  PaymentSecret out;
+  const Hash256 pre = keccak256(material);
+  std::memcpy(out.preimage.data(), pre.data(), 32);
+  out.hash = keccak256(out.preimage);
+  return out;
+}
+
+}  // namespace tinyevm::network

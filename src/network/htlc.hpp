@@ -1,0 +1,53 @@
+// Hash-time-locked payments adapted to TinyEVM's logical-clock world.
+//
+// A multi-hop payment locks `amount` on every hop behind the same hash; the
+// receiver reveals the preimage to claim the last hop, and the preimage
+// propagates back, settling each hop. Where Lightning uses wall-clock
+// expiries, TinyEVM hops expire by *sequence number*: each hop's lock dies
+// when its channel's logical clock passes `expiry_sequence`, preserving the
+// paper's no-synchronized-time design (§IV-D).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/hash.hpp"
+#include "crypto/secp256k1.hpp"
+#include "u256/u256.hpp"
+
+namespace tinyevm::network {
+
+using secp256k1::Address;
+
+/// A hash-locked conditional payment on one channel hop.
+struct Htlc {
+  U256 channel_id;
+  U256 amount;
+  Hash256 payment_hash{};        ///< keccak256(preimage)
+  std::uint64_t expiry_sequence = 0;  ///< dead once the channel clock passes
+
+  enum class State : std::uint8_t { Pending, Fulfilled, Expired, Cancelled };
+  State state = State::Pending;
+
+  /// Fulfil with the preimage; false when the hash does not match or the
+  /// lock is not pending.
+  bool fulfil(std::span<const std::uint8_t> preimage);
+
+  /// Expire against the channel's current logical clock; false when still
+  /// live or already settled.
+  bool expire(std::uint64_t current_sequence);
+
+  [[nodiscard]] bool pending() const { return state == State::Pending; }
+};
+
+/// Generates a (preimage, hash) pair for a payment attempt; preimage is
+/// derived deterministically from a secret seed and an attempt counter so
+/// tests and simulations are reproducible.
+struct PaymentSecret {
+  std::array<std::uint8_t, 32> preimage{};
+  Hash256 hash{};
+
+  static PaymentSecret derive(std::string_view seed, std::uint64_t attempt);
+};
+
+}  // namespace tinyevm::network

@@ -1,0 +1,157 @@
+#include "network/payment_network.hpp"
+
+namespace tinyevm::network {
+
+std::size_t PaymentNetwork::open_channel(const Address& a, const Address& b,
+                                         const U256& capacity_ab,
+                                         const U256& capacity_ba) {
+  const U256 id{graph_.edge_count() + 1};
+  const std::size_t edge =
+      graph_.add_channel(a, b, capacity_ab, capacity_ba, id);
+  channel_clocks_[edge] = 0;
+  return edge;
+}
+
+void PaymentNetwork::set_offline(const Address& node, bool offline) {
+  offline_[node] = offline;
+}
+
+U256 PaymentNetwork::outbound_capacity(const Address& node) const {
+  U256 total;
+  for (std::size_t idx : graph_.edges_of(node)) {
+    const auto* e = graph_.edge(idx);
+    if (e) total += e->capacity_from(node);
+  }
+  return total;
+}
+
+PaymentOutcome PaymentNetwork::pay(const Address& from, const Address& to,
+                                   const U256& amount,
+                                   unsigned max_attempts) {
+  PaymentOutcome outcome;
+  // Edges found broken during this payment are drained temporarily so the
+  // next route search avoids them; the drained capacity is restored when
+  // the payment concludes (the stalled HTLCs expire and release it).
+  struct Drain {
+    std::size_t edge;
+    Address from;
+    U256 amount;
+  };
+  std::vector<Drain> drains;
+  const auto restore_drains = [&] {
+    for (const Drain& d : drains) {
+      const auto* e = graph_.edge(d.edge);
+      if (!e) continue;
+      const Address& other = e->a == d.from ? e->b : e->a;
+      graph_.apply_payment(d.edge, other, d.amount);
+    }
+    drains.clear();
+  };
+
+  for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+    const auto route = graph_.find_route(from, to, amount);
+    if (!route || route->edges.empty()) {
+      restore_drains();
+      outcome.failure = route ? "self payment" : "no route with capacity";
+      return outcome;
+    }
+
+    // The receiver derives the secret for this attempt.
+    const PaymentSecret secret =
+        PaymentSecret::derive("payment-secret", attempt_counter_++);
+
+    // --- Lock phase: sender -> receiver, one HTLC per hop. ---
+    std::vector<Htlc> locks;
+    bool stalled = false;
+    for (std::size_t i = 0; i < route->edges.size(); ++i) {
+      const Address& hop_sender = route->nodes[i];
+      const Address& hop_receiver = route->nodes[i + 1];
+
+      // The sender signs and offers the lock regardless; whether the hop
+      // acknowledges is the next question.
+      Htlc lock;
+      lock.channel_id = graph_.edge(route->edges[i])->channel_id;
+      lock.amount = amount;
+      lock.payment_hash = secret.hash;
+      lock.expiry_sequence = ++channel_clocks_[route->edges[i]] + 16;
+      locks.push_back(lock);
+      ++htlc_counter_;
+      stats_[hop_sender].signatures += 1;  // offer the lock
+
+      // An offline intermediary never acknowledges: every lock placed so
+      // far (including this one) dies by logical-clock expiry and the
+      // sender reroutes around the silent hop.
+      if (offline_[hop_receiver] && hop_receiver != to) {
+        for (std::size_t j = 0; j < locks.size(); ++j) {
+          channel_clocks_[route->edges[j]] = locks[j].expiry_sequence + 1;
+          if (locks[j].expire(channel_clocks_[route->edges[j]])) ++expired_;
+        }
+        // Drain the edge so the next BFS avoids it; restored at the end.
+        const U256 drained =
+            graph_.edge(route->edges[i])->capacity_from(hop_sender);
+        if (graph_.apply_payment(route->edges[i], hop_sender, drained)) {
+          drains.push_back(Drain{route->edges[i], hop_sender, drained});
+        }
+        stalled = true;
+        break;
+      }
+      stats_[hop_receiver].verifications += 1;  // validate the lock
+      if (hop_receiver != to) stats_[hop_receiver].htlcs_forwarded += 1;
+    }
+    if (stalled) continue;
+
+    // --- Reveal & settle phase: receiver -> sender. ---
+    bool settled = true;
+    for (std::size_t i = route->edges.size(); i-- > 0;) {
+      Htlc& lock = locks[i];
+      if (!lock.fulfil(secret.preimage)) {
+        settled = false;
+        break;
+      }
+      const Address& hop_sender = route->nodes[i];
+      if (!graph_.apply_payment(route->edges[i], hop_sender, amount)) {
+        settled = false;
+        break;
+      }
+      channel_clocks_[route->edges[i]] += 1;
+      stats_[route->nodes[i + 1]].signatures += 1;  // settlement signature
+      stats_[hop_sender].verifications += 1;
+    }
+    if (!settled) {
+      restore_drains();
+      outcome.failure = "settlement failed mid-route";
+      return outcome;
+    }
+
+    restore_drains();
+    stats_[to].payments_received += 1;
+    outcome.success = true;
+    outcome.hops = route->hops();
+    outcome.signature_rounds = route->hops() * 2;
+    return outcome;
+  }
+  restore_drains();
+  outcome.failure = "all attempts exhausted";
+  return outcome;
+}
+
+bool PaymentNetwork::rebalance(const Address& node, const U256& amount) {
+  const auto cycle = graph_.find_rebalance_cycle(node, amount);
+  if (!cycle) return false;
+  // Shift `amount` around the cycle: every hop pays its successor. Node's
+  // depleted outbound edge regains capacity on the reverse direction.
+  for (std::size_t i = 0; i < cycle->edges.size(); ++i) {
+    if (!graph_.apply_payment(cycle->edges[i], cycle->nodes[i], amount)) {
+      // Roll back the hops already applied (cannot fail: we just added
+      // reverse capacity on each).
+      for (std::size_t j = i; j-- > 0;) {
+        graph_.apply_payment(cycle->edges[j], cycle->nodes[j + 1], amount);
+      }
+      return false;
+    }
+    stats_[cycle->nodes[i]].signatures += 1;
+  }
+  return true;
+}
+
+}  // namespace tinyevm::network

@@ -1,0 +1,79 @@
+// Multi-hop payment orchestration over the channel graph — the end-to-end
+// payment-network protocol (lock along the route, reveal at the receiver,
+// settle backwards), plus the Revive-style rebalancer that shifts capacity
+// around a cycle without touching the main chain.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "network/graph.hpp"
+#include "network/htlc.hpp"
+
+namespace tinyevm::network {
+
+/// Per-node protocol statistics — consumed by the feasibility bench
+/// (signatures are what cost energy on a mote).
+struct NodeStats {
+  std::uint64_t signatures = 0;
+  std::uint64_t verifications = 0;
+  std::uint64_t htlcs_forwarded = 0;
+  std::uint64_t payments_received = 0;
+};
+
+/// Outcome of a multi-hop payment attempt.
+struct PaymentOutcome {
+  bool success = false;
+  std::size_t hops = 0;
+  std::size_t signature_rounds = 0;  ///< 2 per hop: lock + settle
+  std::string failure;               ///< empty on success
+};
+
+/// The network simulator: a channel graph plus per-node behaviour flags
+/// (for failure injection) and per-hop HTLC ledgers.
+class PaymentNetwork {
+ public:
+  /// Opens a channel funded `capacity_ab`/`capacity_ba`; returns the edge.
+  std::size_t open_channel(const Address& a, const Address& b,
+                           const U256& capacity_ab, const U256& capacity_ba);
+
+  /// Marks a node as unresponsive (crashed / out of radio range): every
+  /// HTLC routed through it stalls and expires.
+  void set_offline(const Address& node, bool offline);
+
+  /// Sends `amount` from `from` to `to`, discovering a route, locking
+  /// HTLCs hop by hop, revealing the preimage at the receiver, and
+  /// settling backwards. Retries over alternative routes when a hop is
+  /// offline (up to `max_attempts`).
+  PaymentOutcome pay(const Address& from, const Address& to,
+                     const U256& amount, unsigned max_attempts = 3);
+
+  /// Revive-style rebalance: shifts `amount` around a cycle through
+  /// `node`, restoring outbound capacity without an on-chain transaction.
+  bool rebalance(const Address& node, const U256& amount);
+
+  [[nodiscard]] const ChannelGraph& graph() const { return graph_; }
+  [[nodiscard]] const NodeStats& stats(const Address& node) {
+    return stats_[node];
+  }
+  /// Directional capacity over *all* channels from `from` toward `to`
+  /// neighbours (diagnostic).
+  [[nodiscard]] U256 outbound_capacity(const Address& node) const;
+
+  [[nodiscard]] std::uint64_t htlcs_created() const { return htlc_counter_; }
+  [[nodiscard]] std::uint64_t htlcs_expired() const { return expired_; }
+
+ private:
+  ChannelGraph graph_;
+  std::map<Address, bool> offline_;
+  std::map<Address, NodeStats> stats_;
+  std::map<std::size_t, std::uint64_t> channel_clocks_;  ///< per-edge seq
+  std::uint64_t htlc_counter_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t attempt_counter_ = 0;
+};
+
+}  // namespace tinyevm::network

@@ -1,0 +1,139 @@
+#include "rlp/rlp.hpp"
+
+#include <stdexcept>
+
+namespace tinyevm::rlp {
+namespace {
+
+void append_length(Bytes& out, std::size_t len, std::uint8_t short_base,
+                   std::uint8_t long_base) {
+  if (len <= 55) {
+    out.push_back(static_cast<std::uint8_t>(short_base + len));
+    return;
+  }
+  Bytes len_bytes;
+  for (std::size_t v = len; v != 0; v >>= 8) {
+    len_bytes.insert(len_bytes.begin(), static_cast<std::uint8_t>(v & 0xFF));
+  }
+  out.push_back(static_cast<std::uint8_t>(long_base + len_bytes.size()));
+  out.insert(out.end(), len_bytes.begin(), len_bytes.end());
+}
+
+void encode_into(const Item& item, Bytes& out) {
+  if (!item.is_list()) {
+    const Bytes& b = item.as_bytes();
+    if (b.size() == 1 && b[0] < 0x80) {
+      out.push_back(b[0]);
+      return;
+    }
+    append_length(out, b.size(), 0x80, 0xB7);
+    out.insert(out.end(), b.begin(), b.end());
+    return;
+  }
+  Bytes payload;
+  for (const Item& child : item.as_list()) {
+    encode_into(child, payload);
+  }
+  append_length(out, payload.size(), 0xC0, 0xF7);
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+struct Decoder {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool eof() const { return pos >= data.size(); }
+
+  std::optional<std::size_t> read_long_length(unsigned len_of_len) {
+    if (len_of_len == 0 || len_of_len > 8) return std::nullopt;
+    if (pos + len_of_len > data.size()) return std::nullopt;
+    if (data[pos] == 0) return std::nullopt;  // non-minimal length
+    std::size_t len = 0;
+    for (unsigned i = 0; i < len_of_len; ++i) {
+      len = (len << 8) | data[pos++];
+    }
+    if (len <= 55) return std::nullopt;  // should have used short form
+    return len;
+  }
+
+  std::optional<Item> decode_item() {
+    if (eof()) return std::nullopt;
+    const std::uint8_t prefix = data[pos++];
+    if (prefix < 0x80) {
+      return Item::bytes(Bytes{prefix});
+    }
+    if (prefix <= 0xB7) {
+      const std::size_t len = prefix - 0x80;
+      if (pos + len > data.size()) return std::nullopt;
+      Bytes b{data.begin() + static_cast<std::ptrdiff_t>(pos),
+              data.begin() + static_cast<std::ptrdiff_t>(pos + len)};
+      pos += len;
+      if (b.size() == 1 && b[0] < 0x80) return std::nullopt;  // non-canonical
+      return Item::bytes(std::move(b));
+    }
+    if (prefix <= 0xBF) {
+      const auto len = read_long_length(prefix - 0xB7);
+      if (!len || pos + *len > data.size()) return std::nullopt;
+      Bytes b{data.begin() + static_cast<std::ptrdiff_t>(pos),
+              data.begin() + static_cast<std::ptrdiff_t>(pos + *len)};
+      pos += *len;
+      return Item::bytes(std::move(b));
+    }
+    // List forms.
+    std::size_t payload_len;
+    if (prefix <= 0xF7) {
+      payload_len = prefix - 0xC0;
+    } else {
+      const auto len = read_long_length(prefix - 0xF7);
+      if (!len) return std::nullopt;
+      payload_len = *len;
+    }
+    if (pos + payload_len > data.size()) return std::nullopt;
+    const std::size_t end = pos + payload_len;
+    std::vector<Item> children;
+    while (pos < end) {
+      auto child = decode_item();
+      if (!child || pos > end) return std::nullopt;
+      children.push_back(std::move(*child));
+    }
+    if (pos != end) return std::nullopt;
+    return Item::list(std::move(children));
+  }
+};
+
+}  // namespace
+
+Item Item::string(std::string_view s) {
+  return Item{Bytes{s.begin(), s.end()}};
+}
+
+Item Item::quantity(const U256& v) {
+  const auto minimal = v.to_minimal_bytes();
+  return Item{Bytes{minimal.begin(), minimal.end()}};
+}
+
+U256 Item::as_quantity() const {
+  const Bytes& b = as_bytes();
+  if (b.size() > 32) {
+    throw std::invalid_argument("RLP quantity longer than 32 bytes");
+  }
+  if (!b.empty() && b[0] == 0) {
+    throw std::invalid_argument("RLP quantity with leading zero");
+  }
+  return U256::from_bytes(b);
+}
+
+Bytes encode(const Item& item) {
+  Bytes out;
+  encode_into(item, out);
+  return out;
+}
+
+std::optional<Item> decode(std::span<const std::uint8_t> data) {
+  Decoder d{data};
+  auto item = d.decode_item();
+  if (!item || d.pos != data.size()) return std::nullopt;
+  return item;
+}
+
+}  // namespace tinyevm::rlp

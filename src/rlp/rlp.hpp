@@ -1,0 +1,55 @@
+// Recursive Length Prefix (RLP) serialization, Ethereum's canonical wire
+// format. Used for transaction/state encoding on the simulated main chain
+// and for hashing channel states into the side-chain log.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "u256/u256.hpp"
+
+namespace tinyevm::rlp {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// An RLP item is either a byte string or a list of items.
+struct Item {
+  std::variant<Bytes, std::vector<Item>> value;
+
+  static Item bytes(Bytes b) { return Item{std::move(b)}; }
+  static Item bytes(std::span<const std::uint8_t> b) {
+    return Item{Bytes{b.begin(), b.end()}};
+  }
+  static Item string(std::string_view s);
+  /// Minimal big-endian quantity encoding (no leading zeros; zero -> empty).
+  static Item quantity(const U256& v);
+  static Item quantity(std::uint64_t v) { return quantity(U256{v}); }
+  static Item list(std::vector<Item> items) { return Item{std::move(items)}; }
+
+  [[nodiscard]] bool is_list() const {
+    return std::holds_alternative<std::vector<Item>>(value);
+  }
+  [[nodiscard]] const Bytes& as_bytes() const { return std::get<Bytes>(value); }
+  [[nodiscard]] const std::vector<Item>& as_list() const {
+    return std::get<std::vector<Item>>(value);
+  }
+  /// Interprets the byte string as a big-endian quantity (throws on lists or
+  /// strings longer than 32 bytes).
+  [[nodiscard]] U256 as_quantity() const;
+
+  friend bool operator==(const Item& a, const Item& b) = default;
+};
+
+/// Encodes an item to its RLP byte representation.
+[[nodiscard]] Bytes encode(const Item& item);
+
+/// Decodes a complete RLP payload. Returns nullopt on malformed or
+/// non-canonical input (trailing bytes, non-minimal lengths, single bytes
+/// encoded long-form).
+[[nodiscard]] std::optional<Item> decode(std::span<const std::uint8_t> data);
+
+}  // namespace tinyevm::rlp

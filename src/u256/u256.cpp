@@ -1,0 +1,371 @@
+#include "u256/u256.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace tinyevm {
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+constexpr int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// a + b + carry -> (sum, carry_out)
+inline u64 addc(u64 a, u64 b, u64& carry) {
+  u128 s = static_cast<u128>(a) + b + carry;
+  carry = static_cast<u64>(s >> 64);
+  return static_cast<u64>(s);
+}
+
+// a - b - borrow -> (diff, borrow_out)
+inline u64 subb(u64 a, u64 b, u64& borrow) {
+  u128 d = static_cast<u128>(a) - b - borrow;
+  borrow = (d >> 64) != 0 ? 1 : 0;
+  return static_cast<u64>(d);
+}
+
+}  // namespace
+
+std::optional<U256> U256::from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.empty() || hex.size() > 64) return std::nullopt;
+  U256 out;
+  for (char c : hex) {
+    int d = hex_digit(c);
+    if (d < 0) return std::nullopt;
+    out = (out << 4) | U256{static_cast<u64>(d)};
+  }
+  return out;
+}
+
+U256 U256::from_bytes(std::span<const std::uint8_t> be) {
+  assert(be.size() <= 32);
+  U256 out;
+  for (std::uint8_t b : be) {
+    out = (out << 8) | U256{static_cast<u64>(b)};
+  }
+  return out;
+}
+
+unsigned U256::bit_length() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limbs_[i] != 0) {
+      return static_cast<unsigned>(i) * 64 +
+             (64 - static_cast<unsigned>(std::countl_zero(limbs_[i])));
+    }
+  }
+  return 0;
+}
+
+std::array<std::uint8_t, 32> U256::to_word() const {
+  std::array<std::uint8_t, 32> out{};
+  for (unsigned i = 0; i < 32; ++i) {
+    out[31 - i] = static_cast<std::uint8_t>(limbs_[i / 8] >> ((i % 8) * 8));
+  }
+  return out;
+}
+
+std::basic_string<std::uint8_t> U256::to_minimal_bytes() const {
+  auto word = to_word();
+  unsigned skip = 0;
+  while (skip < 32 && word[skip] == 0) ++skip;
+  return {word.begin() + skip, word.end()};
+}
+
+std::string U256::to_hex() const {
+  if (is_zero()) return "0x0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out = "0x";
+  bool started = false;
+  for (int i = 63; i >= 0; --i) {
+    unsigned nibble =
+        (limbs_[static_cast<unsigned>(i) / 16] >> ((static_cast<unsigned>(i) % 16) * 4)) & 0xF;
+    if (!started && nibble == 0) continue;
+    started = true;
+    out.push_back(kDigits[nibble]);
+  }
+  return out;
+}
+
+std::string U256::to_decimal() const {
+  if (is_zero()) return "0";
+  std::string digits;
+  U256 v = *this;
+  const U256 ten{10};
+  while (!v.is_zero()) {
+    auto [q, r] = divmod(v, ten);
+    digits.push_back(static_cast<char>('0' + r.as_u64()));
+    v = q;
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+U256 operator+(const U256& a, const U256& b) {
+  U256 r;
+  u64 carry = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    r.limbs_[i] = addc(a.limbs_[i], b.limbs_[i], carry);
+  }
+  return r;
+}
+
+U256 operator-(const U256& a, const U256& b) {
+  U256 r;
+  u64 borrow = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    r.limbs_[i] = subb(a.limbs_[i], b.limbs_[i], borrow);
+  }
+  return r;
+}
+
+U256 operator*(const U256& a, const U256& b) {
+  // Schoolbook, truncated to 4 limbs (mod 2^256).
+  U256 r;
+  for (unsigned i = 0; i < 4; ++i) {
+    u64 carry = 0;
+    for (unsigned j = 0; i + j < 4; ++j) {
+      u128 cur = static_cast<u128>(a.limbs_[i]) * b.limbs_[j] +
+                 r.limbs_[i + j] + carry;
+      r.limbs_[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+  }
+  return r;
+}
+
+U256 operator<<(const U256& a, unsigned n) {
+  if (n >= 256) return U256{};
+  if (n == 0) return a;
+  U256 r;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (int i = 3; i >= 0; --i) {
+    u64 v = 0;
+    const int src = i - static_cast<int>(limb_shift);
+    if (src >= 0) {
+      v = a.limbs_[static_cast<unsigned>(src)] << bit_shift;
+      if (bit_shift != 0 && src - 1 >= 0) {
+        v |= a.limbs_[static_cast<unsigned>(src - 1)] >> (64 - bit_shift);
+      }
+    }
+    r.limbs_[static_cast<unsigned>(i)] = v;
+  }
+  return r;
+}
+
+U256 operator>>(const U256& a, unsigned n) {
+  if (n >= 256) return U256{};
+  if (n == 0) return a;
+  U256 r;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (unsigned i = 0; i < 4; ++i) {
+    u64 v = 0;
+    const unsigned src = i + limb_shift;
+    if (src < 4) {
+      v = a.limbs_[src] >> bit_shift;
+      if (bit_shift != 0 && src + 1 < 4) {
+        v |= a.limbs_[src + 1] << (64 - bit_shift);
+      }
+    }
+    r.limbs_[i] = v;
+  }
+  return r;
+}
+
+std::strong_ordering operator<=>(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.limbs_[static_cast<unsigned>(i)] != b.limbs_[static_cast<unsigned>(i)]) {
+      return a.limbs_[static_cast<unsigned>(i)] < b.limbs_[static_cast<unsigned>(i)]
+                 ? std::strong_ordering::less
+                 : std::strong_ordering::greater;
+    }
+  }
+  return std::strong_ordering::equal;
+}
+
+std::pair<U256, U256> U256::divmod(const U256& a, const U256& b) {
+  if (b.is_zero()) return {U256{}, U256{}};
+  if (a < b) return {U256{}, a};
+  if (b.fits_u64() && a.fits_u64()) {
+    return {U256{a.as_u64() / b.as_u64()}, U256{a.as_u64() % b.as_u64()}};
+  }
+  // Binary long division: shift divisor up to align with dividend, then
+  // subtract-and-shift. At most 256 iterations; plenty fast for VM use.
+  const unsigned shift = a.bit_length() - b.bit_length();
+  U256 divisor = b << shift;
+  U256 quotient;
+  U256 remainder = a;
+  for (int i = static_cast<int>(shift); i >= 0; --i) {
+    if (remainder >= divisor) {
+      remainder -= divisor;
+      quotient = quotient | (U256{1} << static_cast<unsigned>(i));
+    }
+    divisor = divisor >> 1;
+  }
+  return {quotient, remainder};
+}
+
+U256 operator/(const U256& a, const U256& b) { return U256::divmod(a, b).first; }
+U256 operator%(const U256& a, const U256& b) { return U256::divmod(a, b).second; }
+
+U256 U256::sdiv(const U256& a, const U256& b) {
+  if (b.is_zero()) return U256{};
+  const bool neg_a = a.is_negative();
+  const bool neg_b = b.is_negative();
+  const U256 abs_a = neg_a ? a.negate() : a;
+  const U256 abs_b = neg_b ? b.negate() : b;
+  U256 q = abs_a / abs_b;
+  return (neg_a != neg_b) ? q.negate() : q;
+  // Note: INT256_MIN / -1 wraps back to INT256_MIN via negate(), matching EVM.
+}
+
+U256 U256::smod(const U256& a, const U256& b) {
+  if (b.is_zero()) return U256{};
+  const bool neg_a = a.is_negative();
+  const U256 abs_a = neg_a ? a.negate() : a;
+  const U256 abs_b = b.is_negative() ? b.negate() : b;
+  U256 r = abs_a % abs_b;
+  return neg_a ? r.negate() : r;
+}
+
+U256 U256::addmod(const U256& a, const U256& b, const U256& m) {
+  if (m.is_zero()) return U256{};
+  return U512::add(a, b).mod(m);
+}
+
+U256 U256::mulmod(const U256& a, const U256& b, const U256& m) {
+  if (m.is_zero()) return U256{};
+  return U512::mul(a, b).mod(m);
+}
+
+U256 U256::exp(const U256& a, const U256& e) {
+  U256 result{1};
+  U256 base = a;
+  const unsigned bits = e.bit_length();
+  for (unsigned i = 0; i < bits; ++i) {
+    if (e.bit(i)) result *= base;
+    base *= base;
+  }
+  return result;
+}
+
+U256 U256::signextend(const U256& byte_index, const U256& x) {
+  if (!byte_index.fits_u64() || byte_index.as_u64() >= 31) return x;
+  const unsigned b = static_cast<unsigned>(byte_index.as_u64());
+  const unsigned sign_pos = b * 8 + 7;
+  const U256 mask = (U256{1} << (sign_pos + 1)) - U256{1};
+  if (x.bit(sign_pos)) {
+    return x | ~mask;
+  }
+  return x & mask;
+}
+
+U256 U256::byte(const U256& i, const U256& x) {
+  if (!i.fits_u64() || i.as_u64() >= 32) return U256{};
+  const unsigned shift = (31 - static_cast<unsigned>(i.as_u64())) * 8;
+  return (x >> shift) & U256{0xFF};
+}
+
+U256 U256::sar(const U256& shift, const U256& x) {
+  const bool neg = x.is_negative();
+  if (!shift.fits_u64() || shift.as_u64() >= 256) {
+    return neg ? max() : U256{};
+  }
+  const unsigned n = static_cast<unsigned>(shift.as_u64());
+  U256 r = x >> n;
+  if (neg && n > 0) {
+    r = r | (max() << (256 - n));
+  }
+  return r;
+}
+
+bool U256::slt(const U256& a, const U256& b) {
+  const bool na = a.is_negative();
+  const bool nb = b.is_negative();
+  if (na != nb) return na;
+  return a < b;
+}
+
+// ---- U512 ----
+
+U512::U512(const U256& lo) {
+  for (unsigned i = 0; i < 4; ++i) limbs_[i] = lo.limb(i);
+}
+
+U512 U512::mul(const U256& a, const U256& b) {
+  U512 r;
+  for (unsigned i = 0; i < 4; ++i) {
+    u64 carry = 0;
+    for (unsigned j = 0; j < 4; ++j) {
+      u128 cur = static_cast<u128>(a.limb(i)) * b.limb(j) + r.limbs_[i + j] +
+                 carry;
+      r.limbs_[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    r.limbs_[i + 4] = carry;
+  }
+  return r;
+}
+
+U512 U512::add(const U256& a, const U256& b) {
+  U512 r;
+  u64 carry = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    r.limbs_[i] = addc(a.limb(i), b.limb(i), carry);
+  }
+  r.limbs_[4] = carry;
+  return r;
+}
+
+bool U512::is_zero() const {
+  for (u64 l : limbs_) {
+    if (l != 0) return false;
+  }
+  return true;
+}
+
+unsigned U512::bit_length() const {
+  for (int i = 7; i >= 0; --i) {
+    if (limbs_[static_cast<unsigned>(i)] != 0) {
+      return static_cast<unsigned>(i) * 64 +
+             (64 - static_cast<unsigned>(
+                       std::countl_zero(limbs_[static_cast<unsigned>(i)])));
+    }
+  }
+  return 0;
+}
+
+U256 U512::mod(const U256& m) const {
+  assert(!m.is_zero());
+  // Binary long division over the 512-bit value: process bits from the top,
+  // maintaining remainder < m (m < 2^256, so the remainder fits in U256
+  // after each conditional subtraction because rem < m <= 2^256-1 implies
+  // 2*rem + bit < 2^257; we keep one spare bit via careful ordering).
+  U256 rem;
+  const unsigned bits = bit_length();
+  for (int i = static_cast<int>(bits) - 1; i >= 0; --i) {
+    // rem = rem * 2 + bit(i); rem < m so rem*2+1 < 2m <= 2^257 — track the
+    // potential 257th bit as `overflow`.
+    const bool overflow = rem.is_negative();  // top bit set before shifting
+    rem = rem << 1;
+    const unsigned ui = static_cast<unsigned>(i);
+    if ((limbs_[ui / 64] >> (ui % 64)) & 1U) {
+      rem = rem | U256{1};
+    }
+    if (overflow || rem >= m) {
+      rem -= m;
+    }
+  }
+  return rem;
+}
+
+}  // namespace tinyevm

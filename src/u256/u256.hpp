@@ -1,0 +1,176 @@
+// 256-bit unsigned integer arithmetic with EVM semantics.
+//
+// The EVM is a 256-bit word machine; TinyEVM keeps the word size for bytecode
+// compatibility and emulates it on 32/64-bit hardware (paper §IV-B). This
+// module is that emulation layer: wrapping add/sub/mul, EVM-style div/mod
+// (x/0 == 0), signed variants via two's complement, 512-bit intermediates for
+// ADDMOD/MULMOD, and the bit-level ops (BYTE, SHL, SHR, SAR, SIGNEXTEND).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tinyevm {
+
+/// Unsigned 256-bit integer, little-endian limb order (limb 0 = least
+/// significant 64 bits). Value semantics; all operations are total.
+class U256 {
+ public:
+  constexpr U256() = default;
+  constexpr U256(std::uint64_t v) : limbs_{v, 0, 0, 0} {}  // NOLINT(google-explicit-constructor)
+  constexpr U256(std::uint64_t l3, std::uint64_t l2, std::uint64_t l1,
+                 std::uint64_t l0)
+      : limbs_{l0, l1, l2, l3} {}
+
+  /// Parses "0x"-prefixed or bare hex. Returns nullopt on bad input or
+  /// overflow (more than 64 hex digits).
+  static std::optional<U256> from_hex(std::string_view hex);
+
+  /// Big-endian bytes, at most 32. Shorter inputs are left-padded with zero.
+  static U256 from_bytes(std::span<const std::uint8_t> be);
+
+  /// Exact 32-byte big-endian word (EVM word layout).
+  static U256 from_word(const std::array<std::uint8_t, 32>& word) {
+    return from_bytes(word);
+  }
+
+  static constexpr U256 max() {
+    return U256{~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  }
+  /// 2^255 — the sign bit mask for signed interpretation.
+  static constexpr U256 sign_bit() { return U256{1ULL << 63, 0, 0, 0}; }
+
+  [[nodiscard]] constexpr std::uint64_t limb(unsigned i) const {
+    return limbs_[i];
+  }
+  [[nodiscard]] constexpr bool is_zero() const {
+    return (limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+  /// True when the value fits in a single 64-bit limb.
+  [[nodiscard]] constexpr bool fits_u64() const {
+    return (limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+  [[nodiscard]] constexpr std::uint64_t as_u64() const { return limbs_[0]; }
+  /// Signed interpretation: true when bit 255 is set.
+  [[nodiscard]] constexpr bool is_negative() const {
+    return (limbs_[3] >> 63) != 0;
+  }
+
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] unsigned bit_length() const;
+  [[nodiscard]] bool bit(unsigned i) const {
+    return i < 256 && ((limbs_[i / 64] >> (i % 64)) & 1U) != 0;
+  }
+  /// Number of significant bytes (0 for zero).
+  [[nodiscard]] unsigned byte_length() const {
+    return (bit_length() + 7) / 8;
+  }
+
+  /// 32-byte big-endian EVM word.
+  [[nodiscard]] std::array<std::uint8_t, 32> to_word() const;
+  /// Minimal big-endian byte string (empty for zero) — RLP quantity form.
+  [[nodiscard]] std::basic_string<std::uint8_t> to_minimal_bytes() const;
+  /// "0x"-prefixed lowercase hex without leading zeros ("0x0" for zero).
+  [[nodiscard]] std::string to_hex() const;
+  /// Decimal string.
+  [[nodiscard]] std::string to_decimal() const;
+
+  // --- Wrapping arithmetic (mod 2^256), as the EVM defines it. ---
+  friend U256 operator+(const U256& a, const U256& b);
+  friend U256 operator-(const U256& a, const U256& b);
+  friend U256 operator*(const U256& a, const U256& b);
+  /// EVM DIV: x / 0 == 0.
+  friend U256 operator/(const U256& a, const U256& b);
+  /// EVM MOD: x % 0 == 0.
+  friend U256 operator%(const U256& a, const U256& b);
+
+  U256& operator+=(const U256& o) { return *this = *this + o; }
+  U256& operator-=(const U256& o) { return *this = *this - o; }
+  U256& operator*=(const U256& o) { return *this = *this * o; }
+
+  // --- Bitwise. ---
+  friend constexpr U256 operator&(const U256& a, const U256& b) {
+    return U256{a.limbs_[3] & b.limbs_[3], a.limbs_[2] & b.limbs_[2],
+                a.limbs_[1] & b.limbs_[1], a.limbs_[0] & b.limbs_[0]};
+  }
+  friend constexpr U256 operator|(const U256& a, const U256& b) {
+    return U256{a.limbs_[3] | b.limbs_[3], a.limbs_[2] | b.limbs_[2],
+                a.limbs_[1] | b.limbs_[1], a.limbs_[0] | b.limbs_[0]};
+  }
+  friend constexpr U256 operator^(const U256& a, const U256& b) {
+    return U256{a.limbs_[3] ^ b.limbs_[3], a.limbs_[2] ^ b.limbs_[2],
+                a.limbs_[1] ^ b.limbs_[1], a.limbs_[0] ^ b.limbs_[0]};
+  }
+  friend constexpr U256 operator~(const U256& a) {
+    return U256{~a.limbs_[3], ~a.limbs_[2], ~a.limbs_[1], ~a.limbs_[0]};
+  }
+  /// Shifts of >= 256 yield zero (EVM SHL/SHR semantics).
+  friend U256 operator<<(const U256& a, unsigned n);
+  friend U256 operator>>(const U256& a, unsigned n);
+
+  friend constexpr bool operator==(const U256& a, const U256& b) = default;
+  friend std::strong_ordering operator<=>(const U256& a, const U256& b);
+
+  // --- EVM-specific operations. ---
+  /// Signed division (SDIV): two's complement, INT_MIN / -1 == INT_MIN.
+  static U256 sdiv(const U256& a, const U256& b);
+  /// Signed modulo (SMOD): result takes the sign of the dividend.
+  static U256 smod(const U256& a, const U256& b);
+  /// (a + b) % m with 512-bit intermediate; m == 0 yields 0.
+  static U256 addmod(const U256& a, const U256& b, const U256& m);
+  /// (a * b) % m with 512-bit intermediate; m == 0 yields 0.
+  static U256 mulmod(const U256& a, const U256& b, const U256& m);
+  /// a ** e mod 2^256 by square-and-multiply.
+  static U256 exp(const U256& a, const U256& e);
+  /// SIGNEXTEND: extend the sign of the byte at index `byte_index` (0 = LSB).
+  static U256 signextend(const U256& byte_index, const U256& x);
+  /// EVM BYTE opcode: the i-th byte counting from the most significant
+  /// (i == 0 -> MSB); i >= 32 yields 0.
+  static U256 byte(const U256& i, const U256& x);
+  /// Arithmetic right shift (SAR); shifts >= 256 give 0 or all-ones.
+  static U256 sar(const U256& shift, const U256& x);
+  /// Signed comparisons (SLT / SGT).
+  static bool slt(const U256& a, const U256& b);
+  static bool sgt(const U256& a, const U256& b) { return slt(b, a); }
+
+  /// Two's-complement negation.
+  [[nodiscard]] U256 negate() const { return U256{} - *this; }
+
+  /// Quotient and remainder in one pass; division by zero yields {0, 0}
+  /// per EVM convention.
+  static std::pair<U256, U256> divmod(const U256& a, const U256& b);
+
+ private:
+  std::array<std::uint64_t, 4> limbs_{0, 0, 0, 0};
+};
+
+/// 512-bit helper used for ADDMOD/MULMOD intermediates and as the wide
+/// product in Knuth division. Minimal interface — only what U256 needs plus
+/// the full product/reduction entry points exposed for testing.
+class U512 {
+ public:
+  constexpr U512() = default;
+  explicit U512(const U256& lo);
+
+  /// Full 512-bit product of two 256-bit values (never overflows).
+  static U512 mul(const U256& a, const U256& b);
+  /// 512-bit sum of two 256-bit values (never overflows).
+  static U512 add(const U256& a, const U256& b);
+  /// this mod m (m != 0), by binary long division over 512 bits.
+  [[nodiscard]] U256 mod(const U256& m) const;
+
+  [[nodiscard]] std::uint64_t limb(unsigned i) const { return limbs_[i]; }
+  [[nodiscard]] bool is_zero() const;
+  [[nodiscard]] unsigned bit_length() const;
+
+ private:
+  std::array<std::uint64_t, 8> limbs_{};
+};
+
+}  // namespace tinyevm

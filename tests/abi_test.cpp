@@ -1,0 +1,127 @@
+#include "abi/abi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/hash.hpp"
+
+namespace tinyevm::abi {
+namespace {
+
+TEST(AbiSelector, KnownSelectors) {
+  // ERC-20 transfer(address,uint256) = a9059cbb.
+  const auto sel = selector("transfer(address,uint256)");
+  EXPECT_EQ(to_hex(sel), "a9059cbb");
+  // balanceOf(address) = 70a08231.
+  EXPECT_EQ(to_hex(selector("balanceOf(address)")), "70a08231");
+}
+
+TEST(AbiEncoder, SingleUint) {
+  const auto data = Encoder("f(uint256)").add_uint(U256{1}).build();
+  ASSERT_EQ(data.size(), 4 + 32u);
+  EXPECT_EQ(data[35], 1);
+}
+
+TEST(AbiEncoder, AddressIsRightAligned) {
+  secp256k1::Address addr{};
+  addr[0] = 0xAA;
+  addr[19] = 0xBB;
+  const auto data = Encoder().add_address(addr).build();
+  ASSERT_EQ(data.size(), 32u);
+  EXPECT_EQ(data[11], 0x00);
+  EXPECT_EQ(data[12], 0xAA);
+  EXPECT_EQ(data[31], 0xBB);
+}
+
+TEST(AbiEncoder, BoolEncodesAsWord) {
+  const auto t = Encoder().add_bool(true).build();
+  const auto f = Encoder().add_bool(false).build();
+  EXPECT_EQ(t[31], 1);
+  EXPECT_EQ(f[31], 0);
+}
+
+TEST(AbiEncoder, DynamicBytesLayout) {
+  // f(uint256, bytes): head = value, offset; tail = len + padded payload.
+  const std::vector<std::uint8_t> payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  const auto data =
+      Encoder().add_uint(U256{7}).add_bytes(payload).build();
+  ASSERT_EQ(data.size(), 32 + 32 + 32 + 32u);
+  // Offset points past the two head words.
+  EXPECT_EQ(U256::from_bytes(std::span{data}.subspan(32, 32)), U256{64});
+  // Length word.
+  EXPECT_EQ(U256::from_bytes(std::span{data}.subspan(64, 32)), U256{4});
+  EXPECT_EQ(data[96], 0xDE);
+  EXPECT_EQ(data[99], 0xEF);
+  EXPECT_EQ(data[100], 0x00);  // zero padding
+}
+
+TEST(AbiEncoder, EmptyBytes) {
+  const auto data = Encoder().add_bytes({}).build();
+  ASSERT_EQ(data.size(), 64u);
+  EXPECT_EQ(U256::from_bytes(std::span{data}.subspan(32, 32)), U256{0});
+}
+
+TEST(AbiEncoder, MultipleDynamicArguments) {
+  const std::vector<std::uint8_t> a(3, 0x11);
+  const std::vector<std::uint8_t> b(40, 0x22);
+  const auto data = Encoder().add_bytes(a).add_bytes(b).build();
+  Decoder dec(data);
+  const auto ra = dec.read_bytes();
+  const auto rb = dec.read_bytes();
+  ASSERT_TRUE(ra && rb);
+  EXPECT_EQ(*ra, a);
+  EXPECT_EQ(*rb, b);
+}
+
+TEST(AbiDecoder, RoundTripMixed) {
+  secp256k1::Address addr{};
+  addr[19] = 0x42;
+  const std::vector<std::uint8_t> sig_bytes(65, 0xCC);
+  const auto data = Encoder()
+                        .add_uint(U256{123456})
+                        .add_address(addr)
+                        .add_bool(true)
+                        .add_bytes(sig_bytes)
+                        .build();
+  Decoder dec(data);
+  EXPECT_EQ(dec.read_uint(), U256{123456});
+  EXPECT_EQ(dec.read_address(), addr);
+  EXPECT_EQ(dec.read_bool(), true);
+  EXPECT_EQ(dec.read_bytes(), sig_bytes);
+}
+
+TEST(AbiDecoder, FailsOnTruncatedHead) {
+  const std::vector<std::uint8_t> short_data(16, 0);
+  Decoder dec(short_data);
+  EXPECT_FALSE(dec.read_uint().has_value());
+}
+
+TEST(AbiDecoder, FailsOnOutOfBoundsOffset) {
+  auto data = Encoder().add_uint(U256{9999}).build();  // not a real offset
+  Decoder dec(data);
+  EXPECT_FALSE(dec.read_bytes().has_value());
+}
+
+TEST(AbiDecoder, FailsOnTruncatedTail) {
+  const std::vector<std::uint8_t> payload(10, 0xAB);
+  auto data = Encoder().add_bytes(payload).build();
+  // Keep the offset and length words but cut into the payload itself
+  // (96-byte encoding -> 70 bytes leaves only 6 of the 10 payload bytes).
+  data.resize(70);
+  Decoder dec(data);
+  EXPECT_FALSE(dec.read_bytes().has_value());
+}
+
+TEST(AbiEncoder, SelectorPrecedesArguments) {
+  const auto data = Encoder("close(uint256,bytes)")
+                        .add_uint(U256{5})
+                        .add_bytes(std::vector<std::uint8_t>{1, 2, 3})
+                        .build();
+  const auto expected_sel = selector("close(uint256,bytes)");
+  EXPECT_TRUE(std::equal(expected_sel.begin(), expected_sel.end(),
+                         data.begin()));
+  // Offsets are relative to the start of the arguments, not the selector.
+  EXPECT_EQ(U256::from_bytes(std::span{data}.subspan(4 + 32, 32)), U256{64});
+}
+
+}  // namespace
+}  // namespace tinyevm::abi

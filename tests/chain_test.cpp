@@ -1,0 +1,285 @@
+// Simulated main-chain substrate: transactions, signing, nonces, fees,
+// EVM deployments, block clock, and native-contract dispatch.
+#include <gtest/gtest.h>
+
+#include "chain/chain.hpp"
+#include "evm/asm.hpp"
+
+namespace tinyevm::chain {
+namespace {
+
+PrivateKey key(const char* seed) { return PrivateKey::from_seed(seed); }
+
+TEST(Blockchain, GenesisState) {
+  Blockchain chain;
+  EXPECT_EQ(chain.height(), 0u);
+  EXPECT_EQ(chain.balance_of(Address{}), U256{});
+}
+
+TEST(Blockchain, CreditAndTransfer) {
+  Blockchain chain;
+  const auto alice = key("alice").address();
+  const auto bob = key("bob").address();
+  chain.credit(alice, U256{1000});
+  EXPECT_TRUE(chain.transfer(alice, bob, U256{400}));
+  EXPECT_EQ(chain.balance_of(alice), U256{600});
+  EXPECT_EQ(chain.balance_of(bob), U256{400});
+  EXPECT_FALSE(chain.transfer(alice, bob, U256{601}));
+}
+
+TEST(Blockchain, MiningAdvancesLogicalClock) {
+  Blockchain chain;
+  const auto h0 = chain.head().hash;
+  chain.mine_blocks(5);
+  EXPECT_EQ(chain.height(), 5u);
+  EXPECT_NE(chain.head().hash, h0);
+  EXPECT_EQ(chain.head().parent_hash != Hash256{}, true);
+}
+
+TEST(Transaction, DigestBindsFields) {
+  Transaction a;
+  a.value = U256{5};
+  Transaction b = a;
+  b.value = U256{6};
+  EXPECT_NE(a.digest(), b.digest());
+  b = a;
+  b.nonce = 9;
+  EXPECT_NE(a.digest(), b.digest());
+  b = a;
+  b.data = {0x01};
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Transactions, ValueTransferWithFee) {
+  Blockchain chain;
+  const auto alice = key("alice");
+  const auto bob = key("bob").address();
+  chain.credit(alice.address(), U256{1'000'000});
+
+  Transaction tx;
+  tx.to = bob;
+  tx.value = U256{1000};
+  tx.gas_limit = 21'000;
+  const auto receipt = chain.submit(alice, tx);
+  ASSERT_TRUE(receipt.has_value());
+  EXPECT_TRUE(receipt->success);
+  EXPECT_EQ(receipt->fee_paid, U256{21'000});
+  EXPECT_EQ(chain.balance_of(bob), U256{1000});
+  // Fees are burned by the escrow (no miner account in the simulation).
+  EXPECT_EQ(chain.balance_of(alice.address()),
+            U256{1'000'000 - 1000 - 21'000});
+}
+
+TEST(Transactions, RejectsWrongSigner) {
+  Blockchain chain;
+  const auto alice = key("alice");
+  const auto mallory = key("mallory");
+  chain.credit(alice.address(), U256{1'000'000});
+
+  Transaction tx;
+  tx.from = alice.address();
+  tx.to = key("bob").address();
+  tx.value = U256{100};
+  tx.nonce = 0;
+  const auto sig = secp256k1::sign(tx.digest(), mallory);
+  EXPECT_FALSE(chain.apply(tx, sig).has_value());
+}
+
+TEST(Transactions, RejectsBadNonce) {
+  Blockchain chain;
+  const auto alice = key("alice");
+  chain.credit(alice.address(), U256{1'000'000});
+
+  Transaction tx;
+  tx.from = alice.address();
+  tx.to = key("bob").address();
+  tx.value = U256{100};
+  tx.nonce = 7;  // expected 0
+  const auto sig = secp256k1::sign(tx.digest(), alice);
+  EXPECT_FALSE(chain.apply(tx, sig).has_value());
+}
+
+TEST(Transactions, NonceAdvancesPerTransaction) {
+  Blockchain chain;
+  const auto alice = key("alice");
+  chain.credit(alice.address(), U256{10'000'000});
+  for (int i = 0; i < 3; ++i) {
+    Transaction tx;
+    tx.to = key("bob").address();
+    tx.value = U256{1};
+    tx.gas_limit = 21'000;
+    ASSERT_TRUE(chain.submit(alice, tx).has_value());
+  }
+  EXPECT_EQ(chain.nonce_of(alice.address()), 3u);
+}
+
+TEST(Transactions, RejectsUnaffordableFeeEscrow) {
+  Blockchain chain;
+  const auto alice = key("alice");
+  chain.credit(alice.address(), U256{10'000});  // < gas_limit * price
+
+  Transaction tx;
+  tx.to = key("bob").address();
+  tx.value = U256{1};
+  tx.gas_limit = 21'000;
+  EXPECT_FALSE(chain.submit(alice, tx).has_value());
+}
+
+TEST(Deployment, CreatesContractAndRunsIt) {
+  Blockchain chain;
+  const auto alice = key("alice");
+  chain.credit(alice.address(), U256{100'000'000});
+
+  // Runtime: return CALLDATA[0] * 2.
+  evm::Assembler runtime;
+  runtime.push(0)
+      .op(evm::Opcode::CALLDATALOAD)
+      .push(2)
+      .op(evm::Opcode::MUL);
+  runtime.push(0).op(evm::Opcode::MSTORE);
+  runtime.push(32).push(0).op(evm::Opcode::RETURN);
+
+  Transaction deploy;
+  deploy.data = evm::Assembler::deployer(runtime.take());
+  const auto receipt = chain.submit(alice, deploy);
+  ASSERT_TRUE(receipt.has_value());
+  ASSERT_TRUE(receipt->success);
+  const Address contract = receipt->contract_address;
+  ASSERT_NE(chain.code_of(contract), nullptr);
+  EXPECT_FALSE(chain.code_of(contract)->empty());
+
+  Transaction call;
+  call.to = contract;
+  call.data.assign(32, 0);
+  call.data[31] = 21;
+  const auto result = chain.submit(alice, call);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->success);
+  EXPECT_EQ(U256::from_bytes(result->output), U256{42});
+}
+
+TEST(Deployment, DistinctAddressesPerNonce) {
+  Blockchain chain;
+  const auto alice = key("alice");
+  chain.credit(alice.address(), U256{100'000'000});
+
+  const evm::Bytes init = evm::Assembler::deployer({0x00});
+  Transaction d1;
+  d1.data = init;
+  Transaction d2;
+  d2.data = init;
+  const auto r1 = chain.submit(alice, d1);
+  const auto r2 = chain.submit(alice, d2);
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_NE(r1->contract_address, r2->contract_address);
+}
+
+TEST(Deployment, StorageWritesPersistAcrossTransactions) {
+  Blockchain chain;
+  const auto alice = key("alice");
+  chain.credit(alice.address(), U256{100'000'000});
+
+  // Runtime: slot0 += 1; return slot0.
+  evm::Assembler runtime;
+  runtime.push(0).op(evm::Opcode::SLOAD).push(1).op(evm::Opcode::ADD);
+  runtime.dup(1).push(0).op(evm::Opcode::SSTORE);
+  runtime.push(0).op(evm::Opcode::MSTORE);
+  runtime.push(32).push(0).op(evm::Opcode::RETURN);
+
+  Transaction deploy;
+  deploy.data = evm::Assembler::deployer(runtime.take());
+  const auto receipt = chain.submit(alice, deploy);
+  ASSERT_TRUE(receipt && receipt->success);
+
+  for (std::uint64_t expected = 1; expected <= 3; ++expected) {
+    Transaction call;
+    call.to = receipt->contract_address;
+    const auto r = chain.submit(alice, call);
+    ASSERT_TRUE(r && r->success);
+    EXPECT_EQ(U256::from_bytes(r->output), U256{expected});
+  }
+  EXPECT_EQ(chain.storage_at(receipt->contract_address, U256{0}), U256{3});
+}
+
+TEST(Deployment, BlockOpcodesSeeChainState) {
+  Blockchain chain;
+  const auto alice = key("alice");
+  chain.credit(alice.address(), U256{100'000'000});
+  chain.mine_blocks(41);
+
+  evm::Assembler runtime;
+  runtime.op(evm::Opcode::NUMBER);
+  runtime.push(0).op(evm::Opcode::MSTORE);
+  runtime.push(32).push(0).op(evm::Opcode::RETURN);
+  Transaction deploy;
+  deploy.data = evm::Assembler::deployer(runtime.take());
+  const auto receipt = chain.submit(alice, deploy);
+  ASSERT_TRUE(receipt && receipt->success);
+
+  Transaction call;
+  call.to = receipt->contract_address;
+  const auto r = chain.submit(alice, call);
+  ASSERT_TRUE(r && r->success);
+  EXPECT_EQ(U256::from_bytes(r->output), U256{41});
+}
+
+TEST(Deployment, RevertingConstructorFailsCreation) {
+  Blockchain chain;
+  const auto alice = key("alice");
+  chain.credit(alice.address(), U256{100'000'000});
+
+  evm::Assembler bad_init;
+  bad_init.push(0).push(0).op(evm::Opcode::REVERT);
+  Transaction deploy;
+  deploy.data = bad_init.take();
+  const auto receipt = chain.submit(alice, deploy);
+  ASSERT_TRUE(receipt.has_value());
+  EXPECT_FALSE(receipt->success);
+}
+
+// A trivial native contract for dispatch checks.
+class EchoNative : public NativeContract {
+ public:
+  std::pair<bool, evm::Bytes> invoke(const Address&, const U256&,
+                                     std::span<const std::uint8_t> data)
+      override {
+    return {true, evm::Bytes{data.begin(), data.end()}};
+  }
+};
+
+TEST(NativeContracts, DispatchedOnTransaction) {
+  Blockchain chain;
+  const auto alice = key("alice");
+  chain.credit(alice.address(), U256{100'000'000});
+  Address native_addr{};
+  native_addr[19] = 0xEE;
+  chain.register_native(native_addr, std::make_unique<EchoNative>());
+  ASSERT_TRUE(chain.is_native(native_addr));
+
+  Transaction tx;
+  tx.to = native_addr;
+  tx.data = {0xCA, 0xFE};
+  const auto r = chain.submit(alice, tx);
+  ASSERT_TRUE(r && r->success);
+  EXPECT_EQ(r->output, (evm::Bytes{0xCA, 0xFE}));
+}
+
+TEST(NativeContracts, ValueReachesNativeAccount) {
+  Blockchain chain;
+  const auto alice = key("alice");
+  chain.credit(alice.address(), U256{100'000'000});
+  Address native_addr{};
+  native_addr[19] = 0xEE;
+  chain.register_native(native_addr, std::make_unique<EchoNative>());
+
+  Transaction tx;
+  tx.to = native_addr;
+  tx.value = U256{12345};
+  tx.data = {0x00};
+  const auto r = chain.submit(alice, tx);
+  ASSERT_TRUE(r && r->success);
+  EXPECT_EQ(chain.balance_of(native_addr), U256{12345});
+}
+
+}  // namespace
+}  // namespace tinyevm::chain

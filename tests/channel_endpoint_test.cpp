@@ -1,0 +1,270 @@
+// End-to-end off-chain channel behaviour on the device side: template
+// bytecode execution on the local TinyEVM (sensor read in the constructor,
+// pay/status/close dispatch), endpoint signing flows, and the two-party
+// payment exchange the paper's Figure 5 traces.
+#include <gtest/gtest.h>
+
+#include "channel/manager.hpp"
+
+namespace tinyevm::channel {
+namespace {
+
+constexpr std::uint32_t kTempSensor = 7;
+
+struct Parties {
+  ChannelEndpoint car;
+  ChannelEndpoint lot;
+};
+
+Parties make_parties(const Hash256& anchor = keccak256("template-anchor")) {
+  Parties p{
+      ChannelEndpoint("car", PrivateKey::from_seed("car-key"), anchor),
+      ChannelEndpoint("lot", PrivateKey::from_seed("lot-key"), anchor),
+  };
+  p.car.sensors().set_reading(kTempSensor, U256{22});
+  p.lot.sensors().set_reading(kTempSensor, U256{21});
+  return p;
+}
+
+TEST(TemplateBytecode, RuntimeDeploysUnder8K) {
+  // The deployment limit the paper sets for the MCU (§VI-A).
+  EXPECT_LT(payment_channel_init_code(kTempSensor).size(), 8192u);
+  EXPECT_LT(payment_channel_runtime().size(), 1024u);
+}
+
+TEST(TemplateBytecode, ConstructorSamplesSensor) {
+  auto p = make_parties();
+  const auto addr = p.car.open_channel(U256{1}, U256{10}, kTempSensor);
+  ASSERT_TRUE(addr.has_value());
+  // Listing 2: the reading lands in slot 0x0c.
+  EXPECT_EQ(p.car.stored(TemplateSlots::kSensor), U256{22});
+  EXPECT_EQ(p.car.stored(TemplateSlots::kRate), U256{10});
+}
+
+TEST(TemplateBytecode, OpenFailsWithoutSensor) {
+  auto p = make_parties();
+  // Device 99 does not exist on the mote: the 0x0c opcode aborts, so the
+  // constructor fails and no channel contract is installed.
+  EXPECT_FALSE(p.car.open_channel(U256{1}, U256{10}, 99).has_value());
+}
+
+TEST(TemplateBytecode, PayAccumulatesAtNegotiatedRate) {
+  auto p = make_parties();
+  ASSERT_TRUE(p.car.open_channel(U256{1}, U256{10}, kTempSensor));
+  const auto s1 = p.car.make_payment(U256{3});  // 3 units * rate 10
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_EQ(s1->state.paid_total, U256{30});
+  EXPECT_EQ(s1->state.sequence, 1u);
+
+  const auto s2 = p.car.make_payment(U256{2});
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(s2->state.paid_total, U256{50});
+  EXPECT_EQ(s2->state.sequence, 2u);
+}
+
+TEST(TemplateBytecode, StateCarriesSensorData) {
+  auto p = make_parties();
+  ASSERT_TRUE(p.car.open_channel(U256{1}, U256{10}, kTempSensor));
+  const auto s = p.car.make_payment(U256{1});
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->state.sensor_data, U256{22});
+}
+
+TEST(Endpoint, FullPaymentRoundTwoParties) {
+  auto p = make_parties();
+  ASSERT_TRUE(p.car.open_channel(U256{1}, U256{10}, kTempSensor));
+  ASSERT_TRUE(p.lot.open_channel(U256{1}, U256{10}, kTempSensor));
+
+  // Car proposes a payment, lot countersigns, both record it.
+  auto proposal = p.car.make_payment(U256{4});
+  ASSERT_TRUE(proposal.has_value());
+  const auto counter = p.lot.countersign(proposal->state);
+  ASSERT_TRUE(counter.has_value());
+  proposal->receiver_sig = *counter;
+
+  EXPECT_TRUE(p.car.accept(*proposal));
+  EXPECT_TRUE(p.lot.accept(*proposal));
+  EXPECT_EQ(p.car.log().size(), 1u);
+  EXPECT_EQ(p.lot.log().size(), 1u);
+  EXPECT_EQ(p.car.log().head(), p.lot.log().head());
+
+  // The artifact is verifiable stand-alone.
+  EXPECT_TRUE(proposal->verify(p.car.address(), p.lot.address()));
+}
+
+TEST(Endpoint, MultiplePaymentsExtendBothLogs) {
+  auto p = make_parties();
+  ASSERT_TRUE(p.car.open_channel(U256{1}, U256{5}, kTempSensor));
+  ASSERT_TRUE(p.lot.open_channel(U256{1}, U256{5}, kTempSensor));
+
+  for (int i = 1; i <= 5; ++i) {
+    auto proposal = p.car.make_payment(U256{1});
+    ASSERT_TRUE(proposal.has_value());
+    const auto counter = p.lot.countersign(proposal->state);
+    ASSERT_TRUE(counter.has_value());
+    proposal->receiver_sig = *counter;
+    ASSERT_TRUE(p.car.accept(*proposal));
+    ASSERT_TRUE(p.lot.accept(*proposal));
+  }
+  EXPECT_EQ(p.car.log().size(), 5u);
+  EXPECT_EQ(p.lot.log().latest()->state.paid_total, U256{25});
+  EXPECT_TRUE(p.car.log().audit(keccak256("template-anchor")));
+  EXPECT_TRUE(p.lot.log().audit(keccak256("template-anchor")));
+}
+
+TEST(Endpoint, CountersignRejectsWrongChannel) {
+  auto p = make_parties();
+  ASSERT_TRUE(p.car.open_channel(U256{1}, U256{10}, kTempSensor));
+  ASSERT_TRUE(p.lot.open_channel(U256{2}, U256{10}, kTempSensor));  // id 2!
+  const auto proposal = p.car.make_payment(U256{1});
+  ASSERT_TRUE(proposal.has_value());
+  EXPECT_FALSE(p.lot.countersign(proposal->state).has_value());
+}
+
+TEST(Endpoint, CountersignRejectsReplayedSequence) {
+  auto p = make_parties();
+  ASSERT_TRUE(p.car.open_channel(U256{1}, U256{10}, kTempSensor));
+  ASSERT_TRUE(p.lot.open_channel(U256{1}, U256{10}, kTempSensor));
+
+  auto first = p.car.make_payment(U256{1});
+  ASSERT_TRUE(first.has_value());
+  const auto counter = p.lot.countersign(first->state);
+  ASSERT_TRUE(counter.has_value());
+  first->receiver_sig = *counter;
+  ASSERT_TRUE(p.lot.accept(*first));
+
+  // Replaying the same state: hash link no longer matches the log head.
+  EXPECT_FALSE(p.lot.countersign(first->state).has_value());
+}
+
+TEST(Endpoint, CountersignRejectsDecreasingTotal) {
+  auto p = make_parties();
+  ASSERT_TRUE(p.car.open_channel(U256{1}, U256{10}, kTempSensor));
+  ASSERT_TRUE(p.lot.open_channel(U256{1}, U256{10}, kTempSensor));
+
+  auto first = p.car.make_payment(U256{5});
+  ASSERT_TRUE(first.has_value());
+  auto counter = p.lot.countersign(first->state);
+  ASSERT_TRUE(counter.has_value());
+  first->receiver_sig = *counter;
+  ASSERT_TRUE(p.lot.accept(*first));
+
+  // A forged follow-up paying less than the recorded total.
+  ChannelState forged = first->state;
+  forged.sequence = 2;
+  forged.paid_total = U256{10};  // below the accepted 50
+  forged.prev_hash = p.lot.log().head();
+  EXPECT_FALSE(p.lot.countersign(forged).has_value());
+}
+
+TEST(Endpoint, AcceptRejectsUnsignedState) {
+  auto p = make_parties();
+  ASSERT_TRUE(p.car.open_channel(U256{1}, U256{10}, kTempSensor));
+  auto proposal = p.car.make_payment(U256{1});
+  ASSERT_TRUE(proposal.has_value());
+  // receiver_sig left default-initialized (r = s = 0).
+  EXPECT_FALSE(p.car.accept(*proposal));
+}
+
+TEST(Endpoint, CloseProducesFinalState) {
+  auto p = make_parties();
+  ASSERT_TRUE(p.car.open_channel(U256{1}, U256{10}, kTempSensor));
+  ASSERT_TRUE(p.car.make_payment(U256{3}).has_value());
+  const auto final_state = p.car.close_channel();
+  ASSERT_TRUE(final_state.has_value());
+  EXPECT_EQ(final_state->state.paid_total, U256{30});
+  EXPECT_EQ(final_state->state.sequence, 2u);  // close advances the clock
+  // After close the contract is gone; further payments fail.
+  EXPECT_FALSE(p.car.make_payment(U256{1}).has_value());
+}
+
+TEST(Endpoint, StatsCountVmAndCrypto) {
+  auto p = make_parties();
+  ASSERT_TRUE(p.car.open_channel(U256{1}, U256{10}, kTempSensor));
+  ASSERT_TRUE(p.car.make_payment(U256{1}).has_value());
+  const auto& stats = p.car.stats();
+  EXPECT_GT(stats.vm_cycles, 10'000u);  // constructor + pay + status
+  EXPECT_EQ(stats.signatures, 1u);
+  EXPECT_EQ(stats.states_signed, 1u);
+}
+
+TEST(Endpoint, SequentialChannelsOnOneLog) {
+  // The paper: "the nodes can open and close an arbitrary number of
+  // payment channels" (§IV-A). A second channel restarts its logical
+  // clock at 1; the shared side-chain log still links every state.
+  auto p = make_parties();
+  for (std::uint64_t session = 1; session <= 3; ++session) {
+    ASSERT_TRUE(p.car.open_channel(U256{session}, U256{10}, kTempSensor))
+        << session;
+    ASSERT_TRUE(p.lot.open_channel(U256{session}, U256{10}, kTempSensor));
+    auto proposal = p.car.make_payment(U256{1});
+    ASSERT_TRUE(proposal.has_value()) << session;
+    EXPECT_EQ(proposal->state.sequence, 1u) << "clock restarts per channel";
+    const auto counter = p.lot.countersign(proposal->state);
+    ASSERT_TRUE(counter.has_value()) << session;
+    proposal->receiver_sig = *counter;
+    ASSERT_TRUE(p.car.accept(*proposal)) << session;
+    ASSERT_TRUE(p.lot.accept(*proposal)) << session;
+    ASSERT_TRUE(p.car.close_channel().has_value()) << session;
+    ASSERT_TRUE(p.lot.close_channel().has_value()) << session;
+  }
+  EXPECT_EQ(p.car.log().size(), 3u);
+  EXPECT_TRUE(p.car.log().audit(keccak256("template-anchor")));
+}
+
+TEST(SideChainLogMultiChannel, PerChannelClockOrdering) {
+  const auto car = PrivateKey::from_seed("car");
+  const auto lot = PrivateKey::from_seed("lot");
+  const Hash256 genesis = keccak256("anchor-mc");
+  SideChainLog log(genesis);
+
+  auto signed_state = [&](std::uint64_t channel, std::uint64_t seq) {
+    ChannelState s;
+    s.channel_id = U256{channel};
+    s.sequence = seq;
+    s.paid_total = U256{seq * 10};
+    s.prev_hash = log.head();
+    SignedState out;
+    out.state = s;
+    out.sender_sig = secp256k1::sign(s.digest(), car);
+    out.receiver_sig = secp256k1::sign(s.digest(), lot);
+    return out;
+  };
+
+  ASSERT_TRUE(log.append(signed_state(1, 5)));
+  // Channel 2 may start at 1 even though channel 1 reached 5.
+  ASSERT_TRUE(log.append(signed_state(2, 1)));
+  // But channel 1 may not regress.
+  EXPECT_FALSE(log.append(signed_state(1, 5)));
+  EXPECT_FALSE(log.append(signed_state(1, 4)));
+  ASSERT_TRUE(log.append(signed_state(1, 6)));
+  EXPECT_TRUE(log.audit(genesis));
+}
+
+TEST(DeviceHost, ActuationRecorded) {
+  SensorBank sensors;
+  sensors.set_reading(9, U256{0});
+  DeviceHost host(sensors, evm::VmConfig::tiny());
+  evm::SensorRequest req;
+  req.device_id = 9;
+  req.actuate = true;
+  req.parameter = U256{42};
+  EXPECT_TRUE(host.sensor_access(req).has_value());
+  EXPECT_EQ(sensors.last_actuation(9), U256{42});
+}
+
+TEST(DeviceHost, StoragePerContractIsolated) {
+  SensorBank sensors;
+  DeviceHost host(sensors, evm::VmConfig::tiny());
+  evm::Address a{};
+  a[19] = 1;
+  evm::Address b{};
+  b[19] = 2;
+  ASSERT_TRUE(host.sstore(a, U256{1}, U256{100}));
+  ASSERT_TRUE(host.sstore(b, U256{1}, U256{200}));
+  EXPECT_EQ(host.sload(a, U256{1}), U256{100});
+  EXPECT_EQ(host.sload(b, U256{1}), U256{200});
+}
+
+}  // namespace
+}  // namespace tinyevm::channel

@@ -1,0 +1,192 @@
+// Channel state encoding, signed-state verification, and the side-chain
+// log's hash-link / logical-clock invariants.
+#include <gtest/gtest.h>
+
+#include "channel/state.hpp"
+
+namespace tinyevm::channel {
+namespace {
+
+ChannelState sample_state(std::uint64_t seq = 1, std::uint64_t paid = 100) {
+  ChannelState s;
+  s.channel_id = U256{7};
+  s.sequence = seq;
+  s.paid_total = U256{paid};
+  s.sensor_data = U256{22};
+  s.prev_hash = keccak256("genesis");
+  return s;
+}
+
+SignedState sign_both(const ChannelState& state, const PrivateKey& sender,
+                      const PrivateKey& receiver) {
+  SignedState out;
+  out.state = state;
+  out.sender_sig = secp256k1::sign(state.digest(), sender);
+  out.receiver_sig = secp256k1::sign(state.digest(), receiver);
+  return out;
+}
+
+TEST(ChannelState, EncodeDecodeRoundTrip) {
+  const ChannelState s = sample_state(42, 12345);
+  const auto decoded = ChannelState::decode(s.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, s);
+}
+
+TEST(ChannelState, DigestBindsEveryField) {
+  const ChannelState base = sample_state();
+  const Hash256 d0 = base.digest();
+
+  ChannelState mod = base;
+  mod.channel_id = U256{8};
+  EXPECT_NE(mod.digest(), d0) << "channel id not bound";
+
+  mod = base;
+  mod.sequence += 1;
+  EXPECT_NE(mod.digest(), d0) << "sequence not bound";
+
+  mod = base;
+  mod.paid_total += U256{1};
+  EXPECT_NE(mod.digest(), d0) << "amount not bound";
+
+  mod = base;
+  mod.sensor_data += U256{1};
+  EXPECT_NE(mod.digest(), d0) << "sensor data not bound";
+
+  mod = base;
+  mod.prev_hash[0] ^= 0xFF;
+  EXPECT_NE(mod.digest(), d0) << "hash link not bound";
+}
+
+TEST(ChannelState, DecodeRejectsGarbage) {
+  EXPECT_FALSE(ChannelState::decode(rlp::Bytes{}).has_value());
+  EXPECT_FALSE(ChannelState::decode(rlp::Bytes{0x01, 0x02}).has_value());
+  // A valid RLP list with the wrong arity.
+  const auto wrong = rlp::encode(rlp::Item::list({rlp::Item::quantity(U256{1})}));
+  EXPECT_FALSE(ChannelState::decode(wrong).has_value());
+}
+
+TEST(ChannelState, DecodeRejectsShortPrevHash) {
+  const auto bad = rlp::encode(rlp::Item::list({
+      rlp::Item::quantity(U256{1}),
+      rlp::Item::quantity(U256{1}),
+      rlp::Item::quantity(U256{1}),
+      rlp::Item::quantity(U256{1}),
+      rlp::Item::bytes(rlp::Bytes(16, 0xAA)),  // 16 != 32
+  }));
+  EXPECT_FALSE(ChannelState::decode(bad).has_value());
+}
+
+TEST(SignedState, RecoversBothSigners) {
+  const auto car = PrivateKey::from_seed("car");
+  const auto lot = PrivateKey::from_seed("lot");
+  const SignedState ss = sign_both(sample_state(), car, lot);
+  const auto signers = ss.recover_signers();
+  ASSERT_TRUE(signers.has_value());
+  EXPECT_EQ(signers->sender, car.address());
+  EXPECT_EQ(signers->receiver, lot.address());
+  EXPECT_TRUE(ss.verify(car.address(), lot.address()));
+}
+
+TEST(SignedState, VerifyRejectsSwappedRoles) {
+  const auto car = PrivateKey::from_seed("car");
+  const auto lot = PrivateKey::from_seed("lot");
+  const SignedState ss = sign_both(sample_state(), car, lot);
+  EXPECT_FALSE(ss.verify(lot.address(), car.address()));
+}
+
+TEST(SignedState, VerifyRejectsThirdPartySignature) {
+  const auto car = PrivateKey::from_seed("car");
+  const auto lot = PrivateKey::from_seed("lot");
+  const auto mallory = PrivateKey::from_seed("mallory");
+  const SignedState ss = sign_both(sample_state(), car, mallory);
+  EXPECT_FALSE(ss.verify(car.address(), lot.address()));
+}
+
+TEST(SignedState, TamperedStateBreaksSignatures) {
+  const auto car = PrivateKey::from_seed("car");
+  const auto lot = PrivateKey::from_seed("lot");
+  SignedState ss = sign_both(sample_state(1, 100), car, lot);
+  ss.state.paid_total = U256{1};  // receiver shortchanged after signing
+  EXPECT_FALSE(ss.verify(car.address(), lot.address()));
+}
+
+TEST(SideChainLog, AppendsLinkedStates) {
+  const auto car = PrivateKey::from_seed("car");
+  const auto lot = PrivateKey::from_seed("lot");
+  const Hash256 genesis = keccak256("anchor");
+  SideChainLog log(genesis);
+
+  ChannelState s1 = sample_state(1, 100);
+  s1.prev_hash = genesis;
+  ASSERT_TRUE(log.append(sign_both(s1, car, lot)));
+
+  ChannelState s2 = sample_state(2, 250);
+  s2.prev_hash = s1.digest();
+  ASSERT_TRUE(log.append(sign_both(s2, car, lot)));
+
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.head(), s2.digest());
+  EXPECT_TRUE(log.audit(genesis));
+}
+
+TEST(SideChainLog, RejectsBrokenHashLink) {
+  const auto car = PrivateKey::from_seed("car");
+  const auto lot = PrivateKey::from_seed("lot");
+  const Hash256 genesis = keccak256("anchor");
+  SideChainLog log(genesis);
+
+  ChannelState orphan = sample_state(1, 100);
+  orphan.prev_hash = keccak256("somewhere else");
+  EXPECT_FALSE(log.append(sign_both(orphan, car, lot)));
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(SideChainLog, RejectsNonAdvancingSequence) {
+  const auto car = PrivateKey::from_seed("car");
+  const auto lot = PrivateKey::from_seed("lot");
+  const Hash256 genesis = keccak256("anchor");
+  SideChainLog log(genesis);
+
+  ChannelState s1 = sample_state(5, 100);
+  s1.prev_hash = genesis;
+  ASSERT_TRUE(log.append(sign_both(s1, car, lot)));
+
+  ChannelState stale = sample_state(5, 200);  // same logical time
+  stale.prev_hash = s1.digest();
+  EXPECT_FALSE(log.append(sign_both(stale, car, lot)));
+
+  ChannelState backwards = sample_state(4, 200);
+  backwards.prev_hash = s1.digest();
+  EXPECT_FALSE(log.append(sign_both(backwards, car, lot)));
+}
+
+TEST(SideChainLog, AuditDetectsTamperedEntry) {
+  const auto car = PrivateKey::from_seed("car");
+  const auto lot = PrivateKey::from_seed("lot");
+  const Hash256 genesis = keccak256("anchor");
+  SideChainLog log(genesis);
+
+  ChannelState s1 = sample_state(1, 100);
+  s1.prev_hash = genesis;
+  ASSERT_TRUE(log.append(sign_both(s1, car, lot)));
+  EXPECT_TRUE(log.audit(genesis));
+  EXPECT_FALSE(log.audit(keccak256("wrong anchor")));
+}
+
+TEST(SideChainLog, LatestReflectsNewestState) {
+  const auto car = PrivateKey::from_seed("car");
+  const auto lot = PrivateKey::from_seed("lot");
+  const Hash256 genesis = keccak256("anchor");
+  SideChainLog log(genesis);
+  EXPECT_FALSE(log.latest().has_value());
+
+  ChannelState s1 = sample_state(1, 100);
+  s1.prev_hash = genesis;
+  ASSERT_TRUE(log.append(sign_both(s1, car, lot)));
+  ASSERT_TRUE(log.latest().has_value());
+  EXPECT_EQ(log.latest()->state.sequence, 1u);
+}
+
+}  // namespace
+}  // namespace tinyevm::channel

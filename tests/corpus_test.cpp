@@ -1,0 +1,168 @@
+// Corpus-generator tests: determinism, size-distribution targets, and the
+// emergent deployment behaviour the Figure 3/4 experiments rely on.
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.hpp"
+
+namespace tinyevm::corpus {
+namespace {
+
+GeneratorConfig small_config(std::size_t count = 300) {
+  GeneratorConfig cfg;
+  cfg.count = count;
+  return cfg;
+}
+
+TEST(Generator, DeterministicPerIndex) {
+  Generator g1{small_config()};
+  Generator g2{small_config()};
+  for (std::size_t i : {0u, 1u, 7u, 99u}) {
+    EXPECT_EQ(g1.make(i).init_code, g2.make(i).init_code) << i;
+  }
+}
+
+TEST(Generator, DistinctAcrossIndices) {
+  Generator g{small_config()};
+  EXPECT_NE(g.make(1).init_code, g.make(2).init_code);
+}
+
+TEST(Generator, SeedChangesCorpus) {
+  GeneratorConfig cfg = small_config();
+  cfg.seed = 999;
+  Generator g1{cfg};
+  Generator g2{small_config()};
+  EXPECT_NE(g1.make(1).init_code, g2.make(1).init_code);
+}
+
+TEST(Generator, SizesWithinPaperBounds) {
+  Generator g{small_config()};
+  for (std::size_t i = 0; i < 300; ++i) {
+    const auto c = g.make(i);
+    EXPECT_GE(c.init_code.size(), 20u) << i;
+    EXPECT_LE(c.init_code.size(), 26'000u) << i;
+  }
+}
+
+TEST(Generator, MeanSizeNear4K) {
+  // Paper Table II: mean 4,023 bytes over the full corpus.
+  Generator g{small_config(500)};
+  double total = 0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    total += static_cast<double>(g.make(i).init_code.size());
+  }
+  const double mean = total / 500;
+  EXPECT_GT(mean, 2'500.0);
+  EXPECT_LT(mean, 6'000.0);
+}
+
+TEST(Generator, IncludesMicroContracts) {
+  Generator g{small_config(500)};
+  std::size_t minimum = SIZE_MAX;
+  for (std::size_t i = 0; i < 500; ++i) {
+    minimum = std::min(minimum, g.make(i).init_code.size());
+  }
+  EXPECT_LT(minimum, 64u);  // paper min: 28 bytes
+}
+
+TEST(Deployment, SucceedsForTypicalContract) {
+  Generator g{small_config()};
+  const auto outcome = deploy_on_device(g.make(3), evm::VmConfig::tiny());
+  EXPECT_TRUE(outcome.success) << evm::to_string(outcome.status);
+  EXPECT_GT(outcome.max_stack_pointer, 0u);
+  EXPECT_GT(outcome.mcu_cycles, 0u);
+}
+
+TEST(Deployment, MemoryNeverExceedsDeviceLimit) {
+  Generator g{small_config()};
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto outcome = deploy_on_device(g.make(i), evm::VmConfig::tiny());
+    if (outcome.success) {
+      EXPECT_LE(outcome.memory_used, 8192u) << i;
+    }
+  }
+}
+
+TEST(Deployment, LargeRuntimesFailOnMemory) {
+  // Contracts whose runtime exceeds the 8 KB arena must fail with the
+  // device's out-of-memory status — the paper's 7 % failure mode.
+  Generator g{small_config(2000)};
+  bool saw_oom_failure = false;
+  for (std::size_t i = 0; i < 2000 && !saw_oom_failure; ++i) {
+    const auto c = g.make(i);
+    if (c.runtime_size <= 8192) continue;
+    const auto outcome = deploy_on_device(c, evm::VmConfig::tiny());
+    EXPECT_FALSE(outcome.success);
+    EXPECT_EQ(outcome.status, evm::Status::OutOfMemory);
+    saw_oom_failure = true;
+  }
+  EXPECT_TRUE(saw_oom_failure) << "corpus contains no >8K runtime?";
+}
+
+TEST(Deployment, SuccessRateNearPaper93Percent) {
+  Generator g{small_config(600)};
+  std::vector<DeploymentOutcome> outcomes;
+  for (std::size_t i = 0; i < 600; ++i) {
+    outcomes.push_back(deploy_on_device(g.make(i), evm::VmConfig::tiny()));
+  }
+  const auto stats = summarize(outcomes);
+  EXPECT_GT(stats.success_rate, 85.0);
+  EXPECT_LT(stats.success_rate, 99.0);
+}
+
+TEST(Deployment, StackPointersMatchFig3cShape) {
+  // Fig 3c: majority of deployments stay at or below ~10 stack elements,
+  // with a tail reaching tens of elements; Table II mean SP is 8.
+  Generator g{small_config(400)};
+  std::size_t shallow = 0;
+  std::size_t total = 0;
+  std::size_t max_sp = 0;
+  for (std::size_t i = 0; i < 400; ++i) {
+    const auto outcome = deploy_on_device(g.make(i), evm::VmConfig::tiny());
+    if (!outcome.success) continue;
+    ++total;
+    if (outcome.max_stack_pointer <= 12) ++shallow;
+    max_sp = std::max(max_sp, outcome.max_stack_pointer);
+  }
+  ASSERT_GT(total, 300u);
+  EXPECT_GT(static_cast<double>(shallow) / static_cast<double>(total), 0.5);
+  EXPECT_GT(max_sp, 10u);
+  EXPECT_LT(max_sp, 96u);  // never breaches the TinyEVM arena
+}
+
+TEST(Deployment, EthereumProfileDeploysTheOverflows) {
+  // The 7 % that fail on the mote deploy fine on an unconstrained EVM —
+  // the failures stem from the device limits, not from the bytecode.
+  Generator g{small_config(2000)};
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const auto c = g.make(i);
+    if (c.runtime_size <= 8192) continue;
+    auto cfg = evm::VmConfig::ethereum();
+    const auto outcome = deploy_on_device(c, cfg);
+    EXPECT_TRUE(outcome.success) << evm::to_string(outcome.status);
+    break;
+  }
+}
+
+TEST(Summarize, ComputesAggregates) {
+  std::vector<DeploymentOutcome> outcomes(4);
+  outcomes[0] = {true, evm::Status::Success, 100, 200, 5, 160, 3200, 0.1};
+  outcomes[1] = {true, evm::Status::Success, 300, 400, 7, 224, 6400, 0.2};
+  outcomes[2] = {false, evm::Status::OutOfMemory, 9000, 0, 0, 0, 0, 0};
+  outcomes[3] = {true, evm::Status::Success, 200, 300, 6, 192, 4800, 0.3};
+  const auto stats = summarize(outcomes);
+  EXPECT_EQ(stats.deployed, 3u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_NEAR(stats.success_rate, 75.0, 0.01);
+  EXPECT_NEAR(stats.contract_size.mean, 200.0, 0.01);
+  EXPECT_NEAR(stats.stack_pointer.max, 7.0, 0.01);
+  EXPECT_NEAR(stats.deploy_time_ms.min, 0.1, 0.001);
+}
+
+TEST(Summarize, EmptyCorpusIsSafe) {
+  const auto stats = summarize({});
+  EXPECT_EQ(stats.deployed, 0u);
+  EXPECT_EQ(stats.success_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace tinyevm::corpus

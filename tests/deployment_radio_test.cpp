@@ -1,0 +1,98 @@
+// Over-the-radio deployment: the paper's workflow ships contract bytecode
+// from a powerful node to the mote ("TinyEVM allows deploying smart
+// contracts from powerful nodes on a resource-constrained device", §VIII).
+// This exercises the whole receive-then-deploy path on the device model:
+// TSCH fragmentation of kilobytes of bytecode, then constructor execution.
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.hpp"
+#include "device/mote.hpp"
+
+namespace tinyevm::device {
+namespace {
+
+struct RadioDeploy {
+  double transfer_ms = 0;
+  double execute_ms = 0;
+  bool success = false;
+};
+
+RadioDeploy deploy_over_radio(const corpus::Contract& contract,
+                              unsigned loss_percent = 0) {
+  Mote gateway("gateway");
+  Mote mote("mote");
+  TschLink link(gateway, mote);
+  link.set_loss_rate(loss_percent);
+
+  const std::uint64_t t0 = mote.now_us();
+  link.transfer(gateway, static_cast<std::uint32_t>(contract.init_code.size()));
+  const std::uint64_t t1 = mote.now_us();
+
+  const auto outcome =
+      corpus::deploy_on_device(contract, evm::VmConfig::tiny());
+  mote.spend_cpu_cycles(outcome.mcu_cycles);
+
+  RadioDeploy out;
+  out.transfer_ms = static_cast<double>(t1 - t0) / 1000.0;
+  out.execute_ms = static_cast<double>(mote.now_us() - t1) / 1000.0;
+  out.success = outcome.success && !link.last_transfer_failed();
+  return out;
+}
+
+TEST(RadioDeployment, TypicalContractArrivesAndDeploys) {
+  corpus::Generator gen;
+  const auto result = deploy_over_radio(gen.make(3));
+  EXPECT_TRUE(result.success);
+  EXPECT_GT(result.transfer_ms, 0.0);
+  EXPECT_GT(result.execute_ms, 0.0);
+}
+
+TEST(RadioDeployment, TransferTimeScalesWithSize) {
+  corpus::Generator gen;
+  // Find one small and one large contract.
+  std::optional<corpus::Contract> small;
+  std::optional<corpus::Contract> large;
+  for (std::size_t i = 0; i < 200 && (!small || !large); ++i) {
+    auto c = gen.make(i);
+    if (c.init_code.size() < 1'000 && !small) small = std::move(c);
+    else if (c.init_code.size() > 6'000 && !large) large = std::move(c);
+  }
+  ASSERT_TRUE(small && large);
+  const auto rs = deploy_over_radio(*small);
+  const auto rl = deploy_over_radio(*large);
+  EXPECT_GT(rl.transfer_ms, rs.transfer_ms * 2);
+}
+
+TEST(RadioDeployment, MultiKilobyteTransferTakesSeconds) {
+  // A 4 KB contract needs ~40 fragments; at one 10 ms TSCH slot each the
+  // radio leg alone costs a large fraction of a second — exactly why the
+  // paper deploys templates once and reuses them per channel.
+  corpus::Generator gen;
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto c = gen.make(i);
+    if (c.init_code.size() < 3'500 || c.init_code.size() > 4'500) continue;
+    const auto r = deploy_over_radio(c);
+    EXPECT_GT(r.transfer_ms, 300.0);
+    EXPECT_LT(r.transfer_ms, 5'000.0);
+    return;
+  }
+  FAIL() << "no ~4 KB contract in the sample";
+}
+
+TEST(RadioDeployment, LossyLinkStretchesTransfer) {
+  corpus::Generator gen;
+  const auto contract = gen.make(5);
+  const auto clean = deploy_over_radio(contract, 0);
+  const auto lossy = deploy_over_radio(contract, 35);
+  ASSERT_TRUE(clean.success);
+  EXPECT_GT(lossy.transfer_ms, clean.transfer_ms);
+}
+
+TEST(RadioDeployment, DeadLinkFailsDeployment) {
+  corpus::Generator gen;
+  const auto result = deploy_over_radio(gen.make(5), 99);
+  EXPECT_FALSE(result.success);
+}
+
+}  // namespace
+}  // namespace tinyevm::device

@@ -1,0 +1,200 @@
+// Device-model tests: Energest accounting against the paper's Table IV
+// arithmetic, TSCH link timing, trace recording, crypto latencies (Table V),
+// and the memory-footprint report (Table III).
+#include <gtest/gtest.h>
+
+#include "device/footprint.hpp"
+#include "device/mote.hpp"
+
+namespace tinyevm::device {
+namespace {
+
+TEST(Energest, EnergyMatchesTable4Arithmetic) {
+  // Table IV: 350 ms on the crypto engine at 26 mA and 2.1 V = 19.1 mJ.
+  Energest e;
+  e.accumulate(PowerState::CryptoEngine, 350'000);
+  EXPECT_NEAR(e.energy_mj(PowerState::CryptoEngine), 19.1, 0.05);
+
+  // TX: 32 ms @ 24 mA -> 1.6 mJ.
+  e.accumulate(PowerState::Tx, 32'000);
+  EXPECT_NEAR(e.energy_mj(PowerState::Tx), 1.6, 0.02);
+
+  // RX: 52 ms @ 20 mA -> 2.18 mJ (the paper rounds to 2.1).
+  e.accumulate(PowerState::Rx, 52'000);
+  EXPECT_NEAR(e.energy_mj(PowerState::Rx), 2.18, 0.05);
+
+  // CPU: 150 ms @ 13 mA -> 4.1 mJ.
+  e.accumulate(PowerState::CpuActive, 150'000);
+  EXPECT_NEAR(e.energy_mj(PowerState::CpuActive), 4.1, 0.05);
+
+  // LPM2: 982 ms @ 1.3 mA -> 2.7 mJ.
+  e.accumulate(PowerState::Lpm2, 982'000);
+  EXPECT_NEAR(e.energy_mj(PowerState::Lpm2), 2.7, 0.05);
+
+  // Total: 29.6 mJ over 1,566 ms.
+  EXPECT_NEAR(e.total_energy_mj(), 29.6, 0.2);
+  EXPECT_NEAR(static_cast<double>(e.total_time_us()) / 1000.0, 1566.0, 0.2);
+}
+
+TEST(Energest, QuantizesToTimerResolution) {
+  Energest e;
+  e.accumulate(PowerState::CpuActive, 95);  // below two 30 us ticks
+  EXPECT_EQ(e.time_us(PowerState::CpuActive), 90u);
+}
+
+TEST(Energest, ResetClearsAll) {
+  Energest e;
+  e.accumulate(PowerState::Tx, 1000);
+  e.reset();
+  EXPECT_EQ(e.total_time_us(), 0u);
+  EXPECT_EQ(e.total_energy_mj(), 0.0);
+}
+
+TEST(Mote, SpendAdvancesClockAndTrace) {
+  Mote m("car");
+  m.spend(PowerState::CpuActive, 500);
+  m.spend(PowerState::Tx, 300);
+  EXPECT_EQ(m.now_us(), 800u);
+  ASSERT_EQ(m.trace().size(), 2u);
+  EXPECT_EQ(m.trace()[0].state, PowerState::CpuActive);
+  EXPECT_EQ(m.trace()[0].current_ma, CurrentDraw::kCpuActiveMa);
+  EXPECT_EQ(m.trace()[1].start_us, 500u);
+}
+
+TEST(Mote, CpuCyclesConvertAtCoreClock) {
+  Mote m("car");
+  m.spend_cpu_cycles(Cc2538Spec::kCpuHz / 1000);  // 1 ms worth
+  EXPECT_EQ(m.now_us(), 1000u);
+}
+
+TEST(Mote, SleepUntilFillsWithLpm2) {
+  Mote m("car");
+  m.spend(PowerState::CpuActive, 100);
+  m.sleep_until(1000);
+  EXPECT_EQ(m.now_us(), 1000u);
+  EXPECT_EQ(m.energest().time_us(PowerState::Lpm2), 900u);
+  m.sleep_until(500);  // past times are no-ops
+  EXPECT_EQ(m.now_us(), 1000u);
+}
+
+TEST(Mote, CryptoLatenciesMatchTable5) {
+  // Reported times are quantized to the 30 us Energest tick, so compare
+  // within one tick.
+  const auto near_tick = [](std::uint64_t actual, std::uint64_t expected) {
+    return actual <= expected &&
+           expected - actual < Energest::kTimerResolutionUs;
+  };
+  Mote m("car");
+  m.ecdsa_sign_latency();
+  EXPECT_TRUE(near_tick(m.energest().time_us(PowerState::CryptoEngine),
+                        CryptoLatency::kEcdsaSignUs));
+  m.sha256_latency();
+  EXPECT_TRUE(near_tick(m.energest().time_us(PowerState::CryptoEngine),
+                        CryptoLatency::kEcdsaSignUs +
+                            CryptoLatency::kSha256Us));
+  // Keccak runs in software: CPU time, not engine time.
+  const auto cpu_before = m.energest().time_us(PowerState::CpuActive);
+  m.keccak256_latency();
+  EXPECT_TRUE(near_tick(m.energest().time_us(PowerState::CpuActive),
+                        cpu_before + CryptoLatency::kKeccak256Us));
+}
+
+TEST(TschLink, SingleFrameTransfer) {
+  Mote a("car");
+  Mote b("lot");
+  TschLink link(a, b);
+  const std::uint64_t elapsed = link.transfer(a, 40);
+  EXPECT_GT(elapsed, 0u);
+  // Sender spent TX, receiver RX, clocks aligned.
+  EXPECT_GT(a.energest().time_us(PowerState::Tx), 0u);
+  EXPECT_EQ(a.energest().time_us(PowerState::Rx), 0u);
+  EXPECT_GT(b.energest().time_us(PowerState::Rx), 0u);
+  EXPECT_EQ(a.now_us(), b.now_us());
+}
+
+TEST(TschLink, FragmentsLargePayloads) {
+  EXPECT_EQ(TschLink::frames_needed(40), 1u);
+  EXPECT_EQ(TschLink::frames_needed(106), 1u);
+  EXPECT_EQ(TschLink::frames_needed(107), 2u);
+  EXPECT_EQ(TschLink::frames_needed(500), 5u);
+}
+
+TEST(TschLink, MultiFrameTakesLonger) {
+  Mote a1("a1");
+  Mote b1("b1");
+  TschLink l1(a1, b1);
+  const auto small = l1.transfer(a1, 40);
+
+  Mote a2("a2");
+  Mote b2("b2");
+  TschLink l2(a2, b2);
+  const auto large = l2.transfer(a2, 400);
+  EXPECT_GT(large, small);
+}
+
+TEST(TschLink, TransfersAlignToTimeslots) {
+  Mote a("a");
+  Mote b("b");
+  a.spend(PowerState::CpuActive, 12'345);  // desync the clocks
+  TschLink link(a, b);
+  link.transfer(a, 40);
+  // The transfer started at the next 10 ms boundary after 12,345 us, so
+  // the receiver idled in LPM2 until then.
+  EXPECT_GT(b.energest().time_us(PowerState::Lpm2), 19'000u);
+}
+
+TEST(TschLink, RadioTimeAtTable4Scale) {
+  // A full round exchanges roughly: sensor data both ways + signed state +
+  // two signatures. TX time on one mote should land in the tens of ms, as
+  // Table IV reports (32 ms TX / 52 ms RX).
+  Mote car("car");
+  Mote lot("lot");
+  TschLink link(car, lot);
+  link.transfer(car, 40);    // sensor data out
+  link.transfer(lot, 40);    // sensor data in
+  link.transfer(car, 129);   // signed state
+  link.transfer(lot, 65);    // counter-signature
+  link.transfer(car, 65);    // closing signature
+  link.transfer(lot, 65);    // closing signature back
+  const double tx_ms = car.energest().time_ms(PowerState::Tx);
+  const double rx_ms = car.energest().time_ms(PowerState::Rx);
+  EXPECT_GT(tx_ms, 5.0);
+  EXPECT_LT(tx_ms, 60.0);
+  EXPECT_GT(rx_ms, 5.0);
+  EXPECT_LT(rx_ms, 80.0);
+}
+
+TEST(Footprint, Table3Shape) {
+  const auto report = footprint_report(evm::VmConfig::tiny(), 2035);
+  ASSERT_EQ(report.rows.size(), 3u);
+
+  const auto& os = report.rows[0];
+  EXPECT_EQ(os.ram_bytes, ContikiFootprint::kOsRamBytes);
+  EXPECT_EQ(os.rom_bytes, ContikiFootprint::kOsRomBytes);
+  EXPECT_NEAR(os.ram_percent(), 33.0, 2.0);
+
+  const auto& vm = report.rows[1];
+  // Paper: TinyEVM 13,286 B RAM (42 %), ~1.9 KB ROM.
+  EXPECT_NEAR(vm.ram_percent(), 42.0, 4.0);
+  EXPECT_GT(vm.ram_bytes, 12'000u);
+  EXPECT_LT(vm.ram_bytes, 14'500u);
+  EXPECT_GT(vm.rom_bytes, 1'500u);
+  EXPECT_LT(vm.rom_bytes, 2'500u);
+
+  const auto& tmpl = report.rows[2];
+  EXPECT_NEAR(tmpl.ram_percent(), 5.0, 2.0);
+
+  // Total ~80 % of RAM, ~11 % of ROM; the rest is headroom.
+  EXPECT_NEAR(report.total().ram_percent(), 80.0, 5.0);
+  EXPECT_NEAR(report.total().rom_percent(), 11.0, 3.0);
+  EXPECT_NEAR(report.available().ram_percent(), 20.0, 5.0);
+}
+
+TEST(Footprint, VmRamScalesWithConfiguration) {
+  evm::VmConfig small = evm::VmConfig::tiny();
+  small.memory_limit = 4096;
+  EXPECT_LT(vm_ram_bytes(small), vm_ram_bytes(evm::VmConfig::tiny()));
+}
+
+}  // namespace
+}  // namespace tinyevm::device

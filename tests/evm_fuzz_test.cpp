@@ -1,0 +1,156 @@
+// Interpreter robustness: random bytecode must always terminate with a
+// typed status — never crash, never hang, never corrupt the host. The
+// watchdog (max_ops) bounds runaway loops in the unmetered TinyEVM
+// profile, mirroring a mote's watchdog timer.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "channel/manager.hpp"
+#include "evm/asm.hpp"
+#include "evm/vm.hpp"
+
+namespace tinyevm::evm {
+namespace {
+
+Bytes random_code(std::mt19937_64& rng, std::size_t len) {
+  Bytes code(len);
+  for (auto& b : code) b = static_cast<std::uint8_t>(rng());
+  return code;
+}
+
+/// Biased generator: mostly valid opcodes, realistic push density.
+Bytes biased_code(std::mt19937_64& rng, std::size_t len) {
+  Assembler a;
+  while (a.size() < len) {
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+      case 2:
+        a.push(rng() & 0xFFFFFF);
+        break;
+      case 3: {
+        static constexpr Opcode kBin[] = {Opcode::ADD, Opcode::MUL,
+                                          Opcode::SUB, Opcode::DIV,
+                                          Opcode::AND, Opcode::XOR};
+        a.op(kBin[rng() % std::size(kBin)]);
+        break;
+      }
+      case 4:
+        a.dup(1 + rng() % 16);
+        break;
+      case 5:
+        a.swap(1 + rng() % 16);
+        break;
+      case 6:
+        a.op(rng() % 2 ? Opcode::MSTORE : Opcode::MLOAD);
+        break;
+      default:
+        a.op(rng() % 2 ? Opcode::JUMP : Opcode::JUMPI);
+        break;
+    }
+  }
+  return a.take();
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, RawRandomBytesTerminateTyped) {
+  std::mt19937_64 rng(GetParam());
+  channel::SensorBank sensors;
+  sensors.set_reading(7, U256{22});
+  for (int round = 0; round < 40; ++round) {
+    channel::DeviceHost host(sensors, VmConfig::tiny());
+    VmConfig config = VmConfig::tiny();
+    config.max_ops = 200'000;  // tight watchdog for the fuzz loop
+    Vm vm{config};
+    Message msg;
+    msg.code = random_code(rng, 16 + rng() % 512);
+    msg.data = random_code(rng, rng() % 64);
+    const ExecResult r = vm.execute(host, msg);
+    // Any status is fine; the invariant is typed, bounded termination.
+    EXPECT_LE(r.stats.ops_executed, config.max_ops + 1);
+    EXPECT_LE(r.stats.max_stack_pointer, config.stack_limit);
+    EXPECT_LE(r.stats.peak_memory, config.memory_limit);
+  }
+}
+
+TEST_P(FuzzSeeds, BiasedCodeTerminatesTyped) {
+  std::mt19937_64 rng(GetParam() ^ 0xBEEF);
+  channel::SensorBank sensors;
+  for (int round = 0; round < 40; ++round) {
+    channel::DeviceHost host(sensors, VmConfig::tiny());
+    VmConfig config = VmConfig::tiny();
+    config.max_ops = 200'000;
+    Vm vm{config};
+    Message msg;
+    msg.code = biased_code(rng, 32 + rng() % 256);
+    const ExecResult r = vm.execute(host, msg);
+    EXPECT_LE(r.stats.max_stack_pointer, config.stack_limit);
+  }
+}
+
+TEST_P(FuzzSeeds, EthereumProfileBoundedByGas) {
+  std::mt19937_64 rng(GetParam() ^ 0xCAFE);
+  channel::SensorBank sensors;
+  for (int round = 0; round < 20; ++round) {
+    channel::DeviceHost host(sensors, VmConfig::ethereum());
+    Vm vm{VmConfig::ethereum()};
+    Message msg;
+    msg.code = random_code(rng, 16 + rng() % 512);
+    msg.gas = 100'000;
+    const ExecResult r = vm.execute(host, msg);
+    if (r.status == Status::Success || r.status == Status::Revert) {
+      EXPECT_GE(r.gas_left, 0);
+    } else {
+      EXPECT_EQ(r.gas_left, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+TEST(Watchdog, InfiniteLoopAborts) {
+  // JUMPDEST; PUSH1 0; JUMP — the canonical off-chain footgun.
+  Assembler prog;
+  prog.label();
+  prog.push(0).op(Opcode::JUMP);
+  channel::SensorBank sensors;
+  channel::DeviceHost host(sensors, VmConfig::tiny());
+  VmConfig config = VmConfig::tiny();
+  config.max_ops = 10'000;
+  Vm vm{config};
+  Message msg;
+  msg.code = prog.take();
+  const ExecResult r = vm.execute(host, msg);
+  EXPECT_EQ(r.status, Status::WatchdogExpired);
+  EXPECT_EQ(r.stats.ops_executed, 10'001u);
+}
+
+TEST(Watchdog, ZeroMeansUnlimited) {
+  Assembler prog;
+  prog.push(30'000);
+  const auto loop = prog.label();
+  prog.push(1).swap(1).op(Opcode::SUB).dup(1);
+  prog.push_label(loop).op(Opcode::JUMPI);
+  channel::SensorBank sensors;
+  channel::DeviceHost host(sensors, VmConfig::tiny());
+  VmConfig config = VmConfig::tiny();
+  config.max_ops = 0;
+  Vm vm{config};
+  Message msg;
+  msg.code = prog.take();
+  const ExecResult r = vm.execute(host, msg);
+  EXPECT_TRUE(r.ok());
+  EXPECT_GT(r.stats.ops_executed, 100'000u);
+}
+
+TEST(Watchdog, DefaultHighEnoughForHeavyCorpusContracts) {
+  // The heaviest corpus constructors run minutes of MCU time but stay
+  // well under the default 50M-op watchdog.
+  EXPECT_GE(VmConfig::tiny().max_ops, 10'000'000u);
+}
+
+}  // namespace
+}  // namespace tinyevm::evm

@@ -1,0 +1,417 @@
+// VM-level behaviour: profiles, limits, gas metering, nested calls/creates,
+// code analysis, statistics, and the opcode census behind Table I.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "evm/asm.hpp"
+#include "evm/vm.hpp"
+
+namespace tinyevm::evm {
+namespace {
+
+/// Host with a contract table so CREATE/CALL re-enter the interpreter, the
+/// way the chain and device layers drive it.
+class RecursiveHost : public NullHost {
+ public:
+  explicit RecursiveHost(VmConfig config) : config_(config) {}
+
+  U256 sload(const Address&, const U256& key) override {
+    return storage.load(key);
+  }
+  bool sstore(const Address&, const U256& key, const U256& value) override {
+    return storage.store(key, value);
+  }
+  Bytes code_at(const Address& addr) override {
+    const auto it = contracts.find(addr);
+    return it == contracts.end() ? Bytes{} : it->second;
+  }
+  BlockInfo block_info() override { return block; }
+  Hash256 block_hash(std::uint64_t n) override {
+    Hash256 h{};
+    h[31] = static_cast<std::uint8_t>(n);
+    return h;
+  }
+
+  CreateResult create(const CreateRequest& req) override {
+    Vm vm{config_};
+    Message msg;
+    msg.self[19] = next_address++;
+    msg.caller = req.sender;
+    msg.value = req.value;
+    msg.code = req.init_code;
+    msg.gas = req.gas;
+    msg.depth = req.depth;
+    const ExecResult r = vm.execute(*this, msg);
+    if (!r.ok()) return CreateResult{false, {}, r.gas_left};
+    contracts[msg.self] = r.output;
+    return CreateResult{true, msg.self, r.gas_left};
+  }
+
+  CallResult call(const CallRequest& req) override {
+    const auto it = contracts.find(req.to);
+    if (it == contracts.end()) return CallResult{true, {}, req.gas};
+    Vm vm{config_};
+    Message msg;
+    msg.self = req.to;
+    msg.caller = req.sender;
+    msg.value = req.value;
+    msg.data = req.data;
+    msg.code = it->second;
+    msg.gas = req.gas;
+    msg.depth = req.depth;
+    msg.is_static = req.is_static;
+    const ExecResult r = vm.execute(*this, msg);
+    return CallResult{r.ok(), r.output, r.gas_left};
+  }
+
+  TinyStorage storage;
+  std::map<Address, Bytes> contracts;
+  BlockInfo block;
+  std::uint8_t next_address = 1;
+  VmConfig config_;
+};
+
+ExecResult exec(const Bytes& code, Host& host, VmConfig config,
+                std::int64_t gas = 10'000'000) {
+  Vm vm{config};
+  Message msg;
+  msg.code = code;
+  msg.gas = gas;
+  return vm.execute(host, msg);
+}
+
+// ---- profile differences ----
+
+TEST(Profiles, BlockOpcodesTrapInTinyEvm) {
+  RecursiveHost host{VmConfig::tiny()};
+  for (auto op : {Opcode::NUMBER, Opcode::TIMESTAMP, Opcode::COINBASE,
+                  Opcode::DIFFICULTY, Opcode::GASLIMIT, Opcode::BLOCKHASH}) {
+    Assembler prog;
+    if (op == Opcode::BLOCKHASH) prog.push(0);
+    prog.op(op);
+    const auto r = exec(prog.take(), host, VmConfig::tiny());
+    EXPECT_EQ(r.status, Status::ForbiddenOpcode)
+        << info(op).name << " should trap in TinyEVM";
+  }
+}
+
+TEST(Profiles, BlockOpcodesWorkInEthereum) {
+  RecursiveHost host{VmConfig::ethereum()};
+  host.block.number = 99;
+  host.block.timestamp = 12345;
+  Assembler prog;
+  prog.op(Opcode::NUMBER).op(Opcode::TIMESTAMP).op(Opcode::ADD);
+  prog.push(0).op(Opcode::MSTORE).push(32).push(0).op(Opcode::RETURN);
+  const auto r = exec(prog.take(), host, VmConfig::ethereum());
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  EXPECT_EQ(U256::from_bytes(r.output), U256{99 + 12345});
+}
+
+TEST(Profiles, GasOpcodesTrapInTinyEvm) {
+  RecursiveHost host{VmConfig::tiny()};
+  for (auto op : {Opcode::GAS, Opcode::GASPRICE, Opcode::EXTCODESIZE}) {
+    Assembler prog;
+    if (op == Opcode::EXTCODESIZE) prog.push(0);
+    prog.op(op);
+    const auto r = exec(prog.take(), host, VmConfig::tiny());
+    EXPECT_EQ(r.status, Status::ForbiddenOpcode) << info(op).name;
+  }
+}
+
+TEST(Profiles, StackLimitIs96InTinyEvm) {
+  RecursiveHost host{VmConfig::tiny()};
+  Assembler ok_prog;
+  for (int i = 0; i < 96; ++i) ok_prog.push(1);
+  EXPECT_TRUE(exec(ok_prog.take(), host, VmConfig::tiny()).ok());
+
+  Assembler over_prog;
+  for (int i = 0; i < 97; ++i) over_prog.push(1);
+  EXPECT_EQ(exec(over_prog.take(), host, VmConfig::tiny()).status,
+            Status::StackOverflow);
+}
+
+TEST(Profiles, StackLimitIs1024InEthereum) {
+  RecursiveHost host{VmConfig::ethereum()};
+  Assembler prog;
+  for (int i = 0; i < 1024; ++i) prog.push(1);
+  EXPECT_TRUE(exec(prog.take(), host, VmConfig::ethereum()).ok());
+  Assembler over;
+  for (int i = 0; i < 1025; ++i) over.push(1);
+  EXPECT_EQ(exec(over.take(), host, VmConfig::ethereum()).status,
+            Status::StackOverflow);
+}
+
+TEST(Profiles, NoMeteringInTinyEvm) {
+  // A long loop with gas=1 still completes off-chain.
+  RecursiveHost host{VmConfig::tiny()};
+  Assembler prog;
+  prog.push(200);
+  const auto loop = prog.label();
+  prog.push(1).swap(1).op(Opcode::SUB).dup(1);
+  prog.push_label(loop).op(Opcode::JUMPI);
+  const auto r = exec(prog.take(), host, VmConfig::tiny(), /*gas=*/1);
+  EXPECT_TRUE(r.ok());
+  EXPECT_GT(r.stats.ops_executed, 1000u);
+}
+
+TEST(Profiles, MeteringAbortsInEthereum) {
+  RecursiveHost host{VmConfig::ethereum()};
+  Assembler prog;
+  prog.push(1000000);
+  const auto loop = prog.label();
+  prog.push(1).swap(1).op(Opcode::SUB).dup(1);
+  prog.push_label(loop).op(Opcode::JUMPI);
+  const auto r = exec(prog.take(), host, VmConfig::ethereum(), /*gas=*/5000);
+  EXPECT_EQ(r.status, Status::OutOfGas);
+  EXPECT_EQ(r.gas_left, 0);
+}
+
+TEST(Profiles, GasChargedForMemoryExpansion) {
+  RecursiveHost host{VmConfig::ethereum()};
+  Assembler prog;
+  prog.push(1).push(100000).op(Opcode::MSTORE);
+  const auto cheap = exec(prog.bytes(), host, VmConfig::ethereum(),
+                          /*gas=*/1000);
+  EXPECT_EQ(cheap.status, Status::OutOfGas);
+  const auto rich = exec(prog.take(), host, VmConfig::ethereum(),
+                         /*gas=*/10'000'000);
+  EXPECT_TRUE(rich.ok());
+}
+
+// ---- statistics (the evaluation hooks) ----
+
+TEST(Stats, MaxStackPointerTracksHighWater) {
+  RecursiveHost host{VmConfig::tiny()};
+  Assembler prog;
+  prog.push(1).push(2).push(3).op(Opcode::POP).op(Opcode::POP).push(4);
+  const auto r = exec(prog.take(), host, VmConfig::tiny());
+  EXPECT_EQ(r.stats.max_stack_pointer, 3u);
+}
+
+TEST(Stats, OpsAndCyclesAccumulate) {
+  RecursiveHost host{VmConfig::tiny()};
+  Assembler prog;
+  prog.push(3).push(4).op(Opcode::ADD);
+  const auto r = exec(prog.take(), host, VmConfig::tiny());
+  EXPECT_EQ(r.stats.ops_executed, 3u);
+  // Two pushes (~66, 66) + one ADD (~180).
+  EXPECT_GT(r.stats.mcu_cycles, 200u);
+  EXPECT_LT(r.stats.mcu_cycles, 1000u);
+}
+
+TEST(Stats, PeakMemoryReported) {
+  RecursiveHost host{VmConfig::tiny()};
+  Assembler prog;
+  prog.push(1).push(1000).op(Opcode::MSTORE);
+  const auto r = exec(prog.take(), host, VmConfig::tiny());
+  EXPECT_EQ(r.stats.peak_memory, 1056u);  // 1032 rounded to words
+}
+
+// ---- nested execution ----
+
+TEST(Create, DeploysChildAndReturnsAddress) {
+  RecursiveHost host{VmConfig::tiny()};
+  // init code returning a 1-byte runtime (STOP).
+  const Bytes runtime = {0x00};
+  const Bytes init = Assembler::deployer(runtime);
+
+  Assembler prog;
+  // Store init code into memory then CREATE.
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    prog.push(init[i]).push(i).op(Opcode::MSTORE8);
+  }
+  prog.push(init.size()).push(0).push(0).op(Opcode::CREATE);
+  prog.push(0).op(Opcode::MSTORE).push(32).push(0).op(Opcode::RETURN);
+  const auto r = exec(prog.take(), host, VmConfig::tiny());
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  EXPECT_FALSE(U256::from_bytes(r.output).is_zero());
+  ASSERT_EQ(host.contracts.size(), 1u);
+  EXPECT_EQ(host.contracts.begin()->second, runtime);
+}
+
+TEST(Call, RoundTripThroughChildContract) {
+  RecursiveHost host{VmConfig::tiny()};
+  // Child: returns CALLDATA[0..32] + 1.
+  Assembler child;
+  child.push(0).op(Opcode::CALLDATALOAD).push(1).op(Opcode::ADD);
+  child.push(0).op(Opcode::MSTORE).push(32).push(0).op(Opcode::RETURN);
+  Address child_addr{};
+  child_addr[19] = 0x77;
+  host.contracts[child_addr] = child.take();
+
+  // Parent: mem[0]=41, CALL child, return child's answer from mem[32].
+  Assembler parent;
+  parent.push(41).push(0).op(Opcode::MSTORE);
+  parent.push(32).push(32);  // ret len, ret offset
+  parent.push(32).push(0);   // args len, args offset
+  parent.push(0);            // value
+  parent.push_word(U256::from_bytes(child_addr));
+  parent.push(100000);  // gas
+  parent.op(Opcode::CALL);
+  parent.op(Opcode::POP);
+  parent.push(32).push(32).op(Opcode::RETURN);
+  const auto r = exec(parent.take(), host, VmConfig::tiny());
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  EXPECT_EQ(U256::from_bytes(r.output), U256{42});
+}
+
+TEST(Call, ReturndatacopyFetchesChildOutput) {
+  RecursiveHost host{VmConfig::tiny()};
+  Assembler child;
+  child.push(0xBEEF).push(0).op(Opcode::MSTORE);
+  child.push(32).push(0).op(Opcode::RETURN);
+  Address child_addr{};
+  child_addr[19] = 0x55;
+  host.contracts[child_addr] = child.take();
+
+  Assembler parent;
+  parent.push(0).push(0).push(0).push(0).push(0);
+  parent.push_word(U256::from_bytes(child_addr));
+  parent.push(100000).op(Opcode::CALL).op(Opcode::POP);
+  parent.op(Opcode::RETURNDATASIZE);  // -> 32
+  parent.push(0).push(0).op(Opcode::RETURNDATACOPY);  // copy all to mem 0
+  parent.push(32).push(0).op(Opcode::RETURN);
+  const auto r = exec(parent.take(), host, VmConfig::tiny());
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  EXPECT_EQ(U256::from_bytes(r.output), U256{0xBEEF});
+}
+
+TEST(Call, StaticCallBlocksStateMutation) {
+  RecursiveHost host{VmConfig::tiny()};
+  Assembler child;
+  child.push(1).push(0).op(Opcode::SSTORE);
+  Address child_addr{};
+  child_addr[19] = 0x66;
+  host.contracts[child_addr] = child.take();
+
+  Assembler parent;
+  parent.push(0).push(0).push(0).push(0);
+  parent.push_word(U256::from_bytes(child_addr));
+  parent.push(100000).op(Opcode::STATICCALL);
+  parent.push(0).op(Opcode::MSTORE).push(32).push(0).op(Opcode::RETURN);
+  const auto r = exec(parent.take(), host, VmConfig::tiny());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(U256::from_bytes(r.output), U256{});  // child failed
+  EXPECT_EQ(host.storage.used_slots(), 0u);
+}
+
+TEST(Call, DepthLimitEnforced) {
+  RecursiveHost host{VmConfig::tiny()};
+  // Self-calling contract: infinite recursion must stop at max_call_depth.
+  Address self_addr{};
+  self_addr[19] = 0x99;
+  Assembler prog;
+  prog.push(0).push(0).push(0).push(0).push(0);
+  prog.push_word(U256::from_bytes(self_addr));
+  prog.push(100000).op(Opcode::CALL);
+  prog.push(0).op(Opcode::MSTORE).push(32).push(0).op(Opcode::RETURN);
+  host.contracts[self_addr] = prog.take();
+
+  Vm vm{VmConfig::tiny()};
+  Message msg;
+  msg.self = self_addr;
+  msg.code = host.contracts[self_addr];
+  const auto r = vm.execute(host, msg);
+  EXPECT_TRUE(r.ok());  // the recursion bottoms out with failed inner calls
+}
+
+// ---- code analysis ----
+
+TEST(CodeAnalysis, FindsJumpdests) {
+  const Bytes code = {0x5b, 0x60, 0x5b, 0x5b};  // JUMPDEST PUSH1 0x5b JUMPDEST
+  CodeAnalysis analysis(code);
+  EXPECT_TRUE(analysis.valid_jumpdest(0));
+  EXPECT_FALSE(analysis.valid_jumpdest(1));
+  EXPECT_FALSE(analysis.valid_jumpdest(2));  // inside PUSH immediate
+  EXPECT_TRUE(analysis.valid_jumpdest(3));
+}
+
+TEST(CodeAnalysis, OutOfRangeIsInvalid) {
+  const Bytes code = {0x5b};
+  CodeAnalysis analysis(code);
+  EXPECT_FALSE(analysis.valid_jumpdest(1));
+  EXPECT_FALSE(analysis.valid_jumpdest(1000));
+}
+
+TEST(CodeAnalysis, TruncatedPushAtEnd) {
+  const Bytes code = {0x7f, 0x5b};  // PUSH32 with 1 byte of immediate
+  CodeAnalysis analysis(code);
+  EXPECT_FALSE(analysis.valid_jumpdest(1));
+}
+
+// ---- opcode census (Table I) ----
+
+TEST(Census, EvmCountsMatchPaperTable1) {
+  const CategoryCensus evm = census(false);
+  EXPECT_EQ(evm.operation, 27u);
+  EXPECT_EQ(evm.smart_contract, 25u);
+  EXPECT_EQ(evm.memory, 13u);
+  EXPECT_EQ(evm.blockchain, 6u);
+  EXPECT_EQ(evm.iot, 0u);
+  EXPECT_EQ(evm.total(), 71u);  // "71 active (discrete) opcodes"
+}
+
+TEST(Census, TinyEvmCountsMatchPaperTable1) {
+  const CategoryCensus tiny = census(true);
+  EXPECT_EQ(tiny.operation, 27u);
+  EXPECT_EQ(tiny.smart_contract, 21u);
+  EXPECT_EQ(tiny.memory, 13u);
+  EXPECT_EQ(tiny.blockchain, 0u);
+  EXPECT_EQ(tiny.iot, 1u);
+}
+
+TEST(Census, SensorUsesUnused0x0cSlot) {
+  EXPECT_FALSE(info(std::uint8_t{0x0c}).defined);  // unused in original EVM
+  EXPECT_TRUE(info(std::uint8_t{0x0c}).tinyevm);
+  EXPECT_EQ(info(std::uint8_t{0x0c}).name, "SENSOR");
+}
+
+// ---- assembler/disassembler ----
+
+TEST(Asm, PushPicksMinimalWidth) {
+  Assembler a;
+  a.push(0).push(0xFF).push(0x100).push_word(U256{1});
+  const Bytes& code = a.bytes();
+  EXPECT_EQ(code[0], 0x60);  // PUSH1 0
+  EXPECT_EQ(code[2], 0x60);  // PUSH1 FF
+  EXPECT_EQ(code[4], 0x61);  // PUSH2 0100
+  EXPECT_EQ(code[7], 0x7f);  // PUSH32
+}
+
+TEST(Asm, DeployerReturnsRuntime) {
+  RecursiveHost host{VmConfig::tiny()};
+  const Bytes runtime = {0x60, 0x01, 0x60, 0x02, 0x01, 0x00};
+  const Bytes init = Assembler::deployer(runtime);
+  const auto r = exec(init, host, VmConfig::tiny());
+  ASSERT_TRUE(r.ok()) << to_string(r.status);
+  EXPECT_EQ(r.output, runtime);
+}
+
+TEST(Asm, DeployerRunsPrologueFirst) {
+  RecursiveHost host{VmConfig::tiny()};
+  Assembler prologue;
+  prologue.push(777).push(3).op(Opcode::SSTORE);
+  const Bytes runtime = {0x00};
+  const Bytes init = Assembler::deployer(runtime, prologue.take());
+  const auto r = exec(init, host, VmConfig::tiny());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.output, runtime);
+  EXPECT_EQ(host.storage.load(U256{3}), U256{777});
+}
+
+TEST(Disassembler, NamesFamiliesAndImmediates) {
+  const Bytes code = {0x60, 0xAA, 0x81, 0x91, 0xa2, 0x0c, 0x2f};
+  const auto listing = disassemble(code);
+  ASSERT_EQ(listing.size(), 6u);
+  EXPECT_EQ(listing[0].name, "PUSH1");
+  EXPECT_EQ(listing[0].immediate, Bytes{0xAA});
+  EXPECT_EQ(listing[1].name, "DUP2");
+  EXPECT_EQ(listing[2].name, "SWAP2");
+  EXPECT_EQ(listing[3].name, "LOG2");
+  EXPECT_EQ(listing[4].name, "SENSOR");
+  EXPECT_EQ(listing[5].name, "UNDEFINED(0x2f)");
+}
+
+}  // namespace
+}  // namespace tinyevm::evm

@@ -1,0 +1,154 @@
+// Full-pipeline integration test — the paper's three phases (Figure 2) in
+// one flow, with the device simulation in the middle: on-chain template →
+// off-chain round between two simulated motes → on-chain commit → exit →
+// challenge window → settlement. Everything real: bytecode, signatures,
+// Merkle-Sum-Tree, logical clocks.
+#include <gtest/gtest.h>
+
+#include "abi/abi.hpp"
+#include "chain/template_contract.hpp"
+#include "device/offchain_round.hpp"
+
+namespace tinyevm {
+namespace {
+
+struct Pipeline {
+  chain::Blockchain mainnet;
+  channel::PrivateKey car_key = channel::PrivateKey::from_seed("p-car");
+  channel::PrivateKey lot_key = channel::PrivateKey::from_seed("p-lot");
+  chain::Address template_addr{};
+  chain::TemplateContract* tmpl = nullptr;
+
+  device::Mote car_mote{"car"};
+  device::Mote lot_mote{"lot"};
+  std::optional<channel::ChannelEndpoint> car;
+  std::optional<channel::ChannelEndpoint> lot;
+
+  Pipeline() {
+    template_addr[19] = 0x42;
+    auto owned = std::make_unique<chain::TemplateContract>(
+        mainnet, template_addr, lot_key.address(), 15);
+    tmpl = owned.get();
+    mainnet.register_native(template_addr, std::move(owned));
+    // Covers deposits plus the up-front gas escrow of signed transactions.
+    mainnet.credit(car_key.address(), U256{100'000'000});
+    mainnet.credit(lot_key.address(), U256{100'000'000});
+
+    car.emplace("car", car_key, tmpl->genesis_anchor());
+    lot.emplace("lot", lot_key, tmpl->genesis_anchor());
+    car->sensors().set_reading(7, U256{1});
+    lot->sensors().set_reading(7, U256{1});
+  }
+};
+
+TEST(Integration, FullThreePhaseFlow) {
+  Pipeline p;
+
+  // Phase 1: deposit + channel creation on-chain.
+  ASSERT_EQ(p.tmpl->deposit(p.car_key.address(), U256{10'000}, U256{1'000}),
+            chain::TemplateStatus::Ok);
+  const auto channel_id =
+      p.tmpl->create_payment_channel(p.car_key.address());
+  ASSERT_TRUE(channel_id.has_value());
+
+  // Phase 2: off-chain round on the device model (5 payments, rate 40).
+  device::OffchainRound round(p.car_mote, p.lot_mote, *p.car, *p.lot);
+  const auto result = round.run(*channel_id, U256{40}, 7, 5);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.paid_total, U256{200});
+  EXPECT_EQ(result.sequence, 5u);
+
+  // Both side-chain logs audit cleanly against the on-chain anchor.
+  EXPECT_TRUE(p.car->log().audit(p.tmpl->genesis_anchor()));
+  EXPECT_TRUE(p.lot->log().audit(p.tmpl->genesis_anchor()));
+  EXPECT_EQ(p.car->log().head(), p.lot->log().head());
+
+  // Phase 3: the lot commits the final doubly-signed state.
+  const auto final_state = p.lot->final_state();
+  ASSERT_TRUE(final_state.has_value());
+  ASSERT_EQ(p.tmpl->on_chain_commit(*final_state),
+            chain::TemplateStatus::Ok);
+  EXPECT_EQ(p.tmpl->channel(*channel_id)->committed_total, U256{200});
+  EXPECT_EQ(p.tmpl->side_chain_root().sum, U256{200});
+
+  // Exit + challenge window + settlement.
+  ASSERT_EQ(p.tmpl->request_exit(p.lot_key.address(), *channel_id),
+            chain::TemplateStatus::Ok);
+  p.mainnet.mine_blocks(16);
+  const U256 lot_before = p.mainnet.balance_of(p.lot_key.address());
+  ASSERT_EQ(p.tmpl->finalize(*channel_id), chain::TemplateStatus::Ok);
+  EXPECT_EQ(p.mainnet.balance_of(p.lot_key.address()),
+            lot_before + U256{200});
+}
+
+TEST(Integration, StaleCommitLosesToFresherLog) {
+  Pipeline p;
+  ASSERT_EQ(p.tmpl->deposit(p.car_key.address(), U256{10'000}, U256{1'000}),
+            chain::TemplateStatus::Ok);
+  const auto channel_id =
+      p.tmpl->create_payment_channel(p.car_key.address());
+  ASSERT_TRUE(channel_id.has_value());
+
+  device::OffchainRound round(p.car_mote, p.lot_mote, *p.car, *p.lot);
+  ASSERT_TRUE(round.run(*channel_id, U256{40}, 7, 4).ok);
+
+  // The car tries to settle on the *first* payment (seq 1, 40 wei).
+  const auto stale = p.car->log().entries().front();
+  ASSERT_EQ(p.tmpl->on_chain_commit(stale), chain::TemplateStatus::Ok);
+  ASSERT_EQ(p.tmpl->request_exit(p.car_key.address(), *channel_id),
+            chain::TemplateStatus::Ok);
+
+  // The lot challenges with its latest log entry (seq 4, 160 wei).
+  const auto fresh = *p.lot->final_state();
+  const U256 lot_before = p.mainnet.balance_of(p.lot_key.address());
+  ASSERT_EQ(p.tmpl->challenge(p.lot_key.address(), fresh),
+            chain::TemplateStatus::Ok);
+  // Insurance slashed immediately.
+  EXPECT_EQ(p.mainnet.balance_of(p.lot_key.address()),
+            lot_before + U256{1'000});
+
+  p.mainnet.mine_blocks(16);
+  ASSERT_EQ(p.tmpl->finalize(*channel_id), chain::TemplateStatus::Ok);
+  EXPECT_EQ(p.tmpl->channel(*channel_id)->committed_total, U256{160});
+}
+
+TEST(Integration, SequentialChannelsAdvanceLogicalClock) {
+  Pipeline p;
+  ASSERT_EQ(p.tmpl->deposit(p.car_key.address(), U256{10'000}, U256{0}),
+            chain::TemplateStatus::Ok);
+  // Three parking sessions = three channels from the same template.
+  for (std::uint64_t expected_id = 1; expected_id <= 3; ++expected_id) {
+    const auto id = p.tmpl->create_payment_channel(p.car_key.address());
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(*id, U256{expected_id});
+  }
+  EXPECT_EQ(p.tmpl->logical_clock(), 3u);
+}
+
+TEST(Integration, CommitViaSignedTransactionPath) {
+  // Same flow, but the commit travels as an ABI-encoded signed transaction
+  // (the gateway path a real mote would use), not the typed interface.
+  Pipeline p;
+  ASSERT_EQ(p.tmpl->deposit(p.car_key.address(), U256{10'000}, U256{500}),
+            chain::TemplateStatus::Ok);
+  const auto channel_id =
+      p.tmpl->create_payment_channel(p.car_key.address());
+  device::OffchainRound round(p.car_mote, p.lot_mote, *p.car, *p.lot);
+  ASSERT_TRUE(round.run(*channel_id, U256{25}, 7, 2).ok);
+
+  const auto final_state = *p.lot->final_state();
+  chain::Transaction commit;
+  commit.to = p.template_addr;
+  commit.data = abi::Encoder("commit(bytes,bytes,bytes)")
+                    .add_bytes(final_state.state.encode())
+                    .add_bytes(final_state.sender_sig.serialize())
+                    .add_bytes(final_state.receiver_sig.serialize())
+                    .build();
+  const auto receipt = p.mainnet.submit(p.lot_key, commit);
+  ASSERT_TRUE(receipt.has_value());
+  ASSERT_TRUE(receipt->success);
+  EXPECT_EQ(p.tmpl->channel(*channel_id)->committed_total, U256{50});
+}
+
+}  // namespace
+}  // namespace tinyevm

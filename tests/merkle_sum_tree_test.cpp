@@ -1,0 +1,151 @@
+#include "channel/merkle_sum_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tinyevm::channel {
+namespace {
+
+Hash256 digest_of(std::uint64_t n) {
+  const auto w = U256{n}.to_word();
+  return keccak256(w);
+}
+
+TEST(MerkleSumTree, EmptyTreeRoot) {
+  MerkleSumTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.total(), U256{});
+  EXPECT_EQ(tree.root().hash, keccak256(std::string_view{}));
+}
+
+TEST(MerkleSumTree, SingleLeafIsRoot) {
+  MerkleSumTree tree;
+  tree.append(U256{50}, digest_of(1));
+  EXPECT_EQ(tree.total(), U256{50});
+  EXPECT_EQ(tree.root().hash, digest_of(1));
+}
+
+TEST(MerkleSumTree, RootSumsAllLeaves) {
+  MerkleSumTree tree;
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    tree.append(U256{i * 10}, digest_of(i));
+  }
+  EXPECT_EQ(tree.total(), U256{550});
+  EXPECT_EQ(tree.size(), 10u);
+}
+
+TEST(MerkleSumTree, CombineIsOrderSensitive) {
+  const SumNode a{U256{1}, digest_of(1)};
+  const SumNode b{U256{2}, digest_of(2)};
+  EXPECT_NE(MerkleSumTree::combine(a, b).hash,
+            MerkleSumTree::combine(b, a).hash);
+  EXPECT_EQ(MerkleSumTree::combine(a, b).sum, U256{3});
+}
+
+TEST(MerkleSumTree, ProofVerifiesForEveryLeaf) {
+  MerkleSumTree tree;
+  constexpr std::uint64_t kLeaves = 13;  // odd count exercises fillers
+  for (std::uint64_t i = 0; i < kLeaves; ++i) {
+    tree.append(U256{i + 1}, digest_of(i));
+  }
+  const SumNode root = tree.root();
+  const U256 cap{10'000};
+  for (std::uint64_t i = 0; i < kLeaves; ++i) {
+    const auto proof = tree.prove(i);
+    ASSERT_TRUE(proof.has_value()) << i;
+    EXPECT_TRUE(MerkleSumTree::verify(root, U256{i + 1}, digest_of(i), *proof,
+                                      cap))
+        << i;
+  }
+}
+
+TEST(MerkleSumTree, ProofFailsForWrongValue) {
+  MerkleSumTree tree;
+  for (std::uint64_t i = 0; i < 8; ++i) tree.append(U256{5}, digest_of(i));
+  const auto proof = tree.prove(3);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_FALSE(MerkleSumTree::verify(tree.root(), U256{6}, digest_of(3),
+                                     *proof, U256{1000}));
+}
+
+TEST(MerkleSumTree, ProofFailsForWrongDigest) {
+  MerkleSumTree tree;
+  for (std::uint64_t i = 0; i < 8; ++i) tree.append(U256{5}, digest_of(i));
+  const auto proof = tree.prove(3);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_FALSE(MerkleSumTree::verify(tree.root(), U256{5}, digest_of(99),
+                                     *proof, U256{1000}));
+}
+
+TEST(MerkleSumTree, ProofFailsAgainstDifferentRoot) {
+  MerkleSumTree tree;
+  for (std::uint64_t i = 0; i < 4; ++i) tree.append(U256{1}, digest_of(i));
+  const auto proof = tree.prove(0);
+  tree.append(U256{1}, digest_of(99));  // root moves on
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_FALSE(MerkleSumTree::verify(tree.root(), U256{1}, digest_of(0),
+                                     *proof, U256{1000}));
+}
+
+TEST(MerkleSumTree, SumAuditRejectsOverCap) {
+  // The audit condition: any partial sum exceeding the locked funds
+  // invalidates the commitment, even with a correct hash path.
+  MerkleSumTree tree;
+  tree.append(U256{60}, digest_of(0));
+  tree.append(U256{70}, digest_of(1));
+  const auto proof = tree.prove(0);
+  ASSERT_TRUE(proof.has_value());
+  // cap=100 < 130 total: the root-level sum breaches the cap.
+  EXPECT_FALSE(MerkleSumTree::verify(tree.root(), U256{60}, digest_of(0),
+                                     *proof, U256{100}));
+  // cap=200 passes.
+  EXPECT_TRUE(MerkleSumTree::verify(tree.root(), U256{60}, digest_of(0),
+                                    *proof, U256{200}));
+}
+
+TEST(MerkleSumTree, LeafValueAboveCapRejectedImmediately) {
+  MerkleSumTree tree;
+  tree.append(U256{500}, digest_of(0));
+  const auto proof = tree.prove(0);
+  EXPECT_FALSE(MerkleSumTree::verify(tree.root(), U256{500}, digest_of(0),
+                                     *proof, U256{100}));
+}
+
+TEST(MerkleSumTree, ProveOutOfRangeFails) {
+  MerkleSumTree tree;
+  tree.append(U256{1}, digest_of(0));
+  EXPECT_FALSE(tree.prove(1).has_value());
+  EXPECT_FALSE(tree.prove(100).has_value());
+}
+
+TEST(MerkleSumTree, AppendReturnsSequentialIndices) {
+  MerkleSumTree tree;
+  EXPECT_EQ(tree.append(U256{1}, digest_of(0)), 0u);
+  EXPECT_EQ(tree.append(U256{1}, digest_of(1)), 1u);
+  EXPECT_EQ(tree.append(U256{1}, digest_of(2)), 2u);
+}
+
+class MerkleSumTreeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleSumTreeSweep, AllProofsVerifyAtEverySize) {
+  const std::size_t n = GetParam();
+  MerkleSumTree tree;
+  U256 expected_total;
+  for (std::size_t i = 0; i < n; ++i) {
+    tree.append(U256{i * 3 + 1}, digest_of(i));
+    expected_total += U256{i * 3 + 1};
+  }
+  EXPECT_EQ(tree.total(), expected_total);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto proof = tree.prove(i);
+    ASSERT_TRUE(proof.has_value());
+    EXPECT_TRUE(MerkleSumTree::verify(tree.root(), U256{i * 3 + 1},
+                                      digest_of(i), *proof, U256{100'000}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, MerkleSumTreeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 17,
+                                           31, 64));
+
+}  // namespace
+}  // namespace tinyevm::channel

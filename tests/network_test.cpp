@@ -1,0 +1,297 @@
+// Payment-network extension tests: routing, HTLC lifecycle, multi-hop
+// payments with failure injection, and Revive-style rebalancing.
+#include <gtest/gtest.h>
+
+#include "network/payment_network.hpp"
+
+namespace tinyevm::network {
+namespace {
+
+Address addr(std::uint8_t id) {
+  Address a{};
+  a[19] = id;
+  return a;
+}
+
+const Address kA = addr(1);
+const Address kB = addr(2);
+const Address kC = addr(3);
+const Address kD = addr(4);
+const Address kE = addr(5);
+
+// ---- graph ----
+
+TEST(ChannelGraph, AddAndQueryEdges) {
+  ChannelGraph g;
+  const auto idx = g.add_channel(kA, kB, U256{100}, U256{50}, U256{1});
+  ASSERT_NE(g.edge(idx), nullptr);
+  EXPECT_EQ(g.edge(idx)->capacity_from(kA), U256{100});
+  EXPECT_EQ(g.edge(idx)->capacity_from(kB), U256{50});
+  EXPECT_EQ(g.edges_of(kA).size(), 1u);
+  EXPECT_EQ(g.edges_of(kC).size(), 0u);
+}
+
+TEST(ChannelGraph, RemoveChannelClearsAdjacency) {
+  ChannelGraph g;
+  const auto idx = g.add_channel(kA, kB, U256{100}, U256{100}, U256{1});
+  g.remove_channel(idx);
+  EXPECT_EQ(g.edge(idx), nullptr);
+  EXPECT_TRUE(g.edges_of(kA).empty());
+  EXPECT_FALSE(g.find_route(kA, kB, U256{1}).has_value());
+}
+
+TEST(ChannelGraph, PaymentShiftsDirectionalCapacity) {
+  ChannelGraph g;
+  const auto idx = g.add_channel(kA, kB, U256{100}, U256{0}, U256{1});
+  ASSERT_TRUE(g.apply_payment(idx, kA, U256{30}));
+  EXPECT_EQ(g.edge(idx)->capacity_from(kA), U256{70});
+  EXPECT_EQ(g.edge(idx)->capacity_from(kB), U256{30});
+  EXPECT_FALSE(g.apply_payment(idx, kA, U256{71}));
+  // The receiver can now send back what it received.
+  EXPECT_TRUE(g.apply_payment(idx, kB, U256{30}));
+}
+
+TEST(ChannelGraph, DirectRoute) {
+  ChannelGraph g;
+  g.add_channel(kA, kB, U256{100}, U256{100}, U256{1});
+  const auto route = g.find_route(kA, kB, U256{50});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->hops(), 1u);
+  EXPECT_EQ(route->nodes.front(), kA);
+  EXPECT_EQ(route->nodes.back(), kB);
+}
+
+TEST(ChannelGraph, MultiHopShortestRoute) {
+  ChannelGraph g;
+  // A-B-C-D chain plus a long A-E-...-D detour; BFS must pick the chain.
+  g.add_channel(kA, kB, U256{100}, U256{100}, U256{1});
+  g.add_channel(kB, kC, U256{100}, U256{100}, U256{2});
+  g.add_channel(kC, kD, U256{100}, U256{100}, U256{3});
+  g.add_channel(kA, kE, U256{100}, U256{100}, U256{4});
+  g.add_channel(kE, kB, U256{100}, U256{100}, U256{5});
+  const auto route = g.find_route(kA, kD, U256{10});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->hops(), 3u);
+}
+
+TEST(ChannelGraph, RouteRespectsDirectionalCapacity) {
+  ChannelGraph g;
+  // A->B has only 5 forward; the A-C-B detour has plenty.
+  g.add_channel(kA, kB, U256{5}, U256{100}, U256{1});
+  g.add_channel(kA, kC, U256{100}, U256{100}, U256{2});
+  g.add_channel(kC, kB, U256{100}, U256{100}, U256{3});
+  const auto route = g.find_route(kA, kB, U256{50});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->hops(), 2u);  // forced around the depleted edge
+}
+
+TEST(ChannelGraph, NoRouteWhenDisconnected) {
+  ChannelGraph g;
+  g.add_channel(kA, kB, U256{100}, U256{100}, U256{1});
+  g.add_channel(kC, kD, U256{100}, U256{100}, U256{2});
+  EXPECT_FALSE(g.find_route(kA, kD, U256{1}).has_value());
+}
+
+TEST(ChannelGraph, RebalanceCycleFound) {
+  ChannelGraph g;
+  g.add_channel(kA, kB, U256{100}, U256{100}, U256{1});
+  g.add_channel(kB, kC, U256{100}, U256{100}, U256{2});
+  g.add_channel(kC, kA, U256{100}, U256{100}, U256{3});
+  const auto cycle = g.find_rebalance_cycle(kA, U256{10});
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->nodes.front(), kA);
+  EXPECT_EQ(cycle->nodes.back(), kA);
+  EXPECT_GE(cycle->hops(), 3u);
+}
+
+TEST(ChannelGraph, NoCycleInTree) {
+  ChannelGraph g;
+  g.add_channel(kA, kB, U256{100}, U256{100}, U256{1});
+  g.add_channel(kB, kC, U256{100}, U256{100}, U256{2});
+  EXPECT_FALSE(g.find_rebalance_cycle(kA, U256{10}).has_value());
+}
+
+// ---- HTLC ----
+
+TEST(Htlc, FulfilWithCorrectPreimage) {
+  const auto secret = PaymentSecret::derive("seed", 1);
+  Htlc lock;
+  lock.payment_hash = secret.hash;
+  EXPECT_TRUE(lock.fulfil(secret.preimage));
+  EXPECT_EQ(lock.state, Htlc::State::Fulfilled);
+}
+
+TEST(Htlc, RejectWrongPreimage) {
+  const auto secret = PaymentSecret::derive("seed", 1);
+  const auto wrong = PaymentSecret::derive("seed", 2);
+  Htlc lock;
+  lock.payment_hash = secret.hash;
+  EXPECT_FALSE(lock.fulfil(wrong.preimage));
+  EXPECT_TRUE(lock.pending());
+}
+
+TEST(Htlc, ExpiryByLogicalClock) {
+  Htlc lock;
+  lock.expiry_sequence = 10;
+  EXPECT_FALSE(lock.expire(10));  // not yet past
+  EXPECT_TRUE(lock.expire(11));
+  EXPECT_EQ(lock.state, Htlc::State::Expired);
+  // Dead locks cannot be fulfilled.
+  const auto secret = PaymentSecret::derive("seed", 1);
+  lock.payment_hash = secret.hash;
+  EXPECT_FALSE(lock.fulfil(secret.preimage));
+}
+
+TEST(Htlc, FulfilledLockCannotExpire) {
+  const auto secret = PaymentSecret::derive("seed", 3);
+  Htlc lock;
+  lock.payment_hash = secret.hash;
+  lock.expiry_sequence = 1;
+  ASSERT_TRUE(lock.fulfil(secret.preimage));
+  EXPECT_FALSE(lock.expire(100));
+}
+
+TEST(PaymentSecret, DeterministicAndDistinct) {
+  const auto s1 = PaymentSecret::derive("seed", 7);
+  const auto s2 = PaymentSecret::derive("seed", 7);
+  const auto s3 = PaymentSecret::derive("seed", 8);
+  EXPECT_EQ(s1.preimage, s2.preimage);
+  EXPECT_NE(s1.preimage, s3.preimage);
+  EXPECT_EQ(keccak256(s1.preimage), s1.hash);
+}
+
+// ---- multi-hop payments ----
+
+TEST(PaymentNetwork, DirectPayment) {
+  PaymentNetwork net;
+  net.open_channel(kA, kB, U256{100}, U256{0});
+  const auto outcome = net.pay(kA, kB, U256{40});
+  ASSERT_TRUE(outcome.success) << outcome.failure;
+  EXPECT_EQ(outcome.hops, 1u);
+  EXPECT_EQ(net.outbound_capacity(kA), U256{60});
+  EXPECT_EQ(net.outbound_capacity(kB), U256{40});
+}
+
+TEST(PaymentNetwork, ThreeHopPayment) {
+  PaymentNetwork net;
+  net.open_channel(kA, kB, U256{100}, U256{0});
+  net.open_channel(kB, kC, U256{100}, U256{0});
+  net.open_channel(kC, kD, U256{100}, U256{0});
+  const auto outcome = net.pay(kA, kD, U256{25});
+  ASSERT_TRUE(outcome.success) << outcome.failure;
+  EXPECT_EQ(outcome.hops, 3u);
+  EXPECT_EQ(outcome.signature_rounds, 6u);  // lock + settle per hop
+  // Every intermediary's balance is conserved (forwarded, not kept).
+  EXPECT_EQ(net.outbound_capacity(kB), U256{100});  // -25 fwd, +25 recv
+  EXPECT_EQ(net.outbound_capacity(kC), U256{100});
+}
+
+TEST(PaymentNetwork, IntermediaryStatsTracked) {
+  PaymentNetwork net;
+  net.open_channel(kA, kB, U256{100}, U256{0});
+  net.open_channel(kB, kC, U256{100}, U256{0});
+  ASSERT_TRUE(net.pay(kA, kC, U256{10}).success);
+  EXPECT_EQ(net.stats(kB).htlcs_forwarded, 1u);
+  EXPECT_GE(net.stats(kB).signatures, 1u);
+  EXPECT_EQ(net.stats(kC).payments_received, 1u);
+}
+
+TEST(PaymentNetwork, FailsWithoutCapacity) {
+  PaymentNetwork net;
+  net.open_channel(kA, kB, U256{10}, U256{0});
+  const auto outcome = net.pay(kA, kB, U256{50});
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.failure, "no route with capacity");
+}
+
+TEST(PaymentNetwork, CapacityRestoredByReversePayment) {
+  PaymentNetwork net;
+  net.open_channel(kA, kB, U256{50}, U256{0});
+  ASSERT_TRUE(net.pay(kA, kB, U256{50}).success);
+  EXPECT_FALSE(net.pay(kA, kB, U256{1}).success);  // drained
+  ASSERT_TRUE(net.pay(kB, kA, U256{20}).success);  // flows back
+  EXPECT_TRUE(net.pay(kA, kB, U256{20}).success);
+}
+
+TEST(PaymentNetwork, RoutesAroundOfflineNode) {
+  PaymentNetwork net;
+  // Two disjoint paths A-B-D and A-C-D; B goes offline.
+  net.open_channel(kA, kB, U256{100}, U256{0});
+  net.open_channel(kB, kD, U256{100}, U256{0});
+  net.open_channel(kA, kC, U256{100}, U256{0});
+  net.open_channel(kC, kD, U256{100}, U256{0});
+  net.set_offline(kB, true);
+  const auto outcome = net.pay(kA, kD, U256{30});
+  ASSERT_TRUE(outcome.success) << outcome.failure;
+  EXPECT_EQ(outcome.hops, 2u);
+  // The abandoned locks through B expired.
+  EXPECT_GT(net.htlcs_expired(), 0u);
+  // C did the forwarding.
+  EXPECT_EQ(net.stats(kC).htlcs_forwarded, 1u);
+  EXPECT_EQ(net.stats(kB).htlcs_forwarded, 0u);
+}
+
+TEST(PaymentNetwork, FailsWhenAllRoutesOffline) {
+  PaymentNetwork net;
+  net.open_channel(kA, kB, U256{100}, U256{0});
+  net.open_channel(kB, kC, U256{100}, U256{0});
+  net.set_offline(kB, true);
+  const auto outcome = net.pay(kA, kC, U256{10});
+  EXPECT_FALSE(outcome.success);
+}
+
+TEST(PaymentNetwork, ReceiverOfflineStillPaid) {
+  // Only *intermediaries* stall a route; the receiver itself must be
+  // reachable to reveal, so an offline receiver is the sender's problem —
+  // but the flag only models forwarding failure, and a direct payment to
+  // an offline receiver is the radio layer's concern. Keep the protocol
+  // semantics: direct payments succeed (the lock IS the delivery).
+  PaymentNetwork net;
+  net.open_channel(kA, kB, U256{100}, U256{0});
+  net.set_offline(kB, true);
+  EXPECT_TRUE(net.pay(kA, kB, U256{10}).success);
+}
+
+// ---- rebalancing ----
+
+TEST(PaymentNetwork, RebalanceRestoresOutboundCapacity) {
+  PaymentNetwork net;
+  // Triangle; A's edge to B gets drained by payments.
+  const auto ab = net.open_channel(kA, kB, U256{100}, U256{0});
+  net.open_channel(kB, kC, U256{100}, U256{100});
+  net.open_channel(kC, kA, U256{0}, U256{100});  // C->A has capacity
+  ASSERT_TRUE(net.pay(kA, kB, U256{100}).success);
+  EXPECT_EQ(net.graph().edge(ab)->capacity_from(kA), U256{0});
+
+  // Shift 40 around A -> C? No: the cycle must start with an edge A can
+  // still send on. A->B is drained; A has no other outbound... the cycle
+  // goes A -> (C->A edge reversed)? find_rebalance_cycle starts at A and
+  // needs capacity_from(A) on the first hop: the CA edge gives A 100
+  // (capacity_ba). So the cycle A -> C -> B -> A exists.
+  ASSERT_TRUE(net.rebalance(kA, U256{40}));
+  // A->B regained 40 via the cycle's last hop (B->A direction gives A
+  // inbound; the A->B edge's reverse leg).
+  EXPECT_EQ(net.graph().edge(ab)->capacity_from(kA), U256{40});
+}
+
+TEST(PaymentNetwork, RebalanceFailsWithoutCycle) {
+  PaymentNetwork net;
+  net.open_channel(kA, kB, U256{100}, U256{100});
+  EXPECT_FALSE(net.rebalance(kA, U256{10}));
+}
+
+TEST(PaymentNetwork, RebalancePreservesTotalCapacity) {
+  PaymentNetwork net;
+  net.open_channel(kA, kB, U256{60}, U256{40});
+  net.open_channel(kB, kC, U256{60}, U256{40});
+  net.open_channel(kC, kA, U256{60}, U256{40});
+  const U256 before = net.outbound_capacity(kA) + net.outbound_capacity(kB) +
+                      net.outbound_capacity(kC);
+  ASSERT_TRUE(net.rebalance(kA, U256{20}));
+  const U256 after = net.outbound_capacity(kA) + net.outbound_capacity(kB) +
+                     net.outbound_capacity(kC);
+  EXPECT_EQ(before, after);  // rebalancing moves, never creates, capacity
+}
+
+}  // namespace
+}  // namespace tinyevm::network

@@ -1,0 +1,152 @@
+// Integration test of the full off-chain round (paper §VI-C): two motes,
+// real TinyEVM execution and real signatures, device-time accounting whose
+// totals must land at the paper's Table IV / Figure 5 scale.
+#include <gtest/gtest.h>
+
+#include "device/offchain_round.hpp"
+
+namespace tinyevm::device {
+namespace {
+
+constexpr std::uint32_t kTempSensor = 7;
+
+struct RoundFixture {
+  Mote car_mote{"car"};
+  Mote lot_mote{"lot"};
+  channel::ChannelEndpoint car{
+      "car", channel::PrivateKey::from_seed("car-key"),
+      keccak256("anchor")};
+  channel::ChannelEndpoint lot{
+      "lot", channel::PrivateKey::from_seed("lot-key"),
+      keccak256("anchor")};
+
+  RoundFixture() {
+    car.sensors().set_reading(kTempSensor, U256{22});
+    lot.sensors().set_reading(kTempSensor, U256{21});
+  }
+
+  RoundResult run(unsigned payments = 1) {
+    OffchainRound round(car_mote, lot_mote, car, lot);
+    return round.run(U256{1}, U256{10}, kTempSensor, payments);
+  }
+};
+
+TEST(OffchainRound, CompletesWithSignedArtifacts) {
+  RoundFixture f;
+  const RoundResult r = f.run();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.paid_total, U256{10});  // 1 unit at rate 10
+  EXPECT_EQ(r.sequence, 1u);
+  // Both logs hold the same fully-signed state.
+  ASSERT_EQ(f.car.log().size(), 1u);
+  ASSERT_EQ(f.lot.log().size(), 1u);
+  EXPECT_EQ(f.car.log().head(), f.lot.log().head());
+  EXPECT_TRUE(
+      f.car.log().latest()->verify(f.car.address(), f.lot.address()));
+}
+
+TEST(OffchainRound, TotalTimeAtPaperScale) {
+  // Paper: a complete off-chain payment takes 584 ms on average and the
+  // full signing round spans ~1.5 s (Table IV row "Total" = 1,566 ms).
+  RoundFixture f;
+  const RoundResult r = f.run();
+  ASSERT_TRUE(r.ok);
+  const double total_ms = static_cast<double>(r.timing.total_us) / 1000.0;
+  EXPECT_GT(total_ms, 400.0);
+  EXPECT_LT(total_ms, 3'000.0);
+}
+
+TEST(OffchainRound, SigningDominatesLatency) {
+  // Table V: ECDSA (350 ms) dwarfs everything else in the payment phase.
+  RoundFixture f;
+  const RoundResult r = f.run();
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.timing.sign_payment_us, r.timing.open_channel_us);
+  EXPECT_GT(r.timing.sign_payment_us, r.timing.exchange_sensor_us);
+  EXPECT_GT(r.timing.sign_payment_us, r.timing.register_sidechain_us);
+}
+
+TEST(OffchainRound, CryptoEngineDominatesEnergy) {
+  // Table IV: the crypto engine is ~65 % of the round's energy.
+  RoundFixture f;
+  ASSERT_TRUE(f.run().ok);
+  const auto& e = f.car_mote.energest();
+  const double crypto = e.energy_mj(PowerState::CryptoEngine);
+  const double total = e.total_energy_mj();
+  EXPECT_GT(crypto / total, 0.45);
+  EXPECT_GT(total, 10.0);   // tens of millijoules
+  EXPECT_LT(total, 100.0);
+}
+
+TEST(OffchainRound, RadioEnergySmallerThanCompute) {
+  RoundFixture f;
+  ASSERT_TRUE(f.run().ok);
+  const auto& e = f.car_mote.energest();
+  const double radio =
+      e.energy_mj(PowerState::Tx) + e.energy_mj(PowerState::Rx);
+  EXPECT_LT(radio, e.energy_mj(PowerState::CryptoEngine));
+  EXPECT_GT(radio, 0.0);
+}
+
+TEST(OffchainRound, TraceCoversAllComponents) {
+  // Figure 5 shows TX, RX, CPU and crypto-engine activity in one round.
+  RoundFixture f;
+  ASSERT_TRUE(f.run().ok);
+  bool has_tx = false;
+  bool has_rx = false;
+  bool has_cpu = false;
+  bool has_crypto = false;
+  for (const auto& seg : f.car_mote.trace()) {
+    switch (seg.state) {
+      case PowerState::Tx: has_tx = true; break;
+      case PowerState::Rx: has_rx = true; break;
+      case PowerState::CpuActive: has_cpu = true; break;
+      case PowerState::CryptoEngine: has_crypto = true; break;
+      case PowerState::Lpm2: break;
+    }
+  }
+  EXPECT_TRUE(has_tx);
+  EXPECT_TRUE(has_rx);
+  EXPECT_TRUE(has_cpu);
+  EXPECT_TRUE(has_crypto);
+}
+
+TEST(OffchainRound, TraceIsContiguous) {
+  RoundFixture f;
+  ASSERT_TRUE(f.run().ok);
+  const auto& trace = f.car_mote.trace();
+  ASSERT_FALSE(trace.empty());
+  std::uint64_t cursor = trace.front().start_us;
+  for (const auto& seg : trace) {
+    EXPECT_EQ(seg.start_us, cursor);
+    cursor += seg.duration_us;
+  }
+  EXPECT_EQ(cursor, f.car_mote.now_us());
+}
+
+TEST(OffchainRound, MultiplePaymentsScaleLinearly) {
+  RoundFixture f1;
+  const RoundResult one = f1.run(1);
+  RoundFixture f3;
+  const RoundResult three = f3.run(3);
+  ASSERT_TRUE(one.ok && three.ok);
+  EXPECT_EQ(three.paid_total, U256{30});
+  EXPECT_EQ(three.sequence, 3u);
+  // Three payments -> roughly three signing phases.
+  EXPECT_GT(three.timing.sign_payment_us,
+            2 * one.timing.sign_payment_us);
+}
+
+TEST(OffchainRound, BatteryLifetimeEstimateMatchesPaperOrder) {
+  // Paper §VI-C: two AA cells (~10 kJ) support ~333k payments; at one
+  // payment per 10 minutes that's 6+ years.
+  RoundFixture f;
+  ASSERT_TRUE(f.run().ok);
+  const double round_mj = f.car_mote.energest().total_energy_mj();
+  const double payments = 10'000'000.0 / round_mj;  // 10 kJ in mJ
+  EXPECT_GT(payments, 100'000.0);
+  EXPECT_LT(payments, 1'000'000.0);
+}
+
+}  // namespace
+}  // namespace tinyevm::device

@@ -1,0 +1,163 @@
+#include "rlp/rlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/hash.hpp"
+
+namespace tinyevm::rlp {
+namespace {
+
+Bytes enc_hex(std::string_view h) { return tinyevm::from_hex(h); }
+
+TEST(RlpEncode, SingleByteBelow0x80IsItself) {
+  EXPECT_EQ(encode(Item::bytes(Bytes{0x00})), Bytes{0x00});
+  EXPECT_EQ(encode(Item::bytes(Bytes{0x7F})), Bytes{0x7F});
+}
+
+TEST(RlpEncode, EmptyString) {
+  EXPECT_EQ(encode(Item::bytes(Bytes{})), Bytes{0x80});
+}
+
+TEST(RlpEncode, ShortString) {
+  // "dog" -> 0x83 'd' 'o' 'g'
+  EXPECT_EQ(encode(Item::string("dog")), (Bytes{0x83, 'd', 'o', 'g'}));
+}
+
+TEST(RlpEncode, SingleHighByte) {
+  EXPECT_EQ(encode(Item::bytes(Bytes{0x80})), (Bytes{0x81, 0x80}));
+}
+
+TEST(RlpEncode, FiftyFiveByteBoundary) {
+  const Bytes payload(55, 'a');
+  const Bytes encoded = encode(Item::bytes(payload));
+  EXPECT_EQ(encoded.size(), 56u);
+  EXPECT_EQ(encoded[0], 0x80 + 55);
+
+  const Bytes payload56(56, 'a');
+  const Bytes encoded56 = encode(Item::bytes(payload56));
+  EXPECT_EQ(encoded56[0], 0xB8);
+  EXPECT_EQ(encoded56[1], 56);
+  EXPECT_EQ(encoded56.size(), 58u);
+}
+
+TEST(RlpEncode, LongString) {
+  const Bytes payload(1024, 'x');
+  const Bytes encoded = encode(Item::bytes(payload));
+  EXPECT_EQ(encoded[0], 0xB9);  // 0xB7 + 2 length bytes
+  EXPECT_EQ(encoded[1], 0x04);
+  EXPECT_EQ(encoded[2], 0x00);
+}
+
+TEST(RlpEncode, EmptyList) {
+  EXPECT_EQ(encode(Item::list({})), Bytes{0xC0});
+}
+
+TEST(RlpEncode, CatDogList) {
+  // ["cat", "dog"] -> 0xC8 0x83 cat 0x83 dog
+  const auto item = Item::list({Item::string("cat"), Item::string("dog")});
+  EXPECT_EQ(encode(item),
+            (Bytes{0xC8, 0x83, 'c', 'a', 't', 0x83, 'd', 'o', 'g'}));
+}
+
+TEST(RlpEncode, NestedSetRepresentation) {
+  // [ [], [[]], [ [], [[]] ] ] — canonical nested example.
+  const auto empty = Item::list({});
+  const auto one = Item::list({Item::list({})});
+  const auto item = Item::list({empty, one, Item::list({empty, one})});
+  EXPECT_EQ(encode(item), enc_hex("c7c0c1c0c3c0c1c0"));
+}
+
+TEST(RlpEncode, QuantityIsMinimal) {
+  EXPECT_EQ(encode(Item::quantity(U256{})), Bytes{0x80});
+  EXPECT_EQ(encode(Item::quantity(U256{15})), Bytes{0x0F});
+  EXPECT_EQ(encode(Item::quantity(U256{1024})), (Bytes{0x82, 0x04, 0x00}));
+}
+
+TEST(RlpDecode, RoundTripScalars) {
+  for (const auto& item :
+       {Item::bytes(Bytes{}), Item::bytes(Bytes{0x01}),
+        Item::string("hello world"), Item::quantity(U256{987654321})}) {
+    const auto decoded = decode(encode(item));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, item);
+  }
+}
+
+TEST(RlpDecode, RoundTripNestedLists) {
+  const auto item = Item::list(
+      {Item::string("channel"), Item::quantity(U256{42}),
+       Item::list({Item::quantity(U256{1}), Item::quantity(U256{2})})});
+  const auto decoded = decode(encode(item));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, item);
+}
+
+TEST(RlpDecode, RoundTripLongPayloads) {
+  const auto item = Item::list({Item::bytes(Bytes(300, 0xAB)),
+                                Item::bytes(Bytes(56, 0xCD))});
+  const auto decoded = decode(encode(item));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, item);
+}
+
+TEST(RlpDecode, RejectsTrailingBytes) {
+  Bytes data = encode(Item::string("dog"));
+  data.push_back(0x00);
+  EXPECT_FALSE(decode(data).has_value());
+}
+
+TEST(RlpDecode, RejectsTruncatedString) {
+  Bytes data = {0x85, 'a', 'b'};  // claims 5 bytes, has 2
+  EXPECT_FALSE(decode(data).has_value());
+}
+
+TEST(RlpDecode, RejectsTruncatedList) {
+  Bytes data = {0xC5, 0x83, 'c', 'a'};  // list payload cut short
+  EXPECT_FALSE(decode(data).has_value());
+}
+
+TEST(RlpDecode, RejectsNonCanonicalSingleByte) {
+  // 0x05 must be encoded as itself, not 0x81 0x05.
+  EXPECT_FALSE(decode(Bytes{0x81, 0x05}).has_value());
+}
+
+TEST(RlpDecode, RejectsNonMinimalLongLength) {
+  // Length 3 must use the short form, not 0xB8 0x03.
+  EXPECT_FALSE(decode(Bytes{0xB8, 0x03, 'a', 'b', 'c'}).has_value());
+  // Leading zero in long length.
+  Bytes data = {0xB9, 0x00, 0x38};
+  data.insert(data.end(), 56, 'a');
+  EXPECT_FALSE(decode(data).has_value());
+}
+
+TEST(RlpDecode, RejectsEmptyInput) {
+  EXPECT_FALSE(decode(Bytes{}).has_value());
+}
+
+TEST(RlpQuantity, AsQuantityParsesBigEndian) {
+  const auto item = Item::quantity(U256{0xDEADBEEF});
+  EXPECT_EQ(item.as_quantity(), U256{0xDEADBEEF});
+}
+
+TEST(RlpQuantity, AsQuantityRejectsLeadingZero) {
+  const auto item = Item::bytes(Bytes{0x00, 0x01});
+  EXPECT_THROW((void)item.as_quantity(), std::invalid_argument);
+}
+
+TEST(RlpQuantity, AsQuantityRejectsOverlongValue) {
+  const auto item = Item::bytes(Bytes(33, 0x01));
+  EXPECT_THROW((void)item.as_quantity(), std::invalid_argument);
+}
+
+TEST(RlpHashing, EncodingIsStableForHashing) {
+  // The side-chain log hashes RLP encodings; identical structures must
+  // produce identical bytes.
+  const auto state = Item::list({Item::quantity(U256{7}),
+                                 Item::quantity(U256{100}),
+                                 Item::string("sensor:22C")});
+  EXPECT_EQ(tinyevm::keccak256(encode(state)),
+            tinyevm::keccak256(encode(state)));
+}
+
+}  // namespace
+}  // namespace tinyevm::rlp

@@ -1,0 +1,194 @@
+// Generic state-channel tests: the envelope (version clock, hash link,
+// double signatures), the update protocol from both sides, concurrent
+// proposal tie-breaking, and an application on top (a temperature-SLA
+// monitor evolving its counters off-chain).
+#include <gtest/gtest.h>
+
+#include "channel/state_channel.hpp"
+
+namespace tinyevm::channel {
+namespace {
+
+using secp256k1::PrivateKey;
+
+struct Sessions {
+  PrivateKey car_key = PrivateKey::from_seed("sc-car");
+  PrivateKey lot_key = PrivateKey::from_seed("sc-lot");
+  StateChannelSession car;
+  StateChannelSession lot;
+
+  Sessions()
+      : car(car_key, lot_key.address(), /*initiator=*/true, U256{9},
+            keccak256("sc-anchor")),
+        lot(lot_key, car_key.address(), /*initiator=*/false, U256{9},
+            keccak256("sc-anchor")) {}
+
+  /// Runs one full update initiated by the car.
+  bool update_from_car(rlp::Bytes payload) {
+    auto proposal = car.propose(std::move(payload));
+    const auto counter = lot.countersign(proposal.state);
+    if (!counter) return false;
+    proposal.responder_sig = *counter;
+    return car.accept(proposal) && lot.accept(proposal);
+  }
+
+  /// Runs one full update initiated by the lot.
+  bool update_from_lot(rlp::Bytes payload) {
+    auto proposal = lot.propose(std::move(payload));
+    const auto counter = car.countersign(proposal.state);
+    if (!counter) return false;
+    proposal.initiator_sig = *counter;
+    return car.accept(proposal) && lot.accept(proposal);
+  }
+};
+
+TEST(AppState, EncodeDecodeRoundTrip) {
+  AppState s;
+  s.channel_id = U256{5};
+  s.version = 17;
+  s.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  s.prev_hash = keccak256("prev");
+  const auto decoded = AppState::decode(s.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, s);
+}
+
+TEST(AppState, DigestBindsPayload) {
+  AppState s;
+  s.payload = {1, 2, 3};
+  AppState t = s;
+  t.payload = {1, 2, 4};
+  EXPECT_NE(s.digest(), t.digest());
+}
+
+TEST(AppState, DecodeRejectsMalformed) {
+  EXPECT_FALSE(AppState::decode(rlp::Bytes{}).has_value());
+  EXPECT_FALSE(AppState::decode(rlp::Bytes{0x01}).has_value());
+  const auto short_hash = rlp::encode(rlp::Item::list({
+      rlp::Item::quantity(U256{1}),
+      rlp::Item::quantity(U256{1}),
+      rlp::Item::bytes(rlp::Bytes{}),
+      rlp::Item::bytes(rlp::Bytes(8, 0)),
+  }));
+  EXPECT_FALSE(AppState::decode(short_hash).has_value());
+}
+
+TEST(StateChannel, UpdateFromInitiator) {
+  Sessions s;
+  ASSERT_TRUE(s.update_from_car({0x01}));
+  EXPECT_EQ(s.car.version(), 1u);
+  EXPECT_EQ(s.lot.version(), 1u);
+  EXPECT_EQ(s.car.current_payload(), rlp::Bytes{0x01});
+  EXPECT_EQ(s.car.final_state()->state.digest(),
+            s.lot.final_state()->state.digest());
+}
+
+TEST(StateChannel, UpdateFromResponder) {
+  Sessions s;
+  ASSERT_TRUE(s.update_from_lot({0x02}));
+  EXPECT_EQ(s.car.version(), 1u);
+  EXPECT_EQ(s.lot.current_payload(), rlp::Bytes{0x02});
+}
+
+TEST(StateChannel, AlternatingUpdatesAdvanceClock) {
+  Sessions s;
+  for (std::uint8_t v = 1; v <= 6; ++v) {
+    const bool ok = (v % 2 == 1) ? s.update_from_car({v})
+                                 : s.update_from_lot({v});
+    ASSERT_TRUE(ok) << static_cast<int>(v);
+  }
+  EXPECT_EQ(s.car.version(), 6u);
+  EXPECT_EQ(s.car.history().size(), 6u);
+  EXPECT_EQ(s.lot.current_payload(), rlp::Bytes{6});
+}
+
+TEST(StateChannel, CountersignRejectsWrongVersion) {
+  Sessions s;
+  ASSERT_TRUE(s.update_from_car({0x01}));
+  AppState stale;
+  stale.channel_id = U256{9};
+  stale.version = 1;  // already accepted
+  stale.prev_hash = keccak256("sc-anchor");
+  EXPECT_FALSE(s.lot.countersign(stale).has_value());
+}
+
+TEST(StateChannel, CountersignRejectsBrokenLink) {
+  Sessions s;
+  AppState forged;
+  forged.channel_id = U256{9};
+  forged.version = 1;
+  forged.prev_hash = keccak256("elsewhere");
+  EXPECT_FALSE(s.lot.countersign(forged).has_value());
+}
+
+TEST(StateChannel, AcceptRejectsSingleSignature) {
+  Sessions s;
+  const auto proposal = s.car.propose({0x01});  // responder never signed
+  StateChannelSession car_copy = s.car;
+  EXPECT_FALSE(car_copy.accept(proposal));
+}
+
+TEST(StateChannel, AcceptRejectsTamperedPayload) {
+  Sessions s;
+  auto proposal = s.car.propose({0x01});
+  const auto counter = s.lot.countersign(proposal.state);
+  ASSERT_TRUE(counter.has_value());
+  proposal.responder_sig = *counter;
+  proposal.state.payload = {0x77};  // altered after both signed
+  EXPECT_FALSE(s.car.accept(proposal));
+}
+
+TEST(StateChannel, ConcurrentProposalsTieBreakToInitiator) {
+  Sessions s;
+  const auto from_car = s.car.propose({0xCA});
+  const auto from_lot = s.lot.propose({0x10});
+  ASSERT_EQ(from_car.state.version, from_lot.state.version);
+  // Both sides agree who yields.
+  EXPECT_TRUE(s.car.proposal_beats(from_car.state, from_lot.state));
+  EXPECT_FALSE(s.lot.proposal_beats(from_lot.state, from_car.state));
+  // The loser re-bases: countersigns the winner and the channel proceeds.
+  auto winner = from_car;
+  const auto counter = s.lot.countersign(winner.state);
+  ASSERT_TRUE(counter.has_value());
+  winner.responder_sig = *counter;
+  EXPECT_TRUE(s.car.accept(winner));
+  EXPECT_TRUE(s.lot.accept(winner));
+}
+
+// --- application on top: a temperature-SLA monitor ---
+// payload := rlp([max_temp_seen, breach_count]); a breach is any reading
+// above 30. The two motes co-sign every monitor update.
+
+rlp::Bytes sla_payload(std::uint64_t max_temp, std::uint64_t breaches) {
+  return rlp::encode(rlp::Item::list({
+      rlp::Item::quantity(U256{max_temp}),
+      rlp::Item::quantity(U256{breaches}),
+  }));
+}
+
+std::pair<std::uint64_t, std::uint64_t> sla_decode(const rlp::Bytes& p) {
+  const auto item = rlp::decode(p);
+  const auto& l = item->as_list();
+  return {l[0].as_quantity().as_u64(), l[1].as_quantity().as_u64()};
+}
+
+TEST(SlaMonitorApp, TracksBreachesAcrossUpdates) {
+  Sessions s;
+  std::uint64_t max_temp = 0;
+  std::uint64_t breaches = 0;
+  for (std::uint64_t reading : {22u, 28u, 33u, 25u, 35u}) {
+    max_temp = std::max(max_temp, reading);
+    if (reading > 30) ++breaches;
+    ASSERT_TRUE(s.update_from_car(sla_payload(max_temp, breaches)));
+  }
+  const auto [final_max, final_breaches] =
+      sla_decode(s.lot.current_payload());
+  EXPECT_EQ(final_max, 35u);
+  EXPECT_EQ(final_breaches, 2u);
+  // The doubly-signed final state is the enforceable SLA evidence.
+  EXPECT_TRUE(s.lot.final_state()->verify(s.car_key.address(),
+                                          s.lot_key.address()));
+}
+
+}  // namespace
+}  // namespace tinyevm::channel

@@ -1,0 +1,422 @@
+// On-chain Template contract protocol tests: deposits, the logical clock,
+// commits with sequence/sum validation, challenge-period disputes, insurance
+// slashing, and final settlement — the security properties of paper §V.
+#include <gtest/gtest.h>
+
+#include "abi/abi.hpp"
+#include "chain/template_contract.hpp"
+
+namespace tinyevm::chain {
+namespace {
+
+constexpr std::uint64_t kChallengePeriod = 10;  // blocks
+
+struct Fixture {
+  Blockchain chain;
+  PrivateKey car = PrivateKey::from_seed("car-key");
+  PrivateKey lot = PrivateKey::from_seed("lot-key");
+  Address template_addr{};
+  TemplateContract* contract = nullptr;
+
+  Fixture() {
+    template_addr[19] = 0xAB;
+    auto owned = std::make_unique<TemplateContract>(
+        chain, template_addr, lot.address(), kChallengePeriod);
+    contract = owned.get();
+    chain.register_native(template_addr, std::move(owned));
+    // Enough to cover the up-front gas escrow (gas_limit * price) of
+    // several transactions plus the channel deposits.
+    chain.credit(car.address(), U256{100'000'000});
+    chain.credit(lot.address(), U256{100'000'000});
+  }
+
+  /// Opens a funded channel; returns its id.
+  U256 open_channel(const U256& deposit = U256{1000},
+                    const U256& insurance = U256{100}) {
+    EXPECT_EQ(contract->deposit(car.address(), deposit, insurance),
+              TemplateStatus::Ok);
+    const auto id = contract->create_payment_channel(car.address());
+    EXPECT_TRUE(id.has_value());
+    return *id;
+  }
+
+  channel::SignedState signed_state(const U256& id, std::uint64_t seq,
+                                    std::uint64_t paid,
+                                    const Hash256& prev = Hash256{}) {
+    channel::ChannelState s;
+    s.channel_id = id;
+    s.sequence = seq;
+    s.paid_total = U256{paid};
+    s.sensor_data = U256{22};
+    s.prev_hash = prev;
+    channel::SignedState out;
+    out.state = s;
+    out.sender_sig = secp256k1::sign(s.digest(), car);
+    out.receiver_sig = secp256k1::sign(s.digest(), lot);
+    return out;
+  }
+};
+
+TEST(TemplateDeposit, LocksFundsOnChain) {
+  Fixture f;
+  ASSERT_EQ(f.contract->deposit(f.car.address(), U256{500}, U256{50}),
+            TemplateStatus::Ok);
+  EXPECT_EQ(f.chain.balance_of(f.car.address()), U256{100'000'000 - 500});
+  EXPECT_EQ(f.chain.balance_of(f.template_addr), U256{500});
+  EXPECT_EQ(f.contract->locked_of(f.car.address()), U256{450});
+}
+
+TEST(TemplateDeposit, RejectsInsufficientBalance) {
+  Fixture f;
+  EXPECT_EQ(f.contract->deposit(f.car.address(), U256{200'000'000}, U256{0}),
+            TemplateStatus::InsufficientDeposit);
+}
+
+TEST(TemplateDeposit, RejectsInsuranceAboveAmount) {
+  Fixture f;
+  EXPECT_EQ(f.contract->deposit(f.car.address(), U256{100}, U256{200}),
+            TemplateStatus::InsufficientDeposit);
+}
+
+TEST(TemplateClock, ChannelIdsAreMonotonic) {
+  Fixture f;
+  ASSERT_EQ(f.contract->deposit(f.car.address(), U256{1000}, U256{0}),
+            TemplateStatus::Ok);
+  const auto id1 = f.contract->create_payment_channel(f.car.address());
+  const auto id2 = f.contract->create_payment_channel(f.car.address());
+  ASSERT_TRUE(id1 && id2);
+  EXPECT_EQ(*id1, U256{1});
+  EXPECT_EQ(*id2, U256{2});
+  EXPECT_EQ(f.contract->logical_clock(), 2u);
+}
+
+TEST(TemplateClock, ChannelNeedsDeposit) {
+  Fixture f;
+  EXPECT_FALSE(f.contract->create_payment_channel(f.car.address()).has_value());
+}
+
+TEST(TemplateCommit, AcceptsValidSignedState) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  const auto state = f.signed_state(id, 1, 300);
+  ASSERT_EQ(f.contract->on_chain_commit(state), TemplateStatus::Ok);
+  const auto* rec = f.contract->channel(id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->highest_sequence, 1u);
+  EXPECT_EQ(rec->committed_total, U256{300});
+  EXPECT_EQ(f.contract->side_chain_root().sum, U256{300});
+}
+
+TEST(TemplateCommit, HigherSequenceAccumulates) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  ASSERT_EQ(f.contract->on_chain_commit(f.signed_state(id, 1, 300)),
+            TemplateStatus::Ok);
+  ASSERT_EQ(f.contract->on_chain_commit(f.signed_state(id, 5, 700)),
+            TemplateStatus::Ok);
+  const auto* rec = f.contract->channel(id);
+  EXPECT_EQ(rec->highest_sequence, 5u);
+  EXPECT_EQ(rec->committed_total, U256{700});
+  // The sum tree accumulates deltas: 300 + 400.
+  EXPECT_EQ(f.contract->side_chain_root().sum, U256{700});
+}
+
+TEST(TemplateCommit, RejectsStaleSequence) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  ASSERT_EQ(f.contract->on_chain_commit(f.signed_state(id, 5, 300)),
+            TemplateStatus::Ok);
+  EXPECT_EQ(f.contract->on_chain_commit(f.signed_state(id, 5, 400)),
+            TemplateStatus::StaleSequence);
+  EXPECT_EQ(f.contract->on_chain_commit(f.signed_state(id, 4, 400)),
+            TemplateStatus::StaleSequence);
+}
+
+TEST(TemplateCommit, RejectsOverspend) {
+  Fixture f;
+  const U256 id = f.open_channel(U256{1000}, U256{100});
+  // Deposit net of insurance is 900; paying 950 breaches the lock.
+  EXPECT_EQ(f.contract->on_chain_commit(f.signed_state(id, 1, 950)),
+            TemplateStatus::OverLockedFunds);
+}
+
+TEST(TemplateCommit, RejectsShrinkingTotal) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  ASSERT_EQ(f.contract->on_chain_commit(f.signed_state(id, 1, 500)),
+            TemplateStatus::Ok);
+  EXPECT_EQ(f.contract->on_chain_commit(f.signed_state(id, 2, 400)),
+            TemplateStatus::OverLockedFunds);
+}
+
+TEST(TemplateCommit, RejectsWrongSigners) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  auto state = f.signed_state(id, 1, 100);
+  const auto mallory = PrivateKey::from_seed("mallory");
+  state.receiver_sig = secp256k1::sign(state.state.digest(), mallory);
+  EXPECT_EQ(f.contract->on_chain_commit(state), TemplateStatus::BadSignature);
+}
+
+TEST(TemplateCommit, RejectsTamperedState) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  auto state = f.signed_state(id, 1, 100);
+  state.state.paid_total = U256{999};  // altered after signing
+  EXPECT_EQ(f.contract->on_chain_commit(state), TemplateStatus::BadSignature);
+}
+
+TEST(TemplateCommit, RejectsUnknownChannel) {
+  Fixture f;
+  EXPECT_EQ(f.contract->on_chain_commit(f.signed_state(U256{42}, 1, 100)),
+            TemplateStatus::UnknownChannel);
+}
+
+TEST(TemplateExit, SettlesAfterChallengePeriod) {
+  Fixture f;
+  const U256 id = f.open_channel(U256{1000}, U256{100});
+  ASSERT_EQ(f.contract->on_chain_commit(f.signed_state(id, 3, 600)),
+            TemplateStatus::Ok);
+  ASSERT_EQ(f.contract->request_exit(f.lot.address(), id),
+            TemplateStatus::Ok);
+
+  // Too early to finalize.
+  EXPECT_EQ(f.contract->finalize(id), TemplateStatus::ChallengeActive);
+  f.chain.mine_blocks(kChallengePeriod + 1);
+
+  const U256 lot_before = f.chain.balance_of(f.lot.address());
+  const U256 car_before = f.chain.balance_of(f.car.address());
+  ASSERT_EQ(f.contract->finalize(id), TemplateStatus::Ok);
+  // Receiver gets the committed 600; sender gets refund 300 + insurance 100.
+  EXPECT_EQ(f.chain.balance_of(f.lot.address()), lot_before + U256{600});
+  EXPECT_EQ(f.chain.balance_of(f.car.address()), car_before + U256{400});
+  EXPECT_TRUE(f.contract->channel(id)->closed);
+}
+
+TEST(TemplateExit, DoubleFinalizeRejected) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  ASSERT_EQ(f.contract->request_exit(f.car.address(), id), TemplateStatus::Ok);
+  f.chain.mine_blocks(kChallengePeriod + 1);
+  ASSERT_EQ(f.contract->finalize(id), TemplateStatus::Ok);
+  EXPECT_EQ(f.contract->finalize(id), TemplateStatus::ChannelClosed);
+}
+
+TEST(TemplateExit, FinalizeWithoutExitRejected) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  EXPECT_EQ(f.contract->finalize(id), TemplateStatus::NotInChallenge);
+}
+
+TEST(TemplateExit, OnlyParticipantsMayExit) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  const auto mallory = PrivateKey::from_seed("mallory").address();
+  EXPECT_EQ(f.contract->request_exit(mallory, id),
+            TemplateStatus::NotParticipant);
+}
+
+TEST(TemplateChallenge, NewerStateOverridesStaleExit) {
+  // The paper's core fraud story: the car exits on an old, cheap state; the
+  // parking sensor disputes with a newer signed state during the window.
+  Fixture f;
+  const U256 id = f.open_channel(U256{1000}, U256{100});
+  ASSERT_EQ(f.contract->on_chain_commit(f.signed_state(id, 1, 100)),
+            TemplateStatus::Ok);  // the stale state the car wants to settle
+  ASSERT_EQ(f.contract->request_exit(f.car.address(), id), TemplateStatus::Ok);
+
+  const U256 lot_before = f.chain.balance_of(f.lot.address());
+  ASSERT_EQ(
+      f.contract->challenge(f.lot.address(), f.signed_state(id, 7, 800)),
+      TemplateStatus::Ok);
+  // The payer's insurance is slashed to the challenger immediately.
+  EXPECT_EQ(f.chain.balance_of(f.lot.address()), lot_before + U256{100});
+
+  f.chain.mine_blocks(kChallengePeriod + 1);
+  ASSERT_EQ(f.contract->finalize(id), TemplateStatus::Ok);
+  // Settlement now uses the disputed (newer) total.
+  EXPECT_EQ(f.contract->channel(id)->committed_total, U256{800});
+}
+
+TEST(TemplateChallenge, RequiresActiveWindow) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  EXPECT_EQ(
+      f.contract->challenge(f.lot.address(), f.signed_state(id, 2, 200)),
+      TemplateStatus::NotInChallenge);
+
+  ASSERT_EQ(f.contract->request_exit(f.car.address(), id), TemplateStatus::Ok);
+  f.chain.mine_blocks(kChallengePeriod + 1);
+  EXPECT_EQ(
+      f.contract->challenge(f.lot.address(), f.signed_state(id, 2, 200)),
+      TemplateStatus::NotInChallenge)
+      << "window expired";
+}
+
+TEST(TemplateChallenge, StaleChallengeRejected) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  ASSERT_EQ(f.contract->on_chain_commit(f.signed_state(id, 5, 500)),
+            TemplateStatus::Ok);
+  ASSERT_EQ(f.contract->request_exit(f.car.address(), id), TemplateStatus::Ok);
+  EXPECT_EQ(
+      f.contract->challenge(f.lot.address(), f.signed_state(id, 3, 300)),
+      TemplateStatus::StaleSequence);
+}
+
+TEST(TemplateChallenge, OutsiderCannotChallenge) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  ASSERT_EQ(f.contract->request_exit(f.car.address(), id), TemplateStatus::Ok);
+  const auto mallory = PrivateKey::from_seed("mallory").address();
+  EXPECT_EQ(f.contract->challenge(mallory, f.signed_state(id, 2, 200)),
+            TemplateStatus::NotParticipant);
+}
+
+TEST(TemplateAbi, DepositAndChannelViaTransactions) {
+  // The same flows through the wire interface, as a mote would submit them.
+  Fixture f;
+  Transaction dep;
+  dep.to = f.template_addr;
+  dep.value = U256{1000};
+  dep.data = abi::Encoder("deposit(uint256)").add_uint(U256{100}).build();
+  const auto r1 = f.chain.submit(f.car, dep);
+  ASSERT_TRUE(r1 && r1->success);
+  EXPECT_EQ(f.contract->locked_of(f.car.address()), U256{900});
+
+  Transaction create;
+  create.to = f.template_addr;
+  create.data = abi::Encoder("createPaymentChannel()").build();
+  const auto r2 = f.chain.submit(f.car, create);
+  ASSERT_TRUE(r2 && r2->success);
+  EXPECT_EQ(U256::from_bytes(r2->output), U256{1});
+
+  Transaction clock;
+  clock.to = f.template_addr;
+  clock.data = abi::Encoder("logicalClock()").build();
+  const auto r3 = f.chain.submit(f.lot, clock);
+  ASSERT_TRUE(r3 && r3->success);
+  EXPECT_EQ(U256::from_bytes(r3->output), U256{1});
+}
+
+TEST(TemplateAbi, CommitViaTransaction) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  const auto state = f.signed_state(id, 1, 250);
+
+  const auto sig_s = state.sender_sig.serialize();
+  const auto sig_r = state.receiver_sig.serialize();
+  Transaction commit;
+  commit.to = f.template_addr;
+  commit.data = abi::Encoder("commit(bytes,bytes,bytes)")
+                    .add_bytes(state.state.encode())
+                    .add_bytes(sig_s)
+                    .add_bytes(sig_r)
+                    .build();
+  const auto r = f.chain.submit(f.lot, commit);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(r->success);
+  EXPECT_EQ(f.contract->channel(id)->committed_total, U256{250});
+}
+
+TEST(TemplateAbi, ExitAndFinalizeViaTransactions) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  ASSERT_EQ(f.contract->on_chain_commit(f.signed_state(id, 1, 500)),
+            TemplateStatus::Ok);
+
+  Transaction exit_tx;
+  exit_tx.to = f.template_addr;
+  exit_tx.data = abi::Encoder("exit(uint256)").add_uint(id).build();
+  ASSERT_TRUE(f.chain.submit(f.car, exit_tx)->success);
+
+  f.chain.mine_blocks(kChallengePeriod + 1);
+  Transaction fin;
+  fin.to = f.template_addr;
+  fin.data = abi::Encoder("finalize(uint256)").add_uint(id).build();
+  const auto r = f.chain.submit(f.lot, fin);
+  ASSERT_TRUE(r && r->success);
+  EXPECT_TRUE(f.contract->channel(id)->closed);
+}
+
+TEST(TemplateAbi, MalformedCalldataRejected) {
+  Fixture f;
+  Transaction tx;
+  tx.to = f.template_addr;
+  tx.data = {0x01, 0x02};  // shorter than a selector
+  const auto r = f.chain.submit(f.car, tx);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->success);
+}
+
+TEST(CommitReceipts, LatestCommitIsProvable) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  ASSERT_EQ(f.contract->on_chain_commit(f.signed_state(id, 1, 300)),
+            TemplateStatus::Ok);
+  const auto receipt = f.contract->prove_latest_commit(id);
+  ASSERT_TRUE(receipt.has_value());
+  EXPECT_EQ(receipt->leaf_value, U256{300});
+  EXPECT_TRUE(receipt->verify());
+}
+
+TEST(CommitReceipts, ReceiptTracksNewestCommit) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  ASSERT_EQ(f.contract->on_chain_commit(f.signed_state(id, 1, 300)),
+            TemplateStatus::Ok);
+  ASSERT_EQ(f.contract->on_chain_commit(f.signed_state(id, 2, 450)),
+            TemplateStatus::Ok);
+  const auto receipt = f.contract->prove_latest_commit(id);
+  ASSERT_TRUE(receipt.has_value());
+  EXPECT_EQ(receipt->leaf_value, U256{150});  // the delta, not the total
+  EXPECT_EQ(receipt->leaf_index, 1u);
+  EXPECT_TRUE(receipt->verify());
+}
+
+TEST(CommitReceipts, StaleReceiptDivergesFromLiveRoot) {
+  // A receipt snapshots the root at proof time, so it stays internally
+  // consistent — but once the tree grows, the snapshot no longer matches
+  // the on-chain root, and the old proof fails against the live root.
+  // Auditors must compare against the published root (the sum-audit rule).
+  Fixture f;
+  const U256 id = f.open_channel();
+  ASSERT_EQ(f.contract->on_chain_commit(f.signed_state(id, 1, 100)),
+            TemplateStatus::Ok);
+  auto stale = f.contract->prove_latest_commit(id);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_TRUE(stale->verify());  // self-consistent snapshot
+
+  ASSERT_EQ(f.contract->on_chain_commit(f.signed_state(id, 2, 200)),
+            TemplateStatus::Ok);
+  const auto live_root = f.contract->side_chain_root();
+  EXPECT_NE(stale->root, live_root);
+  EXPECT_FALSE(channel::MerkleSumTree::verify(
+      live_root, stale->leaf_value, stale->leaf_digest, stale->proof,
+      stale->cap))
+      << "old proof must not verify against the live root";
+
+  const auto fresh = f.contract->prove_latest_commit(id);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->root, live_root);
+  EXPECT_TRUE(fresh->verify());
+}
+
+TEST(CommitReceipts, NoCommitNoReceipt) {
+  Fixture f;
+  const U256 id = f.open_channel();
+  EXPECT_FALSE(f.contract->prove_latest_commit(id).has_value());
+  EXPECT_FALSE(f.contract->prove_latest_commit(U256{999}).has_value());
+}
+
+TEST(TemplateAnchor, GenesisBindsInstance) {
+  Fixture f;
+  Address other_addr{};
+  other_addr[19] = 0xCD;
+  TemplateContract other(f.chain, other_addr, f.lot.address(),
+                         kChallengePeriod);
+  EXPECT_NE(f.contract->genesis_anchor(), other.genesis_anchor());
+}
+
+}  // namespace
+}  // namespace tinyevm::chain

@@ -1,0 +1,368 @@
+#include "u256/u256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+namespace tinyevm {
+namespace {
+
+TEST(U256, DefaultIsZero) {
+  U256 v;
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_EQ(v.bit_length(), 0u);
+  EXPECT_EQ(v.byte_length(), 0u);
+}
+
+TEST(U256, FromHexRoundTrip) {
+  const auto v = U256::from_hex("0xdeadbeefcafebabe1234567890abcdef");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->to_hex(), "0xdeadbeefcafebabe1234567890abcdef");
+}
+
+TEST(U256, FromHexRejectsBadInput) {
+  EXPECT_FALSE(U256::from_hex("").has_value());
+  EXPECT_FALSE(U256::from_hex("0x").has_value());
+  EXPECT_FALSE(U256::from_hex("xyz").has_value());
+  EXPECT_FALSE(U256::from_hex(std::string(65, 'f')).has_value());
+  EXPECT_TRUE(U256::from_hex(std::string(64, 'f')).has_value());
+}
+
+TEST(U256, FromHexMax) {
+  const auto v = U256::from_hex(std::string(64, 'f'));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, U256::max());
+}
+
+TEST(U256, WordRoundTrip) {
+  const U256 v{0x0102030405060708ULL, 0x1112131415161718ULL,
+               0x2122232425262728ULL, 0x3132333435363738ULL};
+  const auto w = v.to_word();
+  EXPECT_EQ(w[0], 0x01);
+  EXPECT_EQ(w[31], 0x38);
+  EXPECT_EQ(U256::from_word(w), v);
+}
+
+TEST(U256, FromBytesShortInputLeftPads) {
+  const std::uint8_t data[] = {0xAB, 0xCD};
+  EXPECT_EQ(U256::from_bytes(data), U256{0xABCDULL});
+}
+
+TEST(U256, MinimalBytes) {
+  EXPECT_TRUE(U256{}.to_minimal_bytes().empty());
+  const auto one = U256{1}.to_minimal_bytes();
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 1);
+  const auto big = U256{0x1234}.to_minimal_bytes();
+  ASSERT_EQ(big.size(), 2u);
+  EXPECT_EQ(big[0], 0x12);
+  EXPECT_EQ(big[1], 0x34);
+}
+
+TEST(U256, AdditionCarriesAcrossLimbs) {
+  const U256 a{0, 0, 0, ~0ULL};
+  EXPECT_EQ(a + U256{1}, (U256{0, 0, 1, 0}));
+}
+
+TEST(U256, AdditionWrapsAtMax) {
+  EXPECT_EQ(U256::max() + U256{1}, U256{});
+  EXPECT_EQ(U256::max() + U256::max(), U256::max() - U256{1});
+}
+
+TEST(U256, SubtractionBorrowsAcrossLimbs) {
+  const U256 a{0, 0, 1, 0};
+  EXPECT_EQ(a - U256{1}, (U256{0, 0, 0, ~0ULL}));
+}
+
+TEST(U256, SubtractionWrapsBelowZero) {
+  EXPECT_EQ(U256{} - U256{1}, U256::max());
+}
+
+TEST(U256, MultiplicationSmall) {
+  EXPECT_EQ(U256{7} * U256{6}, U256{42});
+}
+
+TEST(U256, MultiplicationCrossLimb) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+  const U256 a{~0ULL};
+  const U256 expected = (U256{1} << 128) - (U256{1} << 65) + U256{1};
+  EXPECT_EQ(a * a, expected);
+}
+
+TEST(U256, MultiplicationWraps) {
+  // 2^255 * 2 == 0 (mod 2^256)
+  EXPECT_EQ(U256::sign_bit() * U256{2}, U256{});
+}
+
+TEST(U256, DivisionBasics) {
+  EXPECT_EQ(U256{100} / U256{7}, U256{14});
+  EXPECT_EQ(U256{100} % U256{7}, U256{2});
+}
+
+TEST(U256, DivisionByZeroYieldsZero) {
+  EXPECT_EQ(U256{123} / U256{}, U256{});
+  EXPECT_EQ(U256{123} % U256{}, U256{});
+}
+
+TEST(U256, DivisionWideOperands) {
+  const U256 a = *U256::from_hex(
+      "f000000000000000000000000000000000000000000000000000000000000001");
+  const U256 b = *U256::from_hex("100000000000000000000000000000000");
+  const auto [q, r] = U256::divmod(a, b);
+  EXPECT_EQ(q, *U256::from_hex("f0000000000000000000000000000000"));
+  EXPECT_EQ(r, U256{1});
+  EXPECT_EQ(q * b + r, a);
+}
+
+TEST(U256, ComparisonOrdering) {
+  EXPECT_LT(U256{1}, U256{2});
+  EXPECT_LT(U256{~0ULL}, (U256{0, 0, 1, 0}));
+  EXPECT_GT(U256::max(), U256{});
+  EXPECT_EQ(U256{5} <=> U256{5}, std::strong_ordering::equal);
+}
+
+TEST(U256, ShiftLeftBasics) {
+  EXPECT_EQ(U256{1} << 0, U256{1});
+  EXPECT_EQ(U256{1} << 64, (U256{0, 0, 1, 0}));
+  EXPECT_EQ(U256{1} << 255, U256::sign_bit());
+  EXPECT_EQ(U256{1} << 256, U256{});
+}
+
+TEST(U256, ShiftRightBasics) {
+  EXPECT_EQ(U256::sign_bit() >> 255, U256{1});
+  EXPECT_EQ((U256{0, 0, 1, 0}) >> 64, U256{1});
+  EXPECT_EQ(U256{1} >> 1, U256{});
+  EXPECT_EQ(U256::max() >> 256, U256{});
+}
+
+TEST(U256, ShiftAcrossLimbBoundary) {
+  const U256 v{0xF0F0F0F0F0F0F0F0ULL};
+  EXPECT_EQ(v << 4, (U256{0, 0, 0xF, 0x0F0F0F0F0F0F0F00ULL}));
+  EXPECT_EQ((v << 4) >> 4, v);
+}
+
+TEST(U256, BitwiseOps) {
+  const U256 a{0b1100};
+  const U256 b{0b1010};
+  EXPECT_EQ(a & b, U256{0b1000});
+  EXPECT_EQ(a | b, U256{0b1110});
+  EXPECT_EQ(a ^ b, U256{0b0110});
+  EXPECT_EQ(~U256{}, U256::max());
+}
+
+TEST(U256, SdivTruncatesTowardZero) {
+  const U256 minus_seven = U256{7}.negate();
+  EXPECT_EQ(U256::sdiv(minus_seven, U256{2}), U256{3}.negate());
+  EXPECT_EQ(U256::sdiv(U256{7}, U256{2}.negate()), U256{3}.negate());
+  EXPECT_EQ(U256::sdiv(minus_seven, U256{2}.negate()), U256{3});
+}
+
+TEST(U256, SdivOverflowCase) {
+  // INT256_MIN / -1 wraps to INT256_MIN (EVM rule).
+  const U256 int_min = U256::sign_bit();
+  EXPECT_EQ(U256::sdiv(int_min, U256{1}.negate()), int_min);
+}
+
+TEST(U256, SdivByZero) {
+  EXPECT_EQ(U256::sdiv(U256{5}.negate(), U256{}), U256{});
+}
+
+TEST(U256, SmodTakesDividendSign) {
+  const U256 minus_seven = U256{7}.negate();
+  EXPECT_EQ(U256::smod(minus_seven, U256{3}), U256{1}.negate());
+  EXPECT_EQ(U256::smod(U256{7}, U256{3}.negate()), U256{1});
+  EXPECT_EQ(U256::smod(U256{7}, U256{}), U256{});
+}
+
+TEST(U256, AddmodWithWrappingSum) {
+  // (2^256-1 + 2) mod 7: 2^3 ≡ 1 (mod 7) so 2^256 ≡ 2, the sum is
+  // (2 - 1) + 2 = 3. The naive wrapped sum would give 1 — this catches
+  // implementations lacking the 512-bit intermediate.
+  EXPECT_EQ(U256::addmod(U256::max(), U256{2}, U256{7}), U256{3});
+}
+
+TEST(U256, AddmodZeroModulus) {
+  EXPECT_EQ(U256::addmod(U256{5}, U256{6}, U256{}), U256{});
+}
+
+TEST(U256, MulmodUses512BitIntermediate) {
+  // (2^255)*(2^255) mod (2^256-1): 2^510 mod (2^256-1).
+  // 2^510 = 2^254 * 2^256 ≡ 2^254 (mod 2^256-1).
+  const U256 x = U256::sign_bit();
+  EXPECT_EQ(U256::mulmod(x, x, U256::max()), U256{1} << 254);
+}
+
+TEST(U256, MulmodSmall) {
+  EXPECT_EQ(U256::mulmod(U256{10}, U256{10}, U256{7}), U256{2});
+  EXPECT_EQ(U256::mulmod(U256{10}, U256{10}, U256{}), U256{});
+}
+
+TEST(U256, ExpBasics) {
+  EXPECT_EQ(U256::exp(U256{2}, U256{10}), U256{1024});
+  EXPECT_EQ(U256::exp(U256{0}, U256{0}), U256{1});  // EVM: 0^0 == 1
+  EXPECT_EQ(U256::exp(U256{123}, U256{0}), U256{1});
+  EXPECT_EQ(U256::exp(U256{0}, U256{5}), U256{});
+}
+
+TEST(U256, ExpWraps) {
+  EXPECT_EQ(U256::exp(U256{2}, U256{256}), U256{});
+  EXPECT_EQ(U256::exp(U256{2}, U256{255}), U256::sign_bit());
+}
+
+TEST(U256, SignextendPositiveByte) {
+  EXPECT_EQ(U256::signextend(U256{0}, U256{0x7F}), U256{0x7F});
+}
+
+TEST(U256, SignextendNegativeByte) {
+  const U256 extended = U256::signextend(U256{0}, U256{0xFF});
+  EXPECT_EQ(extended, U256::max());  // -1
+}
+
+TEST(U256, SignextendClearsHighGarbage) {
+  // Byte 0 is 0x7F but higher bytes hold garbage: they must be cleared.
+  EXPECT_EQ(U256::signextend(U256{0}, U256{0xAA7F}), U256{0x7F});
+}
+
+TEST(U256, SignextendOutOfRangeIsIdentity) {
+  EXPECT_EQ(U256::signextend(U256{31}, U256{0xFF}), U256{0xFF});
+  EXPECT_EQ(U256::signextend(U256::max(), U256{0xFF}), U256{0xFF});
+}
+
+TEST(U256, ByteOpcode) {
+  const U256 v = *U256::from_hex(
+      "0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20");
+  EXPECT_EQ(U256::byte(U256{0}, v), U256{0x01});
+  EXPECT_EQ(U256::byte(U256{31}, v), U256{0x20});
+  EXPECT_EQ(U256::byte(U256{32}, v), U256{});
+  EXPECT_EQ(U256::byte(U256::max(), v), U256{});
+}
+
+TEST(U256, SarPositive) {
+  EXPECT_EQ(U256::sar(U256{1}, U256{8}), U256{4});
+  EXPECT_EQ(U256::sar(U256{300}, U256{8}), U256{});
+}
+
+TEST(U256, SarNegativeFillsOnes) {
+  const U256 minus_eight = U256{8}.negate();
+  EXPECT_EQ(U256::sar(U256{1}, minus_eight), U256{4}.negate());
+  EXPECT_EQ(U256::sar(U256{300}, minus_eight), U256::max());
+  EXPECT_EQ(U256::sar(U256{255}, U256::sign_bit()), U256::max());
+}
+
+TEST(U256, SignedComparisons) {
+  const U256 minus_one = U256{1}.negate();
+  EXPECT_TRUE(U256::slt(minus_one, U256{0}));
+  EXPECT_TRUE(U256::slt(minus_one, U256{1}));
+  EXPECT_FALSE(U256::slt(U256{1}, minus_one));
+  EXPECT_TRUE(U256::sgt(U256{1}, minus_one));
+  EXPECT_TRUE(U256::slt(U256::sign_bit(), U256::sign_bit() + U256{1}));
+  EXPECT_FALSE(U256::slt(U256{5}, U256{5}));
+}
+
+TEST(U256, DecimalRendering) {
+  EXPECT_EQ(U256{}.to_decimal(), "0");
+  EXPECT_EQ(U256{1234567890}.to_decimal(), "1234567890");
+  EXPECT_EQ(
+      U256::max().to_decimal(),
+      "115792089237316195423570985008687907853269984665640564039457584007913129"
+      "639935");
+}
+
+TEST(U512, MulFullWidth) {
+  // (2^256-1)^2 = 2^512 - 2^257 + 1.
+  const U512 sq = U512::mul(U256::max(), U256::max());
+  EXPECT_EQ(sq.limb(0), 1u);
+  EXPECT_EQ(sq.limb(4), ~0ULL - 1);  // limb straddling 2^257 subtraction
+  EXPECT_EQ(sq.limb(7), ~0ULL);
+  EXPECT_EQ(sq.bit_length(), 512u);
+}
+
+TEST(U512, ModLargeModulus) {
+  const U512 sq = U512::mul(U256::max(), U256::max());
+  // (2^256-1)^2 mod (2^256-2) : let m = 2^256-2, x = m+1.
+  // x^2 = m^2 + 2m + 1 ≡ 1 (mod m).
+  EXPECT_EQ(sq.mod(U256::max() - U256{1}), U256{1});
+}
+
+// Property sweep: random 64x64 products cross-checked against native
+// 128-bit arithmetic.
+class U256RandomProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(U256RandomProperty, ArithmeticMatchesNative128) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng() | 1;  // avoid div by zero
+    const unsigned __int128 wide =
+        static_cast<unsigned __int128>(a) * b;
+    const U256 prod = U256{a} * U256{b};
+    EXPECT_EQ(prod.limb(0), static_cast<std::uint64_t>(wide));
+    EXPECT_EQ(prod.limb(1), static_cast<std::uint64_t>(wide >> 64));
+    EXPECT_EQ(U256{a} / U256{b}, U256{a / b});
+    EXPECT_EQ(U256{a} % U256{b}, U256{a % b});
+    const unsigned __int128 wide_sum = static_cast<unsigned __int128>(a) + b;
+    const U256 sum = U256{a} + U256{b};
+    EXPECT_EQ(sum.limb(0), static_cast<std::uint64_t>(wide_sum));
+    EXPECT_EQ(sum.limb(1), static_cast<std::uint64_t>(wide_sum >> 64));
+  }
+}
+
+TEST_P(U256RandomProperty, DivModInvariant) {
+  std::mt19937_64 rng(GetParam() ^ 0x9E3779B97F4A7C15ULL);
+  for (int i = 0; i < 100; ++i) {
+    const U256 a{rng(), rng(), rng(), rng()};
+    const U256 b{0, rng() & 0xFFFF, rng(), rng()};
+    if (b.is_zero()) continue;
+    const auto [q, r] = U256::divmod(a, b);
+    EXPECT_LT(r, b);
+    EXPECT_EQ(q * b + r, a);
+  }
+}
+
+TEST_P(U256RandomProperty, ShiftComposition) {
+  std::mt19937_64 rng(GetParam() ^ 0xABCDEF);
+  for (int i = 0; i < 100; ++i) {
+    const U256 a{rng(), rng(), rng(), rng()};
+    const unsigned n = static_cast<unsigned>(rng() % 255) + 1;
+    // (a >> n) << n clears the low n bits.
+    const U256 mask = ~((U256{1} << n) - U256{1});
+    EXPECT_EQ((a >> n) << n, a & mask);
+  }
+}
+
+TEST_P(U256RandomProperty, MulmodMatchesDirectWhenSmall) {
+  std::mt19937_64 rng(GetParam() ^ 0x5555AAAA);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = rng() >> 32;
+    const std::uint64_t b = rng() >> 32;
+    const std::uint64_t m = (rng() >> 32) | 1;
+    EXPECT_EQ(U256::mulmod(U256{a}, U256{b}, U256{m}),
+              U256{static_cast<std::uint64_t>(
+                  (a * static_cast<unsigned __int128>(b)) % m)});
+  }
+}
+
+TEST_P(U256RandomProperty, NegationIsAdditiveInverse) {
+  std::mt19937_64 rng(GetParam() ^ 0x1234);
+  for (int i = 0; i < 100; ++i) {
+    const U256 a{rng(), rng(), rng(), rng()};
+    EXPECT_EQ(a + a.negate(), U256{});
+  }
+}
+
+TEST_P(U256RandomProperty, HexRoundTrip) {
+  std::mt19937_64 rng(GetParam() ^ 0x77777);
+  for (int i = 0; i < 50; ++i) {
+    const U256 a{rng(), rng(), rng(), rng()};
+    const auto parsed = U256::from_hex(a.to_hex());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256RandomProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 20200713u));
+
+}  // namespace
+}  // namespace tinyevm

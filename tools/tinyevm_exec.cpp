@@ -1,0 +1,149 @@
+// tinyevm-exec — run raw EVM bytecode on the TinyEVM (or Ethereum) profile
+// from the command line. The tool a downstream user reaches for first:
+//
+//   tinyevm-exec 6001600201              # PUSH1 1 PUSH1 2 ADD
+//   tinyevm-exec --profile ethereum --gas 100000 <hex>
+//   tinyevm-exec --calldata <hex> --sensor 7=22 <hex>
+//   tinyevm-exec --disasm <hex>          # just disassemble
+//
+// Prints status, output, stack/memory statistics, and the modeled MCU time.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "channel/manager.hpp"
+#include "device/cc2538.hpp"
+#include "evm/asm.hpp"
+#include "evm/vm.hpp"
+
+using namespace tinyevm;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: tinyevm-exec [options] <hex-bytecode>\n"
+      "  --profile tiny|ethereum   VM profile (default: tiny)\n"
+      "  --calldata <hex>          message data\n"
+      "  --gas <n>                 gas limit (ethereum profile)\n"
+      "  --sensor <id>=<value>     provision a sensor (repeatable)\n"
+      "  --disasm                  disassemble instead of executing\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  evm::VmConfig config = evm::VmConfig::tiny();
+  evm::Bytes calldata;
+  std::int64_t gas = 10'000'000;
+  bool disasm_only = false;
+  channel::SensorBank sensors;
+  std::string code_hex;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    }
+    if (arg == "--profile" && i + 1 < argc) {
+      const std::string p = argv[++i];
+      if (p == "ethereum") {
+        config = evm::VmConfig::ethereum();
+      } else if (p != "tiny") {
+        std::fprintf(stderr, "unknown profile '%s'\n", p.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--calldata" && i + 1 < argc) {
+      try {
+        calldata = from_hex(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bad calldata: %s\n", e.what());
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--gas" && i + 1 < argc) {
+      gas = std::atoll(argv[++i]);
+      continue;
+    }
+    if (arg == "--sensor" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "bad sensor spec '%s' (want id=value)\n",
+                     spec.c_str());
+        return 2;
+      }
+      sensors.set_reading(
+          static_cast<std::uint32_t>(std::atoi(spec.substr(0, eq).c_str())),
+          U256{static_cast<std::uint64_t>(
+              std::atoll(spec.substr(eq + 1).c_str()))});
+      continue;
+    }
+    if (arg == "--disasm") {
+      disasm_only = true;
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+    code_hex = arg;
+  }
+
+  if (code_hex.empty()) {
+    usage();
+    return 2;
+  }
+
+  evm::Bytes code;
+  try {
+    code = from_hex(code_hex);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad bytecode hex: %s\n", e.what());
+    return 2;
+  }
+
+  if (disasm_only) {
+    for (const auto& entry : evm::disassemble(code)) {
+      std::printf("%04llx  %-14s %s\n",
+                  static_cast<unsigned long long>(entry.pc),
+                  entry.name.c_str(),
+                  entry.immediate.empty()
+                      ? ""
+                      : ("0x" + to_hex(entry.immediate)).c_str());
+    }
+    return 0;
+  }
+
+  channel::DeviceHost host(sensors, config);
+  evm::Vm vm{config};
+  evm::Message msg;
+  msg.code = code;
+  msg.data = calldata;
+  msg.gas = gas;
+  const evm::ExecResult r = vm.execute(host, msg);
+
+  std::printf("status      : %s\n",
+              std::string(evm::to_string(r.status)).c_str());
+  std::printf("output      : %s\n",
+              r.output.empty() ? "(empty)" : ("0x" + to_hex(r.output)).c_str());
+  if (config.metering) {
+    std::printf("gas used    : %lld\n",
+                static_cast<long long>(gas - r.gas_left));
+  }
+  std::printf("ops executed: %llu\n",
+              static_cast<unsigned long long>(r.stats.ops_executed));
+  std::printf("max stack   : %zu elements\n", r.stats.max_stack_pointer);
+  std::printf("peak memory : %zu bytes\n", r.stats.peak_memory);
+  std::printf("MCU time    : %.3f ms @ 32 MHz (%llu cycles)\n",
+              static_cast<double>(r.stats.mcu_cycles) /
+                  device::Cc2538Spec::kCyclesPerMs,
+              static_cast<unsigned long long>(r.stats.mcu_cycles));
+  return r.ok() ? 0 : 1;
+}
