@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "corpus/corpus.hpp"
 
 namespace {
@@ -65,6 +66,10 @@ int main() {
         tinyevm::corpus::deploy_on_device(generator.make(i), vm_config));
   }
   const CorpusStats stats = tinyevm::corpus::summarize(outcomes);
+  tinyevm::benchjson::Emitter json("fig3_corpus");
+  json.metric("corpus_size", outcomes.size());
+  json.metric("deployed", stats.deployed);
+  json.metric("deploy_success_rate_pct", stats.success_rate);
 
   // --- headline (Fig 3a caption) ---
   std::printf("\nDeployment success at the 8 KB memory limit\n");
@@ -114,6 +119,9 @@ int main() {
   const double corr =
       (nf * sum_xy - sum_x * sum_y) /
       std::sqrt((nf * sum_x2 - sum_x * sum_x) * (nf * sum_y2 - sum_y * sum_y));
+  json.metric("memory_vs_size_correlation_r", corr);
+  json.metric("deploys_memory_exceeds_size", mem_exceeds_size);
+  json.metric("deployed_contracts_over_8kb", big_but_deployable);
   std::printf("\nFig 3b — memory usage vs contract size (deployed)\n");
   std::printf("  positive correlation (paper: 'positive correlation'): r = %.3f\n",
               corr);
@@ -133,6 +141,7 @@ int main() {
   }
   std::printf("  deployments with max SP <= 10: %.0f%% (paper: 'majority')\n",
               100.0 * static_cast<double>(sp_le_10) / nf);
+  json.metric("max_sp_le_10_pct", 100.0 * static_cast<double>(sp_le_10) / nf);
 
   // --- Table II ---
   std::printf("\nTable II — successfully deployed contracts (measured)\n");
@@ -141,6 +150,16 @@ int main() {
   print_summary_row("Stack", stats.stack_bytes, "B");
   print_summary_row("Memory", stats.memory_bytes, "B");
   print_summary_row("Deployment Time", stats.deploy_time_ms, "ms");
+  json.metric("contract_size_mean_bytes", stats.contract_size.mean);
+  json.metric("contract_size_std_bytes", stats.contract_size.stddev);
+  json.metric("contract_size_max_bytes", stats.contract_size.max);
+  json.metric("stack_pointer_mean", stats.stack_pointer.mean);
+  json.metric("stack_pointer_max", stats.stack_pointer.max);
+  json.metric("memory_mean_bytes", stats.memory_bytes.mean);
+  json.metric("memory_max_bytes", stats.memory_bytes.max);
+  json.metric("deploy_time_mean_ms", stats.deploy_time_ms.mean);
+  json.metric("deploy_time_std_ms", stats.deploy_time_ms.stddev);
+  json.metric("deploy_time_max_ms", stats.deploy_time_ms.max);
   std::printf("\nTable II — paper reference\n");
   std::printf("  %-22s max %10s   min %8s   mean %9s   std %9s\n",
               "Contract Size", "10,058", "28", "4,023", "2,899");

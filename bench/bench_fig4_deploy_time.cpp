@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "corpus/corpus.hpp"
 
 int main() {
@@ -66,5 +67,12 @@ int main() {
               std::sqrt(var / n));
   std::printf("slowest deployment       = %.1f s  (paper: 9.2 s outlier)\n",
               max_ms / 1000.0);
+
+  tinyevm::benchjson::Emitter json("fig4_deploy_time");
+  json.metric("sample_size", sizes.size());
+  json.metric("size_time_correlation_r", r);
+  json.metric("deploy_time_mean_ms", mean);
+  json.metric("deploy_time_std_ms", std::sqrt(var / n));
+  json.metric("deploy_time_max_ms", max_ms);
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "device/offchain_round.hpp"
 
 int main() {
@@ -47,6 +48,16 @@ int main() {
   std::printf("  total                : %7.1f ms  (paper: ~1.6 s)\n",
               result.timing.total_us / 1000.0);
 
+  tinyevm::benchjson::Emitter json("fig5_trace");
+  json.metric("exchange_sensor_ms", result.timing.exchange_sensor_us / 1000.0);
+  json.metric("open_channel_ms", result.timing.open_channel_us / 1000.0);
+  json.metric("sign_payment_ms", result.timing.sign_payment_us / 1000.0);
+  json.metric("register_sidechain_ms",
+              result.timing.register_sidechain_us / 1000.0);
+  json.metric("closing_exchange_ms",
+              result.timing.closing_exchange_us / 1000.0);
+  json.metric("round_total_ms", result.timing.total_us / 1000.0);
+
   // Resample the segment trace to a 10 ms grid: current at each sample is
   // the maximum draw within the window (matches how a scope peak-detects).
   const auto& trace = car_mote.trace();
@@ -72,12 +83,20 @@ int main() {
 
   std::printf("\ncomponent activity totals (car mote):\n");
   const auto& e = car_mote.energest();
-  for (PowerState s :
-       {PowerState::CryptoEngine, PowerState::Tx, PowerState::Rx,
-        PowerState::CpuActive, PowerState::Lpm2}) {
+  const std::pair<PowerState, const char*> components[] = {
+      {PowerState::CryptoEngine, "crypto_engine"},
+      {PowerState::Tx, "tx"},
+      {PowerState::Rx, "rx"},
+      {PowerState::CpuActive, "cpu_active"},
+      {PowerState::Lpm2, "lpm2"},
+  };
+  for (const auto& [s, slug] : components) {
     std::printf("  %-24s %8.1f ms  %6.1f mJ\n",
                 std::string(to_string(s)).c_str(), e.time_ms(s),
                 e.energy_mj(s));
+    json.metric(std::string(slug) + "_ms", e.time_ms(s));
+    json.metric(std::string(slug) + "_mj", e.energy_mj(s));
   }
+  json.metric("trace_samples_10ms", samples.size());
   return 0;
 }

@@ -1,0 +1,103 @@
+// Machine-readable output for the plain (self-timed) benchmarks.
+//
+// Each driver constructs one Emitter and records its headline numbers right
+// next to the printf that shows them. On destruction the emitter writes
+// BENCH_<name>.json into $TINYEVM_BENCH_JSON_DIR — the `bench` CMake target
+// points that at the repository root — or into the current directory when
+// the variable is unset.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tinyevm::benchjson {
+
+class Emitter {
+ public:
+  explicit Emitter(std::string name) : name_(std::move(name)) {}
+
+  Emitter(const Emitter&) = delete;
+  Emitter& operator=(const Emitter&) = delete;
+
+  /// Record a numeric metric. NaN/inf become JSON null.
+  void metric(const std::string& key, double value) {
+    entries_.emplace_back(escape(key), format_double(value));
+  }
+
+  /// Record a string-valued metric (e.g. big integers beyond double range).
+  void text(const std::string& key, const std::string& value) {
+    // Built with += rather than operator+ chains: GCC 12's -Wrestrict
+    // false-positives on literal + temporary string concatenation (PR105651).
+    std::string quoted;
+    quoted.reserve(value.size() + 2);
+    quoted += '"';
+    quoted += escape(value);
+    quoted += '"';
+    entries_.emplace_back(escape(key), std::move(quoted));
+  }
+
+  ~Emitter() {
+    const char* dir = std::getenv("TINYEVM_BENCH_JSON_DIR");
+    std::string path = (dir && *dir) ? std::string(dir) + "/" : std::string();
+    path += "BENCH_" + name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "benchjson: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"schema\": \"tinyevm-bench-v1\",\n"
+                 "  \"metrics\": {\n",
+                 name_.c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(out, "    \"%s\": %s%s\n", entries_[i].first.c_str(),
+                   entries_[i].second.c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(out, "  }\n}\n");
+    std::fclose(out);
+    std::printf("\n[benchjson] wrote %s\n", path.c_str());
+  }
+
+ private:
+  static std::string escape(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+            out += buffer;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  static std::string format_double(double value) {
+    if (!std::isfinite(value)) return "null";
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.6g", value);
+    return buffer;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace tinyevm::benchjson

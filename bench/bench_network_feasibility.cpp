@@ -7,7 +7,9 @@
 // reports end-to-end latency, per-mote energy, and battery impact — the
 // trade-off a deployment would actually face.
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "device/mote.hpp"
 #include "network/payment_network.hpp"
 
@@ -78,6 +80,8 @@ int main() {
   std::printf("Extension: payment-network feasibility on low-power motes\n");
   std::printf("==============================================================\n");
 
+  benchjson::Emitter json("network_feasibility");
+
   // Protocol-level check on a line topology: signatures really scale 2/hop.
   std::printf("\nprotocol signature count (line topology, 1 payment):\n");
   for (unsigned hops : {1u, 2u, 4u, 8u}) {
@@ -91,6 +95,8 @@ int main() {
         net.pay(addr(1), addr(static_cast<std::uint8_t>(hops + 1)), U256{10});
     std::printf("  %u hop(s): success=%s  signature rounds=%zu\n", hops,
                 outcome.success ? "yes" : "no", outcome.signature_rounds);
+    json.metric("signature_rounds_hops_" + std::to_string(hops),
+                outcome.signature_rounds);
   }
 
   std::printf("\ndevice-model cost per payment (CC2538, lossless link):\n");
@@ -100,6 +106,11 @@ int main() {
     const auto c = model_payment(hops, 0);
     std::printf("  %-6u %9.0f ms %13.1f mJ %17.1f mJ\n", hops, c.latency_ms,
                 c.payer_energy_mj, c.intermediary_energy_mj);
+    json.metric("latency_ms_hops_" + std::to_string(hops), c.latency_ms);
+    json.metric("payer_energy_mj_hops_" + std::to_string(hops),
+                c.payer_energy_mj);
+    json.metric("intermediary_energy_mj_hops_" + std::to_string(hops),
+                c.intermediary_energy_mj);
   }
 
   std::printf("\nlossy-link sensitivity (3 hops):\n");
@@ -107,6 +118,8 @@ int main() {
   for (unsigned loss : {0u, 10u, 30u, 50u}) {
     const auto c = model_payment(3, loss);
     std::printf("  %7u %%  %9.0f ms\n", loss, c.latency_ms);
+    json.metric("latency_ms_3hops_loss_" + std::to_string(loss) + "pct",
+                c.latency_ms);
   }
 
   std::printf("\nconclusion: each hop adds ~2 crypto-engine signatures\n"

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "abi/abi.hpp"
+#include "bench_json.hpp"
 #include "chain/chain.hpp"
 #include "channel/manager.hpp"
 #include "device/mote.hpp"
@@ -142,6 +143,17 @@ int main() {
               "  opcode does it in-place for ~%.0fx less mote energy and\n"
               "  ~%.0fx lower latency.\n",
               oracle.mote_energy_mj / local.energy_mj,
+              oracle.end_to_end_s * 1000.0 / local.latency_ms);
+
+  benchjson::Emitter json("oracle_baseline");
+  json.metric("iot_opcode_latency_ms", local.latency_ms);
+  json.metric("iot_opcode_energy_mj", local.energy_mj);
+  json.metric("oracle_mote_latency_ms", oracle.mote_latency_ms);
+  json.metric("oracle_mote_energy_mj", oracle.mote_energy_mj);
+  json.metric("oracle_end_to_end_s", oracle.end_to_end_s);
+  json.text("oracle_fees_wei", oracle.fees_paid.to_decimal());
+  json.metric("energy_advantage_x", oracle.mote_energy_mj / local.energy_mj);
+  json.metric("latency_advantage_x",
               oracle.end_to_end_s * 1000.0 / local.latency_ms);
   return 0;
 }

@@ -3,6 +3,7 @@
 // the implementation and the paper's accounting fails loudly here.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "evm/opcodes.hpp"
 #include "evm/vm.hpp"
 
@@ -13,6 +14,7 @@ int main() {
   const auto tiny = census(true);
   const auto eth_cfg = tinyevm::evm::VmConfig::ethereum();
   const auto tiny_cfg = tinyevm::evm::VmConfig::tiny();
+  tinyevm::benchjson::Emitter json("table1_spec");
 
   std::printf("=========================================================\n");
   std::printf("Table I: original EVM vs TinyEVM specification\n");
@@ -45,5 +47,22 @@ int main() {
   std::printf("  %-28s %12s %12s\n", "IoT opcode 0x0c",
               eth_cfg.iot_opcodes ? "yes" : "no",
               tiny_cfg.iot_opcodes ? "yes" : "no");
+
+  json.metric("evm_operation_opcodes", evm.operation);
+  json.metric("evm_smart_contract_opcodes", evm.smart_contract);
+  json.metric("evm_memory_opcodes", evm.memory);
+  json.metric("evm_blockchain_opcodes", evm.blockchain);
+  json.metric("evm_total_opcodes", evm.total());
+  json.metric("tiny_operation_opcodes", tiny.operation);
+  json.metric("tiny_smart_contract_opcodes", tiny.smart_contract);
+  json.metric("tiny_memory_opcodes", tiny.memory);
+  json.metric("tiny_blockchain_opcodes", tiny.blockchain);
+  json.metric("tiny_iot_opcodes", tiny.iot);
+  json.metric("tiny_total_opcodes", tiny.total());
+  json.metric("tiny_stack_limit_elems", tiny_cfg.stack_limit);
+  json.metric("tiny_memory_limit_bytes", tiny_cfg.memory_limit);
+  json.metric("tiny_storage_limit_bytes", tiny_cfg.storage_limit);
+  json.metric("tiny_gas_metering", tiny_cfg.metering ? 1 : 0);
+  json.metric("eth_gas_metering", eth_cfg.metering ? 1 : 0);
   return 0;
 }

@@ -2,8 +2,10 @@
 // ROM). OS rows come from the Contiki-NG calibration constants; the TinyEVM
 // row is computed from the configured VM arenas; the template row is the
 // actual payment-channel bytecode this repository assembles.
+#include <cctype>
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "channel/template_bytecode.hpp"
 #include "device/footprint.hpp"
 
@@ -49,5 +51,25 @@ int main() {
               " ROM (11%%)\n");
   std::printf("\n  assembled template bytecode: %zu B init (%zu B runtime)\n",
               init_code.size(), runtime.size());
+
+  tinyevm::benchjson::Emitter json("table3_footprint");
+  for (const auto& row : report.rows) {
+    std::string slug;
+    for (char c : row.component) {
+      slug += (std::isalnum(static_cast<unsigned char>(c)) != 0)
+                  ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+                  : '_';
+    }
+    json.metric(slug + "_ram_bytes", row.ram_bytes);
+    json.metric(slug + "_rom_bytes", row.rom_bytes);
+  }
+  json.metric("total_ram_bytes", total.ram_bytes);
+  json.metric("total_ram_pct", total.ram_percent());
+  json.metric("total_rom_bytes", total.rom_bytes);
+  json.metric("total_rom_pct", total.rom_percent());
+  json.metric("available_ram_bytes", avail.ram_bytes);
+  json.metric("available_rom_bytes", avail.rom_bytes);
+  json.metric("template_init_bytes", init_code.size());
+  json.metric("template_runtime_bytes", runtime.size());
   return 0;
 }

@@ -5,6 +5,7 @@
 // battery-lifetime estimate of paper Sec. VI-C.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "device/offchain_round.hpp"
 
 int main() {
@@ -65,6 +66,26 @@ int main() {
               " (paper: ~333,000)\n",
               payments);
   std::printf("  at 1 payment / 10 min: %.1f years (paper: > 6 years)\n",
+              payments * 10.0 / 60.0 / 24.0 / 365.0);
+
+  tinyevm::benchjson::Emitter json("table4_energy");
+  json.metric("crypto_engine_ms", e.time_ms(PowerState::CryptoEngine));
+  json.metric("crypto_engine_mj", e.energy_mj(PowerState::CryptoEngine));
+  json.metric("tx_ms", e.time_ms(PowerState::Tx));
+  json.metric("tx_mj", e.energy_mj(PowerState::Tx));
+  json.metric("rx_ms", e.time_ms(PowerState::Rx));
+  json.metric("rx_mj", e.energy_mj(PowerState::Rx));
+  json.metric("cpu_active_ms", e.time_ms(PowerState::CpuActive));
+  json.metric("cpu_active_mj", e.energy_mj(PowerState::CpuActive));
+  json.metric("lpm2_ms", e.time_ms(PowerState::Lpm2));
+  json.metric("lpm2_mj", e.energy_mj(PowerState::Lpm2));
+  json.metric("round_total_ms",
+              static_cast<double>(e.total_time_us()) / 1000.0);
+  json.metric("round_total_mj", round_mj);
+  json.metric("payment_latency_ms",
+              static_cast<double>(result.timing.payment_latency_us) / 1000.0);
+  json.metric("payments_per_10kj_battery", payments);
+  json.metric("battery_years_at_1_per_10min",
               payments * 10.0 / 60.0 / 24.0 / 365.0);
   return 0;
 }
