@@ -57,6 +57,52 @@ void BM_Loop_Ethereum_Gas(benchmark::State& state) {
 }
 BENCHMARK(BM_Loop_Ethereum_Gas);
 
+// --- ablation: dispatch strategy (token-threaded table vs the legacy
+// two-level switch it replaced). Same programs, same VM, only
+// VmConfig::dispatch differs — the counter pair quantifies the dispatch
+// rewrite in isolation. The old-switch variants exist only while the
+// legacy path is still compiled (TINYEVM_LEGACY_DISPATCH, one-PR soak).
+evm::Bytes opmix_program() {
+  // The ADD/MUL/DUP/SWAP hot mix the ROADMAP calls out.
+  Assembler a;
+  a.push_word(U256::max() - U256{5});
+  a.push_word(*U256::from_hex("0x123456789abcdef0fedcba9876543210"));
+  for (int i = 0; i < 100; ++i) {
+    a.dup(1).op(Opcode::ADD).swap(1).dup(2).op(Opcode::MUL).swap(1);
+  }
+  return a.take();
+}
+
+void BM_Dispatch_Loop_Threaded(benchmark::State& state) {
+  evm::VmConfig config = evm::VmConfig::tiny();
+  config.dispatch = evm::DispatchKind::Threaded;
+  run_program(state, loop_program(10'000), config);
+}
+BENCHMARK(BM_Dispatch_Loop_Threaded);
+
+void BM_Dispatch_OpMix_Threaded(benchmark::State& state) {
+  evm::VmConfig config = evm::VmConfig::tiny();
+  config.dispatch = evm::DispatchKind::Threaded;
+  run_program(state, opmix_program(), config);
+}
+BENCHMARK(BM_Dispatch_OpMix_Threaded);
+
+#ifdef TINYEVM_LEGACY_DISPATCH
+void BM_Dispatch_Loop_OldSwitch(benchmark::State& state) {
+  evm::VmConfig config = evm::VmConfig::tiny();
+  config.dispatch = evm::DispatchKind::LegacySwitch;
+  run_program(state, loop_program(10'000), config);
+}
+BENCHMARK(BM_Dispatch_Loop_OldSwitch);
+
+void BM_Dispatch_OpMix_OldSwitch(benchmark::State& state) {
+  evm::VmConfig config = evm::VmConfig::tiny();
+  config.dispatch = evm::DispatchKind::LegacySwitch;
+  run_program(state, opmix_program(), config);
+}
+BENCHMARK(BM_Dispatch_OpMix_OldSwitch);
+#endif  // TINYEVM_LEGACY_DISPATCH
+
 // --- ablation: 256-bit emulation cost by opcode class ---
 void BM_Op_Add(benchmark::State& state) {
   Assembler a;
@@ -173,4 +219,18 @@ BENCHMARK(BM_ChannelOpenAndPay)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so the JSON context records the *project's* build type.
+// (Google Benchmark's own "library_build_type" field describes the
+// libbenchmark package — on Debian that reads "debug" regardless of how
+// this tree was compiled, which is how debug-build baselines once slipped
+// into the committed BENCH_*.json unnoticed.)
+int main(int argc, char** argv) {
+#ifdef TINYEVM_BUILD_TYPE
+  benchmark::AddCustomContext("tinyevm_build_type", TINYEVM_BUILD_TYPE);
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -79,7 +79,11 @@ Hash256 keccak256_impl(std::span<const std::uint8_t> data) {
   // Final partial block with 0x01 ... 0x80 padding (original Keccak).
   std::array<std::uint8_t, kRate> block{};
   const std::size_t remaining = data.size() - offset;
-  std::memcpy(block.data(), data.data() + offset, remaining);
+  // Empty input has a null data(); memcpy's arguments are declared
+  // nonnull even for zero sizes (UBSan flags it).
+  if (remaining != 0) {
+    std::memcpy(block.data(), data.data() + offset, remaining);
+  }
   block[remaining] = 0x01;
   block[kRate - 1] |= 0x80;
   for (std::size_t i = 0; i < kRate / 8; ++i) {
@@ -170,6 +174,7 @@ void Sha256::process_block(const std::uint8_t* block) {
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) {
+  if (data.empty()) return;  // empty spans have a null data() (UB in memcpy)
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

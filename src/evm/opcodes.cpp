@@ -185,6 +185,23 @@ const std::array<OpInfo, 256>& opcode_table() {
 const OpInfo& info(Opcode op) { return info(static_cast<std::uint8_t>(op)); }
 const OpInfo& info(std::uint8_t raw) { return opcode_table()[raw]; }
 
+OpValidity classify(std::uint8_t op, bool tiny_profile, bool iot_opcodes,
+                    bool block_opcodes) {
+  const OpInfo& inf = info(op);
+  const bool sensor = op == static_cast<std::uint8_t>(Opcode::SENSOR);
+  if (!inf.defined && !(tiny_profile && sensor && iot_opcodes)) {
+    return OpValidity::Undefined;
+  }
+  if (tiny_profile && !inf.tinyevm) return OpValidity::Forbidden;
+  if (!tiny_profile) {
+    if (sensor) return OpValidity::Undefined;  // unknown to the original EVM
+    if (inf.category == OpCategory::Blockchain && !block_opcodes) {
+      return OpValidity::Forbidden;
+    }
+  }
+  return OpValidity::Ok;
+}
+
 CategoryCensus census(bool tinyevm_profile) {
   CategoryCensus out;
   const auto& table = opcode_table();

@@ -158,6 +158,21 @@ const std::array<OpInfo, 256>& opcode_table();
   return op >= 0xa0 && op <= 0xa4;
 }
 
+/// Executability of a byte under a profile; shared by the legacy switch
+/// dispatcher and the token-threaded dispatch-table builder so both agree
+/// byte-for-byte on which opcodes run.
+enum class OpValidity : std::uint8_t {
+  Ok,         ///< executable under the given profile flags
+  Undefined,  ///< not an opcode here -> Status::InvalidOpcode
+  Forbidden,  ///< defined, but removed by the profile -> ForbiddenOpcode
+};
+
+/// Classifies `op` under the profile flags (TinyEVM vs Ethereum, SENSOR
+/// availability, blockchain-opcode availability). Pure function of the
+/// opcode table; the interpreter folds the result into its dispatch table.
+[[nodiscard]] OpValidity classify(std::uint8_t op, bool tiny_profile,
+                                  bool iot_opcodes, bool block_opcodes);
+
 /// Category census used by the Table I benchmark: counts *family* members
 /// (PUSH/DUP/SWAP/LOG collapse to one entry each) to match the paper's
 /// accounting.

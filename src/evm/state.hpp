@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -18,48 +19,81 @@ using Bytes = std::vector<std::uint8_t>;
 /// Operand stack with a configurable element limit (Ethereum: 1024 elements;
 /// TinyEVM: 3 KB = 96 elements, paper §VI-A). Tracks the maximum stack
 /// pointer reached, which Figure 3c reports per contract.
+///
+/// Backed by one fixed allocation of `limit` words instead of a growing
+/// std::vector: the interpreter touches the stack on almost every opcode,
+/// and the vector's capacity bookkeeping (and reallocation-safe copy in
+/// push_back) showed up in the dispatch-ablation profile.
 class Stack {
  public:
-  explicit Stack(std::size_t limit) : limit_(limit) { data_.reserve(64); }
+  // One extra word is allocated *below* slot 0: the token-threaded
+  // interpreter caches the top-of-stack value in a register and spills it
+  // with an unconditional `base()[sp - 1] = tos`, which for an empty stack
+  // lands harmlessly in that scratch word instead of out of bounds.
+  explicit Stack(std::size_t limit)
+      : data_(std::make_unique_for_overwrite<U256[]>(limit + 1)),
+        limit_(limit) {}
 
-  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t size() const { return sp_; }
   [[nodiscard]] std::size_t limit() const { return limit_; }
   [[nodiscard]] std::size_t max_pointer() const { return max_pointer_; }
 
   /// False on overflow.
   [[nodiscard]] bool push(const U256& v) {
-    if (data_.size() >= limit_) return false;
-    data_.push_back(v);
-    max_pointer_ = std::max(max_pointer_, data_.size());
+    if (sp_ >= limit_) return false;
+    slots()[sp_++] = v;
+    if (sp_ > max_pointer_) max_pointer_ = sp_;
     return true;
   }
   /// Nullopt on underflow.
   std::optional<U256> pop() {
-    if (data_.empty()) return std::nullopt;
-    U256 v = data_.back();
-    data_.pop_back();
-    return v;
+    if (sp_ == 0) return std::nullopt;
+    return slots()[--sp_];
   }
   /// Peek at depth n from the top (0 == top); nullopt if out of range.
   [[nodiscard]] std::optional<U256> peek(std::size_t n = 0) const {
-    if (n >= data_.size()) return std::nullopt;
-    return data_[data_.size() - 1 - n];
+    if (n >= sp_) return std::nullopt;
+    return slots()[sp_ - 1 - n];
+  }
+  /// Mutable reference at depth n from the top (0 == top); callers must
+  /// bounds-check with size() first.
+  [[nodiscard]] U256& top(std::size_t n = 0) { return slots()[sp_ - 1 - n]; }
+  [[nodiscard]] const U256& top(std::size_t n = 0) const {
+    return slots()[sp_ - 1 - n];
+  }
+  /// Unchecked pop discarding the value; callers must check size() first.
+  void drop() { --sp_; }
+  /// Register-cache hooks for the token-threaded interpreter: it keeps
+  /// (base pointer, sp, max, top value) in locals across the hot loop and
+  /// publishes them back through set_state() around calls that use this
+  /// interface. base()[-1] is the scratch word described above.
+  [[nodiscard]] U256* base() { return slots(); }
+  void set_state(std::size_t sp, std::size_t max_pointer) {
+    sp_ = sp;
+    max_pointer_ = max_pointer;
   }
   /// DUPn: duplicate the n-th item (1-based) onto the top.
   [[nodiscard]] bool dup(unsigned n) {
-    if (n == 0 || n > data_.size()) return false;
-    return push(data_[data_.size() - n]);
+    if (n == 0 || n > sp_ || sp_ >= limit_) return false;
+    slots()[sp_] = slots()[sp_ - n];
+    ++sp_;
+    if (sp_ > max_pointer_) max_pointer_ = sp_;
+    return true;
   }
   /// SWAPn: exchange top with the (n+1)-th item (1-based n).
   [[nodiscard]] bool swap(unsigned n) {
-    if (n == 0 || n + 1 > data_.size()) return false;
-    std::swap(data_.back(), data_[data_.size() - 1 - n]);
+    if (n == 0 || n + 1 > sp_) return false;
+    std::swap(slots()[sp_ - 1], slots()[sp_ - 1 - n]);
     return true;
   }
 
  private:
-  std::vector<U256> data_;
+  [[nodiscard]] U256* slots() { return data_.get() + 1; }
+  [[nodiscard]] const U256* slots() const { return data_.get() + 1; }
+
+  std::unique_ptr<U256[]> data_;
   std::size_t limit_;
+  std::size_t sp_ = 0;
   std::size_t max_pointer_ = 0;
 };
 
@@ -79,6 +113,7 @@ class Memory {
     if (len == 0) return true;
     const std::uint64_t end = offset + len;
     if (end < offset) return false;  // address overflow
+    if (end > kHardCap) return false;  // would std::bad_alloc, not OOM-fail
     const std::uint64_t words = (end + 31) / 32;
     const std::uint64_t target = words * 32;
     if (limit_ != 0 && target > limit_) return false;
@@ -117,6 +152,12 @@ class Memory {
   [[nodiscard]] std::span<const std::uint8_t> view() const { return data_; }
 
  private:
+  /// Absolute backstop for "unbounded" (limit == 0) memory: gas normally
+  /// prices growth out long before this, but a wrapped or unmetered
+  /// expansion must fail typed (OutOfMemory) instead of throwing
+  /// std::bad_alloc out of the interpreter.
+  static constexpr std::uint64_t kHardCap = 1ULL << 32;  // 4 GiB
+
   Bytes data_;
   std::size_t limit_;
 };

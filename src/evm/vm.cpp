@@ -1,8 +1,20 @@
 #include "evm/vm.hpp"
 
 #include <cstring>
+#include <limits>
 
 #include "crypto/hash.hpp"
+
+// Token-threaded dispatch (GCC/Clang): one 256-entry table maps each code
+// byte to a handler label plus its folded static gas / cycle model, and
+// `goto *table[...]` jumps straight to the handler. Other compilers fall
+// back to a single dense switch over the same table, which they compile to
+// one jump table — still strictly flatter than the legacy two-level switch.
+#if defined(__GNUC__) || defined(__clang__)
+#define TINYEVM_COMPUTED_GOTO 1
+#else
+#define TINYEVM_COMPUTED_GOTO 0
+#endif
 
 namespace tinyevm::evm {
 
@@ -38,13 +50,196 @@ CodeAnalysis::CodeAnalysis(std::span<const std::uint8_t> code)
   }
 }
 
+// ---------------------------------------------------------------------------
+// Dispatch table
+// ---------------------------------------------------------------------------
+
+// Every executable action the interpreter knows, one label each. The first
+// two entries are the failure routes the dispatch prologue short-circuits
+// (invalid byte / profile-forbidden opcode); they must stay at ordinals 0
+// and 1. PUSH/DUP/SWAP/LOG families collapse to one handler with the
+// family index carried in DispatchEntry::aux.
+#define TINYEVM_HANDLER_LIST(X)                                              \
+  X(Undefined) X(Forbidden)                                                  \
+  X(Stop) X(Add) X(Mul) X(Sub) X(Div) X(Sdiv) X(Mod) X(Smod) X(AddMod)       \
+  X(MulMod) X(Exp) X(SignExtend) X(Lt) X(Gt) X(Slt) X(Sgt) X(Eq) X(IsZero)   \
+  X(And) X(Or) X(Xor) X(Not) X(Byte) X(Shl) X(Shr) X(Sar) X(Sensor) X(Sha3)  \
+  X(Address) X(Balance) X(Origin) X(Caller) X(CallValue) X(CallDataLoad)     \
+  X(CallDataSize) X(CallDataCopy) X(CodeSize) X(CodeCopy) X(GasPrice)        \
+  X(ExtCodeSize) X(ExtCodeCopy) X(ReturnDataSize) X(ReturnDataCopy)          \
+  X(BlockHash) X(Coinbase) X(Timestamp) X(Number) X(Difficulty) X(GasLimit)  \
+  X(Pop) X(MLoad) X(MStore) X(MStore8) X(SLoad) X(SStore) X(Jump) X(JumpI)   \
+  X(Pc) X(MSize) X(Gas) X(JumpDest)                                          \
+  X(Push) X(Dup) X(Swap) X(Log)                                              \
+  X(Create) X(Call) X(CallCode) X(DelegateCall) X(StaticCall) X(Return)      \
+  X(Revert) X(Invalid) X(SelfDestruct)
+
+enum class Handler : std::uint8_t {
+#define TINYEVM_H_ENUM(name) name,
+  TINYEVM_HANDLER_LIST(TINYEVM_H_ENUM)
+#undef TINYEVM_H_ENUM
+};
+
+/// One table slot: handler id, family index (PUSH width / DUP-SWAP depth /
+/// LOG topic count), and the per-opcode static gas and MCU-cycle model
+/// folded in so the hot loop does a single 8-byte load per opcode.
+struct DispatchEntry {
+  Handler handler = Handler::Undefined;
+  std::uint8_t aux = 0;
+  std::uint16_t gas = 0;
+  std::uint32_t cycles = 0;
+};
+static_assert(sizeof(DispatchEntry) == 8);
+
+struct DispatchTable {
+  std::array<DispatchEntry, 256> entries{};
+};
+
 namespace {
+
+Handler exec_handler(std::uint8_t op) {
+  if (is_push(op)) return Handler::Push;
+  if (is_dup(op)) return Handler::Dup;
+  if (is_swap(op)) return Handler::Swap;
+  if (is_log(op)) return Handler::Log;
+  switch (static_cast<Opcode>(op)) {
+    case Opcode::STOP: return Handler::Stop;
+    case Opcode::ADD: return Handler::Add;
+    case Opcode::MUL: return Handler::Mul;
+    case Opcode::SUB: return Handler::Sub;
+    case Opcode::DIV: return Handler::Div;
+    case Opcode::SDIV: return Handler::Sdiv;
+    case Opcode::MOD: return Handler::Mod;
+    case Opcode::SMOD: return Handler::Smod;
+    case Opcode::ADDMOD: return Handler::AddMod;
+    case Opcode::MULMOD: return Handler::MulMod;
+    case Opcode::EXP: return Handler::Exp;
+    case Opcode::SIGNEXTEND: return Handler::SignExtend;
+    case Opcode::SENSOR: return Handler::Sensor;
+    case Opcode::LT: return Handler::Lt;
+    case Opcode::GT: return Handler::Gt;
+    case Opcode::SLT: return Handler::Slt;
+    case Opcode::SGT: return Handler::Sgt;
+    case Opcode::EQ: return Handler::Eq;
+    case Opcode::ISZERO: return Handler::IsZero;
+    case Opcode::AND: return Handler::And;
+    case Opcode::OR: return Handler::Or;
+    case Opcode::XOR: return Handler::Xor;
+    case Opcode::NOT: return Handler::Not;
+    case Opcode::BYTE: return Handler::Byte;
+    case Opcode::SHL: return Handler::Shl;
+    case Opcode::SHR: return Handler::Shr;
+    case Opcode::SAR: return Handler::Sar;
+    case Opcode::SHA3: return Handler::Sha3;
+    case Opcode::ADDRESS: return Handler::Address;
+    case Opcode::BALANCE: return Handler::Balance;
+    case Opcode::ORIGIN: return Handler::Origin;
+    case Opcode::CALLER: return Handler::Caller;
+    case Opcode::CALLVALUE: return Handler::CallValue;
+    case Opcode::CALLDATALOAD: return Handler::CallDataLoad;
+    case Opcode::CALLDATASIZE: return Handler::CallDataSize;
+    case Opcode::CALLDATACOPY: return Handler::CallDataCopy;
+    case Opcode::CODESIZE: return Handler::CodeSize;
+    case Opcode::CODECOPY: return Handler::CodeCopy;
+    case Opcode::GASPRICE: return Handler::GasPrice;
+    case Opcode::EXTCODESIZE: return Handler::ExtCodeSize;
+    case Opcode::EXTCODECOPY: return Handler::ExtCodeCopy;
+    case Opcode::RETURNDATASIZE: return Handler::ReturnDataSize;
+    case Opcode::RETURNDATACOPY: return Handler::ReturnDataCopy;
+    case Opcode::BLOCKHASH: return Handler::BlockHash;
+    case Opcode::COINBASE: return Handler::Coinbase;
+    case Opcode::TIMESTAMP: return Handler::Timestamp;
+    case Opcode::NUMBER: return Handler::Number;
+    case Opcode::DIFFICULTY: return Handler::Difficulty;
+    case Opcode::GASLIMIT: return Handler::GasLimit;
+    case Opcode::POP: return Handler::Pop;
+    case Opcode::MLOAD: return Handler::MLoad;
+    case Opcode::MSTORE: return Handler::MStore;
+    case Opcode::MSTORE8: return Handler::MStore8;
+    case Opcode::SLOAD: return Handler::SLoad;
+    case Opcode::SSTORE: return Handler::SStore;
+    case Opcode::JUMP: return Handler::Jump;
+    case Opcode::JUMPI: return Handler::JumpI;
+    case Opcode::PC: return Handler::Pc;
+    case Opcode::MSIZE: return Handler::MSize;
+    case Opcode::GAS: return Handler::Gas;
+    case Opcode::JUMPDEST: return Handler::JumpDest;
+    case Opcode::CREATE: return Handler::Create;
+    case Opcode::CALL: return Handler::Call;
+    case Opcode::CALLCODE: return Handler::CallCode;
+    case Opcode::DELEGATECALL: return Handler::DelegateCall;
+    case Opcode::STATICCALL: return Handler::StaticCall;
+    case Opcode::RETURN: return Handler::Return;
+    case Opcode::REVERT: return Handler::Revert;
+    case Opcode::INVALID: return Handler::Invalid;
+    case Opcode::SELFDESTRUCT: return Handler::SelfDestruct;
+    default: return Handler::Undefined;
+  }
+}
+
+DispatchTable build_dispatch_table(const VmConfig& config) {
+  DispatchTable table;
+  const bool tiny = config.profile == VmProfile::TinyEvm;
+  for (unsigned i = 0; i < 256; ++i) {
+    const auto op = static_cast<std::uint8_t>(i);
+    DispatchEntry& e = table.entries[i];
+    switch (classify(op, tiny, config.iot_opcodes, config.block_opcodes)) {
+      case OpValidity::Undefined:
+        e.handler = Handler::Undefined;
+        continue;
+      case OpValidity::Forbidden:
+        e.handler = Handler::Forbidden;
+        continue;
+      case OpValidity::Ok:
+        break;
+    }
+    const OpInfo& inf = info(op);
+    e.handler = exec_handler(op);
+    e.gas = inf.base_gas;
+    e.cycles = inf.mcu_cycles;
+    if (is_push(op)) {
+      e.aux = static_cast<std::uint8_t>(push_size(op));
+    } else if (is_dup(op)) {
+      e.aux = static_cast<std::uint8_t>(op - 0x7f);
+    } else if (is_swap(op)) {
+      e.aux = static_cast<std::uint8_t>(op - 0x8f);
+    } else if (is_log(op)) {
+      e.aux = static_cast<std::uint8_t>(op - 0xa0);
+    }
+  }
+  return table;
+}
+
+using u128 = unsigned __int128;
+
+/// Builds the PUSH immediate straight from code bytes into limbs — no
+/// 32-byte staging buffer. Bytes past the end of code read as zero.
+inline U256 load_push(const std::uint8_t* p, std::uint64_t avail,
+                      unsigned n) {
+  std::uint64_t limbs[4] = {0, 0, 0, 0};
+  for (unsigned j = 0; j < n; ++j) {
+    const std::uint64_t b = j < avail ? p[j] : 0;
+    const unsigned bitpos = 8 * (n - 1 - j);
+    limbs[bitpos / 64] |= b << (bitpos % 64);
+  }
+  return U256{limbs[3], limbs[2], limbs[1], limbs[0]};
+}
+
+/// Low 160 bits of an EVM word as an address.
+inline Address to_address(const U256& v) {
+  Address addr{};
+  const auto w = v.to_word();
+  std::memcpy(addr.data(), w.data() + 12, 20);
+  return addr;
+}
 
 /// Interpreter frame; created per message and torn down when the run ends.
 class Frame {
  public:
-  Frame(const VmConfig& config, Host& host, const Message& msg)
+  Frame(const VmConfig& config, const DispatchTable& table, Host& host,
+        const Message& msg)
       : config_(config),
+        table_(table),
         host_(host),
         msg_(msg),
         analysis_(msg.code),
@@ -63,19 +258,23 @@ class Frame {
   }
 
   /// Quadratic memory-expansion gas (Ethereum profile); hard cap check
-  /// (TinyEVM profile) happens inside Memory::expand.
+  /// (TinyEVM profile) happens inside Memory::expand. Priced in 128-bit
+  /// arithmetic: for offsets beyond ~2^37 the w*w term overflows 64 bits,
+  /// and a wrapped cost would under-charge (or even *credit* gas) instead
+  /// of running out — so compute exactly and out-of-gas on saturation.
   [[nodiscard]] bool charge_memory(std::uint64_t offset, std::uint64_t len) {
     if (len == 0) return true;
     if (!config_.metering) return true;
-    const std::uint64_t end = offset + len;
-    if (end < offset) return false;
-    const std::uint64_t new_words = (end + 31) / 32;
-    const std::uint64_t old_words = (memory_.size() + 31) / 32;
+    const u128 end = static_cast<u128>(offset) + len;
+    const u128 new_words = (end + 31) / 32;
+    const u128 old_words = (memory_.size() + 31) / 32;
     if (new_words <= old_words) return true;
-    auto cost = [](std::uint64_t w) {
-      return static_cast<std::int64_t>(3 * w + w * w / 512);
-    };
-    return charge(cost(new_words) - cost(old_words));
+    const auto cost = [](u128 w) { return 3 * w + w * w / 512; };
+    const u128 delta = cost(new_words) - cost(old_words);
+    if (delta > static_cast<u128>(std::numeric_limits<std::int64_t>::max())) {
+      return false;  // cost exceeds any possible gas budget
+    }
+    return charge(static_cast<std::int64_t>(delta));
   }
 
   /// Pops a memory (offset, length) pair, validating both fit in 64 bits.
@@ -129,7 +328,10 @@ class Frame {
     return v;
   }
 
+  void run_threaded();
+#ifdef TINYEVM_LEGACY_DISPATCH
   void step();
+#endif
   void op_sensor();
   void op_sha3();
   void op_copy(std::span<const std::uint8_t> src, bool external_code);
@@ -142,6 +344,7 @@ class Frame {
 
   // -- state ----------------------------------------------------------
   const VmConfig& config_;
+  const DispatchTable& table_;
   Host& host_;
   const Message& msg_;
   CodeAnalysis analysis_;
@@ -161,10 +364,18 @@ ExecResult Frame::run() {
   if (msg_.depth > config_.max_call_depth) {
     return ExecResult{Status::CallDepthExceeded, {}, gas_, {}};
   }
-  while (!done_) {
-    if (pc_ >= msg_.code.size()) break;  // implicit STOP
-    step();
+#ifdef TINYEVM_LEGACY_DISPATCH
+  if (config_.dispatch == DispatchKind::LegacySwitch) {
+    while (!done_) {
+      if (pc_ >= msg_.code.size()) break;  // implicit STOP
+      step();
+    }
+  } else {
+    run_threaded();
   }
+#else
+  run_threaded();
+#endif
   ExecResult result;
   result.status = status_;
   result.output = std::move(output_);
@@ -178,28 +389,582 @@ ExecResult Frame::run() {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Token-threaded interpreter loop
+// ---------------------------------------------------------------------------
+//
+// Per-opcode path: one table load, one (predictable) validity branch, the
+// folded gas/cycle/watchdog accounting, then a direct jump to the handler.
+// Handler ordering and failure statuses replicate the legacy switch
+// byte-for-byte; the differential fuzz test in tests/evm_dispatch_test.cpp
+// holds both paths to bit-identical results.
+//
+// Binary operators pop ONE operand and rewrite the second in place via
+// Stack::top() and the U256 *_assign ops, eliminating the two
+// optional<U256> round-trips and the result push of the legacy path.
+
+void Frame::run_threaded() {
+  const DispatchEntry* const entries = table_.entries.data();
+  const std::uint8_t* const code = msg_.code.data();
+  const std::uint64_t code_size = msg_.code.size();
+  const bool metered = config_.metering;
+  const std::uint64_t ops_cap =
+      config_.max_ops == 0 ? std::numeric_limits<std::uint64_t>::max()
+                           : config_.max_ops;
+  std::uint64_t pc = 0;
+  const DispatchEntry* e = nullptr;
+  // Register-cached copies of the per-op hot state: the accounting
+  // counters the dispatch prologue touches every opcode, the operand
+  // stack (base/sp/high-water), and — crucially — the top-of-stack
+  // *value* itself. With `tos` in registers a DUP1/binary-op pair runs
+  // one store plus one load instead of chaining every operand through
+  // memory. Invariant: when sp > 0 the logical top lives in `tos` and
+  // base()[sp-1] is stale; TINYEVM_SYNCED restores the flat-memory view
+  // around any helper call, and run_exit publishes the final state.
+  std::int64_t gas = gas_;
+  std::uint64_t cyc = cycles_;
+  std::uint64_t ops = ops_;
+  U256* const sb = stack_.base();  // sb[-1] is a scratch word (see Stack)
+  const std::size_t slimit = stack_.limit();
+  std::size_t sp = stack_.size();
+  std::size_t smax = stack_.max_pointer();
+  U256 tos = sp != 0 ? sb[sp - 1] : U256{};
+
+#define TINYEVM_SYNCED(expr)        \
+  do {                              \
+    gas_ = gas;                     \
+    cycles_ = cyc;                  \
+    sb[sp - 1] = tos;               \
+    stack_.set_state(sp, smax);     \
+    expr;                           \
+    gas = gas_;                     \
+    cyc = cycles_;                  \
+    sp = stack_.size();             \
+    smax = stack_.max_pointer();    \
+    tos = sb[sp - 1];               \
+  } while (0)
+
+// Stack push against the cached registers; overflow fails the frame (the
+// following dispatch notices done_), matching Frame::push.
+#define TINYEVM_PUSH(v)             \
+  do {                              \
+    if (sp >= slimit) {             \
+      fail(Status::StackOverflow);  \
+    } else {                        \
+      sb[sp - 1] = tos;             \
+      tos = (v);                    \
+      ++sp;                         \
+      if (sp > smax) smax = sp;     \
+    }                               \
+  } while (0)
+
+// The prologue every opcode runs: bounds/halt check, table load, validity
+// short-circuit, folded static gas, cycle model, watchdog, pc advance.
+#define TINYEVM_PROLOGUE()                                                  \
+  if (done_ || pc >= code_size) goto run_exit;                              \
+  e = &entries[code[pc]];                                                   \
+  if (static_cast<std::uint8_t>(e->handler) <=                              \
+      static_cast<std::uint8_t>(Handler::Forbidden)) {                      \
+    fail(e->handler == Handler::Undefined ? Status::InvalidOpcode           \
+                                          : Status::ForbiddenOpcode);       \
+    goto run_exit;                                                          \
+  }                                                                         \
+  if (metered) {                                                            \
+    gas -= e->gas;                                                          \
+    if (gas < 0) {                                                          \
+      fail(Status::OutOfGas);                                               \
+      goto run_exit;                                                        \
+    }                                                                       \
+  }                                                                         \
+  cyc += e->cycles;                                                         \
+  if (++ops > ops_cap) {                                                    \
+    fail(Status::WatchdogExpired);                                          \
+    goto run_exit;                                                          \
+  }                                                                         \
+  ++pc;
+
+#if TINYEVM_COMPUTED_GOTO
+  static const void* const kJump[] = {
+#define TINYEVM_H_LABEL(name) &&h_##name,
+      TINYEVM_HANDLER_LIST(TINYEVM_H_LABEL)
+#undef TINYEVM_H_LABEL
+  };
+#define TINYEVM_OP(name) h_##name:
+// Token threading proper: every handler tail replicates the full dispatch
+// sequence instead of jumping back to a single shared dispatch point, so
+// the indirect branch predictor sees one site per handler and can learn
+// the bytecode's opcode-pair patterns. (The evm module builds with
+// -fno-crossjumping -fno-gcse under GCC so the copies stay distinct.)
+#define TINYEVM_NEXT                                           \
+  do {                                                         \
+    TINYEVM_PROLOGUE()                                         \
+    goto *kJump[static_cast<std::uint8_t>(e->handler)];        \
+  } while (0)
+  TINYEVM_NEXT;
+#else
+#define TINYEVM_OP(name) case Handler::name:
+#define TINYEVM_NEXT break
+  for (;;) {
+    TINYEVM_PROLOGUE()
+    switch (e->handler) {
+#endif
+
+  // Unreachable in practice — the prologue short-circuits these two — but
+  // kept as real handlers so the jump table is total.
+  TINYEVM_OP(Undefined) { fail(Status::InvalidOpcode); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Forbidden) { fail(Status::ForbiddenOpcode); }
+  TINYEVM_NEXT;
+
+  TINYEVM_OP(Stop) { done_ = true; }
+  TINYEVM_NEXT;
+
+// Binary operators: the first operand is `tos` (in registers), `s` is the
+// second operand's memory slot. The body leaves the result in `tos`; the
+// pop is just --sp, so the pair costs one load instead of the legacy
+// pop/pop/push round-trips.
+#define TINYEVM_BINARY(body)                    \
+  {                                             \
+    if (sp < 2) {                               \
+      fail(Status::StackUnderflow);             \
+      TINYEVM_NEXT;                             \
+    }                                           \
+    const U256& s = sb[sp - 2];                 \
+    body;                                       \
+    --sp;                                       \
+  }                                             \
+  TINYEVM_NEXT
+
+  TINYEVM_OP(Add) TINYEVM_BINARY(tos.add_assign(s));
+  TINYEVM_OP(Mul) TINYEVM_BINARY(tos.mul_assign(s));
+  TINYEVM_OP(Sub) TINYEVM_BINARY(tos.sub_assign(s));  // tos = top - second
+  TINYEVM_OP(Div) TINYEVM_BINARY(tos = tos / s);
+  TINYEVM_OP(Sdiv) TINYEVM_BINARY(tos = U256::sdiv(tos, s));
+  TINYEVM_OP(Mod) TINYEVM_BINARY(tos = tos % s);
+  TINYEVM_OP(Smod) TINYEVM_BINARY(tos = U256::smod(tos, s));
+  TINYEVM_OP(Lt) TINYEVM_BINARY(tos = U256{tos < s ? 1ULL : 0ULL});
+  TINYEVM_OP(Gt) TINYEVM_BINARY(tos = U256{tos > s ? 1ULL : 0ULL});
+  TINYEVM_OP(Slt) TINYEVM_BINARY(tos = U256{U256::slt(tos, s) ? 1ULL : 0ULL});
+  TINYEVM_OP(Sgt) TINYEVM_BINARY(tos = U256{U256::sgt(tos, s) ? 1ULL : 0ULL});
+  TINYEVM_OP(Eq) TINYEVM_BINARY(tos = U256{tos == s ? 1ULL : 0ULL});
+  TINYEVM_OP(And) TINYEVM_BINARY(tos.and_assign(s));
+  TINYEVM_OP(Or) TINYEVM_BINARY(tos.or_assign(s));
+  TINYEVM_OP(Xor) TINYEVM_BINARY(tos.xor_assign(s));
+  TINYEVM_OP(Byte) TINYEVM_BINARY(tos = U256::byte(tos, s));
+  TINYEVM_OP(Shl) TINYEVM_BINARY({
+    const bool in_range = tos.fits_u64() && tos.as_u64() < 256;
+    const unsigned n = static_cast<unsigned>(tos.as_u64());
+    if (in_range) {
+      tos = s;
+      tos.shl_assign(n);
+    } else {
+      tos = U256{};
+    }
+  });
+  TINYEVM_OP(Shr) TINYEVM_BINARY({
+    const bool in_range = tos.fits_u64() && tos.as_u64() < 256;
+    const unsigned n = static_cast<unsigned>(tos.as_u64());
+    if (in_range) {
+      tos = s;
+      tos.shr_assign(n);
+    } else {
+      tos = U256{};
+    }
+  });
+  TINYEVM_OP(Sar) TINYEVM_BINARY(tos = U256::sar(tos, s));
+  TINYEVM_OP(SignExtend) TINYEVM_BINARY(tos = U256::signextend(tos, s));
+
+#undef TINYEVM_BINARY
+
+  TINYEVM_OP(AddMod) {
+    if (sp < 3) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    tos = U256::addmod(tos, sb[sp - 2], sb[sp - 3]);
+    sp -= 2;
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(MulMod) {
+    if (sp < 3) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    tos = U256::mulmod(tos, sb[sp - 2], sb[sp - 3]);
+    sp -= 2;
+  }
+  TINYEVM_NEXT;
+
+  TINYEVM_OP(Exp) { TINYEVM_SYNCED(op_exp()); }
+  TINYEVM_NEXT;
+
+  TINYEVM_OP(IsZero) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    tos = U256{tos.is_zero() ? 1ULL : 0ULL};
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Not) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    tos.not_assign();
+  }
+  TINYEVM_NEXT;
+
+  TINYEVM_OP(Sensor) { TINYEVM_SYNCED(op_sensor()); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Sha3) { TINYEVM_SYNCED(op_sha3()); }
+  TINYEVM_NEXT;
+
+  // --- environment ---
+  TINYEVM_OP(Address) { TINYEVM_PUSH(U256::from_bytes(msg_.self)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Origin) { TINYEVM_PUSH(U256::from_bytes(msg_.origin)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Caller) { TINYEVM_PUSH(U256::from_bytes(msg_.caller)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(CallValue) { TINYEVM_PUSH(msg_.value); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Balance) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    tos = host_.balance(to_address(tos));
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(CallDataLoad) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    std::array<std::uint8_t, 32> buf{};
+    // Bound i by the bytes remaining past o: `o + i` would wrap for
+    // offsets near 2^64 and alias the start of calldata.
+    if (tos.fits_u64() && tos.as_u64() < msg_.data.size()) {
+      const std::uint64_t o = tos.as_u64();
+      const std::uint64_t avail = msg_.data.size() - o;
+      for (unsigned i = 0; i < 32 && i < avail; ++i) {
+        buf[i] = msg_.data[o + i];
+      }
+    }
+    tos = U256::from_word(buf);
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(CallDataSize) { TINYEVM_PUSH(U256{msg_.data.size()}); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(CodeSize) { TINYEVM_PUSH(U256{msg_.code.size()}); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(ReturnDataSize) { TINYEVM_PUSH(U256{return_data_.size()}); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(CallDataCopy) { TINYEVM_SYNCED(op_copy(msg_.data, false)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(CodeCopy) { TINYEVM_SYNCED(op_copy(msg_.code, false)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(ReturnDataCopy) { TINYEVM_SYNCED(op_copy(return_data_, false)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(GasPrice) { TINYEVM_PUSH(U256{1}); }  // flat simulated price
+  TINYEVM_NEXT;
+  TINYEVM_OP(ExtCodeSize) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    tos = U256{host_.code_at(to_address(tos)).size()};
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(ExtCodeCopy) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    const Address addr = to_address(tos);
+    --sp;
+    tos = sb[sp - 1];
+    TINYEVM_SYNCED(op_copy(host_.code_at(addr), true));
+  }
+  TINYEVM_NEXT;
+
+  // --- block data ---
+  TINYEVM_OP(BlockHash) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    tos = tos.fits_u64() ? U256::from_bytes(host_.block_hash(tos.as_u64()))
+                         : U256{};
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Coinbase) {
+    TINYEVM_PUSH(U256::from_bytes(host_.block_info().coinbase));
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Timestamp) { TINYEVM_PUSH(U256{host_.block_info().timestamp}); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Number) { TINYEVM_PUSH(U256{host_.block_info().number}); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Difficulty) { TINYEVM_PUSH(host_.block_info().difficulty); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(GasLimit) { TINYEVM_PUSH(U256{host_.block_info().gas_limit}); }
+  TINYEVM_NEXT;
+
+  // --- stack / memory / storage / control flow ---
+  TINYEVM_OP(Pop) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    --sp;
+    tos = sb[sp - 1];
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(MLoad) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    if (!tos.fits_u64()) {
+      fail(metered ? Status::OutOfGas : Status::OutOfMemory);
+      TINYEVM_NEXT;
+    }
+    const std::uint64_t off = tos.as_u64();
+    bool ok = false;
+    TINYEVM_SYNCED(ok = grow(off, 32));
+    if (!ok) TINYEVM_NEXT;
+    tos = memory_.load_word(off);
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(MStore) {
+    if (sp < 2) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    if (!tos.fits_u64()) {
+      fail(metered ? Status::OutOfGas : Status::OutOfMemory);
+      TINYEVM_NEXT;
+    }
+    const std::uint64_t off = tos.as_u64();
+    bool ok = false;
+    TINYEVM_SYNCED(ok = grow(off, 32));
+    if (!ok) TINYEVM_NEXT;
+    memory_.store_word(off, sb[sp - 2]);
+    sp -= 2;
+    tos = sb[sp - 1];
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(MStore8) {
+    if (sp < 2) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    if (!tos.fits_u64()) {
+      fail(metered ? Status::OutOfGas : Status::OutOfMemory);
+      TINYEVM_NEXT;
+    }
+    const std::uint64_t off = tos.as_u64();
+    bool ok = false;
+    TINYEVM_SYNCED(ok = grow(off, 1));
+    if (!ok) TINYEVM_NEXT;
+    memory_.store_byte(off, static_cast<std::uint8_t>(sb[sp - 2].limb(0) &
+                                                      0xFF));
+    sp -= 2;
+    tos = sb[sp - 1];
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(SLoad) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    tos = host_.sload(msg_.self, tos);
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(SStore) { TINYEVM_SYNCED(op_sstore()); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Jump) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    if (!tos.fits_u64() || !analysis_.valid_jumpdest(tos.as_u64())) {
+      fail(Status::InvalidJump);
+      TINYEVM_NEXT;
+    }
+    pc = tos.as_u64();
+    --sp;
+    tos = sb[sp - 1];
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(JumpI) {
+    if (sp < 2) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    const bool taken = !sb[sp - 2].is_zero();
+    const bool dest_ok = tos.fits_u64();
+    const std::uint64_t dest = tos.as_u64();
+    sp -= 2;
+    tos = sb[sp - 1];
+    if (taken) {
+      if (!dest_ok || !analysis_.valid_jumpdest(dest)) {
+        fail(Status::InvalidJump);
+        TINYEVM_NEXT;
+      }
+      pc = dest;
+    }
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Pc) { TINYEVM_PUSH(U256{pc - 1}); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(MSize) { TINYEVM_PUSH(U256{memory_.size()}); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Gas) {
+    TINYEVM_PUSH(U256{static_cast<std::uint64_t>(gas > 0 ? gas : 0)});
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(JumpDest) {}
+  TINYEVM_NEXT;
+
+  // --- stack families (index in e->aux) ---
+  TINYEVM_OP(Push) {
+    const unsigned n = e->aux;
+    const U256 v =
+        load_push(code + pc, pc < code_size ? code_size - pc : 0, n);
+    pc += n;
+    TINYEVM_PUSH(v);
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Dup) {
+    const unsigned n = e->aux;
+    if (n > sp || sp >= slimit) {
+      fail(sp >= slimit ? Status::StackOverflow : Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    // Macro-op fusion: DUP1 immediately followed by MUL/ADD (the squaring
+    // and doubling accumulation patterns) nets out to `top = top (x) top`
+    // with the stack pointer unchanged, so the pair runs entirely in the
+    // tos registers — no spill, no reload. Both ops are accounted exactly
+    // as if executed separately; if the second op would trip gas or the
+    // watchdog, fall through to the plain DUP so the failure point and
+    // counters match the unfused path bit-for-bit.
+    if (n == 1 && pc < code_size) {
+      const DispatchEntry& ne = entries[code[pc]];
+      if ((ne.handler == Handler::Mul || ne.handler == Handler::Add) &&
+          (!metered || gas >= ne.gas) && ops < ops_cap) {
+        if (metered) gas -= ne.gas;
+        cyc += ne.cycles;
+        ++ops;
+        ++pc;
+        if (sp + 1 > smax) smax = sp + 1;  // the transient DUP1 high-water
+        if (ne.handler == Handler::Mul) {
+          tos.mul_assign(tos);
+        } else {
+          tos.add_assign(tos);
+        }
+        TINYEVM_NEXT;
+      }
+    }
+    sb[sp - 1] = tos;                 // spill; DUP1 keeps tos as-is
+    if (n > 1) tos = sb[sp - n];
+    ++sp;
+    if (sp > smax) smax = sp;
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Swap) {
+    const unsigned n = e->aux;
+    if (n + 1 > sp) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    U256& other = sb[sp - 1 - n];
+    const U256 t = other;
+    other = tos;
+    tos = t;
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Log) { TINYEVM_SYNCED(op_log(e->aux)); }
+  TINYEVM_NEXT;
+
+  // --- lifecycle ---
+  TINYEVM_OP(Create) { TINYEVM_SYNCED(op_create()); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Call) { TINYEVM_SYNCED(op_call(CallKind::Call)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(CallCode) { TINYEVM_SYNCED(op_call(CallKind::CallCode)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(DelegateCall) { TINYEVM_SYNCED(op_call(CallKind::DelegateCall)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(StaticCall) { TINYEVM_SYNCED(op_call(CallKind::StaticCall)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Return) { TINYEVM_SYNCED(op_return(false)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Revert) { TINYEVM_SYNCED(op_return(true)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Invalid) { fail(Status::InvalidOpcode); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(SelfDestruct) {
+    if (msg_.is_static) {
+      fail(Status::StaticViolation);
+      TINYEVM_NEXT;
+    }
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    const Address beneficiary = to_address(tos);
+    --sp;
+    tos = sb[sp - 1];
+    host_.self_destruct(msg_.self, beneficiary);
+    done_ = true;
+  }
+  TINYEVM_NEXT;
+
+#if !TINYEVM_COMPUTED_GOTO
+    }  // switch
+  }  // for
+#endif
+
+run_exit:
+  pc_ = pc;
+  gas_ = gas;
+  cycles_ = cyc;
+  ops_ = ops;
+  sb[sp - 1] = tos;  // restore the flat-memory stack view
+  stack_.set_state(sp, smax);
+
+#undef TINYEVM_SYNCED
+#undef TINYEVM_PUSH
+#undef TINYEVM_PROLOGUE
+#undef TINYEVM_OP
+#undef TINYEVM_NEXT
+}
+
+#ifdef TINYEVM_LEGACY_DISPATCH
+// ---------------------------------------------------------------------------
+// Legacy two-level switch dispatcher. Kept for exactly one PR behind the
+// TINYEVM_LEGACY_DISPATCH build flag as the differential-testing baseline
+// for the token-threaded loop above; scheduled for removal once the
+// threaded dispatcher has soaked.
+// ---------------------------------------------------------------------------
 void Frame::step() {
   const std::uint8_t op = msg_.code[pc_];
   const OpInfo& inf = info(op);
 
   const bool profile_tiny = config_.profile == VmProfile::TinyEvm;
-  if (!inf.defined && !(profile_tiny && op == 0x0c && config_.iot_opcodes)) {
-    fail(Status::InvalidOpcode);
-    return;
-  }
-  if (profile_tiny && !inf.tinyevm) {
-    fail(Status::ForbiddenOpcode);
-    return;
-  }
-  if (!profile_tiny) {
-    if (op == 0x0c) {
-      fail(Status::InvalidOpcode);  // SENSOR unknown to the original EVM
+  switch (classify(op, profile_tiny, config_.iot_opcodes,
+                   config_.block_opcodes)) {
+    case OpValidity::Undefined:
+      fail(Status::InvalidOpcode);
       return;
-    }
-    if (inf.category == OpCategory::Blockchain && !config_.block_opcodes) {
+    case OpValidity::Forbidden:
       fail(Status::ForbiddenOpcode);
       return;
-    }
+    case OpValidity::Ok:
+      break;
   }
 
   if (!charge(inf.base_gas)) {
@@ -356,20 +1121,20 @@ void Frame::step() {
     case Opcode::BALANCE: {
       const auto a = pop();
       if (!a) return;
-      Address addr{};
-      const auto w = a->to_word();
-      std::memcpy(addr.data(), w.data() + 12, 20);
-      push(host_.balance(addr));
+      push(host_.balance(to_address(*a)));
       return;
     }
     case Opcode::CALLDATALOAD: {
       const auto off = pop();
       if (!off) return;
       std::array<std::uint8_t, 32> buf{};
-      if (off->fits_u64()) {
+      // Bound i by the bytes remaining past o: `o + i` would wrap for
+      // offsets near 2^64 and alias the start of calldata.
+      if (off->fits_u64() && off->as_u64() < msg_.data.size()) {
         const std::uint64_t o = off->as_u64();
-        for (unsigned i = 0; i < 32; ++i) {
-          if (o + i < msg_.data.size()) buf[i] = msg_.data[o + i];
+        const std::uint64_t avail = msg_.data.size() - o;
+        for (unsigned i = 0; i < 32 && i < avail; ++i) {
+          buf[i] = msg_.data[o + i];
         }
       }
       push(U256::from_word(buf));
@@ -399,19 +1164,13 @@ void Frame::step() {
     case Opcode::EXTCODESIZE: {
       const auto a = pop();
       if (!a) return;
-      Address addr{};
-      const auto w = a->to_word();
-      std::memcpy(addr.data(), w.data() + 12, 20);
-      push(U256{host_.code_at(addr).size()});
+      push(U256{host_.code_at(to_address(*a)).size()});
       return;
     }
     case Opcode::EXTCODECOPY: {
       const auto a = pop();
       if (!a) return;
-      Address addr{};
-      const auto w = a->to_word();
-      std::memcpy(addr.data(), w.data() + 12, 20);
-      op_copy(host_.code_at(addr), true);
+      op_copy(host_.code_at(to_address(*a)), true);
       return;
     }
 
@@ -553,10 +1312,7 @@ void Frame::step() {
       }
       const auto a = pop();
       if (!a) return;
-      Address beneficiary{};
-      const auto w = a->to_word();
-      std::memcpy(beneficiary.data(), w.data() + 12, 20);
-      host_.self_destruct(msg_.self, beneficiary);
+      host_.self_destruct(msg_.self, to_address(*a));
       done_ = true;
       return;
     }
@@ -566,6 +1322,7 @@ void Frame::step() {
       return;
   }
 }
+#endif  // TINYEVM_LEGACY_DISPATCH
 
 void Frame::op_exp() {
   const auto base = pop();
@@ -726,13 +1483,9 @@ void Frame::op_call(CallKind kind) {
   if (!grow(in->offset, in->len)) return;
   if (!grow(out->offset, out->len)) return;
 
-  Address to{};
-  const auto w = to_arg->to_word();
-  std::memcpy(to.data(), w.data() + 12, 20);
-
   CallRequest req;
   req.kind = kind;
-  req.to = to;
+  req.to = to_address(*to_arg);
   req.sender = kind == CallKind::DelegateCall ? msg_.caller : msg_.self;
   req.value = kind == CallKind::DelegateCall ? msg_.value : value;
   req.data = memory_.read(in->offset, in->len);
@@ -770,8 +1523,13 @@ void Frame::op_return(bool revert) {
 
 }  // namespace
 
+Vm::Vm(VmConfig config)
+    : config_(config),
+      dispatch_(std::make_shared<const DispatchTable>(
+          build_dispatch_table(config))) {}
+
 ExecResult Vm::execute(Host& host, const Message& msg) const {
-  Frame frame(config_, host, msg);
+  Frame frame(config_, *dispatch_, host, msg);
   return frame.run();
 }
 

@@ -21,6 +21,13 @@ namespace tinyevm::evm {
 
 enum class VmProfile : std::uint8_t { Ethereum, TinyEvm };
 
+/// Interpreter dispatch strategy. `Threaded` is the token-threaded table
+/// dispatcher (computed goto under GCC/Clang, dense switch elsewhere);
+/// `LegacySwitch` is the original two-level switch, kept one PR behind the
+/// TINYEVM_LEGACY_DISPATCH build flag for differential testing. When the
+/// legacy path is compiled out, requesting it falls back to Threaded.
+enum class DispatchKind : std::uint8_t { Threaded, LegacySwitch };
+
 struct VmConfig {
   VmProfile profile = VmProfile::TinyEvm;
   std::size_t stack_limit = 96;      ///< elements (96 * 32 B = 3 KB)
@@ -35,6 +42,9 @@ struct VmConfig {
   /// Gas bounds on-chain execution; off-chain the mote's watchdog timer
   /// plays that role — without it a buggy contract would wedge the device.
   std::uint64_t max_ops = 50'000'000;
+  /// Dispatch strategy (see DispatchKind). Not part of the semantics: both
+  /// dispatchers must produce bit-identical results.
+  DispatchKind dispatch = DispatchKind::Threaded;
 
   /// Original EVM (Istanbul-era) semantics.
   static VmConfig ethereum() {
@@ -108,11 +118,18 @@ class CodeAnalysis {
   std::vector<bool> jumpdest_;
 };
 
+/// 256-entry opcode -> handler dispatch table with the per-opcode static
+/// gas and MCU-cycle model folded into each entry, so the interpreter's
+/// common case is a single table load (no separate validity/gas switches).
+/// Built once per Vm from the profile flags; opaque outside the
+/// interpreter translation unit.
+struct DispatchTable;
+
 /// Executes one message. Nested CALL/CREATE are delegated to the host,
 /// which typically re-enters another Vm::execute with depth+1.
 class Vm {
  public:
-  explicit Vm(VmConfig config) : config_(config) {}
+  explicit Vm(VmConfig config);
 
   [[nodiscard]] const VmConfig& config() const { return config_; }
 
@@ -120,6 +137,7 @@ class Vm {
 
  private:
   VmConfig config_;
+  std::shared_ptr<const DispatchTable> dispatch_;
 };
 
 }  // namespace tinyevm::evm

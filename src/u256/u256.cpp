@@ -17,19 +17,8 @@ constexpr int hex_digit(char c) {
   return -1;
 }
 
-// a + b + carry -> (sum, carry_out)
-inline u64 addc(u64 a, u64 b, u64& carry) {
-  u128 s = static_cast<u128>(a) + b + carry;
-  carry = static_cast<u64>(s >> 64);
-  return static_cast<u64>(s);
-}
-
-// a - b - borrow -> (diff, borrow_out)
-inline u64 subb(u64 a, u64 b, u64& borrow) {
-  u128 d = static_cast<u128>(a) - b - borrow;
-  borrow = (d >> 64) != 0 ? 1 : 0;
-  return static_cast<u64>(d);
-}
+using detail::addc;
+using detail::subb;
 
 }  // namespace
 
@@ -127,57 +116,64 @@ U256 operator-(const U256& a, const U256& b) {
 }
 
 U256 operator*(const U256& a, const U256& b) {
-  // Schoolbook, truncated to 4 limbs (mod 2^256).
-  U256 r;
-  for (unsigned i = 0; i < 4; ++i) {
-    u64 carry = 0;
-    for (unsigned j = 0; i + j < 4; ++j) {
-      u128 cur = static_cast<u128>(a.limbs_[i]) * b.limbs_[j] +
-                 r.limbs_[i + j] + carry;
-      r.limbs_[i + j] = static_cast<u64>(cur);
-      carry = static_cast<u64>(cur >> 64);
-    }
-  }
+  U256 r = a;
+  r.mul_assign(b);
   return r;
 }
 
-U256 operator<<(const U256& a, unsigned n) {
-  if (n >= 256) return U256{};
-  if (n == 0) return a;
-  U256 r;
+void U256::shl_assign(unsigned n) {
+  if (n == 0) return;
+  if (n >= 256) {
+    limbs_ = {0, 0, 0, 0};
+    return;
+  }
   const unsigned limb_shift = n / 64;
   const unsigned bit_shift = n % 64;
+  // Descending writes only read source limbs at or below the write index,
+  // so the shift is aliasing-safe in place.
   for (int i = 3; i >= 0; --i) {
     u64 v = 0;
     const int src = i - static_cast<int>(limb_shift);
     if (src >= 0) {
-      v = a.limbs_[static_cast<unsigned>(src)] << bit_shift;
+      v = limbs_[static_cast<unsigned>(src)] << bit_shift;
       if (bit_shift != 0 && src - 1 >= 0) {
-        v |= a.limbs_[static_cast<unsigned>(src - 1)] >> (64 - bit_shift);
+        v |= limbs_[static_cast<unsigned>(src - 1)] >> (64 - bit_shift);
       }
     }
-    r.limbs_[static_cast<unsigned>(i)] = v;
+    limbs_[static_cast<unsigned>(i)] = v;
   }
-  return r;
 }
 
-U256 operator>>(const U256& a, unsigned n) {
-  if (n >= 256) return U256{};
-  if (n == 0) return a;
-  U256 r;
+void U256::shr_assign(unsigned n) {
+  if (n == 0) return;
+  if (n >= 256) {
+    limbs_ = {0, 0, 0, 0};
+    return;
+  }
   const unsigned limb_shift = n / 64;
   const unsigned bit_shift = n % 64;
   for (unsigned i = 0; i < 4; ++i) {
     u64 v = 0;
     const unsigned src = i + limb_shift;
     if (src < 4) {
-      v = a.limbs_[src] >> bit_shift;
+      v = limbs_[src] >> bit_shift;
       if (bit_shift != 0 && src + 1 < 4) {
-        v |= a.limbs_[src + 1] << (64 - bit_shift);
+        v |= limbs_[src + 1] << (64 - bit_shift);
       }
     }
-    r.limbs_[i] = v;
+    limbs_[i] = v;
   }
+}
+
+U256 operator<<(const U256& a, unsigned n) {
+  U256 r = a;
+  r.shl_assign(n);
+  return r;
+}
+
+U256 operator>>(const U256& a, unsigned n) {
+  U256 r = a;
+  r.shr_assign(n);
   return r;
 }
 

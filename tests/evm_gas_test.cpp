@@ -68,6 +68,97 @@ TEST(Gas, ExpChargesPerExponentByte) {
   EXPECT_EQ(g2 - g1, 50);
 }
 
+TEST(Gas, ExpByteCountBoundaries) {
+  // Zero exponent has zero significant bytes: only the static 10 is
+  // charged. A full 32-byte exponent charges 10 + 50*32.
+  Assembler zero_exp;
+  zero_exp.push(0).push(2).op(Opcode::EXP);
+  // PUSH1 + PUSH1 + EXP static = 3 + 3 + 10.
+  EXPECT_EQ(gas_used(zero_exp.take()), 16);
+
+  Assembler full_exp;
+  full_exp.push_word(U256::max()).push(2).op(Opcode::EXP);
+  // PUSH32 + PUSH1 + EXP static + 50 * 32 bytes.
+  EXPECT_EQ(gas_used(full_exp.take()), 3 + 3 + 10 + 50 * 32);
+
+  // 255 (one byte) vs 256 (two bytes): the byte count steps at the
+  // byte boundary, not the value.
+  Assembler one_byte;
+  one_byte.push_word(U256{255}).push(2).op(Opcode::EXP);
+  Assembler two_bytes;
+  two_bytes.push_word(U256{256}).push(2).op(Opcode::EXP);
+  EXPECT_EQ(gas_used(two_bytes.take()) - gas_used(one_byte.take()), 50);
+}
+
+TEST(Gas, MemoryExpansionHugeOffsetMustOutOfGas) {
+  // Regression: the quadratic memory term w*w/512 used to be computed in
+  // 64-bit arithmetic, so for any power-of-two word count w >= 2^32 the
+  // w*w term wrapped to exactly zero and the op was charged only the
+  // linear 3w. With a gas budget above that wrapped price (but far below
+  // the true quadratic cost of ~w^2/512 >= 2^55) the interpreter passed
+  // the charge and attempted a 100 GB+ std::vector resize — aborting the
+  // process. The 128-bit costing must price honestly and die OutOfGas.
+  for (const std::uint64_t offset : {1ULL << 37, 1ULL << 40, 1ULL << 45}) {
+    const std::uint64_t words = offset / 32 + 2;
+    const auto gas = static_cast<std::int64_t>(4 * words);  // > wrapped 3w
+    Assembler prog;
+    prog.push(1).push_word(U256{offset}).op(Opcode::MSTORE);
+    GasHost host;
+    Vm vm{VmConfig::ethereum()};
+    Message msg;
+    msg.code = prog.take();
+    msg.gas = gas;
+    const auto r = vm.execute(host, msg);
+    EXPECT_EQ(r.status, Status::OutOfGas) << "offset " << offset;
+    EXPECT_EQ(r.gas_left, 0) << "offset " << offset;
+  }
+  // And the far end: offsets near 2^64 where even 3w would be enormous.
+  for (const std::uint64_t offset :
+       {1ULL << 62, (1ULL << 63) + 12345ULL, ~0ULL - 100}) {
+    Assembler prog;
+    prog.push(1).push_word(U256{offset}).op(Opcode::MSTORE);
+    GasHost host;
+    Vm vm{VmConfig::ethereum()};
+    Message msg;
+    msg.code = prog.take();
+    msg.gas = 10'000'000;
+    const auto r = vm.execute(host, msg);
+    EXPECT_EQ(r.status, Status::OutOfGas) << "offset " << offset;
+    EXPECT_EQ(r.gas_left, 0) << "offset " << offset;
+  }
+}
+
+TEST(Gas, MemoryExpansionEndOverflowMustOutOfGas) {
+  // offset fits in 64 bits but offset + 32 wraps past 2^64: must fail,
+  // not expand to offset 0.
+  Assembler prog;
+  prog.push(1).push_word(U256{~0ULL}).op(Opcode::MSTORE);
+  GasHost host;
+  Vm vm{VmConfig::ethereum()};
+  Message msg;
+  msg.code = prog.take();
+  msg.gas = 10'000'000;
+  const auto r = vm.execute(host, msg);
+  EXPECT_EQ(r.status, Status::OutOfGas);
+  EXPECT_EQ(r.gas_left, 0);
+}
+
+TEST(Gas, UnmeteredHugeOffsetFailsTypedNotBadAlloc) {
+  // In an unmetered profile with no memory cap, a huge MSTORE offset has
+  // no gas backstop; the Memory hard cap must turn it into a typed
+  // OutOfMemory instead of std::bad_alloc out of the interpreter.
+  Assembler prog;
+  prog.push(1).push_word(U256{1ULL << 40}).op(Opcode::MSTORE);
+  GasHost host;
+  VmConfig config = VmConfig::tiny();
+  config.memory_limit = 0;  // unbounded
+  Vm vm{config};
+  Message msg;
+  msg.code = prog.take();
+  const auto r = vm.execute(host, msg);
+  EXPECT_EQ(r.status, Status::OutOfMemory);
+}
+
 TEST(Gas, Sha3ChargesPerWord) {
   auto sha3_of = [](std::uint64_t len) {
     Assembler prog;

@@ -151,6 +151,94 @@ TEST(OpcodeArithmetic, ExpAndSignextend) {
   EXPECT_EQ(run_top(std::move(prog2)).top, U256::max());
 }
 
+// Boundary sweep for the signed/shift opcodes the dispatch rewrite
+// touched: INT256_MIN arithmetic, SIGNEXTEND at and past byte 31, and
+// shifts at and past 256 — asserted end-to-end through the interpreter.
+TEST(OpcodeArithmetic, SdivSmodIntMinBoundaries) {
+  // INT256_MIN / -1 wraps back to INT256_MIN (EVM overflow rule).
+  Assembler prog;
+  prog.push_word(U256::max()).push_word(U256::sign_bit()).op(Opcode::SDIV);
+  EXPECT_EQ(run_top(std::move(prog)).top, U256::sign_bit());
+
+  Assembler prog2;
+  prog2.push_word(U256::max()).push_word(U256::sign_bit()).op(Opcode::SMOD);
+  EXPECT_EQ(run_top(std::move(prog2)).top, U256{});
+
+  // Division by zero yields zero, even at INT256_MIN.
+  Assembler prog3;
+  prog3.push(0).push_word(U256::sign_bit()).op(Opcode::SDIV);
+  EXPECT_EQ(run_top(std::move(prog3)).top, U256{});
+}
+
+TEST(OpcodeArithmetic, SignextendIndexBoundaries) {
+  const U256 x = U256::sign_bit() | U256{0x80};
+  for (std::uint64_t idx : {31ULL, 32ULL, 1000ULL}) {
+    Assembler prog;
+    prog.push_word(x).push(idx).op(Opcode::SIGNEXTEND);
+    EXPECT_EQ(run_top(std::move(prog)).top, x) << "index " << idx;
+  }
+  // Index that does not fit in 64 bits is also an identity.
+  Assembler prog;
+  prog.push_word(x).push_word(U256{1} << 200).op(Opcode::SIGNEXTEND);
+  EXPECT_EQ(run_top(std::move(prog)).top, x);
+  // Index 30 replaces the top byte with the sign of bit 247.
+  Assembler prog2;
+  prog2.push_word((U256{1} << 255) | U256{42})
+      .push(30)
+      .op(Opcode::SIGNEXTEND);
+  EXPECT_EQ(run_top(std::move(prog2)).top, U256{42});
+}
+
+TEST(OpcodeArithmetic, ShiftsAtAndPast256) {
+  for (std::uint64_t sh : {256ULL, 257ULL, 100000ULL}) {
+    Assembler shl;
+    shl.push_word(U256::max()).push(sh).op(Opcode::SHL);
+    EXPECT_EQ(run_top(std::move(shl)).top, U256{}) << "SHL " << sh;
+
+    Assembler shr;
+    shr.push_word(U256::max()).push(sh).op(Opcode::SHR);
+    EXPECT_EQ(run_top(std::move(shr)).top, U256{}) << "SHR " << sh;
+
+    Assembler sar_neg;
+    sar_neg.push_word(U256::sign_bit()).push(sh).op(Opcode::SAR);
+    EXPECT_EQ(run_top(std::move(sar_neg)).top, U256::max()) << "SAR " << sh;
+
+    Assembler sar_pos;
+    sar_pos.push(5).push(sh).op(Opcode::SAR);
+    EXPECT_EQ(run_top(std::move(sar_pos)).top, U256{}) << "SAR+ " << sh;
+  }
+  // A shift count that does not fit in 64 bits saturates identically.
+  Assembler prog;
+  prog.push_word(U256::max()).push_word(U256{1} << 64).op(Opcode::SHL);
+  EXPECT_EQ(run_top(std::move(prog)).top, U256{});
+
+  Assembler prog2;
+  prog2.push_word(U256::sign_bit()).push_word(U256::max()).op(Opcode::SAR);
+  EXPECT_EQ(run_top(std::move(prog2)).top, U256::max());
+
+  // Shift of 255 is the last in-range count.
+  Assembler prog3;
+  prog3.push(1).push(255).op(Opcode::SHL);
+  EXPECT_EQ(run_top(std::move(prog3)).top, U256::sign_bit());
+}
+
+TEST(OpcodeArithmetic, FusedDupPairsMatchUnfusedSemantics) {
+  // DUP1+MUL / DUP1+ADD are fused by the threaded dispatcher; the stack
+  // result, the transient high-water mark, and the op count must be
+  // exactly those of the unfused sequence.
+  Assembler prog;
+  prog.push(7);
+  prog.dup(1).op(Opcode::MUL);  // 49
+  prog.dup(1).op(Opcode::ADD);  // 98
+  const auto out = run_top(std::move(prog));
+  EXPECT_EQ(out.top, U256{98});
+  // PUSH + 2*(DUP+op) + MSTORE path ops: PUSH1 7, DUP1, MUL, DUP1, ADD,
+  // PUSH1 0, MSTORE, PUSH1 32, PUSH1 0, RETURN = 10 ops.
+  EXPECT_EQ(out.result.stats.ops_executed, 10u);
+  // The DUP1 transiently reaches depth 2 even though the pair nets to 1.
+  EXPECT_EQ(out.result.stats.max_stack_pointer, 2u);
+}
+
 TEST(OpcodeArithmetic, IszeroNot) {
   Assembler prog;
   prog.push(0).op(Opcode::ISZERO);
@@ -465,6 +553,34 @@ TEST(OpcodeEnv, CalldataloadZeroPadsPastEnd) {
   const auto r = run_raw(prog.take(), host, VmConfig::tiny(), data);
   // 0xAABB followed by 30 zero bytes.
   EXPECT_EQ(U256::from_bytes(r.output), (U256{0xAA} << 248) | (U256{0xBB} << 240));
+}
+
+TEST(OpcodeEnv, CalldataloadHugeOffsetReadsZero) {
+  // Regression: `offset + i` wrapped past 2^64 and aliased the *start* of
+  // calldata, so an offset like 2^64-1 leaked data bytes into a word the
+  // EVM defines as all zeros.
+  TestHost host;
+  Bytes data = {0xAA, 0xBB, 0xCC, 0xDD};
+  for (const std::uint64_t offset : {~0ULL, ~0ULL - 16, 1ULL << 63}) {
+    Assembler prog;
+    prog.push_word(U256{offset}).op(Opcode::CALLDATALOAD);
+    prog.push(0).op(Opcode::MSTORE).push(32).push(0).op(Opcode::RETURN);
+    const auto r = run_raw(prog.take(), host, VmConfig::tiny(), data);
+    EXPECT_EQ(U256::from_bytes(r.output), U256{}) << "offset " << offset;
+  }
+  // An offset beyond 64 bits also reads zero.
+  Assembler prog;
+  prog.push_word(U256{1} << 64).op(Opcode::CALLDATALOAD);
+  prog.push(0).op(Opcode::MSTORE).push(32).push(0).op(Opcode::RETURN);
+  const auto r = run_raw(prog.take(), host, VmConfig::tiny(), data);
+  EXPECT_EQ(U256::from_bytes(r.output), U256{});
+  // A partially-in-range offset still reads the tail bytes.
+  Assembler prog2;
+  prog2.push(2).op(Opcode::CALLDATALOAD);
+  prog2.push(0).op(Opcode::MSTORE).push(32).push(0).op(Opcode::RETURN);
+  const auto r2 = run_raw(prog2.take(), host, VmConfig::tiny(), data);
+  EXPECT_EQ(U256::from_bytes(r2.output),
+            (U256{0xCC} << 248) | (U256{0xDD} << 240));
 }
 
 TEST(OpcodeEnv, CalldatacopyIntoMemory) {

@@ -269,6 +269,131 @@ TEST(U256, DecimalRendering) {
       "639935");
 }
 
+// ---- signed-op boundaries (the dispatch-rewrite bugfix sweep) ----
+// EVM two's-complement corner cases: INT256_MIN behaves like the C
+// INT_MIN it is — negation wraps to itself — and the byte/shift indices
+// saturate rather than wrap.
+
+TEST(U256SignedBoundary, SdivIntMinByMinusOneWraps) {
+  // INT256_MIN / -1 overflows; the EVM defines the result as INT256_MIN.
+  const U256 min = U256::sign_bit();
+  const U256 minus_one = U256::max();
+  EXPECT_EQ(U256::sdiv(min, minus_one), min);
+}
+
+TEST(U256SignedBoundary, SmodIntMinByMinusOneIsZero) {
+  EXPECT_EQ(U256::smod(U256::sign_bit(), U256::max()), U256{});
+}
+
+TEST(U256SignedBoundary, SdivIntMinByOtherDivisors) {
+  const U256 min = U256::sign_bit();
+  EXPECT_EQ(U256::sdiv(min, U256{1}), min);
+  // INT256_MIN / -2 == 2^254 (positive: both operands negative).
+  EXPECT_EQ(U256::sdiv(min, U256{2}.negate()), U256{1} << 254);
+  // INT256_MIN / 2 == -(2^254).
+  EXPECT_EQ(U256::sdiv(min, U256{2}), (U256{1} << 254).negate());
+  // x / 0 == 0 even for INT256_MIN.
+  EXPECT_EQ(U256::sdiv(min, U256{}), U256{});
+  EXPECT_EQ(U256::smod(min, U256{}), U256{});
+}
+
+TEST(U256SignedBoundary, SmodTakesSignOfDividend) {
+  const U256 five_neg = U256{5}.negate();
+  EXPECT_EQ(U256::smod(five_neg, U256{3}), U256{2}.negate());
+  EXPECT_EQ(U256::smod(U256{5}, U256{3}.negate()), U256{2});
+  EXPECT_EQ(U256::smod(five_neg, U256{3}.negate()), U256{2}.negate());
+}
+
+TEST(U256SignedBoundary, SignextendIndexThirtyOneAndBeyondIsIdentity) {
+  // Byte 31 is already the sign byte; 31 and anything larger (including
+  // values that do not fit in 64 bits) must leave x untouched.
+  const U256 x = U256::sign_bit() | U256{0x80};
+  EXPECT_EQ(U256::signextend(U256{31}, x), x);
+  EXPECT_EQ(U256::signextend(U256{32}, x), x);
+  EXPECT_EQ(U256::signextend(U256{1000}, x), x);
+  EXPECT_EQ(U256::signextend(U256{1} << 64, x), x);
+  EXPECT_EQ(U256::signextend(U256::max(), x), x);
+}
+
+TEST(U256SignedBoundary, SignextendBoundaryBytes) {
+  // b == 0: sign bit is bit 7.
+  EXPECT_EQ(U256::signextend(U256{0}, U256{0x80}),
+            U256::max() - U256{0x7F});
+  EXPECT_EQ(U256::signextend(U256{0}, U256{0x7F}), U256{0x7F});
+  // b == 0 must also *truncate* high garbage when the sign bit is clear.
+  EXPECT_EQ(U256::signextend(U256{0}, (U256{1} << 200) | U256{0x7F}),
+            U256{0x7F});
+  // b == 30: sign bit is bit 247; bit 255 garbage is replaced.
+  const U256 negative30 = (U256{1} << 247) | U256{42};
+  const U256 extended = U256::signextend(U256{30}, negative30);
+  EXPECT_TRUE(extended.is_negative());
+  EXPECT_EQ(extended & U256{0xFF}, U256{42});
+  const U256 positive30 = (U256{1} << 255) | U256{42};
+  EXPECT_EQ(U256::signextend(U256{30}, positive30), U256{42});
+}
+
+TEST(U256SignedBoundary, SarShiftAtAndPast256) {
+  const U256 min = U256::sign_bit();
+  // Negative values saturate to all ones, positives to zero.
+  EXPECT_EQ(U256::sar(U256{255}, min), U256::max());
+  EXPECT_EQ(U256::sar(U256{256}, min), U256::max());
+  EXPECT_EQ(U256::sar(U256{257}, min), U256::max());
+  EXPECT_EQ(U256::sar(U256{1} << 128, min), U256::max());
+  EXPECT_EQ(U256::sar(U256::max(), min), U256::max());
+  EXPECT_EQ(U256::sar(U256{256}, U256{5}), U256{});
+  EXPECT_EQ(U256::sar(U256::max(), U256{5}), U256{});
+  // Zero shift is the identity; sign fill starts at shift 1.
+  EXPECT_EQ(U256::sar(U256{0}, min), min);
+  EXPECT_EQ(U256::sar(U256{1}, min), min | (U256{1} << 254));
+}
+
+TEST(U256SignedBoundary, ShiftOperatorsSaturateAt256) {
+  EXPECT_EQ(U256::max() << 256, U256{});
+  EXPECT_EQ(U256::max() >> 256, U256{});
+  U256 a = U256::max();
+  a.shl_assign(256);
+  EXPECT_EQ(a, U256{});
+  U256 b = U256::max();
+  b.shr_assign(256);
+  EXPECT_EQ(b, U256{});
+}
+
+TEST(U256SignedBoundary, InPlaceOpsMatchOperators) {
+  // The interpreter's in-place ops must agree with the value-semantics
+  // operators, including when both operands alias.
+  const U256 a = *U256::from_hex(
+      "0xfedcba9876543210123456789abcdef0deadbeefcafebabe0102030405060708");
+  const U256 b = *U256::from_hex(
+      "0x8000000000000000000000000000000000000000000000000000000000000001");
+  U256 r = a;
+  r.add_assign(b);
+  EXPECT_EQ(r, a + b);
+  r = a;
+  r.sub_assign(b);
+  EXPECT_EQ(r, a - b);
+  r = b;
+  r.rsub_assign(a);
+  EXPECT_EQ(r, a - b);
+  r = a;
+  r.mul_assign(b);
+  EXPECT_EQ(r, a * b);
+  r = a;
+  r.mul_assign(r);  // aliasing: x *= x
+  EXPECT_EQ(r, a * a);
+  r = a;
+  r.add_assign(r);
+  EXPECT_EQ(r, a + a);
+  r = a;
+  r.not_assign();
+  EXPECT_EQ(r, ~a);
+  r = a;
+  r.shl_assign(100);
+  EXPECT_EQ(r, a << 100);
+  r = a;
+  r.shr_assign(100);
+  EXPECT_EQ(r, a >> 100);
+}
+
 TEST(U512, MulFullWidth) {
   // (2^256-1)^2 = 2^512 - 2^257 + 1.
   const U512 sq = U512::mul(U256::max(), U256::max());
