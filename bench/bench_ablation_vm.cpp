@@ -6,9 +6,13 @@
 //   * interpreter throughput on a representative constructor workload.
 #include <benchmark/benchmark.h>
 
+#include <random>
+
 #include "channel/manager.hpp"
 #include "corpus/corpus.hpp"
 #include "evm/asm.hpp"
+#include "evm/code_cache.hpp"
+#include "evm/decoded.hpp"
 #include "evm/vm.hpp"
 
 namespace {
@@ -27,14 +31,21 @@ evm::Bytes loop_program(std::uint64_t iters) {
   return a.take();
 }
 
+/// Runs `code` repeatedly on one Vm with a private translation cache, so
+/// the predecoded variants measure the warm-cache steady state and report
+/// the observed hit rate.
 void run_program(benchmark::State& state, const evm::Bytes& code,
                  evm::VmConfig config, std::int64_t gas = 1'000'000'000) {
   channel::SensorBank sensors;
   sensors.set_reading(7, U256{22});
   channel::DeviceHost host(sensors, config);
-  evm::Vm vm{config};
+  auto cache = std::make_shared<evm::CodeCache>();
+  evm::Vm vm{config, cache};
   evm::Message msg;
   msg.code = code;
+  // Hash once, like every repeat-execution call site (chain accounts and
+  // channel endpoints cache keccak256(code) beside the code itself).
+  msg.code_hash = keccak256(code);
   msg.gas = gas;
   std::uint64_t ops = 0;
   for (auto _ : state) {
@@ -44,6 +55,9 @@ void run_program(benchmark::State& state, const evm::Bytes& code,
   }
   state.counters["ops/s"] = benchmark::Counter(
       static_cast<double>(ops), benchmark::Counter::kIsRate);
+  if (config.predecode) {
+    state.counters["cache_hit_%"] = 100.0 * cache->stats().hit_rate();
+  }
 }
 
 // --- ablation: gas metering ---
@@ -57,11 +71,12 @@ void BM_Loop_Ethereum_Gas(benchmark::State& state) {
 }
 BENCHMARK(BM_Loop_Ethereum_Gas);
 
-// --- ablation: dispatch strategy (token-threaded table vs the legacy
-// two-level switch it replaced). Same programs, same VM, only
-// VmConfig::dispatch differs — the counter pair quantifies the dispatch
-// rewrite in isolation. The old-switch variants exist only while the
-// legacy path is still compiled (TINYEVM_LEGACY_DISPATCH, one-PR soak).
+// --- ablation: raw threaded loop vs the pre-decoded translation path.
+// Same programs, same VM; only VmConfig::predecode differs, so the counter
+// pair quantifies what the one-time translation amortizes away (immediate
+// materialization, jump resolution, superinstruction fusion). The
+// predecoded variants run against a warm private cache (hit rate reported
+// as a counter).
 evm::Bytes opmix_program() {
   // The ADD/MUL/DUP/SWAP hot mix the ROADMAP calls out.
   Assembler a;
@@ -73,35 +88,106 @@ evm::Bytes opmix_program() {
   return a.take();
 }
 
-void BM_Dispatch_Loop_Threaded(benchmark::State& state) {
+void BM_Loop_TinyEvm_Raw(benchmark::State& state) {
   evm::VmConfig config = evm::VmConfig::tiny();
-  config.dispatch = evm::DispatchKind::Threaded;
+  config.predecode = false;
   run_program(state, loop_program(10'000), config);
 }
-BENCHMARK(BM_Dispatch_Loop_Threaded);
+BENCHMARK(BM_Loop_TinyEvm_Raw);
 
-void BM_Dispatch_OpMix_Threaded(benchmark::State& state) {
+void BM_Loop_TinyEvm_Predecoded(benchmark::State& state) {
   evm::VmConfig config = evm::VmConfig::tiny();
-  config.dispatch = evm::DispatchKind::Threaded;
-  run_program(state, opmix_program(), config);
-}
-BENCHMARK(BM_Dispatch_OpMix_Threaded);
-
-#ifdef TINYEVM_LEGACY_DISPATCH
-void BM_Dispatch_Loop_OldSwitch(benchmark::State& state) {
-  evm::VmConfig config = evm::VmConfig::tiny();
-  config.dispatch = evm::DispatchKind::LegacySwitch;
+  config.predecode = true;
   run_program(state, loop_program(10'000), config);
 }
-BENCHMARK(BM_Dispatch_Loop_OldSwitch);
+BENCHMARK(BM_Loop_TinyEvm_Predecoded);
 
-void BM_Dispatch_OpMix_OldSwitch(benchmark::State& state) {
+void BM_OpMix_Raw(benchmark::State& state) {
   evm::VmConfig config = evm::VmConfig::tiny();
-  config.dispatch = evm::DispatchKind::LegacySwitch;
+  config.predecode = false;
   run_program(state, opmix_program(), config);
 }
-BENCHMARK(BM_Dispatch_OpMix_OldSwitch);
-#endif  // TINYEVM_LEGACY_DISPATCH
+BENCHMARK(BM_OpMix_Raw);
+
+void BM_OpMix_Predecoded(benchmark::State& state) {
+  evm::VmConfig config = evm::VmConfig::tiny();
+  config.predecode = true;
+  run_program(state, opmix_program(), config);
+}
+BENCHMARK(BM_OpMix_Predecoded);
+
+// --- translation cost: cold translate by code size, and the warm-lookup
+// overhead (keccak + LRU probe) a cache hit still pays.
+evm::Bytes sized_program(std::size_t target_size) {
+  Assembler a;
+  std::mt19937_64 rng(20200711);
+  while (a.size() + 40 < target_size) {
+    switch (rng() % 5) {
+      case 0: a.push(rng() & 0xFFFF).push(rng() & 0xFFFF).op(Opcode::ADD)
+                  .op(Opcode::POP); break;
+      case 1: a.push_word(U256{rng(), rng(), rng(), rng()}).op(Opcode::POP);
+              break;
+      case 2: a.dup(1 + rng() % 4).op(Opcode::MUL); break;
+      case 3: a.op(Opcode::JUMPDEST); break;
+      default: a.push(rng() & 0xFF).swap(1).op(Opcode::SUB); break;
+    }
+  }
+  while (a.size() < target_size) a.op(Opcode::JUMPDEST);
+  return a.take();
+}
+
+void BM_Translate_Cold(benchmark::State& state) {
+  const auto code = sized_program(static_cast<std::size_t>(state.range(0)));
+  const evm::TranslationProfile profile{};
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto program = evm::translate(code, profile);
+    benchmark::DoNotOptimize(program);
+    bytes += code.size();
+  }
+  state.counters["code_bytes/s"] = benchmark::Counter(
+      static_cast<double>(bytes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Translate_Cold)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_Translate_WarmLookup(benchmark::State& state) {
+  const auto code = sized_program(static_cast<std::size_t>(state.range(0)));
+  const evm::TranslationProfile profile{};
+  evm::CodeCache cache;
+  benchmark::DoNotOptimize(cache.get_or_translate(code, profile));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get_or_translate(code, profile));
+  }
+  state.counters["cache_hit_%"] = 100.0 * cache.stats().hit_rate();
+}
+BENCHMARK(BM_Translate_WarmLookup)->Arg(256)->Arg(4096);
+
+// --- warm-cache corpus re-deployment: the Fig. 3/4 workload re-executed
+// with shared translations, the channel-hub re-execution pattern.
+void BM_Corpus_Redeploy(benchmark::State& state) {
+  const bool predecode = state.range(0) != 0;
+  corpus::GeneratorConfig cfg;
+  cfg.count = 16;
+  const corpus::Generator gen{cfg};
+  std::vector<corpus::Contract> contracts;
+  for (std::size_t i = 0; i < cfg.count; ++i) contracts.push_back(gen.make(i));
+  evm::VmConfig config = evm::VmConfig::tiny();
+  config.predecode = predecode;
+  auto cache = std::make_shared<evm::CodeCache>();
+  for (auto _ : state) {
+    for (const auto& c : contracts) {
+      const auto outcome = corpus::deploy_on_device(c, config, cache);
+      benchmark::DoNotOptimize(outcome);
+    }
+  }
+  if (predecode) {
+    state.counters["cache_hit_%"] = 100.0 * cache->stats().hit_rate();
+  }
+}
+BENCHMARK(BM_Corpus_Redeploy)
+    ->Arg(0)   // raw threaded loop
+    ->Arg(1)   // warm translation cache
+    ->Unit(benchmark::kMillisecond);
 
 // --- ablation: 256-bit emulation cost by opcode class ---
 void BM_Op_Add(benchmark::State& state) {

@@ -65,14 +65,19 @@ class ChainHost : public evm::Host {
         !chain_.transfer(req.sender, req.to, req.value)) {
       return evm::CallResult{false, {}, 0};
     }
-    const evm::Bytes code = code_at(req.to);
-    if (code.empty()) return evm::CallResult{true, {}, req.gas};
+    const Account& callee = accounts_[req.to];
+    if (callee.code.empty()) return evm::CallResult{true, {}, req.gas};
     evm::Message msg;
     msg.self = req.kind == evm::CallKind::DelegateCall ? req.sender : req.to;
     msg.caller = req.sender;
     msg.value = req.value;
     msg.data = req.data;
-    msg.code = code;
+    msg.code = callee.code;
+    // The per-account hash lets the translation cache skip rehashing the
+    // runtime on every call.
+    if (callee.code_hash != Hash256{}) {
+      msg.code_hash = callee.code_hash;
+    }
     msg.gas = req.gas;
     msg.depth = req.depth;
     msg.is_static = req.is_static;
@@ -98,6 +103,7 @@ class ChainHost : public evm::Host {
     const evm::ExecResult r = vm_.execute(*this, msg);
     if (!r.ok()) return evm::CreateResult{false, {}, r.gas_left};
     accounts_[addr].code = r.output;
+    accounts_[addr].code_hash = keccak256(r.output);
     return evm::CreateResult{true, addr, r.gas_left};
   }
   void emit_log(evm::LogEntry entry) override {
@@ -109,6 +115,7 @@ class ChainHost : public evm::Host {
     const U256 swept = accounts_[addr].balance;
     chain_.transfer(addr, beneficiary, swept);
     accounts_[addr].code.clear();
+    accounts_[addr].code_hash = Hash256{};
     accounts_[addr].storage.clear();
   }
   std::optional<U256> sensor_access(const evm::SensorRequest&) override {
@@ -138,7 +145,8 @@ Hash256 Transaction::digest() const {
   return keccak256(rlp::encode(rlp::Item::list(std::move(fields))));
 }
 
-Blockchain::Blockchain() : vm_(evm::VmConfig::ethereum()) {
+Blockchain::Blockchain(std::shared_ptr<evm::CodeCache> code_cache)
+    : vm_(evm::VmConfig::ethereum(), std::move(code_cache)) {
   Block genesis;
   genesis.number = 0;
   genesis.timestamp = 1'600'000'000;

@@ -17,6 +17,7 @@
 
 #include "crypto/hash.hpp"
 #include "crypto/secp256k1.hpp"
+#include "evm/code_cache.hpp"
 #include "evm/host.hpp"
 #include "evm/vm.hpp"
 #include "rlp/rlp.hpp"
@@ -31,6 +32,10 @@ struct Account {
   U256 balance;
   std::uint64_t nonce = 0;
   evm::Bytes code;
+  /// keccak256(code), maintained whenever code is installed; passed with
+  /// every Message so the EVM's translation cache never rehashes the code.
+  /// All-zero for accounts without code.
+  Hash256 code_hash{};
   std::map<U256, U256> storage;
 };
 
@@ -79,7 +84,10 @@ class NativeContract {
 
 class Blockchain {
  public:
-  Blockchain();
+  /// `code_cache` overrides the process-wide translation cache the chain's
+  /// EVM consults (see evm::CodeCache); null keeps the shared default, so
+  /// contracts deployed here warm the same cache the device VMs use.
+  explicit Blockchain(std::shared_ptr<evm::CodeCache> code_cache = nullptr);
 
   // -- accounts --
   void credit(const Address& addr, const U256& amount);

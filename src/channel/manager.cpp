@@ -41,6 +41,7 @@ evm::CreateResult DeviceHost::create(const evm::CreateRequest& req) {
   const evm::ExecResult r = vm.execute(*this, msg);
   if (!r.ok()) return evm::CreateResult{false, {}, r.gas_left};
   contracts_[msg.self] = r.output;
+  code_hashes_[msg.self] = keccak256(r.output);
   return evm::CreateResult{true, msg.self, r.gas_left};
 }
 
@@ -56,6 +57,10 @@ evm::CallResult DeviceHost::call(const evm::CallRequest& req) {
   msg.value = req.value;
   msg.data = req.data;
   msg.code = it->second;
+  if (const auto hash = code_hashes_.find(req.to);
+      hash != code_hashes_.end()) {
+    msg.code_hash = hash->second;
+  }
   msg.gas = req.gas;
   msg.depth = req.depth;
   msg.is_static = req.is_static;
@@ -68,6 +73,7 @@ void DeviceHost::self_destruct(const evm::Address& addr,
   // The side-chain log is the durable artifact; the contract and its slots
   // go away with the channel.
   contracts_.erase(addr);
+  code_hashes_.erase(addr);
   storage_.erase(addr);
 }
 
@@ -115,7 +121,11 @@ std::optional<evm::Address> ChannelEndpoint::open_channel(
   evm::Message msg;
   msg.self = addr;
   msg.code = payment_channel_init_code(sensor_device);
-  msg.data.assign(rate.to_word().begin(), rate.to_word().end());
+  // One named word: `rate.to_word().begin(), rate.to_word().end()` would
+  // take iterators from two distinct temporaries (caught by the ASan CI
+  // sweep when it grew to cover this suite).
+  const auto rate_word = rate.to_word();
+  msg.data.assign(rate_word.begin(), rate_word.end());
   msg.gas = 10'000'000;
   const evm::ExecResult r = vm_.execute(host_, msg);
   stats_.vm_cycles += r.stats.mcu_cycles;
@@ -123,6 +133,7 @@ std::optional<evm::Address> ChannelEndpoint::open_channel(
 
   contract_ = addr;
   runtime_code_ = r.output;
+  runtime_code_hash_ = keccak256(runtime_code_);
   return contract_;
 }
 
@@ -134,6 +145,9 @@ std::optional<U256> ChannelEndpoint::run_contract(
   msg.caller = evm::Address{};
   msg.data = calldata;
   msg.code = runtime_code_;
+  if (runtime_code_hash_ != Hash256{}) {
+    msg.code_hash = runtime_code_hash_;  // every round reruns the same code
+  }
   msg.gas = 10'000'000;
   const evm::ExecResult r = vm_.execute(host_, msg);
   stats_.vm_cycles += r.stats.mcu_cycles;
@@ -203,6 +217,7 @@ std::optional<SignedState> ChannelEndpoint::close_channel() {
   // host's contract table, so retire it here as well.
   contract_.reset();
   runtime_code_.clear();
+  runtime_code_hash_ = Hash256{};
 
   SignedState signed_state;
   signed_state.state = next_state(paid, seq);

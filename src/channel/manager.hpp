@@ -82,6 +82,9 @@ class DeviceHost : public evm::Host {
   SensorBank& sensors_;
   evm::VmConfig config_;
   std::map<evm::Address, evm::Bytes> contracts_;
+  /// keccak256 of each installed runtime, computed once at CREATE so
+  /// repeat calls skip rehashing in the EVM's translation cache.
+  std::map<evm::Address, Hash256> code_hashes_;
   std::map<evm::Address, evm::TinyStorage> storage_;
   std::vector<evm::LogEntry> logs_;
   std::uint64_t next_contract_ = 1;
@@ -156,7 +159,8 @@ class ChannelEndpoint {
   U256 channel_id_;
   std::uint32_t sensor_device_ = 0;
   std::optional<evm::Address> contract_;
-  evm::Bytes runtime_code_;  ///< installed by the constructor run
+  evm::Bytes runtime_code_;   ///< installed by the constructor run
+  Hash256 runtime_code_hash_{};  ///< translation-cache key, hashed once
 };
 
 }  // namespace tinyevm::channel

@@ -135,6 +135,7 @@ Contract Generator::make(std::size_t index) const {
     while (stub.size() < 13) stub.op(Opcode::STOP);
     Bytes runtime = stub.take();
     out.init_code = Assembler::deployer(runtime);
+    out.init_code_hash = keccak256(out.init_code);
     out.runtime_size = runtime.size();
     return out;
   }
@@ -205,6 +206,7 @@ Contract Generator::make(std::size_t index) const {
       out.init_code.insert(out.init_code.end(), word.begin(), word.end());
     }
   }
+  out.init_code_hash = keccak256(out.init_code);
   return out;
 }
 
@@ -218,15 +220,19 @@ std::vector<Contract> Generator::make_all() const {
 }
 
 DeploymentOutcome deploy_on_device(const Contract& contract,
-                                   const evm::VmConfig& config) {
+                                   const evm::VmConfig& config,
+                                   std::shared_ptr<evm::CodeCache> code_cache) {
   channel::SensorBank sensors;
   sensors.set_reading(7, U256{22});
   channel::DeviceHost host(sensors, config);
 
-  evm::Vm vm{config};
+  evm::Vm vm{config, std::move(code_cache)};
   evm::Message msg;
   msg.self[19] = 0x01;
   msg.code = contract.init_code;
+  if (contract.init_code_hash != Hash256{}) {
+    msg.code_hash = contract.init_code_hash;
+  }
   msg.gas = 50'000'000;
   const evm::ExecResult r = vm.execute(host, msg);
 

@@ -13,9 +13,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <random>
 #include <vector>
 
+#include "evm/code_cache.hpp"
 #include "evm/state.hpp"
 #include "evm/vm.hpp"
 
@@ -35,6 +37,10 @@ struct GeneratorConfig {
 /// runtime) plus generator metadata for sanity checks.
 struct Contract {
   evm::Bytes init_code;
+  /// keccak256(init_code) — real corpora know their code hashes, and
+  /// carrying it lets repeat deployments hit the translation cache without
+  /// rehashing.
+  Hash256 init_code_hash{};
   std::size_t runtime_size = 0;
   unsigned storage_inits = 0;   ///< constructor SSTORE count
   unsigned hash_ops = 0;        ///< constructor SHA3 count
@@ -72,9 +78,13 @@ struct DeploymentOutcome {
 
 /// Runs a contract's deployment on a TinyEVM with the paper's limits
 /// (8 KB memory, 3 KB stack, sensors available for IoT-flavoured
-/// contracts).
-[[nodiscard]] DeploymentOutcome deploy_on_device(const Contract& contract,
-                                                 const evm::VmConfig& config);
+/// contracts). `code_cache` overrides the translation cache the device VM
+/// consults (null = the process-wide default), so repeat deployments of
+/// the same contract — and the upcoming parallel corpus workers — hit warm
+/// translations.
+[[nodiscard]] DeploymentOutcome deploy_on_device(
+    const Contract& contract, const evm::VmConfig& config,
+    std::shared_ptr<evm::CodeCache> code_cache = nullptr);
 
 /// Aggregate statistics over a corpus run (Table II).
 struct CorpusStats {

@@ -1,0 +1,98 @@
+#include "evm/code_cache.hpp"
+
+#include <cstring>
+
+namespace tinyevm::evm {
+
+CodeCache::CodeCache() : config_(Config{}) {}
+
+CodeCache::CodeCache(Config config) : config_(config) {}
+
+std::size_t CodeCache::KeyHasher::operator()(const Key& k) const {
+  // keccak output is uniformly distributed; the first 8 bytes are already
+  // a perfectly good hash.
+  std::uint64_t h = 0;
+  std::memcpy(&h, k.hash.data(), sizeof h);
+  return static_cast<std::size_t>(h ^ k.profile);
+}
+
+std::shared_ptr<const DecodedProgram> CodeCache::get_or_translate(
+    std::span<const std::uint8_t> code, const TranslationProfile& profile,
+    const Hash256* code_hash) {
+  if (code.empty()) return nullptr;  // nothing to translate or run
+  if (code.size() > config_.max_code_bytes) {
+    std::lock_guard lock(mu_);
+    ++oversized_;
+    return nullptr;
+  }
+  const Key key{code_hash ? *code_hash : keccak256(code), profile.key()};
+  {
+    std::lock_guard lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++hits_;
+      if (it->second != lru_.begin()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+      }
+      return it->second->program;
+    }
+    ++misses_;
+  }
+
+  // Translate outside the lock: concurrent first executions of the same
+  // code may both translate, and the loser below adopts the winner's copy.
+  auto program =
+      std::make_shared<const DecodedProgram>(translate(code, profile));
+  const std::size_t bytes = program->byte_size();
+
+  std::lock_guard lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->program;
+  }
+  if (bytes > config_.capacity_bytes) {
+    // Would evict the whole cache and still not fit; hand it to this one
+    // execution without caching.
+    return program;
+  }
+  lru_.push_front(Entry{key, program, bytes});
+  index_[key] = lru_.begin();
+  bytes_ += bytes;
+  while (bytes_ > config_.capacity_bytes) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return program;
+}
+
+CodeCache::Stats CodeCache::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.oversized = oversized_;
+  s.bytes = bytes_;
+  s.entries = index_.size();
+  return s;
+}
+
+void CodeCache::clear() {
+  std::lock_guard lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  hits_ = misses_ = evictions_ = oversized_ = 0;
+}
+
+const std::shared_ptr<CodeCache>& CodeCache::shared_default() {
+  static const std::shared_ptr<CodeCache> cache =
+      std::make_shared<CodeCache>();
+  return cache;
+}
+
+}  // namespace tinyevm::evm

@@ -1,0 +1,100 @@
+// Per-code-hash translation cache.
+//
+// Off-chain rounds and the corpus benchmarks execute the same bytecode
+// thousands of times; translating it once (decoded.hpp) only pays off if
+// the translation is findable again. This cache keys decoded programs by
+// `keccak256(code)` plus the profile flags that shaped the translation,
+// holds them behind a thread-safe LRU with a byte-size cap, and is shared
+// across `Vm` instances — by default every Vm consults one process-wide
+// cache, so a contract deployed through the chain host and re-run by a
+// corpus worker reuses the same translation.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+
+#include "crypto/hash.hpp"
+#include "evm/decoded.hpp"
+
+namespace tinyevm::evm {
+
+class CodeCache {
+ public:
+  struct Config {
+    /// Total decoded-program bytes retained; least-recently-used
+    /// translations are evicted past this.
+    std::size_t capacity_bytes = 8u << 20;
+    /// Code larger than this is never translated — the raw threaded loop
+    /// runs it. Bounds worst-case translate latency and cache churn from
+    /// one-shot giants.
+    std::size_t max_code_bytes = 64u << 10;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;      ///< lookups that had to translate
+    std::uint64_t evictions = 0;   ///< entries dropped by the byte cap
+    std::uint64_t oversized = 0;   ///< lookups declined by max_code_bytes
+    std::size_t bytes = 0;         ///< resident decoded-program bytes
+    std::size_t entries = 0;
+
+    [[nodiscard]] double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  CodeCache();
+  explicit CodeCache(Config config);
+
+  /// Returns the decoded program for `code`, translating (and caching) on
+  /// a miss. Pass `code_hash` when the caller already knows
+  /// keccak256(code) — the chain host caches it per account — to skip
+  /// rehashing. Returns nullptr for empty or oversized code; the caller
+  /// then runs the raw threaded loop.
+  std::shared_ptr<const DecodedProgram> get_or_translate(
+      std::span<const std::uint8_t> code, const TranslationProfile& profile,
+      const Hash256* code_hash = nullptr);
+
+  [[nodiscard]] Stats stats() const;
+  void clear();
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// The process-wide cache every Vm uses unless handed its own — this is
+  /// what shares translations across Vm instances (chain hosts, corpus
+  /// workers, channel endpoints all construct their own Vm).
+  static const std::shared_ptr<CodeCache>& shared_default();
+
+ private:
+  struct Key {
+    Hash256 hash{};
+    std::uint8_t profile = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHasher {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const DecodedProgram> program;
+    std::size_t bytes = 0;
+  };
+
+  Config config_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> index_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t oversized_ = 0;
+};
+
+}  // namespace tinyevm::evm

@@ -1,0 +1,203 @@
+#include "evm/decoded.hpp"
+
+namespace tinyevm::evm {
+
+Handler exec_handler(std::uint8_t op) {
+  if (is_push(op)) return Handler::Push;
+  if (is_dup(op)) return Handler::Dup;
+  if (is_swap(op)) return Handler::Swap;
+  if (is_log(op)) return Handler::Log;
+  switch (static_cast<Opcode>(op)) {
+    case Opcode::STOP: return Handler::Stop;
+    case Opcode::ADD: return Handler::Add;
+    case Opcode::MUL: return Handler::Mul;
+    case Opcode::SUB: return Handler::Sub;
+    case Opcode::DIV: return Handler::Div;
+    case Opcode::SDIV: return Handler::Sdiv;
+    case Opcode::MOD: return Handler::Mod;
+    case Opcode::SMOD: return Handler::Smod;
+    case Opcode::ADDMOD: return Handler::AddMod;
+    case Opcode::MULMOD: return Handler::MulMod;
+    case Opcode::EXP: return Handler::Exp;
+    case Opcode::SIGNEXTEND: return Handler::SignExtend;
+    case Opcode::SENSOR: return Handler::Sensor;
+    case Opcode::LT: return Handler::Lt;
+    case Opcode::GT: return Handler::Gt;
+    case Opcode::SLT: return Handler::Slt;
+    case Opcode::SGT: return Handler::Sgt;
+    case Opcode::EQ: return Handler::Eq;
+    case Opcode::ISZERO: return Handler::IsZero;
+    case Opcode::AND: return Handler::And;
+    case Opcode::OR: return Handler::Or;
+    case Opcode::XOR: return Handler::Xor;
+    case Opcode::NOT: return Handler::Not;
+    case Opcode::BYTE: return Handler::Byte;
+    case Opcode::SHL: return Handler::Shl;
+    case Opcode::SHR: return Handler::Shr;
+    case Opcode::SAR: return Handler::Sar;
+    case Opcode::SHA3: return Handler::Sha3;
+    case Opcode::ADDRESS: return Handler::Address;
+    case Opcode::BALANCE: return Handler::Balance;
+    case Opcode::ORIGIN: return Handler::Origin;
+    case Opcode::CALLER: return Handler::Caller;
+    case Opcode::CALLVALUE: return Handler::CallValue;
+    case Opcode::CALLDATALOAD: return Handler::CallDataLoad;
+    case Opcode::CALLDATASIZE: return Handler::CallDataSize;
+    case Opcode::CALLDATACOPY: return Handler::CallDataCopy;
+    case Opcode::CODESIZE: return Handler::CodeSize;
+    case Opcode::CODECOPY: return Handler::CodeCopy;
+    case Opcode::GASPRICE: return Handler::GasPrice;
+    case Opcode::EXTCODESIZE: return Handler::ExtCodeSize;
+    case Opcode::EXTCODECOPY: return Handler::ExtCodeCopy;
+    case Opcode::RETURNDATASIZE: return Handler::ReturnDataSize;
+    case Opcode::RETURNDATACOPY: return Handler::ReturnDataCopy;
+    case Opcode::BLOCKHASH: return Handler::BlockHash;
+    case Opcode::COINBASE: return Handler::Coinbase;
+    case Opcode::TIMESTAMP: return Handler::Timestamp;
+    case Opcode::NUMBER: return Handler::Number;
+    case Opcode::DIFFICULTY: return Handler::Difficulty;
+    case Opcode::GASLIMIT: return Handler::GasLimit;
+    case Opcode::POP: return Handler::Pop;
+    case Opcode::MLOAD: return Handler::MLoad;
+    case Opcode::MSTORE: return Handler::MStore;
+    case Opcode::MSTORE8: return Handler::MStore8;
+    case Opcode::SLOAD: return Handler::SLoad;
+    case Opcode::SSTORE: return Handler::SStore;
+    case Opcode::JUMP: return Handler::Jump;
+    case Opcode::JUMPI: return Handler::JumpI;
+    case Opcode::PC: return Handler::Pc;
+    case Opcode::MSIZE: return Handler::MSize;
+    case Opcode::GAS: return Handler::Gas;
+    case Opcode::JUMPDEST: return Handler::JumpDest;
+    case Opcode::CREATE: return Handler::Create;
+    case Opcode::CALL: return Handler::Call;
+    case Opcode::CALLCODE: return Handler::CallCode;
+    case Opcode::DELEGATECALL: return Handler::DelegateCall;
+    case Opcode::STATICCALL: return Handler::StaticCall;
+    case Opcode::RETURN: return Handler::Return;
+    case Opcode::REVERT: return Handler::Revert;
+    case Opcode::INVALID: return Handler::Invalid;
+    case Opcode::SELFDESTRUCT: return Handler::SelfDestruct;
+    default: return Handler::Undefined;
+  }
+}
+
+bool is_fusible_bin(Handler h) {
+  switch (h) {
+    case Handler::Add:
+    case Handler::Mul:
+    case Handler::Sub:
+    case Handler::Div:
+    case Handler::Sdiv:
+    case Handler::Mod:
+    case Handler::Smod:
+    case Handler::Lt:
+    case Handler::Gt:
+    case Handler::Slt:
+    case Handler::Sgt:
+    case Handler::Eq:
+    case Handler::And:
+    case Handler::Or:
+    case Handler::Xor:
+    case Handler::Byte:
+    case Handler::Shl:
+    case Handler::Shr:
+    case Handler::Sar:
+    case Handler::SignExtend:
+      return true;
+    default:
+      return false;
+  }
+}
+
+DecodedProgram translate(std::span<const std::uint8_t> code,
+                         const TranslationProfile& profile) {
+  DecodedProgram p;
+  p.code_size = code.size();
+  p.jump_map.assign(code.size(), kNoJumpTarget);
+  p.insts.reserve(code.size() / 2 + 1);
+
+  // Pass 1: linear decode. Advancing past PUSH immediates here is what
+  // makes "JUMPDEST inside pushdata" invalid, exactly like CodeAnalysis.
+  for (std::uint64_t pc = 0; pc < code.size();) {
+    const std::uint8_t op = code[pc];
+    DecodedInst inst;
+    inst.pc = static_cast<std::uint32_t>(pc);
+    // Any JUMPDEST byte outside pushdata is a valid jump target, even if
+    // the profile would refuse to *execute* it (the jump then lands on a
+    // Forbidden trap, matching the raw path's CodeAnalysis bitmap).
+    if (op == static_cast<std::uint8_t>(Opcode::JUMPDEST)) {
+      p.jump_map[pc] = static_cast<std::uint32_t>(p.insts.size());
+    }
+    switch (classify(op, profile.tiny_profile, profile.iot_opcodes,
+                     profile.block_opcodes)) {
+      case OpValidity::Undefined:
+        inst.handler = Handler::Undefined;
+        break;
+      case OpValidity::Forbidden:
+        inst.handler = Handler::Forbidden;
+        break;
+      case OpValidity::Ok: {
+        const OpInfo& inf = info(op);
+        inst.handler = exec_handler(op);
+        inst.gas = inf.base_gas;
+        inst.cycles = inf.mcu_cycles;
+        if (is_push(op)) {
+          const unsigned n = push_size(op);
+          inst.aux = static_cast<std::uint8_t>(n);
+          inst.imm = load_push(code.data() + pc + 1, code.size() - pc - 1, n);
+        } else if (is_dup(op)) {
+          inst.aux = static_cast<std::uint8_t>(op - 0x7f);
+        } else if (is_swap(op)) {
+          inst.aux = static_cast<std::uint8_t>(op - 0x8f);
+        } else if (is_log(op)) {
+          inst.aux = static_cast<std::uint8_t>(op - 0xa0);
+        }
+        break;
+      }
+    }
+    p.insts.push_back(inst);
+    pc += 1 + push_size(op);
+  }
+
+  // Pass 2: peephole fusion of adjacent pairs. Jumps only ever land on
+  // JUMPDEST instructions, so control flow can never enter a pair at its
+  // second instruction; that instruction stays in the stream untouched as
+  // the fallback continuation for the run-time edges (gas, watchdog,
+  // stack limits) where the pair must not fuse. Heads (PUSH/DUP/SWAP1)
+  // and seconds (binary ops, JUMP/JUMPI) are disjoint sets, so fusing one
+  // pair never consumes the head of the next.
+  for (std::size_t i = 0; i + 1 < p.insts.size(); ++i) {
+    DecodedInst& a = p.insts[i];
+    const DecodedInst& b = p.insts[i + 1];
+    if (a.handler == Handler::Push) {
+      if (is_fusible_bin(b.handler)) {
+        a.handler = Handler::PushBin;
+      } else if (b.handler == Handler::Jump ||
+                 b.handler == Handler::JumpI) {
+        a.handler = b.handler == Handler::Jump ? Handler::PushJump
+                                               : Handler::PushJumpI;
+        if (a.imm.fits_u64() && a.imm.as_u64() < code.size()) {
+          a.target = p.jump_map[a.imm.as_u64()];
+        }
+      } else {
+        continue;
+      }
+    } else if (a.handler == Handler::Dup && is_fusible_bin(b.handler)) {
+      a.handler = Handler::DupBin;
+    } else if (a.handler == Handler::Swap && a.aux == 1 &&
+               is_fusible_bin(b.handler)) {
+      a.handler = Handler::SwapBin;
+    } else {
+      continue;
+    }
+    a.aux2 = static_cast<std::uint8_t>(b.handler);
+    a.gas2 = b.gas;
+    a.cycles2 = b.cycles;
+  }
+
+  p.insts.shrink_to_fit();
+  return p;
+}
+
+}  // namespace tinyevm::evm

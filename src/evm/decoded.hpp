@@ -1,0 +1,198 @@
+// Pre-decoded instruction streams.
+//
+// The token-threaded interpreter (vm.cpp) decodes raw bytecode on every
+// execution: PUSH immediates are reassembled byte-by-byte, jump targets
+// re-validated against a bitmap rebuilt per run, and every code byte goes
+// through the 256-entry dispatch table. Off-chain rounds re-execute the
+// same small contracts thousands of times, so this module pays that
+// analysis once: `translate()` lowers bytecode into a dense array of
+// `DecodedInst` with immediates materialized as U256, JUMPDEST validity
+// resolved into direct instruction indices, the per-opcode static gas /
+// MCU-cycle model folded in at translate time, and a peephole pass that
+// fuses adjacent pairs (PUSH+binop, DUP+binop, SWAP1+binop, PUSH+JUMP,
+// PUSH+JUMPI) into superinstructions. The translation is immutable and
+// shared across executions through the per-code-hash LRU in
+// code_cache.hpp.
+//
+// Fusion contract: a fused pair accounts gas/cycles/ops and the transient
+// stack high-water *exactly* as if both opcodes executed separately, and
+// falls back to executing only the first opcode when the second would trip
+// gas, the watchdog, or a stack limit — the second instruction stays in
+// the stream as the fallback continuation, so failure points are
+// bit-identical to unfused execution (tests/evm_dispatch_test.cpp holds
+// the raw and pre-decoded paths to identical results).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "evm/opcodes.hpp"
+#include "u256/u256.hpp"
+
+namespace tinyevm::evm {
+
+// Every executable action the interpreter knows, one label each. The first
+// two entries are the failure routes the dispatch prologue short-circuits
+// (invalid byte / profile-forbidden opcode); they must stay at ordinals 0
+// and 1. PUSH/DUP/SWAP/LOG families collapse to one handler with the
+// family index carried in the `aux` slot. The trailing five entries are
+// the superinstructions only the translator emits — the raw dispatch
+// table never maps a code byte to them.
+#define TINYEVM_HANDLER_LIST(X)                                              \
+  X(Undefined) X(Forbidden)                                                  \
+  X(Stop) X(Add) X(Mul) X(Sub) X(Div) X(Sdiv) X(Mod) X(Smod) X(AddMod)       \
+  X(MulMod) X(Exp) X(SignExtend) X(Lt) X(Gt) X(Slt) X(Sgt) X(Eq) X(IsZero)   \
+  X(And) X(Or) X(Xor) X(Not) X(Byte) X(Shl) X(Shr) X(Sar) X(Sensor) X(Sha3)  \
+  X(Address) X(Balance) X(Origin) X(Caller) X(CallValue) X(CallDataLoad)     \
+  X(CallDataSize) X(CallDataCopy) X(CodeSize) X(CodeCopy) X(GasPrice)        \
+  X(ExtCodeSize) X(ExtCodeCopy) X(ReturnDataSize) X(ReturnDataCopy)          \
+  X(BlockHash) X(Coinbase) X(Timestamp) X(Number) X(Difficulty) X(GasLimit)  \
+  X(Pop) X(MLoad) X(MStore) X(MStore8) X(SLoad) X(SStore) X(Jump) X(JumpI)   \
+  X(Pc) X(MSize) X(Gas) X(JumpDest)                                          \
+  X(Push) X(Dup) X(Swap) X(Log)                                              \
+  X(Create) X(Call) X(CallCode) X(DelegateCall) X(StaticCall) X(Return)      \
+  X(Revert) X(Invalid) X(SelfDestruct)                                       \
+  X(PushBin) X(DupBin) X(SwapBin) X(PushJump) X(PushJumpI)
+
+enum class Handler : std::uint8_t {
+#define TINYEVM_H_ENUM(name) name,
+  TINYEVM_HANDLER_LIST(TINYEVM_H_ENUM)
+#undef TINYEVM_H_ENUM
+};
+
+/// Maps a raw code byte to its handler (ignoring profile validity, which
+/// `classify()` decides). Shared by the raw dispatch-table builder and the
+/// translator so both agree byte-for-byte on execution semantics.
+[[nodiscard]] Handler exec_handler(std::uint8_t op);
+
+/// Sentinel for "no jump target here" in DecodedProgram::jump_map and
+/// DecodedInst::target.
+inline constexpr std::uint32_t kNoJumpTarget = 0xFFFF'FFFFu;
+
+/// One decoded instruction. 56 bytes; the PUSH immediate is materialized,
+/// the static gas / MCU-cycle model folded, and for fused pairs the second
+/// opcode's accounting rides along in the *2 fields.
+struct DecodedInst {
+  Handler handler = Handler::Undefined;
+  std::uint8_t aux = 0;       ///< PUSH width / DUP-SWAP depth / LOG topics
+  std::uint8_t aux2 = 0;      ///< fused pair: second opcode's Handler
+  std::uint16_t gas = 0;      ///< static gas, first opcode
+  std::uint16_t gas2 = 0;     ///< static gas, fused second opcode
+  std::uint32_t cycles = 0;   ///< MCU cycles, first opcode
+  std::uint32_t cycles2 = 0;  ///< MCU cycles, fused second opcode
+  std::uint32_t pc = 0;       ///< byte offset of this opcode in the code
+  /// PushJump/PushJumpI: resolved target instruction index, or
+  /// kNoJumpTarget when the immediate is not a valid JUMPDEST (the fused
+  /// handler then fails InvalidJump exactly where the raw path would).
+  std::uint32_t target = kNoJumpTarget;
+  U256 imm;                   ///< PUSH immediate, zero-padded past code end
+};
+
+/// The immutable result of translating one bytecode blob under one set of
+/// profile flags. Executions never mutate it, so one translation is safely
+/// shared across concurrent Vm instances.
+struct DecodedProgram {
+  std::vector<DecodedInst> insts;
+  /// Byte pc -> instruction index for every JUMPDEST byte outside PUSH
+  /// immediates (the same linear-scan rule as CodeAnalysis); kNoJumpTarget
+  /// elsewhere. Sized to the code, so a dynamic JUMP is one bounds check
+  /// plus one load.
+  std::vector<std::uint32_t> jump_map;
+  std::size_t code_size = 0;
+
+  /// Approximate resident footprint, the unit of the cache's byte cap.
+  [[nodiscard]] std::size_t byte_size() const {
+    return sizeof(DecodedProgram) + insts.capacity() * sizeof(DecodedInst) +
+           jump_map.capacity() * sizeof(std::uint32_t);
+  }
+};
+
+/// The profile flags that change which bytes are executable — and thus the
+/// translation. Part of the cache key: the same code deployed under the
+/// TinyEVM and Ethereum profiles yields two distinct translations.
+struct TranslationProfile {
+  bool tiny_profile = true;
+  bool iot_opcodes = true;
+  bool block_opcodes = false;
+
+  [[nodiscard]] std::uint8_t key() const {
+    return static_cast<std::uint8_t>((tiny_profile ? 1 : 0) |
+                                     (iot_opcodes ? 2 : 0) |
+                                     (block_opcodes ? 4 : 0));
+  }
+};
+
+/// One-time lowering of raw bytecode to a decoded instruction stream.
+[[nodiscard]] DecodedProgram translate(std::span<const std::uint8_t> code,
+                                       const TranslationProfile& profile);
+
+/// Builds a PUSH immediate straight from code bytes into limbs — no
+/// 32-byte staging buffer. Bytes past the end of code read as zero. Used
+/// by the raw interpreter loop per execution and by the translator once.
+inline U256 load_push(const std::uint8_t* p, std::uint64_t avail,
+                      unsigned n) {
+  std::uint64_t limbs[4] = {0, 0, 0, 0};
+  for (unsigned j = 0; j < n; ++j) {
+    const std::uint64_t b = j < avail ? p[j] : 0;
+    const unsigned bitpos = 8 * (n - 1 - j);
+    limbs[bitpos / 64] |= b << (bitpos % 64);
+  }
+  return U256{limbs[3], limbs[2], limbs[1], limbs[0]};
+}
+
+/// True for the binary operators the peephole pass may fuse behind a
+/// PUSH/DUP/SWAP1: exactly the set with static-only gas whose handlers run
+/// without host or memory side effects.
+[[nodiscard]] bool is_fusible_bin(Handler h);
+
+/// Applies a fused binary operator: `a` holds the first operand (the
+/// would-be stack top), `s` the second; the result is left in `a`. Each
+/// case mirrors the interpreter's standalone handler bit-for-bit.
+inline void apply_fused_bin(Handler h, U256& a, const U256& s) {
+  switch (h) {
+    case Handler::Add: a.add_assign(s); break;
+    case Handler::Mul: a.mul_assign(s); break;
+    case Handler::Sub: a.sub_assign(s); break;
+    case Handler::Div: a = a / s; break;
+    case Handler::Sdiv: a = U256::sdiv(a, s); break;
+    case Handler::Mod: a = a % s; break;
+    case Handler::Smod: a = U256::smod(a, s); break;
+    case Handler::Lt: a = U256{a < s ? 1ULL : 0ULL}; break;
+    case Handler::Gt: a = U256{a > s ? 1ULL : 0ULL}; break;
+    case Handler::Slt: a = U256{U256::slt(a, s) ? 1ULL : 0ULL}; break;
+    case Handler::Sgt: a = U256{U256::sgt(a, s) ? 1ULL : 0ULL}; break;
+    case Handler::Eq: a = U256{a == s ? 1ULL : 0ULL}; break;
+    case Handler::And: a.and_assign(s); break;
+    case Handler::Or: a.or_assign(s); break;
+    case Handler::Xor: a.xor_assign(s); break;
+    case Handler::Byte: a = U256::byte(a, s); break;
+    case Handler::Shl: {
+      const bool in_range = a.fits_u64() && a.as_u64() < 256;
+      const unsigned n = static_cast<unsigned>(a.as_u64());
+      if (in_range) {
+        a = s;
+        a.shl_assign(n);
+      } else {
+        a = U256{};
+      }
+      break;
+    }
+    case Handler::Shr: {
+      const bool in_range = a.fits_u64() && a.as_u64() < 256;
+      const unsigned n = static_cast<unsigned>(a.as_u64());
+      if (in_range) {
+        a = s;
+        a.shr_assign(n);
+      } else {
+        a = U256{};
+      }
+      break;
+    }
+    case Handler::Sar: a = U256::sar(a, s); break;
+    case Handler::SignExtend: a = U256::signextend(a, s); break;
+    default: break;  // translator never emits other operators here
+  }
+}
+
+}  // namespace tinyevm::evm

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "crypto/hash.hpp"
+#include "evm/code_cache.hpp"
+#include "evm/decoded.hpp"
 
 // Token-threaded dispatch (GCC/Clang): one 256-entry table maps each code
 // byte to a handler label plus its folded static gas / cycle model, and
@@ -53,32 +55,8 @@ CodeAnalysis::CodeAnalysis(std::span<const std::uint8_t> code)
 // ---------------------------------------------------------------------------
 // Dispatch table
 // ---------------------------------------------------------------------------
-
-// Every executable action the interpreter knows, one label each. The first
-// two entries are the failure routes the dispatch prologue short-circuits
-// (invalid byte / profile-forbidden opcode); they must stay at ordinals 0
-// and 1. PUSH/DUP/SWAP/LOG families collapse to one handler with the
-// family index carried in DispatchEntry::aux.
-#define TINYEVM_HANDLER_LIST(X)                                              \
-  X(Undefined) X(Forbidden)                                                  \
-  X(Stop) X(Add) X(Mul) X(Sub) X(Div) X(Sdiv) X(Mod) X(Smod) X(AddMod)       \
-  X(MulMod) X(Exp) X(SignExtend) X(Lt) X(Gt) X(Slt) X(Sgt) X(Eq) X(IsZero)   \
-  X(And) X(Or) X(Xor) X(Not) X(Byte) X(Shl) X(Shr) X(Sar) X(Sensor) X(Sha3)  \
-  X(Address) X(Balance) X(Origin) X(Caller) X(CallValue) X(CallDataLoad)     \
-  X(CallDataSize) X(CallDataCopy) X(CodeSize) X(CodeCopy) X(GasPrice)        \
-  X(ExtCodeSize) X(ExtCodeCopy) X(ReturnDataSize) X(ReturnDataCopy)          \
-  X(BlockHash) X(Coinbase) X(Timestamp) X(Number) X(Difficulty) X(GasLimit)  \
-  X(Pop) X(MLoad) X(MStore) X(MStore8) X(SLoad) X(SStore) X(Jump) X(JumpI)   \
-  X(Pc) X(MSize) X(Gas) X(JumpDest)                                          \
-  X(Push) X(Dup) X(Swap) X(Log)                                              \
-  X(Create) X(Call) X(CallCode) X(DelegateCall) X(StaticCall) X(Return)      \
-  X(Revert) X(Invalid) X(SelfDestruct)
-
-enum class Handler : std::uint8_t {
-#define TINYEVM_H_ENUM(name) name,
-  TINYEVM_HANDLER_LIST(TINYEVM_H_ENUM)
-#undef TINYEVM_H_ENUM
-};
+// The Handler instruction set and the TINYEVM_HANDLER_LIST X-macro live in
+// decoded.hpp, shared with the bytecode translator.
 
 /// One table slot: handler id, family index (PUSH width / DUP-SWAP depth /
 /// LOG topic count), and the per-opcode static gas and MCU-cycle model
@@ -96,86 +74,6 @@ struct DispatchTable {
 };
 
 namespace {
-
-Handler exec_handler(std::uint8_t op) {
-  if (is_push(op)) return Handler::Push;
-  if (is_dup(op)) return Handler::Dup;
-  if (is_swap(op)) return Handler::Swap;
-  if (is_log(op)) return Handler::Log;
-  switch (static_cast<Opcode>(op)) {
-    case Opcode::STOP: return Handler::Stop;
-    case Opcode::ADD: return Handler::Add;
-    case Opcode::MUL: return Handler::Mul;
-    case Opcode::SUB: return Handler::Sub;
-    case Opcode::DIV: return Handler::Div;
-    case Opcode::SDIV: return Handler::Sdiv;
-    case Opcode::MOD: return Handler::Mod;
-    case Opcode::SMOD: return Handler::Smod;
-    case Opcode::ADDMOD: return Handler::AddMod;
-    case Opcode::MULMOD: return Handler::MulMod;
-    case Opcode::EXP: return Handler::Exp;
-    case Opcode::SIGNEXTEND: return Handler::SignExtend;
-    case Opcode::SENSOR: return Handler::Sensor;
-    case Opcode::LT: return Handler::Lt;
-    case Opcode::GT: return Handler::Gt;
-    case Opcode::SLT: return Handler::Slt;
-    case Opcode::SGT: return Handler::Sgt;
-    case Opcode::EQ: return Handler::Eq;
-    case Opcode::ISZERO: return Handler::IsZero;
-    case Opcode::AND: return Handler::And;
-    case Opcode::OR: return Handler::Or;
-    case Opcode::XOR: return Handler::Xor;
-    case Opcode::NOT: return Handler::Not;
-    case Opcode::BYTE: return Handler::Byte;
-    case Opcode::SHL: return Handler::Shl;
-    case Opcode::SHR: return Handler::Shr;
-    case Opcode::SAR: return Handler::Sar;
-    case Opcode::SHA3: return Handler::Sha3;
-    case Opcode::ADDRESS: return Handler::Address;
-    case Opcode::BALANCE: return Handler::Balance;
-    case Opcode::ORIGIN: return Handler::Origin;
-    case Opcode::CALLER: return Handler::Caller;
-    case Opcode::CALLVALUE: return Handler::CallValue;
-    case Opcode::CALLDATALOAD: return Handler::CallDataLoad;
-    case Opcode::CALLDATASIZE: return Handler::CallDataSize;
-    case Opcode::CALLDATACOPY: return Handler::CallDataCopy;
-    case Opcode::CODESIZE: return Handler::CodeSize;
-    case Opcode::CODECOPY: return Handler::CodeCopy;
-    case Opcode::GASPRICE: return Handler::GasPrice;
-    case Opcode::EXTCODESIZE: return Handler::ExtCodeSize;
-    case Opcode::EXTCODECOPY: return Handler::ExtCodeCopy;
-    case Opcode::RETURNDATASIZE: return Handler::ReturnDataSize;
-    case Opcode::RETURNDATACOPY: return Handler::ReturnDataCopy;
-    case Opcode::BLOCKHASH: return Handler::BlockHash;
-    case Opcode::COINBASE: return Handler::Coinbase;
-    case Opcode::TIMESTAMP: return Handler::Timestamp;
-    case Opcode::NUMBER: return Handler::Number;
-    case Opcode::DIFFICULTY: return Handler::Difficulty;
-    case Opcode::GASLIMIT: return Handler::GasLimit;
-    case Opcode::POP: return Handler::Pop;
-    case Opcode::MLOAD: return Handler::MLoad;
-    case Opcode::MSTORE: return Handler::MStore;
-    case Opcode::MSTORE8: return Handler::MStore8;
-    case Opcode::SLOAD: return Handler::SLoad;
-    case Opcode::SSTORE: return Handler::SStore;
-    case Opcode::JUMP: return Handler::Jump;
-    case Opcode::JUMPI: return Handler::JumpI;
-    case Opcode::PC: return Handler::Pc;
-    case Opcode::MSIZE: return Handler::MSize;
-    case Opcode::GAS: return Handler::Gas;
-    case Opcode::JUMPDEST: return Handler::JumpDest;
-    case Opcode::CREATE: return Handler::Create;
-    case Opcode::CALL: return Handler::Call;
-    case Opcode::CALLCODE: return Handler::CallCode;
-    case Opcode::DELEGATECALL: return Handler::DelegateCall;
-    case Opcode::STATICCALL: return Handler::StaticCall;
-    case Opcode::RETURN: return Handler::Return;
-    case Opcode::REVERT: return Handler::Revert;
-    case Opcode::INVALID: return Handler::Invalid;
-    case Opcode::SELFDESTRUCT: return Handler::SelfDestruct;
-    default: return Handler::Undefined;
-  }
-}
 
 DispatchTable build_dispatch_table(const VmConfig& config) {
   DispatchTable table;
@@ -212,19 +110,6 @@ DispatchTable build_dispatch_table(const VmConfig& config) {
 
 using u128 = unsigned __int128;
 
-/// Builds the PUSH immediate straight from code bytes into limbs — no
-/// 32-byte staging buffer. Bytes past the end of code read as zero.
-inline U256 load_push(const std::uint8_t* p, std::uint64_t avail,
-                      unsigned n) {
-  std::uint64_t limbs[4] = {0, 0, 0, 0};
-  for (unsigned j = 0; j < n; ++j) {
-    const std::uint64_t b = j < avail ? p[j] : 0;
-    const unsigned bitpos = 8 * (n - 1 - j);
-    limbs[bitpos / 64] |= b << (bitpos % 64);
-  }
-  return U256{limbs[3], limbs[2], limbs[1], limbs[0]};
-}
-
 /// Low 160 bits of an EVM word as an address.
 inline Address to_address(const U256& v) {
   Address addr{};
@@ -234,18 +119,23 @@ inline Address to_address(const U256& v) {
 }
 
 /// Interpreter frame; created per message and torn down when the run ends.
+/// With a decoded program the frame runs the pre-decoded loop; otherwise it
+/// falls back to the raw threaded loop (and only then pays the per-run
+/// JUMPDEST analysis pass).
 class Frame {
  public:
   Frame(const VmConfig& config, const DispatchTable& table, Host& host,
-        const Message& msg)
+        const Message& msg, const DecodedProgram* decoded)
       : config_(config),
         table_(table),
         host_(host),
         msg_(msg),
-        analysis_(msg.code),
+        decoded_(decoded),
         stack_(config.stack_limit),
         memory_(config.memory_limit),
-        gas_(msg.gas) {}
+        gas_(msg.gas) {
+    if (decoded_ == nullptr) analysis_.emplace(msg.code);
+  }
 
   ExecResult run();
 
@@ -329,9 +219,7 @@ class Frame {
   }
 
   void run_threaded();
-#ifdef TINYEVM_LEGACY_DISPATCH
-  void step();
-#endif
+  void run_decoded();
   void op_sensor();
   void op_sha3();
   void op_copy(std::span<const std::uint8_t> src, bool external_code);
@@ -347,7 +235,8 @@ class Frame {
   const DispatchTable& table_;
   Host& host_;
   const Message& msg_;
-  CodeAnalysis analysis_;
+  const DecodedProgram* decoded_;
+  std::optional<CodeAnalysis> analysis_;  // raw-loop runs only
   Stack stack_;
   Memory memory_;
   Bytes return_data_;  // last nested-call output (RETURNDATA*)
@@ -364,18 +253,11 @@ ExecResult Frame::run() {
   if (msg_.depth > config_.max_call_depth) {
     return ExecResult{Status::CallDepthExceeded, {}, gas_, {}};
   }
-#ifdef TINYEVM_LEGACY_DISPATCH
-  if (config_.dispatch == DispatchKind::LegacySwitch) {
-    while (!done_) {
-      if (pc_ >= msg_.code.size()) break;  // implicit STOP
-      step();
-    }
+  if (decoded_ != nullptr) {
+    run_decoded();
   } else {
     run_threaded();
   }
-#else
-  run_threaded();
-#endif
   ExecResult result;
   result.status = status_;
   result.output = std::move(output_);
@@ -395,13 +277,15 @@ ExecResult Frame::run() {
 //
 // Per-opcode path: one table load, one (predictable) validity branch, the
 // folded gas/cycle/watchdog accounting, then a direct jump to the handler.
-// Handler ordering and failure statuses replicate the legacy switch
-// byte-for-byte; the differential fuzz test in tests/evm_dispatch_test.cpp
-// holds both paths to bit-identical results.
+// This loop decodes from raw bytecode every run; it is the fallback for
+// translate misses and oversized code, and the semantic reference the
+// pre-decoded loop below must match bit-for-bit (the golden/differential
+// suite in tests/evm_dispatch_test.cpp holds both paths to identical
+// results).
 //
 // Binary operators pop ONE operand and rewrite the second in place via
 // Stack::top() and the U256 *_assign ops, eliminating the two
-// optional<U256> round-trips and the result push of the legacy path.
+// optional<U256> round-trips and the result push of a pop/pop/push scheme.
 
 void Frame::run_threaded() {
   const DispatchEntry* const entries = table_.entries.data();
@@ -790,7 +674,7 @@ void Frame::run_threaded() {
       fail(Status::StackUnderflow);
       TINYEVM_NEXT;
     }
-    if (!tos.fits_u64() || !analysis_.valid_jumpdest(tos.as_u64())) {
+    if (!tos.fits_u64() || !analysis_->valid_jumpdest(tos.as_u64())) {
       fail(Status::InvalidJump);
       TINYEVM_NEXT;
     }
@@ -810,7 +694,7 @@ void Frame::run_threaded() {
     sp -= 2;
     tos = sb[sp - 1];
     if (taken) {
-      if (!dest_ok || !analysis_.valid_jumpdest(dest)) {
+      if (!dest_ok || !analysis_->valid_jumpdest(dest)) {
         fail(Status::InvalidJump);
         TINYEVM_NEXT;
       }
@@ -923,6 +807,20 @@ void Frame::run_threaded() {
   }
   TINYEVM_NEXT;
 
+  // Superinstructions exist only in pre-decoded streams; the raw dispatch
+  // table never maps a code byte to them. Labels are kept so the jump
+  // table built from TINYEVM_HANDLER_LIST stays total.
+  TINYEVM_OP(PushBin) { fail(Status::InvalidOpcode); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(DupBin) { fail(Status::InvalidOpcode); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(SwapBin) { fail(Status::InvalidOpcode); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(PushJump) { fail(Status::InvalidOpcode); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(PushJumpI) { fail(Status::InvalidOpcode); }
+  TINYEVM_NEXT;
+
 #if !TINYEVM_COMPUTED_GOTO
     }  // switch
   }  // for
@@ -943,386 +841,658 @@ run_exit:
 #undef TINYEVM_NEXT
 }
 
-#ifdef TINYEVM_LEGACY_DISPATCH
 // ---------------------------------------------------------------------------
-// Legacy two-level switch dispatcher. Kept for exactly one PR behind the
-// TINYEVM_LEGACY_DISPATCH build flag as the differential-testing baseline
-// for the token-threaded loop above; scheduled for removal once the
-// threaded dispatcher has soaked.
+// Pre-decoded interpreter loop
 // ---------------------------------------------------------------------------
-void Frame::step() {
-  const std::uint8_t op = msg_.code[pc_];
-  const OpInfo& inf = info(op);
+//
+// Same token-threaded structure and register-cached state as the raw loop
+// above, but iterating over a DecodedProgram: PUSH immediates are already
+// U256 values, dynamic jumps resolve through the translation's pc->index
+// map instead of a per-run bitmap, and the peephole superinstructions
+// (PushBin/DupBin/SwapBin/PushJump/PushJumpI) execute fused pairs in one
+// dispatch. Every fused handler accounts gas/cycles/ops and the transient
+// stack high-water exactly as if the two opcodes ran separately, and falls
+// back to executing only the first opcode when the second would trip gas,
+// the watchdog, or a stack limit — the second instruction is still in the
+// stream, so the fallback path and all failure points are bit-identical to
+// the raw loop (held to that by tests/evm_dispatch_test.cpp).
 
-  const bool profile_tiny = config_.profile == VmProfile::TinyEvm;
-  switch (classify(op, profile_tiny, config_.iot_opcodes,
-                   config_.block_opcodes)) {
-    case OpValidity::Undefined:
-      fail(Status::InvalidOpcode);
-      return;
-    case OpValidity::Forbidden:
-      fail(Status::ForbiddenOpcode);
-      return;
-    case OpValidity::Ok:
-      break;
-  }
+void Frame::run_decoded() {
+  const DecodedInst* const insts = decoded_->insts.data();
+  const std::uint64_t inst_count = decoded_->insts.size();
+  const std::uint32_t* const jmap = decoded_->jump_map.data();
+  // Jump bounds come from the translation itself, not msg_.code: the two
+  // are equal whenever the cache key was honest, and using the map's own
+  // extent keeps a stale Message::code_hash memory-safe (a wrong
+  // translation, never an out-of-bounds jump_map read).
+  const std::uint64_t code_size = decoded_->code_size;
+  const bool metered = config_.metering;
+  const std::uint64_t ops_cap =
+      config_.max_ops == 0 ? std::numeric_limits<std::uint64_t>::max()
+                           : config_.max_ops;
+  std::uint64_t ip = 0;
+  const DecodedInst* e = nullptr;
+  std::int64_t gas = gas_;
+  std::uint64_t cyc = cycles_;
+  std::uint64_t ops = ops_;
+  U256* const sb = stack_.base();  // sb[-1] is a scratch word (see Stack)
+  const std::size_t slimit = stack_.limit();
+  std::size_t sp = stack_.size();
+  std::size_t smax = stack_.max_pointer();
+  U256 tos = sp != 0 ? sb[sp - 1] : U256{};
 
-  if (!charge(inf.base_gas)) {
-    fail(Status::OutOfGas);
-    return;
-  }
-  cycles_ += inf.mcu_cycles;
-  ++ops_;
-  if (config_.max_ops != 0 && ops_ > config_.max_ops) {
-    fail(Status::WatchdogExpired);
-    return;
-  }
-  ++pc_;  // opcodes below adjust pc_ for jumps/push immediates
+#define TINYEVM_SYNCED(expr)        \
+  do {                              \
+    gas_ = gas;                     \
+    cycles_ = cyc;                  \
+    sb[sp - 1] = tos;               \
+    stack_.set_state(sp, smax);     \
+    expr;                           \
+    gas = gas_;                     \
+    cyc = cycles_;                  \
+    sp = stack_.size();             \
+    smax = stack_.max_pointer();    \
+    tos = sb[sp - 1];               \
+  } while (0)
 
-  const auto opcode = static_cast<Opcode>(op);
+#define TINYEVM_PUSH(v)             \
+  do {                              \
+    if (sp >= slimit) {             \
+      fail(Status::StackOverflow);  \
+    } else {                        \
+      sb[sp - 1] = tos;             \
+      tos = (v);                    \
+      ++sp;                         \
+      if (sp > smax) smax = sp;     \
+    }                               \
+  } while (0)
 
-  // PUSH/DUP/SWAP/LOG families first (range dispatch).
-  if (is_push(op)) {
-    const unsigned n = push_size(op);
-    std::array<std::uint8_t, 32> imm{};
-    for (unsigned i = 0; i < n; ++i) {
-      const std::uint64_t idx = pc_ + i;
-      imm[32 - n + i] = idx < msg_.code.size() ? msg_.code[idx] : 0;
+// Identical accounting order to the raw prologue: validity short-circuit,
+// folded static gas, cycle model, watchdog, instruction-pointer advance.
+#define TINYEVM_PROLOGUE()                                                  \
+  if (done_ || ip >= inst_count) goto run_exit;                             \
+  e = &insts[ip];                                                           \
+  if (static_cast<std::uint8_t>(e->handler) <=                              \
+      static_cast<std::uint8_t>(Handler::Forbidden)) {                      \
+    fail(e->handler == Handler::Undefined ? Status::InvalidOpcode           \
+                                          : Status::ForbiddenOpcode);       \
+    goto run_exit;                                                          \
+  }                                                                         \
+  if (metered) {                                                            \
+    gas -= e->gas;                                                          \
+    if (gas < 0) {                                                          \
+      fail(Status::OutOfGas);                                               \
+      goto run_exit;                                                        \
+    }                                                                       \
+  }                                                                         \
+  cyc += e->cycles;                                                         \
+  if (++ops > ops_cap) {                                                    \
+    fail(Status::WatchdogExpired);                                          \
+    goto run_exit;                                                          \
+  }                                                                         \
+  ++ip;
+
+// The run-time half of the fusion contract: the second opcode of a pair
+// executes only if its prologue could not fail — gas affordable and the
+// watchdog not at the boundary (stack preconditions are checked by each
+// fused handler). Mirrors the raw loop's DUP1+MUL/ADD fusion guard.
+#define TINYEVM_FUSE_OK() ((!metered || gas >= e->gas2) && ops < ops_cap)
+
+// Charges the fused second opcode exactly as its own prologue would.
+#define TINYEVM_FUSE_CHARGE()       \
+  do {                              \
+    if (metered) gas -= e->gas2;    \
+    cyc += e->cycles2;              \
+    ++ops;                          \
+  } while (0)
+
+#if TINYEVM_COMPUTED_GOTO
+  static const void* const kJump[] = {
+#define TINYEVM_H_LABEL(name) &&h_##name,
+      TINYEVM_HANDLER_LIST(TINYEVM_H_LABEL)
+#undef TINYEVM_H_LABEL
+  };
+#define TINYEVM_OP(name) h_##name:
+#define TINYEVM_NEXT                                           \
+  do {                                                         \
+    TINYEVM_PROLOGUE()                                         \
+    goto *kJump[static_cast<std::uint8_t>(e->handler)];        \
+  } while (0)
+  TINYEVM_NEXT;
+#else
+#define TINYEVM_OP(name) case Handler::name:
+#define TINYEVM_NEXT break
+  for (;;) {
+    TINYEVM_PROLOGUE()
+    switch (e->handler) {
+#endif
+
+  // Unreachable in practice — the prologue short-circuits these two — but
+  // kept as real handlers so the jump table is total.
+  TINYEVM_OP(Undefined) { fail(Status::InvalidOpcode); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Forbidden) { fail(Status::ForbiddenOpcode); }
+  TINYEVM_NEXT;
+
+  TINYEVM_OP(Stop) { done_ = true; }
+  TINYEVM_NEXT;
+
+#define TINYEVM_BINARY(body)                    \
+  {                                             \
+    if (sp < 2) {                               \
+      fail(Status::StackUnderflow);             \
+      TINYEVM_NEXT;                             \
+    }                                           \
+    const U256& s = sb[sp - 2];                 \
+    body;                                       \
+    --sp;                                       \
+  }                                             \
+  TINYEVM_NEXT
+
+  TINYEVM_OP(Add) TINYEVM_BINARY(tos.add_assign(s));
+  TINYEVM_OP(Mul) TINYEVM_BINARY(tos.mul_assign(s));
+  TINYEVM_OP(Sub) TINYEVM_BINARY(tos.sub_assign(s));  // tos = top - second
+  TINYEVM_OP(Div) TINYEVM_BINARY(tos = tos / s);
+  TINYEVM_OP(Sdiv) TINYEVM_BINARY(tos = U256::sdiv(tos, s));
+  TINYEVM_OP(Mod) TINYEVM_BINARY(tos = tos % s);
+  TINYEVM_OP(Smod) TINYEVM_BINARY(tos = U256::smod(tos, s));
+  TINYEVM_OP(Lt) TINYEVM_BINARY(tos = U256{tos < s ? 1ULL : 0ULL});
+  TINYEVM_OP(Gt) TINYEVM_BINARY(tos = U256{tos > s ? 1ULL : 0ULL});
+  TINYEVM_OP(Slt) TINYEVM_BINARY(tos = U256{U256::slt(tos, s) ? 1ULL : 0ULL});
+  TINYEVM_OP(Sgt) TINYEVM_BINARY(tos = U256{U256::sgt(tos, s) ? 1ULL : 0ULL});
+  TINYEVM_OP(Eq) TINYEVM_BINARY(tos = U256{tos == s ? 1ULL : 0ULL});
+  TINYEVM_OP(And) TINYEVM_BINARY(tos.and_assign(s));
+  TINYEVM_OP(Or) TINYEVM_BINARY(tos.or_assign(s));
+  TINYEVM_OP(Xor) TINYEVM_BINARY(tos.xor_assign(s));
+  TINYEVM_OP(Byte) TINYEVM_BINARY(tos = U256::byte(tos, s));
+  TINYEVM_OP(Shl) TINYEVM_BINARY({
+    const bool in_range = tos.fits_u64() && tos.as_u64() < 256;
+    const unsigned n = static_cast<unsigned>(tos.as_u64());
+    if (in_range) {
+      tos = s;
+      tos.shl_assign(n);
+    } else {
+      tos = U256{};
     }
-    pc_ += n;
-    push(U256::from_word(imm));
-    return;
-  }
-  if (is_dup(op)) {
-    if (!stack_.dup(op - 0x7f)) {
-      fail(stack_.size() >= config_.stack_limit ? Status::StackOverflow
-                                                : Status::StackUnderflow);
+  });
+  TINYEVM_OP(Shr) TINYEVM_BINARY({
+    const bool in_range = tos.fits_u64() && tos.as_u64() < 256;
+    const unsigned n = static_cast<unsigned>(tos.as_u64());
+    if (in_range) {
+      tos = s;
+      tos.shr_assign(n);
+    } else {
+      tos = U256{};
     }
-    return;
-  }
-  if (is_swap(op)) {
-    if (!stack_.swap(op - 0x8f)) fail(Status::StackUnderflow);
-    return;
-  }
-  if (is_log(op)) {
-    op_log(op - 0xa0);
-    return;
-  }
+  });
+  TINYEVM_OP(Sar) TINYEVM_BINARY(tos = U256::sar(tos, s));
+  TINYEVM_OP(SignExtend) TINYEVM_BINARY(tos = U256::signextend(tos, s));
 
-  switch (opcode) {
-    case Opcode::STOP:
-      done_ = true;
-      return;
+#undef TINYEVM_BINARY
 
-    // --- binary arithmetic / comparison / bitwise ---
-    case Opcode::ADD:
-    case Opcode::MUL:
-    case Opcode::SUB:
-    case Opcode::DIV:
-    case Opcode::SDIV:
-    case Opcode::MOD:
-    case Opcode::SMOD:
-    case Opcode::LT:
-    case Opcode::GT:
-    case Opcode::SLT:
-    case Opcode::SGT:
-    case Opcode::EQ:
-    case Opcode::AND:
-    case Opcode::OR:
-    case Opcode::XOR:
-    case Opcode::BYTE:
-    case Opcode::SHL:
-    case Opcode::SHR:
-    case Opcode::SAR:
-    case Opcode::SIGNEXTEND: {
-      const auto a = pop();
-      const auto b = pop();
-      if (!a || !b) return;
-      U256 r;
-      switch (opcode) {
-        case Opcode::ADD: r = *a + *b; break;
-        case Opcode::MUL: r = *a * *b; break;
-        case Opcode::SUB: r = *a - *b; break;
-        case Opcode::DIV: r = *a / *b; break;
-        case Opcode::SDIV: r = U256::sdiv(*a, *b); break;
-        case Opcode::MOD: r = *a % *b; break;
-        case Opcode::SMOD: r = U256::smod(*a, *b); break;
-        case Opcode::LT: r = U256{*a < *b ? 1ULL : 0ULL}; break;
-        case Opcode::GT: r = U256{*a > *b ? 1ULL : 0ULL}; break;
-        case Opcode::SLT: r = U256{U256::slt(*a, *b) ? 1ULL : 0ULL}; break;
-        case Opcode::SGT: r = U256{U256::sgt(*a, *b) ? 1ULL : 0ULL}; break;
-        case Opcode::EQ: r = U256{*a == *b ? 1ULL : 0ULL}; break;
-        case Opcode::AND: r = *a & *b; break;
-        case Opcode::OR: r = *a | *b; break;
-        case Opcode::XOR: r = *a ^ *b; break;
-        case Opcode::BYTE: r = U256::byte(*a, *b); break;
-        case Opcode::SHL:
-          r = a->fits_u64() && a->as_u64() < 256
-                  ? (*b << static_cast<unsigned>(a->as_u64()))
-                  : U256{};
-          break;
-        case Opcode::SHR:
-          r = a->fits_u64() && a->as_u64() < 256
-                  ? (*b >> static_cast<unsigned>(a->as_u64()))
-                  : U256{};
-          break;
-        case Opcode::SAR: r = U256::sar(*a, *b); break;
-        case Opcode::SIGNEXTEND: r = U256::signextend(*a, *b); break;
-        default: return;  // unreachable
+  TINYEVM_OP(AddMod) {
+    if (sp < 3) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    tos = U256::addmod(tos, sb[sp - 2], sb[sp - 3]);
+    sp -= 2;
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(MulMod) {
+    if (sp < 3) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    tos = U256::mulmod(tos, sb[sp - 2], sb[sp - 3]);
+    sp -= 2;
+  }
+  TINYEVM_NEXT;
+
+  TINYEVM_OP(Exp) { TINYEVM_SYNCED(op_exp()); }
+  TINYEVM_NEXT;
+
+  TINYEVM_OP(IsZero) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    tos = U256{tos.is_zero() ? 1ULL : 0ULL};
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Not) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    tos.not_assign();
+  }
+  TINYEVM_NEXT;
+
+  TINYEVM_OP(Sensor) { TINYEVM_SYNCED(op_sensor()); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Sha3) { TINYEVM_SYNCED(op_sha3()); }
+  TINYEVM_NEXT;
+
+  // --- environment ---
+  TINYEVM_OP(Address) { TINYEVM_PUSH(U256::from_bytes(msg_.self)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Origin) { TINYEVM_PUSH(U256::from_bytes(msg_.origin)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Caller) { TINYEVM_PUSH(U256::from_bytes(msg_.caller)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(CallValue) { TINYEVM_PUSH(msg_.value); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Balance) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    tos = host_.balance(to_address(tos));
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(CallDataLoad) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    std::array<std::uint8_t, 32> buf{};
+    // Bound i by the bytes remaining past o: `o + i` would wrap for
+    // offsets near 2^64 and alias the start of calldata.
+    if (tos.fits_u64() && tos.as_u64() < msg_.data.size()) {
+      const std::uint64_t o = tos.as_u64();
+      const std::uint64_t avail = msg_.data.size() - o;
+      for (unsigned i = 0; i < 32 && i < avail; ++i) {
+        buf[i] = msg_.data[o + i];
       }
-      push(r);
-      return;
     }
-
-    case Opcode::ADDMOD:
-    case Opcode::MULMOD: {
-      const auto a = pop();
-      const auto b = pop();
-      const auto m = pop();
-      if (!a || !b || !m) return;
-      push(opcode == Opcode::ADDMOD ? U256::addmod(*a, *b, *m)
-                                    : U256::mulmod(*a, *b, *m));
-      return;
+    tos = U256::from_word(buf);
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(CallDataSize) { TINYEVM_PUSH(U256{msg_.data.size()}); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(CodeSize) { TINYEVM_PUSH(U256{msg_.code.size()}); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(ReturnDataSize) { TINYEVM_PUSH(U256{return_data_.size()}); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(CallDataCopy) { TINYEVM_SYNCED(op_copy(msg_.data, false)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(CodeCopy) { TINYEVM_SYNCED(op_copy(msg_.code, false)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(ReturnDataCopy) { TINYEVM_SYNCED(op_copy(return_data_, false)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(GasPrice) { TINYEVM_PUSH(U256{1}); }  // flat simulated price
+  TINYEVM_NEXT;
+  TINYEVM_OP(ExtCodeSize) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
     }
-
-    case Opcode::EXP:
-      op_exp();
-      return;
-
-    case Opcode::ISZERO:
-    case Opcode::NOT: {
-      const auto a = pop();
-      if (!a) return;
-      push(opcode == Opcode::ISZERO ? U256{a->is_zero() ? 1ULL : 0ULL} : ~*a);
-      return;
+    tos = U256{host_.code_at(to_address(tos)).size()};
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(ExtCodeCopy) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
     }
+    const Address addr = to_address(tos);
+    --sp;
+    tos = sb[sp - 1];
+    TINYEVM_SYNCED(op_copy(host_.code_at(addr), true));
+  }
+  TINYEVM_NEXT;
 
-    case Opcode::SENSOR:
-      op_sensor();
-      return;
-
-    case Opcode::SHA3:
-      op_sha3();
-      return;
-
-    // --- environment ---
-    case Opcode::ADDRESS:
-      push(U256::from_bytes(msg_.self));
-      return;
-    case Opcode::ORIGIN:
-      push(U256::from_bytes(msg_.origin));
-      return;
-    case Opcode::CALLER:
-      push(U256::from_bytes(msg_.caller));
-      return;
-    case Opcode::CALLVALUE:
-      push(msg_.value);
-      return;
-    case Opcode::BALANCE: {
-      const auto a = pop();
-      if (!a) return;
-      push(host_.balance(to_address(*a)));
-      return;
+  // --- block data ---
+  TINYEVM_OP(BlockHash) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
     }
-    case Opcode::CALLDATALOAD: {
-      const auto off = pop();
-      if (!off) return;
-      std::array<std::uint8_t, 32> buf{};
-      // Bound i by the bytes remaining past o: `o + i` would wrap for
-      // offsets near 2^64 and alias the start of calldata.
-      if (off->fits_u64() && off->as_u64() < msg_.data.size()) {
-        const std::uint64_t o = off->as_u64();
-        const std::uint64_t avail = msg_.data.size() - o;
-        for (unsigned i = 0; i < 32 && i < avail; ++i) {
-          buf[i] = msg_.data[o + i];
+    tos = tos.fits_u64() ? U256::from_bytes(host_.block_hash(tos.as_u64()))
+                         : U256{};
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Coinbase) {
+    TINYEVM_PUSH(U256::from_bytes(host_.block_info().coinbase));
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Timestamp) { TINYEVM_PUSH(U256{host_.block_info().timestamp}); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Number) { TINYEVM_PUSH(U256{host_.block_info().number}); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Difficulty) { TINYEVM_PUSH(host_.block_info().difficulty); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(GasLimit) { TINYEVM_PUSH(U256{host_.block_info().gas_limit}); }
+  TINYEVM_NEXT;
+
+  // --- stack / memory / storage / control flow ---
+  TINYEVM_OP(Pop) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    --sp;
+    tos = sb[sp - 1];
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(MLoad) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    if (!tos.fits_u64()) {
+      fail(metered ? Status::OutOfGas : Status::OutOfMemory);
+      TINYEVM_NEXT;
+    }
+    const std::uint64_t off = tos.as_u64();
+    bool ok = false;
+    TINYEVM_SYNCED(ok = grow(off, 32));
+    if (!ok) TINYEVM_NEXT;
+    tos = memory_.load_word(off);
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(MStore) {
+    if (sp < 2) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    if (!tos.fits_u64()) {
+      fail(metered ? Status::OutOfGas : Status::OutOfMemory);
+      TINYEVM_NEXT;
+    }
+    const std::uint64_t off = tos.as_u64();
+    bool ok = false;
+    TINYEVM_SYNCED(ok = grow(off, 32));
+    if (!ok) TINYEVM_NEXT;
+    memory_.store_word(off, sb[sp - 2]);
+    sp -= 2;
+    tos = sb[sp - 1];
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(MStore8) {
+    if (sp < 2) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    if (!tos.fits_u64()) {
+      fail(metered ? Status::OutOfGas : Status::OutOfMemory);
+      TINYEVM_NEXT;
+    }
+    const std::uint64_t off = tos.as_u64();
+    bool ok = false;
+    TINYEVM_SYNCED(ok = grow(off, 1));
+    if (!ok) TINYEVM_NEXT;
+    memory_.store_byte(off, static_cast<std::uint8_t>(sb[sp - 2].limb(0) &
+                                                      0xFF));
+    sp -= 2;
+    tos = sb[sp - 1];
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(SLoad) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    tos = host_.sload(msg_.self, tos);
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(SStore) { TINYEVM_SYNCED(op_sstore()); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Jump) {
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    // Same rule as the raw path's CodeAnalysis bitmap, resolved through
+    // the translation's pc -> instruction-index map.
+    const bool dest_ok = tos.fits_u64() && tos.as_u64() < code_size;
+    const std::uint32_t t = dest_ok ? jmap[tos.as_u64()] : kNoJumpTarget;
+    if (t == kNoJumpTarget) {
+      fail(Status::InvalidJump);
+      TINYEVM_NEXT;
+    }
+    ip = t;
+    --sp;
+    tos = sb[sp - 1];
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(JumpI) {
+    if (sp < 2) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    const bool taken = !sb[sp - 2].is_zero();
+    const bool dest_ok = tos.fits_u64() && tos.as_u64() < code_size;
+    const std::uint64_t dest = tos.as_u64();
+    sp -= 2;
+    tos = sb[sp - 1];
+    if (taken) {
+      const std::uint32_t t = dest_ok ? jmap[dest] : kNoJumpTarget;
+      if (t == kNoJumpTarget) {
+        fail(Status::InvalidJump);
+        TINYEVM_NEXT;
+      }
+      ip = t;
+    }
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Pc) { TINYEVM_PUSH(U256{e->pc}); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(MSize) { TINYEVM_PUSH(U256{memory_.size()}); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Gas) {
+    TINYEVM_PUSH(U256{static_cast<std::uint64_t>(gas > 0 ? gas : 0)});
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(JumpDest) {}
+  TINYEVM_NEXT;
+
+  // --- stack families (index in e->aux) ---
+  TINYEVM_OP(Push) { TINYEVM_PUSH(e->imm); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Dup) {
+    // No run-time peephole here: the translator already fused every
+    // DUP+operator pair into DupBin below.
+    const unsigned n = e->aux;
+    if (n > sp || sp >= slimit) {
+      fail(sp >= slimit ? Status::StackOverflow : Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    sb[sp - 1] = tos;  // spill; DUP1 keeps tos as-is
+    if (n > 1) tos = sb[sp - n];
+    ++sp;
+    if (sp > smax) smax = sp;
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Swap) {
+    const unsigned n = e->aux;
+    if (n + 1 > sp) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    U256& other = sb[sp - 1 - n];
+    const U256 t = other;
+    other = tos;
+    tos = t;
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Log) { TINYEVM_SYNCED(op_log(e->aux)); }
+  TINYEVM_NEXT;
+
+  // --- superinstructions (fused pairs; see the fusion contract above) ---
+  //
+  // Each fused body runs `tos = first ⊗ tos` in place. The hottest
+  // operators (ADD/MUL/SUB and the bitwise trio) are special-cased so the
+  // squaring/doubling/counting patterns stay entirely in the tos
+  // registers, exactly like the raw loop's DUP1+MUL/ADD fusion; the long
+  // tail goes through the generic apply_fused_bin switch.
+#define TINYEVM_FUSED_APPLY(first)                       \
+  do {                                                   \
+    const Handler op2 = static_cast<Handler>(e->aux2);   \
+    if (op2 == Handler::Add) {                           \
+      tos.add_assign(first);                             \
+    } else if (op2 == Handler::Mul) {                    \
+      tos.mul_assign(first);                             \
+    } else if (op2 == Handler::Sub) {                    \
+      tos.rsub_assign(first); /* tos = first - tos */    \
+    } else if (op2 == Handler::Xor) {                    \
+      tos.xor_assign(first);                             \
+    } else if (op2 == Handler::And) {                    \
+      tos.and_assign(first);                             \
+    } else if (op2 == Handler::Or) {                     \
+      tos.or_assign(first);                              \
+    } else {                                             \
+      U256 fused_a = (first);                            \
+      apply_fused_bin(op2, fused_a, tos);                \
+      tos = fused_a;                                     \
+    }                                                    \
+  } while (0)
+
+  TINYEVM_OP(PushBin) {
+    // PUSHn imm; BINOP — the immediate is the first (top) operand.
+    if (sp >= 1 && sp < slimit && TINYEVM_FUSE_OK()) {
+      TINYEVM_FUSE_CHARGE();
+      ++ip;                              // consume the second instruction
+      if (sp + 1 > smax) smax = sp + 1;  // the transient PUSH high-water
+      TINYEVM_FUSED_APPLY(e->imm);
+    } else {
+      // Plain PUSH; the operator executes as its own instruction and
+      // reproduces the exact unfused failure (underflow / gas / watchdog).
+      TINYEVM_PUSH(e->imm);
+    }
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(DupBin) {
+    // DUPn; BINOP — the duplicated value is the first operand.
+    const unsigned n = e->aux;
+    if (n <= sp && sp < slimit && TINYEVM_FUSE_OK()) {
+      TINYEVM_FUSE_CHARGE();
+      ++ip;
+      if (sp + 1 > smax) smax = sp + 1;
+      // Aliasing is fine for n == 1: the *_assign ops are self-safe.
+      const U256& dup_val = n == 1 ? tos : sb[sp - n];
+      TINYEVM_FUSED_APPLY(dup_val);
+    } else if (n > sp || sp >= slimit) {
+      fail(sp >= slimit ? Status::StackOverflow : Status::StackUnderflow);
+    } else {
+      sb[sp - 1] = tos;
+      if (n > 1) tos = sb[sp - n];
+      ++sp;
+      if (sp > smax) smax = sp;
+    }
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(SwapBin) {
+    // SWAP1; BINOP — the old second element becomes the first operand.
+    if (sp >= 2 && TINYEVM_FUSE_OK()) {
+      TINYEVM_FUSE_CHARGE();
+      ++ip;
+      TINYEVM_FUSED_APPLY(sb[sp - 2]);
+      --sp;
+    } else if (sp < 2) {
+      fail(Status::StackUnderflow);
+    } else {
+      const U256 t = sb[sp - 2];
+      sb[sp - 2] = tos;
+      tos = t;
+    }
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(PushJump) {
+    // PUSHn dest; JUMP — target index resolved at translate time.
+    if (sp < slimit && TINYEVM_FUSE_OK()) {
+      TINYEVM_FUSE_CHARGE();
+      if (sp + 1 > smax) smax = sp + 1;
+      if (e->target == kNoJumpTarget) {
+        fail(Status::InvalidJump);
+        TINYEVM_NEXT;
+      }
+      ip = e->target;
+    } else {
+      TINYEVM_PUSH(e->imm);
+    }
+  }
+  TINYEVM_NEXT;
+  TINYEVM_OP(PushJumpI) {
+    // PUSHn dest; JUMPI — the current top is the condition.
+    if (sp >= 1 && sp < slimit && TINYEVM_FUSE_OK()) {
+      TINYEVM_FUSE_CHARGE();
+      if (sp + 1 > smax) smax = sp + 1;
+      const bool taken = !tos.is_zero();
+      --sp;
+      tos = sb[sp - 1];
+      if (taken) {
+        if (e->target == kNoJumpTarget) {
+          fail(Status::InvalidJump);
+          TINYEVM_NEXT;
         }
+        ip = e->target;
+      } else {
+        ++ip;  // fall through past the JUMPI instruction
       }
-      push(U256::from_word(buf));
-      return;
+    } else {
+      TINYEVM_PUSH(e->imm);
     }
-    case Opcode::CALLDATASIZE:
-      push(U256{msg_.data.size()});
-      return;
-    case Opcode::CODESIZE:
-      push(U256{msg_.code.size()});
-      return;
-    case Opcode::RETURNDATASIZE:
-      push(U256{return_data_.size()});
-      return;
-    case Opcode::CALLDATACOPY:
-      op_copy(msg_.data, false);
-      return;
-    case Opcode::CODECOPY:
-      op_copy(msg_.code, false);
-      return;
-    case Opcode::RETURNDATACOPY:
-      op_copy(return_data_, false);
-      return;
-    case Opcode::GASPRICE:
-      push(U256{1});  // flat price in the simulated chain
-      return;
-    case Opcode::EXTCODESIZE: {
-      const auto a = pop();
-      if (!a) return;
-      push(U256{host_.code_at(to_address(*a)).size()});
-      return;
-    }
-    case Opcode::EXTCODECOPY: {
-      const auto a = pop();
-      if (!a) return;
-      op_copy(host_.code_at(to_address(*a)), true);
-      return;
-    }
-
-    // --- block data ---
-    case Opcode::BLOCKHASH: {
-      const auto n = pop();
-      if (!n) return;
-      push(n->fits_u64()
-               ? U256::from_bytes(host_.block_hash(n->as_u64()))
-               : U256{});
-      return;
-    }
-    case Opcode::COINBASE:
-      push(U256::from_bytes(host_.block_info().coinbase));
-      return;
-    case Opcode::TIMESTAMP:
-      push(U256{host_.block_info().timestamp});
-      return;
-    case Opcode::NUMBER:
-      push(U256{host_.block_info().number});
-      return;
-    case Opcode::DIFFICULTY:
-      push(host_.block_info().difficulty);
-      return;
-    case Opcode::GASLIMIT:
-      push(U256{host_.block_info().gas_limit});
-      return;
-
-    // --- stack / memory / storage / control flow ---
-    case Opcode::POP:
-      pop();
-      return;
-    case Opcode::MLOAD: {
-      const auto off = pop();
-      if (!off) return;
-      if (!off->fits_u64()) {
-        fail(config_.metering ? Status::OutOfGas : Status::OutOfMemory);
-        return;
-      }
-      if (!grow(off->as_u64(), 32)) return;
-      push(memory_.load_word(off->as_u64()));
-      return;
-    }
-    case Opcode::MSTORE: {
-      const auto off = pop();
-      const auto val = pop();
-      if (!off || !val) return;
-      if (!off->fits_u64()) {
-        fail(config_.metering ? Status::OutOfGas : Status::OutOfMemory);
-        return;
-      }
-      if (!grow(off->as_u64(), 32)) return;
-      memory_.store_word(off->as_u64(), *val);
-      return;
-    }
-    case Opcode::MSTORE8: {
-      const auto off = pop();
-      const auto val = pop();
-      if (!off || !val) return;
-      if (!off->fits_u64()) {
-        fail(config_.metering ? Status::OutOfGas : Status::OutOfMemory);
-        return;
-      }
-      if (!grow(off->as_u64(), 1)) return;
-      memory_.store_byte(off->as_u64(),
-                         static_cast<std::uint8_t>(val->limb(0) & 0xFF));
-      return;
-    }
-    case Opcode::SLOAD: {
-      const auto key = pop();
-      if (!key) return;
-      push(host_.sload(msg_.self, *key));
-      return;
-    }
-    case Opcode::SSTORE:
-      op_sstore();
-      return;
-    case Opcode::JUMP: {
-      const auto dest = pop();
-      if (!dest) return;
-      if (!dest->fits_u64() || !analysis_.valid_jumpdest(dest->as_u64())) {
-        fail(Status::InvalidJump);
-        return;
-      }
-      pc_ = dest->as_u64();
-      return;
-    }
-    case Opcode::JUMPI: {
-      const auto dest = pop();
-      const auto cond = pop();
-      if (!dest || !cond) return;
-      if (cond->is_zero()) return;
-      if (!dest->fits_u64() || !analysis_.valid_jumpdest(dest->as_u64())) {
-        fail(Status::InvalidJump);
-        return;
-      }
-      pc_ = dest->as_u64();
-      return;
-    }
-    case Opcode::PC:
-      push(U256{pc_ - 1});
-      return;
-    case Opcode::MSIZE:
-      push(U256{memory_.size()});
-      return;
-    case Opcode::GAS:
-      push(U256{static_cast<std::uint64_t>(gas_ > 0 ? gas_ : 0)});
-      return;
-    case Opcode::JUMPDEST:
-      return;
-
-    // --- lifecycle ---
-    case Opcode::CREATE:
-      op_create();
-      return;
-    case Opcode::CALL:
-    case Opcode::CALLCODE:
-      op_call(opcode == Opcode::CALL ? CallKind::Call : CallKind::CallCode);
-      return;
-    case Opcode::DELEGATECALL:
-      op_call(CallKind::DelegateCall);
-      return;
-    case Opcode::STATICCALL:
-      op_call(CallKind::StaticCall);
-      return;
-    case Opcode::RETURN:
-      op_return(false);
-      return;
-    case Opcode::REVERT:
-      op_return(true);
-      return;
-    case Opcode::INVALID:
-      fail(Status::InvalidOpcode);
-      return;
-    case Opcode::SELFDESTRUCT: {
-      if (msg_.is_static) {
-        fail(Status::StaticViolation);
-        return;
-      }
-      const auto a = pop();
-      if (!a) return;
-      host_.self_destruct(msg_.self, to_address(*a));
-      done_ = true;
-      return;
-    }
-
-    default:
-      fail(Status::InvalidOpcode);
-      return;
   }
+  TINYEVM_NEXT;
+
+  // --- lifecycle ---
+  TINYEVM_OP(Create) { TINYEVM_SYNCED(op_create()); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Call) { TINYEVM_SYNCED(op_call(CallKind::Call)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(CallCode) { TINYEVM_SYNCED(op_call(CallKind::CallCode)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(DelegateCall) { TINYEVM_SYNCED(op_call(CallKind::DelegateCall)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(StaticCall) { TINYEVM_SYNCED(op_call(CallKind::StaticCall)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Return) { TINYEVM_SYNCED(op_return(false)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Revert) { TINYEVM_SYNCED(op_return(true)); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(Invalid) { fail(Status::InvalidOpcode); }
+  TINYEVM_NEXT;
+  TINYEVM_OP(SelfDestruct) {
+    if (msg_.is_static) {
+      fail(Status::StaticViolation);
+      TINYEVM_NEXT;
+    }
+    if (sp < 1) {
+      fail(Status::StackUnderflow);
+      TINYEVM_NEXT;
+    }
+    const Address beneficiary = to_address(tos);
+    --sp;
+    tos = sb[sp - 1];
+    host_.self_destruct(msg_.self, beneficiary);
+    done_ = true;
+  }
+  TINYEVM_NEXT;
+
+#if !TINYEVM_COMPUTED_GOTO
+    }  // switch
+  }  // for
+#endif
+
+run_exit:
+  if (e != nullptr) pc_ = e->pc;
+  gas_ = gas;
+  cycles_ = cyc;
+  ops_ = ops;
+  sb[sp - 1] = tos;  // restore the flat-memory stack view
+  stack_.set_state(sp, smax);
+
+#undef TINYEVM_SYNCED
+#undef TINYEVM_PUSH
+#undef TINYEVM_PROLOGUE
+#undef TINYEVM_FUSE_OK
+#undef TINYEVM_FUSE_CHARGE
+#undef TINYEVM_FUSED_APPLY
+#undef TINYEVM_OP
+#undef TINYEVM_NEXT
 }
-#endif  // TINYEVM_LEGACY_DISPATCH
 
 void Frame::op_exp() {
   const auto base = pop();
@@ -1523,13 +1693,25 @@ void Frame::op_return(bool revert) {
 
 }  // namespace
 
-Vm::Vm(VmConfig config)
+Vm::Vm(VmConfig config, std::shared_ptr<CodeCache> cache)
     : config_(config),
       dispatch_(std::make_shared<const DispatchTable>(
-          build_dispatch_table(config))) {}
+          build_dispatch_table(config))),
+      cache_(cache ? std::move(cache) : CodeCache::shared_default()) {}
 
 ExecResult Vm::execute(Host& host, const Message& msg) const {
-  Frame frame(config_, *dispatch_, host, msg);
+  // Default path: execute the cached pre-decoded stream. A null program
+  // (predecode off, empty code, or code past the cache's size cap) falls
+  // back to the raw threaded loop, which decodes per run.
+  std::shared_ptr<const DecodedProgram> program;
+  if (config_.predecode) {
+    const TranslationProfile profile{
+        config_.profile == VmProfile::TinyEvm, config_.iot_opcodes,
+        config_.block_opcodes};
+    program = cache_->get_or_translate(
+        msg.code, profile, msg.code_hash ? &*msg.code_hash : nullptr);
+  }
+  Frame frame(config_, *dispatch_, host, msg, program.get());
   return frame.run();
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -19,14 +20,9 @@
 
 namespace tinyevm::evm {
 
-enum class VmProfile : std::uint8_t { Ethereum, TinyEvm };
+class CodeCache;
 
-/// Interpreter dispatch strategy. `Threaded` is the token-threaded table
-/// dispatcher (computed goto under GCC/Clang, dense switch elsewhere);
-/// `LegacySwitch` is the original two-level switch, kept one PR behind the
-/// TINYEVM_LEGACY_DISPATCH build flag for differential testing. When the
-/// legacy path is compiled out, requesting it falls back to Threaded.
-enum class DispatchKind : std::uint8_t { Threaded, LegacySwitch };
+enum class VmProfile : std::uint8_t { Ethereum, TinyEvm };
 
 struct VmConfig {
   VmProfile profile = VmProfile::TinyEvm;
@@ -42,9 +38,12 @@ struct VmConfig {
   /// Gas bounds on-chain execution; off-chain the mote's watchdog timer
   /// plays that role — without it a buggy contract would wedge the device.
   std::uint64_t max_ops = 50'000'000;
-  /// Dispatch strategy (see DispatchKind). Not part of the semantics: both
-  /// dispatchers must produce bit-identical results.
-  DispatchKind dispatch = DispatchKind::Threaded;
+  /// Lower bytecode to a cached pre-decoded instruction stream before
+  /// executing (see decoded.hpp / code_cache.hpp). Not part of the
+  /// semantics: the raw threaded loop — which also serves as the
+  /// translate-miss / oversized-code fallback — must produce bit-identical
+  /// results (tests/evm_dispatch_test.cpp).
+  bool predecode = true;
 
   /// Original EVM (Istanbul-era) semantics.
   static VmConfig ethereum() {
@@ -82,6 +81,9 @@ struct Message {
   U256 value;
   Bytes data;
   Bytes code;
+  /// keccak256(code) when the caller already knows it (the chain caches it
+  /// per account); saves the translation cache a rehash per execution.
+  std::optional<Hash256> code_hash;
   std::int64_t gas = 10'000'000;
   int depth = 0;
   bool is_static = false;
@@ -127,17 +129,28 @@ struct DispatchTable;
 
 /// Executes one message. Nested CALL/CREATE are delegated to the host,
 /// which typically re-enters another Vm::execute with depth+1.
+///
+/// When `config.predecode` is on (the default), execution first consults a
+/// translation cache (code_cache.hpp) for a pre-decoded instruction stream
+/// keyed by keccak256(code); a null `cache` means the process-wide
+/// CodeCache::shared_default(), so independent Vm instances reuse each
+/// other's translations.
 class Vm {
  public:
-  explicit Vm(VmConfig config);
+  explicit Vm(VmConfig config, std::shared_ptr<CodeCache> cache = nullptr);
 
   [[nodiscard]] const VmConfig& config() const { return config_; }
+  /// The translation cache this Vm consults.
+  [[nodiscard]] const std::shared_ptr<CodeCache>& code_cache() const {
+    return cache_;
+  }
 
   ExecResult execute(Host& host, const Message& msg) const;
 
  private:
   VmConfig config_;
   std::shared_ptr<const DispatchTable> dispatch_;
+  std::shared_ptr<CodeCache> cache_;
 };
 
 }  // namespace tinyevm::evm

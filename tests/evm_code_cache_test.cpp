@@ -1,0 +1,310 @@
+// Translation-cache behaviour: LRU eviction under the byte cap, sharing
+// across Vm instances, translation immutability, profile-keyed entries,
+// the oversized-code fallback, and the translator's bytecode edge cases
+// (truncated PUSH immediates, JUMPDEST inside pushdata, superinstruction
+// fusion shapes).
+#include <gtest/gtest.h>
+
+#include "channel/manager.hpp"
+#include "evm/asm.hpp"
+#include "evm/code_cache.hpp"
+#include "evm/decoded.hpp"
+#include "evm/vm.hpp"
+
+namespace tinyevm::evm {
+namespace {
+
+Bytes counting_loop(std::uint64_t iters) {
+  Assembler a;
+  a.push(iters);
+  const auto loop = a.label();
+  a.push(1).swap(1).op(Opcode::SUB).dup(1);
+  a.push_label(loop).op(Opcode::JUMPI);
+  return a.take();
+}
+
+/// A program of at least `size` bytes, distinct per `salt`.
+Bytes sized_code(std::size_t size, std::uint64_t salt) {
+  Assembler a;
+  a.push(salt).op(Opcode::POP);
+  while (a.size() < size) a.op(Opcode::JUMPDEST);
+  return a.take();
+}
+
+ExecResult run(const Bytes& code, const VmConfig& config,
+               std::shared_ptr<CodeCache> cache) {
+  channel::SensorBank sensors;
+  channel::DeviceHost host(sensors, config);
+  Vm vm{config, std::move(cache)};
+  Message msg;
+  msg.code = code;
+  return vm.execute(host, msg);
+}
+
+// ---------------------------------------------------------------------------
+// Cache behaviour
+// ---------------------------------------------------------------------------
+
+TEST(CodeCache, SharesTranslationsAcrossVmInstances) {
+  auto cache = std::make_shared<CodeCache>();
+  const Bytes code = counting_loop(100);
+  const VmConfig config = VmConfig::tiny();
+
+  Vm a{config, cache};
+  Vm b{config, cache};
+  channel::SensorBank sensors;
+  channel::DeviceHost host(sensors, config);
+  Message msg;
+  msg.code = code;
+
+  const auto ra = a.execute(host, msg);
+  const auto rb = b.execute(host, msg);
+  EXPECT_EQ(ra.status, rb.status);
+  EXPECT_EQ(ra.stats.ops_executed, rb.stats.ops_executed);
+
+  const auto stats = cache->stats();
+  EXPECT_EQ(stats.misses, 1u);  // first execution translated
+  EXPECT_EQ(stats.hits, 1u);    // second Vm reused it
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(CodeCache, DefaultConstructedVmsShareTheProcessCache) {
+  Vm a{VmConfig::tiny()};
+  Vm b{VmConfig::ethereum()};
+  EXPECT_EQ(a.code_cache().get(), b.code_cache().get());
+  EXPECT_EQ(a.code_cache().get(), CodeCache::shared_default().get());
+}
+
+TEST(CodeCache, EvictsLeastRecentlyUsedUnderByteCap) {
+  // Capacity sized to hold roughly two of the three programs.
+  const TranslationProfile profile{};
+  const Bytes probe = sized_code(512, 0);
+  const std::size_t one_program =
+      translate(probe, profile).byte_size();
+
+  CodeCache::Config config;
+  config.capacity_bytes = one_program * 5 / 2;
+  CodeCache cache{config};
+
+  auto p0 = cache.get_or_translate(sized_code(512, 1), profile);
+  auto p1 = cache.get_or_translate(sized_code(512, 2), profile);
+  auto p2 = cache.get_or_translate(sized_code(512, 3), profile);
+  ASSERT_TRUE(p0 && p1 && p2);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, config.capacity_bytes);
+  EXPECT_LT(stats.entries, 3u);
+
+  // The evicted program (the least recently used = salt 1) re-translates;
+  // the most recent still hits.
+  cache.get_or_translate(sized_code(512, 3), profile);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  cache.get_or_translate(sized_code(512, 1), profile);
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(CodeCache, ProgramLargerThanCapacityIsReturnedButNotCached) {
+  CodeCache::Config config;
+  config.capacity_bytes = 64;  // smaller than any translation
+  CodeCache cache{config};
+  const auto program =
+      cache.get_or_translate(counting_loop(10), TranslationProfile{});
+  ASSERT_NE(program, nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(CodeCache, OversizedCodeFallsBackToRawLoop) {
+  CodeCache::Config cache_config;
+  cache_config.max_code_bytes = 8;  // force the raw-loop fallback
+  auto small_cache = std::make_shared<CodeCache>(cache_config);
+
+  const Bytes code = counting_loop(50);  // > 16 bytes
+  ASSERT_GT(code.size(), cache_config.max_code_bytes);
+  const VmConfig config = VmConfig::tiny();
+
+  const auto through_fallback = run(code, config, small_cache);
+  const auto through_cache = run(code, config, std::make_shared<CodeCache>());
+  EXPECT_EQ(small_cache->stats().oversized, 1u);
+  EXPECT_EQ(small_cache->stats().entries, 0u);
+  // Fallback and pre-decoded execution agree bit-for-bit.
+  EXPECT_EQ(through_fallback.status, through_cache.status);
+  EXPECT_EQ(through_fallback.stats.ops_executed,
+            through_cache.stats.ops_executed);
+  EXPECT_EQ(through_fallback.stats.mcu_cycles,
+            through_cache.stats.mcu_cycles);
+}
+
+TEST(CodeCache, KeysByProfileFlags) {
+  // NUMBER is a blockchain opcode: forbidden under TinyEVM, fine under
+  // Ethereum — the two profiles must not share a translation.
+  Assembler a;
+  a.op(Opcode::NUMBER).op(Opcode::POP);
+  const Bytes code = a.take();
+
+  auto cache = std::make_shared<CodeCache>();
+  const auto tiny = run(code, VmConfig::tiny(), cache);
+  const auto eth = run(code, VmConfig::ethereum(), cache);
+  EXPECT_EQ(tiny.status, Status::ForbiddenOpcode);
+  EXPECT_EQ(eth.status, Status::Success);
+  EXPECT_EQ(cache->stats().entries, 2u);
+  EXPECT_EQ(cache->stats().misses, 2u);
+}
+
+TEST(CodeCache, TranslationIsImmutableAcrossExecutions) {
+  auto cache = std::make_shared<CodeCache>();
+  const TranslationProfile profile{};
+  const Bytes code = counting_loop(200);
+
+  const auto program = cache->get_or_translate(code, profile);
+  ASSERT_NE(program, nullptr);
+  const std::vector<DecodedInst> snapshot = program->insts;
+  const std::vector<std::uint32_t> jump_snapshot = program->jump_map;
+
+  // Successful and failing executions alike must leave the shared
+  // translation untouched (there is no self-modifying path).
+  const VmConfig config = VmConfig::tiny();
+  (void)run(code, config, cache);
+  VmConfig strangled = config;
+  strangled.max_ops = 3;  // watchdog failure mid-run
+  (void)run(code, strangled, cache);
+
+  const auto again = cache->get_or_translate(code, profile);
+  EXPECT_EQ(again.get(), program.get());  // same shared translation
+  ASSERT_EQ(program->insts.size(), snapshot.size());
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    EXPECT_EQ(program->insts[i].handler, snapshot[i].handler) << i;
+    EXPECT_EQ(program->insts[i].aux, snapshot[i].aux) << i;
+    EXPECT_EQ(program->insts[i].aux2, snapshot[i].aux2) << i;
+    EXPECT_EQ(program->insts[i].gas, snapshot[i].gas) << i;
+    EXPECT_EQ(program->insts[i].gas2, snapshot[i].gas2) << i;
+    EXPECT_EQ(program->insts[i].cycles, snapshot[i].cycles) << i;
+    EXPECT_EQ(program->insts[i].cycles2, snapshot[i].cycles2) << i;
+    EXPECT_EQ(program->insts[i].pc, snapshot[i].pc) << i;
+    EXPECT_EQ(program->insts[i].target, snapshot[i].target) << i;
+    EXPECT_EQ(program->insts[i].imm, snapshot[i].imm) << i;
+  }
+  EXPECT_EQ(program->jump_map, jump_snapshot);
+}
+
+TEST(CodeCache, KnownCodeHashSkipsNothingSemantically) {
+  // Passing the precomputed hash (the chain host path) must behave exactly
+  // like letting the cache hash the code itself.
+  auto cache = std::make_shared<CodeCache>();
+  const TranslationProfile profile{};
+  const Bytes code = counting_loop(10);
+  const Hash256 hash = keccak256(code);
+
+  const auto a = cache->get_or_translate(code, profile, &hash);
+  const auto b = cache->get_or_translate(code, profile);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache->stats().hits, 1u);
+}
+
+TEST(CodeCache, ClearResetsEntriesAndStats) {
+  auto cache = std::make_shared<CodeCache>();
+  (void)cache->get_or_translate(counting_loop(10), TranslationProfile{});
+  cache->clear();
+  const auto stats = cache->stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Translator edge cases
+// ---------------------------------------------------------------------------
+
+TEST(Translator, MaterializesTruncatedPushImmediates) {
+  // PUSH32 with only one immediate byte present: the immediate reads as
+  // 0xAA followed by 31 virtual zero bytes, i.e. 0xAA << 248.
+  const Bytes code{0x7f, 0xAA};
+  const auto program = translate(code, TranslationProfile{});
+  ASSERT_EQ(program.insts.size(), 1u);
+  const DecodedInst& inst = program.insts[0];
+  EXPECT_EQ(inst.handler, Handler::Push);
+  EXPECT_EQ(inst.aux, 32u);
+  EXPECT_EQ(inst.imm, U256{0xAA} << 248);  // 0xAA in the top byte
+}
+
+TEST(Translator, PushImmediateWithNoBytesIsZero) {
+  const Bytes code{0x61};  // PUSH2 at the very end of code
+  const auto program = translate(code, TranslationProfile{});
+  ASSERT_EQ(program.insts.size(), 1u);
+  EXPECT_EQ(program.insts[0].imm, U256{});
+}
+
+TEST(Translator, JumpdestInsidePushdataIsNotATarget) {
+  // PUSH1 0x5b: the 0x5b immediate byte is data, not a JUMPDEST.
+  const Bytes code{0x60, 0x5b, 0x5b, 0x00};  // PUSH1 0x5b; JUMPDEST; STOP
+  const auto program = translate(code, TranslationProfile{});
+  ASSERT_EQ(program.jump_map.size(), code.size());
+  EXPECT_EQ(program.jump_map[1], kNoJumpTarget);  // inside pushdata
+  EXPECT_NE(program.jump_map[2], kNoJumpTarget);  // the real JUMPDEST
+  EXPECT_EQ(program.insts[program.jump_map[2]].handler, Handler::JumpDest);
+}
+
+TEST(Translator, FusesSuperinstructionPairs) {
+  Assembler a;
+  a.push(1).op(Opcode::ADD);          // PushBin
+  a.dup(3).op(Opcode::MUL);           // DupBin
+  a.swap(1).op(Opcode::SUB);          // SwapBin
+  a.swap(2).op(Opcode::SUB);          // deeper SWAP: not fused
+  a.push(0).op(Opcode::JUMP);         // PushJump
+  a.push(0).op(Opcode::JUMPI);        // PushJumpI
+  a.push(1).op(Opcode::POP);          // PUSH + non-operator: not fused
+  const auto program = translate(a.take(), TranslationProfile{});
+
+  std::vector<Handler> heads;
+  for (const auto& inst : program.insts) heads.push_back(inst.handler);
+  const std::vector<Handler> expected{
+      Handler::PushBin, Handler::Add,   Handler::DupBin,    Handler::Mul,
+      Handler::SwapBin, Handler::Sub,   Handler::Swap,      Handler::Sub,
+      Handler::PushJump, Handler::Jump, Handler::PushJumpI, Handler::JumpI,
+      Handler::Push,    Handler::Pop};
+  EXPECT_EQ(heads, expected);
+
+  // Fused pairs carry the second opcode's accounting.
+  EXPECT_EQ(program.insts[0].aux2,
+            static_cast<std::uint8_t>(Handler::Add));
+  EXPECT_EQ(program.insts[0].gas2, program.insts[1].gas);
+  EXPECT_EQ(program.insts[0].cycles2, program.insts[1].cycles);
+}
+
+TEST(Translator, ResolvesPushJumpTargetsAtTranslateTime) {
+  Assembler a;
+  a.push(4).op(Opcode::JUMP);  // pc 0-2, target 4
+  a.op(Opcode::STOP);          // pc 3
+  a.op(Opcode::JUMPDEST);      // pc 4
+  const auto program = translate(a.take(), TranslationProfile{});
+  ASSERT_GE(program.insts.size(), 1u);
+  EXPECT_EQ(program.insts[0].handler, Handler::PushJump);
+  ASSERT_NE(program.insts[0].target, kNoJumpTarget);
+  EXPECT_EQ(program.insts[program.insts[0].target].handler,
+            Handler::JumpDest);
+
+  // An out-of-range or non-JUMPDEST destination resolves to the sentinel.
+  Assembler bad;
+  bad.push(200).op(Opcode::JUMP);
+  const auto bad_program = translate(bad.take(), TranslationProfile{});
+  EXPECT_EQ(bad_program.insts[0].handler, Handler::PushJump);
+  EXPECT_EQ(bad_program.insts[0].target, kNoJumpTarget);
+}
+
+TEST(Translator, ForbiddenSecondOpcodeBlocksFusion) {
+  // GAS is forbidden under the TinyEVM profile, allowed under Ethereum:
+  // PUSH+... must only fuse where the second opcode is executable.
+  Assembler a;
+  a.push(1).op(Opcode::GAS);
+  const Bytes code = a.take();
+
+  const auto tiny = translate(
+      code, TranslationProfile{true, true, false});
+  EXPECT_EQ(tiny.insts[0].handler, Handler::Push);
+  EXPECT_EQ(tiny.insts[1].handler, Handler::Forbidden);
+}
+
+}  // namespace
+}  // namespace tinyevm::evm

@@ -1,30 +1,37 @@
-// Differential test for the token-threaded dispatcher: every program —
-// random bytes, biased fuzz programs, and the synthetic contract corpus —
-// must produce bit-identical results (halt status, output, gas, stack
-// high-water, memory peak, op/cycle counts, logs, storage) under the new
-// table dispatcher and the legacy two-level switch it replaced. The legacy
-// path is compiled behind TINYEVM_LEGACY_DISPATCH for exactly this
-// comparison and is scheduled for removal once it has soaked.
+// Golden + differential test for the interpreter's two execution paths.
+//
+// Every program — random bytes, biased fuzz programs, the synthetic
+// contract corpus, and directed edge programs — runs twice: through the
+// raw token-threaded loop (predecode off) and through the pre-decoded
+// translation path (predecode on, private cache). The two observations
+// must be bit-identical (halt status, output, gas, stack high-water,
+// memory peak, op/cycle counts, logs, storage), and both must match the
+// recorded golden corpus in tests/golden/ — so a regression that changes
+// *both* paths the same way is still caught.
+//
+// Regenerating the golden files (only when semantics intentionally
+// change): run the test binary directly with TINYEVM_REGEN_GOLDEN=1 and
+// commit the rewritten tests/golden/*.txt. The recorded values are
+// platform-independent except for the corpus category, whose programs are
+// shaped by std::lognormal_distribution (identical across libstdc++
+// builds, which is what CI runs).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <map>
 #include <random>
+#include <sstream>
+#include <string>
 
 #include "channel/manager.hpp"
 #include "corpus/corpus.hpp"
 #include "evm/asm.hpp"
+#include "evm/code_cache.hpp"
 #include "evm/vm.hpp"
 
 namespace tinyevm::evm {
 namespace {
-
-#ifndef TINYEVM_LEGACY_DISPATCH
-
-TEST(DispatchDifferential, LegacyDispatchCompiledOut) {
-  GTEST_SKIP() << "configure with -DTINYEVM_LEGACY_DISPATCH=ON to enable "
-                  "the old-vs-new dispatch comparison";
-}
-
-#else
 
 Bytes random_code(std::mt19937_64& rng, std::size_t len) {
   Bytes code(len);
@@ -33,8 +40,8 @@ Bytes random_code(std::mt19937_64& rng, std::size_t len) {
 }
 
 /// Biased generator mirroring evm_fuzz_test: mostly valid opcodes with
-/// realistic push density, plus the signed/shift ops the dispatch rewrite
-/// touched.
+/// realistic push density, plus the signed/shift ops and the PUSH/DUP/SWAP
+/// heads the peephole pass fuses.
 Bytes biased_code(std::mt19937_64& rng, std::size_t len) {
   Assembler a;
   while (a.size() < len) {
@@ -78,20 +85,56 @@ Bytes biased_code(std::mt19937_64& rng, std::size_t len) {
   return a.take();
 }
 
-/// Runs `code` under one dispatch kind and returns everything observable.
+/// Everything observable from one execution, with logs and storage folded
+/// into digests so they fit one golden line.
 struct Observation {
   ExecResult result;
   std::size_t log_count = 0;
   std::size_t storage_slots = 0;
+  Hash256 output_hash{};
+  Hash256 log_digest{};
+  Hash256 storage_digest{};
 };
 
+Hash256 digest_logs(const std::vector<LogEntry>& logs) {
+  Bytes blob;
+  for (const auto& log : logs) {
+    blob.insert(blob.end(), log.address.begin(), log.address.end());
+    blob.push_back(static_cast<std::uint8_t>(log.topics.size()));
+    for (const auto& topic : log.topics) {
+      const auto w = topic.to_word();
+      blob.insert(blob.end(), w.begin(), w.end());
+    }
+    for (unsigned i = 0; i < 4; ++i) {  // length-prefix against aliasing
+      blob.push_back(static_cast<std::uint8_t>(log.data.size() >> (8 * i)));
+    }
+    blob.insert(blob.end(), log.data.begin(), log.data.end());
+  }
+  return keccak256(blob);
+}
+
+Hash256 digest_storage(const TinyStorage* storage) {
+  Bytes blob;
+  if (storage != nullptr) {
+    for (const auto& [slot, value] : storage->slots()) {  // sorted map
+      blob.push_back(slot);
+      const auto w = value.to_word();
+      blob.insert(blob.end(), w.begin(), w.end());
+    }
+  }
+  return keccak256(blob);
+}
+
+/// Runs `code` through one execution path and returns everything
+/// observable. Each run gets a private translation cache so the
+/// pre-decoded path always starts from a cold, deterministic translation.
 Observation observe(const Bytes& code, const Bytes& data, VmConfig config,
-                    DispatchKind kind, std::int64_t gas) {
-  config.dispatch = kind;
+                    bool predecode, std::int64_t gas) {
+  config.predecode = predecode;
   channel::SensorBank sensors;
   sensors.set_reading(7, U256{22});
   channel::DeviceHost host(sensors, config);
-  Vm vm{config};
+  Vm vm{config, std::make_shared<CodeCache>()};
   Message msg;
   msg.code = code;
   msg.data = data;
@@ -99,91 +142,177 @@ Observation observe(const Bytes& code, const Bytes& data, VmConfig config,
   Observation obs;
   obs.result = vm.execute(host, msg);
   obs.log_count = host.logs().size();
-  if (const auto* storage = host.storage_of(msg.self)) {
-    obs.storage_slots = storage->used_slots();
-  }
+  obs.output_hash = keccak256(obs.result.output);
+  obs.log_digest = digest_logs(host.logs());
+  const auto* storage = host.storage_of(msg.self);
+  if (storage != nullptr) obs.storage_slots = storage->used_slots();
+  obs.storage_digest = digest_storage(storage);
   return obs;
 }
 
-void expect_identical(const Bytes& code, const Bytes& data, VmConfig config,
-                      std::int64_t gas, const char* label) {
-  const Observation threaded =
-      observe(code, data, config, DispatchKind::Threaded, gas);
-  const Observation legacy =
-      observe(code, data, config, DispatchKind::LegacySwitch, gas);
-  EXPECT_EQ(threaded.result.status, legacy.result.status) << label;
-  EXPECT_EQ(threaded.result.output, legacy.result.output) << label;
-  EXPECT_EQ(threaded.result.gas_left, legacy.result.gas_left) << label;
-  EXPECT_EQ(threaded.result.stats.max_stack_pointer,
-            legacy.result.stats.max_stack_pointer)
-      << label;
-  EXPECT_EQ(threaded.result.stats.peak_memory,
-            legacy.result.stats.peak_memory)
-      << label;
-  EXPECT_EQ(threaded.result.stats.ops_executed,
-            legacy.result.stats.ops_executed)
-      << label;
-  EXPECT_EQ(threaded.result.stats.mcu_cycles, legacy.result.stats.mcu_cycles)
-      << label;
-  EXPECT_EQ(threaded.log_count, legacy.log_count) << label;
-  EXPECT_EQ(threaded.storage_slots, legacy.storage_slots) << label;
+std::string serialize(const Observation& o) {
+  std::ostringstream os;
+  os << static_cast<int>(o.result.status) << ' ' << o.result.gas_left << ' '
+     << o.result.stats.ops_executed << ' ' << o.result.stats.mcu_cycles
+     << ' ' << o.result.stats.max_stack_pointer << ' '
+     << o.result.stats.peak_memory << ' ' << o.result.output.size() << ' '
+     << to_hex(o.output_hash) << ' ' << o.log_count << ' '
+     << to_hex(o.log_digest) << ' ' << o.storage_slots << ' '
+     << to_hex(o.storage_digest);
+  return os.str();
 }
 
-class DispatchDifferentialSeeds
-    : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(DispatchDifferentialSeeds, RawRandomBytesMatch) {
-  std::mt19937_64 rng(GetParam());
-  for (int round = 0; round < 40; ++round) {
-    VmConfig config = VmConfig::tiny();
-    config.max_ops = 200'000;
-    const Bytes code = random_code(rng, 16 + rng() % 512);
-    const Bytes data = random_code(rng, rng() % 64);
-    expect_identical(code, data, config, 10'000'000, "tiny/random");
+/// One recorded-expectations file under tests/golden/. Normal runs compare
+/// every case against its recorded line; with TINYEVM_REGEN_GOLDEN set the
+/// file is rewritten from the current observations instead.
+class Golden {
+ public:
+  explicit Golden(const std::string& category)
+      : path_(std::string(TINYEVM_GOLDEN_DIR "/") + category + ".txt"),
+        regen_(std::getenv("TINYEVM_REGEN_GOLDEN") != nullptr) {
+    if (regen_) return;
+    std::ifstream in(path_);
+    loaded_ = in.good();
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto space = line.find(' ');
+      if (space == std::string::npos) continue;
+      recorded_[line.substr(0, space)] = line.substr(space + 1);
+    }
   }
-}
 
-TEST_P(DispatchDifferentialSeeds, BiasedCodeMatches) {
-  std::mt19937_64 rng(GetParam() ^ 0xBEEF);
-  for (int round = 0; round < 40; ++round) {
-    VmConfig config = VmConfig::tiny();
-    config.max_ops = 200'000;
-    const Bytes code = biased_code(rng, 32 + rng() % 256);
-    expect_identical(code, {}, config, 10'000'000, "tiny/biased");
+  void check(const std::string& name, const std::string& line) {
+    if (regen_) {
+      lines_.push_back(name + ' ' + line);
+      return;
+    }
+    if (!loaded_) {
+      if (!missing_reported_) {
+        ADD_FAILURE() << "golden file " << path_
+                      << " is missing — regenerate with "
+                         "TINYEVM_REGEN_GOLDEN=1 ./evm_dispatch_test";
+        missing_reported_ = true;
+      }
+      return;
+    }
+    const auto it = recorded_.find(name);
+    if (it == recorded_.end()) {
+      ADD_FAILURE() << "no golden entry for " << name << " in " << path_;
+      return;
+    }
+    EXPECT_EQ(it->second, line) << "golden mismatch: " << name;
   }
-}
 
-TEST_P(DispatchDifferentialSeeds, EthereumProfileMatchesUnderGas) {
-  std::mt19937_64 rng(GetParam() ^ 0xCAFE);
-  for (int round = 0; round < 30; ++round) {
-    const Bytes code = round % 2 == 0 ? random_code(rng, 16 + rng() % 512)
-                                      : biased_code(rng, 32 + rng() % 256);
-    expect_identical(code, {}, VmConfig::ethereum(), 100'000, "eth/fuzz");
+  void finish() {
+    if (!regen_) return;
+    std::ofstream out(path_);
+    ASSERT_TRUE(out.good()) << "cannot write " << path_;
+    for (const auto& l : lines_) out << l << '\n';
   }
+
+ private:
+  std::string path_;
+  bool regen_;
+  bool loaded_ = false;
+  bool missing_reported_ = false;
+  std::map<std::string, std::string> recorded_;
+  std::vector<std::string> lines_;
+};
+
+/// The core of the suite: raw and pre-decoded observations must match each
+/// other (differential mode) and the recorded golden line.
+void run_case(Golden& golden, const std::string& name, const Bytes& code,
+              const Bytes& data, const VmConfig& config, std::int64_t gas) {
+  SCOPED_TRACE(name);
+  const Observation raw = observe(code, data, config, false, gas);
+  const Observation pre = observe(code, data, config, true, gas);
+  EXPECT_EQ(raw.result.status, pre.result.status);
+  EXPECT_EQ(raw.result.output, pre.result.output);
+  EXPECT_EQ(raw.result.gas_left, pre.result.gas_left);
+  EXPECT_EQ(raw.result.stats.max_stack_pointer,
+            pre.result.stats.max_stack_pointer);
+  EXPECT_EQ(raw.result.stats.peak_memory, pre.result.stats.peak_memory);
+  EXPECT_EQ(raw.result.stats.ops_executed, pre.result.stats.ops_executed);
+  EXPECT_EQ(raw.result.stats.mcu_cycles, pre.result.stats.mcu_cycles);
+  EXPECT_EQ(raw.log_count, pre.log_count);
+  EXPECT_EQ(raw.log_digest, pre.log_digest);
+  EXPECT_EQ(raw.storage_slots, pre.storage_slots);
+  EXPECT_EQ(raw.storage_digest, pre.storage_digest);
+  golden.check(name, serialize(raw));
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, DispatchDifferentialSeeds,
-                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+TEST(DispatchGolden, RawRandomBytes) {
+  Golden golden("random");
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u, 66u}) {
+    std::mt19937_64 rng(seed);
+    for (int round = 0; round < 40; ++round) {
+      VmConfig config = VmConfig::tiny();
+      config.max_ops = 200'000;
+      const Bytes code = random_code(rng, 16 + rng() % 512);
+      const Bytes data = random_code(rng, rng() % 64);
+      run_case(golden,
+               "random/" + std::to_string(seed) + "/" + std::to_string(round),
+               code, data, config, 10'000'000);
+    }
+  }
+  golden.finish();
+}
 
-TEST(DispatchDifferential, SyntheticCorpusConstructorsMatch) {
+TEST(DispatchGolden, BiasedCode) {
+  Golden golden("biased");
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u, 66u}) {
+    std::mt19937_64 rng(seed ^ 0xBEEF);
+    for (int round = 0; round < 40; ++round) {
+      VmConfig config = VmConfig::tiny();
+      config.max_ops = 200'000;
+      const Bytes code = biased_code(rng, 32 + rng() % 256);
+      run_case(golden,
+               "biased/" + std::to_string(seed) + "/" + std::to_string(round),
+               code, {}, config, 10'000'000);
+    }
+  }
+  golden.finish();
+}
+
+TEST(DispatchGolden, EthereumProfileUnderGas) {
+  Golden golden("eth");
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u, 66u}) {
+    std::mt19937_64 rng(seed ^ 0xCAFE);
+    for (int round = 0; round < 30; ++round) {
+      const Bytes code = round % 2 == 0 ? random_code(rng, 16 + rng() % 512)
+                                        : biased_code(rng, 32 + rng() % 256);
+      run_case(golden,
+               "eth/" + std::to_string(seed) + "/" + std::to_string(round),
+               code, {}, VmConfig::ethereum(), 100'000);
+    }
+  }
+  golden.finish();
+}
+
+TEST(DispatchGolden, SyntheticCorpusConstructors) {
   // The Fig. 3/4 corpus constructors: storage loops, keccak slot
   // derivation, memory staging — the realistic deployment workload.
+  Golden golden("corpus");
   corpus::GeneratorConfig cfg;
-  cfg.count = 96;
+  cfg.count = 48;
   const corpus::Generator gen{cfg};
   for (std::size_t i = 0; i < cfg.count; ++i) {
     const auto contract = gen.make(i);
-    expect_identical(contract.init_code, {}, VmConfig::tiny(), 10'000'000,
-                     "corpus/tiny");
-    expect_identical(contract.init_code, {}, VmConfig::ethereum(),
-                     10'000'000, "corpus/eth");
+    run_case(golden, "corpus/tiny/" + std::to_string(i), contract.init_code,
+             {}, VmConfig::tiny(), 10'000'000);
+    run_case(golden, "corpus/eth/" + std::to_string(i), contract.init_code,
+             {}, VmConfig::ethereum(), 10'000'000);
   }
+  golden.finish();
 }
 
-TEST(DispatchDifferential, EdgeCaseProgramsMatch) {
-  // Directed programs for the paths the rewrite touched most: signed-op
-  // boundaries, shift saturation, fused DUP1+MUL/ADD, watchdog expiry at
-  // the exact op boundary, and gas exhaustion mid-pair.
+TEST(DispatchGolden, DirectedEdgePrograms) {
+  // Directed programs for the paths the translation rewrite touches most:
+  // signed-op boundaries, shift saturation, fused superinstruction pairs,
+  // translate-time jump resolution, watchdog/gas expiry exactly between a
+  // fused pair, and truncated-PUSH / JUMPDEST-in-pushdata translator
+  // edges.
+  Golden golden("directed");
   std::vector<std::pair<const char*, Bytes>> programs;
 
   {
@@ -223,11 +352,35 @@ TEST(DispatchDifferential, EdgeCaseProgramsMatch) {
     programs.emplace_back("shift-saturation", a.take());
   }
   {
-    Assembler a;  // the fused DUP1+MUL / DUP1+ADD hot pair
+    Assembler a;  // DUP1+MUL / DUP1+ADD — the DupBin superinstruction
     a.push_word(*U256::from_hex("0x123456789abcdef0fedcba9876543210"));
     for (int i = 0; i < 64; ++i) a.dup(1).op(Opcode::MUL);
     for (int i = 0; i < 64; ++i) a.dup(1).op(Opcode::ADD);
-    programs.emplace_back("fused-pairs", a.take());
+    programs.emplace_back("fused-dup-pairs", a.take());
+  }
+  {
+    Assembler a;  // PUSH+binop and SWAP1+binop superinstructions,
+                  // including the non-commutative operand order
+    a.push(1000);
+    for (int i = 0; i < 16; ++i) {
+      a.push(3).op(Opcode::ADD);      // PushBin: 3 + top
+      a.push(7).op(Opcode::SUB);      // PushBin: 7 - top
+      a.push(5).swap(1).op(Opcode::SUB);  // SwapBin: top' = old_top - 5
+      a.push(11).op(Opcode::MUL);
+      a.dup(2).op(Opcode::XOR);       // DupBin at depth 2
+    }
+    programs.emplace_back("fused-push-swap-pairs", a.take());
+  }
+  {
+    Assembler a;  // PC interleaved with fused pairs: decoded pc bookkeeping
+    a.op(Opcode::PC);
+    a.push(3).op(Opcode::ADD);
+    a.op(Opcode::PC);
+    a.dup(1).op(Opcode::MUL);
+    a.op(Opcode::PC);
+    a.push(0).op(Opcode::POP);
+    a.op(Opcode::PC);
+    programs.emplace_back("pc-between-fusions", a.take());
   }
   {
     Assembler a;  // EXP with zero and full-width exponents
@@ -240,26 +393,113 @@ TEST(DispatchDifferential, EdgeCaseProgramsMatch) {
     a.push(1).push_word(U256{0x0FFF'FFFF'FFFF'FFFFULL}).op(Opcode::MSTORE);
     programs.emplace_back("mstore-huge-offset", a.take());
   }
+  {
+    Assembler a;  // PUSH+JUMP over a JUMPDEST (fused direct jump)
+    a.push(4).op(Opcode::JUMP).op(Opcode::INVALID);
+    a.op(Opcode::JUMPDEST);  // at pc 4
+    a.push(42).push(0).op(Opcode::SSTORE);
+    programs.emplace_back("push-jump-valid", a.take());
+  }
+  {
+    Assembler a;  // PUSH+JUMP to a non-JUMPDEST (fused fail)
+    a.push(200).op(Opcode::JUMP);
+    programs.emplace_back("push-jump-invalid", a.take());
+  }
+  {
+    Assembler a;  // PUSH+JUMP with a >64-bit destination immediate
+    a.push_word(U256::max()).op(Opcode::JUMP);
+    programs.emplace_back("push-jump-wide-imm", a.take());
+  }
+  {
+    Assembler a;  // PUSH+JUMPI taken and not taken, plus invalid-when-taken
+    a.push(1).push(6).op(Opcode::JUMPI);   // taken -> pc 6
+    a.op(Opcode::INVALID);
+    a.op(Opcode::JUMPDEST);                // pc 6
+    a.push(0).push(200).op(Opcode::JUMPI); // not taken, bad dest ignored
+    a.push(1).push(200).op(Opcode::JUMPI); // taken, bad dest -> InvalidJump
+    programs.emplace_back("push-jumpi-paths", a.take());
+  }
+  {
+    // PUSH+ADD with an empty stack: the fused pair must fall back to a
+    // plain PUSH and fail StackUnderflow on the ADD instruction.
+    programs.emplace_back("pushbin-underflow", Bytes{0x60, 0x01, 0x01});
+  }
+  {
+    // Raw-byte translator edges: PUSH32 with a truncated immediate.
+    programs.emplace_back("trunc-push32", Bytes{0x60, 0x01, 0x7f, 0xAA});
+    programs.emplace_back("trunc-push2", Bytes{0x61, 0xAB});
+    programs.emplace_back("trunc-push-empty", Bytes{0x7f});
+  }
+  {
+    // JUMPDEST hidden inside pushdata is not a valid target: PUSH1 4; JUMP
+    // lands on the 0x5b byte inside `PUSH1 0x5b` -> InvalidJump.
+    programs.emplace_back("jumpdest-in-pushdata",
+                          Bytes{0x60, 0x04, 0x56, 0x60, 0x5b, 0x00});
+  }
 
   for (const auto& [label, code] : programs) {
-    expect_identical(code, {}, VmConfig::tiny(), 10'000'000, label);
-    expect_identical(code, {}, VmConfig::ethereum(), 10'000'000, label);
-    expect_identical(code, {}, VmConfig::ethereum(), 150, label);  // OOG mid-run
+    run_case(golden, std::string("directed/") + label + "/tiny", code, {},
+             VmConfig::tiny(), 10'000'000);
+    run_case(golden, std::string("directed/") + label + "/eth", code, {},
+             VmConfig::ethereum(), 10'000'000);
+    run_case(golden, std::string("directed/") + label + "/eth-oog", code, {},
+             VmConfig::ethereum(), 150);  // OOG mid-run
   }
 
-  // Watchdog expiring exactly between a fused DUP1+MUL pair.
-  Assembler loop;
-  loop.push_word(U256{3});
-  for (int i = 0; i < 100; ++i) loop.dup(1).op(Opcode::MUL);
-  const Bytes code = loop.take();
-  for (std::uint64_t cap : {1ULL, 2ULL, 3ULL, 100ULL, 101ULL, 102ULL}) {
-    VmConfig config = VmConfig::tiny();
-    config.max_ops = cap;
-    expect_identical(code, {}, config, 10'000'000, "watchdog-boundary");
+  // Gas sweep across a fused-pair-heavy program: exhausting gas at every
+  // possible point exercises each superinstruction's fallback boundary.
+  {
+    Assembler a;
+    a.push(9);
+    a.push(3).op(Opcode::ADD);
+    a.dup(1).op(Opcode::MUL);
+    a.push(5).swap(1).op(Opcode::SUB);
+    a.push(1).push(17).op(Opcode::JUMPI);
+    a.op(Opcode::INVALID);
+    a.op(Opcode::JUMPDEST);  // pc 17
+    a.op(Opcode::POP);
+    const Bytes code = a.take();
+    for (std::int64_t gas = 0; gas <= 40; ++gas) {
+      run_case(golden, "directed/gas-sweep/" + std::to_string(gas), code, {},
+               VmConfig::ethereum(), gas);
+    }
   }
+
+  // Watchdog expiring at every op boundary of the same program, and of the
+  // classic DUP1+MUL squaring loop.
+  {
+    Assembler a;
+    a.push(3);
+    for (int i = 0; i < 8; ++i) {
+      a.dup(1).op(Opcode::MUL);
+      a.push(1).op(Opcode::ADD);
+    }
+    const Bytes code = a.take();
+    for (std::uint64_t cap = 1; cap <= 34; ++cap) {
+      VmConfig config = VmConfig::tiny();
+      config.max_ops = cap;
+      run_case(golden, "directed/watchdog/" + std::to_string(cap), code, {},
+               config, 10'000'000);
+    }
+  }
+
+  // Stack-limit boundary: fused heads must fall back (and overflow exactly
+  // like the unfused pair) when the transient push would burst the cap.
+  {
+    Assembler a;
+    for (int i = 0; i < 4; ++i) a.push(i + 1);
+    a.push(5).op(Opcode::ADD);  // PushBin at the cap: transient sp+1
+    const Bytes code = a.take();
+    for (std::size_t limit : {3ULL, 4ULL, 5ULL, 6ULL}) {
+      VmConfig config = VmConfig::tiny();
+      config.stack_limit = limit;
+      run_case(golden, "directed/stack-cap/" + std::to_string(limit), code,
+               {}, config, 10'000'000);
+    }
+  }
+
+  golden.finish();
 }
-
-#endif  // TINYEVM_LEGACY_DISPATCH
 
 }  // namespace
 }  // namespace tinyevm::evm
