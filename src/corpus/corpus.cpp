@@ -219,14 +219,31 @@ std::vector<Contract> Generator::make_all() const {
   return out;
 }
 
-DeploymentOutcome deploy_on_device(const Contract& contract,
-                                   const evm::VmConfig& config,
-                                   std::shared_ptr<evm::CodeCache> code_cache) {
+struct DeviceDeployer::Impl {
+  evm::VmConfig config;
   channel::SensorBank sensors;
-  sensors.set_reading(7, U256{22});
-  channel::DeviceHost host(sensors, config);
+  evm::Vm vm;
 
-  evm::Vm vm{config, std::move(code_cache)};
+  Impl(const evm::VmConfig& cfg, std::shared_ptr<evm::CodeCache> cache)
+      : config(cfg), vm(cfg, std::move(cache)) {
+    sensors.set_reading(7, U256{22});
+  }
+};
+
+DeviceDeployer::DeviceDeployer(const evm::VmConfig& config,
+                               std::shared_ptr<evm::CodeCache> code_cache)
+    : impl_(std::make_unique<Impl>(config, std::move(code_cache))) {}
+
+DeviceDeployer::~DeviceDeployer() = default;
+DeviceDeployer::DeviceDeployer(DeviceDeployer&&) noexcept = default;
+DeviceDeployer& DeviceDeployer::operator=(DeviceDeployer&&) noexcept =
+    default;
+
+DeploymentOutcome DeviceDeployer::deploy(const Contract& contract) {
+  // Fresh host per contract: deployments must not see each other's
+  // storage/contract tables (all corpus deployments run as account 0x01).
+  channel::DeviceHost host(impl_->sensors, impl_->config);
+
   evm::Message msg;
   msg.self[19] = 0x01;
   msg.code = contract.init_code;
@@ -234,7 +251,7 @@ DeploymentOutcome deploy_on_device(const Contract& contract,
     msg.code_hash = contract.init_code_hash;
   }
   msg.gas = 50'000'000;
-  const evm::ExecResult r = vm.execute(host, msg);
+  const evm::ExecResult r = impl_->vm.execute(host, msg);
 
   DeploymentOutcome out;
   out.status = r.status;
@@ -251,6 +268,12 @@ DeploymentOutcome deploy_on_device(const Contract& contract,
   out.deploy_time_ms = static_cast<double>(out.mcu_cycles) /
                        device::Cc2538Spec::kCyclesPerMs;
   return out;
+}
+
+DeploymentOutcome deploy_on_device(const Contract& contract,
+                                   const evm::VmConfig& config,
+                                   std::shared_ptr<evm::CodeCache> code_cache) {
+  return DeviceDeployer{config, std::move(code_cache)}.deploy(contract);
 }
 
 namespace {

@@ -64,7 +64,11 @@ class Generator {
   GeneratorConfig config_;
 };
 
-/// Outcome of deploying one corpus contract on the device model.
+/// Outcome of deploying one corpus contract on the device model. Every
+/// field derives deterministically from (contract, VmConfig) — deploy_time
+/// comes from the modeled cycle count, not wall clock — so the parallel
+/// deployment path can assert bit-identical equality against the serial
+/// loop.
 struct DeploymentOutcome {
   bool success = false;
   evm::Status status = evm::Status::Success;
@@ -74,6 +78,30 @@ struct DeploymentOutcome {
   std::size_t stack_bytes = 0;        ///< max SP * 32 rounded to the arena
   std::uint64_t mcu_cycles = 0;
   double deploy_time_ms = 0;       ///< Fig 4 y-axis (32 MHz model)
+
+  bool operator==(const DeploymentOutcome&) const = default;
+};
+
+/// Reusable deployment engine: owns a sensor bank and one Vm — reused
+/// across deployments, one instance per worker in the parallel path — and
+/// builds a fresh DeviceHost per contract, so every deployment sees the
+/// same pristine device state the serial loop gives it (the host
+/// accumulates storage/contract tables across executions; sharing one
+/// across contracts would change outcomes).
+class DeviceDeployer {
+ public:
+  /// `code_cache` as in deploy_on_device (null = process-wide default).
+  explicit DeviceDeployer(const evm::VmConfig& config,
+                          std::shared_ptr<evm::CodeCache> code_cache = nullptr);
+  ~DeviceDeployer();
+  DeviceDeployer(DeviceDeployer&&) noexcept;
+  DeviceDeployer& operator=(DeviceDeployer&&) noexcept;
+
+  [[nodiscard]] DeploymentOutcome deploy(const Contract& contract);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Runs a contract's deployment on a TinyEVM with the paper's limits

@@ -1,0 +1,54 @@
+#include "corpus/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "evm/code_cache.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace tinyevm::corpus {
+
+std::vector<DeploymentOutcome> deploy_corpus_parallel(
+    runtime::ThreadPool& pool, const Generator& generator,
+    const evm::VmConfig& vm_config, const ParallelDeployConfig& config) {
+  const std::size_t count = generator.config().count;
+  std::vector<DeploymentOutcome> outcomes(count);
+  if (count == 0) return outcomes;
+
+  evm::VmConfig worker_config = vm_config;
+  std::shared_ptr<evm::CodeCache> cache;
+  if (config.use_translation_cache) {
+    cache = config.code_cache ? config.code_cache
+                              : evm::CodeCache::shared_default();
+  } else {
+    worker_config.predecode = false;  // raw loop; no cache traffic at all
+  }
+
+  const std::size_t chunk = std::max<std::size_t>(1, config.chunk);
+  const std::size_t workers = std::max<std::size_t>(
+      1, config.workers != 0 ? config.workers : pool.thread_count());
+
+  std::atomic<std::size_t> cursor{0};
+  runtime::run_tasks(pool, workers, [&](std::size_t) {
+    DeviceDeployer deployer{worker_config, cache};
+    for (;;) {
+      const std::size_t begin =
+          cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) return;
+      const std::size_t end = std::min(count, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        outcomes[i] = deployer.deploy(generator.make(i));
+      }
+    }
+  });
+  return outcomes;
+}
+
+std::vector<DeploymentOutcome> deploy_corpus_parallel(
+    const Generator& generator, const evm::VmConfig& vm_config,
+    const ParallelDeployConfig& config) {
+  runtime::ThreadPool pool{config.workers};
+  return deploy_corpus_parallel(pool, generator, vm_config, config);
+}
+
+}  // namespace tinyevm::corpus

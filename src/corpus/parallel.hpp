@@ -1,0 +1,58 @@
+// Parallel corpus deployment (ROADMAP "corpus-scale runs").
+//
+// The Figure 3 / Table II experiment deploys every corpus contract
+// independently, which makes it embarrassingly parallel: each worker owns
+// its Vm and device host, all workers share one translation cache
+// (code_cache.hpp is thread-safe), and contract i's outcome lands at index
+// i no matter which worker ran it or in what order. The resulting outcome
+// vector — and therefore summarize() and every Fig 3 statistic — is
+// bit-identical to the serial deploy_on_device loop at any worker count
+// (deploy times are modeled from MCU cycles, not wall clock).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+
+namespace tinyevm::runtime {
+class ThreadPool;
+}
+
+namespace tinyevm::corpus {
+
+struct ParallelDeployConfig {
+  /// Worker count; 0 = std::thread::hardware_concurrency().
+  std::size_t workers = 0;
+  /// Contract indices a worker claims per grab from the shared cursor.
+  /// Small chunks keep the heavy-tail constructors (seconds of modeled
+  /// work) from serializing behind one worker; the fetch_add is noise
+  /// against millisecond-scale deployments.
+  std::size_t chunk = 4;
+  /// Translation cache shared by every worker (null = the process-wide
+  /// CodeCache::shared_default()). Ignored in streaming mode.
+  std::shared_ptr<evm::CodeCache> code_cache;
+  /// When false, workers run the raw threaded interpreter loop
+  /// (VmConfig::predecode off) and never touch the translation cache —
+  /// the streaming mode for unique-code corpora whose decoded working set
+  /// overruns the cache capacity, where caching is pure
+  /// translate/insert/evict churn. Results stay bit-identical (the raw
+  /// loop is the semantic reference, tests/evm_dispatch_test.cpp).
+  bool use_translation_cache = true;
+};
+
+/// Generates and deploys generator.config().count contracts across the
+/// pool's workers. Generation happens inside the workers (make(i) is
+/// deterministic per index), so no corpus-sized staging buffer is needed.
+std::vector<DeploymentOutcome> deploy_corpus_parallel(
+    runtime::ThreadPool& pool, const Generator& generator,
+    const evm::VmConfig& vm_config, const ParallelDeployConfig& config = {});
+
+/// Convenience overload: spins up a dedicated pool of config.workers
+/// threads for this one run.
+std::vector<DeploymentOutcome> deploy_corpus_parallel(
+    const Generator& generator, const evm::VmConfig& vm_config,
+    const ParallelDeployConfig& config = {});
+
+}  // namespace tinyevm::corpus

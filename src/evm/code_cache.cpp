@@ -22,12 +22,14 @@ std::shared_ptr<const DecodedProgram> CodeCache::get_or_translate(
   if (code.empty()) return nullptr;  // nothing to translate or run
   if (code.size() > config_.max_code_bytes) {
     std::lock_guard lock(mu_);
+    ++lookups_;
     ++oversized_;
     return nullptr;
   }
   const Key key{code_hash ? *code_hash : keccak256(code), profile.key()};
   {
     std::lock_guard lock(mu_);
+    ++lookups_;
     const auto it = index_.find(key);
     if (it != index_.end()) {
       ++hits_;
@@ -48,6 +50,11 @@ std::shared_ptr<const DecodedProgram> CodeCache::get_or_translate(
   std::lock_guard lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
+    // Lost the translate race: a concurrent execution of the same code
+    // cached its copy first. Adopt the winner's entry and count the
+    // discarded work — under parallel corpus deployment this is the path
+    // TSan and the contention tests must see exercised.
+    ++dup_translations_;
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->program;
   }
@@ -72,10 +79,12 @@ std::shared_ptr<const DecodedProgram> CodeCache::get_or_translate(
 CodeCache::Stats CodeCache::stats() const {
   std::lock_guard lock(mu_);
   Stats s;
+  s.lookups = lookups_;
   s.hits = hits_;
   s.misses = misses_;
   s.evictions = evictions_;
   s.oversized = oversized_;
+  s.dup_translations = dup_translations_;
   s.bytes = bytes_;
   s.entries = index_.size();
   return s;
@@ -86,7 +95,8 @@ void CodeCache::clear() {
   lru_.clear();
   index_.clear();
   bytes_ = 0;
-  hits_ = misses_ = evictions_ = oversized_ = 0;
+  lookups_ = hits_ = misses_ = evictions_ = oversized_ = 0;
+  dup_translations_ = 0;
 }
 
 const std::shared_ptr<CodeCache>& CodeCache::shared_default() {

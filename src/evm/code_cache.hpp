@@ -34,11 +34,22 @@ class CodeCache {
     std::size_t max_code_bytes = 64u << 10;
   };
 
+  /// Counter invariant: every non-empty get_or_translate call resolves as
+  /// exactly one of hit / miss / oversized, so
+  ///   hits + misses + oversized == lookups
+  /// always holds (empty code returns before any accounting).
   struct Stats {
+    std::uint64_t lookups = 0;     ///< non-empty get_or_translate calls
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;      ///< lookups that had to translate
     std::uint64_t evictions = 0;   ///< entries dropped by the byte cap
     std::uint64_t oversized = 0;   ///< lookups declined by max_code_bytes
+    /// Concurrent first executions of the same code race to translate;
+    /// each loser's finished translation is dropped in favour of the
+    /// winner's cached entry. Purely wasted work. Cumulative: one racing
+    /// episode adds at most racers-1, but evicted code can be re-raced,
+    /// so the counter itself is unbounded over a run.
+    std::uint64_t dup_translations = 0;
     std::size_t bytes = 0;         ///< resident decoded-program bytes
     std::size_t entries = 0;
 
@@ -91,10 +102,12 @@ class CodeCache {
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> index_;
   std::size_t bytes_ = 0;
+  std::uint64_t lookups_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t oversized_ = 0;
+  std::uint64_t dup_translations_ = 0;
 };
 
 }  // namespace tinyevm::evm

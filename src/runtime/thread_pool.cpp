@@ -1,0 +1,103 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
+namespace tinyevm::runtime {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = hardware_threads();
+  threads_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ set and nothing left to drain
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void run_tasks(ThreadPool& pool, std::size_t tasks,
+               const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t remaining = tasks;
+  std::exception_ptr error;
+  for (std::size_t t = 0; t < tasks; ++t) {
+    pool.submit([&, t] {
+      std::exception_ptr thrown;
+      try {
+        fn(t);
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      std::lock_guard lock(mu);
+      if (thrown && !error) error = thrown;
+      if (--remaining == 0) done_cv.notify_all();
+    });
+  }
+  std::unique_lock lock(mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+  if (error) std::rethrow_exception(error);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count, std::size_t chunk,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (chunk == 0) chunk = 1;
+  const std::size_t chunks = (count + chunk - 1) / chunk;
+  const std::size_t runners = std::min(pool.thread_count(), chunks);
+  std::atomic<std::size_t> cursor{0};
+  run_tasks(pool, runners, [&](std::size_t) {
+    for (;;) {
+      const std::size_t begin =
+          cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) return;
+      const std::size_t end = std::min(count, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }
+  });
+}
+
+}  // namespace tinyevm::runtime

@@ -1,0 +1,72 @@
+// Reusable worker-pool runtime.
+//
+// The production-scale workloads (parallel corpus deployment today; the
+// channel-hub and routing drivers the ROADMAP names next) all share the
+// same shape: many independent units of work, each a few hundred
+// microseconds to a few seconds, fanned out over a fixed set of worker
+// threads that keep per-worker state (a Vm, a device host) alive across
+// units. This module provides that substrate once: a task-queue thread
+// pool plus fork-join helpers (`run_tasks`, `parallel_for`) with
+// exception propagation, so callers never touch std::thread directly.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tinyevm::runtime {
+
+/// Fixed-size pool of worker threads consuming a FIFO task queue.
+/// Destruction drains every task already submitted, then joins.
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_threads().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return threads_.size(); }
+
+  /// Enqueues one task. Tasks must not throw (wrap with run_tasks for
+  /// exception propagation) and must not submit-and-wait on the same pool
+  /// from inside a task (that can deadlock a fully busy pool).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every popped task has finished.
+  void wait_idle();
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  [[nodiscard]] static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers sleep here
+  std::condition_variable idle_cv_;  // wait_idle() sleeps here
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // popped but not yet finished
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Fork-join: runs fn(0) .. fn(tasks-1) on the pool and blocks until all
+/// complete. The first exception any task throws is rethrown here (the
+/// remaining tasks still run to completion).
+void run_tasks(ThreadPool& pool, std::size_t tasks,
+               const std::function<void(std::size_t)>& fn);
+
+/// Blocking parallel loop over [0, count): worker tasks claim `chunk`
+/// consecutive indices at a time from a shared cursor (dynamic
+/// scheduling — heavy-tailed per-index cost doesn't serialize behind one
+/// worker). fn must be safe to call concurrently for distinct indices.
+void parallel_for(ThreadPool& pool, std::size_t count, std::size_t chunk,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace tinyevm::runtime

@@ -1,0 +1,296 @@
+// Parallel corpus deployment: bit-identical outcomes vs the serial loop at
+// any worker count, shared-cache counter invariants, duplicate-translation
+// accounting under contention (the CodeCache loser path), and the
+// thread-pool primitives underneath. This suite — with evm_code_cache_test
+// — is what the TSan CI rung runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "corpus/parallel.hpp"
+#include "evm/code_cache.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace tinyevm::corpus {
+namespace {
+
+GeneratorConfig small_config(std::size_t count) {
+  GeneratorConfig cfg;
+  cfg.count = count;
+  return cfg;
+}
+
+std::vector<DeploymentOutcome> deploy_serial(
+    const Generator& g, const evm::VmConfig& config,
+    std::shared_ptr<evm::CodeCache> cache) {
+  std::vector<DeploymentOutcome> out;
+  out.reserve(g.config().count);
+  for (std::size_t i = 0; i < g.config().count; ++i) {
+    out.push_back(deploy_on_device(g.make(i), config, cache));
+  }
+  return out;
+}
+
+void expect_outcomes_equal(const std::vector<DeploymentOutcome>& serial,
+                           const std::vector<DeploymentOutcome>& parallel,
+                           std::size_t workers) {
+  ASSERT_EQ(serial.size(), parallel.size()) << "workers=" << workers;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i] == parallel[i])
+        << "workers=" << workers << " contract=" << i
+        << " status=" << evm::to_string(parallel[i].status)
+        << " cycles=" << parallel[i].mcu_cycles << " vs "
+        << serial[i].mcu_cycles;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel vs serial equality
+// ---------------------------------------------------------------------------
+
+TEST(ParallelDeploy, MatchesSerialOutcomesAtEveryWorkerCount) {
+  const Generator g{small_config(120)};
+  const auto config = evm::VmConfig::tiny();
+  const auto serial =
+      deploy_serial(g, config, std::make_shared<evm::CodeCache>());
+
+  for (const std::size_t workers :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ParallelDeployConfig pcfg;
+    pcfg.workers = workers;
+    pcfg.code_cache = std::make_shared<evm::CodeCache>();
+    const auto parallel = deploy_corpus_parallel(g, config, pcfg);
+    expect_outcomes_equal(serial, parallel, workers);
+  }
+}
+
+TEST(ParallelDeploy, StreamingModeMatchesSerialOutcomes) {
+  // Cache-bypass mode executes through the raw threaded loop; results must
+  // still be bit-identical (the raw loop is the semantic reference).
+  const Generator g{small_config(60)};
+  const auto config = evm::VmConfig::tiny();
+  const auto serial =
+      deploy_serial(g, config, std::make_shared<evm::CodeCache>());
+
+  ParallelDeployConfig pcfg;
+  pcfg.workers = 4;
+  pcfg.use_translation_cache = false;
+  const auto parallel = deploy_corpus_parallel(g, config, pcfg);
+  expect_outcomes_equal(serial, parallel, 4);
+}
+
+TEST(ParallelDeploy, ReusesACallerProvidedPool) {
+  const Generator g{small_config(40)};
+  const auto config = evm::VmConfig::tiny();
+  const auto serial =
+      deploy_serial(g, config, std::make_shared<evm::CodeCache>());
+
+  runtime::ThreadPool pool{4};
+  ParallelDeployConfig pcfg;
+  pcfg.code_cache = std::make_shared<evm::CodeCache>();
+  // Two consecutive runs over the same pool: pool state is reusable and
+  // the second (cache-warm) run is still identical.
+  const auto first = deploy_corpus_parallel(pool, g, config, pcfg);
+  const auto second = deploy_corpus_parallel(pool, g, config, pcfg);
+  expect_outcomes_equal(serial, first, 4);
+  expect_outcomes_equal(serial, second, 4);
+  // The second pass re-deployed the same corpus: the shared cache serves
+  // hits (modulo whatever the byte cap evicted between passes).
+  EXPECT_GT(pcfg.code_cache->stats().hits, 0u);
+}
+
+TEST(ParallelDeploy, EmptyCorpusIsSafe) {
+  const Generator g{small_config(0)};
+  ParallelDeployConfig pcfg;
+  pcfg.workers = 4;
+  pcfg.code_cache = std::make_shared<evm::CodeCache>();
+  EXPECT_TRUE(
+      deploy_corpus_parallel(g, evm::VmConfig::tiny(), pcfg).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Shared-cache stat invariants
+// ---------------------------------------------------------------------------
+
+TEST(ParallelDeploy, SharedCacheStatsAreConsistent) {
+  const Generator g{small_config(100)};
+  ParallelDeployConfig pcfg;
+  pcfg.workers = 4;
+  pcfg.code_cache = std::make_shared<evm::CodeCache>();
+  const auto outcomes =
+      deploy_corpus_parallel(g, evm::VmConfig::tiny(), pcfg);
+  ASSERT_EQ(outcomes.size(), 100u);
+
+  const auto stats = pcfg.code_cache->stats();
+  // Every deployment consults the cache exactly once, and each lookup
+  // resolves as exactly one of hit / miss / oversized.
+  EXPECT_EQ(stats.lookups, 100u);
+  EXPECT_EQ(stats.hits + stats.misses + stats.oversized, stats.lookups);
+  // 100 unique contracts, each deployed once: no lookup can hit.
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_LE(stats.bytes, pcfg.code_cache->config().capacity_bytes);
+  EXPECT_GT(stats.entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Many threads, one contract: the get_or_translate loser path
+// ---------------------------------------------------------------------------
+
+TEST(CodeCacheContention, DupTranslationsBoundedAndResultsIdentical) {
+  const Generator g{small_config(10)};
+  const Contract contract = g.make(3);  // a typical light constructor
+  const auto config = evm::VmConfig::tiny();
+  const auto reference =
+      deploy_on_device(contract, config, std::make_shared<evm::CodeCache>());
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kItersPerThread = 8;
+  auto cache = std::make_shared<evm::CodeCache>();
+  std::vector<std::vector<DeploymentOutcome>> results(kThreads);
+
+  // All workers start together to maximize the chance several of them race
+  // through the translate-outside-the-lock window at once.
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      DeviceDeployer deployer{config, cache};
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t i = 0; i < kItersPerThread; ++i) {
+        results[t].push_back(deployer.deploy(contract));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(results[t].size(), kItersPerThread);
+    for (const auto& outcome : results[t]) {
+      EXPECT_TRUE(outcome == reference) << "thread " << t;
+    }
+  }
+
+  const auto stats = cache->stats();
+  EXPECT_EQ(stats.entries, 1u);  // one contract, one resident translation
+  EXPECT_EQ(stats.lookups, kThreads * kItersPerThread);
+  EXPECT_EQ(stats.hits + stats.misses + stats.oversized, stats.lookups);
+  // At most one miss per thread (each thread's first lookup may race), and
+  // every duplicate translation has a distinct losing thread behind it.
+  EXPECT_GE(stats.misses, 1u);
+  EXPECT_LE(stats.misses, kThreads);
+  EXPECT_LT(stats.dup_translations, kThreads);
+  EXPECT_EQ(stats.dup_translations + 1 + stats.hits, stats.lookups);
+}
+
+TEST(CodeCacheContention, RacingRawLookupsShareOneTranslation) {
+  const Generator g{small_config(10)};
+  const Contract contract = g.make(5);
+  auto cache = std::make_shared<evm::CodeCache>();
+  const evm::TranslationProfile profile{};
+
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::shared_ptr<const evm::DecodedProgram>> seen(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      seen[t] = cache->get_or_translate(contract.init_code, profile,
+                                        &contract.init_code_hash);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  // Winner or loser, every caller must come away holding the same cached
+  // translation object.
+  ASSERT_NE(seen[0], nullptr);
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t].get(), seen[0].get()) << "thread " << t;
+  }
+  const auto stats = cache->stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.lookups, kThreads);
+  EXPECT_LT(stats.dup_translations, kThreads);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-pool primitives
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  runtime::ThreadPool pool{4};
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DefaultsToHardwareThreads) {
+  runtime::ThreadPool pool;
+  EXPECT_EQ(pool.thread_count(), runtime::ThreadPool::hardware_threads());
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  runtime::ThreadPool pool{4};
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> visits(kCount);
+  runtime::parallel_for(pool, kCount, 7, [&](std::size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, RunTasksPropagatesTheFirstException) {
+  runtime::ThreadPool pool{2};
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      runtime::run_tasks(pool, 4,
+                         [&](std::size_t t) {
+                           ran.fetch_add(1, std::memory_order_relaxed);
+                           if (t == 2) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+  EXPECT_EQ(ran.load(), 4);  // the failure doesn't cancel the other tasks
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  runtime::ThreadPool pool{3};
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    runtime::run_tasks(pool, 5, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(count.load(), 15);
+  runtime::parallel_for(pool, 10, 1, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 25);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    runtime::ThreadPool pool{1};
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool joins after the queue is drained
+  EXPECT_EQ(count.load(), 50);
+}
+
+}  // namespace
+}  // namespace tinyevm::corpus
