@@ -1,0 +1,236 @@
+// Channel-hub server throughput: 1k (default; TINYEVM_BENCH_HUB_10K=1 for
+// 10k) concurrent client endpoints driving payment rounds — real ECDSA
+// sign/countersign/recover per round — against one ChannelHub, swept over
+// worker counts. Reports rounds/s, p50/p99 per-request service latency,
+// and the translation-cache shard contention counters that motivated the
+// lock-striped CodeCache.
+//
+// Environment knobs:
+//   TINYEVM_BENCH_HUB_SESSIONS  concurrent channels per run (default 1000)
+//   TINYEVM_BENCH_HUB_ROUNDS    payment rounds per channel (default 1)
+//   TINYEVM_BENCH_HUB_10K       also run a 10,000-session sweep point
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "channel/manager.hpp"
+#include "evm/code_cache.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using namespace tinyevm;
+using namespace tinyevm::channel;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kDev = 7;
+const U256 kRate{10};
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const long parsed = std::atol(raw);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+std::uint32_t percentile(std::vector<std::uint32_t>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[rank];
+}
+
+struct RunResult {
+  bool ok = false;
+  double opens_per_s = 0;
+  double rounds_per_s = 0;   // hub-side service throughput, payment phase
+  double closes_per_s = 0;
+  std::uint32_t p50_us = 0;  // per-request payment service latency
+  std::uint32_t p99_us = 0;
+  double client_s = 0;       // endpoint-side sign/verify time (context)
+  evm::CodeCache::Stats cache;
+  std::uint64_t contention_max_shard = 0;
+};
+
+RunResult run_sweep_point(std::size_t sessions, std::size_t rounds,
+                          std::size_t workers) {
+  RunResult result;
+  ChannelHub::Config config;
+  config.workers = workers;
+  config.code_cache = std::make_shared<evm::CodeCache>();
+  ChannelHub hub("hub", PrivateKey::from_seed("hub-key"),
+                 keccak256("hub-bench-anchor"), config);
+  hub.set_sensor_default(kDev, U256{21});
+
+  std::vector<ChannelEndpoint> cars;
+  cars.reserve(sessions);
+  std::vector<HubRequest> opens;
+  opens.reserve(sessions);
+  auto client_start = Clock::now();
+  for (std::size_t i = 0; i < sessions; ++i) {
+    cars.emplace_back("car-" + std::to_string(i),
+                      PrivateKey::from_seed("car-" + std::to_string(i)),
+                      keccak256("hub-bench-anchor"));
+    cars.back().sensors().set_reading(kDev, U256{22});
+    const auto open = cars.back().open_request(U256{i + 1}, kRate, kDev);
+    if (!open) return result;
+    opens.push_back(*open);
+  }
+  result.client_s += seconds_since(client_start);
+
+  auto hub_start = Clock::now();
+  for (const auto& response : hub.handle_batch(opens)) {
+    if (!response.ok()) return result;
+  }
+  result.opens_per_s =
+      static_cast<double>(sessions) / seconds_since(hub_start);
+
+  std::vector<std::uint32_t> service_us;
+  service_us.reserve(sessions * rounds);
+  double payment_hub_s = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    client_start = Clock::now();
+    std::vector<HubRequest> updates;
+    updates.reserve(sessions);
+    for (auto& car : cars) {
+      auto update = car.propose_payment(U256{r % 4 + 1});
+      if (!update) return result;
+      updates.push_back(std::move(*update));
+    }
+    result.client_s += seconds_since(client_start);
+
+    hub_start = Clock::now();
+    const auto responses = hub.handle_batch(updates);
+    payment_hub_s += seconds_since(hub_start);
+
+    client_start = Clock::now();
+    for (std::size_t i = 0; i < sessions; ++i) {
+      if (!responses[i].ok() || !cars[i].apply(responses[i])) return result;
+      service_us.push_back(responses[i].service_us);
+    }
+    result.client_s += seconds_since(client_start);
+  }
+  result.rounds_per_s =
+      static_cast<double>(sessions * rounds) / payment_hub_s;
+  std::sort(service_us.begin(), service_us.end());
+  result.p50_us = percentile(service_us, 0.50);
+  result.p99_us = percentile(service_us, 0.99);
+
+  std::vector<HubRequest> closes;
+  closes.reserve(sessions);
+  for (auto& car : cars) closes.push_back(car.close_request());
+  hub_start = Clock::now();
+  for (const auto& response : hub.handle_batch(closes)) {
+    if (!response.ok()) return result;
+  }
+  result.closes_per_s =
+      static_cast<double>(sessions) / seconds_since(hub_start);
+
+  if (!hub.audit_all()) return result;
+  result.cache = hub.code_cache()->stats();
+  for (std::size_t s = 0; s < hub.code_cache()->shard_count(); ++s) {
+    result.contention_max_shard =
+        std::max(result.contention_max_shard,
+                 hub.code_cache()->shard_stats(s).lock_contentions);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t sessions = env_size("TINYEVM_BENCH_HUB_SESSIONS", 1000);
+  const std::size_t rounds = env_size("TINYEVM_BENCH_HUB_ROUNDS", 1);
+  const std::size_t hw = runtime::ThreadPool::hardware_threads();
+
+  std::vector<std::size_t> worker_sweep{1, 2, 4, hw};
+  std::sort(worker_sweep.begin(), worker_sweep.end());
+  worker_sweep.erase(std::unique(worker_sweep.begin(), worker_sweep.end()),
+                     worker_sweep.end());
+
+  std::printf("==========================================================\n");
+  std::printf("Channel hub: %zu sessions x %zu payment rounds, real ECDSA\n",
+              sessions, rounds);
+  std::printf("==========================================================\n");
+  std::printf("hardware threads: %zu\n\n", hw);
+
+  benchjson::Emitter json("channel_hub");
+  json.metric("sessions", static_cast<double>(sessions));
+  json.metric("rounds", static_cast<double>(rounds));
+  json.metric("hardware_threads", static_cast<double>(hw));
+
+  bool all_ok = true;
+  double w1_rounds_per_s = 0;
+  for (const std::size_t workers : worker_sweep) {
+    const RunResult r = run_sweep_point(sessions, rounds, workers);
+    if (!r.ok) {
+      std::printf("workers=%zu: RUN FAILED\n", workers);
+      all_ok = false;
+      continue;
+    }
+    if (workers == 1) w1_rounds_per_s = r.rounds_per_s;
+    const double speedup =
+        w1_rounds_per_s > 0 ? r.rounds_per_s / w1_rounds_per_s : 0;
+    std::printf(
+        "workers=%zu  rounds/s %7.1f (%.2fx w1)  p50 %6u us  p99 %6u us\n"
+        "           opens/s %7.1f  closes/s %7.1f  client-side %.2f s\n"
+        "           cache: %llu hits / %llu misses, %llu contended locks "
+        "(max shard %llu) over %zu shards\n",
+        workers, r.rounds_per_s, speedup, r.p50_us, r.p99_us, r.opens_per_s,
+        r.closes_per_s, r.client_s,
+        static_cast<unsigned long long>(r.cache.hits),
+        static_cast<unsigned long long>(r.cache.misses),
+        static_cast<unsigned long long>(r.cache.lock_contentions),
+        static_cast<unsigned long long>(r.contention_max_shard),
+        r.cache.shards);
+
+    const std::string prefix = "w" + std::to_string(workers) + "_";
+    json.metric(prefix + "rounds_per_s", r.rounds_per_s);
+    json.metric(prefix + "speedup_vs_w1", speedup);
+    json.metric(prefix + "round_p50_us", r.p50_us);
+    json.metric(prefix + "round_p99_us", r.p99_us);
+    json.metric(prefix + "opens_per_s", r.opens_per_s);
+    json.metric(prefix + "closes_per_s", r.closes_per_s);
+    json.metric(prefix + "client_side_s", r.client_s);
+    json.metric(prefix + "cache_hits", static_cast<double>(r.cache.hits));
+    json.metric(prefix + "cache_misses",
+                static_cast<double>(r.cache.misses));
+    json.metric(prefix + "cache_lock_contentions",
+                static_cast<double>(r.cache.lock_contentions));
+    json.metric(prefix + "cache_contention_max_shard",
+                static_cast<double>(r.contention_max_shard));
+    json.metric(prefix + "cache_shards",
+                static_cast<double>(r.cache.shards));
+  }
+
+  if (std::getenv("TINYEVM_BENCH_HUB_10K") != nullptr) {
+    std::printf("\n10k-session sweep point (workers=%zu):\n", hw);
+    const RunResult r = run_sweep_point(10'000, 1, hw);
+    if (r.ok) {
+      std::printf("  rounds/s %7.1f  p50 %6u us  p99 %6u us\n",
+                  r.rounds_per_s, r.p50_us, r.p99_us);
+      json.metric("s10k_rounds_per_s", r.rounds_per_s);
+      json.metric("s10k_round_p50_us", r.p50_us);
+      json.metric("s10k_round_p99_us", r.p99_us);
+    } else {
+      std::printf("  RUN FAILED\n");
+      all_ok = false;
+    }
+  }
+
+  if (!all_ok) {
+    std::fprintf(stderr, "bench_channel_hub: a sweep point failed\n");
+    return 1;
+  }
+  return 0;
+}

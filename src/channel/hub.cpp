@@ -1,0 +1,545 @@
+#include "channel/hub.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <type_traits>
+
+#include "evm/code_cache.hpp"
+
+namespace tinyevm::channel {
+
+// ---- DeviceHost ----
+
+U256 DeviceHost::sload(const evm::Address& addr, const U256& key) {
+  const auto it = storage_.find(addr);
+  return it == storage_.end() ? U256{} : it->second.load(key);
+}
+
+bool DeviceHost::sstore(const evm::Address& addr, const U256& key,
+                        const U256& value) {
+  auto [it, inserted] =
+      storage_.try_emplace(addr, evm::TinyStorage{config_.storage_limit});
+  return it->second.store(key, value);
+}
+
+evm::Bytes DeviceHost::code_at(const evm::Address& addr) {
+  const auto it = contracts_.find(addr);
+  return it == contracts_.end() ? evm::Bytes{} : it->second;
+}
+
+evm::CreateResult DeviceHost::create(const evm::CreateRequest& req) {
+  evm::Vm vm{config_};
+  evm::Message msg;
+  // Device-local address scheme: 0xD1 marker byte, counter in the tail.
+  msg.self[0] = 0xD1;
+  std::uint64_t n = next_contract_++;
+  for (int i = 19; i > 11 && n != 0; --i) {
+    msg.self[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(n);
+    n >>= 8;
+  }
+  msg.caller = req.sender;
+  msg.value = req.value;
+  msg.code = req.init_code;
+  msg.gas = req.gas;
+  msg.depth = req.depth;
+  const evm::ExecResult r = vm.execute(*this, msg);
+  if (!r.ok()) return evm::CreateResult{false, {}, r.gas_left};
+  contracts_[msg.self] = r.output;
+  code_hashes_[msg.self] = keccak256(r.output);
+  return evm::CreateResult{true, msg.self, r.gas_left};
+}
+
+evm::CallResult DeviceHost::call(const evm::CallRequest& req) {
+  const auto it = contracts_.find(req.to);
+  if (it == contracts_.end()) {
+    return evm::CallResult{true, {}, req.gas};  // value-transfer no-op
+  }
+  evm::Vm vm{config_};
+  evm::Message msg;
+  msg.self = req.to;
+  msg.caller = req.sender;
+  msg.value = req.value;
+  msg.data = req.data;
+  msg.code = it->second;
+  if (const auto hash = code_hashes_.find(req.to);
+      hash != code_hashes_.end()) {
+    msg.code_hash = hash->second;
+  }
+  msg.gas = req.gas;
+  msg.depth = req.depth;
+  msg.is_static = req.is_static;
+  const evm::ExecResult r = vm.execute(*this, msg);
+  return evm::CallResult{r.ok(), r.output, r.gas_left};
+}
+
+void DeviceHost::self_destruct(const evm::Address& addr,
+                               const evm::Address&) {
+  // The side-chain log is the durable artifact; the contract and its slots
+  // go away with the channel.
+  contracts_.erase(addr);
+  code_hashes_.erase(addr);
+  storage_.erase(addr);
+}
+
+std::optional<U256> DeviceHost::sensor_access(const evm::SensorRequest& req) {
+  if (req.actuate) {
+    return sensors_.actuate(req.device_id, req.parameter)
+               ? std::optional<U256>{U256{1}}
+               : std::nullopt;
+  }
+  return sensors_.read(req.device_id);
+}
+
+const evm::TinyStorage* DeviceHost::storage_of(
+    const evm::Address& addr) const {
+  const auto it = storage_.find(addr);
+  return it == storage_.end() ? nullptr : &it->second;
+}
+
+// ---- ChannelSession ----
+
+std::optional<evm::Address> ChannelSession::open(evm::Vm& vm,
+                                                 const U256& channel_id,
+                                                 const U256& rate,
+                                                 std::uint32_t sensor_device) {
+  channel_id_ = channel_id;
+  sensor_device_ = sensor_device;
+
+  // Per-channel contract address: 0xCC marker + low bytes of the channel id
+  // (device-local namespace; the on-chain id is what peers agree on).
+  evm::Address addr{};
+  addr[0] = 0xCC;
+  const auto idw = channel_id.to_word();
+  std::memcpy(addr.data() + 12, idw.data() + 24, 8);
+
+  // Execute the template's constructor on the local TinyEVM. The negotiated
+  // rate arrives as constructor calldata word 0; the 0x0c opcode inside the
+  // prologue samples the on-board sensor (paper Listing 2).
+  evm::Message msg;
+  msg.self = addr;
+  msg.code = payment_channel_init_code(sensor_device);
+  // One named word: `rate.to_word().begin(), rate.to_word().end()` would
+  // take iterators from two distinct temporaries (caught by the ASan CI
+  // sweep when it grew to cover this suite).
+  const auto rate_word = rate.to_word();
+  msg.data.assign(rate_word.begin(), rate_word.end());
+  msg.gas = 10'000'000;
+  const evm::ExecResult r = vm.execute(host_, msg);
+  stats_.vm_cycles += r.stats.mcu_cycles;
+  if (!r.ok() || r.output.empty()) return std::nullopt;
+
+  contract_ = addr;
+  runtime_code_ = r.output;
+  runtime_code_hash_ = keccak256(runtime_code_);
+  return contract_;
+}
+
+std::optional<U256> ChannelSession::run_contract(evm::Vm& vm,
+                                                 const evm::Bytes& calldata) {
+  if (!contract_) return std::nullopt;
+  evm::Message msg;
+  msg.self = *contract_;
+  msg.caller = evm::Address{};
+  msg.data = calldata;
+  msg.code = runtime_code_;
+  if (runtime_code_hash_ != Hash256{}) {
+    msg.code_hash = runtime_code_hash_;  // every round reruns the same code
+  }
+  msg.gas = 10'000'000;
+  const evm::ExecResult r = vm.execute(host_, msg);
+  stats_.vm_cycles += r.stats.mcu_cycles;
+  if (!r.ok()) return std::nullopt;
+  if (r.output.size() != 32) return U256{};
+  return U256::from_bytes(r.output);
+}
+
+ChannelState ChannelSession::next_state(const U256& paid_total,
+                                        std::uint64_t seq) const {
+  ChannelState state;
+  state.channel_id = channel_id_;
+  state.sequence = seq;
+  state.paid_total = paid_total;
+  state.sensor_data = stored(TemplateSlots::kSensor);
+  state.prev_hash = log_.head();
+  return state;
+}
+
+std::optional<SignedState> ChannelSession::make_payment(evm::Vm& vm,
+                                                        const PrivateKey& key,
+                                                        const U256& units) {
+  const auto paid_total = run_contract(vm, encode_pay_call(units));
+  if (!paid_total) return std::nullopt;
+  const auto status = run_contract(vm, encode_status_call());
+  if (!status) return std::nullopt;
+  const std::uint64_t seq = (*status >> 128).as_u64();
+
+  SignedState signed_state;
+  signed_state.state = next_state(*paid_total, seq);
+  signed_state.sender_sig = secp256k1::sign(signed_state.state.digest(), key);
+  ++stats_.signatures;
+  ++stats_.states_signed;
+  return signed_state;
+}
+
+std::optional<Signature> ChannelSession::countersign(const ChannelState& state,
+                                                     const PrivateKey& key) {
+  if (state.channel_id != channel_id_) return std::nullopt;
+  if (state.prev_hash != log_.head()) return std::nullopt;
+  // Validate against the latest state of *this* channel — sequence numbers
+  // are per-channel logical clocks, and a node may have older channels'
+  // states in the same log (§IV-A).
+  for (auto it = log_.entries().rbegin(); it != log_.entries().rend(); ++it) {
+    if (it->state.channel_id != state.channel_id) continue;
+    if (state.sequence <= it->state.sequence) return std::nullopt;
+    if (state.paid_total < it->state.paid_total) return std::nullopt;
+    break;
+  }
+  ++stats_.signatures;
+  return secp256k1::sign(state.digest(), key);
+}
+
+bool ChannelSession::accept(const SignedState& signed_state) {
+  stats_.verifications += 2;
+  const auto signers = signed_state.recover_signers();
+  if (!signers) return false;
+  return log_.append(signed_state);
+}
+
+std::optional<SignedState> ChannelSession::close(evm::Vm& vm,
+                                                 const PrivateKey& key) {
+  const auto status = run_contract(vm, encode_status_call());
+  if (!status) return std::nullopt;
+  const U256 paid = *status & ((U256{1} << 128) - U256{1});
+  const std::uint64_t seq = (*status >> 128).as_u64() + 1;
+  const U256 sensor_at_close = stored(TemplateSlots::kSensor);
+  (void)run_contract(vm, encode_close_call());
+  // close() ends in SELFDESTRUCT; the session holds the runtime outside the
+  // host's contract table, so retire it here as well.
+  contract_.reset();
+  runtime_code_.clear();
+  runtime_code_hash_ = Hash256{};
+
+  SignedState signed_state;
+  signed_state.state = next_state(paid, seq);
+  signed_state.state.sensor_data = sensor_at_close;
+  signed_state.sender_sig = secp256k1::sign(signed_state.state.digest(), key);
+  ++stats_.signatures;
+  return signed_state;
+}
+
+U256 ChannelSession::stored(std::uint8_t slot) const {
+  if (!contract_) return U256{};
+  const auto* st = host_.storage_of(*contract_);
+  return st ? st->load(U256{slot}) : U256{};
+}
+
+// ---- Wire surface ----
+
+std::string_view to_string(HubStatus s) {
+  switch (s) {
+    case HubStatus::Ok: return "ok";
+    case HubStatus::UnknownChannel: return "unknown-channel";
+    case HubStatus::DuplicateChannel: return "duplicate-channel";
+    case HubStatus::ChannelClosed: return "channel-closed";
+    case HubStatus::VmFailure: return "vm-failure";
+    case HubStatus::BadState: return "bad-state";
+    case HubStatus::BadSignature: return "bad-signature";
+  }
+  return "?";
+}
+
+// ---- ChannelHub ----
+
+ChannelHub::ChannelHub(std::string name, const PrivateKey& key,
+                       const Hash256& onchain_root)
+    : ChannelHub(std::move(name), key, onchain_root, Config{}) {}
+
+ChannelHub::ChannelHub(std::string name, const PrivateKey& key,
+                       const Hash256& onchain_root, Config config)
+    : name_(std::move(name)),
+      key_(key),
+      onchain_root_(onchain_root),
+      vm_config_(config.vm_config),
+      cache_(config.code_cache ? std::move(config.code_cache)
+                               : evm::CodeCache::shared_default()),
+      pool_(config.workers) {
+  const std::size_t workers = pool_.thread_count();
+  vms_.reserve(workers);
+  free_vms_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    vms_.push_back(std::make_unique<evm::Vm>(vm_config_, cache_));
+    free_vms_.push_back(vms_.back().get());
+  }
+}
+
+void ChannelHub::set_sensor_default(std::uint32_t device, const U256& value) {
+  std::lock_guard lock(sessions_mu_);
+  sensor_defaults_.set_reading(device, value);
+}
+
+void ChannelHub::register_actuator_default(std::uint32_t device) {
+  std::lock_guard lock(sessions_mu_);
+  sensor_defaults_.register_actuator(device);
+}
+
+evm::Vm& ChannelHub::acquire_vm() {
+  std::unique_lock lock(vm_mu_);
+  vm_cv_.wait(lock, [this] { return !free_vms_.empty(); });
+  evm::Vm* vm = free_vms_.back();
+  free_vms_.pop_back();
+  return *vm;
+}
+
+void ChannelHub::release_vm(evm::Vm& vm) {
+  {
+    std::lock_guard lock(vm_mu_);
+    free_vms_.push_back(&vm);
+  }
+  vm_cv_.notify_one();
+}
+
+std::shared_ptr<ChannelHub::SessionSlot> ChannelHub::find_session(
+    const U256& channel_id) const {
+  std::lock_guard lock(sessions_mu_);
+  const auto it = sessions_.find(channel_id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+const U256& ChannelHub::channel_of(const HubRequest& request) {
+  return std::visit([](const auto& r) -> const U256& { return r.channel_id; },
+                    request);
+}
+
+HubResponse ChannelHub::reject(HubStatus status, HubResponseKind kind,
+                               const U256& channel_id) {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  HubResponse response;
+  response.status = status;
+  response.kind = kind;
+  response.channel_id = channel_id;
+  return response;
+}
+
+HubResponse ChannelHub::serve(const OpenRequest& request, evm::Vm& vm) {
+  std::shared_ptr<SessionSlot> slot;
+  {
+    std::lock_guard lock(sessions_mu_);
+    auto [it, inserted] = sessions_.try_emplace(request.channel_id, nullptr);
+    if (!inserted) {
+      return reject(HubStatus::DuplicateChannel, HubResponseKind::Open,
+                    request.channel_id);
+    }
+    it->second = std::make_shared<SessionSlot>(onchain_root_, vm_config_);
+    slot = it->second;
+    // Seed the session's peripherals before the constructor samples them.
+    slot->session.sensors() = sensor_defaults_;
+  }
+  std::lock_guard session_lock(slot->mu);
+  const auto contract = slot->session.open(vm, request.channel_id,
+                                           request.rate,
+                                           request.sensor_device);
+  if (!contract) {
+    // The constructor failed; drop the placeholder so the endpoint can
+    // retry the open (e.g. after the sensor comes up).
+    std::lock_guard lock(sessions_mu_);
+    sessions_.erase(request.channel_id);
+    return reject(HubStatus::VmFailure, HubResponseKind::Open,
+                  request.channel_id);
+  }
+  opens_.fetch_add(1, std::memory_order_relaxed);
+  HubResponse response;
+  response.kind = HubResponseKind::Open;
+  response.channel_id = request.channel_id;
+  response.contract = contract;
+  return response;
+}
+
+HubResponse ChannelHub::serve(const PaymentUpdate& request) {
+  const auto slot = find_session(request.channel_id);
+  if (!slot) {
+    return reject(HubStatus::UnknownChannel, HubResponseKind::Payment,
+                  request.channel_id);
+  }
+  std::lock_guard session_lock(slot->mu);
+  if (!slot->session.is_open()) {
+    return reject(HubStatus::ChannelClosed, HubResponseKind::Payment,
+                  request.channel_id);
+  }
+  const auto counter = slot->session.countersign(request.proposal.state, key_);
+  if (!counter) {
+    return reject(HubStatus::BadState, HubResponseKind::Payment,
+                  request.channel_id);
+  }
+  SignedState full = request.proposal;
+  full.receiver_sig = *counter;
+  if (!slot->session.accept(full)) {
+    return reject(HubStatus::BadSignature, HubResponseKind::Payment,
+                  request.channel_id);
+  }
+  payments_.fetch_add(1, std::memory_order_relaxed);
+  HubResponse response;
+  response.kind = HubResponseKind::Payment;
+  response.channel_id = request.channel_id;
+  response.state = std::move(full);
+  return response;
+}
+
+HubResponse ChannelHub::serve(const CloseRequest& request, evm::Vm& vm) {
+  const auto slot = find_session(request.channel_id);
+  if (!slot) {
+    return reject(HubStatus::UnknownChannel, HubResponseKind::Close,
+                  request.channel_id);
+  }
+  std::lock_guard session_lock(slot->mu);
+  if (!slot->session.is_open()) {
+    return reject(HubStatus::ChannelClosed, HubResponseKind::Close,
+                  request.channel_id);
+  }
+  auto final_state = slot->session.close(vm, key_);
+  if (!final_state) {
+    return reject(HubStatus::VmFailure, HubResponseKind::Close,
+                  request.channel_id);
+  }
+  closes_.fetch_add(1, std::memory_order_relaxed);
+  HubResponse response;
+  response.kind = HubResponseKind::Close;
+  response.channel_id = request.channel_id;
+  response.state = std::move(*final_state);
+  return response;
+}
+
+HubResponse ChannelHub::dispatch(const HubRequest& request, evm::Vm* vm) {
+  const auto start = std::chrono::steady_clock::now();
+  HubResponse response = std::visit(
+      [&](const auto& r) {
+        if constexpr (std::is_same_v<std::decay_t<decltype(r)>,
+                                     PaymentUpdate>) {
+          return serve(r);
+        } else {
+          return serve(r, *vm);  // callers lease a Vm for open/close
+        }
+      },
+      request);
+  response.service_us = static_cast<std::uint32_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return response;
+}
+
+HubResponse ChannelHub::handle(const HubRequest& request) {
+  if (std::holds_alternative<PaymentUpdate>(request)) {
+    // Countersigning is pure ECDSA + log work; don't queue ~6 ms of it
+    // behind the bounded interpreter set the request never touches.
+    return dispatch(request, nullptr);
+  }
+  evm::Vm& vm = acquire_vm();
+  VmLease lease{*this, vm};
+  return dispatch(request, &lease.vm());
+}
+
+HubResponse ChannelHub::handle(const OpenRequest& request) {
+  return handle(HubRequest{request});
+}
+
+HubResponse ChannelHub::handle(const PaymentUpdate& request) {
+  return handle(HubRequest{request});
+}
+
+HubResponse ChannelHub::handle(const CloseRequest& request) {
+  return handle(HubRequest{request});
+}
+
+std::vector<HubResponse> ChannelHub::handle_batch(
+    std::span<const HubRequest> requests) {
+  std::vector<HubResponse> responses(requests.size());
+  if (requests.empty()) return responses;
+
+  // Group by channel id: one group is one session's requests in batch
+  // order, so per-session effects are deterministic at any worker count.
+  std::map<U256, std::size_t> group_of;
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto [it, inserted] =
+        group_of.try_emplace(channel_of(requests[i]), groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  const std::size_t workers =
+      std::min(pool_.thread_count(), groups.size());
+  runtime::run_tasks(pool_, workers, [&](std::size_t) {
+    evm::Vm& vm = acquire_vm();
+    VmLease lease{*this, vm};
+    for (;;) {
+      const std::size_t g = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (g >= groups.size()) return;
+      for (const std::size_t i : groups[g]) {
+        responses[i] = dispatch(requests[i], &lease.vm());
+      }
+    }
+  });
+  return responses;
+}
+
+ChannelHub::Stats ChannelHub::stats() const {
+  Stats s;
+  s.opens = opens_.load(std::memory_order_relaxed);
+  s.payments = payments_.load(std::memory_order_relaxed);
+  s.closes = closes_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  std::vector<std::shared_ptr<SessionSlot>> slots;
+  {
+    std::lock_guard lock(sessions_mu_);
+    s.sessions = sessions_.size();
+    slots.reserve(sessions_.size());
+    for (const auto& [id, slot] : sessions_) slots.push_back(slot);
+  }
+  for (const auto& slot : slots) {
+    std::lock_guard session_lock(slot->mu);
+    const EndpointStats& e = slot->session.stats();
+    s.signatures += e.signatures;
+    s.verifications += e.verifications;
+    s.vm_cycles += e.vm_cycles;
+    if (slot->session.is_open()) ++s.open_sessions;
+  }
+  return s;
+}
+
+std::size_t ChannelHub::session_count() const {
+  std::lock_guard lock(sessions_mu_);
+  return sessions_.size();
+}
+
+std::optional<SideChainLog> ChannelHub::session_log(
+    const U256& channel_id) const {
+  const auto slot = find_session(channel_id);
+  if (!slot) return std::nullopt;
+  std::lock_guard session_lock(slot->mu);
+  return slot->session.log();
+}
+
+std::optional<U256> ChannelHub::session_stored(const U256& channel_id,
+                                               std::uint8_t slot_key) const {
+  const auto slot = find_session(channel_id);
+  if (!slot) return std::nullopt;
+  std::lock_guard session_lock(slot->mu);
+  return slot->session.stored(slot_key);
+}
+
+bool ChannelHub::audit_all() const {
+  std::vector<std::shared_ptr<SessionSlot>> slots;
+  {
+    std::lock_guard lock(sessions_mu_);
+    slots.reserve(sessions_.size());
+    for (const auto& [id, slot] : sessions_) slots.push_back(slot);
+  }
+  return std::all_of(slots.begin(), slots.end(), [&](const auto& slot) {
+    std::lock_guard session_lock(slot->mu);
+    return slot->session.log().audit(onchain_root_);
+  });
+}
+
+}  // namespace tinyevm::channel

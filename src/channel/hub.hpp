@@ -1,0 +1,405 @@
+// Session-centric channel serving: the ChannelHub server.
+//
+// The paper's workload is one pairwise payment channel between a mote and
+// a gateway; the ROADMAP north-star is a channel *server* handling
+// thousands to millions of endpoints. This header is the session-centric
+// redesign of the channel layer's public API:
+//
+//   * `ChannelSession` — the per-channel state machine (local contract,
+//     hash-linked side-chain log, signing/validation rules) extracted from
+//     the old endpoint class so one process can own thousands of them
+//     without a heavy Vm per channel.
+//   * `OpenRequest` / `PaymentUpdate` / `CloseRequest` → `HubResponse` —
+//     the explicit wire surface. Endpoints interact with a hub purely
+//     through these serialized SignedState exchanges.
+//   * `ChannelHub` — the server: a worker pool, a bounded per-worker Vm
+//     set, and a table of sessions keyed by channel id. Requests for
+//     distinct channels execute concurrently; requests for one channel
+//     are serialized in arrival order, so batch results are deterministic
+//     (bit-identical logs) at any worker count.
+//
+// The device-side peripherals (`SensorBank`, `DeviceHost`) live here too:
+// a hub session runs the same template bytecode against the same host
+// shape as a mote-side endpoint, which is what makes the serial endpoint
+// exchange and the hub exchange byte-for-byte comparable.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "channel/state.hpp"
+#include "channel/template_bytecode.hpp"
+#include "evm/host.hpp"
+#include "evm/vm.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace tinyevm::channel {
+
+/// In-memory sensor/actuator bank standing in for the mote's peripherals.
+/// Device ids map to current readings; actuation records the last command.
+/// Actuator registration is separate from readings, so a hub-side session
+/// can drive an actuator that never produced a reading.
+class SensorBank {
+ public:
+  void set_reading(std::uint32_t device, const U256& value) {
+    readings_[device] = value;
+  }
+  [[nodiscard]] std::optional<U256> read(std::uint32_t device) const {
+    const auto it = readings_.find(device);
+    if (it == readings_.end()) return std::nullopt;
+    return it->second;
+  }
+  /// Declares `device` actuatable. Devices with a reading are implicitly
+  /// actuatable too (a sensor that also accepts commands).
+  void register_actuator(std::uint32_t device) { actuators_.insert(device); }
+  bool actuate(std::uint32_t device, const U256& value) {
+    if (!actuators_.contains(device) && !readings_.contains(device)) {
+      return false;  // unknown device: the 0x0c opcode must abort
+    }
+    actuations_[device] = value;
+    return true;
+  }
+  [[nodiscard]] std::optional<U256> last_actuation(std::uint32_t device) const {
+    const auto it = actuations_.find(device);
+    if (it == actuations_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::map<std::uint32_t, U256> readings_;
+  std::map<std::uint32_t, U256> actuations_;
+  std::set<std::uint32_t> actuators_;
+};
+
+/// Host wiring a local TinyEVM to per-contract TinyStorage and the mote's
+/// SensorBank. CREATE deploys into the device-local contract table.
+class DeviceHost : public evm::Host {
+ public:
+  explicit DeviceHost(SensorBank& sensors, evm::VmConfig config)
+      : sensors_(sensors), config_(config) {}
+
+  U256 sload(const evm::Address& addr, const U256& key) override;
+  bool sstore(const evm::Address& addr, const U256& key,
+              const U256& value) override;
+  U256 balance(const evm::Address&) override { return U256{}; }
+  evm::Bytes code_at(const evm::Address& addr) override;
+  evm::BlockInfo block_info() override { return {}; }
+  Hash256 block_hash(std::uint64_t) override { return {}; }
+  evm::CallResult call(const evm::CallRequest& req) override;
+  evm::CreateResult create(const evm::CreateRequest& req) override;
+  void emit_log(evm::LogEntry entry) override {
+    logs_.push_back(std::move(entry));
+  }
+  void self_destruct(const evm::Address& addr, const evm::Address&) override;
+  std::optional<U256> sensor_access(const evm::SensorRequest& req) override;
+
+  [[nodiscard]] const std::vector<evm::LogEntry>& logs() const {
+    return logs_;
+  }
+  [[nodiscard]] const evm::TinyStorage* storage_of(
+      const evm::Address& addr) const;
+  [[nodiscard]] std::size_t contract_count() const {
+    return contracts_.size();
+  }
+
+ private:
+  SensorBank& sensors_;
+  evm::VmConfig config_;
+  std::map<evm::Address, evm::Bytes> contracts_;
+  /// keccak256 of each installed runtime, computed once at CREATE so
+  /// repeat calls skip rehashing in the EVM's translation cache.
+  std::map<evm::Address, Hash256> code_hashes_;
+  std::map<evm::Address, evm::TinyStorage> storage_;
+  std::vector<evm::LogEntry> logs_;
+  std::uint64_t next_contract_ = 1;
+};
+
+/// Aggregate statistics for one session/endpoint — consumed by the
+/// energy/latency benchmarks (Table IV, Figure 5) and the hub counters.
+struct EndpointStats {
+  std::uint64_t vm_cycles = 0;       ///< MCU cycles in the interpreter
+  std::uint64_t signatures = 0;      ///< ECDSA signs performed
+  std::uint64_t verifications = 0;   ///< signature recoveries performed
+  std::uint64_t states_signed = 0;
+};
+
+/// One side of one payment channel: the local contract instance, the
+/// hash-linked side-chain log, and the signing/validation state machine —
+/// everything *except* the interpreter and the private key, which the
+/// owner (a ChannelEndpoint with its own Vm, or a ChannelHub handing out
+/// worker Vms) supplies per call. Not thread-safe; the hub serializes
+/// access per session.
+class ChannelSession {
+ public:
+  ChannelSession(const Hash256& onchain_root, const evm::VmConfig& config)
+      : config_(config), host_(sensors_, config_), log_(onchain_root) {}
+
+  // The host keeps a reference to this session's SensorBank; pinning the
+  // object keeps that wiring trivially valid (the hub stores sessions
+  // behind unique_ptr).
+  ChannelSession(const ChannelSession&) = delete;
+  ChannelSession& operator=(const ChannelSession&) = delete;
+
+  [[nodiscard]] SensorBank& sensors() { return sensors_; }
+  [[nodiscard]] const SideChainLog& log() const { return log_; }
+  [[nodiscard]] const EndpointStats& stats() const { return stats_; }
+  [[nodiscard]] const DeviceHost& host() const { return host_; }
+  [[nodiscard]] const U256& channel_id() const { return channel_id_; }
+  /// True between a successful open() and close().
+  [[nodiscard]] bool is_open() const { return contract_.has_value(); }
+
+  /// Executes the template bytecode locally to open the channel (the
+  /// constructor samples `sensor_device`). Returns the deployed contract
+  /// address; nullopt when the VM run fails.
+  std::optional<evm::Address> open(evm::Vm& vm, const U256& channel_id,
+                                   const U256& rate,
+                                   std::uint32_t sensor_device);
+
+  /// Payer side: run pay(units) on the local contract, then build and
+  /// sign the next channel state. The peer countersigns.
+  std::optional<SignedState> make_payment(evm::Vm& vm, const PrivateKey& key,
+                                          const U256& units);
+
+  /// Countersigns a peer-proposed state after re-validating it against the
+  /// local log (monotone sequence, non-decreasing paid_total, hash link).
+  std::optional<Signature> countersign(const ChannelState& state,
+                                       const PrivateKey& key);
+
+  /// Records a fully-signed state into the local side-chain log.
+  bool accept(const SignedState& signed_state);
+
+  /// Runs close() on the local contract and returns the final state to be
+  /// submitted on-chain.
+  std::optional<SignedState> close(evm::Vm& vm, const PrivateKey& key);
+
+  /// The value currently stored in the local contract at `slot`.
+  [[nodiscard]] U256 stored(std::uint8_t slot) const;
+
+ private:
+  std::optional<U256> run_contract(evm::Vm& vm, const evm::Bytes& calldata);
+  ChannelState next_state(const U256& paid_total, std::uint64_t seq) const;
+
+  evm::VmConfig config_;
+  SensorBank sensors_;
+  DeviceHost host_;
+  SideChainLog log_;
+  EndpointStats stats_;
+
+  U256 channel_id_;
+  std::uint32_t sensor_device_ = 0;
+  std::optional<evm::Address> contract_;
+  evm::Bytes runtime_code_;   ///< installed by the constructor run
+  Hash256 runtime_code_hash_{};  ///< translation-cache key, hashed once
+};
+
+// ---------------------------------------------------------------------------
+// Wire surface
+// ---------------------------------------------------------------------------
+
+enum class HubStatus : std::uint8_t {
+  Ok,
+  UnknownChannel,    ///< no session under this channel id
+  DuplicateChannel,  ///< open for a channel id already served
+  ChannelClosed,     ///< payment/close after the session closed
+  VmFailure,         ///< template execution failed on the hub side
+  BadState,          ///< proposal failed log validation (replay, regression)
+  BadSignature,      ///< countersigned state failed recovery / append
+};
+
+[[nodiscard]] std::string_view to_string(HubStatus s);
+
+/// Open a channel: the hub instantiates its side of the template with the
+/// negotiated rate, sampling `sensor_device` in the constructor.
+struct OpenRequest {
+  U256 channel_id;
+  U256 rate;
+  std::uint32_t sensor_device = 0;
+};
+
+/// One payment round: the endpoint's half-signed next channel state. The
+/// hub validates it against the session log, countersigns, records it, and
+/// returns the fully-signed state.
+struct PaymentUpdate {
+  U256 channel_id;
+  SignedState proposal;  ///< sender_sig set; receiver_sig empty
+};
+
+/// Close the channel: the hub runs close() on its contract and returns its
+/// signed final state.
+struct CloseRequest {
+  U256 channel_id;
+};
+
+using HubRequest = std::variant<OpenRequest, PaymentUpdate, CloseRequest>;
+
+/// Which request a HubResponse answers — explicit so endpoints never have
+/// to infer the kind from the payload shape.
+enum class HubResponseKind : std::uint8_t { Open, Payment, Close };
+
+struct HubResponse {
+  HubStatus status = HubStatus::Ok;
+  HubResponseKind kind = HubResponseKind::Open;
+  U256 channel_id;
+  /// OpenRequest: the hub-side contract address.
+  std::optional<evm::Address> contract;
+  /// PaymentUpdate: the fully-signed state (both signatures).
+  /// CloseRequest: the hub's final state (hub signature only).
+  std::optional<SignedState> state;
+  /// Worker service time for this request, microseconds (bench telemetry;
+  /// not part of the deterministic payload).
+  std::uint32_t service_us = 0;
+
+  [[nodiscard]] bool ok() const { return status == HubStatus::Ok; }
+};
+
+// ---------------------------------------------------------------------------
+// The hub server
+// ---------------------------------------------------------------------------
+
+/// A channel server: one identity (key), many concurrent sessions.
+///
+/// Requests arrive either one at a time (`handle`, thread-safe) or as a
+/// batch (`handle_batch`), which fans session groups out across the worker
+/// pool. Each worker leases one Vm from a bounded set sized to the pool,
+/// so a hub serving 10k sessions still owns only `workers` interpreters;
+/// translations are shared through the (sharded) CodeCache.
+class ChannelHub {
+ public:
+  struct Config {
+    /// Worker threads and leased Vms; 0 = ThreadPool::hardware_threads().
+    std::size_t workers = 0;
+    evm::VmConfig vm_config = evm::VmConfig::tiny();
+    /// Translation cache shared by every worker Vm; null = the process
+    /// default (CodeCache::shared_default()).
+    std::shared_ptr<evm::CodeCache> code_cache;
+  };
+
+  /// Hub-wide counters, aggregated on demand.
+  struct Stats {
+    std::uint64_t opens = 0;      ///< sessions opened successfully
+    std::uint64_t payments = 0;   ///< payment updates applied
+    std::uint64_t closes = 0;     ///< sessions closed
+    std::uint64_t rejected = 0;   ///< requests answered with a non-Ok status
+    std::uint64_t signatures = 0;
+    std::uint64_t verifications = 0;
+    std::uint64_t vm_cycles = 0;
+    std::size_t sessions = 0;       ///< table size (open + closed)
+    std::size_t open_sessions = 0;
+  };
+
+  ChannelHub(std::string name, const PrivateKey& key,
+             const Hash256& onchain_root);
+  ChannelHub(std::string name, const PrivateKey& key,
+             const Hash256& onchain_root, Config config);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Address address() const { return key_.address(); }
+  [[nodiscard]] std::size_t worker_count() const { return vms_.size(); }
+  [[nodiscard]] const std::shared_ptr<evm::CodeCache>& code_cache() const {
+    return cache_;
+  }
+
+  /// Default sensor readings / actuator registrations copied into every
+  /// new session's SensorBank before its constructor runs. Install these
+  /// before serving opens.
+  void set_sensor_default(std::uint32_t device, const U256& value);
+  void register_actuator_default(std::uint32_t device);
+
+  /// Serves one request. Thread-safe; blocks while every Vm is leased.
+  HubResponse handle(const OpenRequest& request);
+  HubResponse handle(const PaymentUpdate& request);
+  HubResponse handle(const CloseRequest& request);
+  HubResponse handle(const HubRequest& request);
+
+  /// Serves a batch on the worker pool. Requests for distinct channels run
+  /// concurrently; requests for the same channel run in batch order, so
+  /// responses (and session logs) are identical at any worker count.
+  std::vector<HubResponse> handle_batch(std::span<const HubRequest> requests);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t session_count() const;
+  /// Snapshot of one session's side-chain log (nullopt: unknown channel).
+  [[nodiscard]] std::optional<SideChainLog> session_log(
+      const U256& channel_id) const;
+  /// One session's contract storage at `slot` (nullopt: unknown channel).
+  [[nodiscard]] std::optional<U256> session_stored(const U256& channel_id,
+                                                   std::uint8_t slot) const;
+  /// Audits every session log against the on-chain anchor.
+  [[nodiscard]] bool audit_all() const;
+
+ private:
+  /// A session plus the mutex serializing its state machine.
+  struct SessionSlot {
+    SessionSlot(const Hash256& root, const evm::VmConfig& config)
+        : session(root, config) {}
+    mutable std::mutex mu;
+    ChannelSession session;
+  };
+
+  /// RAII lease over one of the hub's bounded Vm set.
+  class VmLease {
+   public:
+    VmLease(ChannelHub& hub, evm::Vm& vm) : hub_(hub), vm_(vm) {}
+    ~VmLease() { hub_.release_vm(vm_); }
+    VmLease(const VmLease&) = delete;
+    VmLease& operator=(const VmLease&) = delete;
+    [[nodiscard]] evm::Vm& vm() { return vm_; }
+
+   private:
+    ChannelHub& hub_;
+    evm::Vm& vm_;
+  };
+
+  evm::Vm& acquire_vm();
+  void release_vm(evm::Vm& vm);
+
+  [[nodiscard]] std::shared_ptr<SessionSlot> find_session(
+      const U256& channel_id) const;
+  static const U256& channel_of(const HubRequest& request);
+
+  /// `vm` may be null only when the request is a PaymentUpdate, which
+  /// never touches an interpreter.
+  HubResponse dispatch(const HubRequest& request, evm::Vm* vm);
+  HubResponse serve(const OpenRequest& request, evm::Vm& vm);
+  HubResponse serve(const PaymentUpdate& request);
+  HubResponse serve(const CloseRequest& request, evm::Vm& vm);
+  HubResponse reject(HubStatus status, HubResponseKind kind,
+                     const U256& channel_id);
+
+  std::string name_;
+  PrivateKey key_;
+  Hash256 onchain_root_;
+  evm::VmConfig vm_config_;
+  std::shared_ptr<evm::CodeCache> cache_;
+  SensorBank sensor_defaults_;
+
+  std::vector<std::unique_ptr<evm::Vm>> vms_;
+  std::mutex vm_mu_;
+  std::condition_variable vm_cv_;
+  std::vector<evm::Vm*> free_vms_;
+
+  mutable std::mutex sessions_mu_;
+  std::map<U256, std::shared_ptr<SessionSlot>> sessions_;
+
+  std::atomic<std::uint64_t> opens_{0};
+  std::atomic<std::uint64_t> payments_{0};
+  std::atomic<std::uint64_t> closes_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+
+  /// Declared last: destroyed first, so the pool drains and joins its
+  /// workers before the Vms and sessions they touch go away.
+  runtime::ThreadPool pool_;
+};
+
+}  // namespace tinyevm::channel

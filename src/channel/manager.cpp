@@ -1,236 +1,63 @@
 #include "channel/manager.hpp"
 
-#include <cstring>
-
 namespace tinyevm::channel {
-
-// ---- DeviceHost ----
-
-U256 DeviceHost::sload(const evm::Address& addr, const U256& key) {
-  const auto it = storage_.find(addr);
-  return it == storage_.end() ? U256{} : it->second.load(key);
-}
-
-bool DeviceHost::sstore(const evm::Address& addr, const U256& key,
-                        const U256& value) {
-  auto [it, inserted] =
-      storage_.try_emplace(addr, evm::TinyStorage{config_.storage_limit});
-  return it->second.store(key, value);
-}
-
-evm::Bytes DeviceHost::code_at(const evm::Address& addr) {
-  const auto it = contracts_.find(addr);
-  return it == contracts_.end() ? evm::Bytes{} : it->second;
-}
-
-evm::CreateResult DeviceHost::create(const evm::CreateRequest& req) {
-  evm::Vm vm{config_};
-  evm::Message msg;
-  // Device-local address scheme: 0xD1 marker byte, counter in the tail.
-  msg.self[0] = 0xD1;
-  std::uint64_t n = next_contract_++;
-  for (int i = 19; i > 11 && n != 0; --i) {
-    msg.self[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(n);
-    n >>= 8;
-  }
-  msg.caller = req.sender;
-  msg.value = req.value;
-  msg.code = req.init_code;
-  msg.gas = req.gas;
-  msg.depth = req.depth;
-  const evm::ExecResult r = vm.execute(*this, msg);
-  if (!r.ok()) return evm::CreateResult{false, {}, r.gas_left};
-  contracts_[msg.self] = r.output;
-  code_hashes_[msg.self] = keccak256(r.output);
-  return evm::CreateResult{true, msg.self, r.gas_left};
-}
-
-evm::CallResult DeviceHost::call(const evm::CallRequest& req) {
-  const auto it = contracts_.find(req.to);
-  if (it == contracts_.end()) {
-    return evm::CallResult{true, {}, req.gas};  // value-transfer no-op
-  }
-  evm::Vm vm{config_};
-  evm::Message msg;
-  msg.self = req.to;
-  msg.caller = req.sender;
-  msg.value = req.value;
-  msg.data = req.data;
-  msg.code = it->second;
-  if (const auto hash = code_hashes_.find(req.to);
-      hash != code_hashes_.end()) {
-    msg.code_hash = hash->second;
-  }
-  msg.gas = req.gas;
-  msg.depth = req.depth;
-  msg.is_static = req.is_static;
-  const evm::ExecResult r = vm.execute(*this, msg);
-  return evm::CallResult{r.ok(), r.output, r.gas_left};
-}
-
-void DeviceHost::self_destruct(const evm::Address& addr,
-                               const evm::Address&) {
-  // The side-chain log is the durable artifact; the contract and its slots
-  // go away with the channel.
-  contracts_.erase(addr);
-  code_hashes_.erase(addr);
-  storage_.erase(addr);
-}
-
-std::optional<U256> DeviceHost::sensor_access(const evm::SensorRequest& req) {
-  if (req.actuate) {
-    return sensors_.actuate(req.device_id, req.parameter)
-               ? std::optional<U256>{U256{1}}
-               : std::nullopt;
-  }
-  return sensors_.read(req.device_id);
-}
-
-const evm::TinyStorage* DeviceHost::storage_of(
-    const evm::Address& addr) const {
-  const auto it = storage_.find(addr);
-  return it == storage_.end() ? nullptr : &it->second;
-}
-
-// ---- ChannelEndpoint ----
 
 ChannelEndpoint::ChannelEndpoint(std::string name, const PrivateKey& key,
                                  const Hash256& onchain_root)
     : name_(std::move(name)),
       key_(key),
       config_(evm::VmConfig::tiny()),
-      host_(sensors_, config_),
       vm_(config_),
-      log_(onchain_root) {}
+      session_(std::make_unique<ChannelSession>(onchain_root, config_)) {}
 
 std::optional<evm::Address> ChannelEndpoint::open_channel(
     const U256& channel_id, const U256& rate, std::uint32_t sensor_device) {
-  channel_id_ = channel_id;
-  sensor_device_ = sensor_device;
-
-  // Per-channel contract address: 0xCC marker + low bytes of the channel id
-  // (device-local namespace; the on-chain id is what peers agree on).
-  evm::Address addr{};
-  addr[0] = 0xCC;
-  const auto idw = channel_id.to_word();
-  std::memcpy(addr.data() + 12, idw.data() + 24, 8);
-
-  // Execute the template's constructor on the local TinyEVM. The negotiated
-  // rate arrives as constructor calldata word 0; the 0x0c opcode inside the
-  // prologue samples the on-board sensor (paper Listing 2).
-  evm::Message msg;
-  msg.self = addr;
-  msg.code = payment_channel_init_code(sensor_device);
-  // One named word: `rate.to_word().begin(), rate.to_word().end()` would
-  // take iterators from two distinct temporaries (caught by the ASan CI
-  // sweep when it grew to cover this suite).
-  const auto rate_word = rate.to_word();
-  msg.data.assign(rate_word.begin(), rate_word.end());
-  msg.gas = 10'000'000;
-  const evm::ExecResult r = vm_.execute(host_, msg);
-  stats_.vm_cycles += r.stats.mcu_cycles;
-  if (!r.ok() || r.output.empty()) return std::nullopt;
-
-  contract_ = addr;
-  runtime_code_ = r.output;
-  runtime_code_hash_ = keccak256(runtime_code_);
-  return contract_;
-}
-
-std::optional<U256> ChannelEndpoint::run_contract(
-    const evm::Bytes& calldata) {
-  if (!contract_) return std::nullopt;
-  evm::Message msg;
-  msg.self = *contract_;
-  msg.caller = evm::Address{};
-  msg.data = calldata;
-  msg.code = runtime_code_;
-  if (runtime_code_hash_ != Hash256{}) {
-    msg.code_hash = runtime_code_hash_;  // every round reruns the same code
-  }
-  msg.gas = 10'000'000;
-  const evm::ExecResult r = vm_.execute(host_, msg);
-  stats_.vm_cycles += r.stats.mcu_cycles;
-  if (!r.ok()) return std::nullopt;
-  if (r.output.size() != 32) return U256{};
-  return U256::from_bytes(r.output);
-}
-
-ChannelState ChannelEndpoint::next_state(const U256& paid_total,
-                                         std::uint64_t seq) const {
-  ChannelState state;
-  state.channel_id = channel_id_;
-  state.sequence = seq;
-  state.paid_total = paid_total;
-  state.sensor_data = stored(TemplateSlots::kSensor);
-  state.prev_hash = log_.head();
-  return state;
+  return session_->open(vm_, channel_id, rate, sensor_device);
 }
 
 std::optional<SignedState> ChannelEndpoint::make_payment(const U256& units) {
-  const auto paid_total = run_contract(encode_pay_call(units));
-  if (!paid_total) return std::nullopt;
-  const auto status = run_contract(encode_status_call());
-  if (!status) return std::nullopt;
-  const std::uint64_t seq = (*status >> 128).as_u64();
-
-  SignedState signed_state;
-  signed_state.state = next_state(*paid_total, seq);
-  signed_state.sender_sig = secp256k1::sign(signed_state.state.digest(), key_);
-  ++stats_.signatures;
-  ++stats_.states_signed;
-  return signed_state;
+  return session_->make_payment(vm_, key_, units);
 }
 
 std::optional<Signature> ChannelEndpoint::countersign(
     const ChannelState& state) {
-  if (state.channel_id != channel_id_) return std::nullopt;
-  if (state.prev_hash != log_.head()) return std::nullopt;
-  // Validate against the latest state of *this* channel — sequence numbers
-  // are per-channel logical clocks, and a node may have older channels'
-  // states in the same log (§IV-A).
-  for (auto it = log_.entries().rbegin(); it != log_.entries().rend(); ++it) {
-    if (it->state.channel_id != state.channel_id) continue;
-    if (state.sequence <= it->state.sequence) return std::nullopt;
-    if (state.paid_total < it->state.paid_total) return std::nullopt;
-    break;
-  }
-  ++stats_.signatures;
-  return secp256k1::sign(state.digest(), key_);
+  return session_->countersign(state, key_);
 }
 
 bool ChannelEndpoint::accept(const SignedState& signed_state) {
-  stats_.verifications += 2;
-  const auto signers = signed_state.recover_signers();
-  if (!signers) return false;
-  return log_.append(signed_state);
+  return session_->accept(signed_state);
 }
 
 std::optional<SignedState> ChannelEndpoint::close_channel() {
-  const auto status = run_contract(encode_status_call());
-  if (!status) return std::nullopt;
-  const U256 paid = *status & ((U256{1} << 128) - U256{1});
-  const std::uint64_t seq = (*status >> 128).as_u64() + 1;
-  const U256 sensor_at_close = stored(TemplateSlots::kSensor);
-  (void)run_contract(encode_close_call());
-  // close() ends in SELFDESTRUCT; the endpoint holds the runtime outside the
-  // host's contract table, so retire it here as well.
-  contract_.reset();
-  runtime_code_.clear();
-  runtime_code_hash_ = Hash256{};
-
-  SignedState signed_state;
-  signed_state.state = next_state(paid, seq);
-  signed_state.state.sensor_data = sensor_at_close;
-  signed_state.sender_sig = secp256k1::sign(signed_state.state.digest(), key_);
-  ++stats_.signatures;
-  return signed_state;
+  return session_->close(vm_, key_);
 }
 
-U256 ChannelEndpoint::stored(std::uint8_t slot) const {
-  if (!contract_) return U256{};
-  const auto* st = host_.storage_of(*contract_);
-  return st ? st->load(U256{slot}) : U256{};
+std::optional<OpenRequest> ChannelEndpoint::open_request(
+    const U256& channel_id, const U256& rate, std::uint32_t sensor_device) {
+  if (!open_channel(channel_id, rate, sensor_device)) return std::nullopt;
+  return OpenRequest{channel_id, rate, sensor_device};
+}
+
+std::optional<PaymentUpdate> ChannelEndpoint::propose_payment(
+    const U256& units) {
+  auto proposal = make_payment(units);
+  if (!proposal) return std::nullopt;
+  return PaymentUpdate{session_->channel_id(), std::move(*proposal)};
+}
+
+bool ChannelEndpoint::apply(const HubResponse& response) {
+  if (!response.ok()) return false;
+  if (response.channel_id != session_->channel_id()) return false;
+  switch (response.kind) {
+    case HubResponseKind::Open:
+      return true;  // acknowledgement only
+    case HubResponseKind::Payment:
+      // The countersigned state goes into the local log (verified there).
+      return response.state.has_value() && accept(*response.state);
+    case HubResponseKind::Close:
+      return true;  // the hub-signed final artifact is informational here
+  }
+  return false;
 }
 
 }  // namespace tinyevm::channel

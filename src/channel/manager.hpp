@@ -1,103 +1,32 @@
-// Device-side payment-channel engine.
+// Device-side payment-channel endpoint.
 //
-// Each mote runs a ChannelEndpoint: it deploys the payment-channel template
-// on its local TinyEVM (constructor samples the on-board sensor via the
-// 0x0c opcode), then produces/accepts signed channel states, extending the
-// hash-linked side-chain log. Peers exchange SignedState artifacts over the
-// radio; either side can hand its log to the on-chain Template contract.
+// Each mote runs a ChannelEndpoint: a name, an ECDSA key, one local
+// TinyEVM interpreter, and one ChannelSession (hub.hpp) holding the
+// deployed template contract and the hash-linked side-chain log. The
+// session machine itself lives in hub.hpp — the same state machine a
+// ChannelHub runs thousands of times over — and the endpoint methods are
+// thin adapters binding it to this device's key and Vm.
+//
+// Two ways to talk to a peer:
+//   * the classic two-party calls (make_payment / countersign / accept),
+//     which the Table IV / Figure 5 benches and the mote examples drive;
+//   * the hub message API (open_request / propose_payment / close_request
+//     → ChannelHub::handle → apply), where the endpoint exchanges only
+//     serialized SignedState artifacts with a channel server.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "channel/hub.hpp"
 #include "channel/state.hpp"
 #include "channel/template_bytecode.hpp"
 #include "evm/host.hpp"
 #include "evm/vm.hpp"
 
 namespace tinyevm::channel {
-
-/// In-memory sensor/actuator bank standing in for the mote's peripherals.
-/// Device ids map to current readings; actuation records the last command.
-class SensorBank {
- public:
-  void set_reading(std::uint32_t device, const U256& value) {
-    readings_[device] = value;
-  }
-  [[nodiscard]] std::optional<U256> read(std::uint32_t device) const {
-    const auto it = readings_.find(device);
-    if (it == readings_.end()) return std::nullopt;
-    return it->second;
-  }
-  bool actuate(std::uint32_t device, const U256& value) {
-    if (!readings_.contains(device)) return false;
-    actuations_[device] = value;
-    return true;
-  }
-  [[nodiscard]] std::optional<U256> last_actuation(std::uint32_t device) const {
-    const auto it = actuations_.find(device);
-    if (it == actuations_.end()) return std::nullopt;
-    return it->second;
-  }
-
- private:
-  std::map<std::uint32_t, U256> readings_;
-  std::map<std::uint32_t, U256> actuations_;
-};
-
-/// Host wiring a local TinyEVM to per-contract TinyStorage and the mote's
-/// SensorBank. CREATE deploys into the device-local contract table.
-class DeviceHost : public evm::Host {
- public:
-  explicit DeviceHost(SensorBank& sensors, evm::VmConfig config)
-      : sensors_(sensors), config_(config) {}
-
-  U256 sload(const evm::Address& addr, const U256& key) override;
-  bool sstore(const evm::Address& addr, const U256& key,
-              const U256& value) override;
-  U256 balance(const evm::Address&) override { return U256{}; }
-  evm::Bytes code_at(const evm::Address& addr) override;
-  evm::BlockInfo block_info() override { return {}; }
-  Hash256 block_hash(std::uint64_t) override { return {}; }
-  evm::CallResult call(const evm::CallRequest& req) override;
-  evm::CreateResult create(const evm::CreateRequest& req) override;
-  void emit_log(evm::LogEntry entry) override {
-    logs_.push_back(std::move(entry));
-  }
-  void self_destruct(const evm::Address& addr, const evm::Address&) override;
-  std::optional<U256> sensor_access(const evm::SensorRequest& req) override;
-
-  [[nodiscard]] const std::vector<evm::LogEntry>& logs() const {
-    return logs_;
-  }
-  [[nodiscard]] const evm::TinyStorage* storage_of(
-      const evm::Address& addr) const;
-  [[nodiscard]] std::size_t contract_count() const {
-    return contracts_.size();
-  }
-
- private:
-  SensorBank& sensors_;
-  evm::VmConfig config_;
-  std::map<evm::Address, evm::Bytes> contracts_;
-  /// keccak256 of each installed runtime, computed once at CREATE so
-  /// repeat calls skip rehashing in the EVM's translation cache.
-  std::map<evm::Address, Hash256> code_hashes_;
-  std::map<evm::Address, evm::TinyStorage> storage_;
-  std::vector<evm::LogEntry> logs_;
-  std::uint64_t next_contract_ = 1;
-};
-
-/// Aggregate statistics for one endpoint — consumed by the energy/latency
-/// benchmarks (Table IV, Figure 5).
-struct EndpointStats {
-  std::uint64_t vm_cycles = 0;       ///< MCU cycles in the interpreter
-  std::uint64_t signatures = 0;      ///< ECDSA signs performed
-  std::uint64_t verifications = 0;   ///< signature recoveries performed
-  std::uint64_t states_signed = 0;
-};
 
 /// One side of a payment channel (e.g. the smart car, or the parking
 /// sensor). Owns a key, a local TinyEVM, and the side-chain log.
@@ -108,10 +37,15 @@ class ChannelEndpoint {
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Address address() const { return key_.address(); }
-  [[nodiscard]] SensorBank& sensors() { return sensors_; }
-  [[nodiscard]] const SideChainLog& log() const { return log_; }
-  [[nodiscard]] const EndpointStats& stats() const { return stats_; }
-  [[nodiscard]] const DeviceHost& host() const { return host_; }
+  [[nodiscard]] SensorBank& sensors() { return session_->sensors(); }
+  [[nodiscard]] const SideChainLog& log() const { return session_->log(); }
+  [[nodiscard]] const EndpointStats& stats() const {
+    return session_->stats();
+  }
+  [[nodiscard]] const DeviceHost& host() const { return session_->host(); }
+  [[nodiscard]] const U256& channel_id() const {
+    return session_->channel_id();
+  }
 
   /// Phase-2 step 1: execute the template bytecode locally to open the
   /// channel (constructor samples `sensor_device`). Returns the deployed
@@ -137,30 +71,47 @@ class ChannelEndpoint {
 
   /// Latest fully-signed state (what this node would submit on-chain).
   [[nodiscard]] std::optional<SignedState> final_state() const {
-    return log_.latest();
+    return session_->log().latest();
   }
 
   /// The negotiated per-unit rate currently stored in the local contract.
-  [[nodiscard]] U256 stored(std::uint8_t slot) const;
+  [[nodiscard]] U256 stored(std::uint8_t slot) const {
+    return session_->stored(slot);
+  }
+
+  // -- Hub message API ------------------------------------------------------
+
+  /// Opens the channel locally and emits the wire request for the hub to
+  /// open its side; nullopt when the local open fails.
+  std::optional<OpenRequest> open_request(const U256& channel_id,
+                                          const U256& rate,
+                                          std::uint32_t sensor_device);
+
+  /// Runs one payment locally and wraps the half-signed state for the hub
+  /// to countersign.
+  std::optional<PaymentUpdate> propose_payment(const U256& units);
+
+  /// The wire request closing this endpoint's current channel on the hub.
+  [[nodiscard]] CloseRequest close_request() const {
+    return CloseRequest{session_->channel_id()};
+  }
+
+  /// Ingests a hub response for this endpoint's channel, switching on the
+  /// response kind: a countersigned payment state is verified and appended
+  /// to the local log; open acknowledgements and hub-final close artifacts
+  /// (hub signature only) just report success. False when the hub rejected
+  /// the request, the channel id is not this endpoint's, or the state
+  /// fails verification.
+  bool apply(const HubResponse& response);
 
  private:
-  std::optional<U256> run_contract(const evm::Bytes& calldata);
-  ChannelState next_state(const U256& paid_total, std::uint64_t seq) const;
-
   std::string name_;
   PrivateKey key_;
-  SensorBank sensors_;
   evm::VmConfig config_;
-  DeviceHost host_;
   evm::Vm vm_;
-  SideChainLog log_;
-  EndpointStats stats_;
-
-  U256 channel_id_;
-  std::uint32_t sensor_device_ = 0;
-  std::optional<evm::Address> contract_;
-  evm::Bytes runtime_code_;   ///< installed by the constructor run
-  Hash256 runtime_code_hash_{};  ///< translation-cache key, hashed once
+  /// Behind unique_ptr so the endpoint stays movable: the session pins the
+  /// SensorBank its DeviceHost references.
+  std::unique_ptr<ChannelSession> session_;
 };
 
 }  // namespace tinyevm::channel

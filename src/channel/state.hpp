@@ -60,6 +60,10 @@ struct SignedState {
   /// True when the signatures recover exactly (sender, receiver).
   [[nodiscard]] bool verify(const Address& sender,
                             const Address& receiver) const;
+
+  /// Bit-identical comparison (state fields and both signatures) — what
+  /// the hub-vs-serial differential tests assert log entry by log entry.
+  friend bool operator==(const SignedState& a, const SignedState& b) = default;
 };
 
 /// Device-local, hash-linked side-chain log: "each execution of the payment

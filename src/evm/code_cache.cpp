@@ -1,12 +1,23 @@
 #include "evm/code_cache.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace tinyevm::evm {
 
-CodeCache::CodeCache() : config_(Config{}) {}
+namespace {
+CodeCache::Config clamp(CodeCache::Config config) {
+  config.shards = std::max<std::size_t>(1, config.shards);
+  return config;
+}
+}  // namespace
 
-CodeCache::CodeCache(Config config) : config_(config) {}
+CodeCache::CodeCache() : CodeCache(Config{}) {}
+
+CodeCache::CodeCache(Config config)
+    : config_(clamp(config)),
+      shard_capacity_bytes_(config_.capacity_bytes / config_.shards),
+      shards_(config_.shards) {}
 
 std::size_t CodeCache::KeyHasher::operator()(const Key& k) const {
   // keccak output is uniformly distributed; the first 8 bytes are already
@@ -16,29 +27,54 @@ std::size_t CodeCache::KeyHasher::operator()(const Key& k) const {
   return static_cast<std::size_t>(h ^ k.profile);
 }
 
+CodeCache::Shard& CodeCache::shard_for(const Key& key) {
+  // Stripe on bits distinct from the ones the per-shard unordered_map
+  // buckets on (KeyHasher uses the low word directly): mix, then take the
+  // high half before reducing mod the stripe count.
+  std::uint64_t h = 0;
+  std::memcpy(&h, key.hash.data(), sizeof h);
+  h ^= key.profile;
+  h *= 0x9e3779b97f4a7c15ULL;
+  return shards_[(h >> 32) % shards_.size()];
+}
+
+std::unique_lock<std::mutex> CodeCache::lock_shard(const Shard& shard) {
+  std::unique_lock lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    shard.lock_contentions.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
 std::shared_ptr<const DecodedProgram> CodeCache::get_or_translate(
     std::span<const std::uint8_t> code, const TranslationProfile& profile,
     const Hash256* code_hash) {
   if (code.empty()) return nullptr;  // nothing to translate or run
   if (code.size() > config_.max_code_bytes) {
-    std::lock_guard lock(mu_);
-    ++lookups_;
-    ++oversized_;
+    // Oversized code is declined before hashing; charge the call to the
+    // stripe the zero key maps to so the aggregate invariant still counts
+    // every lookup exactly once.
+    Shard& shard = shard_for(Key{});
+    auto lock = lock_shard(shard);
+    ++shard.lookups;
+    ++shard.oversized;
     return nullptr;
   }
   const Key key{code_hash ? *code_hash : keccak256(code), profile.key()};
+  Shard& shard = shard_for(key);
   {
-    std::lock_guard lock(mu_);
-    ++lookups_;
-    const auto it = index_.find(key);
-    if (it != index_.end()) {
-      ++hits_;
-      if (it->second != lru_.begin()) {
-        lru_.splice(lru_.begin(), lru_, it->second);
+    auto lock = lock_shard(shard);
+    ++shard.lookups;
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      ++shard.hits;
+      if (it->second != shard.lru.begin()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       }
       return it->second->program;
     }
-    ++misses_;
+    ++shard.misses;
   }
 
   // Translate outside the lock: concurrent first executions of the same
@@ -47,62 +83,109 @@ std::shared_ptr<const DecodedProgram> CodeCache::get_or_translate(
       std::make_shared<const DecodedProgram>(translate(code, profile));
   const std::size_t bytes = program->byte_size();
 
-  std::lock_guard lock(mu_);
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
+  auto lock = lock_shard(shard);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
     // Lost the translate race: a concurrent execution of the same code
     // cached its copy first. Adopt the winner's entry and count the
     // discarded work — under parallel corpus deployment this is the path
     // TSan and the contention tests must see exercised.
-    ++dup_translations_;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    ++shard.dup_translations;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return it->second->program;
   }
-  if (bytes > config_.capacity_bytes) {
-    // Would evict the whole cache and still not fit; hand it to this one
+  if (bytes > shard_capacity_bytes_) {
+    // Would evict this whole stripe and still not fit; hand it to this one
     // execution without caching.
     return program;
   }
-  lru_.push_front(Entry{key, program, bytes});
-  index_[key] = lru_.begin();
-  bytes_ += bytes;
-  while (bytes_ > config_.capacity_bytes) {
-    const Entry& victim = lru_.back();
-    bytes_ -= victim.bytes;
-    index_.erase(victim.key);
-    lru_.pop_back();
-    ++evictions_;
+  shard.lru.push_front(Entry{key, program, bytes});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += bytes;
+  while (shard.bytes > shard_capacity_bytes_) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
   }
   return program;
 }
 
+void CodeCache::accumulate(const Shard& shard, Stats& s) const {
+  s.lookups += shard.lookups;
+  s.hits += shard.hits;
+  s.misses += shard.misses;
+  s.evictions += shard.evictions;
+  s.oversized += shard.oversized;
+  s.dup_translations += shard.dup_translations;
+  s.lock_contentions +=
+      shard.lock_contentions.load(std::memory_order_relaxed);
+  s.bytes += shard.bytes;
+  s.entries += shard.index.size();
+}
+
 CodeCache::Stats CodeCache::stats() const {
-  std::lock_guard lock(mu_);
   Stats s;
-  s.lookups = lookups_;
-  s.hits = hits_;
-  s.misses = misses_;
-  s.evictions = evictions_;
-  s.oversized = oversized_;
-  s.dup_translations = dup_translations_;
-  s.bytes = bytes_;
-  s.entries = index_.size();
+  s.shards = shards_.size();
+  for (const Shard& shard : shards_) {
+    auto lock = lock_shard(shard);
+    accumulate(shard, s);
+  }
+  return s;
+}
+
+CodeCache::Stats CodeCache::shard_stats(std::size_t shard) const {
+  Stats s;
+  s.shards = 1;
+  const Shard& target = shards_.at(shard);
+  auto lock = lock_shard(target);
+  accumulate(target, s);
   return s;
 }
 
 void CodeCache::clear() {
-  std::lock_guard lock(mu_);
-  lru_.clear();
-  index_.clear();
-  bytes_ = 0;
-  lookups_ = hits_ = misses_ = evictions_ = oversized_ = 0;
-  dup_translations_ = 0;
+  for (Shard& shard : shards_) {
+    auto lock = lock_shard(shard);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+    shard.lookups = shard.hits = shard.misses = 0;
+    shard.evictions = shard.oversized = shard.dup_translations = 0;
+    shard.lock_contentions.store(0, std::memory_order_relaxed);
+  }
 }
 
+namespace {
+/// The process-wide default and the config it will be built with, behind
+/// one mutex so configure/first-use ordering is well-defined even when the
+/// first Vm is constructed on a worker thread.
+struct SharedDefaultState {
+  std::mutex mu;
+  std::shared_ptr<CodeCache> cache;
+  CodeCache::Config pending{};
+};
+SharedDefaultState& shared_default_state() {
+  static SharedDefaultState state;
+  return state;
+}
+}  // namespace
+
 const std::shared_ptr<CodeCache>& CodeCache::shared_default() {
-  static const std::shared_ptr<CodeCache> cache =
-      std::make_shared<CodeCache>();
-  return cache;
+  auto& state = shared_default_state();
+  std::lock_guard lock(state.mu);
+  if (!state.cache) {
+    state.cache = std::make_shared<CodeCache>(state.pending);
+  }
+  return state.cache;
+}
+
+bool CodeCache::configure_shared_default(const Config& config) {
+  auto& state = shared_default_state();
+  std::lock_guard lock(state.mu);
+  if (state.cache) return false;  // first use won; the config is frozen
+  state.pending = config;
+  return true;
 }
 
 }  // namespace tinyevm::evm

@@ -1,21 +1,25 @@
-// Per-code-hash translation cache.
+// Per-code-hash translation cache, lock-striped into shards.
 //
 // Off-chain rounds and the corpus benchmarks execute the same bytecode
 // thousands of times; translating it once (decoded.hpp) only pays off if
 // the translation is findable again. This cache keys decoded programs by
-// `keccak256(code)` plus the profile flags that shaped the translation,
-// holds them behind a thread-safe LRU with a byte-size cap, and is shared
-// across `Vm` instances — by default every Vm consults one process-wide
-// cache, so a contract deployed through the chain host and re-run by a
-// corpus worker reuses the same translation.
+// `keccak256(code)` plus the profile flags that shaped the translation and
+// holds them behind N independently-locked LRU shards selected by
+// code-hash bits, so concurrent sessions looking up (or inserting)
+// distinct code don't serialize on one mutex. It is shared across `Vm`
+// instances — by default every Vm consults one process-wide cache, so a
+// contract deployed through the chain host and re-run by a corpus worker
+// or a channel-hub session reuses the same translation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "crypto/hash.hpp"
 #include "evm/decoded.hpp"
@@ -26,18 +30,28 @@ class CodeCache {
  public:
   struct Config {
     /// Total decoded-program bytes retained; least-recently-used
-    /// translations are evicted past this.
+    /// translations are evicted past this. The budget is split evenly
+    /// across the shards, so a single translation larger than
+    /// capacity_bytes / shards is handed to its one execution uncached —
+    /// size the cap (or lower `shards`) accordingly when max_code_bytes
+    /// is raised.
     std::size_t capacity_bytes = 8u << 20;
     /// Code larger than this is never translated — the raw threaded loop
     /// runs it. Bounds worst-case translate latency and cache churn from
     /// one-shot giants.
     std::size_t max_code_bytes = 64u << 10;
+    /// Lock-striped shards, selected by code-hash bits (clamped to >= 1).
+    /// More shards cut mutex contention when many workers touch distinct
+    /// code; `shards = 1` restores the single-LRU behaviour exactly.
+    std::size_t shards = 8;
   };
 
   /// Counter invariant: every non-empty get_or_translate call resolves as
   /// exactly one of hit / miss / oversized, so
   ///   hits + misses + oversized == lookups
-  /// always holds (empty code returns before any accounting).
+  /// always holds (empty code returns before any accounting). The
+  /// aggregate stats() sums the per-shard counters, so the invariant holds
+  /// for the aggregate and for every shard_stats() row individually.
   struct Stats {
     std::uint64_t lookups = 0;     ///< non-empty get_or_translate calls
     std::uint64_t hits = 0;
@@ -50,8 +64,12 @@ class CodeCache {
     /// episode adds at most racers-1, but evicted code can be re-raced,
     /// so the counter itself is unbounded over a run.
     std::uint64_t dup_translations = 0;
+    /// Shard-mutex acquisitions that found the lock already held and had
+    /// to wait — the contention signal the channel-hub bench reports.
+    std::uint64_t lock_contentions = 0;
     std::size_t bytes = 0;         ///< resident decoded-program bytes
     std::size_t entries = 0;
+    std::size_t shards = 0;        ///< stripe count (Config::shards clamped)
 
     [[nodiscard]] double hit_rate() const {
       const std::uint64_t total = hits + misses;
@@ -73,14 +91,26 @@ class CodeCache {
       std::span<const std::uint8_t> code, const TranslationProfile& profile,
       const Hash256* code_hash = nullptr);
 
+  /// Aggregate over every shard.
   [[nodiscard]] Stats stats() const;
+  /// One shard's counters (shard < shard_count()); `shards` is set to 1.
+  [[nodiscard]] Stats shard_stats(std::size_t shard) const;
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   void clear();
   [[nodiscard]] const Config& config() const { return config_; }
 
   /// The process-wide cache every Vm uses unless handed its own — this is
   /// what shares translations across Vm instances (chain hosts, corpus
-  /// workers, channel endpoints all construct their own Vm).
+  /// workers, channel endpoints and hubs all construct their own Vm).
+  /// Constructed lazily with the configure_shared_default() config, or
+  /// Config{} when none was installed.
   static const std::shared_ptr<CodeCache>& shared_default();
+
+  /// Installs the Config the process-wide cache will be built with. Must
+  /// run before anything touches shared_default() (constructing a Vm
+  /// without an explicit cache counts): the first use wins, and a call
+  /// after the cache exists returns false and changes nothing.
+  static bool configure_shared_default(const Config& config);
 
  private:
   struct Key {
@@ -96,18 +126,34 @@ class CodeCache {
     std::shared_ptr<const DecodedProgram> program;
     std::size_t bytes = 0;
   };
+  /// One lock stripe: an independent LRU over its slice of the key space
+  /// with its own byte budget and counters.
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> index;
+    std::size_t bytes = 0;
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t oversized = 0;
+    std::uint64_t dup_translations = 0;
+    /// Outside mu: bumped before blocking on it (mutable so const stats
+    /// readers can count their own contended acquisitions too).
+    mutable std::atomic<std::uint64_t> lock_contentions{0};
+  };
+
+  Shard& shard_for(const Key& key);
+  /// Locks `shard.mu`, counting the acquisition as contended when the
+  /// mutex was already held.
+  [[nodiscard]] static std::unique_lock<std::mutex> lock_shard(
+      const Shard& shard);
+  void accumulate(const Shard& shard, Stats& s) const;
 
   Config config_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> index_;
-  std::size_t bytes_ = 0;
-  std::uint64_t lookups_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t oversized_ = 0;
-  std::uint64_t dup_translations_ = 0;
+  std::size_t shard_capacity_bytes_;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace tinyevm::evm

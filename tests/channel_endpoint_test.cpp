@@ -241,6 +241,46 @@ TEST(SideChainLogMultiChannel, PerChannelClockOrdering) {
   EXPECT_TRUE(log.audit(genesis));
 }
 
+TEST(SensorBank, RegisteredActuatorNeedsNoReading) {
+  // Hub-side sessions drive actuators that never produced a reading;
+  // registration alone makes the device actuatable.
+  SensorBank sensors;
+  sensors.register_actuator(4);
+  EXPECT_TRUE(sensors.actuate(4, U256{7}));
+  EXPECT_EQ(sensors.last_actuation(4), U256{7});
+  EXPECT_FALSE(sensors.read(4).has_value());  // still no reading
+}
+
+TEST(SensorBank, UnknownDeviceStillRejectsActuation) {
+  SensorBank sensors;
+  sensors.register_actuator(4);
+  EXPECT_FALSE(sensors.actuate(5, U256{1}));
+  EXPECT_FALSE(sensors.last_actuation(5).has_value());
+}
+
+TEST(SensorBank, ReadingImpliesActuatable) {
+  // Back-compat: a device with a reading has always accepted commands.
+  SensorBank sensors;
+  sensors.set_reading(9, U256{0});
+  EXPECT_TRUE(sensors.actuate(9, U256{3}));
+  EXPECT_EQ(sensors.last_actuation(9), U256{3});
+}
+
+TEST(DeviceHost, ActuatesRegisteredActuatorViaSensorOpcode) {
+  SensorBank sensors;
+  sensors.register_actuator(11);  // no reading ever set
+  DeviceHost host(sensors, evm::VmConfig::tiny());
+  evm::SensorRequest req;
+  req.device_id = 11;
+  req.actuate = true;
+  req.parameter = U256{99};
+  EXPECT_TRUE(host.sensor_access(req).has_value());
+  EXPECT_EQ(sensors.last_actuation(11), U256{99});
+  // The read path still fails for a write-only actuator.
+  req.actuate = false;
+  EXPECT_FALSE(host.sensor_access(req).has_value());
+}
+
 TEST(DeviceHost, ActuationRecorded) {
   SensorBank sensors;
   sensors.set_reading(9, U256{0});

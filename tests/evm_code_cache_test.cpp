@@ -5,6 +5,9 @@
 // fusion shapes).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "channel/manager.hpp"
 #include "evm/asm.hpp"
 #include "evm/code_cache.hpp"
@@ -76,7 +79,8 @@ TEST(CodeCache, DefaultConstructedVmsShareTheProcessCache) {
 }
 
 TEST(CodeCache, EvictsLeastRecentlyUsedUnderByteCap) {
-  // Capacity sized to hold roughly two of the three programs.
+  // Capacity sized to hold roughly two of the three programs. One shard:
+  // this test pins exact LRU order, which striping would spread out.
   const TranslationProfile profile{};
   const Bytes probe = sized_code(512, 0);
   const std::size_t one_program =
@@ -84,6 +88,7 @@ TEST(CodeCache, EvictsLeastRecentlyUsedUnderByteCap) {
 
   CodeCache::Config config;
   config.capacity_bytes = one_program * 5 / 2;
+  config.shards = 1;
   CodeCache cache{config};
 
   auto p0 = cache.get_or_translate(sized_code(512, 1), profile);
@@ -211,6 +216,175 @@ TEST(CodeCache, ClearResetsEntriesAndStats) {
   EXPECT_EQ(stats.entries, 0u);
   EXPECT_EQ(stats.bytes, 0u);
   EXPECT_EQ(stats.misses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Lock-striped shards
+// ---------------------------------------------------------------------------
+
+TEST(CodeCacheSharded, DefaultsToEightShards) {
+  CodeCache cache;
+  EXPECT_EQ(cache.shard_count(), 8u);
+  EXPECT_EQ(cache.stats().shards, 8u);
+}
+
+TEST(CodeCacheSharded, ShardCountClampedToAtLeastOne) {
+  CodeCache::Config config;
+  config.shards = 0;
+  CodeCache cache{config};
+  EXPECT_EQ(cache.shard_count(), 1u);
+  EXPECT_EQ(cache.config().shards, 1u);
+}
+
+TEST(CodeCacheSharded, DistinctProgramsSpreadAcrossShards) {
+  CodeCache cache;  // 8 shards
+  const TranslationProfile profile{};
+  constexpr std::uint64_t kPrograms = 64;
+  for (std::uint64_t i = 0; i < kPrograms; ++i) {
+    ASSERT_NE(cache.get_or_translate(sized_code(64, i + 1), profile),
+              nullptr);
+  }
+  // keccak spreads the keys: the chance all 64 land in one of 8 stripes is
+  // 8^-63. Require at least half the stripes populated.
+  std::size_t populated = 0;
+  for (std::size_t s = 0; s < cache.shard_count(); ++s) {
+    if (cache.shard_stats(s).entries > 0) ++populated;
+  }
+  EXPECT_GE(populated, 4u);
+}
+
+TEST(CodeCacheSharded, AggregateStatsSumShardStats) {
+  CodeCache cache;
+  const TranslationProfile profile{};
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    (void)cache.get_or_translate(sized_code(64, i + 1), profile);  // miss
+    (void)cache.get_or_translate(sized_code(64, i + 1), profile);  // hit
+  }
+  const auto total = cache.stats();
+  EXPECT_EQ(total.lookups, 32u);
+  EXPECT_EQ(total.hits, 16u);
+  EXPECT_EQ(total.misses, 16u);
+  EXPECT_EQ(total.entries, 16u);
+  EXPECT_EQ(total.hits + total.misses + total.oversized, total.lookups);
+
+  CodeCache::Stats summed;
+  for (std::size_t s = 0; s < cache.shard_count(); ++s) {
+    const auto shard = cache.shard_stats(s);
+    // The per-shard invariant holds stripe by stripe.
+    EXPECT_EQ(shard.hits + shard.misses + shard.oversized, shard.lookups)
+        << s;
+    summed.lookups += shard.lookups;
+    summed.hits += shard.hits;
+    summed.misses += shard.misses;
+    summed.evictions += shard.evictions;
+    summed.oversized += shard.oversized;
+    summed.bytes += shard.bytes;
+    summed.entries += shard.entries;
+  }
+  EXPECT_EQ(summed.lookups, total.lookups);
+  EXPECT_EQ(summed.hits, total.hits);
+  EXPECT_EQ(summed.misses, total.misses);
+  EXPECT_EQ(summed.evictions, total.evictions);
+  EXPECT_EQ(summed.oversized, total.oversized);
+  EXPECT_EQ(summed.bytes, total.bytes);
+  EXPECT_EQ(summed.entries, total.entries);
+}
+
+TEST(CodeCacheSharded, PerShardByteBudgetBoundsEachStripe) {
+  const TranslationProfile profile{};
+  const std::size_t one_program = translate(sized_code(512, 0), profile)
+                                      .byte_size();
+  CodeCache::Config config;
+  config.shards = 2;
+  config.capacity_bytes = one_program * 4;  // two programs per stripe
+  CodeCache cache{config};
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    ASSERT_NE(cache.get_or_translate(sized_code(512, i + 1), profile),
+              nullptr);
+  }
+  const std::size_t per_shard = config.capacity_bytes / config.shards;
+  for (std::size_t s = 0; s < cache.shard_count(); ++s) {
+    EXPECT_LE(cache.shard_stats(s).bytes, per_shard) << s;
+  }
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().bytes, config.capacity_bytes);
+}
+
+TEST(CodeCacheSharded, OversizedLookupsStayInTheInvariant) {
+  CodeCache::Config config;
+  config.max_code_bytes = 8;
+  CodeCache cache{config};
+  const TranslationProfile profile{};
+  EXPECT_EQ(cache.get_or_translate(sized_code(64, 1), profile), nullptr);
+  (void)cache.get_or_translate(Bytes{0x60, 0x01}, profile);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.oversized, 1u);
+  EXPECT_EQ(stats.hits + stats.misses + stats.oversized, stats.lookups);
+}
+
+TEST(CodeCacheSharded, InvariantsHoldUnderThreadedStress) {
+  // 8 threads hammer 32 distinct programs through an 8-stripe cache; every
+  // counter invariant must survive the races (TSan runs this suite too).
+  CodeCache cache;
+  const TranslationProfile profile{};
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 24;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t i = 0; i < kIters; ++i) {
+        EXPECT_NE(cache.get_or_translate(
+                      sized_code(64, ((t * kIters + i) % 32) + 1), profile),
+                  nullptr);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.lookups, kThreads * kIters);
+  EXPECT_EQ(stats.hits + stats.misses + stats.oversized, stats.lookups);
+  EXPECT_EQ(stats.entries, 32u);
+  EXPECT_GE(stats.misses, 32u);  // every program translated at least once
+  // Counted-but-unasserted: lock_contentions is scheduling-dependent (and
+  // zero on a single-core host).
+  EXPECT_GE(stats.lock_contentions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide default configuration
+// ---------------------------------------------------------------------------
+
+TEST(CodeCacheSharedDefault, ConfigIsSettableOnceBeforeFirstUse) {
+  // ctest runs every case in its own process (gtest_discover_tests), so
+  // nothing has touched shared_default() yet when this body starts. A
+  // whole-binary run (./evm_code_cache_test) arrives here with the
+  // default already materialized by earlier tests — skip in that mode.
+  CodeCache::Config config;
+  config.shards = 4;
+  config.capacity_bytes = 4u << 20;
+  if (!CodeCache::configure_shared_default(config)) {
+    GTEST_SKIP() << "process-wide default already in use";
+  }
+  EXPECT_EQ(CodeCache::shared_default()->shard_count(), 4u);
+  EXPECT_EQ(CodeCache::shared_default()->config().capacity_bytes, 4u << 20);
+  // First use has happened: later reconfiguration attempts are refused.
+  CodeCache::Config late;
+  late.shards = 2;
+  EXPECT_FALSE(CodeCache::configure_shared_default(late));
+  EXPECT_EQ(CodeCache::shared_default()->shard_count(), 4u);
+}
+
+TEST(CodeCacheSharedDefault, ConfigureAfterUseIsRejected) {
+  (void)CodeCache::shared_default();
+  CodeCache::Config config;
+  config.shards = 2;
+  EXPECT_FALSE(CodeCache::configure_shared_default(config));
 }
 
 // ---------------------------------------------------------------------------

@@ -110,6 +110,85 @@ TEST(MerkleSumTree, LeafValueAboveCapRejectedImmediately) {
                                      *proof, U256{100}));
 }
 
+TEST(MerkleSumTree, ProofForWrongIndexFails) {
+  // An attacker may not re-aim leaf 5's membership proof at leaf 2's
+  // (value, digest): the sibling path encodes the position.
+  MerkleSumTree tree;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    tree.append(U256{(i + 1) * 7}, digest_of(i));
+  }
+  const auto proof = tree.prove(5);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_FALSE(MerkleSumTree::verify(tree.root(), U256{3 * 7}, digest_of(2),
+                                     *proof, U256{10'000}));
+  // Sanity: the same proof verifies the leaf it was issued for.
+  EXPECT_TRUE(MerkleSumTree::verify(tree.root(), U256{6 * 7}, digest_of(5),
+                                    *proof, U256{10'000}));
+}
+
+TEST(MerkleSumTree, SiblingSideFlippedFails) {
+  // Flipping which side a sibling hangs on swaps the combine order; the
+  // combinator is order-sensitive, so every flipped step must fail.
+  MerkleSumTree tree;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    tree.append(U256{i + 1}, digest_of(i));
+  }
+  const auto proof = tree.prove(3);
+  ASSERT_TRUE(proof.has_value());
+  for (std::size_t step = 0; step < proof->size(); ++step) {
+    Proof tampered = *proof;
+    tampered[step].sibling_on_left = !tampered[step].sibling_on_left;
+    EXPECT_FALSE(MerkleSumTree::verify(tree.root(), U256{4}, digest_of(3),
+                                       tampered, U256{10'000}))
+        << "flipped step " << step;
+  }
+}
+
+TEST(MerkleSumTree, InflatedSiblingSumFails) {
+  // Inflating a sibling's sum (keeping its hash) must break the hash path:
+  // sums are committed inside every parent hash, not carried out-of-band.
+  MerkleSumTree tree;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    tree.append(U256{10}, digest_of(i));
+  }
+  const auto proof = tree.prove(0);
+  ASSERT_TRUE(proof.has_value());
+  Proof tampered = *proof;
+  tampered[0].sibling.sum = U256{1};  // deflate the neighbour's payment
+  EXPECT_FALSE(MerkleSumTree::verify(tree.root(), U256{10}, digest_of(0),
+                                     tampered, U256{10'000}));
+}
+
+TEST(MerkleSumTree, PartialSumAboveCapRejectedMidPath) {
+  // Eight leaves, a hot pair at the front: the leaf itself is under the
+  // cap, but its first combine already exceeds it — the audit condition
+  // must trip on that inner node, levels before the root comparison could
+  // notice anything.
+  MerkleSumTree tree;
+  tree.append(U256{50}, digest_of(0));
+  tree.append(U256{60}, digest_of(1));  // 50 + 60 = 110 > cap at level 1
+  for (std::uint64_t i = 2; i < 8; ++i) {
+    tree.append(U256{1}, digest_of(i));
+  }
+  const auto proof = tree.prove(0);
+  ASSERT_TRUE(proof.has_value());
+  const U256 cap{100};
+  EXPECT_FALSE(MerkleSumTree::verify(tree.root(), U256{50}, digest_of(0),
+                                     *proof, cap));
+  // A sibling leaf whose path stays under the cap longer still fails only
+  // at the level where its partial sum crosses: leaf 7's first combine is
+  // 1 + 1 = 2, but the root total 116 breaches any cap below it.
+  const auto ok_proof = tree.prove(7);
+  ASSERT_TRUE(ok_proof.has_value());
+  EXPECT_FALSE(MerkleSumTree::verify(tree.root(), U256{1}, digest_of(7),
+                                     *ok_proof, cap));
+  // With the cap at the true total, both verify.
+  EXPECT_TRUE(MerkleSumTree::verify(tree.root(), U256{50}, digest_of(0),
+                                    *proof, U256{116}));
+  EXPECT_TRUE(MerkleSumTree::verify(tree.root(), U256{1}, digest_of(7),
+                                    *ok_proof, U256{116}));
+}
+
 TEST(MerkleSumTree, ProveOutOfRangeFails) {
   MerkleSumTree tree;
   tree.append(U256{1}, digest_of(0));
