@@ -102,6 +102,18 @@ void BM_Loop_TinyEvm_Predecoded(benchmark::State& state) {
 }
 BENCHMARK(BM_Loop_TinyEvm_Predecoded);
 
+// Check-elision ablation: same predecoded path, but with the analyzer's
+// block-granular stack/gas/watchdog hoisting turned off so every
+// instruction runs its own prologue checks. The delta against the
+// *_Predecoded twins is what the static analysis buys at run time.
+void BM_Loop_TinyEvm_PredecodedChecked(benchmark::State& state) {
+  evm::VmConfig config = evm::VmConfig::tiny();
+  config.predecode = true;
+  config.elide_checks = false;
+  run_program(state, loop_program(10'000), config);
+}
+BENCHMARK(BM_Loop_TinyEvm_PredecodedChecked);
+
 void BM_OpMix_Raw(benchmark::State& state) {
   evm::VmConfig config = evm::VmConfig::tiny();
   config.predecode = false;
@@ -115,6 +127,14 @@ void BM_OpMix_Predecoded(benchmark::State& state) {
   run_program(state, opmix_program(), config);
 }
 BENCHMARK(BM_OpMix_Predecoded);
+
+void BM_OpMix_PredecodedChecked(benchmark::State& state) {
+  evm::VmConfig config = evm::VmConfig::tiny();
+  config.predecode = true;
+  config.elide_checks = false;
+  run_program(state, opmix_program(), config);
+}
+BENCHMARK(BM_OpMix_PredecodedChecked);
 
 // --- translation cost: cold translate by code size, and the warm-lookup
 // overhead (keccak + LRU probe) a cache hit still pays.

@@ -1,0 +1,675 @@
+#include "evm/analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "evm/opcodes.hpp"
+
+namespace tinyevm::evm {
+
+namespace {
+
+/// Superinstruction heads that occupy two stream slots (the second slot is
+/// the fallback continuation the fused path skips).
+bool is_fused_head(Handler h) {
+  switch (h) {
+    case Handler::PushBin:
+    case Handler::DupBin:
+    case Handler::SwapBin:
+    case Handler::PushJump:
+    case Handler::PushJumpI:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Handlers after which the next (stride-aware) instruction starts a new
+/// basic block.
+bool ends_block(Handler h) {
+  switch (h) {
+    case Handler::Stop:
+    case Handler::Jump:
+    case Handler::JumpI:
+    case Handler::PushJump:
+    case Handler::PushJumpI:
+    case Handler::Return:
+    case Handler::Revert:
+    case Handler::Invalid:
+    case Handler::SelfDestruct:
+    case Handler::Undefined:
+    case Handler::Forbidden:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_push_family(Handler h) {
+  switch (h) {
+    case Handler::Push:
+    case Handler::PushBin:
+    case Handler::PushJump:
+    case Handler::PushJumpI:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Folds one instruction into a running block/span summary.
+struct Summary {
+  std::int32_t height = 0;
+  std::int32_t require = 0;
+  std::int32_t peak = 0;
+  std::uint64_t static_gas = 0;
+  std::uint64_t cycles = 0;
+  std::uint32_t ops = 0;
+
+  void add(const DecodedInst& inst) {
+    const StackEffect ef = stack_effect(inst);
+    require = std::max(require, ef.require - height);
+    peak = std::max(peak, height + ef.peak);
+    height += ef.delta;
+    peak = std::max(peak, height);
+    static_gas += inst.gas;
+    cycles += inst.cycles;
+    if (is_fused_head(inst.handler)) {
+      static_gas += inst.gas2;
+      cycles += inst.cycles2;
+      ops += 2;
+    } else {
+      ops += 1;
+    }
+  }
+};
+
+}  // namespace
+
+StackEffect stack_effect(const DecodedInst& inst) {
+  const auto depth = static_cast<std::int32_t>(inst.aux);
+  switch (inst.handler) {
+    // No stack interaction (traps consume nothing before failing).
+    case Handler::Undefined:
+    case Handler::Forbidden:
+    case Handler::Stop:
+    case Handler::Invalid:
+    case Handler::JumpDest:
+      return {0, 0, 0};
+
+    // Binary operators: pop two, push one.
+    case Handler::Add:
+    case Handler::Mul:
+    case Handler::Sub:
+    case Handler::Div:
+    case Handler::Sdiv:
+    case Handler::Mod:
+    case Handler::Smod:
+    case Handler::Exp:
+    case Handler::SignExtend:
+    case Handler::Lt:
+    case Handler::Gt:
+    case Handler::Slt:
+    case Handler::Sgt:
+    case Handler::Eq:
+    case Handler::And:
+    case Handler::Or:
+    case Handler::Xor:
+    case Handler::Byte:
+    case Handler::Shl:
+    case Handler::Shr:
+    case Handler::Sar:
+    case Handler::Sensor:
+    case Handler::Sha3:
+      return {2, -1, 0};
+
+    case Handler::AddMod:
+    case Handler::MulMod:
+      return {3, -2, 0};
+
+    // Unary in-place transforms.
+    case Handler::IsZero:
+    case Handler::Not:
+      return {1, 0, 0};
+
+    // Environment / block pushes.
+    case Handler::Address:
+    case Handler::Origin:
+    case Handler::Caller:
+    case Handler::CallValue:
+    case Handler::CallDataSize:
+    case Handler::CodeSize:
+    case Handler::GasPrice:
+    case Handler::ReturnDataSize:
+    case Handler::Coinbase:
+    case Handler::Timestamp:
+    case Handler::Number:
+    case Handler::Difficulty:
+    case Handler::GasLimit:
+    case Handler::Pc:
+    case Handler::MSize:
+    case Handler::Gas:
+    case Handler::Push:
+      return {0, 1, 1};
+
+    // Top-of-stack replacements.
+    case Handler::Balance:
+    case Handler::CallDataLoad:
+    case Handler::ExtCodeSize:
+    case Handler::BlockHash:
+    case Handler::SLoad:
+    case Handler::MLoad:
+      return {1, 0, 0};
+
+    case Handler::CallDataCopy:
+    case Handler::CodeCopy:
+    case Handler::ReturnDataCopy:
+      return {3, -3, 0};
+    case Handler::ExtCodeCopy:
+      return {4, -4, 0};
+
+    case Handler::Pop:
+    case Handler::Jump:
+    case Handler::SelfDestruct:
+      return {1, -1, 0};
+    case Handler::MStore:
+    case Handler::MStore8:
+    case Handler::SStore:
+    case Handler::JumpI:
+    case Handler::Return:
+    case Handler::Revert:
+      return {2, -2, 0};
+
+    case Handler::Dup:
+      return {depth, 1, 1};
+    case Handler::Swap:
+      return {depth + 1, 0, 0};
+    case Handler::Log:
+      return {depth + 2, -(depth + 2), 0};
+
+    case Handler::Create:
+      return {3, -2, 0};
+    case Handler::Call:
+    case Handler::CallCode:
+      return {7, -6, 0};
+    case Handler::DelegateCall:
+    case Handler::StaticCall:
+      return {6, -5, 0};
+
+    // Superinstructions: requirement, net effect, and transient peak are
+    // identical fused and unfused (the fallback re-creates the same
+    // intermediate push), so one row covers both executions.
+    case Handler::PushBin:
+      return {1, 0, 1};
+    case Handler::DupBin:
+      return {depth, 0, 1};
+    case Handler::SwapBin:
+      return {2, -1, 0};
+    case Handler::PushJump:
+      return {0, 0, 1};
+    case Handler::PushJumpI:
+      return {1, -1, 1};
+  }
+  return {0, 0, 0};  // unreachable: the switch is total over Handler
+}
+
+bool is_elidable(Handler h) {
+  switch (h) {
+    // Pure arithmetic / comparison / bitwise (EXP excluded: dynamic gas).
+    case Handler::Add:
+    case Handler::Mul:
+    case Handler::Sub:
+    case Handler::Div:
+    case Handler::Sdiv:
+    case Handler::Mod:
+    case Handler::Smod:
+    case Handler::AddMod:
+    case Handler::MulMod:
+    case Handler::SignExtend:
+    case Handler::Lt:
+    case Handler::Gt:
+    case Handler::Slt:
+    case Handler::Sgt:
+    case Handler::Eq:
+    case Handler::IsZero:
+    case Handler::And:
+    case Handler::Or:
+    case Handler::Xor:
+    case Handler::Not:
+    case Handler::Byte:
+    case Handler::Shl:
+    case Handler::Shr:
+    case Handler::Sar:
+    // Message-environment reads with no host round-trip.
+    case Handler::Address:
+    case Handler::Origin:
+    case Handler::Caller:
+    case Handler::CallValue:
+    case Handler::CallDataLoad:
+    case Handler::CallDataSize:
+    case Handler::CodeSize:
+    case Handler::ReturnDataSize:
+    case Handler::GasPrice:
+    // Pure stack shuffles (GAS is *not* here: it reads live gas, which a
+    // span bulk-charges up front).
+    case Handler::Pop:
+    case Handler::Pc:
+    case Handler::MSize:
+    case Handler::Push:
+    case Handler::Dup:
+    case Handler::Swap:
+    case Handler::PushBin:
+    case Handler::DupBin:
+    case Handler::SwapBin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view to_string(BlockExit exit) {
+  switch (exit) {
+    case BlockExit::FallThrough: return "fallthrough";
+    case BlockExit::Jump: return "jump";
+    case BlockExit::Branch: return "branch";
+    case BlockExit::Terminate: return "terminate";
+    case BlockExit::Trap: return "trap";
+    case BlockExit::CodeEnd: return "code-end";
+  }
+  return "?";
+}
+
+std::string_view to_string(Diagnostic::Kind kind) {
+  switch (kind) {
+    case Diagnostic::Kind::UnreachableBlock: return "unreachable-block";
+    case Diagnostic::Kind::TruncatedPush: return "truncated-push";
+    case Diagnostic::Kind::InvalidOpcode: return "invalid-opcode";
+    case Diagnostic::Kind::ForbiddenOpcode: return "forbidden-opcode";
+    case Diagnostic::Kind::BadJumpTarget: return "bad-jump-target";
+    case Diagnostic::Kind::JumpIntoPushdata: return "jump-into-pushdata";
+    case Diagnostic::Kind::StackMergeConflict: return "stack-merge-conflict";
+    case Diagnostic::Kind::ProvenUnderflow: return "proven-underflow";
+    case Diagnostic::Kind::ProvenOverflow: return "proven-overflow";
+  }
+  return "?";
+}
+
+std::size_t AnalysisReport::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::Error;
+                    }));
+}
+
+std::size_t AnalysisReport::warning_count() const {
+  return diagnostics.size() - error_count();
+}
+
+void attach_elide_spans(DecodedProgram& program) {
+  program.spans.clear();
+  program.entry_span = kNoJumpTarget;
+  const auto n = static_cast<std::uint32_t>(program.insts.size());
+
+  // Builds the span starting at `start`; returns its index or the
+  // kNoJumpTarget sentinel when the run is too short to pay for the entry
+  // test. JUMPDEST is not elidable, so a span can never cross into the
+  // next block. When the run is stopped by the block's terminating fused
+  // jump and that jump's target resolved at translate time, the jump is
+  // swallowed as the span's tail: with gas/watchdog pre-charged, enough
+  // room for the transient push, and a known-valid destination, the pair
+  // cannot fail either — and a loop's back edge then runs inside the span.
+  const auto build = [&](std::uint32_t start) -> std::uint32_t {
+    Summary sum;
+    std::uint32_t i = start;
+    while (i < n && is_elidable(program.insts[i].handler)) {
+      const DecodedInst& inst = program.insts[i];
+      sum.add(inst);
+      i += is_fused_head(inst.handler) ? 2 : 1;
+    }
+    const std::uint32_t slots = i - start;
+    std::uint8_t tail = kSpanTailNone;
+    std::uint32_t tail_slots = 0;
+    if (i < n) {
+      const DecodedInst& t = program.insts[i];
+      if ((t.handler == Handler::PushJump ||
+           t.handler == Handler::PushJumpI) &&
+          t.target != kNoJumpTarget) {
+        sum.add(t);
+        tail = t.handler == Handler::PushJump ? kSpanTailJump
+                                              : kSpanTailJumpI;
+        tail_slots = 2;
+      }
+    }
+    if (slots + tail_slots < kMinElideSpanSlots) return kNoJumpTarget;
+    if (sum.require > 0xFFFF || sum.peak > 0xFFFF) return kNoJumpTarget;
+    ElideSpan span;
+    span.first = start;
+    span.count = slots;
+    span.ops = sum.ops;
+    span.static_gas = sum.static_gas;
+    span.cycles = sum.cycles;
+    span.stack_require = static_cast<std::uint16_t>(sum.require);
+    span.stack_peak = static_cast<std::uint16_t>(sum.peak);
+    span.tail = tail;
+    program.spans.push_back(span);
+    return static_cast<std::uint32_t>(program.spans.size() - 1);
+  };
+
+  // The entry block's span is checked before the first dispatch; when the
+  // program *starts* with a JUMPDEST its handler runs the span instead, so
+  // the JUMPDEST's own prologue accounting is never skipped.
+  if (n != 0 && program.insts[0].handler != Handler::JumpDest) {
+    program.entry_span = build(0);
+  }
+  // Fallback-continuation slots are never JUMPDEST, so a linear scan visits
+  // every leader exactly once. The span index rides in the JUMPDEST's
+  // otherwise-unused `target` field.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (program.insts[i].handler == Handler::JumpDest) {
+      program.insts[i].target = build(i + 1);
+    }
+  }
+  program.spans.shrink_to_fit();
+}
+
+AnalysisReport analyze(const DecodedProgram& program,
+                       const AnalysisOptions& options) {
+  AnalysisReport report;
+  const auto n = static_cast<std::uint32_t>(program.insts.size());
+  if (n == 0) return report;
+  const DecodedInst* const insts = program.insts.data();
+
+  // --- leaders -----------------------------------------------------------
+  std::vector<std::uint8_t> leader(n, 0);
+  leader[0] = 1;
+  for (std::uint32_t i = 0; i < n;) {
+    const Handler h = insts[i].handler;
+    if (h == Handler::JumpDest) leader[i] = 1;
+    const std::uint32_t stride = is_fused_head(h) ? 2 : 1;
+    if (ends_block(h) && i + stride < n) leader[i + stride] = 1;
+    i += stride;
+  }
+
+  // --- block construction ------------------------------------------------
+  auto& blocks = report.blocks;
+  std::vector<std::uint32_t> block_of(n, 0);
+  for (std::uint32_t i = 0; i < n;) {
+    if (leader[i]) {
+      blocks.emplace_back();
+      blocks.back().first = i;
+      blocks.back().pc = insts[i].pc;
+    }
+    BasicBlock& b = blocks.back();
+    const DecodedInst& inst = insts[i];
+    const std::uint32_t stride = is_fused_head(inst.handler) ? 2 : 1;
+    Summary sum{b.stack_delta, b.stack_require, b.stack_peak,
+                b.static_gas,  b.cycles,        b.ops};
+    sum.add(inst);
+    b.stack_require = sum.require;
+    b.stack_delta = sum.height;
+    b.stack_peak = sum.peak;
+    b.static_gas = sum.static_gas;
+    b.cycles = sum.cycles;
+    b.ops = sum.ops;
+    block_of[i] = static_cast<std::uint32_t>(blocks.size() - 1);
+    if (stride == 2) block_of[i + 1] = block_of[i];
+    b.count += stride;
+
+    switch (inst.handler) {
+      case Handler::Stop:
+      case Handler::Return:
+      case Handler::Revert:
+      case Handler::SelfDestruct:
+        b.exit = BlockExit::Terminate;
+        break;
+      case Handler::Invalid:
+      case Handler::Undefined:
+      case Handler::Forbidden:
+        b.exit = BlockExit::Trap;
+        break;
+      case Handler::Jump:
+        b.exit = BlockExit::Jump;
+        b.dynamic_exit = true;
+        break;
+      case Handler::JumpI:
+        b.exit = BlockExit::Branch;
+        b.dynamic_exit = true;
+        break;
+      case Handler::PushJump:
+        b.exit = BlockExit::Jump;
+        b.target = inst.target;  // instruction index; mapped below
+        break;
+      case Handler::PushJumpI:
+        b.exit = BlockExit::Branch;
+        b.target = inst.target;
+        break;
+      default:
+        b.exit = i + stride < n && leader[i + stride] ? BlockExit::FallThrough
+                                                      : BlockExit::CodeEnd;
+        break;
+    }
+    i += stride;
+  }
+  // Static jump targets were recorded as instruction indices (always
+  // JUMPDEST leaders); map them to block ids.
+  for (BasicBlock& b : blocks) {
+    if ((b.exit == BlockExit::Jump || b.exit == BlockExit::Branch) &&
+        !b.dynamic_exit && b.target != BasicBlock::kNoBlock) {
+      b.target = block_of[b.target];
+    }
+    const std::size_t next = static_cast<std::size_t>(&b - blocks.data()) + 1;
+    b.pc_end = next < blocks.size()
+                   ? blocks[next].pc
+                   : static_cast<std::uint32_t>(program.code_size);
+  }
+
+  // --- reachability ------------------------------------------------------
+  // Worklist from the entry block. A reachable dynamic jump conservatively
+  // reaches every JUMPDEST-led block (destinations are run-time values).
+  std::vector<std::uint32_t> work;
+  const auto reach = [&](std::uint32_t idx) {
+    if (!blocks[idx].reachable) {
+      blocks[idx].reachable = true;
+      work.push_back(idx);
+    }
+  };
+  reach(0);
+  bool dynamic_sink_armed = false;
+  while (!work.empty()) {
+    const std::uint32_t idx = work.back();
+    work.pop_back();
+    const BasicBlock& b = blocks[idx];
+    const std::uint32_t next = idx + 1;
+    switch (b.exit) {
+      case BlockExit::FallThrough:
+        reach(next);
+        break;
+      case BlockExit::Branch:
+        if (next < blocks.size()) reach(next);
+        [[fallthrough]];
+      case BlockExit::Jump:
+        if (b.target != BasicBlock::kNoBlock && !b.dynamic_exit) {
+          reach(b.target);
+        }
+        if (b.dynamic_exit && !dynamic_sink_armed) {
+          dynamic_sink_armed = true;
+          for (std::uint32_t j = 0; j < blocks.size(); ++j) {
+            if (insts[blocks[j].first].handler == Handler::JumpDest) reach(j);
+          }
+        }
+        break;
+      case BlockExit::Terminate:
+      case BlockExit::Trap:
+      case BlockExit::CodeEnd:
+        break;
+    }
+  }
+
+  // --- entry-height dataflow --------------------------------------------
+  // Heights propagate along statically-known edges only; a block that is
+  // also a dynamic-jump sink keeps whatever static edges prove (the lint
+  // reports are warnings about *provable* facts, not a soundness bound for
+  // the elided path — that one re-checks at run time). Heights move
+  // monotonically unknown -> value -> conflict, so the loop terminates.
+  std::vector<std::uint8_t> conflict_reported(blocks.size(), 0);
+  blocks[0].entry_height = 0;
+  work.push_back(0);
+  while (!work.empty()) {
+    const std::uint32_t idx = work.back();
+    work.pop_back();
+    BasicBlock& b = blocks[idx];
+    if (!b.entry_height_known()) continue;
+    const std::int32_t out = b.entry_height + b.stack_delta;
+    const auto propose = [&](std::uint32_t succ) {
+      BasicBlock& t = blocks[succ];
+      if (t.entry_height == out ||
+          t.entry_height == BasicBlock::kConflictHeight) {
+        return;
+      }
+      if (t.entry_height == BasicBlock::kUnknownHeight) {
+        t.entry_height = out;
+      } else {
+        t.entry_height = BasicBlock::kConflictHeight;
+        if (!conflict_reported[succ]) {
+          conflict_reported[succ] = 1;
+          Diagnostic d;
+          d.kind = Diagnostic::Kind::StackMergeConflict;
+          d.severity = Severity::Warning;
+          d.pc = t.pc;
+          d.block = succ;
+          d.message = "incoming edges disagree on the entry stack height";
+          report.diagnostics.push_back(std::move(d));
+        }
+      }
+      work.push_back(succ);
+    };
+    switch (b.exit) {
+      case BlockExit::FallThrough:
+        propose(idx + 1);
+        break;
+      case BlockExit::Branch:
+        if (idx + 1 < blocks.size()) propose(idx + 1);
+        [[fallthrough]];
+      case BlockExit::Jump:
+        if (b.target != BasicBlock::kNoBlock && !b.dynamic_exit) {
+          propose(b.target);
+        }
+        break;
+      case BlockExit::Terminate:
+      case BlockExit::Trap:
+      case BlockExit::CodeEnd:
+        break;
+    }
+  }
+
+  // --- diagnostics -------------------------------------------------------
+  const auto emit = [&](Diagnostic::Kind kind, Severity severity,
+                        std::uint32_t pc, std::uint32_t block,
+                        std::string message) {
+    report.diagnostics.push_back(
+        Diagnostic{kind, severity, pc, block, std::move(message)});
+  };
+  for (std::uint32_t idx = 0; idx < blocks.size(); ++idx) {
+    const BasicBlock& b = blocks[idx];
+    if (!b.reachable) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    "dead code: no path reaches block %u (pc %u..%u)", idx,
+                    b.pc, b.pc_end);
+      emit(Diagnostic::Kind::UnreachableBlock, Severity::Warning, b.pc, idx,
+           buf);
+      continue;  // facts below are about code that can execute
+    }
+    const DecodedInst& last = insts[b.first + b.count - 1];
+    if (b.exit == BlockExit::Trap && last.handler != Handler::Invalid) {
+      const bool undefined = last.handler == Handler::Undefined;
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "%s opcode at pc %u",
+                    undefined ? "undefined" : "profile-forbidden", last.pc);
+      std::string msg = buf;
+      if (last.pc < options.code.size()) {
+        char byte_buf[16];
+        std::snprintf(byte_buf, sizeof byte_buf, " (byte 0x%02x)",
+                      options.code[last.pc]);
+        msg += byte_buf;
+      }
+      emit(undefined ? Diagnostic::Kind::InvalidOpcode
+                     : Diagnostic::Kind::ForbiddenOpcode,
+           Severity::Error, last.pc, idx, std::move(msg));
+    }
+    if ((b.exit == BlockExit::Jump || b.exit == BlockExit::Branch) &&
+        !b.dynamic_exit && b.target == BasicBlock::kNoBlock) {
+      // Fused PUSH+JUMP/JUMPI whose immediate is not a valid JUMPDEST:
+      // the jump faults when executed (JUMPI: when taken).
+      const DecodedInst& head = insts[b.first + b.count - 2];
+      const bool conditional = b.exit == BlockExit::Branch;
+      const std::uint64_t dest =
+          head.imm.fits_u64() ? head.imm.as_u64() : ~0ULL;
+      const bool into_pushdata =
+          dest < options.code.size() &&
+          options.code[dest] ==
+              static_cast<std::uint8_t>(Opcode::JUMPDEST);
+      char buf[112];
+      std::snprintf(buf, sizeof buf,
+                    "%s at pc %u targets %s0x%llx%s",
+                    conditional ? "JUMPI" : "JUMP", head.pc,
+                    into_pushdata ? "a JUMPDEST byte inside pushdata at "
+                                  : "invalid destination ",
+                    static_cast<unsigned long long>(
+                        head.imm.fits_u64() ? dest : 0),
+                    head.imm.fits_u64() ? "" : " (oversized)");
+      emit(into_pushdata ? Diagnostic::Kind::JumpIntoPushdata
+                         : Diagnostic::Kind::BadJumpTarget,
+           conditional ? Severity::Warning : Severity::Error, head.pc, idx,
+           buf);
+    }
+    if (b.entry_height_known()) {
+      if (b.entry_height < b.stack_require) {
+        char buf[112];
+        std::snprintf(buf, sizeof buf,
+                      "block %u underflows: entry height %d < required %d",
+                      idx, b.entry_height, b.stack_require);
+        emit(Diagnostic::Kind::ProvenUnderflow, Severity::Error, b.pc, idx,
+             buf);
+      } else if (options.stack_limit != 0 &&
+                 static_cast<std::size_t>(b.entry_height + b.stack_peak) >
+                     options.stack_limit) {
+        char buf[112];
+        std::snprintf(buf, sizeof buf,
+                      "block %u overflows: entry height %d + peak %d > "
+                      "limit %zu",
+                      idx, b.entry_height, b.stack_peak,
+                      options.stack_limit);
+        emit(Diagnostic::Kind::ProvenOverflow, Severity::Error, b.pc, idx,
+             buf);
+      }
+    }
+  }
+  // Truncated PUSH immediates (implicit zero-fill past the end of code) —
+  // usually a sign of fallthrough into what was meant to be data.
+  for (std::uint32_t i = 0; i < n;) {
+    const DecodedInst& inst = insts[i];
+    if (is_push_family(inst.handler) &&
+        static_cast<std::uint64_t>(inst.pc) + 1 + inst.aux >
+            program.code_size) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    "PUSH%u at pc %u runs past the end of code "
+                    "(zero-filled)",
+                    inst.aux, inst.pc);
+      emit(Diagnostic::Kind::TruncatedPush, Severity::Warning, inst.pc,
+           block_of[i], buf);
+    }
+    i += is_fused_head(inst.handler) ? 2 : 1;
+  }
+
+  std::sort(report.diagnostics.begin(), report.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.pc != b.pc) return a.pc < b.pc;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return report;
+}
+
+}  // namespace tinyevm::evm

@@ -1,0 +1,161 @@
+// Translate-time static analysis over pre-decoded instruction streams.
+//
+// Partitions a DecodedProgram into basic blocks (leaders at the entry
+// point, at every JUMPDEST, and after every jump/terminator), then
+// abstract-interprets each block's stack algebra to compute
+//   (a) the exact net stack effect, the minimum entry height the block
+//       needs, and the transient high-water it can reach,
+//   (b) the summed static gas and modeled MCU cycles,
+//   (c) reachability and entry stack heights along statically-known edges
+//       (dead code, merge-point height conflicts, proven underflow and
+//       overflow).
+//
+// Two consumers share the per-instruction algebra:
+//   * attach_elide_spans() summarizes the provably failure-free run after
+//     each block leader into DecodedProgram::spans; the interpreter's
+//     check-elided fast path (vm.cpp) replaces that run's per-instruction
+//     stack/gas/watchdog branches with one span-entry test.
+//   * analyze() builds the whole-block facts and diagnostics behind
+//     tools/tinyevm_lint.cpp and tests/evm_analysis_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "evm/decoded.hpp"
+
+namespace tinyevm::evm {
+
+/// Static stack behaviour of one decoded instruction (fused pairs count as
+/// the whole pair): `require` is the minimum entry height that avoids
+/// underflow, `delta` the net height change, `peak` the maximum transient
+/// growth above the entry height while the instruction runs. Fusion
+/// preserves all three (the fallback continuation re-creates the same
+/// transient), so one table serves fused and unfused execution.
+struct StackEffect {
+  std::int32_t require = 0;
+  std::int32_t delta = 0;
+  std::int32_t peak = 0;
+};
+
+[[nodiscard]] StackEffect stack_effect(const DecodedInst& inst);
+
+/// True for handlers whose bodies are pure register/stack transforms with
+/// static-only gas: no host calls, no memory growth, no control flow, no
+/// live-gas reads (GAS is excluded — it must observe per-instruction
+/// charging). Exactly the set the check-elided fast path may run without
+/// per-instruction stack/gas/watchdog branches.
+[[nodiscard]] bool is_elidable(Handler h);
+
+/// How a basic block hands off control.
+enum class BlockExit : std::uint8_t {
+  FallThrough,  ///< next leader is a JUMPDEST; execution runs into it
+  Jump,         ///< unconditional JUMP / fused PUSH+JUMP
+  Branch,       ///< JUMPI / fused PUSH+JUMPI: target plus fallthrough
+  Terminate,    ///< STOP / RETURN / REVERT / SELFDESTRUCT
+  Trap,         ///< INVALID, undefined byte, or profile-forbidden opcode
+  CodeEnd,      ///< runs off the end of code (implicit STOP)
+};
+
+[[nodiscard]] std::string_view to_string(BlockExit exit);
+
+struct BasicBlock {
+  static constexpr std::uint32_t kNoBlock = 0xFFFF'FFFFu;
+  /// Entry-height lattice: unknown (never reached along a static edge),
+  /// a concrete height, or conflicting heights at a merge point.
+  static constexpr std::int32_t kUnknownHeight =
+      std::numeric_limits<std::int32_t>::min();
+  static constexpr std::int32_t kConflictHeight = kUnknownHeight + 1;
+
+  std::uint32_t first = 0;   ///< index of the leader instruction
+  std::uint32_t count = 0;   ///< stream slots covered (fused pairs: 2)
+  std::uint32_t pc = 0;      ///< byte offset of the leader
+  std::uint32_t pc_end = 0;  ///< one past the last byte of the block
+  BlockExit exit = BlockExit::CodeEnd;
+  /// Statically-resolved successor for Jump/Branch exits (fused
+  /// PUSH+JUMP/JUMPI with a translate-time target); kNoBlock when the exit
+  /// is dynamic or the target is provably invalid.
+  std::uint32_t target = kNoBlock;
+  /// Exit jump whose destination is only known at run time (plain JUMP /
+  /// JUMPI fed from the stack). Conservatively reaches every JUMPDEST.
+  bool dynamic_exit = false;
+
+  // Proven whole-block facts (see StackEffect for the algebra).
+  std::int32_t stack_require = 0;
+  std::int32_t stack_delta = 0;
+  std::int32_t stack_peak = 0;
+  std::uint64_t static_gas = 0;
+  std::uint64_t cycles = 0;
+  std::uint32_t ops = 0;  ///< instructions executed (fused pairs: 2)
+
+  bool reachable = false;
+  std::int32_t entry_height = kUnknownHeight;
+
+  [[nodiscard]] bool entry_height_known() const {
+    return entry_height != kUnknownHeight && entry_height != kConflictHeight;
+  }
+};
+
+enum class Severity : std::uint8_t { Warning, Error };
+
+struct Diagnostic {
+  enum class Kind : std::uint8_t {
+    UnreachableBlock,    ///< dead code: no path from the entry reaches it
+    TruncatedPush,       ///< PUSH immediate runs past the end of code
+    InvalidOpcode,       ///< reachable undefined byte
+    ForbiddenOpcode,     ///< reachable opcode outside the active profile
+    BadJumpTarget,       ///< static jump to a non-JUMPDEST destination
+    JumpIntoPushdata,    ///< static jump to a 0x5b byte inside pushdata
+    StackMergeConflict,  ///< static edges disagree on the entry height
+    ProvenUnderflow,     ///< entry height < the block's stack_require
+    ProvenOverflow,      ///< entry height + stack_peak > the stack limit
+  };
+
+  Kind kind = Kind::UnreachableBlock;
+  Severity severity = Severity::Warning;
+  std::uint32_t pc = 0;     ///< byte offset the finding anchors to
+  std::uint32_t block = 0;  ///< index into AnalysisReport::blocks
+  std::string message;
+};
+
+[[nodiscard]] std::string_view to_string(Diagnostic::Kind kind);
+
+struct AnalysisReport {
+  std::vector<BasicBlock> blocks;
+  std::vector<Diagnostic> diagnostics;  // sorted by pc
+
+  [[nodiscard]] bool clean() const { return diagnostics.empty(); }
+  [[nodiscard]] std::size_t error_count() const;
+  [[nodiscard]] std::size_t warning_count() const;
+};
+
+struct AnalysisOptions {
+  /// Stack element cap used for the overflow proof; 0 skips it.
+  std::size_t stack_limit = 0;
+  /// The raw bytecode the program was translated from, when the caller
+  /// still has it: refines invalid-jump-target diagnostics into
+  /// "jump into pushdata" where the destination byte is 0x5b.
+  std::span<const std::uint8_t> code = {};
+};
+
+/// Builds the basic-block CFG, runs reachability + entry-height dataflow,
+/// and collects diagnostics. Pure function of the translation: safe on any
+/// input the translator accepts, including fuzzer garbage.
+[[nodiscard]] AnalysisReport analyze(const DecodedProgram& program,
+                                     const AnalysisOptions& options = {});
+
+/// Minimum stream slots (body plus a swallowed tail jump's two) for a
+/// span to pay for its entry test.
+inline constexpr std::uint32_t kMinElideSpanSlots = 2;
+
+/// Computes DecodedProgram::spans / entry_span: for each block leader, the
+/// maximal run of elidable instructions after it — plus the block's
+/// terminating fused jump when its target resolved statically — folded
+/// into one stack/gas/watchdog summary. Called by translate(); idempotent.
+void attach_elide_spans(DecodedProgram& program);
+
+}  // namespace tinyevm::evm

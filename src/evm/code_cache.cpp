@@ -123,6 +123,9 @@ void CodeCache::accumulate(const Shard& shard, Stats& s) const {
       shard.lock_contentions.load(std::memory_order_relaxed);
   s.bytes += shard.bytes;
   s.entries += shard.index.size();
+  for (const Entry& entry : shard.lru) {
+    s.elide_spans += entry.program->spans.size();
+  }
 }
 
 CodeCache::Stats CodeCache::stats() const {

@@ -70,6 +70,11 @@ class CodeCache {
     std::size_t bytes = 0;         ///< resident decoded-program bytes
     std::size_t entries = 0;
     std::size_t shards = 0;        ///< stripe count (Config::shards clamped)
+    /// Check-elision spans (decoded.hpp::ElideSpan) across the resident
+    /// translations — how much of the cache the static analyzer proved
+    /// safe for block-granular dispatch. Resident-state gauge like
+    /// `bytes`/`entries`, not a cumulative counter.
+    std::size_t elide_spans = 0;
 
     [[nodiscard]] double hit_rate() const {
       const std::uint64_t total = hits + misses;

@@ -1,5 +1,7 @@
 #include "evm/decoded.hpp"
 
+#include "evm/analysis.hpp"
+
 namespace tinyevm::evm {
 
 Handler exec_handler(std::uint8_t op) {
@@ -195,6 +197,10 @@ DecodedProgram translate(std::span<const std::uint8_t> code,
     a.gas2 = b.gas;
     a.cycles2 = b.cycles;
   }
+
+  // Pass 3: static analysis — fold each block leader's elidable run into
+  // an ElideSpan so run_decoded() can hoist the per-instruction checks.
+  attach_elide_spans(p);
 
   p.insts.shrink_to_fit();
   return p;

@@ -89,6 +89,36 @@ struct DecodedInst {
   U256 imm;                   ///< PUSH immediate, zero-padded past code end
 };
 
+/// Summary of a provably failure-free instruction run starting right
+/// after a block leader, computed by the static analyzer
+/// (analysis.hpp::attach_elide_spans). When one entry test passes —
+/// enough stack room, enough gas, watchdog clear of the whole run — the
+/// interpreter bulk-charges the summary and executes the run with
+/// per-instruction checks compiled out; when it fails, nothing happens
+/// and the checked handlers reproduce the exact failure point.
+/// ElideSpan::tail values: the block-terminating fused jump a span may
+/// swallow when its target is statically resolved (a jump to an invalid
+/// destination can fail, so it stays on the checked path).
+inline constexpr std::uint8_t kSpanTailNone = 0;
+inline constexpr std::uint8_t kSpanTailJump = 1;   ///< PUSH+JUMP
+inline constexpr std::uint8_t kSpanTailJumpI = 2;  ///< PUSH+JUMPI
+
+struct ElideSpan {
+  std::uint32_t first = 0;        ///< first instruction of the run
+  std::uint32_t count = 0;        ///< body stream slots (fused pairs: 2)
+  std::uint32_t ops = 0;          ///< watchdog charge (fused pairs: 2)
+  std::uint64_t static_gas = 0;   ///< summed static gas of the run
+  std::uint64_t cycles = 0;       ///< summed MCU-cycle model
+  std::uint16_t stack_require = 0;  ///< min entry height (underflow proof)
+  std::uint16_t stack_peak = 0;   ///< max growth above entry (overflow)
+  /// kSpanTail*: when not kSpanTailNone, the fused jump at
+  /// insts[first + count] (fallback slot right after) executes inside the
+  /// span too — its target is statically valid and ops/static_gas/cycles/
+  /// stack_* above already include both halves of the pair, so a loop's
+  /// whole body block runs from one entry test, back edge included.
+  std::uint8_t tail = kSpanTailNone;
+};
+
 /// The immutable result of translating one bytecode blob under one set of
 /// profile flags. Executions never mutate it, so one translation is safely
 /// shared across concurrent Vm instances.
@@ -99,12 +129,20 @@ struct DecodedProgram {
   /// elsewhere. Sized to the code, so a dynamic JUMP is one bounds check
   /// plus one load.
   std::vector<std::uint32_t> jump_map;
+  /// Check-elision summaries, one per block leader with a long-enough
+  /// elidable run. JUMPDEST instructions carry their span's index in the
+  /// otherwise-unused `target` field; the entry block's rides here. Pure
+  /// data derived from the profile-keyed translation, so the cache key is
+  /// unchanged.
+  std::vector<ElideSpan> spans;
+  std::uint32_t entry_span = kNoJumpTarget;
   std::size_t code_size = 0;
 
   /// Approximate resident footprint, the unit of the cache's byte cap.
   [[nodiscard]] std::size_t byte_size() const {
     return sizeof(DecodedProgram) + insts.capacity() * sizeof(DecodedInst) +
-           jump_map.capacity() * sizeof(std::uint32_t);
+           jump_map.capacity() * sizeof(std::uint32_t) +
+           spans.capacity() * sizeof(ElideSpan);
   }
 };
 

@@ -218,6 +218,23 @@ class Frame {
     return v;
   }
 
+  /// CALLDATALOAD: one 32-byte big-endian word at `offset`, zero-padded
+  /// past the end of calldata. Shared by the raw loop, the checked decoded
+  /// handler, and the check-elided span body.
+  [[nodiscard]] U256 calldata_word(const U256& offset) const {
+    std::array<std::uint8_t, 32> buf{};
+    // Bound i by the bytes remaining past o: `o + i` would wrap for
+    // offsets near 2^64 and alias the start of calldata.
+    if (offset.fits_u64() && offset.as_u64() < msg_.data.size()) {
+      const std::uint64_t o = offset.as_u64();
+      const std::uint64_t avail = msg_.data.size() - o;
+      for (unsigned i = 0; i < 32 && i < avail; ++i) {
+        buf[i] = msg_.data[o + i];
+      }
+    }
+    return U256::from_word(buf);
+  }
+
   void run_threaded();
   void run_decoded();
   void op_sensor();
@@ -526,17 +543,7 @@ void Frame::run_threaded() {
       fail(Status::StackUnderflow);
       TINYEVM_NEXT;
     }
-    std::array<std::uint8_t, 32> buf{};
-    // Bound i by the bytes remaining past o: `o + i` would wrap for
-    // offsets near 2^64 and alias the start of calldata.
-    if (tos.fits_u64() && tos.as_u64() < msg_.data.size()) {
-      const std::uint64_t o = tos.as_u64();
-      const std::uint64_t avail = msg_.data.size() - o;
-      for (unsigned i = 0; i < 32 && i < avail; ++i) {
-        buf[i] = msg_.data[o + i];
-      }
-    }
-    tos = U256::from_word(buf);
+    tos = calldata_word(tos);
   }
   TINYEVM_NEXT;
   TINYEVM_OP(CallDataSize) { TINYEVM_PUSH(U256{msg_.data.size()}); }
@@ -880,6 +887,11 @@ void Frame::run_decoded() {
   std::size_t sp = stack_.size();
   std::size_t smax = stack_.max_pointer();
   U256 tos = sp != 0 ? sb[sp - 1] : U256{};
+  // Check-elision state: span summaries the translate-time analyzer
+  // attached to the translation. One bool folds the config gate and the
+  // no-spans case out of the JumpDest hot path.
+  const ElideSpan* const spans = decoded_->spans.data();
+  const bool elide = config_.elide_checks && !decoded_->spans.empty();
 
 #define TINYEVM_SYNCED(expr)        \
   do {                              \
@@ -945,6 +957,227 @@ void Frame::run_decoded() {
     cyc += e->cycles2;              \
     ++ops;                          \
   } while (0)
+
+// Applies a fused binary operator in place: `tos = first ⊗ tos`. The
+// hottest operators (ADD/MUL/SUB and the bitwise trio) are special-cased
+// so the squaring/doubling/counting patterns stay entirely in the tos
+// registers, exactly like the raw loop's DUP1+MUL/ADD fusion; the long
+// tail goes through the generic apply_fused_bin switch. Parameterized on
+// the second-opcode handler so both the checked superinstruction handlers
+// (which read e->aux2) and the span interpreter (bi->aux2) share it.
+#define TINYEVM_APPLY_BIN(op2v, first)                   \
+  do {                                                   \
+    const Handler op2 = (op2v);                          \
+    if (op2 == Handler::Add) {                           \
+      tos.add_assign(first);                             \
+    } else if (op2 == Handler::Mul) {                    \
+      tos.mul_assign(first);                             \
+    } else if (op2 == Handler::Sub) {                    \
+      tos.rsub_assign(first); /* tos = first - tos */    \
+    } else if (op2 == Handler::Xor) {                    \
+      tos.xor_assign(first);                             \
+    } else if (op2 == Handler::And) {                    \
+      tos.and_assign(first);                             \
+    } else if (op2 == Handler::Or) {                     \
+      tos.or_assign(first);                              \
+    } else {                                             \
+      U256 fused_a = (first);                            \
+      apply_fused_bin(op2, fused_a, tos);                \
+      tos = fused_a;                                     \
+    }                                                    \
+  } while (0)
+
+#define TINYEVM_FUSED_APPLY(first) \
+  TINYEVM_APPLY_BIN(static_cast<Handler>(e->aux2), first)
+
+// --- check-elided span interpreter (see analysis.hpp) ---------------------
+//
+// The bodies below are the checked handlers with their guards deleted and
+// nothing else changed: the span entry test proves every per-instruction
+// stack/gas/watchdog branch in the run would pass, so eliding them cannot
+// change results. sb[sp - 1] stores into the scratch word when sp == 0
+// (legal; see Stack), and smax is settled once at entry from the proven
+// transient peak.
+#define TINYEVM_SPAN_BIN(name, body) \
+  case Handler::name: {              \
+    const U256& s = sb[sp - 2];      \
+    body;                            \
+    --sp;                            \
+  } break;
+
+#define TINYEVM_SPAN_PUSH(v) \
+  sb[sp - 1] = tos;          \
+  tos = (v);                 \
+  ++sp;                      \
+  break;
+
+// One test per block: when the whole elidable run after a leader is
+// provably free of stack/gas/watchdog faults, bulk-charge its summary and
+// execute the body with per-instruction checks compiled out. When the
+// test fails, nothing happens — the checked handlers run as before and
+// reproduce the exact failure point, so status, gas, stats, and logs are
+// bit-identical either way. Every charge below equals the sum of the
+// per-instruction prologues it replaces (fused pairs count both halves),
+// and the entry conditions imply each replaced check passes:
+//   sp >= stack_require        -> no underflow anywhere in the run
+//   sp + stack_peak <= slimit  -> no overflow at any transient height
+//   gas >= static_gas          -> every prefix of the run is affordable
+//   ops + span.ops <= ops_cap  -> the watchdog stays clear of every ++ops
+#define TINYEVM_TRY_SPAN(span_index)                                        \
+  do {                                                                      \
+    const ElideSpan& bs = spans[span_index];                                \
+    if (sp >= bs.stack_require && bs.stack_peak <= slimit - sp &&           \
+        (!metered || gas >= static_cast<std::int64_t>(bs.static_gas)) &&    \
+        bs.ops <= ops_cap - ops) {                                          \
+      if (metered) gas -= static_cast<std::int64_t>(bs.static_gas);         \
+      cyc += bs.cycles;                                                     \
+      ops += bs.ops;                                                        \
+      if (sp + bs.stack_peak > smax) smax = sp + bs.stack_peak;             \
+      const DecodedInst* bi = insts + bs.first;                             \
+      const DecodedInst* const bi_end = bi + bs.count;                      \
+      for (; bi != bi_end; ++bi) {                                          \
+        switch (bi->handler) {                                              \
+          TINYEVM_SPAN_BIN(Add, tos.add_assign(s))                          \
+          TINYEVM_SPAN_BIN(Mul, tos.mul_assign(s))                          \
+          TINYEVM_SPAN_BIN(Sub, tos.sub_assign(s))                          \
+          TINYEVM_SPAN_BIN(Div, tos = tos / s)                              \
+          TINYEVM_SPAN_BIN(Sdiv, tos = U256::sdiv(tos, s))                  \
+          TINYEVM_SPAN_BIN(Mod, tos = tos % s)                              \
+          TINYEVM_SPAN_BIN(Smod, tos = U256::smod(tos, s))                  \
+          TINYEVM_SPAN_BIN(Lt, tos = U256{tos < s ? 1ULL : 0ULL})           \
+          TINYEVM_SPAN_BIN(Gt, tos = U256{tos > s ? 1ULL : 0ULL})           \
+          TINYEVM_SPAN_BIN(Slt,                                             \
+                           tos = U256{U256::slt(tos, s) ? 1ULL : 0ULL})     \
+          TINYEVM_SPAN_BIN(Sgt,                                             \
+                           tos = U256{U256::sgt(tos, s) ? 1ULL : 0ULL})     \
+          TINYEVM_SPAN_BIN(Eq, tos = U256{tos == s ? 1ULL : 0ULL})          \
+          TINYEVM_SPAN_BIN(And, tos.and_assign(s))                          \
+          TINYEVM_SPAN_BIN(Or, tos.or_assign(s))                            \
+          TINYEVM_SPAN_BIN(Xor, tos.xor_assign(s))                          \
+          TINYEVM_SPAN_BIN(Byte, tos = U256::byte(tos, s))                  \
+          TINYEVM_SPAN_BIN(Shl, {                                           \
+            const bool in_range = tos.fits_u64() && tos.as_u64() < 256;     \
+            const unsigned sh = static_cast<unsigned>(tos.as_u64());        \
+            if (in_range) {                                                 \
+              tos = s;                                                      \
+              tos.shl_assign(sh);                                           \
+            } else {                                                        \
+              tos = U256{};                                                 \
+            }                                                               \
+          })                                                                \
+          TINYEVM_SPAN_BIN(Shr, {                                           \
+            const bool in_range = tos.fits_u64() && tos.as_u64() < 256;     \
+            const unsigned sh = static_cast<unsigned>(tos.as_u64());        \
+            if (in_range) {                                                 \
+              tos = s;                                                      \
+              tos.shr_assign(sh);                                           \
+            } else {                                                        \
+              tos = U256{};                                                 \
+            }                                                               \
+          })                                                                \
+          TINYEVM_SPAN_BIN(Sar, tos = U256::sar(tos, s))                    \
+          TINYEVM_SPAN_BIN(SignExtend, tos = U256::signextend(tos, s))      \
+          case Handler::AddMod:                                             \
+            tos = U256::addmod(tos, sb[sp - 2], sb[sp - 3]);                \
+            sp -= 2;                                                        \
+            break;                                                          \
+          case Handler::MulMod:                                             \
+            tos = U256::mulmod(tos, sb[sp - 2], sb[sp - 3]);                \
+            sp -= 2;                                                        \
+            break;                                                          \
+          case Handler::IsZero:                                             \
+            tos = U256{tos.is_zero() ? 1ULL : 0ULL};                        \
+            break;                                                          \
+          case Handler::Not:                                                \
+            tos.not_assign();                                               \
+            break;                                                          \
+          case Handler::Address:                                            \
+            TINYEVM_SPAN_PUSH(U256::from_bytes(msg_.self))                  \
+          case Handler::Origin:                                             \
+            TINYEVM_SPAN_PUSH(U256::from_bytes(msg_.origin))                \
+          case Handler::Caller:                                             \
+            TINYEVM_SPAN_PUSH(U256::from_bytes(msg_.caller))                \
+          case Handler::CallValue:                                          \
+            TINYEVM_SPAN_PUSH(msg_.value)                                   \
+          case Handler::CallDataLoad:                                       \
+            tos = calldata_word(tos);                                       \
+            break;                                                          \
+          case Handler::CallDataSize:                                       \
+            TINYEVM_SPAN_PUSH(U256{msg_.data.size()})                       \
+          case Handler::CodeSize:                                           \
+            TINYEVM_SPAN_PUSH(U256{msg_.code.size()})                       \
+          case Handler::ReturnDataSize:                                     \
+            TINYEVM_SPAN_PUSH(U256{return_data_.size()})                    \
+          case Handler::GasPrice:                                           \
+            TINYEVM_SPAN_PUSH(U256{1})                                      \
+          case Handler::Pop:                                                \
+            --sp;                                                           \
+            tos = sb[sp - 1];                                               \
+            break;                                                          \
+          case Handler::Pc:                                                 \
+            TINYEVM_SPAN_PUSH(U256{bi->pc})                                 \
+          case Handler::MSize:                                              \
+            TINYEVM_SPAN_PUSH(U256{memory_.size()})                         \
+          case Handler::Push:                                               \
+            TINYEVM_SPAN_PUSH(bi->imm)                                      \
+          case Handler::Dup: {                                              \
+            const unsigned n = bi->aux;                                     \
+            sb[sp - 1] = tos; /* spill; DUP1 keeps tos as-is */             \
+            if (n > 1) tos = sb[sp - n];                                    \
+            ++sp;                                                           \
+          } break;                                                          \
+          case Handler::Swap: {                                             \
+            const unsigned n = bi->aux;                                     \
+            U256& other = sb[sp - 1 - n];                                   \
+            const U256 t = other;                                           \
+            other = tos;                                                    \
+            tos = t;                                                        \
+          } break;                                                          \
+          case Handler::PushBin:                                            \
+            TINYEVM_APPLY_BIN(static_cast<Handler>(bi->aux2), bi->imm);     \
+            ++bi; /* the fallback continuation never runs fused */          \
+            break;                                                          \
+          case Handler::DupBin: {                                           \
+            const unsigned n = bi->aux;                                     \
+            const U256& dup_val = n == 1 ? tos : sb[sp - n];                \
+            TINYEVM_APPLY_BIN(static_cast<Handler>(bi->aux2), dup_val);     \
+            ++bi;                                                           \
+          } break;                                                          \
+          case Handler::SwapBin:                                            \
+            TINYEVM_APPLY_BIN(static_cast<Handler>(bi->aux2), sb[sp - 2]);  \
+            --sp;                                                           \
+            ++bi;                                                           \
+            break;                                                          \
+          default:                                                          \
+            break; /* unreachable: spans hold elidable handlers only */     \
+        }                                                                   \
+      }                                                                     \
+      /* Tail: the block's fused jump, when its target is statically       \
+         valid. Mirrors the fused PushJump/PushJumpI handlers with the     \
+         guards hoisted into the entry test (the transient push's          \
+         high-water is folded into stack_peak above). */                   \
+      if (bs.tail == kSpanTailNone) {                                       \
+        ip = bs.first + bs.count;                                           \
+      } else {                                                              \
+        const DecodedInst* const tj = insts + bs.first + bs.count;          \
+        if (bs.tail == kSpanTailJumpI) {                                    \
+          const bool taken = !tos.is_zero();                                \
+          --sp;                                                             \
+          tos = sb[sp - 1];                                                 \
+          ip = taken ? tj->target : bs.first + bs.count + 2;                \
+        } else {                                                            \
+          ip = tj->target;                                                  \
+        }                                                                   \
+      }                                                                     \
+    }                                                                       \
+  } while (0)
+
+  // The entry block has no JUMPDEST to hang its span on; test it before
+  // the first dispatch (ip is still 0, so a pass skips straight past the
+  // covered run).
+  if (elide && decoded_->entry_span != kNoJumpTarget) {
+    TINYEVM_TRY_SPAN(decoded_->entry_span);
+  }
 
 #if TINYEVM_COMPUTED_GOTO
   static const void* const kJump[] = {
@@ -1096,17 +1329,7 @@ void Frame::run_decoded() {
       fail(Status::StackUnderflow);
       TINYEVM_NEXT;
     }
-    std::array<std::uint8_t, 32> buf{};
-    // Bound i by the bytes remaining past o: `o + i` would wrap for
-    // offsets near 2^64 and alias the start of calldata.
-    if (tos.fits_u64() && tos.as_u64() < msg_.data.size()) {
-      const std::uint64_t o = tos.as_u64();
-      const std::uint64_t avail = msg_.data.size() - o;
-      for (unsigned i = 0; i < 32 && i < avail; ++i) {
-        buf[i] = msg_.data[o + i];
-      }
-    }
-    tos = U256::from_word(buf);
+    tos = calldata_word(tos);
   }
   TINYEVM_NEXT;
   TINYEVM_OP(CallDataSize) { TINYEVM_PUSH(U256{msg_.data.size()}); }
@@ -1285,7 +1508,12 @@ void Frame::run_decoded() {
     TINYEVM_PUSH(U256{static_cast<std::uint64_t>(gas > 0 ? gas : 0)});
   }
   TINYEVM_NEXT;
-  TINYEVM_OP(JumpDest) {}
+  TINYEVM_OP(JumpDest) {
+    // Block leader: e->target carries the block's span index when the
+    // analyzer proved the following run elidable (kNoJumpTarget
+    // otherwise — the field is unused by JUMPDEST's own semantics).
+    if (elide && e->target != kNoJumpTarget) TINYEVM_TRY_SPAN(e->target);
+  }
   TINYEVM_NEXT;
 
   // --- stack families (index in e->aux) ---
@@ -1322,33 +1550,9 @@ void Frame::run_decoded() {
 
   // --- superinstructions (fused pairs; see the fusion contract above) ---
   //
-  // Each fused body runs `tos = first ⊗ tos` in place. The hottest
-  // operators (ADD/MUL/SUB and the bitwise trio) are special-cased so the
-  // squaring/doubling/counting patterns stay entirely in the tos
-  // registers, exactly like the raw loop's DUP1+MUL/ADD fusion; the long
-  // tail goes through the generic apply_fused_bin switch.
-#define TINYEVM_FUSED_APPLY(first)                       \
-  do {                                                   \
-    const Handler op2 = static_cast<Handler>(e->aux2);   \
-    if (op2 == Handler::Add) {                           \
-      tos.add_assign(first);                             \
-    } else if (op2 == Handler::Mul) {                    \
-      tos.mul_assign(first);                             \
-    } else if (op2 == Handler::Sub) {                    \
-      tos.rsub_assign(first); /* tos = first - tos */    \
-    } else if (op2 == Handler::Xor) {                    \
-      tos.xor_assign(first);                             \
-    } else if (op2 == Handler::And) {                    \
-      tos.and_assign(first);                             \
-    } else if (op2 == Handler::Or) {                     \
-      tos.or_assign(first);                              \
-    } else {                                             \
-      U256 fused_a = (first);                            \
-      apply_fused_bin(op2, fused_a, tos);                \
-      tos = fused_a;                                     \
-    }                                                    \
-  } while (0)
-
+  // Each fused body runs `tos = first ⊗ tos` in place via
+  // TINYEVM_FUSED_APPLY / TINYEVM_APPLY_BIN (defined with the span
+  // machinery above).
   TINYEVM_OP(PushBin) {
     // PUSHn imm; BINOP — the immediate is the first (top) operand.
     if (sp >= 1 && sp < slimit && TINYEVM_FUSE_OK()) {
@@ -1489,7 +1693,11 @@ run_exit:
 #undef TINYEVM_PROLOGUE
 #undef TINYEVM_FUSE_OK
 #undef TINYEVM_FUSE_CHARGE
+#undef TINYEVM_APPLY_BIN
 #undef TINYEVM_FUSED_APPLY
+#undef TINYEVM_SPAN_BIN
+#undef TINYEVM_SPAN_PUSH
+#undef TINYEVM_TRY_SPAN
 #undef TINYEVM_OP
 #undef TINYEVM_NEXT
 }

@@ -44,6 +44,14 @@ struct VmConfig {
   /// translate-miss / oversized-code fallback — must produce bit-identical
   /// results (tests/evm_dispatch_test.cpp).
   bool predecode = true;
+  /// Use the translation's static-analysis spans (decoded.hpp::ElideSpan)
+  /// to replace per-instruction stack/gas/watchdog branches with one test
+  /// per basic block where the analyzer proved them redundant. Also not
+  /// part of the semantics: the checked handlers remain the fallback for
+  /// unprovable blocks and for entry tests that fail, and results stay
+  /// bit-identical either way (the differential suite holds all three
+  /// paths — raw, checked, elided — to the same outputs).
+  bool elide_checks = true;
 
   /// Original EVM (Istanbul-era) semantics.
   static VmConfig ethereum() {

@@ -1,0 +1,403 @@
+// Unit tests for the translate-time static analyzer (evm/analysis.hpp):
+// basic-block construction, the per-block stack/gas summaries, the
+// reachability and entry-height dataflow, each diagnostic kind, the
+// elide-span attachment that feeds the interpreter's check-elided fast
+// path, and the per-instruction stack algebra cross-checked against the
+// opcode table. The end-to-end property that elision never changes
+// results is covered by evm_dispatch_test.cpp.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "evm/analysis.hpp"
+#include "evm/asm.hpp"
+#include "evm/decoded.hpp"
+#include "evm/opcodes.hpp"
+
+namespace tinyevm::evm {
+namespace {
+
+constexpr TranslationProfile kTiny{};                       // tiny + SENSOR
+constexpr TranslationProfile kEth{false, false, true};      // Ethereum
+
+AnalysisReport analyze_hexless(const Bytes& code,
+                               const TranslationProfile& profile = kTiny,
+                               std::size_t stack_limit = 0) {
+  const DecodedProgram program = translate(code, profile);
+  AnalysisOptions opt;
+  opt.stack_limit = stack_limit;
+  opt.code = code;
+  return analyze(program, opt);
+}
+
+bool has_diag(const AnalysisReport& report, Diagnostic::Kind kind) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(Analysis, CfgOfCountingLoop) {
+  // PUSH1 10; JUMPDEST; PUSH1 1; SWAP1; SUB; DUP1; PUSH1 2; JUMPI; POP
+  Assembler a;
+  a.push(10);
+  a.op(Opcode::JUMPDEST);  // pc 2
+  a.push(1).swap(1).op(Opcode::SUB);
+  a.dup(1);
+  a.push(2).op(Opcode::JUMPI);
+  a.op(Opcode::POP);
+  const Bytes code = a.take();
+  const AnalysisReport report = analyze_hexless(code);
+
+  ASSERT_EQ(report.blocks.size(), 3u);
+  const BasicBlock& entry = report.blocks[0];
+  const BasicBlock& loop = report.blocks[1];
+  const BasicBlock& tail = report.blocks[2];
+
+  // Entry: one PUSH falling through into the JUMPDEST leader. The
+  // successor of a FallThrough block is implicitly the next block, so no
+  // static target is recorded.
+  EXPECT_EQ(entry.pc, 0u);
+  EXPECT_EQ(entry.exit, BlockExit::FallThrough);
+  EXPECT_EQ(entry.target, BasicBlock::kNoBlock);
+  EXPECT_EQ(entry.stack_require, 0);
+  EXPECT_EQ(entry.stack_delta, 1);
+  EXPECT_EQ(entry.stack_peak, 1);
+  EXPECT_TRUE(entry.reachable);
+  EXPECT_EQ(entry.entry_height, 0);
+
+  // Loop body: JUMPDEST .. fused PUSH+JUMPI branching back to itself.
+  // Slots: JumpDest, Push, SwapBin(+slot), Dup, PushJumpI(+slot) = 7;
+  // fused pairs count two executed ops each.
+  EXPECT_EQ(loop.pc, 2u);
+  EXPECT_EQ(loop.count, 7u);
+  EXPECT_EQ(loop.ops, 7u);
+  EXPECT_EQ(loop.exit, BlockExit::Branch);
+  EXPECT_EQ(loop.target, 1u);
+  EXPECT_FALSE(loop.dynamic_exit);
+  EXPECT_EQ(loop.stack_require, 1);
+  EXPECT_EQ(loop.stack_delta, 0);
+  EXPECT_EQ(loop.stack_peak, 2);
+  EXPECT_TRUE(loop.reachable);
+  // Fallthrough height 1 and the back edge (delta 0) agree.
+  EXPECT_EQ(loop.entry_height, 1);
+
+  EXPECT_EQ(tail.exit, BlockExit::CodeEnd);
+  EXPECT_TRUE(tail.reachable);
+  EXPECT_EQ(tail.entry_height, 1);
+
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(Analysis, BlockGasAndCycleSums) {
+  // PUSH1 1; PUSH1 2; ADD: one block, static gas/cycles are plain sums of
+  // the opcode table regardless of fusion.
+  const AnalysisReport report =
+      analyze_hexless({0x60, 0x01, 0x60, 0x02, 0x01});
+  ASSERT_EQ(report.blocks.size(), 1u);
+  const OpInfo& push = info(0x60);
+  const OpInfo& add = info(0x01);
+  EXPECT_EQ(report.blocks[0].static_gas,
+            2u * push.base_gas + add.base_gas);
+  EXPECT_EQ(report.blocks[0].cycles, 2u * push.mcu_cycles + add.mcu_cycles);
+  EXPECT_EQ(report.blocks[0].ops, 3u);
+  EXPECT_EQ(report.blocks[0].exit, BlockExit::CodeEnd);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(Analysis, StackMergeConflict) {
+  // PUSH1 1; PUSH1 7; JUMPI; PUSH1 9; JUMPDEST; STOP — the branch edge
+  // reaches the JUMPDEST at height 0, the fallthrough at height 1.
+  const AnalysisReport report =
+      analyze_hexless({0x60, 0x01, 0x60, 0x07, 0x57, 0x60, 0x09, 0x5b, 0x00});
+  EXPECT_TRUE(has_diag(report, Diagnostic::Kind::StackMergeConflict));
+  bool saw_conflict_block = false;
+  for (const BasicBlock& b : report.blocks) {
+    if (b.pc == 7) {
+      EXPECT_EQ(b.entry_height, BasicBlock::kConflictHeight);
+      EXPECT_FALSE(b.entry_height_known());
+      saw_conflict_block = true;
+    }
+  }
+  EXPECT_TRUE(saw_conflict_block);
+}
+
+TEST(Analysis, UnreachableBlock) {
+  // STOP; JUMPDEST; STOP — nothing jumps, so the JUMPDEST block is dead.
+  const AnalysisReport report = analyze_hexless({0x00, 0x5b, 0x00});
+  ASSERT_EQ(report.blocks.size(), 2u);
+  EXPECT_TRUE(report.blocks[0].reachable);
+  EXPECT_FALSE(report.blocks[1].reachable);
+  EXPECT_TRUE(has_diag(report, Diagnostic::Kind::UnreachableBlock));
+  EXPECT_EQ(report.error_count(), 0u);
+  EXPECT_EQ(report.warning_count(), 1u);
+}
+
+TEST(Analysis, DynamicJumpReachesEveryJumpdest) {
+  // CALLDATASIZE; JUMP; JUMPDEST; STOP; JUMPDEST; STOP — the jump target
+  // comes off the stack, so both JUMPDEST blocks are conservatively
+  // reachable, with unknown entry heights (no static edge carries one).
+  const AnalysisReport report =
+      analyze_hexless({0x36, 0x56, 0x5b, 0x00, 0x5b, 0x00});
+  ASSERT_EQ(report.blocks.size(), 3u);
+  EXPECT_EQ(report.blocks[0].exit, BlockExit::Jump);
+  EXPECT_TRUE(report.blocks[0].dynamic_exit);
+  EXPECT_EQ(report.blocks[0].target, BasicBlock::kNoBlock);
+  for (std::size_t i = 1; i < 3; ++i) {
+    EXPECT_TRUE(report.blocks[i].reachable) << "block " << i;
+    EXPECT_FALSE(report.blocks[i].entry_height_known()) << "block " << i;
+    EXPECT_EQ(report.blocks[i].entry_height, BasicBlock::kUnknownHeight);
+  }
+  EXPECT_FALSE(has_diag(report, Diagnostic::Kind::UnreachableBlock));
+}
+
+TEST(Analysis, ProvenUnderflow) {
+  // A bare ADD at entry height 0.
+  const AnalysisReport report = analyze_hexless({0x01});
+  EXPECT_TRUE(has_diag(report, Diagnostic::Kind::ProvenUnderflow));
+  EXPECT_EQ(report.error_count(), 1u);
+}
+
+TEST(Analysis, ProvenOverflow) {
+  // Three pushes under a 2-element cap; no finding without a cap.
+  const Bytes code{0x60, 0x01, 0x60, 0x02, 0x60, 0x03, 0x00};
+  EXPECT_TRUE(has_diag(analyze_hexless(code, kTiny, 2),
+                       Diagnostic::Kind::ProvenOverflow));
+  EXPECT_TRUE(analyze_hexless(code, kTiny, 3).clean());
+  EXPECT_TRUE(analyze_hexless(code).clean());
+}
+
+TEST(Analysis, BadJumpTargetAndPushdata) {
+  // PUSH1 5; JUMP with pc 5 past the end -> bad target (error).
+  EXPECT_TRUE(has_diag(analyze_hexless({0x60, 0x05, 0x56}),
+                       Diagnostic::Kind::BadJumpTarget));
+  // PUSH1 4; JUMP; PUSH1 0x5b; STOP — the destination byte is a 0x5b
+  // hidden inside pushdata, the refined diagnostic.
+  EXPECT_TRUE(has_diag(analyze_hexless({0x60, 0x04, 0x56, 0x60, 0x5b, 0x00}),
+                       Diagnostic::Kind::JumpIntoPushdata));
+}
+
+TEST(Analysis, TrapDiagnostics) {
+  // An undefined byte is an error when reachable...
+  EXPECT_TRUE(has_diag(analyze_hexless({0xef}),
+                       Diagnostic::Kind::InvalidOpcode));
+  // ...SENSOR does not exist in the original EVM (undefined, not merely
+  // forbidden) but is fine under TinyEVM (it pops two and pushes one, so
+  // feed it operands)...
+  const Bytes sensor{0x60, 0x00, 0x60, 0x00, 0x0c, 0x00};
+  EXPECT_TRUE(has_diag(analyze_hexless(sensor, kEth),
+                       Diagnostic::Kind::InvalidOpcode));
+  EXPECT_TRUE(analyze_hexless(sensor, kTiny).clean());
+  // ...NUMBER is a real opcode that the TinyEVM profile removes...
+  EXPECT_TRUE(has_diag(analyze_hexless({0x43, 0x00}, kTiny),
+                       Diagnostic::Kind::ForbiddenOpcode));
+  EXPECT_TRUE(analyze_hexless({0x43, 0x00}, kEth).clean());
+  // ...and an intentional INVALID (0xfe) trap is not a finding.
+  EXPECT_TRUE(analyze_hexless({0xfe}).clean());
+  // Unreachable garbage only warns about the dead block, not the bytes.
+  const AnalysisReport dead = analyze_hexless({0x00, 0x5b, 0xef});
+  EXPECT_FALSE(has_diag(dead, Diagnostic::Kind::InvalidOpcode));
+  EXPECT_TRUE(has_diag(dead, Diagnostic::Kind::UnreachableBlock));
+}
+
+TEST(Analysis, TruncatedPush) {
+  const AnalysisReport report = analyze_hexless({0x7f, 0xAA});
+  EXPECT_TRUE(has_diag(report, Diagnostic::Kind::TruncatedPush));
+  EXPECT_EQ(report.error_count(), 0u);
+}
+
+TEST(Analysis, ElideSpanOnEntryBlock) {
+  // PUSH1 1; PUSH1 2; ADD — wholly elidable, so the entry span covers the
+  // full stream (Push + fused PushBin pair = 3 slots, 3 ops).
+  const DecodedProgram p =
+      translate(Bytes{0x60, 0x01, 0x60, 0x02, 0x01}, kTiny);
+  ASSERT_EQ(p.spans.size(), 1u);
+  ASSERT_NE(p.entry_span, kNoJumpTarget);
+  const ElideSpan& span = p.spans[p.entry_span];
+  EXPECT_EQ(span.first, 0u);
+  EXPECT_EQ(span.count, 3u);
+  EXPECT_EQ(span.ops, 3u);
+  EXPECT_EQ(span.stack_require, 0u);
+  EXPECT_EQ(span.stack_peak, 2u);
+  EXPECT_EQ(span.static_gas, 3u * info(0x60).base_gas);
+}
+
+TEST(Analysis, ElideSpanOnJumpdestLeader) {
+  // JUMPDEST; PUSH1 1; PUSH1 2; ADD; STOP — the leader's span index rides
+  // in the JumpDest instruction's unused jump-target field, and a
+  // JUMPDEST-led program has no entry span (the leader itself still runs
+  // its checked prologue).
+  const DecodedProgram p =
+      translate(Bytes{0x5b, 0x60, 0x01, 0x60, 0x02, 0x01, 0x00}, kTiny);
+  EXPECT_EQ(p.entry_span, kNoJumpTarget);
+  ASSERT_EQ(p.spans.size(), 1u);
+  ASSERT_FALSE(p.insts.empty());
+  ASSERT_EQ(p.insts[0].handler, Handler::JumpDest);
+  ASSERT_EQ(p.insts[0].target, 0u);
+  EXPECT_EQ(p.spans[0].first, 1u);  // span starts after the leader
+  EXPECT_EQ(p.spans[0].ops, 3u);
+}
+
+TEST(Analysis, ShortRunsGetNoSpan) {
+  // JUMPDEST; POP; STOP — a single elidable instruction cannot pay for
+  // the entry test (kMinElideSpanSlots).
+  const DecodedProgram p = translate(Bytes{0x5b, 0x50, 0x00}, kTiny);
+  EXPECT_TRUE(p.spans.empty());
+  ASSERT_FALSE(p.insts.empty());
+  EXPECT_EQ(p.insts[0].target, kNoJumpTarget);
+  // A terminator-only program has nothing to elide either.
+  EXPECT_TRUE(translate(Bytes{0x00}, kTiny).spans.empty());
+}
+
+TEST(Analysis, NonElidableOpsEndTheSpan) {
+  // PUSH1 0; PUSH1 0; MSTORE; PUSH1 1; PUSH1 2; ADD — memory growth is
+  // not elidable, so the entry span stops before MSTORE and no second
+  // span exists (the post-MSTORE run has no block leader to anchor it).
+  const DecodedProgram p = translate(
+      Bytes{0x60, 0x00, 0x60, 0x00, 0x52, 0x60, 0x01, 0x60, 0x02, 0x01},
+      kTiny);
+  ASSERT_EQ(p.spans.size(), 1u);
+  ASSERT_NE(p.entry_span, kNoJumpTarget);
+  EXPECT_EQ(p.spans[p.entry_span].first, 0u);
+  EXPECT_EQ(p.spans[p.entry_span].count, 2u);  // the two leading pushes
+}
+
+TEST(Analysis, SpanSwallowsStaticJumpTail) {
+  // PUSH1 10; JUMPDEST; PUSH1 1; SWAP1; SUB; DUP1; PUSH1 2; JUMPI; POP —
+  // the loop body block ends in a fused PUSH+JUMPI whose target resolved
+  // statically, so the span swallows it: one entry test covers the whole
+  // body including the back edge.
+  const DecodedProgram p = translate(
+      Bytes{0x60, 0x0a, 0x5b, 0x60, 0x01, 0x90, 0x03, 0x80, 0x60, 0x02,
+            0x57, 0x50},
+      kTiny);
+  // Entry block's lone PUSH is below the span threshold and its next
+  // instruction is the JUMPDEST leader, not a fused jump.
+  EXPECT_EQ(p.entry_span, kNoJumpTarget);
+  ASSERT_EQ(p.spans.size(), 1u);
+  const ElideSpan& span = p.spans[0];
+  EXPECT_EQ(span.first, 2u);        // right after the JUMPDEST leader
+  EXPECT_EQ(span.count, 4u);        // Push, SwapBin pair, Dup
+  EXPECT_EQ(span.tail, kSpanTailJumpI);
+  EXPECT_EQ(span.ops, 6u);          // 4 body ops + both tail halves
+  EXPECT_EQ(span.stack_require, 1u);
+  EXPECT_EQ(span.stack_peak, 2u);
+  // The tail's gas rides in the summary: body plus both fused halves.
+  const std::uint64_t want_gas =
+      std::uint64_t{p.insts[2].gas} + p.insts[3].gas + p.insts[3].gas2 +
+      p.insts[5].gas + p.insts[6].gas + p.insts[6].gas2;
+  EXPECT_EQ(span.static_gas, want_gas);
+  ASSERT_EQ(p.insts[span.first + span.count].handler, Handler::PushJumpI);
+  EXPECT_EQ(p.insts[span.first + span.count].target, 1u);
+
+  // A body-less block can still earn a span from its tail alone: JUMPDEST;
+  // PUSH1 0; JUMP (a statically-resolved self-loop).
+  const DecodedProgram loop = translate(Bytes{0x5b, 0x60, 0x00, 0x56}, kTiny);
+  ASSERT_EQ(loop.spans.size(), 1u);
+  EXPECT_EQ(loop.spans[0].count, 0u);
+  EXPECT_EQ(loop.spans[0].tail, kSpanTailJump);
+  EXPECT_EQ(loop.spans[0].ops, 2u);
+
+  // An unresolvable target keeps the jump on the checked path (it can
+  // fail InvalidJump): PUSH1 1; POP; PUSH1 9; JUMP — 9 is not a JUMPDEST.
+  const DecodedProgram bad =
+      translate(Bytes{0x60, 0x01, 0x50, 0x60, 0x09, 0x56}, kTiny);
+  ASSERT_NE(bad.entry_span, kNoJumpTarget);
+  EXPECT_EQ(bad.spans[bad.entry_span].count, 2u);
+  EXPECT_EQ(bad.spans[bad.entry_span].tail, kSpanTailNone);
+}
+
+TEST(Analysis, AttachIsIdempotent) {
+  DecodedProgram p = translate(
+      Bytes{0x60, 0x0a, 0x5b, 0x60, 0x01, 0x90, 0x03, 0x80, 0x60, 0x02,
+            0x57, 0x50},
+      kTiny);
+  const std::size_t spans = p.spans.size();
+  const std::uint32_t entry = p.entry_span;
+  attach_elide_spans(p);
+  EXPECT_EQ(p.spans.size(), spans);
+  EXPECT_EQ(p.entry_span, entry);
+}
+
+TEST(Analysis, StackEffectMatchesOpcodeTable) {
+  // For every executable single opcode, the analyzer's require/delta must
+  // agree with the opcode table's operand counts under both profiles.
+  for (const TranslationProfile& profile : {kTiny, kEth}) {
+    for (unsigned op = 0; op < 256; ++op) {
+      const auto byte = static_cast<std::uint8_t>(op);
+      if (classify(byte, profile.tiny_profile, profile.iot_opcodes,
+                   profile.block_opcodes) != OpValidity::Ok) {
+        continue;
+      }
+      const DecodedProgram p = translate(Bytes{byte}, profile);
+      ASSERT_EQ(p.insts.size(), 1u);
+      const StackEffect ef = stack_effect(p.insts[0]);
+      const OpInfo& inf = info(byte);
+      EXPECT_EQ(ef.require, inf.stack_in) << inf.name;
+      EXPECT_EQ(ef.delta, inf.stack_out - inf.stack_in) << inf.name;
+      EXPECT_GE(ef.peak, std::max(ef.delta, 0)) << inf.name;
+    }
+  }
+}
+
+TEST(Analysis, FusedPairsPreserveStackEffects) {
+  // Fusion must not change a pair's stack algebra: compare each fused
+  // head's effect against the sequential fold of its two halves.
+  struct Pair {
+    Bytes code;
+    StackEffect expect;
+  };
+  const Pair pairs[] = {
+      {{0x60, 0x01, 0x01}, {1, 0, 1}},        // PUSH+ADD
+      {{0x80, 0x02}, {1, 0, 1}},              // DUP1+MUL
+      {{0x82, 0x16}, {3, 0, 1}},              // DUP3+AND
+      {{0x90, 0x03}, {2, -1, 0}},             // SWAP1+SUB
+      {{0x60, 0x04, 0x56}, {0, 0, 1}},        // PUSH+JUMP
+      {{0x60, 0x04, 0x57}, {1, -1, 1}},       // PUSH+JUMPI
+  };
+  for (const Pair& pair : pairs) {
+    const DecodedProgram p = translate(pair.code, kTiny);
+    ASSERT_GE(p.insts.size(), 1u);
+    const StackEffect ef = stack_effect(p.insts[0]);
+    EXPECT_EQ(ef.require, pair.expect.require);
+    EXPECT_EQ(ef.delta, pair.expect.delta);
+    EXPECT_EQ(ef.peak, pair.expect.peak);
+  }
+}
+
+TEST(Analysis, RobustOnGarbage) {
+  // The analyzer must hold its partition invariant (blocks exactly cover
+  // the stream) and never crash on arbitrary bytes.
+  std::mt19937_64 rng(20200711);
+  for (int round = 0; round < 200; ++round) {
+    Bytes code(1 + rng() % 384);
+    for (auto& b : code) b = static_cast<std::uint8_t>(rng());
+    const TranslationProfile profile = (round % 2) != 0 ? kEth : kTiny;
+    const DecodedProgram p = translate(code, profile);
+    AnalysisOptions opt;
+    opt.stack_limit = (round % 2) != 0 ? 1024 : 96;
+    opt.code = code;
+    const AnalysisReport report = analyze(p, opt);
+    std::size_t covered = 0;
+    for (const BasicBlock& b : report.blocks) {
+      ASSERT_EQ(b.first, covered);  // contiguous, in order
+      covered += b.count;
+    }
+    ASSERT_EQ(covered, p.insts.size());
+    for (const ElideSpan& span : p.spans) {
+      const std::uint32_t tail_slots =
+          span.tail != kSpanTailNone ? 2u : 0u;
+      ASSERT_LE(span.first + span.count + tail_slots, p.insts.size());
+      ASSERT_GE(span.count + tail_slots, kMinElideSpanSlots);
+      if (span.tail != kSpanTailNone) {
+        const DecodedInst& t = p.insts[span.first + span.count];
+        ASSERT_TRUE(t.handler == Handler::PushJump ||
+                    t.handler == Handler::PushJumpI);
+        ASSERT_NE(t.target, kNoJumpTarget);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tinyevm::evm

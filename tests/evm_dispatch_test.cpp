@@ -1,13 +1,15 @@
-// Golden + differential test for the interpreter's two execution paths.
+// Golden + differential test for the interpreter's three execution paths.
 //
 // Every program — random bytes, biased fuzz programs, the synthetic
-// contract corpus, and directed edge programs — runs twice: through the
-// raw token-threaded loop (predecode off) and through the pre-decoded
-// translation path (predecode on, private cache). The two observations
-// must be bit-identical (halt status, output, gas, stack high-water,
-// memory peak, op/cycle counts, logs, storage), and both must match the
-// recorded golden corpus in tests/golden/ — so a regression that changes
-// *both* paths the same way is still caught.
+// contract corpus, and directed edge programs — runs three times: through
+// the raw token-threaded loop (predecode off), through the pre-decoded
+// translation path with check elision (predecode on, the default), and
+// through the pre-decoded path with elision off (per-instruction checks
+// on every op). All three observations must be bit-identical (halt
+// status, output, gas, stack high-water, memory peak, op/cycle counts,
+// logs, storage), and all must match the recorded golden corpus in
+// tests/golden/ — so a regression that changes every path the same way is
+// still caught.
 //
 // Regenerating the golden files (only when semantics intentionally
 // change): run the test binary directly with TINYEVM_REGEN_GOLDEN=1 and
@@ -129,8 +131,10 @@ Hash256 digest_storage(const TinyStorage* storage) {
 /// observable. Each run gets a private translation cache so the
 /// pre-decoded path always starts from a cold, deterministic translation.
 Observation observe(const Bytes& code, const Bytes& data, VmConfig config,
-                    bool predecode, std::int64_t gas) {
+                    bool predecode, std::int64_t gas,
+                    bool elide_checks = true) {
   config.predecode = predecode;
+  config.elide_checks = elide_checks;
   channel::SensorBank sensors;
   sensors.set_reading(7, U256{22});
   channel::DeviceHost host(sensors, config);
@@ -219,25 +223,33 @@ class Golden {
   std::vector<std::string> lines_;
 };
 
-/// The core of the suite: raw and pre-decoded observations must match each
-/// other (differential mode) and the recorded golden line.
+void expect_identical(const Observation& a, const Observation& b) {
+  EXPECT_EQ(a.result.status, b.result.status);
+  EXPECT_EQ(a.result.output, b.result.output);
+  EXPECT_EQ(a.result.gas_left, b.result.gas_left);
+  EXPECT_EQ(a.result.stats.max_stack_pointer,
+            b.result.stats.max_stack_pointer);
+  EXPECT_EQ(a.result.stats.peak_memory, b.result.stats.peak_memory);
+  EXPECT_EQ(a.result.stats.ops_executed, b.result.stats.ops_executed);
+  EXPECT_EQ(a.result.stats.mcu_cycles, b.result.stats.mcu_cycles);
+  EXPECT_EQ(a.log_count, b.log_count);
+  EXPECT_EQ(a.log_digest, b.log_digest);
+  EXPECT_EQ(a.storage_slots, b.storage_slots);
+  EXPECT_EQ(a.storage_digest, b.storage_digest);
+}
+
+/// The core of the suite: the raw, checked pre-decoded, and check-elided
+/// pre-decoded observations must match each other (differential mode) and
+/// the recorded golden line.
 void run_case(Golden& golden, const std::string& name, const Bytes& code,
               const Bytes& data, const VmConfig& config, std::int64_t gas) {
   SCOPED_TRACE(name);
   const Observation raw = observe(code, data, config, false, gas);
   const Observation pre = observe(code, data, config, true, gas);
-  EXPECT_EQ(raw.result.status, pre.result.status);
-  EXPECT_EQ(raw.result.output, pre.result.output);
-  EXPECT_EQ(raw.result.gas_left, pre.result.gas_left);
-  EXPECT_EQ(raw.result.stats.max_stack_pointer,
-            pre.result.stats.max_stack_pointer);
-  EXPECT_EQ(raw.result.stats.peak_memory, pre.result.stats.peak_memory);
-  EXPECT_EQ(raw.result.stats.ops_executed, pre.result.stats.ops_executed);
-  EXPECT_EQ(raw.result.stats.mcu_cycles, pre.result.stats.mcu_cycles);
-  EXPECT_EQ(raw.log_count, pre.log_count);
-  EXPECT_EQ(raw.log_digest, pre.log_digest);
-  EXPECT_EQ(raw.storage_slots, pre.storage_slots);
-  EXPECT_EQ(raw.storage_digest, pre.storage_digest);
+  const Observation checked =
+      observe(code, data, config, true, gas, /*elide_checks=*/false);
+  expect_identical(raw, pre);
+  expect_identical(checked, pre);
   golden.check(name, serialize(raw));
 }
 
@@ -496,6 +508,72 @@ TEST(DispatchGolden, DirectedEdgePrograms) {
       run_case(golden, "directed/stack-cap/" + std::to_string(limit), code,
                {}, config, 10'000'000);
     }
+  }
+
+  golden.finish();
+}
+
+TEST(DispatchGolden, ElisionBoundarySweeps) {
+  // Check-elision boundary torture: resource limits that expire *inside*
+  // an elidable block, so the span's bulk entry test must fail and the
+  // checked fallback must reproduce the per-instruction failure point
+  // bit-for-bit (run_case already holds all three paths identical).
+  Golden golden("elision");
+
+  // A JUMPDEST-led counting loop whose body starts with an elidable span
+  // (PUSH 1; SWAP1; SUB; DUP1 -> Push + SwapBin + Dup) before the
+  // terminating PUSH+JUMPI. Every iteration re-enters the span.
+  Assembler loop;
+  loop.push(10);                      // counter
+  loop.op(Opcode::JUMPDEST);          // pc 2: loop head
+  loop.push(1).swap(1).op(Opcode::SUB);
+  loop.dup(1);
+  loop.push(2).op(Opcode::JUMPI);     // counter != 0 -> loop
+  loop.op(Opcode::POP);
+  const Bytes loop_code = loop.take();
+
+  // A straight-line program whose entry span covers the whole body: the
+  // limits then land inside the single bulk-charged region.
+  Assembler line;
+  line.push(7);
+  for (int i = 0; i < 12; ++i) {
+    line.push(3).op(Opcode::ADD);
+    line.dup(1).op(Opcode::XOR);
+    line.op(Opcode::ISZERO);
+    line.op(Opcode::NOT);
+  }
+  const Bytes line_code = line.take();
+
+  // Gas expiring at every possible point of the loop (Ethereum profile
+  // meters gas; the span entry test reads the live gas counter).
+  for (std::int64_t gas = 0; gas <= 120; ++gas) {
+    run_case(golden, "elision/loop-gas/" + std::to_string(gas), loop_code,
+             {}, VmConfig::ethereum(), gas);
+  }
+  for (std::int64_t gas = 0; gas <= 160; ++gas) {
+    run_case(golden, "elision/line-gas/" + std::to_string(gas), line_code,
+             {}, VmConfig::ethereum(), gas);
+  }
+
+  // Watchdog expiring at every op boundary, including mid-span.
+  for (std::uint64_t cap = 1; cap <= 70; ++cap) {
+    VmConfig config = VmConfig::tiny();
+    config.max_ops = cap;
+    run_case(golden, "elision/loop-watchdog/" + std::to_string(cap),
+             loop_code, {}, config, 10'000'000);
+    run_case(golden, "elision/line-watchdog/" + std::to_string(cap),
+             line_code, {}, config, 10'000'000);
+  }
+
+  // Stack caps around the spans' peak: entry tests must reject exactly
+  // when the checked path would overflow mid-block.
+  for (std::size_t limit = 1; limit <= 6; ++limit) {
+    VmConfig config = VmConfig::tiny();
+    config.stack_limit = limit;
+    run_case(golden, "elision/loop-stack-cap/" + std::to_string(limit),
+             loop_code, {}, config, 10'000'000);
+    run_case(golden, "elision/line-stack-cap/" + std::to_string(limit),
+             line_code, {}, config, 10'000'000);
   }
 
   golden.finish();

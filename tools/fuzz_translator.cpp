@@ -1,9 +1,12 @@
 // libFuzzer harness for the bytecode translator: a differential
-// raw-vs-decoded oracle. Every input byte string runs twice through the
-// interpreter — once through the raw token-threaded loop (predecode off)
-// and once through the pre-decoded path (fresh private CodeCache) — and
-// any divergence in status, output, gas, execution statistics, logs, or
-// installed contracts aborts, which libFuzzer reports as a crash.
+// raw-vs-decoded oracle. Every input byte string runs three times through
+// the interpreter — once through the raw token-threaded loop (predecode
+// off), once through the pre-decoded path with check elision (the default),
+// and once pre-decoded with elision off (fresh private CodeCache each) —
+// and any divergence in status, output, gas, execution statistics, logs,
+// or installed contracts aborts, which libFuzzer reports as a crash. The
+// static analyzer also runs over every input's translation: it must never
+// crash, whatever the bytes.
 //
 // Built behind TINYEVM_BUILD_FUZZERS. Under clang the binary is a real
 // libFuzzer target (-fsanitize=fuzzer); elsewhere a standalone main() runs
@@ -21,7 +24,9 @@
 #include <vector>
 
 #include "channel/hub.hpp"
+#include "evm/analysis.hpp"
 #include "evm/code_cache.hpp"
+#include "evm/decoded.hpp"
 #include "evm/vm.hpp"
 
 namespace {
@@ -44,9 +49,11 @@ struct Observation {
 };
 
 Observation run_once(std::span<const std::uint8_t> code,
-                     const evm::VmConfig& config, bool predecode) {
+                     const evm::VmConfig& config, bool predecode,
+                     bool elide_checks = true) {
   evm::VmConfig run_config = config;
   run_config.predecode = predecode;
+  run_config.elide_checks = elide_checks;
   // A private cache per run: the oracle must never see another input's
   // translation, and the translate path itself is under test.
   channel::SensorBank sensors;
@@ -81,8 +88,26 @@ void check_one_input(const std::uint8_t* data, std::size_t size) {
   const evm::VmConfig config = fuzz_config(data[0]);
   const std::span<const std::uint8_t> code{data + 1, size - 1};
 
+  // The analyzer must accept any translation without crashing, and its
+  // internal invariants (block partition covers the stream) must hold.
+  {
+    const evm::TranslationProfile profile{
+        config.profile == evm::VmProfile::TinyEvm, config.iot_opcodes,
+        config.block_opcodes};
+    const evm::DecodedProgram program = evm::translate(code, profile);
+    evm::AnalysisOptions aopt;
+    aopt.stack_limit = config.stack_limit;
+    aopt.code = code;
+    const evm::AnalysisReport report = evm::analyze(program, aopt);
+    std::size_t covered = 0;
+    for (const evm::BasicBlock& b : report.blocks) covered += b.count;
+    FUZZ_CHECK(covered == program.insts.size());
+  }
+
   const Observation raw = run_once(code, config, /*predecode=*/false);
   const Observation decoded = run_once(code, config, /*predecode=*/true);
+  const Observation checked =
+      run_once(code, config, /*predecode=*/true, /*elide_checks=*/false);
 
   FUZZ_CHECK(raw.result.status == decoded.result.status);
   FUZZ_CHECK(raw.result.output == decoded.result.output);
@@ -96,6 +121,20 @@ void check_one_input(const std::uint8_t* data, std::size_t size) {
              decoded.result.stats.peak_memory);
   FUZZ_CHECK(raw.log_count == decoded.log_count);
   FUZZ_CHECK(raw.contract_count == decoded.contract_count);
+
+  FUZZ_CHECK(checked.result.status == decoded.result.status);
+  FUZZ_CHECK(checked.result.output == decoded.result.output);
+  FUZZ_CHECK(checked.result.gas_left == decoded.result.gas_left);
+  FUZZ_CHECK(checked.result.stats.ops_executed ==
+             decoded.result.stats.ops_executed);
+  FUZZ_CHECK(checked.result.stats.mcu_cycles ==
+             decoded.result.stats.mcu_cycles);
+  FUZZ_CHECK(checked.result.stats.max_stack_pointer ==
+             decoded.result.stats.max_stack_pointer);
+  FUZZ_CHECK(checked.result.stats.peak_memory ==
+             decoded.result.stats.peak_memory);
+  FUZZ_CHECK(checked.log_count == decoded.log_count);
+  FUZZ_CHECK(checked.contract_count == decoded.contract_count);
 }
 
 }  // namespace

@@ -1,0 +1,261 @@
+// tinyevm-lint — static analysis over EVM bytecode, standalone. Runs the
+// translate-time analyzer (src/evm/analysis.hpp) and reports its proofs
+// as contract diagnostics:
+//
+//   tinyevm-lint 6001600201                # lint hex bytecode
+//   tinyevm-lint --blocks <hex>            # also print the block table
+//   tinyevm-lint --file contract.bin       # raw or hex file
+//   tinyevm-lint --profile ethereum <hex>  # Ethereum opcode profile
+//   tinyevm-lint --corpus 100              # lint synthetic corpus entries
+//
+// Exit status: 0 when the analysis is clean, 1 when it has findings
+// (dead code, proven stack faults, invalid/forbidden opcodes, bad jump
+// targets, truncated immediates), 2 on usage errors.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "crypto/hash.hpp"
+#include "evm/analysis.hpp"
+#include "evm/decoded.hpp"
+#include "evm/vm.hpp"
+
+using namespace tinyevm;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: tinyevm-lint [options] <hex-bytecode>\n"
+      "  --profile tiny|ethereum   opcode profile (default: tiny)\n"
+      "  --file <path>             load bytecode from a hex or binary file\n"
+      "  --corpus <n>              lint the first n synthetic corpus\n"
+      "                            contracts instead of one program\n"
+      "  --blocks                  print the basic-block table\n"
+      "  --quiet                   diagnostics only, no summary\n"
+      "exit status: 0 clean, 1 findings, 2 usage error\n");
+}
+
+struct Options {
+  evm::TranslationProfile profile;  // defaults match VmConfig::tiny()
+  std::size_t stack_limit = 96;
+  bool blocks = false;
+  bool quiet = false;
+};
+
+void print_block_table(const evm::AnalysisReport& report,
+                       const evm::DecodedProgram& program) {
+  std::printf(
+      "  blk  pc-range     insts  exit         target  stack(req/net/peak)"
+      "  gas     cycles   height  span\n");
+  for (std::size_t i = 0; i < report.blocks.size(); ++i) {
+    const evm::BasicBlock& b = report.blocks[i];
+    char target[16] = "-";
+    if (b.dynamic_exit) {
+      std::snprintf(target, sizeof target, "dyn");
+    } else if (b.target != evm::BasicBlock::kNoBlock) {
+      std::snprintf(target, sizeof target, "%u", b.target);
+    } else if (b.exit == evm::BlockExit::Jump ||
+               b.exit == evm::BlockExit::Branch) {
+      std::snprintf(target, sizeof target, "bad");
+    }
+    char height[16];
+    if (b.entry_height_known()) {
+      std::snprintf(height, sizeof height, "%d", b.entry_height);
+    } else {
+      std::snprintf(height, sizeof height, "%s",
+                    b.entry_height == evm::BasicBlock::kConflictHeight
+                        ? "conflict"
+                        : "?");
+    }
+    // Span coverage: the leader's elidable run, if the analyzer kept one.
+    const evm::DecodedInst& lead = program.insts[b.first];
+    std::uint32_t span_idx = evm::kNoJumpTarget;
+    if (lead.handler == evm::Handler::JumpDest) {
+      span_idx = lead.target;
+    } else if (b.first == 0) {
+      span_idx = program.entry_span;
+    }
+    char span[16] = "-";
+    if (span_idx != evm::kNoJumpTarget) {
+      std::snprintf(span, sizeof span, "%u ops",
+                    program.spans[span_idx].ops);
+    }
+    std::printf(
+        "  %-4zu %04x..%04x   %-6u %-12s %-7s %3d/%+3d/%-3d"
+        "          %-7llu %-8llu %-7s %s%s\n",
+        i, b.pc, b.pc_end, b.ops,
+        std::string(evm::to_string(b.exit)).c_str(), target,
+        b.stack_require, b.stack_delta, b.stack_peak,
+        static_cast<unsigned long long>(b.static_gas),
+        static_cast<unsigned long long>(b.cycles), height, span,
+        b.reachable ? "" : "  [unreachable]");
+  }
+}
+
+int lint_one(const evm::Bytes& code, const Options& opt,
+             const char* label) {
+  const evm::DecodedProgram program = evm::translate(code, opt.profile);
+  evm::AnalysisOptions aopt;
+  aopt.stack_limit = opt.stack_limit;
+  aopt.code = code;
+  const evm::AnalysisReport report = evm::analyze(program, aopt);
+
+  if (!opt.quiet) {
+    std::printf("%s: %zu bytes, %zu instructions, %zu blocks, %zu spans\n",
+                label, code.size(), program.insts.size(),
+                report.blocks.size(), program.spans.size());
+  }
+  if (opt.blocks) print_block_table(report, program);
+  for (const evm::Diagnostic& d : report.diagnostics) {
+    std::printf("%s:%04x: %s: [%s] %s\n", label, d.pc,
+                d.severity == evm::Severity::Error ? "error" : "warning",
+                std::string(evm::to_string(d.kind)).c_str(),
+                d.message.c_str());
+  }
+  if (!opt.quiet) {
+    std::printf("%s: %zu error(s), %zu warning(s)\n", label,
+                report.error_count(), report.warning_count());
+  }
+  return report.clean() ? 0 : 1;
+}
+
+/// --file accepts both encodings: a file whose bytes are all hex digits /
+/// whitespace is decoded as hex, anything else is raw bytecode.
+evm::Bytes load_file(const std::string& path, bool& ok) {
+  ok = false;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::vector<std::uint8_t> data;
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  ok = true;
+  bool hexish = !data.empty();
+  std::string text;
+  for (const std::uint8_t b : data) {
+    if (std::isspace(b) != 0) continue;
+    if (std::isxdigit(b) == 0) {
+      hexish = false;
+      break;
+    }
+    text.push_back(static_cast<char>(b));
+  }
+  if (hexish && text.size() % 2 == 0) {
+    try {
+      return from_hex(text);
+    } catch (const std::exception&) {
+      // fall through to raw
+    }
+  }
+  return data;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.profile = evm::TranslationProfile{true, true, false};
+  std::string code_hex;
+  std::string file_path;
+  std::size_t corpus_count = 0;
+  bool corpus_mode = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    }
+    if (arg == "--profile" && i + 1 < argc) {
+      const std::string p = argv[++i];
+      if (p == "ethereum") {
+        const evm::VmConfig cfg = evm::VmConfig::ethereum();
+        opt.profile = evm::TranslationProfile{false, cfg.iot_opcodes,
+                                              cfg.block_opcodes};
+        opt.stack_limit = cfg.stack_limit;
+      } else if (p != "tiny") {
+        std::fprintf(stderr, "unknown profile '%s'\n", p.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--file" && i + 1 < argc) {
+      file_path = argv[++i];
+      continue;
+    }
+    if (arg == "--corpus" && i + 1 < argc) {
+      corpus_mode = true;
+      corpus_count = static_cast<std::size_t>(std::atoll(argv[++i]));
+      continue;
+    }
+    if (arg == "--blocks") {
+      opt.blocks = true;
+      continue;
+    }
+    if (arg == "--quiet") {
+      opt.quiet = true;
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+    code_hex = arg;
+  }
+
+  if (corpus_mode) {
+    if (corpus_count == 0) {
+      std::fprintf(stderr, "--corpus needs a positive count\n");
+      return 2;
+    }
+    const corpus::Generator gen;
+    Options quiet_opt = opt;
+    quiet_opt.quiet = true;
+    quiet_opt.blocks = false;
+    std::size_t flagged = 0;
+    for (std::size_t i = 0; i < corpus_count; ++i) {
+      char label[32];
+      std::snprintf(label, sizeof label, "corpus[%zu]", i);
+      if (lint_one(gen.make(i).init_code, quiet_opt, label) != 0) {
+        ++flagged;
+      }
+    }
+    std::printf("linted %zu corpus contracts: %zu with findings\n",
+                corpus_count, flagged);
+    return flagged == 0 ? 0 : 1;
+  }
+
+  evm::Bytes code;
+  if (!file_path.empty()) {
+    bool ok = false;
+    code = load_file(file_path, ok);
+    if (!ok) {
+      std::fprintf(stderr, "tinyevm-lint: cannot open %s\n",
+                   file_path.c_str());
+      return 2;
+    }
+  } else if (!code_hex.empty()) {
+    try {
+      code = from_hex(code_hex);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad bytecode hex: %s\n", e.what());
+      return 2;
+    }
+  } else {
+    usage();
+    return 2;
+  }
+  if (code.empty()) {
+    std::fprintf(stderr, "tinyevm-lint: empty bytecode\n");
+    return 2;
+  }
+  return lint_one(code, opt, file_path.empty() ? "code" : file_path.c_str());
+}
