@@ -55,28 +55,34 @@ void run_program(benchmark::State& state, const evm::Bytes& code,
   }
   state.counters["ops/s"] = benchmark::Counter(
       static_cast<double>(ops), benchmark::Counter::kIsRate);
-  if (config.predecode) {
+  if (cache->stats().lookups > 0) {  // translation-consuming engines only
     state.counters["cache_hit_%"] = 100.0 * cache->stats().hit_rate();
   }
 }
 
-// --- ablation: gas metering ---
-void BM_Loop_TinyEvm_NoGas(benchmark::State& state) {
-  run_program(state, loop_program(10'000), evm::VmConfig::tiny());
+// --- ablation: gas metering (both profiles on their default engine; the
+// engine suffix keeps the JSON rows attributable per-engine). ---
+void BM_Loop_TinyEvm_NoGas(benchmark::State& state, const char* engine) {
+  evm::VmConfig config = evm::VmConfig::tiny();
+  config.engine = engine;
+  run_program(state, loop_program(10'000), config);
 }
-BENCHMARK(BM_Loop_TinyEvm_NoGas);
+BENCHMARK_CAPTURE(BM_Loop_TinyEvm_NoGas, elided, "elided");
 
-void BM_Loop_Ethereum_Gas(benchmark::State& state) {
-  run_program(state, loop_program(10'000), evm::VmConfig::ethereum());
+void BM_Loop_Ethereum_Gas(benchmark::State& state, const char* engine) {
+  evm::VmConfig config = evm::VmConfig::ethereum();
+  config.engine = engine;
+  run_program(state, loop_program(10'000), config);
 }
-BENCHMARK(BM_Loop_Ethereum_Gas);
+BENCHMARK_CAPTURE(BM_Loop_Ethereum_Gas, elided, "elided");
 
-// --- ablation: raw threaded loop vs the pre-decoded translation path.
-// Same programs, same VM; only VmConfig::predecode differs, so the counter
-// pair quantifies what the one-time translation amortizes away (immediate
-// materialization, jump resolution, superinstruction fusion). The
-// predecoded variants run against a warm private cache (hit rate reported
-// as a counter).
+// --- ablation: the execution-engine sweep. Same programs, same VM; only
+// VmConfig::engine differs, so the row triple quantifies what the one-time
+// translation amortizes away (raw → predecoded: immediate materialization,
+// jump resolution, superinstruction fusion) and what check elision buys on
+// top (predecoded → elided: one entry test per proven block). The
+// translation-consuming engines run against a warm private cache (hit rate
+// reported as a counter).
 evm::Bytes opmix_program() {
   // The ADD/MUL/DUP/SWAP hot mix the ROADMAP calls out.
   Assembler a;
@@ -88,53 +94,23 @@ evm::Bytes opmix_program() {
   return a.take();
 }
 
-void BM_Loop_TinyEvm_Raw(benchmark::State& state) {
+void BM_Loop_TinyEvm(benchmark::State& state, const char* engine) {
   evm::VmConfig config = evm::VmConfig::tiny();
-  config.predecode = false;
+  config.engine = engine;
   run_program(state, loop_program(10'000), config);
 }
-BENCHMARK(BM_Loop_TinyEvm_Raw);
+BENCHMARK_CAPTURE(BM_Loop_TinyEvm, raw, "raw");
+BENCHMARK_CAPTURE(BM_Loop_TinyEvm, predecoded, "predecoded");
+BENCHMARK_CAPTURE(BM_Loop_TinyEvm, elided, "elided");
 
-void BM_Loop_TinyEvm_Predecoded(benchmark::State& state) {
+void BM_OpMix(benchmark::State& state, const char* engine) {
   evm::VmConfig config = evm::VmConfig::tiny();
-  config.predecode = true;
-  run_program(state, loop_program(10'000), config);
-}
-BENCHMARK(BM_Loop_TinyEvm_Predecoded);
-
-// Check-elision ablation: same predecoded path, but with the analyzer's
-// block-granular stack/gas/watchdog hoisting turned off so every
-// instruction runs its own prologue checks. The delta against the
-// *_Predecoded twins is what the static analysis buys at run time.
-void BM_Loop_TinyEvm_PredecodedChecked(benchmark::State& state) {
-  evm::VmConfig config = evm::VmConfig::tiny();
-  config.predecode = true;
-  config.elide_checks = false;
-  run_program(state, loop_program(10'000), config);
-}
-BENCHMARK(BM_Loop_TinyEvm_PredecodedChecked);
-
-void BM_OpMix_Raw(benchmark::State& state) {
-  evm::VmConfig config = evm::VmConfig::tiny();
-  config.predecode = false;
+  config.engine = engine;
   run_program(state, opmix_program(), config);
 }
-BENCHMARK(BM_OpMix_Raw);
-
-void BM_OpMix_Predecoded(benchmark::State& state) {
-  evm::VmConfig config = evm::VmConfig::tiny();
-  config.predecode = true;
-  run_program(state, opmix_program(), config);
-}
-BENCHMARK(BM_OpMix_Predecoded);
-
-void BM_OpMix_PredecodedChecked(benchmark::State& state) {
-  evm::VmConfig config = evm::VmConfig::tiny();
-  config.predecode = true;
-  config.elide_checks = false;
-  run_program(state, opmix_program(), config);
-}
-BENCHMARK(BM_OpMix_PredecodedChecked);
+BENCHMARK_CAPTURE(BM_OpMix, raw, "raw");
+BENCHMARK_CAPTURE(BM_OpMix, predecoded, "predecoded");
+BENCHMARK_CAPTURE(BM_OpMix, elided, "elided");
 
 // --- translation cost: cold translate by code size, and the warm-lookup
 // overhead (keccak + LRU probe) a cache hit still pays.
@@ -184,15 +160,14 @@ BENCHMARK(BM_Translate_WarmLookup)->Arg(256)->Arg(4096);
 
 // --- warm-cache corpus re-deployment: the Fig. 3/4 workload re-executed
 // with shared translations, the channel-hub re-execution pattern.
-void BM_Corpus_Redeploy(benchmark::State& state) {
-  const bool predecode = state.range(0) != 0;
+void BM_Corpus_Redeploy(benchmark::State& state, const char* engine) {
   corpus::GeneratorConfig cfg;
   cfg.count = 16;
   const corpus::Generator gen{cfg};
   std::vector<corpus::Contract> contracts;
   for (std::size_t i = 0; i < cfg.count; ++i) contracts.push_back(gen.make(i));
   evm::VmConfig config = evm::VmConfig::tiny();
-  config.predecode = predecode;
+  config.engine = engine;
   auto cache = std::make_shared<evm::CodeCache>();
   for (auto _ : state) {
     for (const auto& c : contracts) {
@@ -200,13 +175,13 @@ void BM_Corpus_Redeploy(benchmark::State& state) {
       benchmark::DoNotOptimize(outcome);
     }
   }
-  if (predecode) {
+  if (cache->stats().lookups > 0) {
     state.counters["cache_hit_%"] = 100.0 * cache->stats().hit_rate();
   }
 }
-BENCHMARK(BM_Corpus_Redeploy)
-    ->Arg(0)   // raw threaded loop
-    ->Arg(1)   // warm translation cache
+BENCHMARK_CAPTURE(BM_Corpus_Redeploy, raw, "raw")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Corpus_Redeploy, elided, "elided")
     ->Unit(benchmark::kMillisecond);
 
 // --- ablation: 256-bit emulation cost by opcode class ---

@@ -145,8 +145,19 @@ Hash256 Transaction::digest() const {
   return keccak256(rlp::encode(rlp::Item::list(std::move(fields))));
 }
 
-Blockchain::Blockchain(std::shared_ptr<evm::CodeCache> code_cache)
-    : vm_(evm::VmConfig::ethereum(), std::move(code_cache)) {
+namespace {
+
+evm::VmConfig chain_config(std::string engine) {
+  evm::VmConfig config = evm::VmConfig::ethereum();
+  config.engine = std::move(engine);
+  return config;
+}
+
+}  // namespace
+
+Blockchain::Blockchain(std::shared_ptr<evm::CodeCache> code_cache,
+                       std::string engine)
+    : vm_(chain_config(std::move(engine)), std::move(code_cache)) {
   Block genesis;
   genesis.number = 0;
   genesis.timestamp = 1'600'000'000;

@@ -13,6 +13,8 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "crypto/hash.hpp"
@@ -87,7 +89,16 @@ class Blockchain {
   /// `code_cache` overrides the process-wide translation cache the chain's
   /// EVM consults (see evm::CodeCache); null keeps the shared default, so
   /// contracts deployed here warm the same cache the device VMs use.
-  explicit Blockchain(std::shared_ptr<evm::CodeCache> code_cache = nullptr);
+  /// `engine` picks the chain Vm's execution engine (EngineRegistry name);
+  /// empty keeps the Ethereum profile's default, unknown names throw
+  /// std::invalid_argument.
+  explicit Blockchain(std::shared_ptr<evm::CodeCache> code_cache = nullptr,
+                      std::string engine = {});
+
+  /// The registry name of the engine the chain Vm resolved.
+  [[nodiscard]] std::string_view engine_name() const {
+    return vm_.engine_name();
+  }
 
   // -- accounts --
   void credit(const Address& addr, const U256& amount);

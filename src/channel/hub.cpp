@@ -264,6 +264,7 @@ ChannelHub::ChannelHub(std::string name, const PrivateKey& key,
       cache_(config.code_cache ? std::move(config.code_cache)
                                : evm::CodeCache::shared_default()),
       pool_(config.workers) {
+  if (!config.engine.empty()) vm_config_.engine = config.engine;
   const std::size_t workers = pool_.thread_count();
   vms_.reserve(workers);
   free_vms_.reserve(workers);

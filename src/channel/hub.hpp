@@ -283,6 +283,9 @@ class ChannelHub {
     /// Translation cache shared by every worker Vm; null = the process
     /// default (CodeCache::shared_default()).
     std::shared_ptr<evm::CodeCache> code_cache;
+    /// Execution engine for every worker Vm (EngineRegistry name). Empty =
+    /// whatever vm_config selects; unknown names make the ctor throw.
+    std::string engine;
   };
 
   /// Hub-wide counters, aggregated on demand.

@@ -2,11 +2,22 @@
 
 namespace tinyevm::channel {
 
+namespace {
+
+evm::VmConfig endpoint_config(std::string engine) {
+  evm::VmConfig config = evm::VmConfig::tiny();
+  config.engine = std::move(engine);
+  return config;
+}
+
+}  // namespace
+
 ChannelEndpoint::ChannelEndpoint(std::string name, const PrivateKey& key,
-                                 const Hash256& onchain_root)
+                                 const Hash256& onchain_root,
+                                 std::string engine)
     : name_(std::move(name)),
       key_(key),
-      config_(evm::VmConfig::tiny()),
+      config_(endpoint_config(std::move(engine))),
       vm_(config_),
       session_(std::make_unique<ChannelSession>(onchain_root, config_)) {}
 

@@ -19,6 +19,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "channel/hub.hpp"
 #include "channel/state.hpp"
@@ -32,11 +33,18 @@ namespace tinyevm::channel {
 /// sensor). Owns a key, a local TinyEVM, and the side-chain log.
 class ChannelEndpoint {
  public:
+  /// `engine` picks the local Vm's execution engine (EngineRegistry name);
+  /// empty keeps the TinyEVM profile's default. Unknown names throw
+  /// std::invalid_argument (from the Vm constructor).
   ChannelEndpoint(std::string name, const PrivateKey& key,
-                  const Hash256& onchain_root);
+                  const Hash256& onchain_root, std::string engine = {});
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Address address() const { return key_.address(); }
+  /// The registry name of the engine the local Vm resolved.
+  [[nodiscard]] std::string_view engine_name() const {
+    return vm_.engine_name();
+  }
   [[nodiscard]] SensorBank& sensors() { return session_->sensors(); }
   [[nodiscard]] const SideChainLog& log() const { return session_->log(); }
   [[nodiscard]] const EndpointStats& stats() const {

@@ -234,6 +234,10 @@ DeviceDeployer::DeviceDeployer(const evm::VmConfig& config,
                                std::shared_ptr<evm::CodeCache> code_cache)
     : impl_(std::make_unique<Impl>(config, std::move(code_cache))) {}
 
+std::string_view DeviceDeployer::engine_name() const {
+  return impl_->vm.engine_name();
+}
+
 DeviceDeployer::~DeviceDeployer() = default;
 DeviceDeployer::DeviceDeployer(DeviceDeployer&&) noexcept = default;
 DeviceDeployer& DeviceDeployer::operator=(DeviceDeployer&&) noexcept =

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 #include <random>
+#include <string_view>
 #include <vector>
 
 #include "evm/code_cache.hpp"
@@ -98,6 +99,10 @@ class DeviceDeployer {
   DeviceDeployer& operator=(DeviceDeployer&&) noexcept;
 
   [[nodiscard]] DeploymentOutcome deploy(const Contract& contract);
+
+  /// Registry name of the execution engine this deployer's Vm resolved
+  /// (outcomes are engine-invariant; the name is telemetry).
+  [[nodiscard]] std::string_view engine_name() const;
 
  private:
   struct Impl;

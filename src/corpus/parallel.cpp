@@ -21,7 +21,8 @@ std::vector<DeploymentOutcome> deploy_corpus_parallel(
     cache = config.code_cache ? config.code_cache
                               : evm::CodeCache::shared_default();
   } else {
-    worker_config.predecode = false;  // raw loop; no cache traffic at all
+    // Raw engine: decodes per run, never touches the translation cache.
+    worker_config.engine = evm::kRawEngine;
   }
 
   const std::size_t chunk = std::max<std::size_t>(1, config.chunk);

@@ -33,8 +33,8 @@ struct ParallelDeployConfig {
   /// Translation cache shared by every worker (null = the process-wide
   /// CodeCache::shared_default()). Ignored in streaming mode.
   std::shared_ptr<evm::CodeCache> code_cache;
-  /// When false, workers run the raw threaded interpreter loop
-  /// (VmConfig::predecode off) and never touch the translation cache —
+  /// When false, workers run the "raw" execution engine (the token-
+  /// threaded loop) and never touch the translation cache —
   /// the streaming mode for unique-code corpora whose decoded working set
   /// overruns the cache capacity, where caching is pure
   /// translate/insert/evict churn. Results stay bit-identical (the raw

@@ -26,6 +26,7 @@ RoundResult OffchainRound::run(const U256& channel_id, const U256& rate,
                                std::uint32_t sensor_device,
                                unsigned payments) {
   RoundResult result;
+  result.engine = std::string(car_.engine_name());
   TschLink link(car_mote_, lot_mote_);
   std::uint64_t car_vm_cursor = car_.stats().vm_cycles;
   std::uint64_t lot_vm_cursor = lot_.stats().vm_cycles;

@@ -36,6 +36,11 @@ struct RoundResult {
   bool ok = false;
   U256 paid_total;
   std::uint64_t sequence = 0;
+  /// Registry name of the execution engine the payer's Vm resolved —
+  /// round reports stay attributable when endpoints pick different
+  /// engines (the timings themselves are engine-invariant: device time is
+  /// modeled from MCU cycles, and every engine reports identical cycles).
+  std::string engine;
 };
 
 /// Orchestrates the paper's evaluation scenario: `car` pays `lot` for

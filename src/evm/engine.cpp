@@ -1,0 +1,199 @@
+#include "evm/engine.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "evm/decoded.hpp"
+#include "evm/frame.hpp"
+#include "evm/vm.hpp"
+
+namespace tinyevm::evm {
+
+std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::Success: return "success";
+    case Status::Revert: return "revert";
+    case Status::OutOfGas: return "out of gas";
+    case Status::StackOverflow: return "stack overflow";
+    case Status::StackUnderflow: return "stack underflow";
+    case Status::OutOfMemory: return "out of memory";
+    case Status::StorageExhausted: return "storage exhausted";
+    case Status::InvalidJump: return "invalid jump";
+    case Status::InvalidOpcode: return "invalid opcode";
+    case Status::ForbiddenOpcode: return "forbidden opcode";
+    case Status::SensorFailure: return "sensor failure";
+    case Status::CallDepthExceeded: return "call depth exceeded";
+    case Status::StaticViolation: return "static violation";
+    case Status::WatchdogExpired: return "watchdog expired";
+  }
+  return "unknown";
+}
+
+EngineProfile EngineProfile::from_config(const VmConfig& config) {
+  EngineProfile p;
+  p.revision = config.profile == VmProfile::TinyEvm ? EngineRevision::TinyEvm
+                                                    : EngineRevision::Ethereum;
+  p.stack_limit = config.stack_limit;
+  p.memory_limit = config.memory_limit;
+  p.storage_limit = config.storage_limit;
+  p.metering = config.metering;
+  p.block_opcodes = config.block_opcodes;
+  p.iot_opcodes = config.iot_opcodes;
+  p.gas_introspection = config.gas_introspection;
+  p.max_call_depth = config.max_call_depth;
+  p.max_ops = config.max_ops;
+  return p;
+}
+
+TranslationProfile EngineProfile::translation() const {
+  return TranslationProfile{revision == EngineRevision::TinyEvm, iot_opcodes,
+                            block_opcodes};
+}
+
+HostInterface HostInterface::wrap(Host& host) {
+  HostInterface hi;
+  hi.context = &host;
+  hi.sload_fn = +[](void* ctx, const Address& addr, const U256& key) {
+    return static_cast<Host*>(ctx)->sload(addr, key);
+  };
+  hi.sstore_fn = +[](void* ctx, const Address& addr, const U256& key,
+                     const U256& value) {
+    return static_cast<Host*>(ctx)->sstore(addr, key, value);
+  };
+  hi.balance_fn = +[](void* ctx, const Address& addr) {
+    return static_cast<Host*>(ctx)->balance(addr);
+  };
+  hi.code_at_fn = +[](void* ctx, const Address& addr) {
+    return static_cast<Host*>(ctx)->code_at(addr);
+  };
+  hi.block_info_fn = +[](void* ctx) {
+    return static_cast<Host*>(ctx)->block_info();
+  };
+  hi.block_hash_fn = +[](void* ctx, std::uint64_t number) {
+    return static_cast<Host*>(ctx)->block_hash(number);
+  };
+  hi.call_fn = +[](void* ctx, const CallRequest& req) {
+    return static_cast<Host*>(ctx)->call(req);
+  };
+  hi.create_fn = +[](void* ctx, const CreateRequest& req) {
+    return static_cast<Host*>(ctx)->create(req);
+  };
+  hi.emit_log_fn = +[](void* ctx, LogEntry entry) {
+    static_cast<Host*>(ctx)->emit_log(std::move(entry));
+  };
+  hi.self_destruct_fn = +[](void* ctx, const Address& addr,
+                            const Address& beneficiary) {
+    static_cast<Host*>(ctx)->self_destruct(addr, beneficiary);
+  };
+  hi.sensor_access_fn = +[](void* ctx, const SensorRequest& req) {
+    return static_cast<Host*>(ctx)->sensor_access(req);
+  };
+  return hi;
+}
+
+namespace {
+
+/// Decodes from raw bytecode every run: slowest, zero translation state,
+/// and the semantic reference every other engine is held to.
+class RawThreadedEngine final : public ExecutionEngine {
+ public:
+  [[nodiscard]] std::string_view name() const override { return kRawEngine; }
+  [[nodiscard]] std::string_view description() const override {
+    return "token-threaded loop over raw bytecode (semantic reference)";
+  }
+  [[nodiscard]] bool uses_translation() const override { return false; }
+  [[nodiscard]] EngineResult execute(const HostInterface& host,
+                                     const EngineContext& ctx,
+                                     const EngineMessage& msg) const override {
+    Frame frame(*ctx.profile, *ctx.dispatch, host, msg, nullptr, false);
+    return frame.run();
+  }
+};
+
+/// Executes the cached pre-decoded stream with every per-instruction
+/// stack/gas/watchdog check in place. Falls back to the raw loop when no
+/// translation is available (empty or oversized code).
+class PredecodedEngine final : public ExecutionEngine {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return kPredecodedEngine;
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "pre-decoded stream with checked dispatch";
+  }
+  [[nodiscard]] bool uses_translation() const override { return true; }
+  [[nodiscard]] EngineResult execute(const HostInterface& host,
+                                     const EngineContext& ctx,
+                                     const EngineMessage& msg) const override {
+    Frame frame(*ctx.profile, *ctx.dispatch, host, msg, ctx.program, false);
+    return frame.run();
+  }
+};
+
+/// The pre-decoded stream plus the analyzer's per-block ElideSpan fast
+/// path: one entry test per basic block replaces the per-instruction
+/// checks wherever the translate-time analysis proved them redundant.
+class ElidedEngine final : public ExecutionEngine {
+ public:
+  [[nodiscard]] std::string_view name() const override { return kElidedEngine; }
+  [[nodiscard]] std::string_view description() const override {
+    return "pre-decoded stream with analysis-span check elision";
+  }
+  [[nodiscard]] bool uses_translation() const override { return true; }
+  [[nodiscard]] EngineResult execute(const HostInterface& host,
+                                     const EngineContext& ctx,
+                                     const EngineMessage& msg) const override {
+    Frame frame(*ctx.profile, *ctx.dispatch, host, msg, ctx.program, true);
+    return frame.run();
+  }
+};
+
+}  // namespace
+
+EngineRegistry& EngineRegistry::instance() {
+  static EngineRegistry registry;
+  return registry;
+}
+
+EngineRegistry::EngineRegistry() {
+  engines_.push_back(std::make_unique<RawThreadedEngine>());
+  engines_.push_back(std::make_unique<PredecodedEngine>());
+  engines_.push_back(std::make_unique<ElidedEngine>());
+}
+
+bool EngineRegistry::add(std::unique_ptr<ExecutionEngine> engine) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& existing : engines_) {
+    if (existing->name() == engine->name()) return false;
+  }
+  engines_.push_back(std::move(engine));
+  return true;
+}
+
+const ExecutionEngine* EngineRegistry::find(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& engine : engines_) {
+    if (engine->name() == name) return engine.get();
+  }
+  return nullptr;
+}
+
+const ExecutionEngine& EngineRegistry::require(std::string_view name) const {
+  if (const ExecutionEngine* engine = find(name)) return *engine;
+  std::ostringstream msg;
+  msg << "unknown execution engine '" << name << "' (available:";
+  for (const auto& known : names()) msg << ' ' << known;
+  msg << ')';
+  throw std::invalid_argument(msg.str());
+}
+
+std::vector<std::string> EngineRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(engines_.size());
+  for (const auto& engine : engines_) out.emplace_back(engine->name());
+  return out;
+}
+
+}  // namespace tinyevm::evm

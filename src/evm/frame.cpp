@@ -1,0 +1,274 @@
+#include "evm/frame.hpp"
+
+#include <algorithm>
+
+#include "crypto/hash.hpp"
+#include "evm/opcodes.hpp"
+
+namespace tinyevm::evm {
+
+CodeAnalysis::CodeAnalysis(std::span<const std::uint8_t> code)
+    : jumpdest_(code.size(), false) {
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const std::uint8_t op = code[pc];
+    if (op == static_cast<std::uint8_t>(Opcode::JUMPDEST)) {
+      jumpdest_[pc] = true;
+    } else if (is_push(op)) {
+      pc += push_size(op);  // immediates are data, never jump targets
+    }
+  }
+}
+
+DispatchTable build_dispatch_table(const EngineProfile& profile) {
+  DispatchTable table;
+  const bool tiny = profile.revision == EngineRevision::TinyEvm;
+  for (unsigned i = 0; i < 256; ++i) {
+    const auto op = static_cast<std::uint8_t>(i);
+    DispatchEntry& e = table.entries[i];
+    switch (classify(op, tiny, profile.iot_opcodes, profile.block_opcodes)) {
+      case OpValidity::Undefined:
+        e.handler = Handler::Undefined;
+        continue;
+      case OpValidity::Forbidden:
+        e.handler = Handler::Forbidden;
+        continue;
+      case OpValidity::Ok:
+        break;
+    }
+    const OpInfo& inf = info(op);
+    e.handler = exec_handler(op);
+    e.gas = inf.base_gas;
+    e.cycles = inf.mcu_cycles;
+    if (is_push(op)) {
+      e.aux = static_cast<std::uint8_t>(push_size(op));
+    } else if (is_dup(op)) {
+      e.aux = static_cast<std::uint8_t>(op - 0x7f);
+    } else if (is_swap(op)) {
+      e.aux = static_cast<std::uint8_t>(op - 0x8f);
+    } else if (is_log(op)) {
+      e.aux = static_cast<std::uint8_t>(op - 0xa0);
+    }
+  }
+  return table;
+}
+
+EngineResult Frame::run() {
+  if (msg_.depth > profile_.max_call_depth) {
+    return EngineResult{Status::CallDepthExceeded, {}, gas_, {}};
+  }
+  if (decoded_ != nullptr) {
+    run_decoded();
+  } else {
+    run_threaded();
+  }
+  EngineResult result;
+  result.status = status_;
+  result.output = std::move(output_);
+  result.gas_left = status_ == Status::Success || status_ == Status::Revert
+                        ? gas_
+                        : 0;
+  result.stats.max_stack_pointer = stack_.max_pointer();
+  result.stats.peak_memory = memory_.peak();
+  result.stats.ops_executed = ops_;
+  result.stats.mcu_cycles = cycles_;
+  return result;
+}
+
+void Frame::op_exp() {
+  const auto base = pop();
+  const auto e = pop();
+  if (!base || !e) return;
+  const unsigned exp_bytes = e->byte_length();
+  if (!charge(static_cast<std::int64_t>(50) * exp_bytes)) {
+    fail(Status::OutOfGas);
+    return;
+  }
+  cycles_ += 900ULL * exp_bytes;  // square-and-multiply per exponent byte
+  push(U256::exp(*base, *e));
+}
+
+void Frame::op_sensor() {
+  if (profile_.revision != EngineRevision::TinyEvm || !profile_.iot_opcodes) {
+    fail(Status::InvalidOpcode);
+    return;
+  }
+  if (msg_.is_static) {
+    // Reads are pure but actuation mutates the world; the selector decides,
+    // so conservatively forbid both under STATICCALL.
+    fail(Status::StaticViolation);
+    return;
+  }
+  const auto selector = pop();
+  const auto param = pop();
+  if (!selector || !param) return;
+  SensorRequest req;
+  req.actuate = selector->bit(0);
+  req.device_id = static_cast<std::uint32_t>((selector->limb(0) >> 1) &
+                                             0x7FFFFFFFULL);
+  req.parameter = *param;
+  const auto reading = host_.sensor_access(req);
+  if (!reading) {
+    fail(Status::SensorFailure);
+    return;
+  }
+  push(*reading);
+}
+
+void Frame::op_sha3() {
+  const auto range = pop_range();
+  if (!range) return;
+  const std::uint64_t words = (range->len + 31) / 32;
+  if (!charge(static_cast<std::int64_t>(6 * words))) {
+    fail(Status::OutOfGas);
+    return;
+  }
+  if (!grow(range->offset, range->len)) return;
+  cycles_ += 3200ULL * words;  // software keccak absorb cost per word
+  const Bytes data = memory_.read(range->offset, range->len);
+  push(U256::from_bytes(keccak256(data)));
+}
+
+void Frame::op_copy(std::span<const std::uint8_t> src, bool /*external*/) {
+  const auto dst = pop();
+  const auto src_off = pop();
+  const auto len = pop();
+  if (!dst || !src_off || !len) return;
+  if (len->is_zero()) return;
+  if (!dst->fits_u64() || !len->fits_u64()) {
+    fail(profile_.metering ? Status::OutOfGas : Status::OutOfMemory);
+    return;
+  }
+  const std::uint64_t n = len->as_u64();
+  const std::uint64_t words = (n + 31) / 32;
+  if (!charge(static_cast<std::int64_t>(3 * words))) {
+    fail(Status::OutOfGas);
+    return;
+  }
+  if (!grow(dst->as_u64(), n)) return;
+  cycles_ += 6ULL * n;  // ~6 cycles/byte memcpy on the M3
+  memory_.store_bytes(dst->as_u64(), src,
+                      src_off->fits_u64() ? src_off->as_u64() : src.size(),
+                      n);
+}
+
+void Frame::op_log(unsigned topic_count) {
+  if (msg_.is_static) {
+    fail(Status::StaticViolation);
+    return;
+  }
+  const auto range = pop_range();
+  if (!range) return;
+  LogEntry entry;
+  entry.address = msg_.self;
+  for (unsigned i = 0; i < topic_count; ++i) {
+    const auto t = pop();
+    if (!t) return;
+    entry.topics.push_back(*t);
+  }
+  if (!charge(static_cast<std::int64_t>(8 * range->len))) {
+    fail(Status::OutOfGas);
+    return;
+  }
+  if (!grow(range->offset, range->len)) return;
+  entry.data = memory_.read(range->offset, range->len);
+  host_.emit_log(std::move(entry));
+}
+
+void Frame::op_sstore() {
+  if (msg_.is_static) {
+    fail(Status::StaticViolation);
+    return;
+  }
+  const auto key = pop();
+  const auto value = pop();
+  if (!key || !value) return;
+  if (!host_.sstore(msg_.self, *key, *value)) {
+    fail(Status::StorageExhausted);
+    return;
+  }
+}
+
+void Frame::op_create() {
+  if (msg_.is_static) {
+    fail(Status::StaticViolation);
+    return;
+  }
+  const auto value = pop();
+  if (!value) return;
+  const auto range = pop_range();
+  if (!range) return;
+  if (!grow(range->offset, range->len)) return;
+
+  CreateRequest req;
+  req.sender = msg_.self;
+  req.value = *value;
+  req.init_code = memory_.read(range->offset, range->len);
+  req.gas = gas_;
+  req.depth = msg_.depth + 1;
+  const CreateResult res = host_.create(req);
+  if (profile_.metering) gas_ = res.gas_left;
+  push(res.success ? U256::from_bytes(res.address) : U256{});
+}
+
+void Frame::op_call(CallKind kind) {
+  const auto gas_arg = pop();
+  const auto to_arg = pop();
+  if (!gas_arg || !to_arg) return;
+
+  U256 value;
+  if (kind == CallKind::Call || kind == CallKind::CallCode) {
+    const auto v = pop();
+    if (!v) return;
+    value = *v;
+  }
+  if (kind == CallKind::Call && msg_.is_static && !value.is_zero()) {
+    fail(Status::StaticViolation);
+    return;
+  }
+
+  const auto in = pop_range();
+  if (!in) return;
+  const auto out = pop_range();
+  if (!out) return;
+  if (!grow(in->offset, in->len)) return;
+  if (!grow(out->offset, out->len)) return;
+
+  CallRequest req;
+  req.kind = kind;
+  req.to = to_address(*to_arg);
+  req.sender = kind == CallKind::DelegateCall ? msg_.caller : msg_.self;
+  req.value = kind == CallKind::DelegateCall ? msg_.value : value;
+  req.data = memory_.read(in->offset, in->len);
+  req.depth = msg_.depth + 1;
+  req.is_static = msg_.is_static || kind == CallKind::StaticCall;
+  // 63/64 rule when metering; otherwise pass the requested gas through.
+  const std::int64_t available = profile_.metering ? gas_ - gas_ / 64 : gas_;
+  req.gas = gas_arg->fits_u64() && static_cast<std::int64_t>(
+                                       gas_arg->as_u64()) < available
+                ? static_cast<std::int64_t>(gas_arg->as_u64())
+                : available;
+
+  const CallResult res = host_.call(req);
+  return_data_ = res.output;
+  if (profile_.metering) {
+    gas_ -= req.gas - res.gas_left;
+    if (gas_ < 0) {
+      fail(Status::OutOfGas);
+      return;
+    }
+  }
+  const std::uint64_t n = std::min<std::uint64_t>(out->len, res.output.size());
+  if (n > 0) memory_.store_bytes(out->offset, res.output, 0, n);
+  push(U256{res.success ? 1ULL : 0ULL});
+}
+
+void Frame::op_return(bool revert) {
+  const auto range = pop_range();
+  if (!range) return;
+  if (!grow(range->offset, range->len)) return;
+  output_ = memory_.read(range->offset, range->len);
+  status_ = revert ? Status::Revert : Status::Success;
+  done_ = true;
+}
+
+}  // namespace tinyevm::evm

@@ -1,0 +1,216 @@
+// Interpreter internals shared by the built-in execution engines: the
+// 256-entry dispatch table and the per-message Frame whose two loop bodies
+// (engine_raw.cpp / engine_decoded.cpp) implement the raw threaded and
+// pre-decoded strategies. This header is private to src/evm — everything
+// public crosses engine.hpp instead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <span>
+
+#include "evm/decoded.hpp"
+#include "evm/engine.hpp"
+#include "evm/state.hpp"
+#include "evm/vm.hpp"
+#include "u256/u256.hpp"
+
+// Token-threaded dispatch (GCC/Clang): one 256-entry table maps each code
+// byte to a handler label plus its folded static gas / cycle model, and
+// `goto *table[...]` jumps straight to the handler. Other compilers fall
+// back to a single dense switch over the same table, which they compile to
+// one jump table — still strictly flatter than the legacy two-level switch.
+#if defined(__GNUC__) || defined(__clang__)
+#define TINYEVM_COMPUTED_GOTO 1
+#else
+#define TINYEVM_COMPUTED_GOTO 0
+#endif
+
+namespace tinyevm::evm {
+
+// The Handler instruction set and the TINYEVM_HANDLER_LIST X-macro live in
+// decoded.hpp, shared with the bytecode translator.
+
+/// One table slot: handler id, family index (PUSH width / DUP-SWAP depth /
+/// LOG topic count), and the per-opcode static gas and MCU-cycle model
+/// folded in so the hot loop does a single 8-byte load per opcode.
+struct DispatchEntry {
+  Handler handler = Handler::Undefined;
+  std::uint8_t aux = 0;
+  std::uint16_t gas = 0;
+  std::uint32_t cycles = 0;
+};
+static_assert(sizeof(DispatchEntry) == 8);
+
+struct DispatchTable {
+  std::array<DispatchEntry, 256> entries{};
+};
+
+/// Builds the table for one execution profile (validity from classify(),
+/// gas/cycle model from the opcode info table).
+[[nodiscard]] DispatchTable build_dispatch_table(const EngineProfile& profile);
+
+/// Low 160 bits of an EVM word as an address.
+inline Address to_address(const U256& v) {
+  Address addr{};
+  const auto w = v.to_word();
+  std::memcpy(addr.data(), w.data() + 12, 20);
+  return addr;
+}
+
+/// Interpreter frame; created per message and torn down when the run ends.
+/// With a decoded program the frame runs the pre-decoded loop (span-elided
+/// when `elide` is set); otherwise it falls back to the raw threaded loop
+/// (and only then pays the per-run JUMPDEST analysis pass).
+class Frame {
+ public:
+  Frame(const EngineProfile& profile, const DispatchTable& table,
+        const HostInterface& host, const EngineMessage& msg,
+        const DecodedProgram* decoded, bool elide)
+      : profile_(profile),
+        table_(table),
+        host_(host),
+        msg_(msg),
+        decoded_(decoded),
+        elide_(elide),
+        stack_(profile.stack_limit),
+        memory_(profile.memory_limit),
+        gas_(msg.gas) {
+    if (decoded_ == nullptr) analysis_.emplace(msg.code);
+  }
+
+  EngineResult run();
+
+ private:
+  // -- helpers --------------------------------------------------------
+  [[nodiscard]] bool charge(std::int64_t amount) {
+    if (!profile_.metering) return true;
+    gas_ -= amount;
+    return gas_ >= 0;
+  }
+
+  /// Quadratic memory-expansion gas (Ethereum profile); hard cap check
+  /// (TinyEVM profile) happens inside Memory::expand. Priced in 128-bit
+  /// arithmetic: for offsets beyond ~2^37 the w*w term overflows 64 bits,
+  /// and a wrapped cost would under-charge (or even *credit* gas) instead
+  /// of running out — so compute exactly and out-of-gas on saturation.
+  [[nodiscard]] bool charge_memory(std::uint64_t offset, std::uint64_t len) {
+    using u128 = unsigned __int128;
+    if (len == 0) return true;
+    if (!profile_.metering) return true;
+    const u128 end = static_cast<u128>(offset) + len;
+    const u128 new_words = (end + 31) / 32;
+    const u128 old_words = (memory_.size() + 31) / 32;
+    if (new_words <= old_words) return true;
+    const auto cost = [](u128 w) { return 3 * w + w * w / 512; };
+    const u128 delta = cost(new_words) - cost(old_words);
+    if (delta > static_cast<u128>(std::numeric_limits<std::int64_t>::max())) {
+      return false;  // cost exceeds any possible gas budget
+    }
+    return charge(static_cast<std::int64_t>(delta));
+  }
+
+  /// Pops a memory (offset, length) pair, validating both fit in 64 bits.
+  struct MemRange {
+    std::uint64_t offset;
+    std::uint64_t len;
+  };
+  std::optional<MemRange> pop_range() {
+    const auto off = stack_.pop();
+    const auto len = stack_.pop();
+    if (!off || !len) {
+      fail(Status::StackUnderflow);
+      return std::nullopt;
+    }
+    if (!len->is_zero() && (!off->fits_u64() || !len->fits_u64())) {
+      fail(profile_.metering ? Status::OutOfGas : Status::OutOfMemory);
+      return std::nullopt;
+    }
+    return MemRange{off->fits_u64() ? off->as_u64() : 0, len->as_u64()};
+  }
+
+  /// Prepares a memory range: expansion gas + hard-cap growth.
+  bool grow(std::uint64_t offset, std::uint64_t len) {
+    if (!charge_memory(offset, len)) {
+      fail(Status::OutOfGas);
+      return false;
+    }
+    if (!memory_.expand(offset, len)) {
+      fail(Status::OutOfMemory);
+      return false;
+    }
+    return true;
+  }
+
+  void fail(Status status) {
+    status_ = status;
+    done_ = true;
+  }
+
+  bool push(const U256& v) {
+    if (!stack_.push(v)) {
+      fail(Status::StackOverflow);
+      return false;
+    }
+    return true;
+  }
+
+  std::optional<U256> pop() {
+    auto v = stack_.pop();
+    if (!v) fail(Status::StackUnderflow);
+    return v;
+  }
+
+  /// CALLDATALOAD: one 32-byte big-endian word at `offset`, zero-padded
+  /// past the end of calldata. Shared by the raw loop, the checked decoded
+  /// handler, and the check-elided span body.
+  [[nodiscard]] U256 calldata_word(const U256& offset) const {
+    std::array<std::uint8_t, 32> buf{};
+    // Bound i by the bytes remaining past o: `o + i` would wrap for
+    // offsets near 2^64 and alias the start of calldata.
+    if (offset.fits_u64() && offset.as_u64() < msg_.data.size()) {
+      const std::uint64_t o = offset.as_u64();
+      const std::uint64_t avail = msg_.data.size() - o;
+      for (unsigned i = 0; i < 32 && i < avail; ++i) {
+        buf[i] = msg_.data[o + i];
+      }
+    }
+    return U256::from_word(buf);
+  }
+
+  void run_threaded();  // engine_raw.cpp
+  void run_decoded();   // engine_decoded.cpp
+  void op_sensor();
+  void op_sha3();
+  void op_copy(std::span<const std::uint8_t> src, bool external_code);
+  void op_log(unsigned topic_count);
+  void op_create();
+  void op_call(CallKind kind);
+  void op_return(bool revert);
+  void op_sstore();
+  void op_exp();
+
+  // -- state ----------------------------------------------------------
+  const EngineProfile& profile_;
+  const DispatchTable& table_;
+  const HostInterface& host_;
+  const EngineMessage& msg_;
+  const DecodedProgram* decoded_;
+  const bool elide_;  // use the translation's spans (ElidedEngine)
+  std::optional<CodeAnalysis> analysis_;  // raw-loop runs only
+  Stack stack_;
+  Memory memory_;
+  Bytes return_data_;  // last nested-call output (RETURNDATA*)
+  Bytes output_;
+  std::uint64_t pc_ = 0;
+  std::int64_t gas_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t ops_ = 0;
+  Status status_ = Status::Success;
+  bool done_ = false;
+};
+
+}  // namespace tinyevm::evm

@@ -1,1926 +1,72 @@
 #include "evm/vm.hpp"
 
-#include <cstring>
-#include <limits>
+#include <utility>
 
-#include "crypto/hash.hpp"
 #include "evm/code_cache.hpp"
 #include "evm/decoded.hpp"
-
-// Token-threaded dispatch (GCC/Clang): one 256-entry table maps each code
-// byte to a handler label plus its folded static gas / cycle model, and
-// `goto *table[...]` jumps straight to the handler. Other compilers fall
-// back to a single dense switch over the same table, which they compile to
-// one jump table — still strictly flatter than the legacy two-level switch.
-#if defined(__GNUC__) || defined(__clang__)
-#define TINYEVM_COMPUTED_GOTO 1
-#else
-#define TINYEVM_COMPUTED_GOTO 0
-#endif
+#include "evm/engine.hpp"
+#include "evm/frame.hpp"
 
 namespace tinyevm::evm {
 
-std::string_view to_string(Status s) {
-  switch (s) {
-    case Status::Success: return "success";
-    case Status::Revert: return "revert";
-    case Status::OutOfGas: return "out of gas";
-    case Status::StackOverflow: return "stack overflow";
-    case Status::StackUnderflow: return "stack underflow";
-    case Status::OutOfMemory: return "out of memory";
-    case Status::StorageExhausted: return "storage exhausted";
-    case Status::InvalidJump: return "invalid jump";
-    case Status::InvalidOpcode: return "invalid opcode";
-    case Status::ForbiddenOpcode: return "forbidden opcode";
-    case Status::SensorFailure: return "sensor failure";
-    case Status::CallDepthExceeded: return "call depth exceeded";
-    case Status::StaticViolation: return "static violation";
-    case Status::WatchdogExpired: return "watchdog expired";
-  }
-  return "unknown";
-}
-
-CodeAnalysis::CodeAnalysis(std::span<const std::uint8_t> code)
-    : jumpdest_(code.size(), false) {
-  for (std::size_t pc = 0; pc < code.size(); ++pc) {
-    const std::uint8_t op = code[pc];
-    if (op == static_cast<std::uint8_t>(Opcode::JUMPDEST)) {
-      jumpdest_[pc] = true;
-    } else if (is_push(op)) {
-      pc += push_size(op);  // immediates are data, never jump targets
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Dispatch table
-// ---------------------------------------------------------------------------
-// The Handler instruction set and the TINYEVM_HANDLER_LIST X-macro live in
-// decoded.hpp, shared with the bytecode translator.
-
-/// One table slot: handler id, family index (PUSH width / DUP-SWAP depth /
-/// LOG topic count), and the per-opcode static gas and MCU-cycle model
-/// folded in so the hot loop does a single 8-byte load per opcode.
-struct DispatchEntry {
-  Handler handler = Handler::Undefined;
-  std::uint8_t aux = 0;
-  std::uint16_t gas = 0;
-  std::uint32_t cycles = 0;
-};
-static_assert(sizeof(DispatchEntry) == 8);
-
-struct DispatchTable {
-  std::array<DispatchEntry, 256> entries{};
-};
-
 namespace {
 
-DispatchTable build_dispatch_table(const VmConfig& config) {
-  DispatchTable table;
-  const bool tiny = config.profile == VmProfile::TinyEvm;
-  for (unsigned i = 0; i < 256; ++i) {
-    const auto op = static_cast<std::uint8_t>(i);
-    DispatchEntry& e = table.entries[i];
-    switch (classify(op, tiny, config.iot_opcodes, config.block_opcodes)) {
-      case OpValidity::Undefined:
-        e.handler = Handler::Undefined;
-        continue;
-      case OpValidity::Forbidden:
-        e.handler = Handler::Forbidden;
-        continue;
-      case OpValidity::Ok:
-        break;
-    }
-    const OpInfo& inf = info(op);
-    e.handler = exec_handler(op);
-    e.gas = inf.base_gas;
-    e.cycles = inf.mcu_cycles;
-    if (is_push(op)) {
-      e.aux = static_cast<std::uint8_t>(push_size(op));
-    } else if (is_dup(op)) {
-      e.aux = static_cast<std::uint8_t>(op - 0x7f);
-    } else if (is_swap(op)) {
-      e.aux = static_cast<std::uint8_t>(op - 0x8f);
-    } else if (is_log(op)) {
-      e.aux = static_cast<std::uint8_t>(op - 0xa0);
-    }
-  }
-  return table;
-}
-
-using u128 = unsigned __int128;
-
-/// Low 160 bits of an EVM word as an address.
-inline Address to_address(const U256& v) {
-  Address addr{};
-  const auto w = v.to_word();
-  std::memcpy(addr.data(), w.data() + 12, 20);
-  return addr;
-}
-
-/// Interpreter frame; created per message and torn down when the run ends.
-/// With a decoded program the frame runs the pre-decoded loop; otherwise it
-/// falls back to the raw threaded loop (and only then pays the per-run
-/// JUMPDEST analysis pass).
-class Frame {
- public:
-  Frame(const VmConfig& config, const DispatchTable& table, Host& host,
-        const Message& msg, const DecodedProgram* decoded)
-      : config_(config),
-        table_(table),
-        host_(host),
-        msg_(msg),
-        decoded_(decoded),
-        stack_(config.stack_limit),
-        memory_(config.memory_limit),
-        gas_(msg.gas) {
-    if (decoded_ == nullptr) analysis_.emplace(msg.code);
-  }
-
-  ExecResult run();
-
- private:
-  // -- helpers --------------------------------------------------------
-  [[nodiscard]] bool charge(std::int64_t amount) {
-    if (!config_.metering) return true;
-    gas_ -= amount;
-    return gas_ >= 0;
-  }
-
-  /// Quadratic memory-expansion gas (Ethereum profile); hard cap check
-  /// (TinyEVM profile) happens inside Memory::expand. Priced in 128-bit
-  /// arithmetic: for offsets beyond ~2^37 the w*w term overflows 64 bits,
-  /// and a wrapped cost would under-charge (or even *credit* gas) instead
-  /// of running out — so compute exactly and out-of-gas on saturation.
-  [[nodiscard]] bool charge_memory(std::uint64_t offset, std::uint64_t len) {
-    if (len == 0) return true;
-    if (!config_.metering) return true;
-    const u128 end = static_cast<u128>(offset) + len;
-    const u128 new_words = (end + 31) / 32;
-    const u128 old_words = (memory_.size() + 31) / 32;
-    if (new_words <= old_words) return true;
-    const auto cost = [](u128 w) { return 3 * w + w * w / 512; };
-    const u128 delta = cost(new_words) - cost(old_words);
-    if (delta > static_cast<u128>(std::numeric_limits<std::int64_t>::max())) {
-      return false;  // cost exceeds any possible gas budget
-    }
-    return charge(static_cast<std::int64_t>(delta));
-  }
-
-  /// Pops a memory (offset, length) pair, validating both fit in 64 bits.
-  struct MemRange {
-    std::uint64_t offset;
-    std::uint64_t len;
-  };
-  std::optional<MemRange> pop_range() {
-    const auto off = stack_.pop();
-    const auto len = stack_.pop();
-    if (!off || !len) {
-      fail(Status::StackUnderflow);
-      return std::nullopt;
-    }
-    if (!len->is_zero() && (!off->fits_u64() || !len->fits_u64())) {
-      fail(config_.metering ? Status::OutOfGas : Status::OutOfMemory);
-      return std::nullopt;
-    }
-    return MemRange{off->fits_u64() ? off->as_u64() : 0, len->as_u64()};
-  }
-
-  /// Prepares a memory range: expansion gas + hard-cap growth.
-  bool grow(std::uint64_t offset, std::uint64_t len) {
-    if (!charge_memory(offset, len)) {
-      fail(Status::OutOfGas);
-      return false;
-    }
-    if (!memory_.expand(offset, len)) {
-      fail(Status::OutOfMemory);
-      return false;
-    }
-    return true;
-  }
-
-  void fail(Status status) {
-    status_ = status;
-    done_ = true;
-  }
-
-  bool push(const U256& v) {
-    if (!stack_.push(v)) {
-      fail(Status::StackOverflow);
-      return false;
-    }
-    return true;
-  }
-
-  std::optional<U256> pop() {
-    auto v = stack_.pop();
-    if (!v) fail(Status::StackUnderflow);
-    return v;
-  }
-
-  /// CALLDATALOAD: one 32-byte big-endian word at `offset`, zero-padded
-  /// past the end of calldata. Shared by the raw loop, the checked decoded
-  /// handler, and the check-elided span body.
-  [[nodiscard]] U256 calldata_word(const U256& offset) const {
-    std::array<std::uint8_t, 32> buf{};
-    // Bound i by the bytes remaining past o: `o + i` would wrap for
-    // offsets near 2^64 and alias the start of calldata.
-    if (offset.fits_u64() && offset.as_u64() < msg_.data.size()) {
-      const std::uint64_t o = offset.as_u64();
-      const std::uint64_t avail = msg_.data.size() - o;
-      for (unsigned i = 0; i < 32 && i < avail; ++i) {
-        buf[i] = msg_.data[o + i];
-      }
-    }
-    return U256::from_word(buf);
-  }
-
-  void run_threaded();
-  void run_decoded();
-  void op_sensor();
-  void op_sha3();
-  void op_copy(std::span<const std::uint8_t> src, bool external_code);
-  void op_log(unsigned topic_count);
-  void op_create();
-  void op_call(CallKind kind);
-  void op_return(bool revert);
-  void op_sstore();
-  void op_exp();
-
-  // -- state ----------------------------------------------------------
-  const VmConfig& config_;
-  const DispatchTable& table_;
-  Host& host_;
-  const Message& msg_;
-  const DecodedProgram* decoded_;
-  std::optional<CodeAnalysis> analysis_;  // raw-loop runs only
-  Stack stack_;
-  Memory memory_;
-  Bytes return_data_;  // last nested-call output (RETURNDATA*)
-  Bytes output_;
-  std::uint64_t pc_ = 0;
-  std::int64_t gas_;
-  std::uint64_t cycles_ = 0;
-  std::uint64_t ops_ = 0;
-  Status status_ = Status::Success;
-  bool done_ = false;
-};
-
-ExecResult Frame::run() {
-  if (msg_.depth > config_.max_call_depth) {
-    return ExecResult{Status::CallDepthExceeded, {}, gas_, {}};
-  }
-  if (decoded_ != nullptr) {
-    run_decoded();
-  } else {
-    run_threaded();
-  }
-  ExecResult result;
-  result.status = status_;
-  result.output = std::move(output_);
-  result.gas_left = status_ == Status::Success || status_ == Status::Revert
-                        ? gas_
-                        : 0;
-  result.stats.max_stack_pointer = stack_.max_pointer();
-  result.stats.peak_memory = memory_.peak();
-  result.stats.ops_executed = ops_;
-  result.stats.mcu_cycles = cycles_;
-  return result;
-}
-
-// ---------------------------------------------------------------------------
-// Token-threaded interpreter loop
-// ---------------------------------------------------------------------------
-//
-// Per-opcode path: one table load, one (predictable) validity branch, the
-// folded gas/cycle/watchdog accounting, then a direct jump to the handler.
-// This loop decodes from raw bytecode every run; it is the fallback for
-// translate misses and oversized code, and the semantic reference the
-// pre-decoded loop below must match bit-for-bit (the golden/differential
-// suite in tests/evm_dispatch_test.cpp holds both paths to identical
-// results).
-//
-// Binary operators pop ONE operand and rewrite the second in place via
-// Stack::top() and the U256 *_assign ops, eliminating the two
-// optional<U256> round-trips and the result push of a pop/pop/push scheme.
-
-void Frame::run_threaded() {
-  const DispatchEntry* const entries = table_.entries.data();
-  const std::uint8_t* const code = msg_.code.data();
-  const std::uint64_t code_size = msg_.code.size();
-  const bool metered = config_.metering;
-  const std::uint64_t ops_cap =
-      config_.max_ops == 0 ? std::numeric_limits<std::uint64_t>::max()
-                           : config_.max_ops;
-  std::uint64_t pc = 0;
-  const DispatchEntry* e = nullptr;
-  // Register-cached copies of the per-op hot state: the accounting
-  // counters the dispatch prologue touches every opcode, the operand
-  // stack (base/sp/high-water), and — crucially — the top-of-stack
-  // *value* itself. With `tos` in registers a DUP1/binary-op pair runs
-  // one store plus one load instead of chaining every operand through
-  // memory. Invariant: when sp > 0 the logical top lives in `tos` and
-  // base()[sp-1] is stale; TINYEVM_SYNCED restores the flat-memory view
-  // around any helper call, and run_exit publishes the final state.
-  std::int64_t gas = gas_;
-  std::uint64_t cyc = cycles_;
-  std::uint64_t ops = ops_;
-  U256* const sb = stack_.base();  // sb[-1] is a scratch word (see Stack)
-  const std::size_t slimit = stack_.limit();
-  std::size_t sp = stack_.size();
-  std::size_t smax = stack_.max_pointer();
-  U256 tos = sp != 0 ? sb[sp - 1] : U256{};
-
-#define TINYEVM_SYNCED(expr)        \
-  do {                              \
-    gas_ = gas;                     \
-    cycles_ = cyc;                  \
-    sb[sp - 1] = tos;               \
-    stack_.set_state(sp, smax);     \
-    expr;                           \
-    gas = gas_;                     \
-    cyc = cycles_;                  \
-    sp = stack_.size();             \
-    smax = stack_.max_pointer();    \
-    tos = sb[sp - 1];               \
-  } while (0)
-
-// Stack push against the cached registers; overflow fails the frame (the
-// following dispatch notices done_), matching Frame::push.
-#define TINYEVM_PUSH(v)             \
-  do {                              \
-    if (sp >= slimit) {             \
-      fail(Status::StackOverflow);  \
-    } else {                        \
-      sb[sp - 1] = tos;             \
-      tos = (v);                    \
-      ++sp;                         \
-      if (sp > smax) smax = sp;     \
-    }                               \
-  } while (0)
-
-// The prologue every opcode runs: bounds/halt check, table load, validity
-// short-circuit, folded static gas, cycle model, watchdog, pc advance.
-#define TINYEVM_PROLOGUE()                                                  \
-  if (done_ || pc >= code_size) goto run_exit;                              \
-  e = &entries[code[pc]];                                                   \
-  if (static_cast<std::uint8_t>(e->handler) <=                              \
-      static_cast<std::uint8_t>(Handler::Forbidden)) {                      \
-    fail(e->handler == Handler::Undefined ? Status::InvalidOpcode           \
-                                          : Status::ForbiddenOpcode);       \
-    goto run_exit;                                                          \
-  }                                                                         \
-  if (metered) {                                                            \
-    gas -= e->gas;                                                          \
-    if (gas < 0) {                                                          \
-      fail(Status::OutOfGas);                                               \
-      goto run_exit;                                                        \
-    }                                                                       \
-  }                                                                         \
-  cyc += e->cycles;                                                         \
-  if (++ops > ops_cap) {                                                    \
-    fail(Status::WatchdogExpired);                                          \
-    goto run_exit;                                                          \
-  }                                                                         \
-  ++pc;
-
-#if TINYEVM_COMPUTED_GOTO
-  static const void* const kJump[] = {
-#define TINYEVM_H_LABEL(name) &&h_##name,
-      TINYEVM_HANDLER_LIST(TINYEVM_H_LABEL)
-#undef TINYEVM_H_LABEL
-  };
-#define TINYEVM_OP(name) h_##name:
-// Token threading proper: every handler tail replicates the full dispatch
-// sequence instead of jumping back to a single shared dispatch point, so
-// the indirect branch predictor sees one site per handler and can learn
-// the bytecode's opcode-pair patterns. (The evm module builds with
-// -fno-crossjumping -fno-gcse under GCC so the copies stay distinct.)
-#define TINYEVM_NEXT                                           \
-  do {                                                         \
-    TINYEVM_PROLOGUE()                                         \
-    goto *kJump[static_cast<std::uint8_t>(e->handler)];        \
-  } while (0)
-  TINYEVM_NEXT;
-#else
-#define TINYEVM_OP(name) case Handler::name:
-#define TINYEVM_NEXT break
-  for (;;) {
-    TINYEVM_PROLOGUE()
-    switch (e->handler) {
-#endif
-
-  // Unreachable in practice — the prologue short-circuits these two — but
-  // kept as real handlers so the jump table is total.
-  TINYEVM_OP(Undefined) { fail(Status::InvalidOpcode); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Forbidden) { fail(Status::ForbiddenOpcode); }
-  TINYEVM_NEXT;
-
-  TINYEVM_OP(Stop) { done_ = true; }
-  TINYEVM_NEXT;
-
-// Binary operators: the first operand is `tos` (in registers), `s` is the
-// second operand's memory slot. The body leaves the result in `tos`; the
-// pop is just --sp, so the pair costs one load instead of the legacy
-// pop/pop/push round-trips.
-#define TINYEVM_BINARY(body)                    \
-  {                                             \
-    if (sp < 2) {                               \
-      fail(Status::StackUnderflow);             \
-      TINYEVM_NEXT;                             \
-    }                                           \
-    const U256& s = sb[sp - 2];                 \
-    body;                                       \
-    --sp;                                       \
-  }                                             \
-  TINYEVM_NEXT
-
-  TINYEVM_OP(Add) TINYEVM_BINARY(tos.add_assign(s));
-  TINYEVM_OP(Mul) TINYEVM_BINARY(tos.mul_assign(s));
-  TINYEVM_OP(Sub) TINYEVM_BINARY(tos.sub_assign(s));  // tos = top - second
-  TINYEVM_OP(Div) TINYEVM_BINARY(tos = tos / s);
-  TINYEVM_OP(Sdiv) TINYEVM_BINARY(tos = U256::sdiv(tos, s));
-  TINYEVM_OP(Mod) TINYEVM_BINARY(tos = tos % s);
-  TINYEVM_OP(Smod) TINYEVM_BINARY(tos = U256::smod(tos, s));
-  TINYEVM_OP(Lt) TINYEVM_BINARY(tos = U256{tos < s ? 1ULL : 0ULL});
-  TINYEVM_OP(Gt) TINYEVM_BINARY(tos = U256{tos > s ? 1ULL : 0ULL});
-  TINYEVM_OP(Slt) TINYEVM_BINARY(tos = U256{U256::slt(tos, s) ? 1ULL : 0ULL});
-  TINYEVM_OP(Sgt) TINYEVM_BINARY(tos = U256{U256::sgt(tos, s) ? 1ULL : 0ULL});
-  TINYEVM_OP(Eq) TINYEVM_BINARY(tos = U256{tos == s ? 1ULL : 0ULL});
-  TINYEVM_OP(And) TINYEVM_BINARY(tos.and_assign(s));
-  TINYEVM_OP(Or) TINYEVM_BINARY(tos.or_assign(s));
-  TINYEVM_OP(Xor) TINYEVM_BINARY(tos.xor_assign(s));
-  TINYEVM_OP(Byte) TINYEVM_BINARY(tos = U256::byte(tos, s));
-  TINYEVM_OP(Shl) TINYEVM_BINARY({
-    const bool in_range = tos.fits_u64() && tos.as_u64() < 256;
-    const unsigned n = static_cast<unsigned>(tos.as_u64());
-    if (in_range) {
-      tos = s;
-      tos.shl_assign(n);
-    } else {
-      tos = U256{};
-    }
-  });
-  TINYEVM_OP(Shr) TINYEVM_BINARY({
-    const bool in_range = tos.fits_u64() && tos.as_u64() < 256;
-    const unsigned n = static_cast<unsigned>(tos.as_u64());
-    if (in_range) {
-      tos = s;
-      tos.shr_assign(n);
-    } else {
-      tos = U256{};
-    }
-  });
-  TINYEVM_OP(Sar) TINYEVM_BINARY(tos = U256::sar(tos, s));
-  TINYEVM_OP(SignExtend) TINYEVM_BINARY(tos = U256::signextend(tos, s));
-
-#undef TINYEVM_BINARY
-
-  TINYEVM_OP(AddMod) {
-    if (sp < 3) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos = U256::addmod(tos, sb[sp - 2], sb[sp - 3]);
-    sp -= 2;
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(MulMod) {
-    if (sp < 3) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos = U256::mulmod(tos, sb[sp - 2], sb[sp - 3]);
-    sp -= 2;
-  }
-  TINYEVM_NEXT;
-
-  TINYEVM_OP(Exp) { TINYEVM_SYNCED(op_exp()); }
-  TINYEVM_NEXT;
-
-  TINYEVM_OP(IsZero) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos = U256{tos.is_zero() ? 1ULL : 0ULL};
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Not) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos.not_assign();
-  }
-  TINYEVM_NEXT;
-
-  TINYEVM_OP(Sensor) { TINYEVM_SYNCED(op_sensor()); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Sha3) { TINYEVM_SYNCED(op_sha3()); }
-  TINYEVM_NEXT;
-
-  // --- environment ---
-  TINYEVM_OP(Address) { TINYEVM_PUSH(U256::from_bytes(msg_.self)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Origin) { TINYEVM_PUSH(U256::from_bytes(msg_.origin)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Caller) { TINYEVM_PUSH(U256::from_bytes(msg_.caller)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(CallValue) { TINYEVM_PUSH(msg_.value); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Balance) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos = host_.balance(to_address(tos));
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(CallDataLoad) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos = calldata_word(tos);
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(CallDataSize) { TINYEVM_PUSH(U256{msg_.data.size()}); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(CodeSize) { TINYEVM_PUSH(U256{msg_.code.size()}); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(ReturnDataSize) { TINYEVM_PUSH(U256{return_data_.size()}); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(CallDataCopy) { TINYEVM_SYNCED(op_copy(msg_.data, false)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(CodeCopy) { TINYEVM_SYNCED(op_copy(msg_.code, false)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(ReturnDataCopy) { TINYEVM_SYNCED(op_copy(return_data_, false)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(GasPrice) { TINYEVM_PUSH(U256{1}); }  // flat simulated price
-  TINYEVM_NEXT;
-  TINYEVM_OP(ExtCodeSize) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos = U256{host_.code_at(to_address(tos)).size()};
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(ExtCodeCopy) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    const Address addr = to_address(tos);
-    --sp;
-    tos = sb[sp - 1];
-    TINYEVM_SYNCED(op_copy(host_.code_at(addr), true));
-  }
-  TINYEVM_NEXT;
-
-  // --- block data ---
-  TINYEVM_OP(BlockHash) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos = tos.fits_u64() ? U256::from_bytes(host_.block_hash(tos.as_u64()))
-                         : U256{};
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Coinbase) {
-    TINYEVM_PUSH(U256::from_bytes(host_.block_info().coinbase));
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Timestamp) { TINYEVM_PUSH(U256{host_.block_info().timestamp}); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Number) { TINYEVM_PUSH(U256{host_.block_info().number}); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Difficulty) { TINYEVM_PUSH(host_.block_info().difficulty); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(GasLimit) { TINYEVM_PUSH(U256{host_.block_info().gas_limit}); }
-  TINYEVM_NEXT;
-
-  // --- stack / memory / storage / control flow ---
-  TINYEVM_OP(Pop) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    --sp;
-    tos = sb[sp - 1];
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(MLoad) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    if (!tos.fits_u64()) {
-      fail(metered ? Status::OutOfGas : Status::OutOfMemory);
-      TINYEVM_NEXT;
-    }
-    const std::uint64_t off = tos.as_u64();
-    bool ok = false;
-    TINYEVM_SYNCED(ok = grow(off, 32));
-    if (!ok) TINYEVM_NEXT;
-    tos = memory_.load_word(off);
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(MStore) {
-    if (sp < 2) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    if (!tos.fits_u64()) {
-      fail(metered ? Status::OutOfGas : Status::OutOfMemory);
-      TINYEVM_NEXT;
-    }
-    const std::uint64_t off = tos.as_u64();
-    bool ok = false;
-    TINYEVM_SYNCED(ok = grow(off, 32));
-    if (!ok) TINYEVM_NEXT;
-    memory_.store_word(off, sb[sp - 2]);
-    sp -= 2;
-    tos = sb[sp - 1];
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(MStore8) {
-    if (sp < 2) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    if (!tos.fits_u64()) {
-      fail(metered ? Status::OutOfGas : Status::OutOfMemory);
-      TINYEVM_NEXT;
-    }
-    const std::uint64_t off = tos.as_u64();
-    bool ok = false;
-    TINYEVM_SYNCED(ok = grow(off, 1));
-    if (!ok) TINYEVM_NEXT;
-    memory_.store_byte(off, static_cast<std::uint8_t>(sb[sp - 2].limb(0) &
-                                                      0xFF));
-    sp -= 2;
-    tos = sb[sp - 1];
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(SLoad) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos = host_.sload(msg_.self, tos);
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(SStore) { TINYEVM_SYNCED(op_sstore()); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Jump) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    if (!tos.fits_u64() || !analysis_->valid_jumpdest(tos.as_u64())) {
-      fail(Status::InvalidJump);
-      TINYEVM_NEXT;
-    }
-    pc = tos.as_u64();
-    --sp;
-    tos = sb[sp - 1];
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(JumpI) {
-    if (sp < 2) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    const bool taken = !sb[sp - 2].is_zero();
-    const bool dest_ok = tos.fits_u64();
-    const std::uint64_t dest = tos.as_u64();
-    sp -= 2;
-    tos = sb[sp - 1];
-    if (taken) {
-      if (!dest_ok || !analysis_->valid_jumpdest(dest)) {
-        fail(Status::InvalidJump);
-        TINYEVM_NEXT;
-      }
-      pc = dest;
-    }
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Pc) { TINYEVM_PUSH(U256{pc - 1}); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(MSize) { TINYEVM_PUSH(U256{memory_.size()}); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Gas) {
-    TINYEVM_PUSH(U256{static_cast<std::uint64_t>(gas > 0 ? gas : 0)});
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(JumpDest) {}
-  TINYEVM_NEXT;
-
-  // --- stack families (index in e->aux) ---
-  TINYEVM_OP(Push) {
-    const unsigned n = e->aux;
-    const U256 v =
-        load_push(code + pc, pc < code_size ? code_size - pc : 0, n);
-    pc += n;
-    TINYEVM_PUSH(v);
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Dup) {
-    const unsigned n = e->aux;
-    if (n > sp || sp >= slimit) {
-      fail(sp >= slimit ? Status::StackOverflow : Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    // Macro-op fusion: DUP1 immediately followed by MUL/ADD (the squaring
-    // and doubling accumulation patterns) nets out to `top = top (x) top`
-    // with the stack pointer unchanged, so the pair runs entirely in the
-    // tos registers — no spill, no reload. Both ops are accounted exactly
-    // as if executed separately; if the second op would trip gas or the
-    // watchdog, fall through to the plain DUP so the failure point and
-    // counters match the unfused path bit-for-bit.
-    if (n == 1 && pc < code_size) {
-      const DispatchEntry& ne = entries[code[pc]];
-      if ((ne.handler == Handler::Mul || ne.handler == Handler::Add) &&
-          (!metered || gas >= ne.gas) && ops < ops_cap) {
-        if (metered) gas -= ne.gas;
-        cyc += ne.cycles;
-        ++ops;
-        ++pc;
-        if (sp + 1 > smax) smax = sp + 1;  // the transient DUP1 high-water
-        if (ne.handler == Handler::Mul) {
-          tos.mul_assign(tos);
-        } else {
-          tos.add_assign(tos);
-        }
-        TINYEVM_NEXT;
-      }
-    }
-    sb[sp - 1] = tos;                 // spill; DUP1 keeps tos as-is
-    if (n > 1) tos = sb[sp - n];
-    ++sp;
-    if (sp > smax) smax = sp;
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Swap) {
-    const unsigned n = e->aux;
-    if (n + 1 > sp) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    U256& other = sb[sp - 1 - n];
-    const U256 t = other;
-    other = tos;
-    tos = t;
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Log) { TINYEVM_SYNCED(op_log(e->aux)); }
-  TINYEVM_NEXT;
-
-  // --- lifecycle ---
-  TINYEVM_OP(Create) { TINYEVM_SYNCED(op_create()); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Call) { TINYEVM_SYNCED(op_call(CallKind::Call)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(CallCode) { TINYEVM_SYNCED(op_call(CallKind::CallCode)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(DelegateCall) { TINYEVM_SYNCED(op_call(CallKind::DelegateCall)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(StaticCall) { TINYEVM_SYNCED(op_call(CallKind::StaticCall)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Return) { TINYEVM_SYNCED(op_return(false)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Revert) { TINYEVM_SYNCED(op_return(true)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Invalid) { fail(Status::InvalidOpcode); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(SelfDestruct) {
-    if (msg_.is_static) {
-      fail(Status::StaticViolation);
-      TINYEVM_NEXT;
-    }
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    const Address beneficiary = to_address(tos);
-    --sp;
-    tos = sb[sp - 1];
-    host_.self_destruct(msg_.self, beneficiary);
-    done_ = true;
-  }
-  TINYEVM_NEXT;
-
-  // Superinstructions exist only in pre-decoded streams; the raw dispatch
-  // table never maps a code byte to them. Labels are kept so the jump
-  // table built from TINYEVM_HANDLER_LIST stays total.
-  TINYEVM_OP(PushBin) { fail(Status::InvalidOpcode); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(DupBin) { fail(Status::InvalidOpcode); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(SwapBin) { fail(Status::InvalidOpcode); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(PushJump) { fail(Status::InvalidOpcode); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(PushJumpI) { fail(Status::InvalidOpcode); }
-  TINYEVM_NEXT;
-
-#if !TINYEVM_COMPUTED_GOTO
-    }  // switch
-  }  // for
-#endif
-
-run_exit:
-  pc_ = pc;
-  gas_ = gas;
-  cycles_ = cyc;
-  ops_ = ops;
-  sb[sp - 1] = tos;  // restore the flat-memory stack view
-  stack_.set_state(sp, smax);
-
-#undef TINYEVM_SYNCED
-#undef TINYEVM_PUSH
-#undef TINYEVM_PROLOGUE
-#undef TINYEVM_OP
-#undef TINYEVM_NEXT
-}
-
-// ---------------------------------------------------------------------------
-// Pre-decoded interpreter loop
-// ---------------------------------------------------------------------------
-//
-// Same token-threaded structure and register-cached state as the raw loop
-// above, but iterating over a DecodedProgram: PUSH immediates are already
-// U256 values, dynamic jumps resolve through the translation's pc->index
-// map instead of a per-run bitmap, and the peephole superinstructions
-// (PushBin/DupBin/SwapBin/PushJump/PushJumpI) execute fused pairs in one
-// dispatch. Every fused handler accounts gas/cycles/ops and the transient
-// stack high-water exactly as if the two opcodes ran separately, and falls
-// back to executing only the first opcode when the second would trip gas,
-// the watchdog, or a stack limit — the second instruction is still in the
-// stream, so the fallback path and all failure points are bit-identical to
-// the raw loop (held to that by tests/evm_dispatch_test.cpp).
-
-void Frame::run_decoded() {
-  const DecodedInst* const insts = decoded_->insts.data();
-  const std::uint64_t inst_count = decoded_->insts.size();
-  const std::uint32_t* const jmap = decoded_->jump_map.data();
-  // Jump bounds come from the translation itself, not msg_.code: the two
-  // are equal whenever the cache key was honest, and using the map's own
-  // extent keeps a stale Message::code_hash memory-safe (a wrong
-  // translation, never an out-of-bounds jump_map read).
-  const std::uint64_t code_size = decoded_->code_size;
-  const bool metered = config_.metering;
-  const std::uint64_t ops_cap =
-      config_.max_ops == 0 ? std::numeric_limits<std::uint64_t>::max()
-                           : config_.max_ops;
-  std::uint64_t ip = 0;
-  const DecodedInst* e = nullptr;
-  std::int64_t gas = gas_;
-  std::uint64_t cyc = cycles_;
-  std::uint64_t ops = ops_;
-  U256* const sb = stack_.base();  // sb[-1] is a scratch word (see Stack)
-  const std::size_t slimit = stack_.limit();
-  std::size_t sp = stack_.size();
-  std::size_t smax = stack_.max_pointer();
-  U256 tos = sp != 0 ? sb[sp - 1] : U256{};
-  // Check-elision state: span summaries the translate-time analyzer
-  // attached to the translation. One bool folds the config gate and the
-  // no-spans case out of the JumpDest hot path.
-  const ElideSpan* const spans = decoded_->spans.data();
-  const bool elide = config_.elide_checks && !decoded_->spans.empty();
-
-#define TINYEVM_SYNCED(expr)        \
-  do {                              \
-    gas_ = gas;                     \
-    cycles_ = cyc;                  \
-    sb[sp - 1] = tos;               \
-    stack_.set_state(sp, smax);     \
-    expr;                           \
-    gas = gas_;                     \
-    cyc = cycles_;                  \
-    sp = stack_.size();             \
-    smax = stack_.max_pointer();    \
-    tos = sb[sp - 1];               \
-  } while (0)
-
-#define TINYEVM_PUSH(v)             \
-  do {                              \
-    if (sp >= slimit) {             \
-      fail(Status::StackOverflow);  \
-    } else {                        \
-      sb[sp - 1] = tos;             \
-      tos = (v);                    \
-      ++sp;                         \
-      if (sp > smax) smax = sp;     \
-    }                               \
-  } while (0)
-
-// Identical accounting order to the raw prologue: validity short-circuit,
-// folded static gas, cycle model, watchdog, instruction-pointer advance.
-#define TINYEVM_PROLOGUE()                                                  \
-  if (done_ || ip >= inst_count) goto run_exit;                             \
-  e = &insts[ip];                                                           \
-  if (static_cast<std::uint8_t>(e->handler) <=                              \
-      static_cast<std::uint8_t>(Handler::Forbidden)) {                      \
-    fail(e->handler == Handler::Undefined ? Status::InvalidOpcode           \
-                                          : Status::ForbiddenOpcode);       \
-    goto run_exit;                                                          \
-  }                                                                         \
-  if (metered) {                                                            \
-    gas -= e->gas;                                                          \
-    if (gas < 0) {                                                          \
-      fail(Status::OutOfGas);                                               \
-      goto run_exit;                                                        \
-    }                                                                       \
-  }                                                                         \
-  cyc += e->cycles;                                                         \
-  if (++ops > ops_cap) {                                                    \
-    fail(Status::WatchdogExpired);                                          \
-    goto run_exit;                                                          \
-  }                                                                         \
-  ++ip;
-
-// The run-time half of the fusion contract: the second opcode of a pair
-// executes only if its prologue could not fail — gas affordable and the
-// watchdog not at the boundary (stack preconditions are checked by each
-// fused handler). Mirrors the raw loop's DUP1+MUL/ADD fusion guard.
-#define TINYEVM_FUSE_OK() ((!metered || gas >= e->gas2) && ops < ops_cap)
-
-// Charges the fused second opcode exactly as its own prologue would.
-#define TINYEVM_FUSE_CHARGE()       \
-  do {                              \
-    if (metered) gas -= e->gas2;    \
-    cyc += e->cycles2;              \
-    ++ops;                          \
-  } while (0)
-
-// Applies a fused binary operator in place: `tos = first ⊗ tos`. The
-// hottest operators (ADD/MUL/SUB and the bitwise trio) are special-cased
-// so the squaring/doubling/counting patterns stay entirely in the tos
-// registers, exactly like the raw loop's DUP1+MUL/ADD fusion; the long
-// tail goes through the generic apply_fused_bin switch. Parameterized on
-// the second-opcode handler so both the checked superinstruction handlers
-// (which read e->aux2) and the span interpreter (bi->aux2) share it.
-#define TINYEVM_APPLY_BIN(op2v, first)                   \
-  do {                                                   \
-    const Handler op2 = (op2v);                          \
-    if (op2 == Handler::Add) {                           \
-      tos.add_assign(first);                             \
-    } else if (op2 == Handler::Mul) {                    \
-      tos.mul_assign(first);                             \
-    } else if (op2 == Handler::Sub) {                    \
-      tos.rsub_assign(first); /* tos = first - tos */    \
-    } else if (op2 == Handler::Xor) {                    \
-      tos.xor_assign(first);                             \
-    } else if (op2 == Handler::And) {                    \
-      tos.and_assign(first);                             \
-    } else if (op2 == Handler::Or) {                     \
-      tos.or_assign(first);                              \
-    } else {                                             \
-      U256 fused_a = (first);                            \
-      apply_fused_bin(op2, fused_a, tos);                \
-      tos = fused_a;                                     \
-    }                                                    \
-  } while (0)
-
-#define TINYEVM_FUSED_APPLY(first) \
-  TINYEVM_APPLY_BIN(static_cast<Handler>(e->aux2), first)
-
-// --- check-elided span interpreter (see analysis.hpp) ---------------------
-//
-// The bodies below are the checked handlers with their guards deleted and
-// nothing else changed: the span entry test proves every per-instruction
-// stack/gas/watchdog branch in the run would pass, so eliding them cannot
-// change results. sb[sp - 1] stores into the scratch word when sp == 0
-// (legal; see Stack), and smax is settled once at entry from the proven
-// transient peak.
-#define TINYEVM_SPAN_BIN(name, body) \
-  case Handler::name: {              \
-    const U256& s = sb[sp - 2];      \
-    body;                            \
-    --sp;                            \
-  } break;
-
-#define TINYEVM_SPAN_PUSH(v) \
-  sb[sp - 1] = tos;          \
-  tos = (v);                 \
-  ++sp;                      \
-  break;
-
-// One test per block: when the whole elidable run after a leader is
-// provably free of stack/gas/watchdog faults, bulk-charge its summary and
-// execute the body with per-instruction checks compiled out. When the
-// test fails, nothing happens — the checked handlers run as before and
-// reproduce the exact failure point, so status, gas, stats, and logs are
-// bit-identical either way. Every charge below equals the sum of the
-// per-instruction prologues it replaces (fused pairs count both halves),
-// and the entry conditions imply each replaced check passes:
-//   sp >= stack_require        -> no underflow anywhere in the run
-//   sp + stack_peak <= slimit  -> no overflow at any transient height
-//   gas >= static_gas          -> every prefix of the run is affordable
-//   ops + span.ops <= ops_cap  -> the watchdog stays clear of every ++ops
-#define TINYEVM_TRY_SPAN(span_index)                                        \
-  do {                                                                      \
-    const ElideSpan& bs = spans[span_index];                                \
-    if (sp >= bs.stack_require && bs.stack_peak <= slimit - sp &&           \
-        (!metered || gas >= static_cast<std::int64_t>(bs.static_gas)) &&    \
-        bs.ops <= ops_cap - ops) {                                          \
-      if (metered) gas -= static_cast<std::int64_t>(bs.static_gas);         \
-      cyc += bs.cycles;                                                     \
-      ops += bs.ops;                                                        \
-      if (sp + bs.stack_peak > smax) smax = sp + bs.stack_peak;             \
-      const DecodedInst* bi = insts + bs.first;                             \
-      const DecodedInst* const bi_end = bi + bs.count;                      \
-      for (; bi != bi_end; ++bi) {                                          \
-        switch (bi->handler) {                                              \
-          TINYEVM_SPAN_BIN(Add, tos.add_assign(s))                          \
-          TINYEVM_SPAN_BIN(Mul, tos.mul_assign(s))                          \
-          TINYEVM_SPAN_BIN(Sub, tos.sub_assign(s))                          \
-          TINYEVM_SPAN_BIN(Div, tos = tos / s)                              \
-          TINYEVM_SPAN_BIN(Sdiv, tos = U256::sdiv(tos, s))                  \
-          TINYEVM_SPAN_BIN(Mod, tos = tos % s)                              \
-          TINYEVM_SPAN_BIN(Smod, tos = U256::smod(tos, s))                  \
-          TINYEVM_SPAN_BIN(Lt, tos = U256{tos < s ? 1ULL : 0ULL})           \
-          TINYEVM_SPAN_BIN(Gt, tos = U256{tos > s ? 1ULL : 0ULL})           \
-          TINYEVM_SPAN_BIN(Slt,                                             \
-                           tos = U256{U256::slt(tos, s) ? 1ULL : 0ULL})     \
-          TINYEVM_SPAN_BIN(Sgt,                                             \
-                           tos = U256{U256::sgt(tos, s) ? 1ULL : 0ULL})     \
-          TINYEVM_SPAN_BIN(Eq, tos = U256{tos == s ? 1ULL : 0ULL})          \
-          TINYEVM_SPAN_BIN(And, tos.and_assign(s))                          \
-          TINYEVM_SPAN_BIN(Or, tos.or_assign(s))                            \
-          TINYEVM_SPAN_BIN(Xor, tos.xor_assign(s))                          \
-          TINYEVM_SPAN_BIN(Byte, tos = U256::byte(tos, s))                  \
-          TINYEVM_SPAN_BIN(Shl, {                                           \
-            const bool in_range = tos.fits_u64() && tos.as_u64() < 256;     \
-            const unsigned sh = static_cast<unsigned>(tos.as_u64());        \
-            if (in_range) {                                                 \
-              tos = s;                                                      \
-              tos.shl_assign(sh);                                           \
-            } else {                                                        \
-              tos = U256{};                                                 \
-            }                                                               \
-          })                                                                \
-          TINYEVM_SPAN_BIN(Shr, {                                           \
-            const bool in_range = tos.fits_u64() && tos.as_u64() < 256;     \
-            const unsigned sh = static_cast<unsigned>(tos.as_u64());        \
-            if (in_range) {                                                 \
-              tos = s;                                                      \
-              tos.shr_assign(sh);                                           \
-            } else {                                                        \
-              tos = U256{};                                                 \
-            }                                                               \
-          })                                                                \
-          TINYEVM_SPAN_BIN(Sar, tos = U256::sar(tos, s))                    \
-          TINYEVM_SPAN_BIN(SignExtend, tos = U256::signextend(tos, s))      \
-          case Handler::AddMod:                                             \
-            tos = U256::addmod(tos, sb[sp - 2], sb[sp - 3]);                \
-            sp -= 2;                                                        \
-            break;                                                          \
-          case Handler::MulMod:                                             \
-            tos = U256::mulmod(tos, sb[sp - 2], sb[sp - 3]);                \
-            sp -= 2;                                                        \
-            break;                                                          \
-          case Handler::IsZero:                                             \
-            tos = U256{tos.is_zero() ? 1ULL : 0ULL};                        \
-            break;                                                          \
-          case Handler::Not:                                                \
-            tos.not_assign();                                               \
-            break;                                                          \
-          case Handler::Address:                                            \
-            TINYEVM_SPAN_PUSH(U256::from_bytes(msg_.self))                  \
-          case Handler::Origin:                                             \
-            TINYEVM_SPAN_PUSH(U256::from_bytes(msg_.origin))                \
-          case Handler::Caller:                                             \
-            TINYEVM_SPAN_PUSH(U256::from_bytes(msg_.caller))                \
-          case Handler::CallValue:                                          \
-            TINYEVM_SPAN_PUSH(msg_.value)                                   \
-          case Handler::CallDataLoad:                                       \
-            tos = calldata_word(tos);                                       \
-            break;                                                          \
-          case Handler::CallDataSize:                                       \
-            TINYEVM_SPAN_PUSH(U256{msg_.data.size()})                       \
-          case Handler::CodeSize:                                           \
-            TINYEVM_SPAN_PUSH(U256{msg_.code.size()})                       \
-          case Handler::ReturnDataSize:                                     \
-            TINYEVM_SPAN_PUSH(U256{return_data_.size()})                    \
-          case Handler::GasPrice:                                           \
-            TINYEVM_SPAN_PUSH(U256{1})                                      \
-          case Handler::Pop:                                                \
-            --sp;                                                           \
-            tos = sb[sp - 1];                                               \
-            break;                                                          \
-          case Handler::Pc:                                                 \
-            TINYEVM_SPAN_PUSH(U256{bi->pc})                                 \
-          case Handler::MSize:                                              \
-            TINYEVM_SPAN_PUSH(U256{memory_.size()})                         \
-          case Handler::Push:                                               \
-            TINYEVM_SPAN_PUSH(bi->imm)                                      \
-          case Handler::Dup: {                                              \
-            const unsigned n = bi->aux;                                     \
-            sb[sp - 1] = tos; /* spill; DUP1 keeps tos as-is */             \
-            if (n > 1) tos = sb[sp - n];                                    \
-            ++sp;                                                           \
-          } break;                                                          \
-          case Handler::Swap: {                                             \
-            const unsigned n = bi->aux;                                     \
-            U256& other = sb[sp - 1 - n];                                   \
-            const U256 t = other;                                           \
-            other = tos;                                                    \
-            tos = t;                                                        \
-          } break;                                                          \
-          case Handler::PushBin:                                            \
-            TINYEVM_APPLY_BIN(static_cast<Handler>(bi->aux2), bi->imm);     \
-            ++bi; /* the fallback continuation never runs fused */          \
-            break;                                                          \
-          case Handler::DupBin: {                                           \
-            const unsigned n = bi->aux;                                     \
-            const U256& dup_val = n == 1 ? tos : sb[sp - n];                \
-            TINYEVM_APPLY_BIN(static_cast<Handler>(bi->aux2), dup_val);     \
-            ++bi;                                                           \
-          } break;                                                          \
-          case Handler::SwapBin:                                            \
-            TINYEVM_APPLY_BIN(static_cast<Handler>(bi->aux2), sb[sp - 2]);  \
-            --sp;                                                           \
-            ++bi;                                                           \
-            break;                                                          \
-          default:                                                          \
-            break; /* unreachable: spans hold elidable handlers only */     \
-        }                                                                   \
-      }                                                                     \
-      /* Tail: the block's fused jump, when its target is statically       \
-         valid. Mirrors the fused PushJump/PushJumpI handlers with the     \
-         guards hoisted into the entry test (the transient push's          \
-         high-water is folded into stack_peak above). */                   \
-      if (bs.tail == kSpanTailNone) {                                       \
-        ip = bs.first + bs.count;                                           \
-      } else {                                                              \
-        const DecodedInst* const tj = insts + bs.first + bs.count;          \
-        if (bs.tail == kSpanTailJumpI) {                                    \
-          const bool taken = !tos.is_zero();                                \
-          --sp;                                                             \
-          tos = sb[sp - 1];                                                 \
-          ip = taken ? tj->target : bs.first + bs.count + 2;                \
-        } else {                                                            \
-          ip = tj->target;                                                  \
-        }                                                                   \
-      }                                                                     \
-    }                                                                       \
-  } while (0)
-
-  // The entry block has no JUMPDEST to hang its span on; test it before
-  // the first dispatch (ip is still 0, so a pass skips straight past the
-  // covered run).
-  if (elide && decoded_->entry_span != kNoJumpTarget) {
-    TINYEVM_TRY_SPAN(decoded_->entry_span);
-  }
-
-#if TINYEVM_COMPUTED_GOTO
-  static const void* const kJump[] = {
-#define TINYEVM_H_LABEL(name) &&h_##name,
-      TINYEVM_HANDLER_LIST(TINYEVM_H_LABEL)
-#undef TINYEVM_H_LABEL
-  };
-#define TINYEVM_OP(name) h_##name:
-#define TINYEVM_NEXT                                           \
-  do {                                                         \
-    TINYEVM_PROLOGUE()                                         \
-    goto *kJump[static_cast<std::uint8_t>(e->handler)];        \
-  } while (0)
-  TINYEVM_NEXT;
-#else
-#define TINYEVM_OP(name) case Handler::name:
-#define TINYEVM_NEXT break
-  for (;;) {
-    TINYEVM_PROLOGUE()
-    switch (e->handler) {
-#endif
-
-  // Unreachable in practice — the prologue short-circuits these two — but
-  // kept as real handlers so the jump table is total.
-  TINYEVM_OP(Undefined) { fail(Status::InvalidOpcode); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Forbidden) { fail(Status::ForbiddenOpcode); }
-  TINYEVM_NEXT;
-
-  TINYEVM_OP(Stop) { done_ = true; }
-  TINYEVM_NEXT;
-
-#define TINYEVM_BINARY(body)                    \
-  {                                             \
-    if (sp < 2) {                               \
-      fail(Status::StackUnderflow);             \
-      TINYEVM_NEXT;                             \
-    }                                           \
-    const U256& s = sb[sp - 2];                 \
-    body;                                       \
-    --sp;                                       \
-  }                                             \
-  TINYEVM_NEXT
-
-  TINYEVM_OP(Add) TINYEVM_BINARY(tos.add_assign(s));
-  TINYEVM_OP(Mul) TINYEVM_BINARY(tos.mul_assign(s));
-  TINYEVM_OP(Sub) TINYEVM_BINARY(tos.sub_assign(s));  // tos = top - second
-  TINYEVM_OP(Div) TINYEVM_BINARY(tos = tos / s);
-  TINYEVM_OP(Sdiv) TINYEVM_BINARY(tos = U256::sdiv(tos, s));
-  TINYEVM_OP(Mod) TINYEVM_BINARY(tos = tos % s);
-  TINYEVM_OP(Smod) TINYEVM_BINARY(tos = U256::smod(tos, s));
-  TINYEVM_OP(Lt) TINYEVM_BINARY(tos = U256{tos < s ? 1ULL : 0ULL});
-  TINYEVM_OP(Gt) TINYEVM_BINARY(tos = U256{tos > s ? 1ULL : 0ULL});
-  TINYEVM_OP(Slt) TINYEVM_BINARY(tos = U256{U256::slt(tos, s) ? 1ULL : 0ULL});
-  TINYEVM_OP(Sgt) TINYEVM_BINARY(tos = U256{U256::sgt(tos, s) ? 1ULL : 0ULL});
-  TINYEVM_OP(Eq) TINYEVM_BINARY(tos = U256{tos == s ? 1ULL : 0ULL});
-  TINYEVM_OP(And) TINYEVM_BINARY(tos.and_assign(s));
-  TINYEVM_OP(Or) TINYEVM_BINARY(tos.or_assign(s));
-  TINYEVM_OP(Xor) TINYEVM_BINARY(tos.xor_assign(s));
-  TINYEVM_OP(Byte) TINYEVM_BINARY(tos = U256::byte(tos, s));
-  TINYEVM_OP(Shl) TINYEVM_BINARY({
-    const bool in_range = tos.fits_u64() && tos.as_u64() < 256;
-    const unsigned n = static_cast<unsigned>(tos.as_u64());
-    if (in_range) {
-      tos = s;
-      tos.shl_assign(n);
-    } else {
-      tos = U256{};
-    }
-  });
-  TINYEVM_OP(Shr) TINYEVM_BINARY({
-    const bool in_range = tos.fits_u64() && tos.as_u64() < 256;
-    const unsigned n = static_cast<unsigned>(tos.as_u64());
-    if (in_range) {
-      tos = s;
-      tos.shr_assign(n);
-    } else {
-      tos = U256{};
-    }
-  });
-  TINYEVM_OP(Sar) TINYEVM_BINARY(tos = U256::sar(tos, s));
-  TINYEVM_OP(SignExtend) TINYEVM_BINARY(tos = U256::signextend(tos, s));
-
-#undef TINYEVM_BINARY
-
-  TINYEVM_OP(AddMod) {
-    if (sp < 3) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos = U256::addmod(tos, sb[sp - 2], sb[sp - 3]);
-    sp -= 2;
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(MulMod) {
-    if (sp < 3) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos = U256::mulmod(tos, sb[sp - 2], sb[sp - 3]);
-    sp -= 2;
-  }
-  TINYEVM_NEXT;
-
-  TINYEVM_OP(Exp) { TINYEVM_SYNCED(op_exp()); }
-  TINYEVM_NEXT;
-
-  TINYEVM_OP(IsZero) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos = U256{tos.is_zero() ? 1ULL : 0ULL};
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Not) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos.not_assign();
-  }
-  TINYEVM_NEXT;
-
-  TINYEVM_OP(Sensor) { TINYEVM_SYNCED(op_sensor()); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Sha3) { TINYEVM_SYNCED(op_sha3()); }
-  TINYEVM_NEXT;
-
-  // --- environment ---
-  TINYEVM_OP(Address) { TINYEVM_PUSH(U256::from_bytes(msg_.self)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Origin) { TINYEVM_PUSH(U256::from_bytes(msg_.origin)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Caller) { TINYEVM_PUSH(U256::from_bytes(msg_.caller)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(CallValue) { TINYEVM_PUSH(msg_.value); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Balance) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos = host_.balance(to_address(tos));
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(CallDataLoad) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos = calldata_word(tos);
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(CallDataSize) { TINYEVM_PUSH(U256{msg_.data.size()}); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(CodeSize) { TINYEVM_PUSH(U256{msg_.code.size()}); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(ReturnDataSize) { TINYEVM_PUSH(U256{return_data_.size()}); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(CallDataCopy) { TINYEVM_SYNCED(op_copy(msg_.data, false)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(CodeCopy) { TINYEVM_SYNCED(op_copy(msg_.code, false)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(ReturnDataCopy) { TINYEVM_SYNCED(op_copy(return_data_, false)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(GasPrice) { TINYEVM_PUSH(U256{1}); }  // flat simulated price
-  TINYEVM_NEXT;
-  TINYEVM_OP(ExtCodeSize) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos = U256{host_.code_at(to_address(tos)).size()};
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(ExtCodeCopy) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    const Address addr = to_address(tos);
-    --sp;
-    tos = sb[sp - 1];
-    TINYEVM_SYNCED(op_copy(host_.code_at(addr), true));
-  }
-  TINYEVM_NEXT;
-
-  // --- block data ---
-  TINYEVM_OP(BlockHash) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos = tos.fits_u64() ? U256::from_bytes(host_.block_hash(tos.as_u64()))
-                         : U256{};
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Coinbase) {
-    TINYEVM_PUSH(U256::from_bytes(host_.block_info().coinbase));
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Timestamp) { TINYEVM_PUSH(U256{host_.block_info().timestamp}); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Number) { TINYEVM_PUSH(U256{host_.block_info().number}); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Difficulty) { TINYEVM_PUSH(host_.block_info().difficulty); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(GasLimit) { TINYEVM_PUSH(U256{host_.block_info().gas_limit}); }
-  TINYEVM_NEXT;
-
-  // --- stack / memory / storage / control flow ---
-  TINYEVM_OP(Pop) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    --sp;
-    tos = sb[sp - 1];
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(MLoad) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    if (!tos.fits_u64()) {
-      fail(metered ? Status::OutOfGas : Status::OutOfMemory);
-      TINYEVM_NEXT;
-    }
-    const std::uint64_t off = tos.as_u64();
-    bool ok = false;
-    TINYEVM_SYNCED(ok = grow(off, 32));
-    if (!ok) TINYEVM_NEXT;
-    tos = memory_.load_word(off);
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(MStore) {
-    if (sp < 2) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    if (!tos.fits_u64()) {
-      fail(metered ? Status::OutOfGas : Status::OutOfMemory);
-      TINYEVM_NEXT;
-    }
-    const std::uint64_t off = tos.as_u64();
-    bool ok = false;
-    TINYEVM_SYNCED(ok = grow(off, 32));
-    if (!ok) TINYEVM_NEXT;
-    memory_.store_word(off, sb[sp - 2]);
-    sp -= 2;
-    tos = sb[sp - 1];
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(MStore8) {
-    if (sp < 2) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    if (!tos.fits_u64()) {
-      fail(metered ? Status::OutOfGas : Status::OutOfMemory);
-      TINYEVM_NEXT;
-    }
-    const std::uint64_t off = tos.as_u64();
-    bool ok = false;
-    TINYEVM_SYNCED(ok = grow(off, 1));
-    if (!ok) TINYEVM_NEXT;
-    memory_.store_byte(off, static_cast<std::uint8_t>(sb[sp - 2].limb(0) &
-                                                      0xFF));
-    sp -= 2;
-    tos = sb[sp - 1];
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(SLoad) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    tos = host_.sload(msg_.self, tos);
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(SStore) { TINYEVM_SYNCED(op_sstore()); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Jump) {
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    // Same rule as the raw path's CodeAnalysis bitmap, resolved through
-    // the translation's pc -> instruction-index map.
-    const bool dest_ok = tos.fits_u64() && tos.as_u64() < code_size;
-    const std::uint32_t t = dest_ok ? jmap[tos.as_u64()] : kNoJumpTarget;
-    if (t == kNoJumpTarget) {
-      fail(Status::InvalidJump);
-      TINYEVM_NEXT;
-    }
-    ip = t;
-    --sp;
-    tos = sb[sp - 1];
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(JumpI) {
-    if (sp < 2) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    const bool taken = !sb[sp - 2].is_zero();
-    const bool dest_ok = tos.fits_u64() && tos.as_u64() < code_size;
-    const std::uint64_t dest = tos.as_u64();
-    sp -= 2;
-    tos = sb[sp - 1];
-    if (taken) {
-      const std::uint32_t t = dest_ok ? jmap[dest] : kNoJumpTarget;
-      if (t == kNoJumpTarget) {
-        fail(Status::InvalidJump);
-        TINYEVM_NEXT;
-      }
-      ip = t;
-    }
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Pc) { TINYEVM_PUSH(U256{e->pc}); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(MSize) { TINYEVM_PUSH(U256{memory_.size()}); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Gas) {
-    TINYEVM_PUSH(U256{static_cast<std::uint64_t>(gas > 0 ? gas : 0)});
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(JumpDest) {
-    // Block leader: e->target carries the block's span index when the
-    // analyzer proved the following run elidable (kNoJumpTarget
-    // otherwise — the field is unused by JUMPDEST's own semantics).
-    if (elide && e->target != kNoJumpTarget) TINYEVM_TRY_SPAN(e->target);
-  }
-  TINYEVM_NEXT;
-
-  // --- stack families (index in e->aux) ---
-  TINYEVM_OP(Push) { TINYEVM_PUSH(e->imm); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Dup) {
-    // No run-time peephole here: the translator already fused every
-    // DUP+operator pair into DupBin below.
-    const unsigned n = e->aux;
-    if (n > sp || sp >= slimit) {
-      fail(sp >= slimit ? Status::StackOverflow : Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    sb[sp - 1] = tos;  // spill; DUP1 keeps tos as-is
-    if (n > 1) tos = sb[sp - n];
-    ++sp;
-    if (sp > smax) smax = sp;
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Swap) {
-    const unsigned n = e->aux;
-    if (n + 1 > sp) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    U256& other = sb[sp - 1 - n];
-    const U256 t = other;
-    other = tos;
-    tos = t;
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Log) { TINYEVM_SYNCED(op_log(e->aux)); }
-  TINYEVM_NEXT;
-
-  // --- superinstructions (fused pairs; see the fusion contract above) ---
-  //
-  // Each fused body runs `tos = first ⊗ tos` in place via
-  // TINYEVM_FUSED_APPLY / TINYEVM_APPLY_BIN (defined with the span
-  // machinery above).
-  TINYEVM_OP(PushBin) {
-    // PUSHn imm; BINOP — the immediate is the first (top) operand.
-    if (sp >= 1 && sp < slimit && TINYEVM_FUSE_OK()) {
-      TINYEVM_FUSE_CHARGE();
-      ++ip;                              // consume the second instruction
-      if (sp + 1 > smax) smax = sp + 1;  // the transient PUSH high-water
-      TINYEVM_FUSED_APPLY(e->imm);
-    } else {
-      // Plain PUSH; the operator executes as its own instruction and
-      // reproduces the exact unfused failure (underflow / gas / watchdog).
-      TINYEVM_PUSH(e->imm);
-    }
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(DupBin) {
-    // DUPn; BINOP — the duplicated value is the first operand.
-    const unsigned n = e->aux;
-    if (n <= sp && sp < slimit && TINYEVM_FUSE_OK()) {
-      TINYEVM_FUSE_CHARGE();
-      ++ip;
-      if (sp + 1 > smax) smax = sp + 1;
-      // Aliasing is fine for n == 1: the *_assign ops are self-safe.
-      const U256& dup_val = n == 1 ? tos : sb[sp - n];
-      TINYEVM_FUSED_APPLY(dup_val);
-    } else if (n > sp || sp >= slimit) {
-      fail(sp >= slimit ? Status::StackOverflow : Status::StackUnderflow);
-    } else {
-      sb[sp - 1] = tos;
-      if (n > 1) tos = sb[sp - n];
-      ++sp;
-      if (sp > smax) smax = sp;
-    }
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(SwapBin) {
-    // SWAP1; BINOP — the old second element becomes the first operand.
-    if (sp >= 2 && TINYEVM_FUSE_OK()) {
-      TINYEVM_FUSE_CHARGE();
-      ++ip;
-      TINYEVM_FUSED_APPLY(sb[sp - 2]);
-      --sp;
-    } else if (sp < 2) {
-      fail(Status::StackUnderflow);
-    } else {
-      const U256 t = sb[sp - 2];
-      sb[sp - 2] = tos;
-      tos = t;
-    }
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(PushJump) {
-    // PUSHn dest; JUMP — target index resolved at translate time.
-    if (sp < slimit && TINYEVM_FUSE_OK()) {
-      TINYEVM_FUSE_CHARGE();
-      if (sp + 1 > smax) smax = sp + 1;
-      if (e->target == kNoJumpTarget) {
-        fail(Status::InvalidJump);
-        TINYEVM_NEXT;
-      }
-      ip = e->target;
-    } else {
-      TINYEVM_PUSH(e->imm);
-    }
-  }
-  TINYEVM_NEXT;
-  TINYEVM_OP(PushJumpI) {
-    // PUSHn dest; JUMPI — the current top is the condition.
-    if (sp >= 1 && sp < slimit && TINYEVM_FUSE_OK()) {
-      TINYEVM_FUSE_CHARGE();
-      if (sp + 1 > smax) smax = sp + 1;
-      const bool taken = !tos.is_zero();
-      --sp;
-      tos = sb[sp - 1];
-      if (taken) {
-        if (e->target == kNoJumpTarget) {
-          fail(Status::InvalidJump);
-          TINYEVM_NEXT;
-        }
-        ip = e->target;
-      } else {
-        ++ip;  // fall through past the JUMPI instruction
-      }
-    } else {
-      TINYEVM_PUSH(e->imm);
-    }
-  }
-  TINYEVM_NEXT;
-
-  // --- lifecycle ---
-  TINYEVM_OP(Create) { TINYEVM_SYNCED(op_create()); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Call) { TINYEVM_SYNCED(op_call(CallKind::Call)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(CallCode) { TINYEVM_SYNCED(op_call(CallKind::CallCode)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(DelegateCall) { TINYEVM_SYNCED(op_call(CallKind::DelegateCall)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(StaticCall) { TINYEVM_SYNCED(op_call(CallKind::StaticCall)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Return) { TINYEVM_SYNCED(op_return(false)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Revert) { TINYEVM_SYNCED(op_return(true)); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(Invalid) { fail(Status::InvalidOpcode); }
-  TINYEVM_NEXT;
-  TINYEVM_OP(SelfDestruct) {
-    if (msg_.is_static) {
-      fail(Status::StaticViolation);
-      TINYEVM_NEXT;
-    }
-    if (sp < 1) {
-      fail(Status::StackUnderflow);
-      TINYEVM_NEXT;
-    }
-    const Address beneficiary = to_address(tos);
-    --sp;
-    tos = sb[sp - 1];
-    host_.self_destruct(msg_.self, beneficiary);
-    done_ = true;
-  }
-  TINYEVM_NEXT;
-
-#if !TINYEVM_COMPUTED_GOTO
-    }  // switch
-  }  // for
-#endif
-
-run_exit:
-  if (e != nullptr) pc_ = e->pc;
-  gas_ = gas;
-  cycles_ = cyc;
-  ops_ = ops;
-  sb[sp - 1] = tos;  // restore the flat-memory stack view
-  stack_.set_state(sp, smax);
-
-#undef TINYEVM_SYNCED
-#undef TINYEVM_PUSH
-#undef TINYEVM_PROLOGUE
-#undef TINYEVM_FUSE_OK
-#undef TINYEVM_FUSE_CHARGE
-#undef TINYEVM_APPLY_BIN
-#undef TINYEVM_FUSED_APPLY
-#undef TINYEVM_SPAN_BIN
-#undef TINYEVM_SPAN_PUSH
-#undef TINYEVM_TRY_SPAN
-#undef TINYEVM_OP
-#undef TINYEVM_NEXT
-}
-
-void Frame::op_exp() {
-  const auto base = pop();
-  const auto e = pop();
-  if (!base || !e) return;
-  const unsigned exp_bytes = e->byte_length();
-  if (!charge(static_cast<std::int64_t>(50) * exp_bytes)) {
-    fail(Status::OutOfGas);
-    return;
-  }
-  cycles_ += 900ULL * exp_bytes;  // square-and-multiply per exponent byte
-  push(U256::exp(*base, *e));
-}
-
-void Frame::op_sensor() {
-  if (config_.profile != VmProfile::TinyEvm || !config_.iot_opcodes) {
-    fail(Status::InvalidOpcode);
-    return;
-  }
-  if (msg_.is_static) {
-    // Reads are pure but actuation mutates the world; the selector decides,
-    // so conservatively forbid both under STATICCALL.
-    fail(Status::StaticViolation);
-    return;
-  }
-  const auto selector = pop();
-  const auto param = pop();
-  if (!selector || !param) return;
-  SensorRequest req;
-  req.actuate = selector->bit(0);
-  req.device_id = static_cast<std::uint32_t>((selector->limb(0) >> 1) &
-                                             0x7FFFFFFFULL);
-  req.parameter = *param;
-  const auto reading = host_.sensor_access(req);
-  if (!reading) {
-    fail(Status::SensorFailure);
-    return;
-  }
-  push(*reading);
-}
-
-void Frame::op_sha3() {
-  const auto range = pop_range();
-  if (!range) return;
-  const std::uint64_t words = (range->len + 31) / 32;
-  if (!charge(static_cast<std::int64_t>(6 * words))) {
-    fail(Status::OutOfGas);
-    return;
-  }
-  if (!grow(range->offset, range->len)) return;
-  cycles_ += 3200ULL * words;  // software keccak absorb cost per word
-  const Bytes data = memory_.read(range->offset, range->len);
-  push(U256::from_bytes(keccak256(data)));
-}
-
-void Frame::op_copy(std::span<const std::uint8_t> src, bool /*external*/) {
-  const auto dst = pop();
-  const auto src_off = pop();
-  const auto len = pop();
-  if (!dst || !src_off || !len) return;
-  if (len->is_zero()) return;
-  if (!dst->fits_u64() || !len->fits_u64()) {
-    fail(config_.metering ? Status::OutOfGas : Status::OutOfMemory);
-    return;
-  }
-  const std::uint64_t n = len->as_u64();
-  const std::uint64_t words = (n + 31) / 32;
-  if (!charge(static_cast<std::int64_t>(3 * words))) {
-    fail(Status::OutOfGas);
-    return;
-  }
-  if (!grow(dst->as_u64(), n)) return;
-  cycles_ += 6ULL * n;  // ~6 cycles/byte memcpy on the M3
-  memory_.store_bytes(dst->as_u64(), src,
-                      src_off->fits_u64() ? src_off->as_u64() : src.size(),
-                      n);
-}
-
-void Frame::op_log(unsigned topic_count) {
-  if (msg_.is_static) {
-    fail(Status::StaticViolation);
-    return;
-  }
-  const auto range = pop_range();
-  if (!range) return;
-  LogEntry entry;
-  entry.address = msg_.self;
-  for (unsigned i = 0; i < topic_count; ++i) {
-    const auto t = pop();
-    if (!t) return;
-    entry.topics.push_back(*t);
-  }
-  if (!charge(static_cast<std::int64_t>(8 * range->len))) {
-    fail(Status::OutOfGas);
-    return;
-  }
-  if (!grow(range->offset, range->len)) return;
-  entry.data = memory_.read(range->offset, range->len);
-  host_.emit_log(std::move(entry));
-}
-
-void Frame::op_sstore() {
-  if (msg_.is_static) {
-    fail(Status::StaticViolation);
-    return;
-  }
-  const auto key = pop();
-  const auto value = pop();
-  if (!key || !value) return;
-  if (!host_.sstore(msg_.self, *key, *value)) {
-    fail(Status::StorageExhausted);
-    return;
-  }
-}
-
-void Frame::op_create() {
-  if (msg_.is_static) {
-    fail(Status::StaticViolation);
-    return;
-  }
-  const auto value = pop();
-  if (!value) return;
-  const auto range = pop_range();
-  if (!range) return;
-  if (!grow(range->offset, range->len)) return;
-
-  CreateRequest req;
-  req.sender = msg_.self;
-  req.value = *value;
-  req.init_code = memory_.read(range->offset, range->len);
-  req.gas = gas_;
-  req.depth = msg_.depth + 1;
-  const CreateResult res = host_.create(req);
-  if (config_.metering) gas_ = res.gas_left;
-  push(res.success ? U256::from_bytes(res.address) : U256{});
-}
-
-void Frame::op_call(CallKind kind) {
-  const auto gas_arg = pop();
-  const auto to_arg = pop();
-  if (!gas_arg || !to_arg) return;
-
-  U256 value;
-  if (kind == CallKind::Call || kind == CallKind::CallCode) {
-    const auto v = pop();
-    if (!v) return;
-    value = *v;
-  }
-  if (kind == CallKind::Call && msg_.is_static && !value.is_zero()) {
-    fail(Status::StaticViolation);
-    return;
-  }
-
-  const auto in = pop_range();
-  if (!in) return;
-  const auto out = pop_range();
-  if (!out) return;
-  if (!grow(in->offset, in->len)) return;
-  if (!grow(out->offset, out->len)) return;
-
-  CallRequest req;
-  req.kind = kind;
-  req.to = to_address(*to_arg);
-  req.sender = kind == CallKind::DelegateCall ? msg_.caller : msg_.self;
-  req.value = kind == CallKind::DelegateCall ? msg_.value : value;
-  req.data = memory_.read(in->offset, in->len);
-  req.depth = msg_.depth + 1;
-  req.is_static = msg_.is_static || kind == CallKind::StaticCall;
-  // 63/64 rule when metering; otherwise pass the requested gas through.
-  const std::int64_t available = config_.metering ? gas_ - gas_ / 64 : gas_;
-  req.gas = gas_arg->fits_u64() && static_cast<std::int64_t>(
-                                       gas_arg->as_u64()) < available
-                ? static_cast<std::int64_t>(gas_arg->as_u64())
-                : available;
-
-  const CallResult res = host_.call(req);
-  return_data_ = res.output;
-  if (config_.metering) {
-    gas_ -= req.gas - res.gas_left;
-    if (gas_ < 0) {
-      fail(Status::OutOfGas);
-      return;
-    }
-  }
-  const std::uint64_t n = std::min<std::uint64_t>(out->len, res.output.size());
-  if (n > 0) memory_.store_bytes(out->offset, res.output, 0, n);
-  push(U256{res.success ? 1ULL : 0ULL});
-}
-
-void Frame::op_return(bool revert) {
-  const auto range = pop_range();
-  if (!range) return;
-  if (!grow(range->offset, range->len)) return;
-  output_ = memory_.read(range->offset, range->len);
-  status_ = revert ? Status::Revert : Status::Success;
-  done_ = true;
+/// Resolves the configured engine name, mapping the legacy
+/// predecode/elide_checks flag pair when no name is given: raw when
+/// predecode is off, checked dispatch when elision is off, the span fast
+/// path otherwise. An explicit VmConfig::engine always wins.
+std::string_view engine_for(const VmConfig& config) {
+  if (!config.engine.empty()) return config.engine;
+  if (!config.predecode) return kRawEngine;
+  if (!config.elide_checks) return kPredecodedEngine;
+  return kElidedEngine;
 }
 
 }  // namespace
 
 Vm::Vm(VmConfig config, std::shared_ptr<CodeCache> cache)
-    : config_(config),
+    : config_(std::move(config)),
+      profile_(EngineProfile::from_config(config_)),
+      engine_(&EngineRegistry::instance().require(engine_for(config_))),
       dispatch_(std::make_shared<const DispatchTable>(
-          build_dispatch_table(config))),
+          build_dispatch_table(profile_))),
       cache_(cache ? std::move(cache) : CodeCache::shared_default()) {}
 
 ExecResult Vm::execute(Host& host, const Message& msg) const {
-  // Default path: execute the cached pre-decoded stream. A null program
-  // (predecode off, empty code, or code past the cache's size cap) falls
-  // back to the raw threaded loop, which decodes per run.
-  std::shared_ptr<const DecodedProgram> program;
-  if (config_.predecode) {
-    const TranslationProfile profile{
-        config_.profile == VmProfile::TinyEvm, config_.iot_opcodes,
-        config_.block_opcodes};
-    program = cache_->get_or_translate(
-        msg.code, profile, msg.code_hash ? &*msg.code_hash : nullptr);
+  const ExecutionEngine* engine = engine_;
+  if (!msg.engine.empty() && msg.engine != engine->name()) {
+    engine = &EngineRegistry::instance().require(msg.engine);
   }
-  Frame frame(config_, *dispatch_, host, msg, program.get());
-  return frame.run();
+
+  // A translation-consuming engine executes the cached pre-decoded
+  // stream. A null program (empty code, or code past the cache's size
+  // cap) falls back to the raw threaded loop inside the engine, which
+  // decodes per run.
+  std::shared_ptr<const DecodedProgram> program;
+  if (engine->uses_translation()) {
+    program = cache_->get_or_translate(
+        msg.code, profile_.translation(),
+        msg.code_hash ? &*msg.code_hash : nullptr);
+  }
+
+  const HostInterface host_interface = HostInterface::wrap(host);
+  EngineMessage engine_msg;
+  engine_msg.self = msg.self;
+  engine_msg.caller = msg.caller;
+  engine_msg.origin = msg.origin;
+  engine_msg.value = msg.value;
+  engine_msg.data = msg.data;
+  engine_msg.code = msg.code;
+  engine_msg.code_hash = msg.code_hash ? &*msg.code_hash : nullptr;
+  engine_msg.gas = msg.gas;
+  engine_msg.depth = msg.depth;
+  engine_msg.is_static = msg.is_static;
+
+  EngineContext ctx;
+  ctx.profile = &profile_;
+  ctx.dispatch = dispatch_.get();
+  ctx.program = program.get();
+  return engine->execute(host_interface, ctx, engine_msg);
 }
 
 }  // namespace tinyevm::evm

@@ -5,14 +5,23 @@
 // profile removes gas ("no charging for the off-chain computations"), caps
 // the stack at 3 KB / memory at 8 KB, truncates storage keys to 8 bits, and
 // enables the 0x0c SENSOR opcode.
+//
+// Execution itself happens behind the EVMC-style boundary in engine.hpp:
+// Vm resolves an ExecutionEngine from the registry (by VmConfig::engine,
+// with the legacy predecode/elide_checks flags as the fallback mapping),
+// consults the translation cache when the engine wants a pre-decoded
+// stream, and dispatches — Vm::execute is cache lookup + engine dispatch,
+// nothing more.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "evm/engine.hpp"
 #include "evm/host.hpp"
 #include "evm/opcodes.hpp"
 #include "evm/state.hpp"
@@ -38,48 +47,43 @@ struct VmConfig {
   /// Gas bounds on-chain execution; off-chain the mote's watchdog timer
   /// plays that role — without it a buggy contract would wedge the device.
   std::uint64_t max_ops = 50'000'000;
-  /// Lower bytecode to a cached pre-decoded instruction stream before
-  /// executing (see decoded.hpp / code_cache.hpp). Not part of the
-  /// semantics: the raw threaded loop — which also serves as the
-  /// translate-miss / oversized-code fallback — must produce bit-identical
-  /// results (tests/evm_dispatch_test.cpp).
+  /// Legacy engine-selection flag: lower bytecode to a cached pre-decoded
+  /// instruction stream before executing (see decoded.hpp /
+  /// code_cache.hpp). Consulted only when `engine` is empty — off maps to
+  /// the "raw" engine. Not part of the semantics: every engine must
+  /// produce bit-identical results (tests/evm_dispatch_test.cpp).
   bool predecode = true;
-  /// Use the translation's static-analysis spans (decoded.hpp::ElideSpan)
-  /// to replace per-instruction stack/gas/watchdog branches with one test
-  /// per basic block where the analyzer proved them redundant. Also not
-  /// part of the semantics: the checked handlers remain the fallback for
-  /// unprovable blocks and for entry tests that fail, and results stay
-  /// bit-identical either way (the differential suite holds all three
-  /// paths — raw, checked, elided — to the same outputs).
+  /// Legacy engine-selection flag: use the translation's static-analysis
+  /// spans (decoded.hpp::ElideSpan) to replace per-instruction
+  /// stack/gas/watchdog branches with one test per basic block where the
+  /// analyzer proved them redundant. Consulted only when `engine` is
+  /// empty — predecode without elision maps to "predecoded", with it to
+  /// "elided". Also not semantics: results stay bit-identical either way.
   bool elide_checks = true;
+  /// Execution engine name (EngineRegistry). Empty = derive from the
+  /// legacy predecode/elide_checks flags above; unknown names make the Vm
+  /// constructor throw std::invalid_argument.
+  std::string engine;
 
   /// Original EVM (Istanbul-era) semantics.
   static VmConfig ethereum() {
-    return VmConfig{VmProfile::Ethereum, 1024,  0,    0,   true,
-                    true,                false, true, 1024, 0};
+    return VmConfig{.profile = VmProfile::Ethereum,
+                    .stack_limit = 1024,
+                    .memory_limit = 0,
+                    .storage_limit = 0,
+                    .metering = true,
+                    .block_opcodes = true,
+                    .iot_opcodes = false,
+                    .gas_introspection = true,
+                    .max_call_depth = 1024,
+                    .max_ops = 0,
+                    .predecode = true,
+                    .elide_checks = true,
+                    .engine = {}};
   }
   /// The paper's MCU configuration (§VI-A).
   static VmConfig tiny() { return VmConfig{}; }
 };
-
-enum class Status : std::uint8_t {
-  Success,
-  Revert,
-  OutOfGas,
-  StackOverflow,
-  StackUnderflow,
-  OutOfMemory,       ///< TinyEVM 8 KB memory cap exceeded
-  StorageExhausted,  ///< TinyEVM 1 KB side-chain storage cap exceeded
-  InvalidJump,
-  InvalidOpcode,     ///< undefined byte, or INVALID (0xfe)
-  ForbiddenOpcode,   ///< opcode not in the active profile
-  SensorFailure,     ///< SENSOR opcode: no such device / read failed
-  CallDepthExceeded,
-  StaticViolation,   ///< state mutation inside STATICCALL
-  WatchdogExpired,   ///< VmConfig::max_ops exceeded (runaway off-chain code)
-};
-
-[[nodiscard]] std::string_view to_string(Status s);
 
 /// Execution request: run `code` in the context of account `self`.
 struct Message {
@@ -95,25 +99,13 @@ struct Message {
   std::int64_t gas = 10'000'000;
   int depth = 0;
   bool is_static = false;
+  /// Per-call engine override (EngineRegistry name). Empty = the Vm's
+  /// configured engine; unknown names make Vm::execute throw.
+  std::string engine;
 };
 
-/// Per-run statistics consumed by the evaluation harness (Figures 3/4,
-/// Table II).
-struct ExecStats {
-  std::size_t max_stack_pointer = 0;  ///< Fig 3c
-  std::size_t peak_memory = 0;        ///< Fig 3a/3b (bytes)
-  std::uint64_t ops_executed = 0;
-  std::uint64_t mcu_cycles = 0;       ///< Fig 4 (deployment time model)
-};
-
-struct ExecResult {
-  Status status = Status::Success;
-  Bytes output;
-  std::int64_t gas_left = 0;
-  ExecStats stats;
-
-  [[nodiscard]] bool ok() const { return status == Status::Success; }
-};
+/// Execution results are the flat engine-boundary struct (engine.hpp).
+using ExecResult = EngineResult;
 
 /// JUMPDEST bitmap produced by one linear pre-pass over the code (PUSH
 /// immediates are skipped, so data bytes can't alias a jump target).
@@ -128,35 +120,41 @@ class CodeAnalysis {
   std::vector<bool> jumpdest_;
 };
 
-/// 256-entry opcode -> handler dispatch table with the per-opcode static
-/// gas and MCU-cycle model folded into each entry, so the interpreter's
-/// common case is a single table load (no separate validity/gas switches).
-/// Built once per Vm from the profile flags; opaque outside the
-/// interpreter translation unit.
-struct DispatchTable;
-
-/// Executes one message. Nested CALL/CREATE are delegated to the host,
-/// which typically re-enters another Vm::execute with depth+1.
+/// Executes one message through the configured ExecutionEngine. Nested
+/// CALL/CREATE are delegated to the host, which typically re-enters
+/// another Vm::execute with depth+1.
 ///
-/// When `config.predecode` is on (the default), execution first consults a
-/// translation cache (code_cache.hpp) for a pre-decoded instruction stream
-/// keyed by keccak256(code); a null `cache` means the process-wide
-/// CodeCache::shared_default(), so independent Vm instances reuse each
-/// other's translations.
+/// When the engine consumes translations (every built-in except "raw"),
+/// execution first consults a translation cache (code_cache.hpp) for a
+/// pre-decoded instruction stream keyed by keccak256(code); a null `cache`
+/// means the process-wide CodeCache::shared_default(), so independent Vm
+/// instances reuse each other's translations.
 class Vm {
  public:
+  /// Throws std::invalid_argument when config.engine names no registered
+  /// engine.
   explicit Vm(VmConfig config, std::shared_ptr<CodeCache> cache = nullptr);
 
   [[nodiscard]] const VmConfig& config() const { return config_; }
+  /// The flat semantics descriptor handed to engines.
+  [[nodiscard]] const EngineProfile& profile() const { return profile_; }
+  /// The resolved default engine's registry name.
+  [[nodiscard]] std::string_view engine_name() const {
+    return engine_->name();
+  }
   /// The translation cache this Vm consults.
   [[nodiscard]] const std::shared_ptr<CodeCache>& code_cache() const {
     return cache_;
   }
 
+  /// Throws std::invalid_argument when msg.engine names no registered
+  /// engine.
   ExecResult execute(Host& host, const Message& msg) const;
 
  private:
   VmConfig config_;
+  EngineProfile profile_;
+  const ExecutionEngine* engine_;  // registry-owned, process lifetime
   std::shared_ptr<const DispatchTable> dispatch_;
   std::shared_ptr<CodeCache> cache_;
 };

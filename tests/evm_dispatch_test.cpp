@@ -1,15 +1,14 @@
-// Golden + differential test for the interpreter's three execution paths.
+// Golden + N-way differential harness over the execution-engine registry.
 //
 // Every program — random bytes, biased fuzz programs, the synthetic
-// contract corpus, and directed edge programs — runs three times: through
-// the raw token-threaded loop (predecode off), through the pre-decoded
-// translation path with check elision (predecode on, the default), and
-// through the pre-decoded path with elision off (per-instruction checks
-// on every op). All three observations must be bit-identical (halt
-// status, output, gas, stack high-water, memory peak, op/cycle counts,
-// logs, storage), and all must match the recorded golden corpus in
-// tests/golden/ — so a regression that changes every path the same way is
-// still caught.
+// contract corpus, and directed edge programs — runs once per registered
+// engine (raw token-threaded, checked pre-decoded, check-elided, and any
+// engine registered after these: a fourth engine is differential-tested
+// here for free). All observations must be bit-identical (halt status,
+// output, gas, stack high-water, memory peak, op/cycle counts, logs,
+// storage), and the reference engine ("raw", first in the registry) must
+// match the recorded golden corpus in tests/golden/ — so a regression
+// that changes every engine the same way is still caught.
 //
 // Regenerating the golden files (only when semantics intentionally
 // change): run the test binary directly with TINYEVM_REGEN_GOLDEN=1 and
@@ -30,6 +29,7 @@
 #include "corpus/corpus.hpp"
 #include "evm/asm.hpp"
 #include "evm/code_cache.hpp"
+#include "evm/engine.hpp"
 #include "evm/vm.hpp"
 
 namespace tinyevm::evm {
@@ -127,14 +127,13 @@ Hash256 digest_storage(const TinyStorage* storage) {
   return keccak256(blob);
 }
 
-/// Runs `code` through one execution path and returns everything
+/// Runs `code` through one execution engine and returns everything
 /// observable. Each run gets a private translation cache so the
-/// pre-decoded path always starts from a cold, deterministic translation.
+/// translation-consuming engines always start from a cold, deterministic
+/// translation.
 Observation observe(const Bytes& code, const Bytes& data, VmConfig config,
-                    bool predecode, std::int64_t gas,
-                    bool elide_checks = true) {
-  config.predecode = predecode;
-  config.elide_checks = elide_checks;
+                    const std::string& engine, std::int64_t gas) {
+  config.engine = engine;
   channel::SensorBank sensors;
   sensors.set_reading(7, U256{22});
   channel::DeviceHost host(sensors, config);
@@ -238,19 +237,20 @@ void expect_identical(const Observation& a, const Observation& b) {
   EXPECT_EQ(a.storage_digest, b.storage_digest);
 }
 
-/// The core of the suite: the raw, checked pre-decoded, and check-elided
-/// pre-decoded observations must match each other (differential mode) and
-/// the recorded golden line.
+/// The core of the suite: every registered engine's observation must match
+/// the reference engine's ("raw", first in registration order), and the
+/// reference must match the recorded golden line.
 void run_case(Golden& golden, const std::string& name, const Bytes& code,
               const Bytes& data, const VmConfig& config, std::int64_t gas) {
   SCOPED_TRACE(name);
-  const Observation raw = observe(code, data, config, false, gas);
-  const Observation pre = observe(code, data, config, true, gas);
-  const Observation checked =
-      observe(code, data, config, true, gas, /*elide_checks=*/false);
-  expect_identical(raw, pre);
-  expect_identical(checked, pre);
-  golden.check(name, serialize(raw));
+  const std::vector<std::string> engines = EngineRegistry::instance().names();
+  ASSERT_FALSE(engines.empty());
+  const Observation reference = observe(code, data, config, engines[0], gas);
+  for (std::size_t i = 1; i < engines.size(); ++i) {
+    SCOPED_TRACE("engine=" + engines[i]);
+    expect_identical(reference, observe(code, data, config, engines[i], gas));
+  }
+  golden.check(name, serialize(reference));
 }
 
 TEST(DispatchGolden, RawRandomBytes) {

@@ -1,12 +1,13 @@
-// libFuzzer harness for the bytecode translator: a differential
-// raw-vs-decoded oracle. Every input byte string runs three times through
-// the interpreter — once through the raw token-threaded loop (predecode
-// off), once through the pre-decoded path with check elision (the default),
-// and once pre-decoded with elision off (fresh private CodeCache each) —
-// and any divergence in status, output, gas, execution statistics, logs,
-// or installed contracts aborts, which libFuzzer reports as a crash. The
-// static analyzer also runs over every input's translation: it must never
-// crash, whatever the bytes.
+// libFuzzer harness for the bytecode translator: an N-way differential
+// oracle over the execution-engine registry. Every input byte string runs
+// once per registered engine (raw token-threaded, checked pre-decoded,
+// check-elided, and whatever else registered — each with a fresh private
+// CodeCache), and any divergence from the first engine (raw, the semantic
+// reference) in status, output, gas, execution statistics, logs, or
+// installed contracts aborts, which libFuzzer reports as a crash. A
+// fourth engine registered at startup is fuzzed for free. The static
+// analyzer also runs over every input's translation: it must never crash,
+// whatever the bytes.
 //
 // Built behind TINYEVM_BUILD_FUZZERS. Under clang the binary is a real
 // libFuzzer target (-fsanitize=fuzzer); elsewhere a standalone main() runs
@@ -21,12 +22,14 @@
 #include <cstring>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "channel/hub.hpp"
 #include "evm/analysis.hpp"
 #include "evm/code_cache.hpp"
 #include "evm/decoded.hpp"
+#include "evm/engine.hpp"
 #include "evm/vm.hpp"
 
 namespace {
@@ -49,11 +52,9 @@ struct Observation {
 };
 
 Observation run_once(std::span<const std::uint8_t> code,
-                     const evm::VmConfig& config, bool predecode,
-                     bool elide_checks = true) {
+                     const evm::VmConfig& config, const std::string& engine) {
   evm::VmConfig run_config = config;
-  run_config.predecode = predecode;
-  run_config.elide_checks = elide_checks;
+  run_config.engine = engine;
   // A private cache per run: the oracle must never see another input's
   // translation, and the translate path itself is under test.
   channel::SensorBank sensors;
@@ -73,11 +74,11 @@ Observation run_once(std::span<const std::uint8_t> code,
   return obs;
 }
 
-#define FUZZ_CHECK(cond)                                                  \
+#define FUZZ_CHECK(engine, cond)                                          \
   do {                                                                    \
     if (!(cond)) {                                                        \
-      std::fprintf(stderr, "raw-vs-decoded divergence: %s (%s:%d)\n",     \
-                   #cond, __FILE__, __LINE__);                            \
+      std::fprintf(stderr, "engine '%s' diverges from raw: %s (%s:%d)\n", \
+                   (engine).c_str(), #cond, __FILE__, __LINE__);          \
       std::abort();                                                       \
     }                                                                     \
   } while (0)
@@ -101,40 +102,35 @@ void check_one_input(const std::uint8_t* data, std::size_t size) {
     const evm::AnalysisReport report = evm::analyze(program, aopt);
     std::size_t covered = 0;
     for (const evm::BasicBlock& b : report.blocks) covered += b.count;
-    FUZZ_CHECK(covered == program.insts.size());
+    if (covered != program.insts.size()) {
+      std::fprintf(stderr, "analyzer block partition does not cover stream\n");
+      std::abort();
+    }
   }
 
-  const Observation raw = run_once(code, config, /*predecode=*/false);
-  const Observation decoded = run_once(code, config, /*predecode=*/true);
-  const Observation checked =
-      run_once(code, config, /*predecode=*/true, /*elide_checks=*/false);
-
-  FUZZ_CHECK(raw.result.status == decoded.result.status);
-  FUZZ_CHECK(raw.result.output == decoded.result.output);
-  FUZZ_CHECK(raw.result.gas_left == decoded.result.gas_left);
-  FUZZ_CHECK(raw.result.stats.ops_executed ==
-             decoded.result.stats.ops_executed);
-  FUZZ_CHECK(raw.result.stats.mcu_cycles == decoded.result.stats.mcu_cycles);
-  FUZZ_CHECK(raw.result.stats.max_stack_pointer ==
-             decoded.result.stats.max_stack_pointer);
-  FUZZ_CHECK(raw.result.stats.peak_memory ==
-             decoded.result.stats.peak_memory);
-  FUZZ_CHECK(raw.log_count == decoded.log_count);
-  FUZZ_CHECK(raw.contract_count == decoded.contract_count);
-
-  FUZZ_CHECK(checked.result.status == decoded.result.status);
-  FUZZ_CHECK(checked.result.output == decoded.result.output);
-  FUZZ_CHECK(checked.result.gas_left == decoded.result.gas_left);
-  FUZZ_CHECK(checked.result.stats.ops_executed ==
-             decoded.result.stats.ops_executed);
-  FUZZ_CHECK(checked.result.stats.mcu_cycles ==
-             decoded.result.stats.mcu_cycles);
-  FUZZ_CHECK(checked.result.stats.max_stack_pointer ==
-             decoded.result.stats.max_stack_pointer);
-  FUZZ_CHECK(checked.result.stats.peak_memory ==
-             decoded.result.stats.peak_memory);
-  FUZZ_CHECK(checked.log_count == decoded.log_count);
-  FUZZ_CHECK(checked.contract_count == decoded.contract_count);
+  // N-way sweep: the registry's first engine ("raw", the semantic
+  // reference) sets the expectation; every other engine must match it
+  // observation-for-observation.
+  const std::vector<std::string> engines =
+      evm::EngineRegistry::instance().names();
+  const Observation reference = run_once(code, config, engines.front());
+  for (std::size_t i = 1; i < engines.size(); ++i) {
+    const std::string& engine = engines[i];
+    const Observation obs = run_once(code, config, engine);
+    FUZZ_CHECK(engine, obs.result.status == reference.result.status);
+    FUZZ_CHECK(engine, obs.result.output == reference.result.output);
+    FUZZ_CHECK(engine, obs.result.gas_left == reference.result.gas_left);
+    FUZZ_CHECK(engine, obs.result.stats.ops_executed ==
+                           reference.result.stats.ops_executed);
+    FUZZ_CHECK(engine, obs.result.stats.mcu_cycles ==
+                           reference.result.stats.mcu_cycles);
+    FUZZ_CHECK(engine, obs.result.stats.max_stack_pointer ==
+                           reference.result.stats.max_stack_pointer);
+    FUZZ_CHECK(engine, obs.result.stats.peak_memory ==
+                           reference.result.stats.peak_memory);
+    FUZZ_CHECK(engine, obs.log_count == reference.log_count);
+    FUZZ_CHECK(engine, obs.contract_count == reference.contract_count);
+  }
 }
 
 }  // namespace

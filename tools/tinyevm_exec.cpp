@@ -4,11 +4,15 @@
 //   tinyevm-exec 6001600201              # PUSH1 1 PUSH1 2 ADD
 //   tinyevm-exec --profile ethereum --gas 100000 <hex>
 //   tinyevm-exec --calldata <hex> --sensor 7=22 <hex>
+//   tinyevm-exec --engine raw <hex>      # pick an execution engine
+//   tinyevm-exec --list-engines          # registry contents
 //   tinyevm-exec --disasm <hex>          # just disassemble
 //
 // Prints status, output, stack/memory statistics, and the modeled MCU time.
 #include <cstdio>
 #include <cstring>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -25,6 +29,8 @@ void usage() {
   std::printf(
       "usage: tinyevm-exec [options] <hex-bytecode>\n"
       "  --profile tiny|ethereum   VM profile (default: tiny)\n"
+      "  --engine <name>           execution engine (see --list-engines)\n"
+      "  --list-engines            print the engine registry and exit\n"
       "  --calldata <hex>          message data\n"
       "  --gas <n>                 gas limit (ethereum profile)\n"
       "  --sensor <id>=<value>     provision a sensor (repeatable)\n"
@@ -40,12 +46,26 @@ int main(int argc, char** argv) {
   bool disasm_only = false;
   channel::SensorBank sensors;
   std::string code_hex;
+  std::string engine;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
+    }
+    if (arg == "--list-engines") {
+      const auto& registry = evm::EngineRegistry::instance();
+      for (const std::string& name : registry.names()) {
+        const evm::ExecutionEngine* e = registry.find(name);
+        std::printf("%-12s %s\n", name.c_str(),
+                    e != nullptr ? std::string(e->description()).c_str() : "");
+      }
+      return 0;
+    }
+    if (arg == "--engine" && i + 1 < argc) {
+      engine = argv[++i];
+      continue;
     }
     if (arg == "--profile" && i + 1 < argc) {
       const std::string p = argv[++i];
@@ -121,14 +141,23 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  config.engine = engine;
   channel::DeviceHost host(sensors, config);
-  evm::Vm vm{config};
+  std::optional<evm::Vm> vm;
+  try {
+    vm.emplace(config);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
   evm::Message msg;
   msg.code = code;
   msg.data = calldata;
   msg.gas = gas;
-  const evm::ExecResult r = vm.execute(host, msg);
+  const evm::ExecResult r = vm->execute(host, msg);
 
+  std::printf("engine      : %s\n",
+              std::string(vm->engine_name()).c_str());
   std::printf("status      : %s\n",
               std::string(evm::to_string(r.status)).c_str());
   std::printf("output      : %s\n",
