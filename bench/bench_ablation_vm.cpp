@@ -14,6 +14,7 @@
 #include "evm/code_cache.hpp"
 #include "evm/decoded.hpp"
 #include "evm/vm.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -102,6 +103,19 @@ void BM_Loop_TinyEvm(benchmark::State& state, const char* engine) {
 BENCHMARK_CAPTURE(BM_Loop_TinyEvm, raw, "raw");
 BENCHMARK_CAPTURE(BM_Loop_TinyEvm, predecoded, "predecoded");
 BENCHMARK_CAPTURE(BM_Loop_TinyEvm, elided, "elided");
+
+// --- ablation: telemetry cost. The same loop on the same engine with the
+// metrics layer recording around every Vm::execute (the --metrics path);
+// the disabled-default baseline is BM_Loop_TinyEvm/elided above, so the
+// row pair quantifies what leaving metrics on costs per execution.
+void BM_Loop_TinyEvm_Obs(benchmark::State& state, const char* engine) {
+  evm::VmConfig config = evm::VmConfig::tiny();
+  config.engine = engine;
+  obs::set_metrics_enabled(true);
+  run_program(state, loop_program(10'000), config);
+  obs::set_metrics_enabled(false);
+}
+BENCHMARK_CAPTURE(BM_Loop_TinyEvm_Obs, elided, "elided");
 
 void BM_OpMix(benchmark::State& state, const char* engine) {
   evm::VmConfig config = evm::VmConfig::tiny();

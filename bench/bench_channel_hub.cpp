@@ -20,6 +20,7 @@
 #include "bench_json.hpp"
 #include "channel/manager.hpp"
 #include "evm/code_cache.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace {
@@ -56,6 +57,8 @@ struct RunResult {
   double closes_per_s = 0;
   std::uint32_t p50_us = 0;  // per-request payment service latency
   std::uint32_t p99_us = 0;
+  std::uint32_t q50_us = 0;  // per-request queue wait before dispatch
+  std::uint32_t q99_us = 0;
   double client_s = 0;       // endpoint-side sign/verify time (context)
   evm::CodeCache::Stats cache;
   std::uint64_t contention_max_shard = 0;
@@ -96,6 +99,8 @@ RunResult run_sweep_point(std::size_t sessions, std::size_t rounds,
 
   std::vector<std::uint32_t> service_us;
   service_us.reserve(sessions * rounds);
+  std::vector<std::uint32_t> queue_us;
+  queue_us.reserve(sessions * rounds);
   double payment_hub_s = 0;
   for (std::size_t r = 0; r < rounds; ++r) {
     client_start = Clock::now();
@@ -116,6 +121,7 @@ RunResult run_sweep_point(std::size_t sessions, std::size_t rounds,
     for (std::size_t i = 0; i < sessions; ++i) {
       if (!responses[i].ok() || !cars[i].apply(responses[i])) return result;
       service_us.push_back(responses[i].service_us);
+      queue_us.push_back(responses[i].queue_us);
     }
     result.client_s += seconds_since(client_start);
   }
@@ -124,6 +130,9 @@ RunResult run_sweep_point(std::size_t sessions, std::size_t rounds,
   std::sort(service_us.begin(), service_us.end());
   result.p50_us = percentile(service_us, 0.50);
   result.p99_us = percentile(service_us, 0.99);
+  std::sort(queue_us.begin(), queue_us.end());
+  result.q50_us = percentile(queue_us, 0.50);
+  result.q99_us = percentile(queue_us, 0.99);
 
   std::vector<HubRequest> closes;
   closes.reserve(sessions);
@@ -171,6 +180,7 @@ int main() {
 
   bool all_ok = true;
   double w1_rounds_per_s = 0;
+  double wmax_rounds_per_s = 0;
   for (const std::size_t workers : worker_sweep) {
     const RunResult r = run_sweep_point(sessions, rounds, workers);
     if (!r.ok) {
@@ -179,15 +189,17 @@ int main() {
       continue;
     }
     if (workers == 1) w1_rounds_per_s = r.rounds_per_s;
+    wmax_rounds_per_s = r.rounds_per_s;
     const double speedup =
         w1_rounds_per_s > 0 ? r.rounds_per_s / w1_rounds_per_s : 0;
     std::printf(
         "workers=%zu  rounds/s %7.1f (%.2fx w1)  p50 %6u us  p99 %6u us\n"
+        "           queue-wait p50 %6u us  p99 %6u us\n"
         "           opens/s %7.1f  closes/s %7.1f  client-side %.2f s\n"
         "           cache: %llu hits / %llu misses, %llu contended locks "
         "(max shard %llu) over %zu shards\n",
-        workers, r.rounds_per_s, speedup, r.p50_us, r.p99_us, r.opens_per_s,
-        r.closes_per_s, r.client_s,
+        workers, r.rounds_per_s, speedup, r.p50_us, r.p99_us, r.q50_us,
+        r.q99_us, r.opens_per_s, r.closes_per_s, r.client_s,
         static_cast<unsigned long long>(r.cache.hits),
         static_cast<unsigned long long>(r.cache.misses),
         static_cast<unsigned long long>(r.cache.lock_contentions),
@@ -199,6 +211,8 @@ int main() {
     json.metric(prefix + "speedup_vs_w1", speedup);
     json.metric(prefix + "round_p50_us", r.p50_us);
     json.metric(prefix + "round_p99_us", r.p99_us);
+    json.metric(prefix + "queue_p50_us", r.q50_us);
+    json.metric(prefix + "queue_p99_us", r.q99_us);
     json.metric(prefix + "opens_per_s", r.opens_per_s);
     json.metric(prefix + "closes_per_s", r.closes_per_s);
     json.metric(prefix + "client_side_s", r.client_s);
@@ -211,6 +225,29 @@ int main() {
                 static_cast<double>(r.contention_max_shard));
     json.metric(prefix + "cache_shards",
                 static_cast<double>(r.cache.shards));
+  }
+
+  // Telemetry cost at the hub level: the same sweep point with the full
+  // metrics layer recording (per-request counters, histograms, spans'
+  // metric side). The delta against the disabled default run above is the
+  // real-world cost of leaving --metrics on in production.
+  {
+    obs::set_metrics_enabled(true);
+    const RunResult r = run_sweep_point(sessions, rounds, worker_sweep.back());
+    obs::set_metrics_enabled(false);
+    if (r.ok && wmax_rounds_per_s > 0) {
+      const double overhead_pct =
+          (wmax_rounds_per_s - r.rounds_per_s) / wmax_rounds_per_s * 100.0;
+      std::printf(
+          "\nmetrics enabled (workers=%zu): rounds/s %7.1f "
+          "(overhead %+.2f%% vs disabled)\n",
+          worker_sweep.back(), r.rounds_per_s, overhead_pct);
+      json.metric("obs_enabled_rounds_per_s", r.rounds_per_s);
+      json.metric("obs_overhead_pct", overhead_pct);
+    } else if (!r.ok) {
+      std::printf("\nmetrics-enabled sweep point: RUN FAILED\n");
+      all_ok = false;
+    }
   }
 
   if (std::getenv("TINYEVM_BENCH_HUB_10K") != nullptr) {

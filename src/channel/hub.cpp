@@ -3,11 +3,80 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <type_traits>
+#include <unordered_map>
 
 #include "evm/code_cache.hpp"
+#include "obs/trace.hpp"
 
 namespace tinyevm::channel {
+
+/// Registry instruments for one hub name, interned once so the request
+/// path costs pointer dereferences, never the registry mutex. Hubs that
+/// share a name share series (counters accumulate across them).
+struct ChannelHub::Instruments {
+  static constexpr std::size_t kKinds = 3;     // HubResponseKind values
+  static constexpr std::size_t kStatuses = 7;  // HubStatus values
+  std::array<std::array<obs::Counter*, kStatuses>, kKinds> requests{};
+  std::array<obs::Histogram*, kKinds> service_us{};
+  obs::Histogram* queue_us = nullptr;
+
+  static const char* kind_name(std::size_t kind) {
+    switch (static_cast<HubResponseKind>(kind)) {
+      case HubResponseKind::Open: return "open";
+      case HubResponseKind::Payment: return "payment";
+      case HubResponseKind::Close: return "close";
+    }
+    return "?";
+  }
+  /// The span name for one request kind (static storage, as Tracer
+  /// requires).
+  static const char* span_name(std::size_t kind) {
+    switch (static_cast<HubResponseKind>(kind)) {
+      case HubResponseKind::Open: return "hub.open";
+      case HubResponseKind::Payment: return "hub.payment";
+      case HubResponseKind::Close: return "hub.close";
+    }
+    return "hub.request";
+  }
+
+  explicit Instruments(const std::string& hub) {
+    auto& registry = obs::Registry::instance();
+    for (std::size_t k = 0; k < kKinds; ++k) {
+      for (std::size_t s = 0; s < kStatuses; ++s) {
+        requests[k][s] = &registry.counter(
+            "tinyevm_hub_requests_total",
+            "Hub requests served, by request kind and response status",
+            {{"hub", hub},
+             {"kind", kind_name(k)},
+             {"status", std::string(to_string(static_cast<HubStatus>(s)))}});
+      }
+      service_us[k] = &registry.histogram(
+          "tinyevm_hub_service_us",
+          "Worker service time per request (dispatch start to response), "
+          "microseconds",
+          {{"hub", hub}, {"kind", kind_name(k)}});
+    }
+    queue_us = &registry.histogram(
+        "tinyevm_hub_queue_us",
+        "Wait before a worker started on a request (Vm lease / batch "
+        "position), microseconds",
+        {{"hub", hub}});
+  }
+
+  static Instruments& for_hub(const std::string& hub) {
+    static std::mutex mu;
+    static auto* table =
+        new std::unordered_map<std::string, std::unique_ptr<Instruments>>();
+    std::lock_guard lock(mu);
+    auto it = table->find(hub);
+    if (it == table->end()) {
+      it = table->emplace(hub, std::make_unique<Instruments>(hub)).first;
+    }
+    return *it->second;
+  }
+};
 
 // ---- DeviceHost ----
 
@@ -272,6 +341,43 @@ ChannelHub::ChannelHub(std::string name, const PrivateKey& key,
     vms_.push_back(std::make_unique<evm::Vm>(vm_config_, cache_));
     free_vms_.push_back(vms_.back().get());
   }
+  obs_ = &Instruments::for_hub(name_);
+  obs_collector_ = obs::Registry::instance().add_collector(
+      [this](obs::Collection& out) {
+        const Stats s = stats();
+        const obs::LabelSet hub{{"hub", name_}};
+        out.counter("tinyevm_hub_opens_total", "Sessions opened successfully",
+                    hub, static_cast<double>(s.opens));
+        out.counter("tinyevm_hub_payments_total", "Payment updates applied",
+                    hub, static_cast<double>(s.payments));
+        out.counter("tinyevm_hub_closes_total", "Sessions closed", hub,
+                    static_cast<double>(s.closes));
+        out.counter("tinyevm_hub_rejected_total",
+                    "Requests answered with a non-Ok status", hub,
+                    static_cast<double>(s.rejected));
+        out.counter("tinyevm_hub_signatures_total",
+                    "ECDSA signs across every session", hub,
+                    static_cast<double>(s.signatures));
+        out.counter("tinyevm_hub_verifications_total",
+                    "Signature recoveries across every session", hub,
+                    static_cast<double>(s.verifications));
+        out.counter("tinyevm_hub_vm_cycles_total",
+                    "Modeled MCU cycles across every session", hub,
+                    static_cast<double>(s.vm_cycles));
+        out.gauge("tinyevm_hub_sessions", "Session-table size (open + closed)",
+                  hub, static_cast<double>(s.sessions));
+        out.gauge("tinyevm_hub_open_sessions", "Sessions currently open", hub,
+                  static_cast<double>(s.open_sessions));
+        out.gauge("tinyevm_hub_workers", "Worker threads / leased Vm set",
+                  hub, static_cast<double>(worker_count()));
+        std::size_t free_vms = 0;
+        {
+          std::lock_guard lock(vm_mu_);
+          free_vms = free_vms_.size();
+        }
+        out.gauge("tinyevm_hub_free_vms", "Vms not currently leased", hub,
+                  static_cast<double>(free_vms));
+      });
 }
 
 void ChannelHub::set_sensor_default(std::uint32_t device, const U256& value) {
@@ -410,7 +516,10 @@ HubResponse ChannelHub::serve(const CloseRequest& request, evm::Vm& vm) {
   return response;
 }
 
-HubResponse ChannelHub::dispatch(const HubRequest& request, evm::Vm* vm) {
+HubResponse ChannelHub::dispatch(const HubRequest& request, evm::Vm* vm,
+                                 std::uint32_t queue_us) {
+  const std::size_t kind = request.index();  // variant order == kind order
+  obs::Span span(Instruments::span_name(kind), "hub");
   const auto start = std::chrono::steady_clock::now();
   HubResponse response = std::visit(
       [&](const auto& r) {
@@ -422,10 +531,16 @@ HubResponse ChannelHub::dispatch(const HubRequest& request, evm::Vm* vm) {
         }
       },
       request);
+  response.queue_us = queue_us;
   response.service_us = static_cast<std::uint32_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
+  if (obs::metrics_enabled()) {
+    obs_->requests[kind][static_cast<std::size_t>(response.status)]->inc();
+    obs_->service_us[kind]->record(response.service_us);
+    obs_->queue_us->record(queue_us);
+  }
   return response;
 }
 
@@ -435,9 +550,23 @@ HubResponse ChannelHub::handle(const HubRequest& request) {
     // behind the bounded interpreter set the request never touches.
     return dispatch(request, nullptr);
   }
+  // Time the lease wait — with every Vm out, this is where a request
+  // queues. Measured unconditionally (like service_us: it is part of the
+  // response's bench telemetry); the trace event alone is gated.
+  const std::uint64_t trace_start =
+      obs::trace_enabled() ? obs::detail::trace_now_ns() : 0;
+  const auto wait_start = std::chrono::steady_clock::now();
   evm::Vm& vm = acquire_vm();
+  const auto queue_us = static_cast<std::uint32_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wait_start)
+          .count());
+  if (obs::trace_enabled()) {
+    obs::Tracer::instance().emit("hub.queue_wait", "hub", trace_start,
+                                 obs::detail::trace_now_ns());
+  }
   VmLease lease{*this, vm};
-  return dispatch(request, &lease.vm());
+  return dispatch(request, &lease.vm(), queue_us);
 }
 
 HubResponse ChannelHub::handle(const OpenRequest& request) {
@@ -471,6 +600,10 @@ std::vector<HubResponse> ChannelHub::handle_batch(
   std::atomic<std::size_t> cursor{0};
   const std::size_t workers =
       std::min(pool_.thread_count(), groups.size());
+  // Queue wait for a batched request: batch submission to the moment a
+  // worker starts dispatching it (time spent behind earlier groups and
+  // other sessions' work).
+  const auto batch_start = std::chrono::steady_clock::now();
   runtime::run_tasks(pool_, workers, [&](std::size_t) {
     evm::Vm& vm = acquire_vm();
     VmLease lease{*this, vm};
@@ -478,7 +611,11 @@ std::vector<HubResponse> ChannelHub::handle_batch(
       const std::size_t g = cursor.fetch_add(1, std::memory_order_relaxed);
       if (g >= groups.size()) return;
       for (const std::size_t i : groups[g]) {
-        responses[i] = dispatch(requests[i], &lease.vm());
+        const auto queue_us = static_cast<std::uint32_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - batch_start)
+                .count());
+        responses[i] = dispatch(requests[i], &lease.vm(), queue_us);
       }
     }
   });

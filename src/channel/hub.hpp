@@ -42,6 +42,7 @@
 #include "channel/template_bytecode.hpp"
 #include "evm/host.hpp"
 #include "evm/vm.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace tinyevm::channel {
@@ -256,8 +257,14 @@ struct HubResponse {
   /// PaymentUpdate: the fully-signed state (both signatures).
   /// CloseRequest: the hub's final state (hub signature only).
   std::optional<SignedState> state;
-  /// Worker service time for this request, microseconds (bench telemetry;
-  /// not part of the deterministic payload).
+  /// Time spent waiting before a worker started on the request — blocking
+  /// on a Vm lease (`handle`) or sitting in the batch behind earlier
+  /// groups (`handle_batch`) — microseconds (bench telemetry; not part of
+  /// the deterministic payload).
+  std::uint32_t queue_us = 0;
+  /// Worker service time for this request — dispatch start to response,
+  /// excluding queue_us — microseconds (bench telemetry; not part of the
+  /// deterministic payload).
   std::uint32_t service_us = 0;
 
   [[nodiscard]] bool ok() const { return status == HubStatus::Ok; }
@@ -372,8 +379,11 @@ class ChannelHub {
   static const U256& channel_of(const HubRequest& request);
 
   /// `vm` may be null only when the request is a PaymentUpdate, which
-  /// never touches an interpreter.
-  HubResponse dispatch(const HubRequest& request, evm::Vm* vm);
+  /// never touches an interpreter. `queue_us` is the wait the caller
+  /// already measured (Vm lease / batch position); dispatch stamps it into
+  /// the response and the queue-wait histogram.
+  HubResponse dispatch(const HubRequest& request, evm::Vm* vm,
+                       std::uint32_t queue_us = 0);
   HubResponse serve(const OpenRequest& request, evm::Vm& vm);
   HubResponse serve(const PaymentUpdate& request);
   HubResponse serve(const CloseRequest& request, evm::Vm& vm);
@@ -400,9 +410,21 @@ class ChannelHub {
   std::atomic<std::uint64_t> closes_{0};
   std::atomic<std::uint64_t> rejected_{0};
 
-  /// Declared last: destroyed first, so the pool drains and joins its
-  /// workers before the Vms and sessions they touch go away.
+  /// Registry instruments shared by every hub with this name (hub.cpp;
+  /// interned once in the ctor so the request path never takes the
+  /// registry mutex).
+  struct Instruments;
+  Instruments* obs_ = nullptr;
+
+  /// Declared after the counters: destroyed first among the state above,
+  /// so the pool drains and joins its workers before the Vms and sessions
+  /// they touch go away.
   runtime::ThreadPool pool_;
+
+  /// Scrape-time registration republishing stats() under {hub=<name>}.
+  /// Declared last: destroyed before everything the collector reads, and
+  /// the handle's destructor synchronizes with any in-flight scrape.
+  obs::CollectorHandle obs_collector_;
 };
 
 }  // namespace tinyevm::channel

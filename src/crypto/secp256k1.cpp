@@ -1,10 +1,44 @@
 #include "crypto/secp256k1.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace tinyevm::secp256k1 {
 namespace {
+
+/// RAII latency sample for one ECDSA primitive: records elapsed µs into
+/// `tinyevm_crypto_<op>_us` on scope exit. The registry intern (mutex +
+/// string build) only happens when metrics are enabled, and at ~3 ms per
+/// scalar multiplication it is noise even then.
+class CryptoSample {
+ public:
+  CryptoSample(const char* op, const char* help) noexcept {
+    if (!obs::metrics_enabled()) return;
+    op_ = op;
+    help_ = help;
+    start_ = std::chrono::steady_clock::now();
+  }
+  CryptoSample(const CryptoSample&) = delete;
+  CryptoSample& operator=(const CryptoSample&) = delete;
+  ~CryptoSample() {
+    if (op_ == nullptr || !obs::metrics_enabled()) return;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    obs::Registry::instance()
+        .histogram(std::string("tinyevm_crypto_") + op_ + "_us", help_)
+        .record(static_cast<std::uint64_t>(us));
+  }
+
+ private:
+  const char* op_ = nullptr;
+  const char* help_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
 
 // p = 2^256 - 2^32 - 977
 const U256 kP = U256{0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL,
@@ -351,6 +385,8 @@ U256 rfc6979_nonce(const U256& key, const Hash256& digest) {
 }
 
 Signature sign(const Hash256& digest, const PrivateKey& key) {
+  obs::Span span("crypto.sign", "crypto");
+  CryptoSample sample("sign", "ECDSA sign latency in microseconds");
   const U256 z = U256::from_bytes(digest) % kN;
   U256 k = rfc6979_nonce(key.scalar(), digest);
   for (;;) {
@@ -378,6 +414,8 @@ Signature sign(const Hash256& digest, const PrivateKey& key) {
 
 bool verify(const Hash256& digest, const Signature& sig,
             const PublicKey& pub) {
+  obs::Span span("crypto.verify", "crypto");
+  CryptoSample sample("verify", "ECDSA verify latency in microseconds");
   if (sig.r.is_zero() || sig.r >= kN || sig.s.is_zero() || sig.s >= kN) {
     return false;
   }
@@ -392,6 +430,8 @@ bool verify(const Hash256& digest, const Signature& sig,
 }
 
 std::optional<PublicKey> recover(const Hash256& digest, const Signature& sig) {
+  obs::Span span("crypto.recover", "crypto");
+  CryptoSample sample("recover", "ECDSA recover latency in microseconds");
   if (sig.r.is_zero() || sig.r >= kN || sig.s.is_zero() || sig.s >= kN) {
     return std::nullopt;
   }

@@ -1,5 +1,8 @@
 #include "device/offchain_round.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tinyevm::device {
 namespace {
 
@@ -25,6 +28,7 @@ void OffchainRound::account_vm(Mote& mote,
 RoundResult OffchainRound::run(const U256& channel_id, const U256& rate,
                                std::uint32_t sensor_device,
                                unsigned payments) {
+  obs::Span span("round.run", "device");
   RoundResult result;
   result.engine = std::string(car_.engine_name());
   TschLink link(car_mote_, lot_mote_);
@@ -120,6 +124,30 @@ RoundResult OffchainRound::run(const U256& channel_id, const U256& rate,
   if (last_state) {
     result.paid_total = last_state->state.paid_total;
     result.sequence = last_state->state.sequence;
+  }
+  if (obs::metrics_enabled()) {
+    // Rounds are seconds of modeled device time; the registry mutex on
+    // this cold path is noise.
+    auto& registry = obs::Registry::instance();
+    const obs::LabelSet labels{
+        {"engine", result.engine},
+        {"result", result.ok ? "ok" : "failed"}};
+    registry
+        .counter("tinyevm_round_total",
+                 "Off-chain payment rounds simulated, by payer engine",
+                 labels)
+        .inc();
+    registry
+        .histogram("tinyevm_round_payment_latency_us",
+                   "Modeled payer-side payment latency per round (the "
+                   "paper's 584 ms headline), microseconds",
+                   {{"engine", result.engine}})
+        .record(result.timing.payment_latency_us);
+    registry
+        .histogram("tinyevm_round_total_us",
+                   "Modeled wall time of one complete round, microseconds",
+                   {{"engine", result.engine}})
+        .record(result.timing.total_us);
   }
   return result;
 }

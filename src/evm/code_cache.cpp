@@ -1,7 +1,9 @@
 #include "evm/code_cache.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <string>
 
 namespace tinyevm::evm {
 
@@ -17,7 +19,50 @@ CodeCache::CodeCache() : CodeCache(Config{}) {}
 CodeCache::CodeCache(Config config)
     : config_(clamp(config)),
       shard_capacity_bytes_(config_.capacity_bytes / config_.shards),
-      shards_(config_.shards) {}
+      shards_(config_.shards) {
+  // Distinguish concurrent caches by construction order (the process
+  // default is usually "c0"); stable for a fixed construction sequence.
+  static std::atomic<std::uint64_t> next_cache_id{0};
+  const std::string label =
+      "c" + std::to_string(next_cache_id.fetch_add(1, std::memory_order_relaxed));
+  collector_ = obs::Registry::instance().add_collector(
+      [this, label](obs::Collection& out) {
+        const Stats s = stats();
+        const obs::LabelSet cache_label{{"cache", label}};
+        out.counter("tinyevm_cache_lookups_total",
+                    "Non-empty get_or_translate calls", cache_label,
+                    static_cast<double>(s.lookups));
+        out.counter("tinyevm_cache_hits_total", "Translation cache hits",
+                    cache_label, static_cast<double>(s.hits));
+        out.counter("tinyevm_cache_misses_total",
+                    "Lookups that had to translate", cache_label,
+                    static_cast<double>(s.misses));
+        out.counter("tinyevm_cache_evictions_total",
+                    "Entries dropped by the byte cap", cache_label,
+                    static_cast<double>(s.evictions));
+        out.counter("tinyevm_cache_oversized_total",
+                    "Lookups declined by max_code_bytes", cache_label,
+                    static_cast<double>(s.oversized));
+        out.counter("tinyevm_cache_dup_translations_total",
+                    "Racing translations discarded (wasted work)",
+                    cache_label, static_cast<double>(s.dup_translations));
+        out.gauge("tinyevm_cache_bytes", "Resident decoded-program bytes",
+                  cache_label, static_cast<double>(s.bytes));
+        out.gauge("tinyevm_cache_entries", "Resident translations",
+                  cache_label, static_cast<double>(s.entries));
+        out.gauge("tinyevm_cache_elide_spans",
+                  "Check-elision spans across resident translations",
+                  cache_label, static_cast<double>(s.elide_spans));
+        for (std::size_t i = 0; i < shard_count(); ++i) {
+          out.counter(
+              "tinyevm_cache_lock_contentions_total",
+              "Contended shard-mutex acquisitions, per lock stripe",
+              {{"cache", label}, {"shard", std::to_string(i)}},
+              static_cast<double>(
+                  shards_[i].lock_contentions.load(std::memory_order_relaxed)));
+        }
+      });
+}
 
 std::size_t CodeCache::KeyHasher::operator()(const Key& k) const {
   // keccak output is uniformly distributed; the first 8 bytes are already

@@ -23,6 +23,7 @@
 
 #include "crypto/hash.hpp"
 #include "evm/decoded.hpp"
+#include "obs/metrics.hpp"
 
 namespace tinyevm::evm {
 
@@ -159,6 +160,11 @@ class CodeCache {
   Config config_;
   std::size_t shard_capacity_bytes_;
   std::vector<Shard> shards_;
+  /// Scrape-time registration publishing stats() (plus per-shard
+  /// lock_contentions) under a per-instance `cache` label. Declared last:
+  /// the handle's destructor is the barrier that keeps a concurrent
+  /// scrape from reading a cache mid-teardown.
+  obs::CollectorHandle collector_;
 };
 
 }  // namespace tinyevm::evm

@@ -1,0 +1,203 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace tinyevm::obs {
+
+namespace {
+
+const char* type_name(MetricType type) {
+  switch (type) {
+    case MetricType::Counter: return "counter";
+    case MetricType::Gauge: return "gauge";
+    case MetricType::Histogram: return "histogram";
+  }
+  return "untyped";
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders `{a="x",b="y"}` — with `extra` (used for `le`) appended last —
+/// or an empty string when there are no labels at all.
+std::string label_block(const LabelSet& labels, const std::string& extra_key,
+                        const std::string& extra_value) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += escape_label(value);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  // Integral values (the common case: counters, bucket counts) print
+  // without an exponent or trailing zeros.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buffer, sizeof buffer, "%.0f", v);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.9g", v);
+  }
+  return buffer;
+}
+
+/// JSON string escaping (control chars, quote, backslash).
+std::string escape_json(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus_text(const std::vector<MetricFamily>& families) {
+  std::string out;
+  char buffer[64];
+  for (const MetricFamily& family : families) {
+    out += "# HELP " + family.name + ' ' + family.help + '\n';
+    out += "# TYPE " + family.name + ' ' + type_name(family.type) + '\n';
+    for (const Sample& sample : family.samples) {
+      if (family.type != MetricType::Histogram) {
+        out += family.name + label_block(sample.labels, {}, {}) + ' ' +
+               format_value(sample.value) + '\n';
+        continue;
+      }
+      // Histogram: cumulative buckets, then sum and count.
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+        cumulative += sample.histogram.buckets[b];
+        std::string le;
+        if (b + 1 < Histogram::kBuckets) {
+          std::snprintf(buffer, sizeof buffer, "%" PRIu64,
+                        Histogram::upper_bound(b));
+          le = buffer;
+        } else {
+          le = "+Inf";
+        }
+        std::snprintf(buffer, sizeof buffer, "%" PRIu64, cumulative);
+        out += family.name + "_bucket" +
+               label_block(sample.labels, "le", le) + ' ' + buffer + '\n';
+      }
+      std::snprintf(buffer, sizeof buffer, "%" PRIu64, sample.histogram.sum);
+      out += family.name + "_sum" + label_block(sample.labels, {}, {}) + ' ' +
+             buffer + '\n';
+      std::snprintf(buffer, sizeof buffer, "%" PRIu64, sample.histogram.count);
+      out += family.name + "_count" + label_block(sample.labels, {}, {}) +
+             ' ' + buffer + '\n';
+    }
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<MetricFamily>& families) {
+  std::string out = "{\"metrics\":[";
+  char buffer[64];
+  bool first_family = true;
+  for (const MetricFamily& family : families) {
+    if (!first_family) out += ',';
+    first_family = false;
+    out += "{\"name\":\"" + escape_json(family.name) + "\",\"type\":\"" +
+           type_name(family.type) + "\",\"help\":\"" +
+           escape_json(family.help) + "\",\"samples\":[";
+    bool first_sample = true;
+    for (const Sample& sample : family.samples) {
+      if (!first_sample) out += ',';
+      first_sample = false;
+      out += "{\"labels\":{";
+      bool first_label = true;
+      for (const auto& [key, value] : sample.labels) {
+        if (!first_label) out += ',';
+        first_label = false;
+        out += '"' + escape_json(key) + "\":\"" + escape_json(value) + '"';
+      }
+      out += '}';
+      if (family.type != MetricType::Histogram) {
+        out += ",\"value\":" +
+               (std::isfinite(sample.value) ? format_value(sample.value)
+                                            : std::string("null"));
+      } else {
+        out += ",\"buckets\":[";
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+          if (b != 0) out += ',';
+          if (b + 1 < Histogram::kBuckets) {
+            std::snprintf(buffer, sizeof buffer,
+                          "{\"le\":%" PRIu64 ",\"n\":%" PRIu64 "}",
+                          Histogram::upper_bound(b),
+                          sample.histogram.buckets[b]);
+          } else {  // the +Inf bucket has no finite bound
+            std::snprintf(buffer, sizeof buffer,
+                          "{\"le\":null,\"n\":%" PRIu64 "}",
+                          sample.histogram.buckets[b]);
+          }
+          out += buffer;
+        }
+        std::snprintf(buffer, sizeof buffer,
+                      "],\"sum\":%" PRIu64 ",\"count\":%" PRIu64,
+                      sample.histogram.sum, sample.histogram.count);
+        out += buffer;
+      }
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string prometheus_scrape() {
+  return to_prometheus_text(Registry::instance().collect());
+}
+
+std::string json_scrape() {
+  return to_json(Registry::instance().collect());
+}
+
+}  // namespace tinyevm::obs

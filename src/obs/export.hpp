@@ -1,0 +1,28 @@
+// Exporters over Registry::collect(): Prometheus text exposition
+// (scrapeable as-is by a Prometheus server or promtool) and a structured
+// JSON dump (for tooling that wants the whole scrape as one document).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace tinyevm::obs {
+
+/// Prometheus text exposition format 0.0.4: `# HELP` / `# TYPE` headers
+/// per family, histogram families expanded into cumulative `_bucket`
+/// series plus `_sum` / `_count`.
+[[nodiscard]] std::string to_prometheus_text(
+    const std::vector<MetricFamily>& families);
+
+/// Structured JSON: {"metrics":[{"name","type","help","samples":[...]}]}.
+/// Histogram samples carry non-cumulative per-bucket counts with their
+/// upper bounds, plus sum/count.
+[[nodiscard]] std::string to_json(const std::vector<MetricFamily>& families);
+
+/// Convenience: scrape the process-wide registry.
+[[nodiscard]] std::string prometheus_scrape();
+[[nodiscard]] std::string json_scrape();
+
+}  // namespace tinyevm::obs

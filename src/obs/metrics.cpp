@@ -1,0 +1,221 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace tinyevm::obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+std::size_t this_thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace detail
+
+void set_metrics_enabled(bool enabled) noexcept {
+  detail::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot s;
+  for (const auto& shard : shards_) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      s.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    s.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (const std::uint64_t c : s.buckets) s.count += c;
+  return s;
+}
+
+std::uint64_t Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based), then walk buckets cumulatively.
+  const auto rank = static_cast<std::uint64_t>(
+                        q * static_cast<double>(count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      return upper_bound(b < kBuckets - 1 ? b : kBuckets - 2);
+    }
+  }
+  return upper_bound(kBuckets - 2);
+}
+
+void Collection::gauge(const std::string& name, const std::string& help,
+                       LabelSet labels, double value) {
+  add(name, help, MetricType::Gauge, std::move(labels), value);
+}
+
+void Collection::counter(const std::string& name, const std::string& help,
+                         LabelSet labels, double value) {
+  add(name, help, MetricType::Counter, std::move(labels), value);
+}
+
+void Collection::add(const std::string& name, const std::string& help,
+                     MetricType type, LabelSet labels, double value) {
+  std::sort(labels.begin(), labels.end());
+  for (MetricFamily& family : *families_) {
+    if (family.name != name) continue;
+    // First registration fixes the type; a mismatched collector sample
+    // would corrupt the exposition, so it is dropped.
+    if (family.type != type) return;
+    family.samples.push_back(Sample{std::move(labels), value, {}});
+    return;
+  }
+  MetricFamily family;
+  family.name = name;
+  family.help = help;
+  family.type = type;
+  family.samples.push_back(Sample{std::move(labels), value, {}});
+  families_->push_back(std::move(family));
+}
+
+CollectorHandle::CollectorHandle(CollectorHandle&& other) noexcept
+    : id_(other.id_) {
+  other.id_ = 0;
+}
+
+CollectorHandle& CollectorHandle::operator=(CollectorHandle&& other) noexcept {
+  if (this != &other) {
+    reset();
+    id_ = other.id_;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void CollectorHandle::reset() noexcept {
+  if (id_ != 0) {
+    Registry::instance().remove_collector(id_);
+    id_ = 0;
+  }
+}
+
+Registry& Registry::instance() {
+  static Registry* registry = new Registry();  // never destroyed: handles
+  return *registry;                            // outlive static teardown
+}
+
+Registry::Instrument& Registry::intern(const std::string& name,
+                                       const std::string& help,
+                                       MetricType type, LabelSet&& labels) {
+  std::sort(labels.begin(), labels.end());
+  std::lock_guard lock(mu_);
+  Family* family = nullptr;
+  for (Family& f : families_) {
+    if (f.name == name) {
+      family = &f;
+      break;
+    }
+  }
+  if (family == nullptr) {
+    families_.push_back(Family{name, help, type, {}});
+    family = &families_.back();
+  }
+  for (Instrument& inst : family->instruments) {
+    if (inst.labels == labels) return inst;
+  }
+  Instrument inst;
+  inst.labels = std::move(labels);
+  switch (type) {
+    case MetricType::Counter:
+      inst.counter = std::unique_ptr<Counter>(new Counter());
+      break;
+    case MetricType::Gauge:
+      inst.gauge = std::unique_ptr<Gauge>(new Gauge());
+      break;
+    case MetricType::Histogram:
+      inst.histogram = std::unique_ptr<Histogram>(new Histogram());
+      break;
+  }
+  family->instruments.push_back(std::move(inst));
+  return family->instruments.back();
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           LabelSet labels) {
+  return *intern(name, help, MetricType::Counter, std::move(labels)).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       LabelSet labels) {
+  return *intern(name, help, MetricType::Gauge, std::move(labels)).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help, LabelSet labels) {
+  return *intern(name, help, MetricType::Histogram, std::move(labels))
+              .histogram;
+}
+
+CollectorHandle Registry::add_collector(CollectorFn fn) {
+  std::lock_guard lock(collectors_mu_);
+  const std::uint64_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(fn));
+  return CollectorHandle{id};
+}
+
+void Registry::remove_collector(std::uint64_t id) noexcept {
+  // Taking collectors_mu_ here is what makes ~CollectorHandle a barrier:
+  // once it returns, no scrape is inside (or will enter) the callback.
+  std::lock_guard lock(collectors_mu_);
+  std::erase_if(collectors_,
+                [id](const auto& entry) { return entry.first == id; });
+}
+
+std::vector<MetricFamily> Registry::collect() const {
+  std::vector<MetricFamily> out;
+  {
+    std::lock_guard lock(mu_);
+    out.reserve(families_.size());
+    for (const Family& family : families_) {
+      MetricFamily mf;
+      mf.name = family.name;
+      mf.help = family.help;
+      mf.type = family.type;
+      mf.samples.reserve(family.instruments.size());
+      for (const Instrument& inst : family.instruments) {
+        Sample s;
+        s.labels = inst.labels;
+        switch (family.type) {
+          case MetricType::Counter:
+            s.value = static_cast<double>(inst.counter->value());
+            break;
+          case MetricType::Gauge:
+            s.value = static_cast<double>(inst.gauge->value());
+            break;
+          case MetricType::Histogram:
+            s.histogram = inst.histogram->snapshot();
+            break;
+        }
+        mf.samples.push_back(std::move(s));
+      }
+      out.push_back(std::move(mf));
+    }
+  }
+  // Collectors run outside mu_ (they may not create instruments, but they
+  // do take subsystem locks — keep the two lock worlds disjoint).
+  Collection collection;
+  collection.families_ = &out;
+  std::lock_guard lock(collectors_mu_);
+  for (const auto& [id, fn] : collectors_) fn(collection);
+  return out;
+}
+
+}  // namespace tinyevm::obs

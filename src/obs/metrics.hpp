@@ -1,0 +1,285 @@
+// Process-wide metrics registry (ROADMAP observability layer).
+//
+// Every later perf/robustness PR reports through this subsystem, so the
+// hot-path contract is strict: when telemetry is disabled (the default) an
+// instrumented call site costs one relaxed atomic load and a predicted
+// branch; when the tree is configured with -DTINYEVM_OBS=OFF the
+// instrumentation compiles out entirely. When enabled, an increment is a
+// single relaxed atomic add on a cache-line-padded shard chosen per
+// thread, so concurrent writers on distinct threads almost never touch
+// the same line — aggregation across shards happens lazily, at scrape
+// time.
+//
+// Three instrument kinds, mirroring the Prometheus data model:
+//   * Counter   — monotone uint64 (requests served, signatures made).
+//   * Gauge     — settable int64 (queue depth, open sessions).
+//   * Histogram — fixed log2-bucket distribution of uint64 samples
+//                 (latencies in µs); bucket upper bounds are 1, 2, 4, …,
+//                 2^30, +Inf, so recording is a bit-width computation and
+//                 one shard add, never a search.
+//
+// Instruments are interned by (name, labels): the first registration
+// creates, later ones return the same object, and references stay valid
+// for the process lifetime. Subsystems with pre-existing stats surfaces
+// (CodeCache, ThreadPool, ChannelHub) publish them through scrape-time
+// collectors instead of mirroring every update into a second counter.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tinyevm::obs {
+
+namespace detail {
+/// Runtime switch behind metrics_enabled(). Off by default: an
+/// uninstrumented process stays uninstrumented until a tool/bench opts in.
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// True when instrumentation should record. Call sites guard *all*
+/// telemetry work (including clock reads) behind this, so the disabled
+/// path is one relaxed load; with -DTINYEVM_OBS=OFF it constant-folds to
+/// false and the guarded code is dead-stripped.
+inline bool metrics_enabled() noexcept {
+#ifdef TINYEVM_OBS_DISABLED
+  return false;
+#else
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+void set_metrics_enabled(bool enabled) noexcept;
+
+/// Sorted key/value label pairs identifying one time series within a
+/// metric family, e.g. {{"engine","elided"},{"status","success"}}.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+
+inline constexpr std::size_t kShards = 16;
+
+/// One writer stripe, padded to its own cache line so concurrent threads
+/// incrementing different shards never false-share.
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// The shard a calling thread writes to: threads are handed stripe
+/// indices round-robin on first use, so up to kShards writers proceed
+/// without sharing a line (beyond that, stripes are shared but still
+/// just a relaxed fetch_add).
+std::size_t this_thread_shard() noexcept;
+
+}  // namespace detail
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    if (!metrics_enabled()) return;
+    shards_[detail::this_thread_shard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  /// Lazy aggregate over the shards (scrape-time, tests).
+  [[nodiscard]] std::uint64_t value() const noexcept;
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  std::array<detail::CounterShard, detail::kShards> shards_;
+};
+
+/// Last-written value; set/add are full writes, not per-thread stripes
+/// (gauges are low-frequency: queue depths, table sizes).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    if (!metrics_enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    if (!metrics_enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed log2-bucket histogram over uint64 samples. Bucket i counts
+/// samples <= 2^i for i in [0, kBuckets-2]; the last bucket is +Inf.
+/// 0 lands in bucket 0 (le=1). Designed for microsecond latencies:
+/// 2^30 µs ≈ 18 minutes headroom before +Inf.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  /// Smallest i with v <= 2^i, clamped to the +Inf bucket.
+  [[nodiscard]] static constexpr std::size_t bucket_of(
+      std::uint64_t v) noexcept {
+    if (v <= 1) return 0;
+    const std::size_t b = static_cast<std::size_t>(std::bit_width(v - 1));
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+  /// Upper bound of bucket i (the Prometheus `le` value); the last bucket
+  /// has no finite bound.
+  [[nodiscard]] static constexpr std::uint64_t upper_bound(
+      std::size_t bucket) noexcept {
+    return std::uint64_t{1} << bucket;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    if (!metrics_enabled()) return;
+    auto& shard = shards_[detail::this_thread_shard()];
+    shard.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Scrape-time aggregate: per-bucket counts (NOT cumulative), total
+  /// sample count, and the sum of recorded values.
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    /// Value at quantile q in [0,1], resolved to its bucket upper bound
+    /// (the +Inf bucket reports the last finite bound).
+    [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+  };
+  [[nodiscard]] Snapshot snapshot() const noexcept;
+
+ private:
+  friend class Registry;
+  Histogram() = default;
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<Shard, detail::kShards> shards_;
+};
+
+enum class MetricType : std::uint8_t { Counter, Gauge, Histogram };
+
+/// One exported sample, produced at scrape time — either from a
+/// registered instrument or from a collector callback.
+struct Sample {
+  LabelSet labels;
+  double value = 0;                       ///< counter / gauge
+  Histogram::Snapshot histogram;          ///< histogram only
+};
+
+/// All samples of one metric name, as exporters consume them.
+struct MetricFamily {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::Counter;
+  std::vector<Sample> samples;
+};
+
+/// Passed to collector callbacks: append whole-process state (cache
+/// occupancy, pool queue depth, session counts) as samples without
+/// maintaining live instruments for them.
+class Collection {
+ public:
+  void gauge(const std::string& name, const std::string& help,
+             LabelSet labels, double value);
+  /// Cumulative values a subsystem already counts itself (cache hits,
+  /// endpoint signatures) — exported with counter semantics.
+  void counter(const std::string& name, const std::string& help,
+               LabelSet labels, double value);
+
+ private:
+  friend class Registry;
+  void add(const std::string& name, const std::string& help, MetricType type,
+           LabelSet labels, double value);
+  std::vector<MetricFamily>* families_ = nullptr;
+};
+
+using CollectorFn = std::function<void(Collection&)>;
+
+/// RAII registration of a scrape-time collector; destruction unregisters
+/// and synchronizes with any in-flight scrape, so a collector capturing
+/// `this` is safe to hold as the last member of the object it reads.
+class CollectorHandle {
+ public:
+  CollectorHandle() = default;
+  CollectorHandle(CollectorHandle&& other) noexcept;
+  CollectorHandle& operator=(CollectorHandle&& other) noexcept;
+  CollectorHandle(const CollectorHandle&) = delete;
+  CollectorHandle& operator=(const CollectorHandle&) = delete;
+  ~CollectorHandle() { reset(); }
+  void reset() noexcept;
+
+ private:
+  friend class Registry;
+  explicit CollectorHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;  // 0 = empty
+};
+
+/// The process-wide instrument table. Lookup interns by (name, labels)
+/// under a mutex — cold; hot paths hold the returned reference.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name, const std::string& help,
+                   LabelSet labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               LabelSet labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       LabelSet labels = {});
+
+  CollectorHandle add_collector(CollectorFn fn);
+
+  /// Aggregates every instrument's shards and runs every collector.
+  /// Families are ordered by first registration; samples by first
+  /// registration within the family.
+  [[nodiscard]] std::vector<MetricFamily> collect() const;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  friend class CollectorHandle;
+  Registry() = default;
+
+  struct Instrument {
+    LabelSet labels;
+    // Exactly one is set, matching the family type.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricType type;
+    std::vector<Instrument> instruments;
+  };
+
+  Instrument& intern(const std::string& name, const std::string& help,
+                     MetricType type, LabelSet&& labels);
+  void remove_collector(std::uint64_t id) noexcept;
+
+  mutable std::mutex mu_;
+  std::vector<Family> families_;
+
+  mutable std::mutex collectors_mu_;  // held while collectors run
+  std::vector<std::pair<std::uint64_t, CollectorFn>> collectors_;
+  std::uint64_t next_collector_id_ = 1;
+};
+
+}  // namespace tinyevm::obs

@@ -1,0 +1,152 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cinttypes>
+
+namespace tinyevm::obs {
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+
+std::uint64_t trace_now_ns() noexcept {
+  // One process-wide epoch so every thread's timestamps share an origin;
+  // Chrome's `ts` field is relative anyway, small numbers read better.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+}  // namespace detail
+
+namespace {
+/// Ring-overwrite drop count, kept outside the rings so it survives
+/// re-registration.
+std::atomic<std::uint64_t> g_dropped{0};
+}  // namespace
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();  // never destroyed: thread rings
+  return *tracer;                        // outlive static teardown
+}
+
+void Tracer::enable(std::size_t ring_capacity) {
+  {
+    std::lock_guard lock(mu_);
+    rings_.clear();
+    ring_capacity_ = ring_capacity == 0 ? 1 : ring_capacity;
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+    next_tid_ = 0;
+    g_dropped.store(0, std::memory_order_relaxed);
+  }
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+Tracer::ThreadRing* Tracer::ring_for_this_thread() {
+  // The cached pointer is invalidated whenever enable() bumps the epoch;
+  // shared_ptr keeps the stale ring alive until this thread notices, so
+  // the cache never dangles even across an enable() on another thread.
+  struct Tls {
+    std::shared_ptr<ThreadRing> ring;
+    std::uint64_t epoch = 0;
+  };
+  thread_local Tls tls;
+
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (tls.ring && tls.epoch == epoch) return tls.ring.get();
+
+  std::lock_guard lock(mu_);
+  auto ring = std::make_shared<ThreadRing>();
+  ring->tid = next_tid_++;
+  ring->slots.resize(ring_capacity_);
+  rings_.push_back(ring);
+  tls.ring = std::move(ring);
+  tls.epoch = epoch_.load(std::memory_order_relaxed);
+  return tls.ring.get();
+}
+
+void Tracer::emit_event(const TraceEvent& event) {
+  if (!trace_enabled()) return;
+  ThreadRing* ring = ring_for_this_thread();
+  // Per-ring mutex: only a dump ever competes with the owning thread, so
+  // this acquisition is uncontended on the hot path (no cross-thread
+  // sharing between emitters).
+  std::lock_guard lock(ring->mu);
+  if (ring->next >= ring->slots.size()) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring->slots[ring->next % ring->slots.size()] = event;
+  ++ring->next;
+}
+
+std::vector<std::shared_ptr<Tracer::ThreadRing>> Tracer::snapshot_rings()
+    const {
+  std::lock_guard lock(mu_);
+  return rings_;
+}
+
+std::size_t Tracer::event_count() const {
+  std::size_t n = 0;
+  for (const auto& ring : snapshot_rings()) {
+    std::lock_guard lock(ring->mu);
+    n += static_cast<std::size_t>(
+        ring->next < ring->slots.size() ? ring->next : ring->slots.size());
+  }
+  return n;
+}
+
+std::uint64_t Tracer::dropped() const {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buffer[256];
+  for (const auto& ring : snapshot_rings()) {
+    std::lock_guard lock(ring->mu);
+    const std::uint64_t size = ring->slots.size();
+    const std::uint64_t resident = ring->next < size ? ring->next : size;
+    // Oldest-first: when the ring wrapped, the oldest live slot is the one
+    // the next write would overwrite.
+    const std::uint64_t begin = ring->next < size ? 0 : ring->next;
+    for (std::uint64_t i = 0; i < resident; ++i) {
+      const TraceEvent& e = ring->slots[(begin + i) % size];
+      if (e.name == nullptr) continue;
+      if (!first) out += ',';
+      first = false;
+      // ts/dur are microseconds (doubles) per the trace-event spec.
+      std::snprintf(buffer, sizeof buffer,
+                    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                    "\"pid\":1,\"tid\":%" PRIu32 ",\"ts\":%.3f,\"dur\":%.3f",
+                    e.name, e.category, ring->tid,
+                    static_cast<double>(e.start_ns) / 1000.0,
+                    static_cast<double>(e.dur_ns) / 1000.0);
+      out += buffer;
+      if (e.has_arg) {
+        std::snprintf(buffer, sizeof buffer,
+                      ",\"args\":{\"value\":%" PRIu64 "}", e.arg);
+        out += buffer;
+      }
+      out += '}';
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  const std::string json = chrome_trace_json();
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), out) == json.size();
+  return std::fclose(out) == 0 && ok;
+}
+
+}  // namespace tinyevm::obs

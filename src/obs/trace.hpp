@@ -1,0 +1,152 @@
+// Span tracing with per-thread ring buffers and Chrome trace-event export.
+//
+// A Span marks one timed region (a hub request, a Vm execute, an ECDSA
+// sign). Completed spans are appended to the calling thread's ring buffer
+// — one slot write with no allocation and no cross-thread contention (the
+// per-ring lock is only ever shared with a dump) — and the rings are only
+// walked at dump time, where they serialize to the Chrome trace-event
+// JSON array that chrome://tracing / Perfetto loads directly. Rings
+// overwrite their oldest entries, so tracing a long run keeps the most
+// recent window instead of growing without bound.
+//
+// Tracing is off by default: a Span constructed while disabled reads one
+// relaxed atomic and stays inert (with -DTINYEVM_OBS=OFF it compiles to
+// nothing). Span names and categories must be pointers to storage that
+// outlives the dump — string literals or registry-owned engine names.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tinyevm::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+std::uint64_t trace_now_ns() noexcept;
+}  // namespace detail
+
+inline bool trace_enabled() noexcept {
+#ifdef TINYEVM_OBS_DISABLED
+  return false;
+#else
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/// One completed trace event ("ph":"X" — complete event with duration).
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  std::uint64_t start_ns = 0;  ///< steady-clock, offset from process epoch
+  std::uint64_t dur_ns = 0;
+  std::uint64_t arg = 0;       ///< one numeric payload (gas, ops, bytes)
+  bool has_arg = false;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Turns tracing on with fresh rings of `ring_capacity` events per
+  /// thread. Any events recorded before this call are discarded, and
+  /// thread ids restart from 0 — a dump after enable() is deterministic
+  /// up to timestamps.
+  void enable(std::size_t ring_capacity = 16384);
+  void disable();
+
+  /// Records a completed event on the calling thread's ring. No-op while
+  /// disabled. `name`/`category` must outlive the dump.
+  void emit(const char* name, const char* category, std::uint64_t start_ns,
+            std::uint64_t end_ns) {
+    emit_event(TraceEvent{name, category, start_ns,
+                          end_ns > start_ns ? end_ns - start_ns : 0, 0,
+                          false});
+  }
+  void emit_event(const TraceEvent& event);
+
+  /// Serializes every ring as Chrome trace-event JSON
+  /// ({"traceEvents":[...]}). Events appear per-thread in chronological
+  /// order (ring order); threads in registration order.
+  [[nodiscard]] std::string chrome_trace_json() const;
+  /// chrome_trace_json() to a file; false (with errno intact) on I/O
+  /// failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Events currently resident across all rings (drops from overwrite
+  /// excluded — see dropped()).
+  [[nodiscard]] std::size_t event_count() const;
+  /// Events lost to ring overwrite since enable().
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  Tracer() = default;
+
+  /// One thread's ring. Only the owning thread appends; the per-ring
+  /// mutex exists solely so dumps can read a consistent snapshot — on the
+  /// emit path it is uncontended (no two emitters ever share a ring).
+  struct ThreadRing {
+    mutable std::mutex mu;
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> slots;
+    std::uint64_t next = 0;  ///< monotone write index; slot = next % size
+  };
+
+  ThreadRing* ring_for_this_thread();
+  [[nodiscard]] std::vector<std::shared_ptr<ThreadRing>> snapshot_rings()
+      const;
+
+  mutable std::mutex mu_;  // guards ring registration / the rings_ list
+  std::vector<std::shared_ptr<ThreadRing>> rings_;
+  std::size_t ring_capacity_ = 16384;
+  std::atomic<std::uint64_t> epoch_{0};  ///< enable() generation (TLS check)
+  std::uint32_t next_tid_ = 0;
+};
+
+/// RAII span: captures the start time at construction (when tracing is
+/// enabled) and emits a complete event at destruction.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "tinyevm") noexcept {
+    if (!trace_enabled()) return;
+    name_ = name;
+    category_ = category;
+    start_ns_ = detail::trace_now_ns();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (name_ == nullptr) return;
+    TraceEvent e;
+    e.name = name_;
+    e.category = category_;
+    e.start_ns = start_ns_;
+    const std::uint64_t end = detail::trace_now_ns();
+    e.dur_ns = end > start_ns_ ? end - start_ns_ : 0;
+    e.arg = arg_;
+    e.has_arg = has_arg_;
+    Tracer::instance().emit_event(e);
+  }
+
+  /// Attaches the one numeric payload shown under args in the viewer.
+  void set_arg(std::uint64_t v) noexcept {
+    arg_ = v;
+    has_arg_ = name_ != nullptr;
+  }
+
+ private:
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t arg_ = 0;
+  bool has_arg_ = false;
+};
+
+}  // namespace tinyevm::obs

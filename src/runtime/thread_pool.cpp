@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <string>
 #include <utility>
 
 namespace tinyevm::runtime {
@@ -13,6 +14,27 @@ ThreadPool::ThreadPool(std::size_t threads) {
   for (std::size_t t = 0; t < threads; ++t) {
     threads_.emplace_back([this] { worker_loop(); });
   }
+  // Distinguish concurrent pools by construction order; the label is
+  // stable for a fixed construction sequence, which is all the benches
+  // and tools need.
+  static std::atomic<std::uint64_t> next_pool_id{0};
+  const std::string pool_label =
+      "p" + std::to_string(next_pool_id.fetch_add(1, std::memory_order_relaxed));
+  collector_ = obs::Registry::instance().add_collector(
+      [this, pool_label](obs::Collection& out) {
+        out.gauge("tinyevm_pool_threads", "Worker threads in the pool",
+                  {{"pool", pool_label}},
+                  static_cast<double>(thread_count()));
+        out.gauge("tinyevm_pool_queue_depth",
+                  "Tasks submitted but not yet picked up by a worker",
+                  {{"pool", pool_label}}, static_cast<double>(queue_depth()));
+        out.gauge("tinyevm_pool_in_flight", "Tasks currently running",
+                  {{"pool", pool_label}}, static_cast<double>(in_flight()));
+        out.counter("tinyevm_pool_tasks_total",
+                    "Tasks completed since pool construction",
+                    {{"pool", pool_label}},
+                    static_cast<double>(tasks_executed()));
+      });
 }
 
 ThreadPool::~ThreadPool() {
@@ -41,6 +63,21 @@ std::size_t ThreadPool::hardware_threads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::in_flight() const {
+  std::lock_guard lock(mu_);
+  return in_flight_;
+}
+
+std::uint64_t ThreadPool::tasks_executed() const {
+  std::lock_guard lock(mu_);
+  return tasks_executed_;
+}
+
 void ThreadPool::worker_loop() {
   std::unique_lock lock(mu_);
   for (;;) {
@@ -53,6 +90,7 @@ void ThreadPool::worker_loop() {
     task();
     lock.lock();
     --in_flight_;
+    ++tasks_executed_;
     if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
   }
 }

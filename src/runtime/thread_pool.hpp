@@ -12,11 +12,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace tinyevm::runtime {
 
@@ -44,16 +47,29 @@ class ThreadPool {
   /// std::thread::hardware_concurrency(), clamped to at least 1.
   [[nodiscard]] static std::size_t hardware_threads();
 
+  /// Tasks submitted but not yet popped by a worker.
+  [[nodiscard]] std::size_t queue_depth() const;
+  /// Tasks popped and currently running.
+  [[nodiscard]] std::size_t in_flight() const;
+  /// Tasks completed since construction.
+  [[nodiscard]] std::uint64_t tasks_executed() const;
+
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers sleep here
   std::condition_variable idle_cv_;  // wait_idle() sleeps here
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;  // popped but not yet finished
+  std::uint64_t tasks_executed_ = 0;
   bool stop_ = false;
   std::vector<std::thread> threads_;
+  /// Scrape-time registration publishing queue depth / in-flight /
+  /// executed under a per-instance `pool` label. Declared last: the
+  /// handle's destructor is the barrier that keeps a concurrent scrape
+  /// from reading a pool mid-teardown.
+  obs::CollectorHandle collector_;
 };
 
 /// Fork-join: runs fn(0) .. fn(tasks-1) on the pool and blocks until all

@@ -6,6 +6,7 @@
 // including at 1,000 concurrent sessions (suite ChannelHubScale).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <memory>
 #include <string>
@@ -15,6 +16,7 @@
 #include "channel/hub.hpp"
 #include "channel/manager.hpp"
 #include "evm/code_cache.hpp"
+#include "obs/metrics.hpp"
 
 namespace tinyevm::channel {
 namespace {
@@ -394,6 +396,154 @@ TEST(ChannelHubScale, Serves1000SessionsBitIdentically) {
   if (::testing::Test::HasFailure()) return;
   for (const std::size_t workers : {1u, 2u, 8u}) {
     run_hub_and_compare(ex, workers);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: the queue/service split on HubResponse and the registry
+// counters (suite ChannelHubTelemetry also runs under TSan in CI).
+// ---------------------------------------------------------------------------
+
+TEST(ChannelHubTelemetry, BatchSplitsQueueWaitFromServiceTime) {
+  // One worker serializes the batch, so every later request's queue wait
+  // covers at least one earlier request's full service time.
+  constexpr std::size_t kSessions = 4;
+  auto hub = make_hub(1);
+  std::vector<ChannelEndpoint> cars;
+  std::vector<HubRequest> opens;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    cars.push_back(make_car(i));
+    const auto open = cars.back().open_request(U256{i + 1}, kRate, kDev);
+    ASSERT_TRUE(open.has_value()) << i;
+    opens.push_back(*open);
+  }
+  for (const auto& response : hub->handle_batch(opens)) {
+    ASSERT_EQ(response.status, HubStatus::Ok);
+  }
+
+  std::vector<HubRequest> updates;
+  for (auto& car : cars) {
+    auto update = car.propose_payment(U256{1});
+    ASSERT_TRUE(update.has_value());
+    updates.push_back(std::move(*update));
+  }
+  const auto responses = hub->handle_batch(updates);
+  ASSERT_EQ(responses.size(), kSessions);
+  std::uint32_t max_queue = 0;
+  std::uint32_t min_service = ~std::uint32_t{0};
+  for (const auto& response : responses) {
+    ASSERT_EQ(response.status, HubStatus::Ok);
+    max_queue = std::max(max_queue, response.queue_us);
+    min_service = std::min(min_service, response.service_us);
+  }
+  // Signed payments spend real time in ECDSA, so the service clock ticks...
+  EXPECT_GE(min_service, 1u);
+  // ...and with one worker, the last-dispatched payment queued behind at
+  // least one full service slice (+2 us covers independent rounding of the
+  // two measurements).
+  EXPECT_GE(max_queue + 2, min_service);
+}
+
+TEST(ChannelHubTelemetry, DirectHandleReportsServiceTime) {
+  auto hub = make_hub(2);
+  auto car = make_car();
+  const auto open = car.open_request(U256{1}, kRate, kDev);
+  ASSERT_TRUE(open.has_value());
+  const auto opened = hub->handle(*open);
+  ASSERT_EQ(opened.status, HubStatus::Ok);
+  // Template deployment runs the VM: measurable service, and with both
+  // Vms free the lease wait stays far below the service time.
+  EXPECT_GE(opened.service_us, 1u);
+  EXPECT_LE(opened.queue_us, opened.service_us * 100 + 1000);
+}
+
+TEST(ChannelHubTelemetry, RegistryCountersTrackTheWorkload) {
+#ifdef TINYEVM_OBS_DISABLED
+  GTEST_SKIP() << "telemetry compiled out (-DTINYEVM_OBS=OFF)";
+#endif
+  obs::set_metrics_enabled(true);
+  {
+    // A unique hub name keeps this test's series out of the ones the other
+    // suites' hubs (all named "hub") feed while metrics are enabled.
+    ChannelHub::Config config;
+    config.workers = 1;
+    config.code_cache = std::make_shared<evm::CodeCache>();
+    ChannelHub hub("hub-telemetry", hub_key(), anchor(), config);
+    hub.set_sensor_default(kDev, U256{21});
+    auto car = make_car();
+
+    const auto open = car.open_request(U256{1}, kRate, kDev);
+    ASSERT_TRUE(open.has_value());
+    ASSERT_EQ(hub.handle(*open).status, HubStatus::Ok);
+    auto update = car.propose_payment(U256{2});
+    ASSERT_TRUE(update.has_value());
+    const auto paid = hub.handle(*update);
+    ASSERT_EQ(paid.status, HubStatus::Ok);
+    ASSERT_TRUE(car.apply(paid));
+    ASSERT_EQ(hub.handle(car.close_request()).status, HubStatus::Ok);
+    // A rejection lands under its own status label.
+    EXPECT_NE(hub.handle(OpenRequest{U256{1}, kRate, kDev}).status,
+              HubStatus::Ok);
+
+    auto series_value = [](const std::string& name, const obs::LabelSet& labels)
+        -> double {
+      for (const auto& family : obs::Registry::instance().collect()) {
+        if (family.name != name) continue;
+        for (const auto& sample : family.samples) {
+          if (sample.labels == labels) return sample.value;
+        }
+      }
+      return -1.0;
+    };
+    EXPECT_EQ(series_value("tinyevm_hub_requests_total",
+                           {{"hub", "hub-telemetry"},
+                            {"kind", "open"},
+                            {"status", "ok"}}),
+              1.0);
+    EXPECT_EQ(series_value("tinyevm_hub_requests_total",
+                           {{"hub", "hub-telemetry"},
+                            {"kind", "payment"},
+                            {"status", "ok"}}),
+              1.0);
+    EXPECT_EQ(series_value("tinyevm_hub_requests_total",
+                           {{"hub", "hub-telemetry"},
+                            {"kind", "close"},
+                            {"status", "ok"}}),
+              1.0);
+    EXPECT_EQ(series_value("tinyevm_hub_requests_total",
+                           {{"hub", "hub-telemetry"},
+                            {"kind", "open"},
+                            {"status", "duplicate-channel"}}),
+              1.0);
+    // The collector publishes the hub's lifetime stats while it is alive.
+    EXPECT_EQ(series_value("tinyevm_hub_opens_total",
+                           {{"hub", "hub-telemetry"}}),
+              1.0);
+    EXPECT_EQ(series_value("tinyevm_hub_payments_total",
+                           {{"hub", "hub-telemetry"}}),
+              1.0);
+    // The per-kind service histograms saw exactly one ok request each.
+    for (const auto& family : obs::Registry::instance().collect()) {
+      if (family.name != "tinyevm_hub_service_us") continue;
+      for (const auto& sample : family.samples) {
+        obs::LabelSet want{{"hub", "hub-telemetry"}, {"kind", "payment"}};
+        if (sample.labels == want) {
+          EXPECT_EQ(sample.histogram.count, 1u);
+        }
+      }
+    }
+  }
+  obs::set_metrics_enabled(false);
+  // The hub is gone: its collector must have unregistered, so a scrape
+  // no longer shows its lifetime stats (the interned request counters are
+  // process-lifetime instruments and legitimately remain).
+  for (const auto& family : obs::Registry::instance().collect()) {
+    if (family.name != "tinyevm_hub_opens_total") continue;
+    for (const auto& sample : family.samples) {
+      for (const auto& [key, value] : sample.labels) {
+        EXPECT_FALSE(key == "hub" && value == "hub-telemetry");
+      }
+    }
   }
 }
 

@@ -1,0 +1,189 @@
+// Exporter round-trips: exact Prometheus text exposition (cumulative
+// histogram buckets, label escaping) and the JSON scrape shape, over
+// hand-built MetricFamily values and over the live registry.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace tinyevm::obs {
+namespace {
+
+struct ScopedMetrics {
+  ScopedMetrics() { set_metrics_enabled(true); }
+  ~ScopedMetrics() { set_metrics_enabled(false); }
+};
+
+#ifdef TINYEVM_OBS_DISABLED
+#define TINYEVM_REQUIRE_OBS() \
+  GTEST_SKIP() << "telemetry compiled out (-DTINYEVM_OBS=OFF)"
+#else
+#define TINYEVM_REQUIRE_OBS() (void)0
+#endif
+
+TEST(ObsExport, CounterRendersExactPrometheusText) {
+  MetricFamily family;
+  family.name = "demo_total";
+  family.help = "a demo counter";
+  family.type = MetricType::Counter;
+  Sample sample;
+  sample.labels = {{"engine", "raw"}, {"status", "ok"}};
+  sample.value = 12.0;
+  family.samples.push_back(sample);
+
+  EXPECT_EQ(to_prometheus_text({family}),
+            "# HELP demo_total a demo counter\n"
+            "# TYPE demo_total counter\n"
+            "demo_total{engine=\"raw\",status=\"ok\"} 12\n");
+}
+
+TEST(ObsExport, GaugeWithoutLabelsHasNoBraces) {
+  MetricFamily family;
+  family.name = "demo_gauge";
+  family.help = "plain";
+  family.type = MetricType::Gauge;
+  Sample sample;
+  sample.value = -3.0;
+  family.samples.push_back(sample);
+
+  EXPECT_EQ(to_prometheus_text({family}),
+            "# HELP demo_gauge plain\n"
+            "# TYPE demo_gauge gauge\n"
+            "demo_gauge -3\n");
+}
+
+TEST(ObsExport, LabelValuesAreEscaped) {
+  MetricFamily family;
+  family.name = "demo_total";
+  family.help = "escaping";
+  family.type = MetricType::Counter;
+  Sample sample;
+  sample.labels = {{"path", "a\\b\"c\nd"}};
+  sample.value = 1.0;
+  family.samples.push_back(sample);
+
+  const std::string text = to_prometheus_text({family});
+  EXPECT_NE(text.find("demo_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ObsExport, HistogramBucketsAreCumulativeWithInfLast) {
+  MetricFamily family;
+  family.name = "demo_us";
+  family.help = "latency";
+  family.type = MetricType::Histogram;
+  Sample sample;
+  // One observation of 1, two of <=4 and one beyond the last finite bound.
+  sample.histogram.buckets[0] = 1;
+  sample.histogram.buckets[2] = 2;
+  sample.histogram.buckets[Histogram::kBuckets - 1] = 1;
+  sample.histogram.sum = 1 + 3 + 4 + (std::uint64_t{1} << 31);
+  sample.histogram.count = 4;
+  family.samples.push_back(sample);
+
+  const std::string text = to_prometheus_text({family});
+  // Cumulative counts: le=1 sees 1, le=2 still 1, le=4 jumps to 3, every
+  // later finite bound stays 3, and +Inf closes at the total count.
+  EXPECT_NE(text.find("demo_us_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_us_bucket{le=\"2\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_us_bucket{le=\"4\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_us_bucket{le=\"1073741824\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("demo_us_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_us_sum 2147483656\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_us_count 4\n"), std::string::npos);
+  // The +Inf bucket is the last bucket line; sum/count follow it.
+  EXPECT_LT(text.find("le=\"+Inf\""), text.find("demo_us_sum"));
+}
+
+TEST(ObsExport, HistogramLabelsComposeWithLe) {
+  MetricFamily family;
+  family.name = "demo_us";
+  family.help = "latency";
+  family.type = MetricType::Histogram;
+  Sample sample;
+  sample.labels = {{"hub", "h"}};
+  sample.histogram.buckets[0] = 1;
+  sample.histogram.sum = 1;
+  sample.histogram.count = 1;
+  family.samples.push_back(sample);
+
+  const std::string text = to_prometheus_text({family});
+  EXPECT_NE(text.find("demo_us_bucket{hub=\"h\",le=\"1\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("demo_us_sum{hub=\"h\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("demo_us_count{hub=\"h\"} 1\n"), std::string::npos);
+}
+
+TEST(ObsExport, JsonScrapeShape) {
+  MetricFamily counter;
+  counter.name = "demo_total";
+  counter.help = "say \"hi\"";
+  counter.type = MetricType::Counter;
+  Sample csample;
+  csample.labels = {{"k", "v"}};
+  csample.value = 7.0;
+  counter.samples.push_back(csample);
+
+  MetricFamily hist;
+  hist.name = "demo_us";
+  hist.help = "latency";
+  hist.type = MetricType::Histogram;
+  Sample hsample;
+  hsample.histogram.buckets[1] = 2;
+  hsample.histogram.sum = 4;
+  hsample.histogram.count = 2;
+  hist.samples.push_back(hsample);
+
+  const std::string json = to_json({counter, hist});
+  EXPECT_EQ(json.rfind("{\"metrics\":[", 0), 0u) << json;
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+  // Help strings are JSON-escaped.
+  EXPECT_NE(json.find("\"help\":\"say \\\"hi\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"labels\":{\"k\":\"v\"},\"value\":7"),
+            std::string::npos);
+  // Buckets are per-bucket (non-cumulative); the +Inf bound is null.
+  EXPECT_NE(json.find("{\"le\":1,\"n\":0},{\"le\":2,\"n\":2}"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"le\":null,\"n\":0}"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":4,\"count\":2"), std::string::npos);
+}
+
+TEST(ObsExport, RegistryScrapeRoundTrip) {
+  TINYEVM_REQUIRE_OBS();
+  ScopedMetrics on;
+  auto& registry = Registry::instance();
+  registry
+      .counter("obs_export_roundtrip_total", "round-trip counter",
+               {{"who", "export-test"}})
+      .inc(5);
+  registry
+      .histogram("obs_export_roundtrip_us", "round-trip histogram")
+      .record(3);
+
+  const std::string text = prometheus_scrape();
+  EXPECT_NE(
+      text.find("# TYPE obs_export_roundtrip_total counter"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("obs_export_roundtrip_total{who=\"export-test\"} 5"),
+      std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_export_roundtrip_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_export_roundtrip_us_count 1"), std::string::npos);
+
+  const std::string json = json_scrape();
+  EXPECT_NE(json.find("\"name\":\"obs_export_roundtrip_total\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"obs_export_roundtrip_us\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tinyevm::obs

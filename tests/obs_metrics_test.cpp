@@ -1,0 +1,257 @@
+// The metrics registry: log2-bucket histogram boundaries, the runtime
+// enable gate, instrument interning, scrape-time collectors, and the
+// sharded-writer merge (suite ObsMetricsConcurrency runs under TSan in
+// CI, alongside the other lock-sensitive suites).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace tinyevm::obs {
+namespace {
+
+/// Scoped runtime enable: each test opts in explicitly and always leaves
+/// the process back in the disabled default, so suites sharing this
+/// binary never observe each other's instrumentation state.
+struct ScopedMetrics {
+  ScopedMetrics() { set_metrics_enabled(true); }
+  ~ScopedMetrics() { set_metrics_enabled(false); }
+};
+
+/// With -DTINYEVM_OBS=OFF the recording paths constant-fold away, so any
+/// test asserting that enabling makes instruments record must skip.
+#ifdef TINYEVM_OBS_DISABLED
+#define TINYEVM_REQUIRE_OBS() \
+  GTEST_SKIP() << "telemetry compiled out (-DTINYEVM_OBS=OFF)"
+#else
+#define TINYEVM_REQUIRE_OBS() (void)0
+#endif
+
+// ---------------------------------------------------------------------------
+// Histogram bucket arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetrics, BucketBoundaries) {
+  // Bucket i holds samples <= 2^i; 0 and 1 both land in bucket 0 (le=1).
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 0u);
+  EXPECT_EQ(Histogram::bucket_of(2), 1u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 2u);
+  EXPECT_EQ(Histogram::bucket_of(5), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 3u);
+  EXPECT_EQ(Histogram::bucket_of(9), 4u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1025), 11u);
+  // The last finite bound is 2^30; everything beyond lands in +Inf.
+  EXPECT_EQ(Histogram::bucket_of(std::uint64_t{1} << 30), 30u);
+  EXPECT_EQ(Histogram::bucket_of((std::uint64_t{1} << 30) + 1),
+            Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_of(std::uint64_t{1} << 40),
+            Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+            Histogram::kBuckets - 1);
+}
+
+TEST(ObsMetrics, BucketBoundsAreExhaustiveAndExclusive) {
+  // Every bucket's bound is the smallest power of two holding it: a value
+  // exactly at a bound stays, one past it moves up.
+  for (std::size_t b = 0; b + 1 < Histogram::kBuckets; ++b) {
+    const std::uint64_t bound = Histogram::upper_bound(b);
+    EXPECT_EQ(Histogram::bucket_of(bound), b) << "at bound " << bound;
+    if (b + 2 < Histogram::kBuckets) {
+      EXPECT_EQ(Histogram::bucket_of(bound + 1), b + 1)
+          << "past bound " << bound;
+    }
+  }
+}
+
+TEST(ObsMetrics, HistogramSnapshotCountsSumAndQuantiles) {
+  TINYEVM_REQUIRE_OBS();
+  ScopedMetrics on;
+  auto& hist = Registry::instance().histogram(
+      "obs_test_snapshot_us", "test histogram");
+  for (const std::uint64_t v : {1u, 2u, 4u, 4u, 100u}) hist.record(v);
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 111u);
+  EXPECT_EQ(snap.buckets[0], 1u);  // le=1: the 1
+  EXPECT_EQ(snap.buckets[1], 1u);  // le=2: the 2
+  EXPECT_EQ(snap.buckets[2], 2u);  // le=4: both 4s
+  EXPECT_EQ(snap.buckets[7], 1u);  // le=128: the 100
+  // Quantiles resolve to bucket upper bounds.
+  EXPECT_EQ(snap.quantile(0.0), 1u);
+  EXPECT_EQ(snap.quantile(0.5), 4u);
+  EXPECT_EQ(snap.quantile(1.0), 128u);
+}
+
+// ---------------------------------------------------------------------------
+// The enable gate
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetrics, DisabledInstrumentsRecordNothing) {
+  TINYEVM_REQUIRE_OBS();
+  auto& counter =
+      Registry::instance().counter("obs_test_gated_total", "test counter");
+  auto& hist =
+      Registry::instance().histogram("obs_test_gated_us", "test histogram");
+  set_metrics_enabled(false);
+  counter.inc();
+  hist.record(7);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(hist.snapshot().count, 0u);
+  {
+    ScopedMetrics on;
+    counter.inc(3);
+    hist.record(7);
+  }
+  EXPECT_EQ(counter.value(), 3u);
+  EXPECT_EQ(hist.snapshot().count, 1u);
+  // Back to disabled: the gate closes again.
+  counter.inc();
+  EXPECT_EQ(counter.value(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry interning
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetrics, InstrumentsInternByNameAndLabels) {
+  auto& registry = Registry::instance();
+  Counter& a = registry.counter("obs_test_intern_total", "help",
+                                {{"k", "v"}, {"a", "b"}});
+  // Same series, labels in any order: the same object comes back.
+  Counter& b = registry.counter("obs_test_intern_total", "help",
+                                {{"a", "b"}, {"k", "v"}});
+  EXPECT_EQ(&a, &b);
+  // A different label value is a different series.
+  Counter& c = registry.counter("obs_test_intern_total", "help",
+                                {{"a", "b"}, {"k", "other"}});
+  EXPECT_NE(&a, &c);
+}
+
+TEST(ObsMetrics, GaugeSetAndAdd) {
+  TINYEVM_REQUIRE_OBS();
+  ScopedMetrics on;
+  auto& gauge = Registry::instance().gauge("obs_test_gauge", "test gauge");
+  gauge.set(10);
+  gauge.add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.set(-5);
+  EXPECT_EQ(gauge.value(), -5);
+}
+
+TEST(ObsMetrics, CollectFindsRegisteredSeries) {
+  TINYEVM_REQUIRE_OBS();
+  ScopedMetrics on;
+  Registry::instance()
+      .counter("obs_test_collect_total", "collected", {{"x", "1"}})
+      .inc(9);
+  bool found = false;
+  for (const MetricFamily& family : Registry::instance().collect()) {
+    if (family.name != "obs_test_collect_total") continue;
+    ASSERT_EQ(family.type, MetricType::Counter);
+    for (const Sample& sample : family.samples) {
+      if (sample.labels == LabelSet{{"x", "1"}}) {
+        EXPECT_EQ(sample.value, 9.0);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Collectors
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetrics, CollectorPublishesUntilHandleReset) {
+  auto count_samples = [] {
+    std::size_t n = 0;
+    for (const MetricFamily& family : Registry::instance().collect()) {
+      if (family.name == "obs_test_collector_gauge") n += family.samples.size();
+    }
+    return n;
+  };
+  CollectorHandle handle =
+      Registry::instance().add_collector([](Collection& out) {
+        out.gauge("obs_test_collector_gauge", "from a collector", {}, 42.0);
+      });
+  EXPECT_EQ(count_samples(), 1u);
+  handle.reset();
+  EXPECT_EQ(count_samples(), 0u);
+}
+
+TEST(ObsMetrics, CollectorTypeMismatchIsDropped) {
+  ScopedMetrics on;
+  // The instrument fixes the family as a counter; a collector publishing
+  // the same name as a gauge must not corrupt the family.
+  Registry::instance()
+      .counter("obs_test_mismatch_total", "instrument side")
+      .inc();
+  CollectorHandle handle =
+      Registry::instance().add_collector([](Collection& out) {
+        out.gauge("obs_test_mismatch_total", "wrong type", {}, 1.0);
+      });
+  for (const MetricFamily& family : Registry::instance().collect()) {
+    if (family.name != "obs_test_mismatch_total") continue;
+    EXPECT_EQ(family.type, MetricType::Counter);
+    EXPECT_EQ(family.samples.size(), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded writers (TSan coverage: suite name is in the CI TSan regex)
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetricsConcurrency, CountersMergeAcrossThreads) {
+  TINYEVM_REQUIRE_OBS();
+  ScopedMetrics on;
+  auto& counter = Registry::instance().counter(
+      "obs_test_concurrent_total", "merged across writer threads");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(ObsMetricsConcurrency, HistogramMergesAcrossThreadsUnderScrapes) {
+  TINYEVM_REQUIRE_OBS();
+  ScopedMetrics on;
+  auto& hist = Registry::instance().histogram(
+      "obs_test_concurrent_us", "merged across writer threads");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        hist.record(static_cast<std::uint64_t>(t) * 97 + i % 1024);
+      }
+    });
+  }
+  // Concurrent scrapes must see consistent (if momentary) aggregates.
+  for (int s = 0; s < 50; ++s) {
+    const auto snap = hist.snapshot();
+    EXPECT_LE(snap.count, kThreads * kPerThread);
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace tinyevm::obs

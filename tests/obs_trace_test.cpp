@@ -1,0 +1,147 @@
+// Span tracing: the golden Chrome trace-event JSON document (exact-string
+// via explicit-timestamp emits — enable() resets rings and thread ids, so
+// the dump is deterministic), ring overwrite accounting, the enable gate,
+// and per-thread tid assignment.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/trace.hpp"
+
+namespace tinyevm::obs {
+namespace {
+
+/// Every test leaves tracing disabled, the process default.
+struct ScopedTrace {
+  explicit ScopedTrace(std::size_t ring_capacity = 64) {
+    Tracer::instance().enable(ring_capacity);
+  }
+  ~ScopedTrace() { Tracer::instance().disable(); }
+};
+
+#ifdef TINYEVM_OBS_DISABLED
+#define TINYEVM_REQUIRE_OBS() \
+  GTEST_SKIP() << "telemetry compiled out (-DTINYEVM_OBS=OFF)"
+#else
+#define TINYEVM_REQUIRE_OBS() (void)0
+#endif
+
+TEST(ObsTrace, GoldenChromeTraceDocument) {
+  TINYEVM_REQUIRE_OBS();
+  ScopedTrace on;
+  auto& tracer = Tracer::instance();
+  tracer.emit("a", "cat", 1000, 2500);  // ts 1.000 us, dur 1.500 us
+  TraceEvent event;
+  event.name = "b";
+  event.category = "cat2";
+  event.start_ns = 2000;
+  event.dur_ns = 500;
+  event.arg = 42;
+  event.has_arg = true;
+  tracer.emit_event(event);
+
+  EXPECT_EQ(tracer.chrome_trace_json(),
+            "{\"traceEvents\":["
+            "{\"name\":\"a\",\"cat\":\"cat\",\"ph\":\"X\",\"pid\":1,"
+            "\"tid\":0,\"ts\":1.000,\"dur\":1.500},"
+            "{\"name\":\"b\",\"cat\":\"cat2\",\"ph\":\"X\",\"pid\":1,"
+            "\"tid\":0,\"ts\":2.000,\"dur\":0.500,"
+            "\"args\":{\"value\":42}}"
+            "],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(ObsTrace, EmptyTraceIsStillAValidDocument) {
+  ScopedTrace on;
+  EXPECT_EQ(Tracer::instance().chrome_trace_json(),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(ObsTrace, RingOverwritesOldestAndCountsDrops) {
+  TINYEVM_REQUIRE_OBS();
+  ScopedTrace on(4);
+  auto& tracer = Tracer::instance();
+  static const char* const kNames[] = {"e0", "e1", "e2", "e3", "e4", "e5"};
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    tracer.emit(kNames[i], "cat", i * 1000, i * 1000 + 100);
+  }
+  EXPECT_EQ(tracer.event_count(), 4u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  // The survivors are the four newest, oldest-first in the dump.
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_EQ(json.find("\"name\":\"e0\""), std::string::npos);
+  EXPECT_EQ(json.find("\"name\":\"e1\""), std::string::npos);
+  EXPECT_LT(json.find("\"name\":\"e2\""), json.find("\"name\":\"e3\""));
+  EXPECT_LT(json.find("\"name\":\"e3\""), json.find("\"name\":\"e4\""));
+  EXPECT_LT(json.find("\"name\":\"e4\""), json.find("\"name\":\"e5\""));
+}
+
+TEST(ObsTrace, ReenableClearsRingsAndDropCounter) {
+  TINYEVM_REQUIRE_OBS();
+  auto& tracer = Tracer::instance();
+  tracer.enable(2);
+  tracer.emit("x", "cat", 0, 1);
+  tracer.emit("x", "cat", 0, 1);
+  tracer.emit("x", "cat", 0, 1);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  tracer.enable(2);
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  tracer.disable();
+}
+
+TEST(ObsTrace, DisabledEmitsAreDiscarded) {
+  auto& tracer = Tracer::instance();
+  tracer.disable();
+  tracer.emit("ghost", "cat", 0, 100);
+  { Span span("ghost-span", "cat"); }
+  tracer.enable(16);
+  EXPECT_EQ(tracer.event_count(), 0u);
+  tracer.disable();
+}
+
+TEST(ObsTrace, SpanRecordsWhenEnabled) {
+  TINYEVM_REQUIRE_OBS();
+  ScopedTrace on;
+  {
+    Span span("span-a", "test");
+    span.set_arg(7);
+  }
+  auto& tracer = Tracer::instance();
+  EXPECT_EQ(tracer.event_count(), 1u);
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("\"name\":\"span-a\",\"cat\":\"test\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":7}"), std::string::npos);
+}
+
+TEST(ObsTrace, ThreadsGetDistinctTids) {
+  TINYEVM_REQUIRE_OBS();
+  ScopedTrace on;
+  auto& tracer = Tracer::instance();
+  tracer.emit("main-thread", "cat", 0, 100);
+  std::thread([&tracer] {
+    tracer.emit("worker-thread", "cat", 50, 150);
+  }).join();
+  EXPECT_EQ(tracer.event_count(), 2u);
+  const std::string json = tracer.chrome_trace_json();
+  // Two rings, registered in emit order: tid 0 then tid 1.
+  EXPECT_NE(json.find("\"name\":\"main-thread\",\"cat\":\"cat\",\"ph\":\"X\","
+                      "\"pid\":1,\"tid\":0"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"worker-thread\",\"cat\":\"cat\","
+                      "\"ph\":\"X\",\"pid\":1,\"tid\":1"),
+            std::string::npos)
+      << json;
+}
+
+TEST(ObsTrace, WriteChromeTraceFailsOnBadPath) {
+  ScopedTrace on;
+  EXPECT_FALSE(Tracer::instance().write_chrome_trace(
+      "/nonexistent-dir/trace.json"));
+}
+
+}  // namespace
+}  // namespace tinyevm::obs

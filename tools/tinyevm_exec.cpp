@@ -20,6 +20,9 @@
 #include "device/cc2538.hpp"
 #include "evm/asm.hpp"
 #include "evm/vm.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace tinyevm;
 
@@ -34,7 +37,10 @@ void usage() {
       "  --calldata <hex>          message data\n"
       "  --gas <n>                 gas limit (ethereum profile)\n"
       "  --sensor <id>=<value>     provision a sensor (repeatable)\n"
-      "  --disasm                  disassemble instead of executing\n");
+      "  --disasm                  disassemble instead of executing\n"
+      "  --metrics                 print a Prometheus scrape after the run\n"
+      "  --metrics-json            print the scrape as JSON instead\n"
+      "  --trace-out <path>        write a Chrome trace of the run\n");
 }
 
 }  // namespace
@@ -44,6 +50,9 @@ int main(int argc, char** argv) {
   evm::Bytes calldata;
   std::int64_t gas = 10'000'000;
   bool disasm_only = false;
+  bool metrics = false;
+  bool metrics_json = false;
+  std::string trace_out;
   channel::SensorBank sensors;
   std::string code_hex;
   std::string engine;
@@ -108,6 +117,19 @@ int main(int argc, char** argv) {
       disasm_only = true;
       continue;
     }
+    if (arg == "--metrics") {
+      metrics = true;
+      continue;
+    }
+    if (arg == "--metrics-json") {
+      metrics = true;
+      metrics_json = true;
+      continue;
+    }
+    if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+      continue;
+    }
     if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       usage();
@@ -150,6 +172,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;
   }
+  if (metrics) obs::set_metrics_enabled(true);
+  if (!trace_out.empty()) obs::Tracer::instance().enable();
+
   evm::Message msg;
   msg.code = code;
   msg.data = calldata;
@@ -174,5 +199,17 @@ int main(int argc, char** argv) {
               static_cast<double>(r.stats.mcu_cycles) /
                   device::Cc2538Spec::kCyclesPerMs,
               static_cast<unsigned long long>(r.stats.mcu_cycles));
+  if (!trace_out.empty() &&
+      !obs::Tracer::instance().write_chrome_trace(trace_out)) {
+    std::fprintf(stderr, "cannot write trace to '%s'\n", trace_out.c_str());
+    return 2;
+  }
+  if (metrics) {
+    // The scrape goes after a separator so scripts can split the human
+    // report from the exposition text.
+    std::printf("---\n%s", (metrics_json ? obs::json_scrape()
+                                         : obs::prometheus_scrape())
+                               .c_str());
+  }
   return r.ok() ? 0 : 1;
 }
