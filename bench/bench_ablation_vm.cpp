@@ -32,6 +32,23 @@ evm::Bytes loop_program(std::uint64_t iters) {
   return a.take();
 }
 
+/// The same counting loop with the back edge as a *plain* JUMPI: the
+/// target is pushed once and DUPed to the top each iteration, so only the
+/// whole-contract constant dataflow can resolve it. On the elided engine
+/// the resolved branch becomes a one-slot span tail — this row pair
+/// (vs. loop_program's fused PUSH+JUMPI) prices the resolution.
+evm::Bytes dyn_loop_program(std::uint64_t iters) {
+  Assembler a;
+  a.push_label(6);      // loop head: two fixed-width PUSH2s precede it
+  a.push_label(iters);  // PUSH2 keeps the layout fixed for any iters
+  a.op(Opcode::JUMPDEST);
+  a.push(1).swap(1).op(Opcode::SUB);
+  a.dup(1).dup(3);
+  a.op(Opcode::JUMPI);
+  a.op(Opcode::POP).op(Opcode::POP);
+  return a.take();
+}
+
 /// Runs `code` repeatedly on one Vm with a private translation cache, so
 /// the predecoded variants measure the warm-cache steady state and report
 /// the observed hit rate.
@@ -56,8 +73,25 @@ void run_program(benchmark::State& state, const evm::Bytes& code,
   }
   state.counters["ops/s"] = benchmark::Counter(
       static_cast<double>(ops), benchmark::Counter::kIsRate);
-  if (cache->stats().lookups > 0) {  // translation-consuming engines only
-    state.counters["cache_hit_%"] = 100.0 * cache->stats().hit_rate();
+  const evm::CodeCache::Stats cs = cache->stats();
+  if (cs.lookups > 0) {  // translation-consuming engines only
+    state.counters["cache_hit_%"] = 100.0 * cs.hit_rate();
+    // Span coverage of the one resident translation: how many stream
+    // slots the analyzer proved check-elidable, and how many dynamic
+    // jumps the dataflow turned into static span tails.
+    if (cs.entries == 1) {
+      const evm::TranslationProfile profile{
+          config.profile == evm::VmProfile::TinyEvm, config.iot_opcodes,
+          config.block_opcodes};
+      const evm::DecodedProgram program = evm::translate(code, profile);
+      state.counters["span_slots"] =
+          static_cast<double>(cs.analysis.span_slots);
+      state.counters["span_coverage_%"] =
+          100.0 * static_cast<double>(cs.analysis.span_slots) /
+          static_cast<double>(program.insts.size());
+      state.counters["resolved_jumps"] =
+          static_cast<double>(cs.analysis.resolved_jumps);
+    }
   }
 }
 
@@ -103,6 +137,17 @@ void BM_Loop_TinyEvm(benchmark::State& state, const char* engine) {
 BENCHMARK_CAPTURE(BM_Loop_TinyEvm, raw, "raw");
 BENCHMARK_CAPTURE(BM_Loop_TinyEvm, predecoded, "predecoded");
 BENCHMARK_CAPTURE(BM_Loop_TinyEvm, elided, "elided");
+
+// The dynamic-jump variant: raw and predecoded must take the checked
+// JUMPI every iteration; elided rides the resolved one-slot span tail.
+void BM_DynLoop_TinyEvm(benchmark::State& state, const char* engine) {
+  evm::VmConfig config = evm::VmConfig::tiny();
+  config.engine = engine;
+  run_program(state, dyn_loop_program(10'000), config);
+}
+BENCHMARK_CAPTURE(BM_DynLoop_TinyEvm, raw, "raw");
+BENCHMARK_CAPTURE(BM_DynLoop_TinyEvm, predecoded, "predecoded");
+BENCHMARK_CAPTURE(BM_DynLoop_TinyEvm, elided, "elided");
 
 // --- ablation: telemetry cost. The same loop on the same engine with the
 // metrics layer recording around every Vm::execute (the --metrics path);

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Gate tinyevm_lint corpus counters against the committed baseline.
+
+Usage: check_lint_baseline.py <current.json> <baseline.json>
+
+The CI rung runs `tinyevm_lint --corpus 2000 --json > current.json` (a
+crash there fails the job before this script runs) and then diffs the
+aggregate counters against tests/lint_baseline.json:
+
+  * monotone counters must not regress — the analyzer is allowed to get
+    stronger (resolve more jumps, widen spans, certify more contracts)
+    but a drop means a precision regression snuck in;
+  * exact counters must match — the corpus is deterministic, so block,
+    instruction and diagnostic totals only move when the translator or
+    generator intentionally changes, which must be a deliberate baseline
+    update in the same commit.
+
+Exits 0 when the gate holds, 1 with a per-counter report otherwise.
+"""
+import json
+import sys
+
+# Analyzer strength: current >= baseline required.
+MONOTONE = [
+    "spans",
+    "span_slots",
+    "resolved_jumps",
+    "dead_blocks",
+    "dead_slots",
+    "bounded_loops",
+    "wcet_gas_certified",
+    "wcet_cycles_certified",
+    "wcet_ops_certified",
+    "wcet_stack_certified",
+]
+# Deterministic corpus shape: current == baseline required.
+EXACT = [
+    "contracts",
+    "insts",
+    "blocks",
+    "loops",
+    "diagnostics",
+    "contracts_flagged",
+    "unresolved_jumps",
+]
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        current = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    failures = []
+    for key in MONOTONE:
+        cur, base = current.get(key), baseline.get(key)
+        if cur is None or base is None:
+            failures.append(f"{key}: missing (current={cur} baseline={base})")
+        elif cur < base:
+            failures.append(f"{key}: regressed {base} -> {cur}")
+    for key in EXACT:
+        cur, base = current.get(key), baseline.get(key)
+        if cur != base:
+            failures.append(f"{key}: expected {base}, got {cur}")
+
+    if failures:
+        print("lint baseline gate FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        print(
+            "If the change is intentional, regenerate the baseline with\n"
+            "  tinyevm_lint --corpus 2000 --json > tests/lint_baseline.json\n"
+            "and commit it alongside the analyzer change."
+        )
+        return 1
+
+    print(
+        "lint baseline gate OK: "
+        f"{current['contracts']} contracts, "
+        f"{current['resolved_jumps']} resolved jumps, "
+        f"{current['span_slots']} span slots, "
+        f"{current['wcet_ops_certified']} ops-certified"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

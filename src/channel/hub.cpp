@@ -381,12 +381,12 @@ ChannelHub::ChannelHub(std::string name, const PrivateKey& key,
 }
 
 void ChannelHub::set_sensor_default(std::uint32_t device, const U256& value) {
-  std::lock_guard lock(sessions_mu_);
+  runtime::MutexLock lock(sessions_mu_);
   sensor_defaults_.set_reading(device, value);
 }
 
 void ChannelHub::register_actuator_default(std::uint32_t device) {
-  std::lock_guard lock(sessions_mu_);
+  runtime::MutexLock lock(sessions_mu_);
   sensor_defaults_.register_actuator(device);
 }
 
@@ -408,7 +408,7 @@ void ChannelHub::release_vm(evm::Vm& vm) {
 
 std::shared_ptr<ChannelHub::SessionSlot> ChannelHub::find_session(
     const U256& channel_id) const {
-  std::lock_guard lock(sessions_mu_);
+  runtime::MutexLock lock(sessions_mu_);
   const auto it = sessions_.find(channel_id);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -431,7 +431,7 @@ HubResponse ChannelHub::reject(HubStatus status, HubResponseKind kind,
 HubResponse ChannelHub::serve(const OpenRequest& request, evm::Vm& vm) {
   std::shared_ptr<SessionSlot> slot;
   {
-    std::lock_guard lock(sessions_mu_);
+    runtime::MutexLock lock(sessions_mu_);
     auto [it, inserted] = sessions_.try_emplace(request.channel_id, nullptr);
     if (!inserted) {
       return reject(HubStatus::DuplicateChannel, HubResponseKind::Open,
@@ -442,14 +442,14 @@ HubResponse ChannelHub::serve(const OpenRequest& request, evm::Vm& vm) {
     // Seed the session's peripherals before the constructor samples them.
     slot->session.sensors() = sensor_defaults_;
   }
-  std::lock_guard session_lock(slot->mu);
+  runtime::MutexLock session_lock(slot->mu);
   const auto contract = slot->session.open(vm, request.channel_id,
                                            request.rate,
                                            request.sensor_device);
   if (!contract) {
     // The constructor failed; drop the placeholder so the endpoint can
     // retry the open (e.g. after the sensor comes up).
-    std::lock_guard lock(sessions_mu_);
+    runtime::MutexLock lock(sessions_mu_);
     sessions_.erase(request.channel_id);
     return reject(HubStatus::VmFailure, HubResponseKind::Open,
                   request.channel_id);
@@ -468,7 +468,7 @@ HubResponse ChannelHub::serve(const PaymentUpdate& request) {
     return reject(HubStatus::UnknownChannel, HubResponseKind::Payment,
                   request.channel_id);
   }
-  std::lock_guard session_lock(slot->mu);
+  runtime::MutexLock session_lock(slot->mu);
   if (!slot->session.is_open()) {
     return reject(HubStatus::ChannelClosed, HubResponseKind::Payment,
                   request.channel_id);
@@ -498,7 +498,7 @@ HubResponse ChannelHub::serve(const CloseRequest& request, evm::Vm& vm) {
     return reject(HubStatus::UnknownChannel, HubResponseKind::Close,
                   request.channel_id);
   }
-  std::lock_guard session_lock(slot->mu);
+  runtime::MutexLock session_lock(slot->mu);
   if (!slot->session.is_open()) {
     return reject(HubStatus::ChannelClosed, HubResponseKind::Close,
                   request.channel_id);
@@ -630,13 +630,13 @@ ChannelHub::Stats ChannelHub::stats() const {
   s.rejected = rejected_.load(std::memory_order_relaxed);
   std::vector<std::shared_ptr<SessionSlot>> slots;
   {
-    std::lock_guard lock(sessions_mu_);
+    runtime::MutexLock lock(sessions_mu_);
     s.sessions = sessions_.size();
     slots.reserve(sessions_.size());
     for (const auto& [id, slot] : sessions_) slots.push_back(slot);
   }
   for (const auto& slot : slots) {
-    std::lock_guard session_lock(slot->mu);
+    runtime::MutexLock session_lock(slot->mu);
     const EndpointStats& e = slot->session.stats();
     s.signatures += e.signatures;
     s.verifications += e.verifications;
@@ -647,7 +647,7 @@ ChannelHub::Stats ChannelHub::stats() const {
 }
 
 std::size_t ChannelHub::session_count() const {
-  std::lock_guard lock(sessions_mu_);
+  runtime::MutexLock lock(sessions_mu_);
   return sessions_.size();
 }
 
@@ -655,7 +655,7 @@ std::optional<SideChainLog> ChannelHub::session_log(
     const U256& channel_id) const {
   const auto slot = find_session(channel_id);
   if (!slot) return std::nullopt;
-  std::lock_guard session_lock(slot->mu);
+  runtime::MutexLock session_lock(slot->mu);
   return slot->session.log();
 }
 
@@ -663,19 +663,19 @@ std::optional<U256> ChannelHub::session_stored(const U256& channel_id,
                                                std::uint8_t slot_key) const {
   const auto slot = find_session(channel_id);
   if (!slot) return std::nullopt;
-  std::lock_guard session_lock(slot->mu);
+  runtime::MutexLock session_lock(slot->mu);
   return slot->session.stored(slot_key);
 }
 
 bool ChannelHub::audit_all() const {
   std::vector<std::shared_ptr<SessionSlot>> slots;
   {
-    std::lock_guard lock(sessions_mu_);
+    runtime::MutexLock lock(sessions_mu_);
     slots.reserve(sessions_.size());
     for (const auto& [id, slot] : sessions_) slots.push_back(slot);
   }
   return std::all_of(slots.begin(), slots.end(), [&](const auto& slot) {
-    std::lock_guard session_lock(slot->mu);
+    runtime::MutexLock session_lock(slot->mu);
     return slot->session.log().audit(onchain_root_);
   });
 }

@@ -43,6 +43,7 @@
 #include "evm/host.hpp"
 #include "evm/vm.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/thread_annotations.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace tinyevm::channel {
@@ -353,8 +354,8 @@ class ChannelHub {
   struct SessionSlot {
     SessionSlot(const Hash256& root, const evm::VmConfig& config)
         : session(root, config) {}
-    mutable std::mutex mu;
-    ChannelSession session;
+    mutable runtime::Mutex mu;
+    ChannelSession session GUARDED_BY(mu);
   };
 
   /// RAII lease over one of the hub's bounded Vm set.
@@ -402,8 +403,9 @@ class ChannelHub {
   std::condition_variable vm_cv_;
   std::vector<evm::Vm*> free_vms_;
 
-  mutable std::mutex sessions_mu_;
-  std::map<U256, std::shared_ptr<SessionSlot>> sessions_;
+  mutable runtime::Mutex sessions_mu_;
+  std::map<U256, std::shared_ptr<SessionSlot>> sessions_
+      GUARDED_BY(sessions_mu_);
 
   std::atomic<std::uint64_t> opens_{0};
   std::atomic<std::uint64_t> payments_{0};

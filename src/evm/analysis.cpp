@@ -84,6 +84,1184 @@ struct Summary {
   }
 };
 
+// ===== CFG construction (shared by analyze / analyze_for_translation) =====
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  std::vector<std::uint32_t> block_of;  ///< instruction slot -> block id
+};
+
+Cfg build_cfg(const DecodedProgram& program) {
+  Cfg cfg;
+  const auto n = static_cast<std::uint32_t>(program.insts.size());
+  const DecodedInst* const insts = program.insts.data();
+
+  std::vector<std::uint8_t> leader(n, 0);
+  leader[0] = 1;
+  for (std::uint32_t i = 0; i < n;) {
+    const Handler h = insts[i].handler;
+    if (h == Handler::JumpDest) leader[i] = 1;
+    const std::uint32_t stride = is_fused_head(h) ? 2 : 1;
+    if (ends_block(h) && i + stride < n) leader[i + stride] = 1;
+    i += stride;
+  }
+
+  auto& blocks = cfg.blocks;
+  cfg.block_of.assign(n, 0);
+  for (std::uint32_t i = 0; i < n;) {
+    if (leader[i]) {
+      blocks.emplace_back();
+      blocks.back().first = i;
+      blocks.back().pc = insts[i].pc;
+    }
+    BasicBlock& b = blocks.back();
+    const DecodedInst& inst = insts[i];
+    const std::uint32_t stride = is_fused_head(inst.handler) ? 2 : 1;
+    Summary sum{b.stack_delta, b.stack_require, b.stack_peak,
+                b.static_gas,  b.cycles,        b.ops};
+    sum.add(inst);
+    b.stack_require = sum.require;
+    b.stack_delta = sum.height;
+    b.stack_peak = sum.peak;
+    b.static_gas = sum.static_gas;
+    b.cycles = sum.cycles;
+    b.ops = sum.ops;
+    cfg.block_of[i] = static_cast<std::uint32_t>(blocks.size() - 1);
+    if (stride == 2) cfg.block_of[i + 1] = cfg.block_of[i];
+    b.count += stride;
+
+    switch (inst.handler) {
+      case Handler::Stop:
+      case Handler::Return:
+      case Handler::Revert:
+      case Handler::SelfDestruct:
+        b.exit = BlockExit::Terminate;
+        break;
+      case Handler::Invalid:
+      case Handler::Undefined:
+      case Handler::Forbidden:
+        b.exit = BlockExit::Trap;
+        break;
+      case Handler::Jump:
+        b.exit = BlockExit::Jump;
+        b.dynamic_exit = true;
+        break;
+      case Handler::JumpI:
+        b.exit = BlockExit::Branch;
+        b.dynamic_exit = true;
+        break;
+      case Handler::PushJump:
+        b.exit = BlockExit::Jump;
+        b.target = inst.target;  // instruction index; mapped below
+        break;
+      case Handler::PushJumpI:
+        b.exit = BlockExit::Branch;
+        b.target = inst.target;
+        break;
+      default:
+        b.exit = i + stride < n && leader[i + stride] ? BlockExit::FallThrough
+                                                      : BlockExit::CodeEnd;
+        break;
+    }
+    i += stride;
+  }
+  // Static jump targets were recorded as instruction indices (always
+  // JUMPDEST leaders); map them to block ids.
+  for (BasicBlock& b : blocks) {
+    if ((b.exit == BlockExit::Jump || b.exit == BlockExit::Branch) &&
+        !b.dynamic_exit && b.target != BasicBlock::kNoBlock) {
+      b.target = cfg.block_of[b.target];
+    }
+    const std::size_t next = static_cast<std::size_t>(&b - blocks.data()) + 1;
+    b.pc_end = next < blocks.size()
+                   ? blocks[next].pc
+                   : static_cast<std::uint32_t>(program.code_size);
+  }
+  return cfg;
+}
+
+// ===== constant-propagation dataflow ======================================
+//
+// Abstract domain: a top-relative suffix of the operand stack, each slot
+// Known(U256) or Unknown; slots deeper than the tracked window are
+// implicitly Unknown. Values only weaken (Known -> Unknown, suffix only
+// shrinks at joins), so the fixpoint terminates; resolutions are extracted
+// only after the fixpoint, when states are final and sound for every
+// concrete execution.
+
+constexpr std::size_t kMaxTrackedStack = 24;
+
+struct AbsVal {
+  bool known = false;
+  U256 value;
+};
+
+struct AbsStack {
+  std::vector<AbsVal> v;  ///< top of stack at the back
+
+  void push(const AbsVal& x) {
+    if (v.size() == kMaxTrackedStack) v.erase(v.begin());
+    v.push_back(x);
+  }
+  AbsVal pop() {
+    if (v.empty()) return {};  // below the tracked window: Unknown
+    AbsVal x = v.back();
+    v.pop_back();
+    return x;
+  }
+  [[nodiscard]] AbsVal peek(std::size_t depth) const {
+    return depth < v.size() ? v[v.size() - 1 - depth] : AbsVal{};
+  }
+  void set(std::size_t depth, const AbsVal& x) {
+    if (depth < v.size()) v[v.size() - 1 - depth] = x;
+  }
+};
+
+AbsVal fold_bin(Handler h, const AbsVal& a, const AbsVal& s) {
+  if (!a.known || !s.known || !is_fusible_bin(h)) return {};
+  U256 r = a.value;
+  apply_fused_bin(h, r, s.value);
+  return {true, r};
+}
+
+/// One instruction's effect on the abstract stack. Fused pairs are applied
+/// as the whole pair (the caller strides over the fallback slot).
+void transfer_inst(AbsStack& st, const DecodedInst& inst) {
+  const Handler h = inst.handler;
+  switch (h) {
+    case Handler::Push:
+      st.push({true, inst.imm});
+      return;
+    case Handler::Pc:
+      st.push({true, U256{inst.pc}});
+      return;
+    case Handler::Pop:
+      st.pop();
+      return;
+    case Handler::JumpDest:
+      return;
+    case Handler::Dup:
+      st.push(st.peek(static_cast<std::size_t>(inst.aux) - 1));
+      return;
+    case Handler::Swap: {
+      const auto d = static_cast<std::size_t>(inst.aux);
+      const AbsVal top = st.peek(0);
+      const AbsVal deep = st.peek(d);
+      st.set(0, deep);
+      st.set(d, top);
+      return;
+    }
+    case Handler::IsZero: {
+      const AbsVal a = st.pop();
+      st.push(a.known ? AbsVal{true, U256{a.value.is_zero() ? 1ULL : 0ULL}}
+                      : AbsVal{});
+      return;
+    }
+    case Handler::Not: {
+      const AbsVal a = st.pop();
+      st.push(a.known ? AbsVal{true, ~a.value} : AbsVal{});
+      return;
+    }
+    case Handler::AddMod:
+    case Handler::MulMod: {
+      const AbsVal a = st.pop();
+      const AbsVal b = st.pop();
+      const AbsVal m = st.pop();
+      if (a.known && b.known && m.known) {
+        st.push({true, h == Handler::AddMod
+                           ? U256::addmod(a.value, b.value, m.value)
+                           : U256::mulmod(a.value, b.value, m.value)});
+      } else {
+        st.push({});
+      }
+      return;
+    }
+    case Handler::PushBin: {
+      const AbsVal s = st.pop();
+      st.push(fold_bin(static_cast<Handler>(inst.aux2),
+                       AbsVal{true, inst.imm}, s));
+      return;
+    }
+    case Handler::DupBin: {
+      const AbsVal a = st.peek(static_cast<std::size_t>(inst.aux) - 1);
+      const AbsVal s = st.pop();
+      st.push(fold_bin(static_cast<Handler>(inst.aux2), a, s));
+      return;
+    }
+    case Handler::SwapBin: {
+      const AbsVal v1 = st.pop();
+      const AbsVal v2 = st.pop();
+      st.push(fold_bin(static_cast<Handler>(inst.aux2), v2, v1));
+      return;
+    }
+    case Handler::PushJump:
+      return;  // push imm, jump pops it: net zero
+    case Handler::PushJumpI:
+      st.pop();  // the condition
+      return;
+    case Handler::Jump:
+      st.pop();
+      return;
+    case Handler::JumpI:
+      st.pop();
+      st.pop();
+      return;
+    default:
+      break;
+  }
+  if (is_fusible_bin(h)) {  // plain binary operator with a foldable result
+    const AbsVal a = st.pop();
+    const AbsVal s = st.pop();
+    st.push(fold_bin(h, a, s));
+    return;
+  }
+  // Everything else: pop `require` values, push `require + delta` Unknowns.
+  // Sound for every remaining handler (environment reads, memory, host
+  // calls, LOG): none leaves a statically known stack value behind.
+  const StackEffect ef = stack_effect(inst);
+  for (std::int32_t i = 0; i < ef.require; ++i) st.pop();
+  for (std::int32_t i = 0; i < ef.require + ef.delta; ++i) st.push({});
+}
+
+/// Runs a block's instructions over `in`, returning the out-stack. When the
+/// block ends in a plain JUMP/JUMPI, `jump_operand` receives the abstract
+/// destination (the top of stack right before the jump executes).
+AbsStack run_block(const AbsStack& in, const BasicBlock& b,
+                   const DecodedInst* insts, AbsVal* jump_operand) {
+  AbsStack st = in;
+  const std::uint32_t end = b.first + b.count;
+  for (std::uint32_t i = b.first; i < end;) {
+    const DecodedInst& inst = insts[i];
+    if (jump_operand &&
+        (inst.handler == Handler::Jump || inst.handler == Handler::JumpI)) {
+      *jump_operand = st.peek(0);
+    }
+    transfer_inst(st, inst);
+    i += is_fused_head(inst.handler) ? 2 : 1;
+  }
+  return st;
+}
+
+struct AbsState {
+  bool reached = false;
+  AbsStack stack;
+};
+
+/// Meet of `src` into `dst`: suffix truncated to the common length, slots
+/// stay Known only where both sides agree. Returns whether `dst` changed.
+bool join_into(AbsState& dst, const AbsStack& src) {
+  if (!dst.reached) {
+    dst.reached = true;
+    dst.stack = src;
+    return true;
+  }
+  bool changed = false;
+  auto& dv = dst.stack.v;
+  const std::size_t keep = std::min(dv.size(), src.v.size());
+  if (dv.size() != keep) {
+    dv.erase(dv.begin(), dv.end() - static_cast<std::ptrdiff_t>(keep));
+    changed = true;
+  }
+  for (std::size_t k = 0; k < keep; ++k) {
+    AbsVal& d = dv[dv.size() - 1 - k];
+    const AbsVal& s = src.v[src.v.size() - 1 - k];
+    if (d.known && (!s.known || !(d.value == s.value))) {
+      d = {};
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+/// How the fixpoint classified a block's plain dynamic JUMP/JUMPI.
+enum class JumpKind : std::uint8_t {
+  None,      ///< block does not end in a plain dynamic jump
+  Unknown,   ///< operand not a propagated constant: every-JUMPDEST sink
+  Resolved,  ///< operand is a constant naming a valid JUMPDEST
+  KnownBad,  ///< operand is a constant; the jump always faults
+};
+
+struct JumpResolution {
+  JumpKind kind = JumpKind::None;
+  std::uint32_t target_inst = kNoJumpTarget;  ///< Resolved: JUMPDEST slot
+  U256 dest;                                  ///< Resolved/KnownBad operand
+};
+
+struct Dataflow {
+  std::vector<AbsState> in;          ///< fixpoint entry state per block
+  std::vector<JumpResolution> jumps; ///< per block
+  bool exhausted = false;            ///< budget blown: no resolutions
+};
+
+Dataflow run_constant_dataflow(const DecodedProgram& program,
+                               const Cfg& cfg) {
+  const auto& blocks = cfg.blocks;
+  const DecodedInst* const insts = program.insts.data();
+  const std::size_t nb = blocks.size();
+  Dataflow dfl;
+  dfl.in.resize(nb);
+  dfl.jumps.resize(nb);
+  if (nb == 0) return dfl;
+
+  std::vector<std::uint8_t> queued(nb, 0);
+  std::vector<std::uint32_t> work;
+  const auto enqueue = [&](std::uint32_t b) {
+    if (!queued[b]) {
+      queued[b] = 1;
+      work.push_back(b);
+    }
+  };
+  const auto join_edge = [&](std::uint32_t succ, const AbsStack& out) {
+    if (join_into(dfl.in[succ], out)) enqueue(succ);
+  };
+  dfl.in[0].reached = true;
+  enqueue(0);
+
+  // A jump whose operand stays unknown may land on any JUMPDEST: joining
+  // the empty suffix (= no claims) into every JUMPDEST-led block. The join
+  // value is constant, so arming once is enough.
+  bool sink_armed = false;
+  const auto arm_sink = [&] {
+    if (sink_armed) return;
+    sink_armed = true;
+    const AbsStack empty;
+    for (std::uint32_t j = 0; j < nb; ++j) {
+      if (insts[blocks[j].first].handler == Handler::JumpDest) {
+        join_edge(j, empty);
+      }
+    }
+  };
+
+  // Hard backstop well above the lattice-descent bound (each block re-runs
+  // only when its entry state weakens). Blowing it abandons every
+  // resolution, falling back to the sound every-JUMPDEST behaviour.
+  std::size_t budget = 64 * nb + 64;
+  while (!work.empty()) {
+    if (budget-- == 0) {
+      dfl.exhausted = true;
+      break;
+    }
+    const std::uint32_t idx = work.back();
+    work.pop_back();
+    queued[idx] = 0;
+    const BasicBlock& b = blocks[idx];
+    AbsVal op;
+    const AbsStack out = run_block(dfl.in[idx].stack, b, insts, &op);
+    switch (b.exit) {
+      case BlockExit::FallThrough:
+        join_edge(idx + 1, out);
+        break;
+      case BlockExit::Branch:
+        if (idx + 1 < nb) join_edge(idx + 1, out);
+        [[fallthrough]];
+      case BlockExit::Jump:
+        if (!b.dynamic_exit) {
+          if (b.target != BasicBlock::kNoBlock) join_edge(b.target, out);
+        } else if (op.known) {
+          const std::uint64_t dest =
+              op.value.fits_u64() ? op.value.as_u64() : ~0ULL;
+          if (dest < program.jump_map.size() &&
+              program.jump_map[dest] != kNoJumpTarget) {
+            join_edge(cfg.block_of[program.jump_map[dest]], out);
+          }
+          // Known-bad destination: the jump faults, no successor.
+        } else {
+          arm_sink();
+        }
+        break;
+      case BlockExit::Terminate:
+      case BlockExit::Trap:
+      case BlockExit::CodeEnd:
+        break;
+    }
+  }
+  if (dfl.exhausted) {
+    // Conservative fallback: treat every reachable dynamic exit as
+    // unresolved (sound; span widening and WCET are simply declined).
+    for (std::size_t i = 0; i < nb; ++i) {
+      if (blocks[i].dynamic_exit) dfl.jumps[i].kind = JumpKind::Unknown;
+    }
+    return dfl;
+  }
+  // Extraction, after the fixpoint only: mid-iteration constants may still
+  // weaken, final ones are sound for every execution reaching the jump.
+  for (std::uint32_t idx = 0; idx < nb; ++idx) {
+    const BasicBlock& b = blocks[idx];
+    if (!b.dynamic_exit) continue;
+    if (!dfl.in[idx].reached) {
+      dfl.jumps[idx].kind = JumpKind::Unknown;
+      continue;
+    }
+    AbsVal op;
+    run_block(dfl.in[idx].stack, b, insts, &op);
+    if (!op.known) {
+      dfl.jumps[idx].kind = JumpKind::Unknown;
+      continue;
+    }
+    dfl.jumps[idx].dest = op.value;
+    const std::uint64_t dest = op.value.fits_u64() ? op.value.as_u64() : ~0ULL;
+    if (dest < program.jump_map.size() &&
+        program.jump_map[dest] != kNoJumpTarget) {
+      dfl.jumps[idx].kind = JumpKind::Resolved;
+      dfl.jumps[idx].target_inst = program.jump_map[dest];
+    } else {
+      dfl.jumps[idx].kind = JumpKind::KnownBad;
+    }
+  }
+  return dfl;
+}
+
+/// Writes the fixpoint's jump resolutions into the block graph: a Resolved
+/// exit becomes a static edge (`resolved` + `target`), a KnownBad exit a
+/// proven fault (`resolved`, no target).
+void stamp_resolutions(Cfg& cfg, const Dataflow& dfl) {
+  for (std::uint32_t idx = 0; idx < cfg.blocks.size(); ++idx) {
+    BasicBlock& b = cfg.blocks[idx];
+    const JumpResolution& r = dfl.jumps[idx];
+    if (r.kind == JumpKind::Resolved) {
+      b.resolved = true;
+      b.target = cfg.block_of[r.target_inst];
+    } else if (r.kind == JumpKind::KnownBad) {
+      b.resolved = true;  // target stays kNoBlock: the jump always faults
+    }
+  }
+}
+
+/// Enumerates block `idx`'s successors on the resolved CFG. Returns true
+/// when the exit is an unresolved dynamic jump (the every-JUMPDEST sink);
+/// the sink's member blocks are not passed to `fn`.
+template <typename Fn>
+bool frozen_successors(const std::vector<BasicBlock>& blocks,
+                       std::uint32_t idx, Fn&& fn) {
+  const BasicBlock& b = blocks[idx];
+  bool sink = false;
+  switch (b.exit) {
+    case BlockExit::FallThrough:
+      fn(idx + 1);
+      break;
+    case BlockExit::Branch:
+      if (idx + 1 < blocks.size()) fn(idx + 1);
+      [[fallthrough]];
+    case BlockExit::Jump:
+      if (b.dynamic_exit && !b.resolved) {
+        sink = true;
+      } else if (b.target != BasicBlock::kNoBlock) {
+        fn(b.target);
+      }
+      break;
+    case BlockExit::Terminate:
+    case BlockExit::Trap:
+    case BlockExit::CodeEnd:
+      break;
+  }
+  return sink;
+}
+
+/// Reachability over the resolved CFG; marks BasicBlock::reachable.
+/// Returns whether an unresolved dynamic jump is reachable (sink armed).
+bool frozen_reach(std::vector<BasicBlock>& blocks,
+                  const DecodedInst* insts) {
+  std::vector<std::uint32_t> work;
+  const auto reach = [&](std::uint32_t idx) {
+    if (!blocks[idx].reachable) {
+      blocks[idx].reachable = true;
+      work.push_back(idx);
+    }
+  };
+  reach(0);
+  bool sink_armed = false;
+  while (!work.empty()) {
+    const std::uint32_t idx = work.back();
+    work.pop_back();
+    if (frozen_successors(blocks, idx, reach) && !sink_armed) {
+      sink_armed = true;
+      for (std::uint32_t j = 0; j < blocks.size(); ++j) {
+        if (insts[blocks[j].first].handler == Handler::JumpDest) reach(j);
+      }
+    }
+  }
+  return sink_armed;
+}
+
+// ===== dominators, natural loops, trip bounds, WCET =======================
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  return a > ~b ? ~0ULL : a + b;
+}
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  return b != 0 && a > ~0ULL / b ? ~0ULL : a * b;
+}
+
+constexpr std::uint64_t kMaxTripBound = 1ULL << 20;
+
+// --- affine symbolic domain for the trip-count prover ---------------------
+// Values relative to the loop-header entry stack: Unknown, a constant, or
+// Rel(slot) + offset where Rel(slot) is the entry value `slot` elements
+// below the top. Only +/- keep the affine form; everything else folds
+// constants or gives Unknown.
+
+constexpr std::size_t kSymSeedDepth = 40;
+
+struct SymVal {
+  enum Kind : std::uint8_t { Unk, Const, Aff };
+  Kind kind = Unk;
+  std::uint32_t slot = 0;  ///< Aff: header-entry depth of the base value
+  U256 off;                ///< Const: the value; Aff: the added offset
+};
+
+struct SymStack {
+  std::vector<SymVal> v;  ///< top at the back
+  bool underflow = false;
+
+  void push(const SymVal& x) { v.push_back(x); }
+  SymVal pop() {
+    if (v.empty()) {
+      underflow = true;
+      return {};
+    }
+    SymVal x = v.back();
+    v.pop_back();
+    return x;
+  }
+  [[nodiscard]] SymVal peek(std::size_t d) const {
+    return d < v.size() ? v[v.size() - 1 - d] : SymVal{};
+  }
+  void set(std::size_t d, const SymVal& x) {
+    if (d < v.size()) v[v.size() - 1 - d] = x;
+  }
+};
+
+SymVal sym_fold(Handler h, const SymVal& a, const SymVal& s) {
+  if (h == Handler::Add) {
+    if (a.kind == SymVal::Const && s.kind == SymVal::Const) {
+      return {SymVal::Const, 0, a.off + s.off};
+    }
+    if (a.kind == SymVal::Aff && s.kind == SymVal::Const) {
+      return {SymVal::Aff, a.slot, a.off + s.off};
+    }
+    if (a.kind == SymVal::Const && s.kind == SymVal::Aff) {
+      return {SymVal::Aff, s.slot, a.off + s.off};
+    }
+    return {};
+  }
+  if (h == Handler::Sub) {  // a - s
+    if (a.kind == SymVal::Const && s.kind == SymVal::Const) {
+      return {SymVal::Const, 0, a.off - s.off};
+    }
+    if (a.kind == SymVal::Aff && s.kind == SymVal::Const) {
+      return {SymVal::Aff, a.slot, a.off - s.off};
+    }
+    return {};
+  }
+  if (a.kind == SymVal::Const && s.kind == SymVal::Const &&
+      is_fusible_bin(h)) {
+    U256 r = a.off;
+    apply_fused_bin(h, r, s.off);
+    return {SymVal::Const, 0, r};
+  }
+  return {};
+}
+
+void transfer_sym(SymStack& st, const DecodedInst& inst) {
+  const Handler h = inst.handler;
+  switch (h) {
+    case Handler::Push:
+      st.push({SymVal::Const, 0, inst.imm});
+      return;
+    case Handler::Pc:
+      st.push({SymVal::Const, 0, U256{inst.pc}});
+      return;
+    case Handler::Pop:
+      st.pop();
+      return;
+    case Handler::JumpDest:
+      return;
+    case Handler::Dup:
+      st.push(st.peek(static_cast<std::size_t>(inst.aux) - 1));
+      return;
+    case Handler::Swap: {
+      const auto d = static_cast<std::size_t>(inst.aux);
+      const SymVal top = st.peek(0);
+      const SymVal deep = st.peek(d);
+      st.set(0, deep);
+      st.set(d, top);
+      return;
+    }
+    case Handler::PushBin: {
+      const SymVal s = st.pop();
+      st.push(sym_fold(static_cast<Handler>(inst.aux2),
+                       {SymVal::Const, 0, inst.imm}, s));
+      return;
+    }
+    case Handler::DupBin: {
+      const SymVal a = st.peek(static_cast<std::size_t>(inst.aux) - 1);
+      const SymVal s = st.pop();
+      st.push(sym_fold(static_cast<Handler>(inst.aux2), a, s));
+      return;
+    }
+    case Handler::SwapBin: {
+      const SymVal v1 = st.pop();
+      const SymVal v2 = st.pop();
+      st.push(sym_fold(static_cast<Handler>(inst.aux2), v2, v1));
+      return;
+    }
+    case Handler::PushJump:
+      return;
+    case Handler::PushJumpI:
+      st.pop();
+      return;
+    case Handler::Jump:
+      st.pop();
+      return;
+    case Handler::JumpI:
+      st.pop();
+      st.pop();
+      return;
+    default:
+      break;
+  }
+  if (is_fusible_bin(h)) {
+    const SymVal a = st.pop();
+    const SymVal s = st.pop();
+    st.push(sym_fold(h, a, s));
+    return;
+  }
+  const StackEffect ef = stack_effect(inst);
+  for (std::int32_t i = 0; i < ef.require; ++i) st.pop();
+  for (std::int32_t i = 0; i < ef.require + ef.delta; ++i) st.push({});
+}
+
+/// The block-terminating instruction (the fused head when the block ends in
+/// a superinstruction pair — the last slot is then the fallback).
+const DecodedInst& terminator(const std::vector<BasicBlock>& blocks,
+                              std::uint32_t idx, const DecodedInst* insts) {
+  const BasicBlock& b = blocks[idx];
+  if (b.count >= 2 && is_fused_head(insts[b.first + b.count - 2].handler)) {
+    return insts[b.first + b.count - 2];
+  }
+  return insts[b.first + b.count - 1];
+}
+
+/// Tries to prove a trip bound for one natural loop: single latch whose
+/// conditional branch takes the back edge, a unique in-loop path
+/// header->latch (a chain — nested loops fail this structurally), a loop
+/// counter that is affine in one header-entry stack slot, and a known
+/// constant entry value from every non-back-edge predecessor. The bound is
+/// the worst-case number of header entries per frame execution; any
+/// in-loop early exit only lowers the real count.
+void prove_trip_bound(LoopInfo& loop, const std::vector<BasicBlock>& blocks,
+                      const std::vector<std::vector<std::uint32_t>>& pred,
+                      const Dataflow& dfl, const DecodedInst* insts) {
+  loop.bounded = false;
+  if (loop.latch == BasicBlock::kNoBlock) {
+    loop.note = "multiple latches";
+    return;
+  }
+  const BasicBlock& latch = blocks[loop.latch];
+  if (latch.exit != BlockExit::Branch) {
+    loop.note = "unconditional back edge";
+    return;
+  }
+  if (latch.target != loop.header) {
+    loop.note = "back edge is not the taken branch";
+    return;
+  }
+  std::vector<std::uint8_t> in_loop(blocks.size(), 0);
+  for (const std::uint32_t m : loop.blocks) in_loop[m] = 1;
+  if (loop.latch + 1 < blocks.size() && in_loop[loop.latch + 1]) {
+    loop.note = "latch fallthrough stays in the loop";
+    return;
+  }
+
+  // Unique in-loop path header -> latch.
+  std::vector<std::uint32_t> chain;
+  std::vector<std::uint8_t> seen(blocks.size(), 0);
+  std::uint32_t cur = loop.header;
+  while (true) {
+    if (seen[cur] || chain.size() > loop.blocks.size()) {
+      loop.note = "loop body branches";
+      return;
+    }
+    seen[cur] = 1;
+    chain.push_back(cur);
+    if (cur == loop.latch) break;
+    std::uint32_t next = BasicBlock::kNoBlock;
+    int fanout = 0;
+    frozen_successors(blocks, cur, [&](std::uint32_t s) {
+      if (in_loop[s]) {
+        ++fanout;
+        next = s;
+      }
+    });
+    if (fanout != 1) {
+      loop.note = "loop body branches";
+      return;
+    }
+    cur = next;
+  }
+
+  // Symbolic execution of the chain relative to the header entry stack.
+  SymStack st;
+  st.v.resize(kSymSeedDepth);
+  for (std::size_t i = 0; i < kSymSeedDepth; ++i) {
+    st.v[i] = {SymVal::Aff,
+               static_cast<std::uint32_t>(kSymSeedDepth - 1 - i), U256{}};
+  }
+  SymVal cond;
+  for (const std::uint32_t bidx : chain) {
+    const BasicBlock& b = blocks[bidx];
+    const std::uint32_t end = b.first + b.count;
+    for (std::uint32_t i = b.first; i < end;) {
+      const DecodedInst& inst = insts[i];
+      if (bidx == loop.latch && &inst == &terminator(blocks, bidx, insts)) {
+        cond = inst.handler == Handler::JumpI ? st.peek(1) : st.peek(0);
+      }
+      transfer_sym(st, inst);
+      i += is_fused_head(inst.handler) ? 2 : 1;
+    }
+  }
+  if (st.underflow) {
+    loop.note = "loop pops below the tracked window";
+    return;
+  }
+  if (cond.kind == SymVal::Const) {
+    if (cond.off.is_zero()) {
+      loop.bounded = true;
+      loop.trip_bound = 1;
+      loop.note = "branch condition constant-zero";
+    } else {
+      loop.note = "branch condition constant-true";
+    }
+    return;
+  }
+  if (cond.kind != SymVal::Aff) {
+    loop.note = "counter is not affine in one entry slot";
+    return;
+  }
+  const std::uint32_t slot = cond.slot;
+  const SymVal next = st.peek(slot);
+  if (next.kind != SymVal::Aff || next.slot != slot) {
+    loop.note = "counter is not self-affine across an iteration";
+    return;
+  }
+  const U256 step = next.off;  // per-iteration delta of the counter slot
+
+  // Entry value: every reachable non-back-edge predecessor of the header
+  // must leave the same known constant in the counter slot.
+  bool have_n = false;
+  U256 entry_n;
+  for (const std::uint32_t p : pred[loop.header]) {
+    if (p == loop.latch || !blocks[p].reachable) continue;
+    const AbsStack out = run_block(dfl.in[p].stack, blocks[p], insts, nullptr);
+    const AbsVal val = out.peek(slot);
+    if (!val.known || (have_n && !(val.value == entry_n))) {
+      loop.note = "loop entry value unknown";
+      return;
+    }
+    have_n = true;
+    entry_n = val.value;
+  }
+  if (!have_n) {
+    loop.note = "loop entry value unknown";
+    return;
+  }
+
+  // Condition at latch evaluation t (1-based): kappa_t = M - (t-1)*c with
+  // M = N + d_c and c = -step (all mod 2^256). The loop repeats while
+  // kappa != 0 and exits the first time it hits zero; when M and c fit in
+  // 64 bits (or both negate into 64 bits, covering increment loops) and c
+  // divides M, that is t = M/c + 1 — with no earlier wrap, since the
+  // sequence is strictly decreasing over the integers until zero.
+  if (step.is_zero()) {
+    const U256 m = entry_n + cond.off;
+    if (m.is_zero()) {
+      loop.bounded = true;
+      loop.trip_bound = 1;
+      loop.note = "counter starts at the exit value";
+    } else {
+      loop.note = "counter step is zero";
+    }
+    return;
+  }
+  const U256 m_pos = entry_n + cond.off;
+  const U256 c_pos = U256{} - step;
+  const U256 m_neg = U256{} - m_pos;
+  const U256 c_neg = step;
+  std::uint64_t m64 = 0;
+  std::uint64_t c64 = 0;
+  if (m_pos.fits_u64() && c_pos.fits_u64()) {
+    m64 = m_pos.as_u64();
+    c64 = c_pos.as_u64();
+  } else if (m_neg.fits_u64() && c_neg.fits_u64()) {
+    m64 = m_neg.as_u64();
+    c64 = c_neg.as_u64();
+  } else {
+    loop.note = "counter values out of 64-bit range";
+    return;
+  }
+  if (c64 == 0 || m64 % c64 != 0) {
+    loop.note = "step does not divide the counter range";
+    return;
+  }
+  const std::uint64_t trips = m64 / c64 + 1;
+  if (trips > kMaxTripBound) {
+    loop.note = "trip bound too large";
+    return;
+  }
+  loop.bounded = true;
+  loop.trip_bound = trips;
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "affine counter in entry slot %u: %llu iterations", slot,
+                static_cast<unsigned long long>(trips));
+  loop.note = buf;
+}
+
+/// Loops, irreducibility, and the per-dimension WCET certificate, over the
+/// resolved CFG (reachability and entry heights already computed).
+void compute_structure(AnalysisReport& report, const DecodedProgram& program,
+                       const Dataflow& dfl, bool sink_reachable,
+                       std::uint32_t sink_pc) {
+  auto& blocks = report.blocks;
+  const DecodedInst* const insts = program.insts.data();
+  const auto nb = static_cast<std::uint32_t>(blocks.size());
+  char buf[128];
+
+  // --- stack dimension ----------------------------------------------------
+  // Needs no loop bounds: entry heights are consistent around any cycle or
+  // they would have become kConflictHeight. It does need a closed CFG —
+  // heights at a sink block only reflect its static edges, not the
+  // unresolved jump that may enter at any height.
+  {
+    WcetBound& s = report.wcet.stack;
+    if (sink_reachable) {
+      std::snprintf(buf, sizeof buf, "unresolved dynamic jump at pc %u",
+                    sink_pc);
+      s.reason = buf;
+    } else {
+      s.certified = true;
+      for (std::uint32_t i = 0; i < nb && s.certified; ++i) {
+        const BasicBlock& b = blocks[i];
+        if (!b.reachable) continue;
+        if (!b.entry_height_known()) {
+          s.certified = false;
+          std::snprintf(buf, sizeof buf,
+                        "entry stack height unknown for block at pc %u",
+                        b.pc);
+          s.reason = buf;
+          break;
+        }
+        s.bound = std::max(
+            s.bound, static_cast<std::uint64_t>(b.entry_height + b.stack_peak));
+      }
+      if (!s.certified) s.bound = 0;
+    }
+  }
+
+  const auto decline = [&](const char* why) {
+    report.wcet.gas.reason = why;
+    report.wcet.cycles.reason = why;
+    report.wcet.ops.reason = why;
+  };
+  if (sink_reachable) {
+    std::snprintf(buf, sizeof buf, "unresolved dynamic jump at pc %u",
+                  sink_pc);
+    decline(buf);
+    return;  // no closed CFG: loop structure would be meaningless
+  }
+
+  // --- successor / predecessor lists over reachable blocks ---------------
+  std::vector<std::vector<std::uint32_t>> succ(nb);
+  std::vector<std::vector<std::uint32_t>> pred(nb);
+  for (std::uint32_t i = 0; i < nb; ++i) {
+    if (!blocks[i].reachable) continue;
+    frozen_successors(blocks, i, [&](std::uint32_t s) {
+      succ[i].push_back(s);
+      pred[s].push_back(i);
+    });
+  }
+
+  // --- dominators (Cooper-Harvey-Kennedy over a reverse post-order) ------
+  std::vector<std::uint32_t> order;  // reverse post-order
+  {
+    std::vector<std::uint8_t> state(nb, 0);  // 0 new, 1 open, 2 done
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    std::vector<std::uint32_t> post;
+    while (!stack.empty()) {
+      auto& [node, child] = stack.back();
+      if (child < succ[node].size()) {
+        const std::uint32_t s = succ[node][child++];
+        if (state[s] == 0) {
+          state[s] = 1;
+          stack.emplace_back(s, 0);
+        }
+      } else {
+        state[node] = 2;
+        post.push_back(node);
+        stack.pop_back();
+      }
+    }
+    order.assign(post.rbegin(), post.rend());
+  }
+  std::vector<std::uint32_t> rpo_pos(nb, BasicBlock::kNoBlock);
+  for (std::uint32_t i = 0; i < order.size(); ++i) rpo_pos[order[i]] = i;
+  std::vector<std::uint32_t> idom(nb, BasicBlock::kNoBlock);
+  idom[0] = 0;
+  const auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+    while (a != b) {
+      while (rpo_pos[a] > rpo_pos[b]) a = idom[a];
+      while (rpo_pos[b] > rpo_pos[a]) b = idom[b];
+    }
+    return a;
+  };
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const std::uint32_t b : order) {
+      if (b == 0) continue;
+      std::uint32_t new_idom = BasicBlock::kNoBlock;
+      for (const std::uint32_t p : pred[b]) {
+        if (idom[p] == BasicBlock::kNoBlock) continue;
+        new_idom = new_idom == BasicBlock::kNoBlock ? p
+                                                    : intersect(new_idom, p);
+      }
+      if (new_idom != BasicBlock::kNoBlock && idom[b] != new_idom) {
+        idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  const auto dominates = [&](std::uint32_t v, std::uint32_t u) {
+    while (rpo_pos[u] > rpo_pos[v]) u = idom[u];
+    return u == v;
+  };
+
+  // --- natural loops from dominator back edges ---------------------------
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> back_edges;  // u -> h
+  for (const std::uint32_t u : order) {
+    for (const std::uint32_t h : succ[u]) {
+      if (dominates(h, u)) back_edges.emplace_back(u, h);
+    }
+  }
+  auto& loops = report.loops;
+  std::vector<std::uint32_t> loop_of_header(nb, BasicBlock::kNoLoop);
+  for (const auto& [u, h] : back_edges) {
+    std::uint32_t li = loop_of_header[h];
+    if (li == BasicBlock::kNoLoop) {
+      li = static_cast<std::uint32_t>(loops.size());
+      loop_of_header[h] = li;
+      loops.emplace_back();
+      loops[li].header = h;
+      loops[li].latch = u;
+      loops[li].blocks.push_back(h);
+    } else {
+      loops[li].latch = BasicBlock::kNoBlock;  // second latch: merged loop
+    }
+    LoopInfo& loop = loops[li];
+    // Reverse-flood from the latch, stopping at the header.
+    std::vector<std::uint32_t> work{u};
+    while (!work.empty()) {
+      const std::uint32_t x = work.back();
+      work.pop_back();
+      if (std::find(loop.blocks.begin(), loop.blocks.end(), x) !=
+          loop.blocks.end()) {
+        continue;
+      }
+      loop.blocks.push_back(x);
+      for (const std::uint32_t p : pred[x]) work.push_back(p);
+    }
+  }
+  for (LoopInfo& loop : loops) {
+    std::sort(loop.blocks.begin(), loop.blocks.end());
+  }
+  // Innermost-loop labels: assign largest first so the smallest wins.
+  {
+    std::vector<std::uint32_t> by_size(loops.size());
+    for (std::uint32_t i = 0; i < by_size.size(); ++i) by_size[i] = i;
+    std::sort(by_size.begin(), by_size.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return loops[a].blocks.size() > loops[b].blocks.size();
+              });
+    for (const std::uint32_t li : by_size) {
+      for (const std::uint32_t m : loops[li].blocks) blocks[m].loop = li;
+    }
+    for (std::uint32_t li = 0; li < loops.size(); ++li) {
+      std::uint32_t best = BasicBlock::kNoLoop;
+      for (std::uint32_t lj = 0; lj < loops.size(); ++lj) {
+        if (lj == li) continue;
+        const auto& member = loops[lj].blocks;
+        if (std::find(member.begin(), member.end(), loops[li].header) ==
+            member.end()) {
+          continue;
+        }
+        if (best == BasicBlock::kNoLoop ||
+            member.size() < loops[best].blocks.size()) {
+          best = lj;
+        }
+      }
+      loops[li].parent = best;
+    }
+  }
+
+  // --- irreducibility: a cycle must survive removing back edges ----------
+  std::vector<std::uint32_t> topo;  // Kahn order over forward edges
+  {
+    // An edge u->s is "forward" unless s dominates u (a back edge).
+    std::vector<std::uint32_t> indeg(nb, 0);
+    std::uint32_t reachable_count = 0;
+    for (std::uint32_t i = 0; i < nb; ++i) {
+      if (!blocks[i].reachable) continue;
+      ++reachable_count;
+      for (const std::uint32_t s : succ[i]) {
+        if (!dominates(s, i)) ++indeg[s];
+      }
+    }
+    std::vector<std::uint32_t> ready;
+    for (std::uint32_t i = 0; i < nb; ++i) {
+      if (blocks[i].reachable && indeg[i] == 0) ready.push_back(i);
+    }
+    while (!ready.empty()) {
+      const std::uint32_t x = ready.back();
+      ready.pop_back();
+      topo.push_back(x);
+      for (const std::uint32_t s : succ[x]) {
+        if (!dominates(s, x) && --indeg[s] == 0) ready.push_back(s);
+      }
+    }
+    report.irreducible = topo.size() != reachable_count;
+  }
+
+  // --- trip bounds --------------------------------------------------------
+  for (LoopInfo& loop : loops) {
+    prove_trip_bound(loop, blocks, pred, dfl, insts);
+  }
+
+  // --- gas / cycles / ops gates ------------------------------------------
+  if (report.irreducible) {
+    decline("irreducible control flow");
+    return;
+  }
+  for (const LoopInfo& loop : loops) {
+    if (!loop.bounded) {
+      std::snprintf(buf, sizeof buf, "loop at pc %u unbounded: %s",
+                    blocks[loop.header].pc, loop.note.c_str());
+      decline(buf);
+      return;
+    }
+  }
+  const auto dyn_gas_op = [](Handler h) {
+    switch (h) {
+      case Handler::Exp:
+      case Handler::Sha3:
+      case Handler::CallDataCopy:
+      case Handler::CodeCopy:
+      case Handler::ReturnDataCopy:
+      case Handler::ExtCodeCopy:
+      case Handler::MLoad:
+      case Handler::MStore:
+      case Handler::MStore8:
+      case Handler::Log:
+      case Handler::Create:
+      case Handler::Call:
+      case Handler::CallCode:
+      case Handler::DelegateCall:
+      case Handler::StaticCall:
+      case Handler::Return:
+      case Handler::Revert:
+        return true;  // per-byte charges or memory-expansion gas
+      default:
+        return false;
+    }
+  };
+  const auto dyn_cycle_op = [](Handler h) {
+    switch (h) {
+      case Handler::Exp:
+      case Handler::Sha3:
+      case Handler::CallDataCopy:
+      case Handler::CodeCopy:
+      case Handler::ReturnDataCopy:
+      case Handler::ExtCodeCopy:
+        return true;  // modeled cycles scale with operand sizes
+      default:
+        return false;
+    }
+  };
+  bool gas_ok = true;
+  bool cycles_ok = true;
+  for (std::uint32_t i = 0; i < nb; ++i) {
+    const BasicBlock& b = blocks[i];
+    if (!b.reachable) continue;
+    const std::uint32_t end = b.first + b.count;
+    for (std::uint32_t j = b.first; j < end;) {
+      const DecodedInst& inst = insts[j];
+      if (gas_ok && dyn_gas_op(inst.handler)) {
+        std::snprintf(buf, sizeof buf, "dynamically-priced op at pc %u",
+                      inst.pc);
+        report.wcet.gas.reason = buf;
+        gas_ok = false;
+      }
+      if (cycles_ok && dyn_cycle_op(inst.handler)) {
+        std::snprintf(buf, sizeof buf, "dynamic-cycle op at pc %u", inst.pc);
+        report.wcet.cycles.reason = buf;
+        cycles_ok = false;
+      }
+      j += is_fused_head(inst.handler) ? 2 : 1;
+    }
+  }
+
+  // --- longest-path DP over the back-edge-free DAG -----------------------
+  // Node cost = the block's static totals; a bounded loop header adds
+  // (trips - 1) x the loop body's totals, covering every re-entry. The
+  // answer is the max over *all* reachable blocks: a faulting execution's
+  // consumption is a prefix of some path, so prefixes must be covered too.
+  std::vector<std::uint64_t> in_gas(nb, 0);
+  std::vector<std::uint64_t> in_cyc(nb, 0);
+  std::vector<std::uint64_t> in_ops(nb, 0);
+  std::uint64_t max_gas = 0;
+  std::uint64_t max_cyc = 0;
+  std::uint64_t max_ops = 0;
+  for (const std::uint32_t x : topo) {
+    std::uint64_t gas = sat_add(in_gas[x], blocks[x].static_gas);
+    std::uint64_t cyc = sat_add(in_cyc[x], blocks[x].cycles);
+    std::uint64_t ops = sat_add(in_ops[x], blocks[x].ops);
+    if (loop_of_header[x] != BasicBlock::kNoLoop) {
+      const LoopInfo& loop = loops[loop_of_header[x]];
+      std::uint64_t body_gas = 0;
+      std::uint64_t body_cyc = 0;
+      std::uint64_t body_ops = 0;
+      for (const std::uint32_t m : loop.blocks) {
+        body_gas = sat_add(body_gas, blocks[m].static_gas);
+        body_cyc = sat_add(body_cyc, blocks[m].cycles);
+        body_ops = sat_add(body_ops, blocks[m].ops);
+      }
+      const std::uint64_t extra = loop.trip_bound - 1;
+      gas = sat_add(gas, sat_mul(extra, body_gas));
+      cyc = sat_add(cyc, sat_mul(extra, body_cyc));
+      ops = sat_add(ops, sat_mul(extra, body_ops));
+    }
+    max_gas = std::max(max_gas, gas);
+    max_cyc = std::max(max_cyc, cyc);
+    max_ops = std::max(max_ops, ops);
+    for (const std::uint32_t s : succ[x]) {
+      if (dominates(s, x)) continue;  // back edge: folded into the header
+      in_gas[s] = std::max(in_gas[s], gas);
+      in_cyc[s] = std::max(in_cyc[s], cyc);
+      in_ops[s] = std::max(in_ops[s], ops);
+    }
+  }
+  if (gas_ok) {
+    report.wcet.gas.certified = true;
+    report.wcet.gas.bound = max_gas;
+  }
+  if (cycles_ok) {
+    report.wcet.cycles.certified = true;
+    report.wcet.cycles.bound = max_cyc;
+  }
+  report.wcet.ops.certified = true;
+  report.wcet.ops.bound = max_ops;
+}
+
 }  // namespace
 
 StackEffect stack_effect(const DecodedInst& inst) {
@@ -309,16 +1487,18 @@ std::size_t AnalysisReport::warning_count() const {
 void attach_elide_spans(DecodedProgram& program) {
   program.spans.clear();
   program.entry_span = kNoJumpTarget;
+  program.analysis.span_slots = 0;
   const auto n = static_cast<std::uint32_t>(program.insts.size());
 
   // Builds the span starting at `start`; returns its index or the
   // kNoJumpTarget sentinel when the run is too short to pay for the entry
   // test. JUMPDEST is not elidable, so a span can never cross into the
-  // next block. When the run is stopped by the block's terminating fused
-  // jump and that jump's target resolved at translate time, the jump is
-  // swallowed as the span's tail: with gas/watchdog pre-charged, enough
-  // room for the transient push, and a known-valid destination, the pair
-  // cannot fail either — and a loop's back edge then runs inside the span.
+  // next block. When the run is stopped by the block's terminating jump
+  // and that jump's target is known statically — a fused PUSH+JUMP/JUMPI,
+  // or a plain JUMP/JUMPI the dataflow resolved — the jump is swallowed as
+  // the span's tail: with gas/watchdog pre-charged, enough room for any
+  // transient push, and a known-valid destination, it cannot fail either —
+  // and a loop's back edge then runs inside the span.
   const auto build = [&](std::uint32_t start) -> std::uint32_t {
     Summary sum;
     std::uint32_t i = start;
@@ -339,6 +1519,16 @@ void attach_elide_spans(DecodedProgram& program) {
         tail = t.handler == Handler::PushJump ? kSpanTailJump
                                               : kSpanTailJumpI;
         tail_slots = 2;
+      } else if ((t.handler == Handler::Jump ||
+                  t.handler == Handler::JumpI) &&
+                 t.target != kNoJumpTarget) {
+        // Plain dynamic jump whose operand the constant dataflow resolved:
+        // the destination is already on the elided stack, the target is a
+        // proven-valid JUMPDEST slot.
+        sum.add(t);
+        tail = t.handler == Handler::Jump ? kSpanTailDynJump
+                                          : kSpanTailDynJumpI;
+        tail_slots = 1;
       }
     }
     if (slots + tail_slots < kMinElideSpanSlots) return kNoJumpTarget;
@@ -353,6 +1543,7 @@ void attach_elide_spans(DecodedProgram& program) {
     span.stack_peak = static_cast<std::uint16_t>(sum.peak);
     span.tail = tail;
     program.spans.push_back(span);
+    program.analysis.span_slots += slots + tail_slots;
     return static_cast<std::uint32_t>(program.spans.size() - 1);
   };
 
@@ -364,13 +1555,71 @@ void attach_elide_spans(DecodedProgram& program) {
   }
   // Fallback-continuation slots are never JUMPDEST, so a linear scan visits
   // every leader exactly once. The span index rides in the JUMPDEST's
-  // otherwise-unused `target` field.
+  // otherwise-unused `target` field. Dead leaders (kJumpDestDeadFlag set by
+  // analyze_for_translation) anchor no span: they are never executed, so a
+  // span there would only inflate coverage counters.
   for (std::uint32_t i = 0; i < n; ++i) {
     if (program.insts[i].handler == Handler::JumpDest) {
-      program.insts[i].target = build(i + 1);
+      program.insts[i].target =
+          (program.insts[i].aux2 & kJumpDestDeadFlag) != 0 ? kNoJumpTarget
+                                                           : build(i + 1);
     }
   }
   program.spans.shrink_to_fit();
+}
+
+void analyze_for_translation(DecodedProgram& program) {
+  program.analysis = {};
+  const auto n = static_cast<std::uint32_t>(program.insts.size());
+  if (n == 0) {
+    attach_elide_spans(program);
+    return;
+  }
+  // Idempotence: clear any earlier resolution state before re-deriving it.
+  for (std::uint32_t i = 0; i < n;) {
+    DecodedInst& inst = program.insts[i];
+    if (inst.handler == Handler::Jump || inst.handler == Handler::JumpI) {
+      inst.target = kNoJumpTarget;
+    } else if (inst.handler == Handler::JumpDest) {
+      inst.aux2 &= static_cast<std::uint8_t>(~kJumpDestDeadFlag);
+    }
+    i += is_fused_head(inst.handler) ? 2 : 1;
+  }
+
+  Cfg cfg = build_cfg(program);
+  const Dataflow dfl = run_constant_dataflow(program, cfg);
+  stamp_resolutions(cfg, dfl);
+  // Resolved destinations ride in the jump's own `target` slot, consumed
+  // only by the span fast path — checked dispatch still resolves from the
+  // live stack, keeping a pure-runtime reference the fuzzer diffs against.
+  for (std::uint32_t idx = 0; idx < cfg.blocks.size(); ++idx) {
+    if (dfl.jumps[idx].kind == JumpKind::Resolved) {
+      const BasicBlock& b = cfg.blocks[idx];
+      program.insts[b.first + b.count - 1].target =
+          dfl.jumps[idx].target_inst;
+    }
+  }
+
+  frozen_reach(cfg.blocks, program.insts.data());
+  for (const BasicBlock& b : cfg.blocks) {
+    if (b.reachable) {
+      if (b.dynamic_exit) {
+        if (b.resolved) {
+          ++program.analysis.resolved_jumps;
+        } else {
+          ++program.analysis.unresolved_jumps;
+        }
+      }
+    } else {
+      ++program.analysis.dead_blocks;
+      program.analysis.dead_slots += b.count;
+      if (program.insts[b.first].handler == Handler::JumpDest) {
+        program.insts[b.first].aux2 |= kJumpDestDeadFlag;
+      }
+    }
+  }
+
+  attach_elide_spans(program);
 }
 
 AnalysisReport analyze(const DecodedProgram& program,
@@ -380,139 +1629,47 @@ AnalysisReport analyze(const DecodedProgram& program,
   if (n == 0) return report;
   const DecodedInst* const insts = program.insts.data();
 
-  // --- leaders -----------------------------------------------------------
-  std::vector<std::uint8_t> leader(n, 0);
-  leader[0] = 1;
-  for (std::uint32_t i = 0; i < n;) {
-    const Handler h = insts[i].handler;
-    if (h == Handler::JumpDest) leader[i] = 1;
-    const std::uint32_t stride = is_fused_head(h) ? 2 : 1;
-    if (ends_block(h) && i + stride < n) leader[i + stride] = 1;
-    i += stride;
-  }
-
-  // --- block construction ------------------------------------------------
+  Cfg cfg = build_cfg(program);
+  const Dataflow dfl = run_constant_dataflow(program, cfg);
+  stamp_resolutions(cfg, dfl);
+  const std::vector<std::uint32_t> block_of = std::move(cfg.block_of);
+  report.blocks = std::move(cfg.blocks);
   auto& blocks = report.blocks;
-  std::vector<std::uint32_t> block_of(n, 0);
-  for (std::uint32_t i = 0; i < n;) {
-    if (leader[i]) {
-      blocks.emplace_back();
-      blocks.back().first = i;
-      blocks.back().pc = insts[i].pc;
-    }
-    BasicBlock& b = blocks.back();
-    const DecodedInst& inst = insts[i];
-    const std::uint32_t stride = is_fused_head(inst.handler) ? 2 : 1;
-    Summary sum{b.stack_delta, b.stack_require, b.stack_peak,
-                b.static_gas,  b.cycles,        b.ops};
-    sum.add(inst);
-    b.stack_require = sum.require;
-    b.stack_delta = sum.height;
-    b.stack_peak = sum.peak;
-    b.static_gas = sum.static_gas;
-    b.cycles = sum.cycles;
-    b.ops = sum.ops;
-    block_of[i] = static_cast<std::uint32_t>(blocks.size() - 1);
-    if (stride == 2) block_of[i + 1] = block_of[i];
-    b.count += stride;
 
-    switch (inst.handler) {
-      case Handler::Stop:
-      case Handler::Return:
-      case Handler::Revert:
-      case Handler::SelfDestruct:
-        b.exit = BlockExit::Terminate;
-        break;
-      case Handler::Invalid:
-      case Handler::Undefined:
-      case Handler::Forbidden:
-        b.exit = BlockExit::Trap;
-        break;
-      case Handler::Jump:
-        b.exit = BlockExit::Jump;
-        b.dynamic_exit = true;
-        break;
-      case Handler::JumpI:
-        b.exit = BlockExit::Branch;
-        b.dynamic_exit = true;
-        break;
-      case Handler::PushJump:
-        b.exit = BlockExit::Jump;
-        b.target = inst.target;  // instruction index; mapped below
-        break;
-      case Handler::PushJumpI:
-        b.exit = BlockExit::Branch;
-        b.target = inst.target;
-        break;
-      default:
-        b.exit = i + stride < n && leader[i + stride] ? BlockExit::FallThrough
-                                                      : BlockExit::CodeEnd;
-        break;
+  // --- reachability over the resolved CFG --------------------------------
+  const bool sink_reachable = frozen_reach(blocks, insts);
+  std::uint32_t sink_pc = 0;
+  for (const BasicBlock& b : blocks) {
+    if (b.reachable && b.dynamic_exit && !b.resolved) {
+      sink_pc = insts[b.first + b.count - 1].pc;
+      break;
     }
-    i += stride;
   }
-  // Static jump targets were recorded as instruction indices (always
-  // JUMPDEST leaders); map them to block ids.
-  for (BasicBlock& b : blocks) {
-    if ((b.exit == BlockExit::Jump || b.exit == BlockExit::Branch) &&
-        !b.dynamic_exit && b.target != BasicBlock::kNoBlock) {
-      b.target = block_of[b.target];
-    }
-    const std::size_t next = static_cast<std::size_t>(&b - blocks.data()) + 1;
-    b.pc_end = next < blocks.size()
-                   ? blocks[next].pc
-                   : static_cast<std::uint32_t>(program.code_size);
-  }
-
-  // --- reachability ------------------------------------------------------
-  // Worklist from the entry block. A reachable dynamic jump conservatively
-  // reaches every JUMPDEST-led block (destinations are run-time values).
-  std::vector<std::uint32_t> work;
-  const auto reach = [&](std::uint32_t idx) {
-    if (!blocks[idx].reachable) {
-      blocks[idx].reachable = true;
-      work.push_back(idx);
-    }
-  };
-  reach(0);
-  bool dynamic_sink_armed = false;
-  while (!work.empty()) {
-    const std::uint32_t idx = work.back();
-    work.pop_back();
-    const BasicBlock& b = blocks[idx];
-    const std::uint32_t next = idx + 1;
-    switch (b.exit) {
-      case BlockExit::FallThrough:
-        reach(next);
-        break;
-      case BlockExit::Branch:
-        if (next < blocks.size()) reach(next);
-        [[fallthrough]];
-      case BlockExit::Jump:
-        if (b.target != BasicBlock::kNoBlock && !b.dynamic_exit) {
-          reach(b.target);
+  for (const BasicBlock& b : blocks) {
+    if (b.reachable) {
+      if (b.dynamic_exit) {
+        if (b.resolved) {
+          ++report.resolved_jumps;
+        } else {
+          ++report.unresolved_jumps;
         }
-        if (b.dynamic_exit && !dynamic_sink_armed) {
-          dynamic_sink_armed = true;
-          for (std::uint32_t j = 0; j < blocks.size(); ++j) {
-            if (insts[blocks[j].first].handler == Handler::JumpDest) reach(j);
-          }
-        }
-        break;
-      case BlockExit::Terminate:
-      case BlockExit::Trap:
-      case BlockExit::CodeEnd:
-        break;
+      }
+    } else {
+      ++report.dead_blocks;
+      report.dead_slots += b.count;
     }
   }
 
   // --- entry-height dataflow --------------------------------------------
-  // Heights propagate along statically-known edges only; a block that is
-  // also a dynamic-jump sink keeps whatever static edges prove (the lint
+  // Heights propagate along the resolved CFG's edges — static jumps,
+  // fallthroughs, and dataflow-resolved dynamic jumps. A block that is also
+  // an unresolved-sink target keeps whatever those edges prove (the lint
   // reports are warnings about *provable* facts, not a soundness bound for
-  // the elided path — that one re-checks at run time). Heights move
-  // monotonically unknown -> value -> conflict, so the loop terminates.
+  // the elided path — that one re-checks at run time; the WCET stack claim
+  // separately requires no reachable sink). Heights move monotonically
+  // unknown -> value -> conflict, so the loop terminates.
   std::vector<std::uint8_t> conflict_reported(blocks.size(), 0);
+  std::vector<std::uint32_t> work;
   blocks[0].entry_height = 0;
   work.push_back(0);
   while (!work.empty()) {
@@ -521,7 +1678,7 @@ AnalysisReport analyze(const DecodedProgram& program,
     BasicBlock& b = blocks[idx];
     if (!b.entry_height_known()) continue;
     const std::int32_t out = b.entry_height + b.stack_delta;
-    const auto propose = [&](std::uint32_t succ) {
+    frozen_successors(blocks, idx, [&](std::uint32_t succ) {
       BasicBlock& t = blocks[succ];
       if (t.entry_height == out ||
           t.entry_height == BasicBlock::kConflictHeight) {
@@ -543,24 +1700,7 @@ AnalysisReport analyze(const DecodedProgram& program,
         }
       }
       work.push_back(succ);
-    };
-    switch (b.exit) {
-      case BlockExit::FallThrough:
-        propose(idx + 1);
-        break;
-      case BlockExit::Branch:
-        if (idx + 1 < blocks.size()) propose(idx + 1);
-        [[fallthrough]];
-      case BlockExit::Jump:
-        if (b.target != BasicBlock::kNoBlock && !b.dynamic_exit) {
-          propose(b.target);
-        }
-        break;
-      case BlockExit::Terminate:
-      case BlockExit::Trap:
-      case BlockExit::CodeEnd:
-        break;
-    }
+    });
   }
 
   // --- diagnostics -------------------------------------------------------
@@ -569,6 +1709,24 @@ AnalysisReport analyze(const DecodedProgram& program,
                         std::string message) {
     report.diagnostics.push_back(
         Diagnostic{kind, severity, pc, block, std::move(message)});
+  };
+  const auto emit_bad_jump = [&](std::uint32_t idx, const DecodedInst& jump,
+                                 bool conditional, const U256& imm) {
+    const std::uint64_t dest = imm.fits_u64() ? imm.as_u64() : ~0ULL;
+    const bool into_pushdata =
+        dest < options.code.size() &&
+        options.code[dest] == static_cast<std::uint8_t>(Opcode::JUMPDEST);
+    char buf[112];
+    std::snprintf(buf, sizeof buf, "%s at pc %u targets %s0x%llx%s",
+                  conditional ? "JUMPI" : "JUMP", jump.pc,
+                  into_pushdata ? "a JUMPDEST byte inside pushdata at "
+                                : "invalid destination ",
+                  static_cast<unsigned long long>(imm.fits_u64() ? dest : 0),
+                  imm.fits_u64() ? "" : " (oversized)");
+    emit(into_pushdata ? Diagnostic::Kind::JumpIntoPushdata
+                       : Diagnostic::Kind::BadJumpTarget,
+         conditional ? Severity::Warning : Severity::Error, jump.pc, idx,
+         buf);
   };
   for (std::uint32_t idx = 0; idx < blocks.size(); ++idx) {
     const BasicBlock& b = blocks[idx];
@@ -603,26 +1761,13 @@ AnalysisReport analyze(const DecodedProgram& program,
       // Fused PUSH+JUMP/JUMPI whose immediate is not a valid JUMPDEST:
       // the jump faults when executed (JUMPI: when taken).
       const DecodedInst& head = insts[b.first + b.count - 2];
-      const bool conditional = b.exit == BlockExit::Branch;
-      const std::uint64_t dest =
-          head.imm.fits_u64() ? head.imm.as_u64() : ~0ULL;
-      const bool into_pushdata =
-          dest < options.code.size() &&
-          options.code[dest] ==
-              static_cast<std::uint8_t>(Opcode::JUMPDEST);
-      char buf[112];
-      std::snprintf(buf, sizeof buf,
-                    "%s at pc %u targets %s0x%llx%s",
-                    conditional ? "JUMPI" : "JUMP", head.pc,
-                    into_pushdata ? "a JUMPDEST byte inside pushdata at "
-                                  : "invalid destination ",
-                    static_cast<unsigned long long>(
-                        head.imm.fits_u64() ? dest : 0),
-                    head.imm.fits_u64() ? "" : " (oversized)");
-      emit(into_pushdata ? Diagnostic::Kind::JumpIntoPushdata
-                         : Diagnostic::Kind::BadJumpTarget,
-           conditional ? Severity::Warning : Severity::Error, head.pc, idx,
-           buf);
+      emit_bad_jump(idx, head, b.exit == BlockExit::Branch, head.imm);
+    }
+    if (b.dynamic_exit && b.resolved && b.target == BasicBlock::kNoBlock) {
+      // Plain JUMP/JUMPI whose operand the dataflow proved is a constant
+      // naming no valid JUMPDEST: same fault, discovered interprocedurally.
+      emit_bad_jump(idx, last, b.exit == BlockExit::Branch,
+                    dfl.jumps[idx].dest);
     }
     if (b.entry_height_known()) {
       if (b.entry_height < b.stack_require) {
@@ -663,6 +1808,9 @@ AnalysisReport analyze(const DecodedProgram& program,
     }
     i += is_fused_head(inst.handler) ? 2 : 1;
   }
+
+  // --- loops + WCET ------------------------------------------------------
+  compute_structure(report, program, dfl, sink_reachable, sink_pc);
 
   std::sort(report.diagnostics.begin(), report.diagnostics.end(),
             [](const Diagnostic& a, const Diagnostic& b) {

@@ -1,22 +1,34 @@
 // Translate-time static analysis over pre-decoded instruction streams.
 //
 // Partitions a DecodedProgram into basic blocks (leaders at the entry
-// point, at every JUMPDEST, and after every jump/terminator), then
-// abstract-interprets each block's stack algebra to compute
-//   (a) the exact net stack effect, the minimum entry height the block
-//       needs, and the transient high-water it can reach,
-//   (b) the summed static gas and modeled MCU cycles,
-//   (c) reachability and entry stack heights along statically-known edges
-//       (dead code, merge-point height conflicts, proven underflow and
-//       overflow).
+// point, at every JUMPDEST, and after every jump/terminator), then runs a
+// whole-contract dataflow pipeline:
+//   (a) per-block stack algebra: the exact net stack effect, the minimum
+//       entry height that avoids underflow, and the transient high-water,
+//   (b) a constant-propagation pass over an abstract stack (Known(U256) /
+//       Unknown values threaded through PUSH/DUP/SWAP, the fused
+//       superinstructions, and foldable arithmetic) that statically
+//       resolves dynamic JUMP/JUMPI whose operand is a propagated
+//       constant — replacing the every-JUMPDEST over-approximation with a
+//       single CFG edge,
+//   (c) reachability and entry stack heights along the resolved CFG (dead
+//       code, merge-point height conflicts, proven underflow/overflow),
+//   (d) dominator-based natural-loop detection with an affine
+//       trip-count prover, and per-entry-point WCET certification of
+//       worst-case gas, MCU cycles, executed ops, and stack peak.
 //
-// Two consumers share the per-instruction algebra:
+// Three consumers share the machinery:
+//   * analyze_for_translation() runs (b)+(c) inside translate(): it writes
+//     resolved targets into the decoded stream, dead-marks unreachable
+//     JUMPDEST leaders, and fills DecodedProgram::analysis before
+//     attach_elide_spans() widens spans across the resolved edges.
 //   * attach_elide_spans() summarizes the provably failure-free run after
-//     each block leader into DecodedProgram::spans; the interpreter's
-//     check-elided fast path (vm.cpp) replaces that run's per-instruction
-//     stack/gas/watchdog branches with one span-entry test.
-//   * analyze() builds the whole-block facts and diagnostics behind
-//     tools/tinyevm_lint.cpp and tests/evm_analysis_test.cpp.
+//     each live block leader into DecodedProgram::spans; the check-elided
+//     engine replaces that run's per-instruction stack/gas/watchdog
+//     branches with one span-entry test.
+//   * analyze() builds the full report — blocks, diagnostics, loops, WCET
+//     certificate — behind tools/tinyevm_lint.cpp, the fuzz soundness
+//     oracle, and tests/evm_analysis_test.cpp.
 #pragma once
 
 #include <cstdint>
@@ -65,6 +77,7 @@ enum class BlockExit : std::uint8_t {
 
 struct BasicBlock {
   static constexpr std::uint32_t kNoBlock = 0xFFFF'FFFFu;
+  static constexpr std::uint32_t kNoLoop = 0xFFFF'FFFFu;
   /// Entry-height lattice: unknown (never reached along a static edge),
   /// a concrete height, or conflicting heights at a merge point.
   static constexpr std::int32_t kUnknownHeight =
@@ -76,13 +89,18 @@ struct BasicBlock {
   std::uint32_t pc = 0;      ///< byte offset of the leader
   std::uint32_t pc_end = 0;  ///< one past the last byte of the block
   BlockExit exit = BlockExit::CodeEnd;
-  /// Statically-resolved successor for Jump/Branch exits (fused
-  /// PUSH+JUMP/JUMPI with a translate-time target); kNoBlock when the exit
-  /// is dynamic or the target is provably invalid.
+  /// Statically-resolved successor for Jump/Branch exits: a fused
+  /// PUSH+JUMP/JUMPI translate-time target, or a dynamic jump the constant
+  /// dataflow resolved (`resolved` set). kNoBlock when the exit stays
+  /// dynamic or the target is provably invalid.
   std::uint32_t target = kNoBlock;
-  /// Exit jump whose destination is only known at run time (plain JUMP /
-  /// JUMPI fed from the stack). Conservatively reaches every JUMPDEST.
+  /// Exit jump whose destination comes off the stack (plain JUMP/JUMPI).
+  /// When the dataflow proves the operand constant, `resolved` is set and
+  /// `target` holds the one successor; otherwise the exit conservatively
+  /// reaches every JUMPDEST (or nothing, if the operand is a proven-bad
+  /// constant).
   bool dynamic_exit = false;
+  bool resolved = false;
 
   // Proven whole-block facts (see StackEffect for the algebra).
   std::int32_t stack_require = 0;
@@ -94,10 +112,51 @@ struct BasicBlock {
 
   bool reachable = false;
   std::int32_t entry_height = kUnknownHeight;
+  /// Innermost natural loop containing this block (index into
+  /// AnalysisReport::loops), or kNoLoop.
+  std::uint32_t loop = kNoLoop;
 
   [[nodiscard]] bool entry_height_known() const {
     return entry_height != kUnknownHeight && entry_height != kConflictHeight;
   }
+};
+
+/// A natural loop on the resolved CFG: a dominator back edge latch→header
+/// plus every block that can reach the latch without passing the header.
+/// Loops sharing a header are merged (the header then has several latches
+/// and `latch` is kNoBlock).
+struct LoopInfo {
+  std::uint32_t header = 0;
+  std::uint32_t latch = BasicBlock::kNoBlock;  ///< single back-edge source
+  std::vector<std::uint32_t> blocks;           ///< member ids, ascending
+  std::uint32_t parent = BasicBlock::kNoLoop;  ///< enclosing loop
+  /// Proven upper bound on header entries per frame execution, when the
+  /// affine trip-count prover certified one.
+  bool bounded = false;
+  std::uint64_t trip_bound = 0;
+  std::string note;  ///< why unbounded, or how the bound was proven
+};
+
+/// One dimension of the worst-case execution claim. `bound` is a sound
+/// upper limit on what ExecStats can observe for any execution of the
+/// frame (any status — a faulting run's consumption is a prefix), valid
+/// only when `certified`; otherwise `reason` says what blocked the proof.
+struct WcetBound {
+  bool certified = false;
+  std::uint64_t bound = 0;
+  std::string reason;
+};
+
+/// Per-entry-point worst-case certificate over the resolved CFG. Gas,
+/// cycles, and ops need a closed CFG (no reachable unresolved dynamic
+/// jump), reducible control flow, every reachable loop trip-bounded, and
+/// no reachable dynamically-costed handler for that dimension; the stack
+/// bound needs only known entry heights on every reachable block.
+struct WcetCertificate {
+  WcetBound gas;     ///< worst-case metered gas (frames that finish)
+  WcetBound cycles;  ///< worst-case modeled MCU cycles (energy input)
+  WcetBound ops;     ///< worst-case executed instructions (watchdog)
+  WcetBound stack;   ///< worst-case stack pointer, in elements
 };
 
 enum class Severity : std::uint8_t { Warning, Error };
@@ -127,6 +186,17 @@ struct Diagnostic {
 struct AnalysisReport {
   std::vector<BasicBlock> blocks;
   std::vector<Diagnostic> diagnostics;  // sorted by pc
+  std::vector<LoopInfo> loops;
+  WcetCertificate wcet;
+  /// A cycle survives removal of all dominator back edges: the CFG has a
+  /// loop no natural-loop (and hence no WCET) machinery can bound.
+  bool irreducible = false;
+
+  // Dataflow summary, matching DecodedProgram::AnalysisSummary.
+  std::uint32_t resolved_jumps = 0;    ///< reachable dynamic exits resolved
+  std::uint32_t unresolved_jumps = 0;  ///< reachable dynamic exits left open
+  std::uint32_t dead_blocks = 0;
+  std::uint32_t dead_slots = 0;  ///< stream slots inside dead blocks
 
   [[nodiscard]] bool clean() const { return diagnostics.empty(); }
   [[nodiscard]] std::size_t error_count() const;
@@ -142,19 +212,30 @@ struct AnalysisOptions {
   std::span<const std::uint8_t> code = {};
 };
 
-/// Builds the basic-block CFG, runs reachability + entry-height dataflow,
-/// and collects diagnostics. Pure function of the translation: safe on any
-/// input the translator accepts, including fuzzer garbage.
+/// Builds the basic-block CFG, runs the constant dataflow + reachability +
+/// entry-height passes over the resolved edges, detects loops, certifies
+/// WCET, and collects diagnostics. Pure function of the translation: safe
+/// on any input the translator accepts, including fuzzer garbage.
 [[nodiscard]] AnalysisReport analyze(const DecodedProgram& program,
                                      const AnalysisOptions& options = {});
 
-/// Minimum stream slots (body plus a swallowed tail jump's two) for a
+/// Minimum stream slots (body plus a swallowed tail jump's slots) for a
 /// span to pay for its entry test.
 inline constexpr std::uint32_t kMinElideSpanSlots = 2;
 
-/// Computes DecodedProgram::spans / entry_span: for each block leader, the
-/// maximal run of elidable instructions after it — plus the block's
-/// terminating fused jump when its target resolved statically — folded
+/// The translate-time slice of the pipeline, called by translate() before
+/// span attachment: runs the constant dataflow, writes each resolved
+/// dynamic jump's destination into its DecodedInst::target (consumed only
+/// by the span fast path — checked dispatch still resolves at run time),
+/// dead-marks unreachable JUMPDEST leaders (kJumpDestDeadFlag in aux2, so
+/// they anchor no span), and fills DecodedProgram::analysis. Deterministic
+/// and idempotent for a given (code, profile).
+void analyze_for_translation(DecodedProgram& program);
+
+/// Computes DecodedProgram::spans / entry_span: for each live block
+/// leader, the maximal run of elidable instructions after it — plus the
+/// block's terminating jump when its target is known statically (fused
+/// PUSH+JUMP/JUMPI, or a plain JUMP/JUMPI the dataflow resolved) — folded
 /// into one stack/gas/watchdog summary. Called by translate(); idempotent.
 void attach_elide_spans(DecodedProgram& program);
 

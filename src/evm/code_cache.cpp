@@ -53,6 +53,20 @@ CodeCache::CodeCache(Config config)
         out.gauge("tinyevm_cache_elide_spans",
                   "Check-elision spans across resident translations",
                   cache_label, static_cast<double>(s.elide_spans));
+        out.gauge("tinyevm_cache_elide_span_slots",
+                  "Stream slots covered by elide spans, resident",
+                  cache_label, static_cast<double>(s.analysis.span_slots));
+        out.gauge("tinyevm_cache_resolved_jumps",
+                  "Dynamic jumps statically resolved, resident",
+                  cache_label,
+                  static_cast<double>(s.analysis.resolved_jumps));
+        out.gauge("tinyevm_cache_unresolved_jumps",
+                  "Dynamic jumps left every-JUMPDEST, resident",
+                  cache_label,
+                  static_cast<double>(s.analysis.unresolved_jumps));
+        out.gauge("tinyevm_cache_dead_slots",
+                  "Stream slots in proven-dead blocks, resident",
+                  cache_label, static_cast<double>(s.analysis.dead_slots));
         for (std::size_t i = 0; i < shard_count(); ++i) {
           out.counter(
               "tinyevm_cache_lock_contentions_total",
@@ -83,15 +97,6 @@ CodeCache::Shard& CodeCache::shard_for(const Key& key) {
   return shards_[(h >> 32) % shards_.size()];
 }
 
-std::unique_lock<std::mutex> CodeCache::lock_shard(const Shard& shard) {
-  std::unique_lock lock(shard.mu, std::try_to_lock);
-  if (!lock.owns_lock()) {
-    shard.lock_contentions.fetch_add(1, std::memory_order_relaxed);
-    lock.lock();
-  }
-  return lock;
-}
-
 std::shared_ptr<const DecodedProgram> CodeCache::get_or_translate(
     std::span<const std::uint8_t> code, const TranslationProfile& profile,
     const Hash256* code_hash) {
@@ -101,7 +106,7 @@ std::shared_ptr<const DecodedProgram> CodeCache::get_or_translate(
     // stripe the zero key maps to so the aggregate invariant still counts
     // every lookup exactly once.
     Shard& shard = shard_for(Key{});
-    auto lock = lock_shard(shard);
+    runtime::MutexLock lock(shard.mu, shard.lock_contentions);
     ++shard.lookups;
     ++shard.oversized;
     return nullptr;
@@ -109,7 +114,7 @@ std::shared_ptr<const DecodedProgram> CodeCache::get_or_translate(
   const Key key{code_hash ? *code_hash : keccak256(code), profile.key()};
   Shard& shard = shard_for(key);
   {
-    auto lock = lock_shard(shard);
+    runtime::MutexLock lock(shard.mu, shard.lock_contentions);
     ++shard.lookups;
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
@@ -128,7 +133,7 @@ std::shared_ptr<const DecodedProgram> CodeCache::get_or_translate(
       std::make_shared<const DecodedProgram>(translate(code, profile));
   const std::size_t bytes = program->byte_size();
 
-  auto lock = lock_shard(shard);
+  runtime::MutexLock lock(shard.mu, shard.lock_contentions);
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Lost the translate race: a concurrent execution of the same code
@@ -170,6 +175,12 @@ void CodeCache::accumulate(const Shard& shard, Stats& s) const {
   s.entries += shard.index.size();
   for (const Entry& entry : shard.lru) {
     s.elide_spans += entry.program->spans.size();
+    const DecodedProgram::AnalysisSummary& a = entry.program->analysis;
+    s.analysis.resolved_jumps += a.resolved_jumps;
+    s.analysis.unresolved_jumps += a.unresolved_jumps;
+    s.analysis.dead_blocks += a.dead_blocks;
+    s.analysis.dead_slots += a.dead_slots;
+    s.analysis.span_slots += a.span_slots;
   }
 }
 
@@ -177,7 +188,7 @@ CodeCache::Stats CodeCache::stats() const {
   Stats s;
   s.shards = shards_.size();
   for (const Shard& shard : shards_) {
-    auto lock = lock_shard(shard);
+    runtime::MutexLock lock(shard.mu, shard.lock_contentions);
     accumulate(shard, s);
   }
   return s;
@@ -187,14 +198,14 @@ CodeCache::Stats CodeCache::shard_stats(std::size_t shard) const {
   Stats s;
   s.shards = 1;
   const Shard& target = shards_.at(shard);
-  auto lock = lock_shard(target);
+  runtime::MutexLock lock(target.mu, target.lock_contentions);
   accumulate(target, s);
   return s;
 }
 
 void CodeCache::clear() {
   for (Shard& shard : shards_) {
-    auto lock = lock_shard(shard);
+    runtime::MutexLock lock(shard.mu, shard.lock_contentions);
     shard.lru.clear();
     shard.index.clear();
     shard.bytes = 0;

@@ -24,6 +24,7 @@
 #include "crypto/hash.hpp"
 #include "evm/decoded.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/thread_annotations.hpp"
 
 namespace tinyevm::evm {
 
@@ -76,6 +77,19 @@ class CodeCache {
     /// safe for block-granular dispatch. Resident-state gauge like
     /// `bytes`/`entries`, not a cumulative counter.
     std::size_t elide_spans = 0;
+    /// Translate-time dataflow results summed over the resident
+    /// translations (DecodedProgram::AnalysisSummary): dynamic jumps the
+    /// constant propagation turned into static edges vs. those left as
+    /// every-JUMPDEST over-approximations, blocks/slots proven dead, and
+    /// the stream slots elide spans cover. Resident-state gauges like
+    /// `elide_spans`.
+    struct Analysis {
+      std::uint64_t resolved_jumps = 0;
+      std::uint64_t unresolved_jumps = 0;
+      std::uint64_t dead_blocks = 0;
+      std::uint64_t dead_slots = 0;
+      std::uint64_t span_slots = 0;
+    } analysis;
 
     [[nodiscard]] double hit_rate() const {
       const std::uint64_t total = hits + misses;
@@ -133,29 +147,29 @@ class CodeCache {
     std::size_t bytes = 0;
   };
   /// One lock stripe: an independent LRU over its slice of the key space
-  /// with its own byte budget and counters.
+  /// with its own byte budget and counters. Locked inline via
+  /// `runtime::MutexLock lock(shard.mu, shard.lock_contentions)` — the
+  /// contended-acquisition counting lives in the lock type now, and a
+  /// scoped capability cannot be returned from a helper.
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> index;
-    std::size_t bytes = 0;
-    std::uint64_t lookups = 0;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
-    std::uint64_t oversized = 0;
-    std::uint64_t dup_translations = 0;
+    mutable runtime::Mutex mu;
+    std::list<Entry> lru GUARDED_BY(mu);  // front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHasher> index
+        GUARDED_BY(mu);
+    std::size_t bytes GUARDED_BY(mu) = 0;
+    std::uint64_t lookups GUARDED_BY(mu) = 0;
+    std::uint64_t hits GUARDED_BY(mu) = 0;
+    std::uint64_t misses GUARDED_BY(mu) = 0;
+    std::uint64_t evictions GUARDED_BY(mu) = 0;
+    std::uint64_t oversized GUARDED_BY(mu) = 0;
+    std::uint64_t dup_translations GUARDED_BY(mu) = 0;
     /// Outside mu: bumped before blocking on it (mutable so const stats
     /// readers can count their own contended acquisitions too).
     mutable std::atomic<std::uint64_t> lock_contentions{0};
   };
 
   Shard& shard_for(const Key& key);
-  /// Locks `shard.mu`, counting the acquisition as contended when the
-  /// mutex was already held.
-  [[nodiscard]] static std::unique_lock<std::mutex> lock_shard(
-      const Shard& shard);
-  void accumulate(const Shard& shard, Stats& s) const;
+  void accumulate(const Shard& shard, Stats& s) const REQUIRES(shard.mu);
 
   Config config_;
   std::size_t shard_capacity_bytes_;

@@ -198,9 +198,12 @@ DecodedProgram translate(std::span<const std::uint8_t> code,
     a.cycles2 = b.cycles;
   }
 
-  // Pass 3: static analysis — fold each block leader's elidable run into
-  // an ElideSpan so run_decoded() can hoist the per-instruction checks.
-  attach_elide_spans(p);
+  // Pass 3: static analysis — the whole-contract constant dataflow resolves
+  // dynamic jumps with propagated-constant operands and dead-marks
+  // unreachable JUMPDEST leaders, then each live block leader's elidable
+  // run (plus any statically-known tail jump) is folded into an ElideSpan
+  // so run_decoded() can hoist the per-instruction checks.
+  analyze_for_translation(p);
 
   p.insts.shrink_to_fit();
   return p;

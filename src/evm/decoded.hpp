@@ -96,12 +96,25 @@ struct DecodedInst {
 /// interpreter bulk-charges the summary and executes the run with
 /// per-instruction checks compiled out; when it fails, nothing happens
 /// and the checked handlers reproduce the exact failure point.
-/// ElideSpan::tail values: the block-terminating fused jump a span may
-/// swallow when its target is statically resolved (a jump to an invalid
-/// destination can fail, so it stays on the checked path).
+/// ElideSpan::tail values: the block-terminating jump a span may swallow
+/// when its target is statically resolved — a fused PUSH+JUMP/JUMPI pair,
+/// or a plain JUMP/JUMPI whose operand the translate-time constant
+/// dataflow proved (analysis.hpp::analyze_for_translation). A jump to an
+/// invalid or unknown destination can fail, so it stays on the checked
+/// path.
 inline constexpr std::uint8_t kSpanTailNone = 0;
-inline constexpr std::uint8_t kSpanTailJump = 1;   ///< PUSH+JUMP
-inline constexpr std::uint8_t kSpanTailJumpI = 2;  ///< PUSH+JUMPI
+inline constexpr std::uint8_t kSpanTailJump = 1;      ///< PUSH+JUMP
+inline constexpr std::uint8_t kSpanTailJumpI = 2;     ///< PUSH+JUMPI
+inline constexpr std::uint8_t kSpanTailDynJump = 3;   ///< resolved JUMP
+inline constexpr std::uint8_t kSpanTailDynJumpI = 4;  ///< resolved JUMPI
+
+/// Set in a JUMPDEST instruction's otherwise-unused `aux2` by
+/// analyze_for_translation() when its block is unreachable on the resolved
+/// CFG: dead leaders anchor no elide span. jump_map keeps the destination
+/// valid — a checked dynamic jump that lands there (impossible if the
+/// analysis is sound, trivially possible for the fuzzer's hand-built
+/// streams) executes exactly as before.
+inline constexpr std::uint8_t kJumpDestDeadFlag = 1;
 
 struct ElideSpan {
   std::uint32_t first = 0;        ///< first instruction of the run
@@ -137,6 +150,16 @@ struct DecodedProgram {
   std::vector<ElideSpan> spans;
   std::uint32_t entry_span = kNoJumpTarget;
   std::size_t code_size = 0;
+
+  /// Translate-time dataflow results (analysis.hpp), aggregated by the
+  /// translation cache into CodeCache::Stats::analysis.
+  struct AnalysisSummary {
+    std::uint32_t resolved_jumps = 0;    ///< dynamic exits made static
+    std::uint32_t unresolved_jumps = 0;  ///< still every-JUMPDEST
+    std::uint32_t dead_blocks = 0;       ///< unreachable on the resolved CFG
+    std::uint32_t dead_slots = 0;        ///< stream slots in dead blocks
+    std::uint32_t span_slots = 0;        ///< slots covered by elide spans
+  } analysis;
 
   /// Approximate resident footprint, the unit of the cache's byte cap.
   [[nodiscard]] std::size_t byte_size() const {

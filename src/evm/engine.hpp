@@ -80,6 +80,15 @@ struct EngineProfile {
 /// Flat execution request. Spans alias the caller's buffers (EVMC-style:
 /// the message does not own anything), so an EngineMessage is only valid
 /// for the duration of the execute() call it is passed to.
+/// One taken jump, as observed by a checked dispatch loop: the JUMP/JUMPI's
+/// own pc and the destination actually followed. Collected only on request
+/// (EngineMessage::jump_trace) so the fuzz soundness oracle can diff real
+/// control flow against the analyzer's statically resolved edges.
+struct JumpEdge {
+  std::uint32_t from_pc = 0;
+  std::uint32_t to_pc = 0;
+};
+
 struct EngineMessage {
   Address self{};
   Address caller{};
@@ -92,6 +101,12 @@ struct EngineMessage {
   std::int64_t gas = 10'000'000;
   int depth = 0;
   bool is_static = false;
+  /// When non-null, engines that resolve plain JUMP/JUMPI at run time
+  /// append every taken dynamic jump of the top frame here (fused and
+  /// span-swallowed jumps excluded: their targets were already proven at
+  /// translate time). Test/fuzz instrumentation only — leave null on hot
+  /// paths.
+  std::vector<JumpEdge>* jump_trace = nullptr;
 };
 
 /// Per-run statistics consumed by the evaluation harness (Figures 3/4,

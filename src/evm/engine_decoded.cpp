@@ -316,13 +316,18 @@ void Frame::run_decoded() {
             break; /* unreachable: spans hold elidable handlers only */     \
         }                                                                   \
       }                                                                     \
-      /* Tail: the block's fused jump, when its target is statically       \
-         valid. Mirrors the fused PushJump/PushJumpI handlers with the     \
+      /* Tail: the block's terminating jump, when its target is statically \
+         known. Fused PUSH+JUMP/JUMPI mirror their handlers with the       \
          guards hoisted into the entry test (the transient push's          \
-         high-water is folded into stack_peak above). */                   \
+         high-water is folded into stack_peak above). DynJump/DynJumpI are \
+         plain JUMP/JUMPI whose operand the translate-time dataflow proved \
+         constant: the destination on the stack always equals tj->target's \
+         pc, so the jmap lookup and validity check are elided too (the     \
+         checked handlers keep resolving from the live stack — the fuzz    \
+         oracle diffs the two paths). */                                   \
       if (bs.tail == kSpanTailNone) {                                       \
         ip = bs.first + bs.count;                                           \
-      } else {                                                              \
+      } else if (bs.tail == kSpanTailJump || bs.tail == kSpanTailJumpI) {   \
         const DecodedInst* const tj = insts + bs.first + bs.count;          \
         if (bs.tail == kSpanTailJumpI) {                                    \
           const bool taken = !tos.is_zero();                                \
@@ -330,6 +335,18 @@ void Frame::run_decoded() {
           tos = sb[sp - 1];                                                 \
           ip = taken ? tj->target : bs.first + bs.count + 2;                \
         } else {                                                            \
+          ip = tj->target;                                                  \
+        }                                                                   \
+      } else {                                                              \
+        const DecodedInst* const tj = insts + bs.first + bs.count;          \
+        if (bs.tail == kSpanTailDynJumpI) {                                 \
+          const bool taken = !sb[sp - 2].is_zero();                         \
+          sp -= 2;                                                          \
+          tos = sb[sp - 1];                                                 \
+          ip = taken ? tj->target : bs.first + bs.count + 1;                \
+        } else {                                                            \
+          --sp;                                                             \
+          tos = sb[sp - 1];                                                 \
           ip = tj->target;                                                  \
         }                                                                   \
       }                                                                     \
@@ -639,6 +656,10 @@ void Frame::run_decoded() {
       fail(Status::InvalidJump);
       TINYEVM_NEXT;
     }
+    if (msg_.jump_trace) {
+      msg_.jump_trace->push_back(
+          {e->pc, static_cast<std::uint32_t>(tos.as_u64())});
+    }
     ip = t;
     --sp;
     tos = sb[sp - 1];
@@ -659,6 +680,9 @@ void Frame::run_decoded() {
       if (t == kNoJumpTarget) {
         fail(Status::InvalidJump);
         TINYEVM_NEXT;
+      }
+      if (msg_.jump_trace) {
+        msg_.jump_trace->push_back({e->pc, static_cast<std::uint32_t>(dest)});
       }
       ip = t;
     }

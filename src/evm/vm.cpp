@@ -118,6 +118,7 @@ ExecResult Vm::execute(Host& host, const Message& msg) const {
   engine_msg.gas = msg.gas;
   engine_msg.depth = msg.depth;
   engine_msg.is_static = msg.is_static;
+  engine_msg.jump_trace = msg.jump_trace;
 
   EngineContext ctx;
   ctx.profile = &profile_;

@@ -102,6 +102,9 @@ struct Message {
   /// Per-call engine override (EngineRegistry name). Empty = the Vm's
   /// configured engine; unknown names make Vm::execute throw.
   std::string engine;
+  /// Optional jump-trace collector, forwarded to the engine (see
+  /// EngineMessage::jump_trace). Test/fuzz instrumentation only.
+  std::vector<JumpEdge>* jump_trace = nullptr;
 };
 
 /// Execution results are the flat engine-boundary struct (engine.hpp).

@@ -116,7 +116,7 @@ Registry::Instrument& Registry::intern(const std::string& name,
                                        const std::string& help,
                                        MetricType type, LabelSet&& labels) {
   std::sort(labels.begin(), labels.end());
-  std::lock_guard lock(mu_);
+  runtime::MutexLock lock(mu_);
   Family* family = nullptr;
   for (Family& f : families_) {
     if (f.name == name) {
@@ -165,7 +165,7 @@ Histogram& Registry::histogram(const std::string& name,
 }
 
 CollectorHandle Registry::add_collector(CollectorFn fn) {
-  std::lock_guard lock(collectors_mu_);
+  runtime::MutexLock lock(collectors_mu_);
   const std::uint64_t id = next_collector_id_++;
   collectors_.emplace_back(id, std::move(fn));
   return CollectorHandle{id};
@@ -174,7 +174,7 @@ CollectorHandle Registry::add_collector(CollectorFn fn) {
 void Registry::remove_collector(std::uint64_t id) noexcept {
   // Taking collectors_mu_ here is what makes ~CollectorHandle a barrier:
   // once it returns, no scrape is inside (or will enter) the callback.
-  std::lock_guard lock(collectors_mu_);
+  runtime::MutexLock lock(collectors_mu_);
   std::erase_if(collectors_,
                 [id](const auto& entry) { return entry.first == id; });
 }
@@ -182,7 +182,7 @@ void Registry::remove_collector(std::uint64_t id) noexcept {
 std::vector<MetricFamily> Registry::collect() const {
   std::vector<MetricFamily> out;
   {
-    std::lock_guard lock(mu_);
+    runtime::MutexLock lock(mu_);
     out.reserve(families_.size());
     for (const Family& family : families_) {
       MetricFamily mf;
@@ -213,7 +213,7 @@ std::vector<MetricFamily> Registry::collect() const {
   // do take subsystem locks — keep the two lock worlds disjoint).
   Collection collection;
   collection.families_ = &out;
-  std::lock_guard lock(collectors_mu_);
+  runtime::MutexLock lock(collectors_mu_);
   for (const auto& [id, fn] : collectors_) fn(collection);
   return out;
 }

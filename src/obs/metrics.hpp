@@ -36,6 +36,8 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/thread_annotations.hpp"
+
 namespace tinyevm::obs {
 
 namespace detail {
@@ -274,12 +276,13 @@ class Registry {
                      MetricType type, LabelSet&& labels);
   void remove_collector(std::uint64_t id) noexcept;
 
-  mutable std::mutex mu_;
-  std::vector<Family> families_;
+  mutable runtime::Mutex mu_;
+  std::vector<Family> families_ GUARDED_BY(mu_);
 
-  mutable std::mutex collectors_mu_;  // held while collectors run
-  std::vector<std::pair<std::uint64_t, CollectorFn>> collectors_;
-  std::uint64_t next_collector_id_ = 1;
+  mutable runtime::Mutex collectors_mu_;  // held while collectors run
+  std::vector<std::pair<std::uint64_t, CollectorFn>> collectors_
+      GUARDED_BY(collectors_mu_);
+  std::uint64_t next_collector_id_ GUARDED_BY(collectors_mu_) = 1;
 };
 
 }  // namespace tinyevm::obs

@@ -1,0 +1,99 @@
+// Clang Thread Safety Analysis annotations (-Wthread-safety), plus a
+// std::mutex wrapper the analysis can see.
+//
+// The macros follow the Abseil/clang-doc naming and expand to nothing on
+// compilers without the attributes, so annotated headers stay portable to
+// gcc. CI's clang leg builds with -Wthread-safety -Werror=thread-safety,
+// turning "touched a GUARDED_BY field without its mutex" into a build
+// break instead of a TSan-run coin flip.
+//
+// Annotate with:
+//   * GUARDED_BY(mu) on data members that require `mu` held,
+//   * REQUIRES(mu) on functions that must be called with `mu` held,
+//   * runtime::Mutex + runtime::MutexLock instead of std::mutex +
+//     std::unique_lock where the analysis should track the acquisition.
+//
+// std::mutex itself carries no capability attribute, so locks over it are
+// invisible to the analysis; keep std::mutex only where a
+// condition_variable needs the real type.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define TINYEVM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef TINYEVM_THREAD_ANNOTATION
+#define TINYEVM_THREAD_ANNOTATION(x)  // not clang: expand to nothing
+#endif
+
+#define CAPABILITY(x) TINYEVM_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY TINYEVM_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) TINYEVM_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) TINYEVM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRE(...) \
+  TINYEVM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  TINYEVM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  TINYEVM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define REQUIRES(...) \
+  TINYEVM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define EXCLUDES(...) TINYEVM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define RETURN_CAPABILITY(x) TINYEVM_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  TINYEVM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace tinyevm::runtime {
+
+/// std::mutex with the `capability` attribute, so clang can connect
+/// GUARDED_BY members to the lock that protects them. `impl()` exposes the
+/// underlying mutex for code the analysis must not double-count (the
+/// MutexLock constructors below).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  [[nodiscard]] std::mutex& impl() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over runtime::Mutex — std::unique_lock is invisible to the
+/// analysis (and a scoped capability must not be returned from a function,
+/// which rules out lock-helper factories; construct this inline instead).
+/// The two-argument form counts the acquisition into `contentions` when
+/// the mutex was already held: the lock-contention signal CodeCache and
+/// ChannelHub export, now fused with the annotation-visible lock.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.impl().lock(); }
+
+  MutexLock(Mutex& mu, std::atomic<std::uint64_t>& contentions) ACQUIRE(mu)
+      : mu_(mu) {
+    if (!mu_.impl().try_lock()) {
+      contentions.fetch_add(1, std::memory_order_relaxed);
+      mu_.impl().lock();
+    }
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() RELEASE() { mu_.impl().unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace tinyevm::runtime

@@ -319,6 +319,192 @@ TEST(Analysis, AttachIsIdempotent) {
   EXPECT_EQ(p.entry_span, entry);
 }
 
+// --- whole-contract dataflow: jump resolution, pruning, loops, WCET ------
+
+// The canonical DUP-fed counting loop: the jump target is pushed once
+// before the loop and DUPed to the top each iteration, so the JUMPI is a
+// plain dynamic branch until the constant dataflow proves its operand.
+//   PUSH1 4; PUSH1 10; JUMPDEST; PUSH1 1; SWAP1; SUB; DUP1; DUP3; JUMPI;
+//   POP; POP; STOP
+const Bytes kDupFedLoop{0x60, 0x04, 0x60, 0x0a, 0x5b, 0x60, 0x01, 0x90,
+                        0x03, 0x80, 0x82, 0x57, 0x50, 0x50, 0x00};
+
+TEST(Analysis, ResolvesConstantFedDynamicJump) {
+  // PUSH1 5; DUP1; POP; JUMP; JUMPDEST; STOP — the PUSH is separated from
+  // the JUMP by the DUP/POP shuffle, so translation cannot fuse it; only
+  // the abstract-stack propagation can prove the target.
+  const AnalysisReport report =
+      analyze_hexless({0x60, 0x05, 0x80, 0x50, 0x56, 0x5b, 0x00});
+  ASSERT_EQ(report.blocks.size(), 2u);
+  const BasicBlock& entry = report.blocks[0];
+  EXPECT_TRUE(entry.dynamic_exit);
+  EXPECT_TRUE(entry.resolved);
+  ASSERT_EQ(entry.target, 1u);
+  EXPECT_EQ(report.blocks[1].pc, 5u);
+  EXPECT_EQ(report.resolved_jumps, 1u);
+  EXPECT_EQ(report.unresolved_jumps, 0u);
+  // The resolved edge carries a concrete entry height: push+dup put two
+  // copies up, pop and the jump itself consume them both.
+  EXPECT_EQ(report.blocks[1].entry_height, 0);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(Analysis, ResolvesThroughDupSwapChain) {
+  // PUSH1 8; PUSH1 1; PUSH1 2; SWAP2; JUMP; JUMPDEST; POP; POP; STOP —
+  // the target travels from under two other values via SWAP2.
+  const AnalysisReport report = analyze_hexless(
+      {0x60, 0x08, 0x60, 0x01, 0x60, 0x02, 0x91, 0x56, 0x5b, 0x50, 0x50,
+       0x00});
+  ASSERT_EQ(report.blocks.size(), 2u);
+  EXPECT_TRUE(report.blocks[0].dynamic_exit);
+  EXPECT_TRUE(report.blocks[0].resolved);
+  ASSERT_EQ(report.blocks[0].target, 1u);
+  EXPECT_EQ(report.blocks[1].pc, 8u);
+  EXPECT_EQ(report.resolved_jumps, 1u);
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(Analysis, UnresolvedJumpStaysConservative) {
+  // The DynamicJumpReachesEveryJumpdest shape must stay unresolved: the
+  // operand is CALLDATASIZE, not a propagated constant, and the sink
+  // keeps every JUMPDEST reachable with unknown heights.
+  const AnalysisReport report =
+      analyze_hexless({0x36, 0x56, 0x5b, 0x00, 0x5b, 0x00});
+  EXPECT_FALSE(report.blocks[0].resolved);
+  EXPECT_EQ(report.resolved_jumps, 0u);
+  EXPECT_EQ(report.unresolved_jumps, 1u);
+  EXPECT_EQ(report.dead_blocks, 0u);
+  EXPECT_FALSE(report.wcet.gas.certified);
+  EXPECT_FALSE(report.wcet.stack.certified);
+}
+
+TEST(Analysis, DeadBlockPruning) {
+  // PUSH1 5; DUP1; POP; JUMP; JUMPDEST; STOP; JUMPDEST; PUSH1 1; POP;
+  // STOP — once the dynamic jump resolves to pc 5, the block at pc 7 has
+  // no predecessor left and is proven dead.
+  const Bytes code{0x60, 0x05, 0x80, 0x50, 0x56, 0x5b, 0x00,
+                   0x5b, 0x60, 0x01, 0x50, 0x00};
+  const DecodedProgram p = translate(code, kTiny);
+  AnalysisOptions opt;
+  opt.stack_limit = 96;
+  opt.code = code;
+  const AnalysisReport report = analyze(p, opt);
+  ASSERT_EQ(report.blocks.size(), 3u);
+  EXPECT_TRUE(report.blocks[1].reachable);
+  EXPECT_FALSE(report.blocks[2].reachable);
+  EXPECT_EQ(report.dead_blocks, 1u);
+  EXPECT_EQ(report.dead_slots, report.blocks[2].count);
+  EXPECT_TRUE(has_diag(report, Diagnostic::Kind::UnreachableBlock));
+
+  // The translator mirrors the proof: the dead JUMPDEST leader carries
+  // the dead flag and owns no elide span, while the live one keeps its
+  // JUMPDEST validity (it stays a legal checked-dispatch jump target).
+  const DecodedInst& dead_leader = p.insts[report.blocks[2].first];
+  ASSERT_EQ(dead_leader.handler, Handler::JumpDest);
+  EXPECT_NE(dead_leader.aux2 & kJumpDestDeadFlag, 0);
+  EXPECT_EQ(dead_leader.target, kNoJumpTarget);
+  EXPECT_EQ(p.analysis.dead_blocks, report.dead_blocks);
+  EXPECT_EQ(p.analysis.dead_slots, report.dead_slots);
+  EXPECT_EQ(p.analysis.resolved_jumps, report.resolved_jumps);
+}
+
+TEST(Analysis, WcetBoundedCountingLoop) {
+  const AnalysisReport report = analyze_hexless(kDupFedLoop);
+  ASSERT_EQ(report.blocks.size(), 3u);
+  ASSERT_EQ(report.loops.size(), 1u);
+  const LoopInfo& loop = report.loops[0];
+  EXPECT_EQ(loop.header, 1u);
+  EXPECT_TRUE(loop.bounded);
+  EXPECT_EQ(loop.trip_bound, 10u);
+  EXPECT_FALSE(report.irreducible);
+
+  ASSERT_TRUE(report.wcet.gas.certified);
+  ASSERT_TRUE(report.wcet.cycles.certified);
+  ASSERT_TRUE(report.wcet.ops.certified);
+  ASSERT_TRUE(report.wcet.stack.certified);
+  // Worst case is exactly: entry once, loop body ten times, exit once.
+  EXPECT_EQ(report.wcet.gas.bound,
+            report.blocks[0].static_gas + 10 * report.blocks[1].static_gas +
+                report.blocks[2].static_gas);
+  EXPECT_EQ(report.wcet.ops.bound,
+            report.blocks[0].ops + 10 * std::uint64_t{report.blocks[1].ops} +
+                report.blocks[2].ops);
+  EXPECT_EQ(report.wcet.cycles.bound,
+            report.blocks[0].cycles + 10 * report.blocks[1].cycles +
+                report.blocks[2].cycles);
+  // Peak stack: [dest, counter] plus the two DUPs inside the body.
+  EXPECT_EQ(report.wcet.stack.bound, 4u);
+}
+
+TEST(Analysis, WcetUnboundedCalldataLoop) {
+  // CALLDATASIZE seeds the counter, so the trip prover has no constant
+  // initial value: the loop structure is found but stays unbounded, and
+  // only the stack dimension certifies.
+  // CALLDATASIZE; JUMPDEST; PUSH1 1; SWAP1; SUB; DUP1; PUSH1 1; JUMPI;
+  // STOP
+  const AnalysisReport report = analyze_hexless(
+      {0x36, 0x5b, 0x60, 0x01, 0x90, 0x03, 0x80, 0x60, 0x01, 0x57, 0x00});
+  ASSERT_EQ(report.loops.size(), 1u);
+  EXPECT_FALSE(report.loops[0].bounded);
+  EXPECT_FALSE(report.wcet.gas.certified);
+  EXPECT_FALSE(report.wcet.cycles.certified);
+  EXPECT_FALSE(report.wcet.ops.certified);
+  EXPECT_FALSE(report.wcet.gas.reason.empty());
+  EXPECT_TRUE(report.wcet.stack.certified);
+}
+
+TEST(Analysis, SelfLoopWithoutCounterIsUnbounded) {
+  // JUMPDEST; PUSH1 0; JUMP — a statically-resolved self-loop spins
+  // forever: the latch is unconditional, so no trip bound exists.
+  const AnalysisReport report = analyze_hexless({0x5b, 0x60, 0x00, 0x56});
+  ASSERT_EQ(report.loops.size(), 1u);
+  EXPECT_FALSE(report.loops[0].bounded);
+  EXPECT_FALSE(report.wcet.ops.certified);
+  EXPECT_TRUE(report.wcet.stack.certified);
+}
+
+TEST(Analysis, IrreducibleCfgBlocksCertification) {
+  // Two JUMPDESTs jumping at each other with separate entries from the
+  // entry branch: a loop with two headers, hence no dominator back edge
+  // and irreducible control flow.
+  // CALLDATASIZE; PUSH1 7; JUMPI; PUSH1 11; JUMP;
+  // A(7): JUMPDEST; PUSH1 11; JUMP;  B(11): JUMPDEST; PUSH1 7; JUMP
+  const AnalysisReport report = analyze_hexless(
+      {0x36, 0x60, 0x07, 0x57, 0x60, 0x0b, 0x56, 0x5b, 0x60, 0x0b, 0x56,
+       0x5b, 0x60, 0x07, 0x56});
+  EXPECT_TRUE(report.irreducible);
+  EXPECT_FALSE(report.wcet.gas.certified);
+  EXPECT_FALSE(report.wcet.cycles.certified);
+  EXPECT_FALSE(report.wcet.ops.certified);
+  // Heights still agree on every merge, so the stack dimension holds.
+  EXPECT_TRUE(report.wcet.stack.certified);
+}
+
+TEST(Analysis, SpanWidensAcrossResolvedBackEdge) {
+  // The DUP-fed loop's body ends in a plain JUMPI the dataflow resolved,
+  // so the span swallows the whole body including the back edge — the
+  // formerly-dynamic branch becomes a one-slot span tail.
+  const DecodedProgram p = translate(kDupFedLoop, kTiny);
+  ASSERT_EQ(p.spans.size(), 2u);  // entry block + loop body
+  const DecodedInst& leader = p.insts[2];  // JUMPDEST at pc 4
+  ASSERT_EQ(leader.handler, Handler::JumpDest);
+  ASSERT_NE(leader.target, kNoJumpTarget);
+  const ElideSpan& span = p.spans[leader.target];
+  EXPECT_EQ(span.tail, kSpanTailDynJumpI);
+  // Body: Push, Swap+Sub pair, Dup1, Dup3 = 5 slots / 5 ops, then the
+  // one-slot JumpI tail.
+  EXPECT_EQ(span.count, 5u);
+  EXPECT_EQ(span.ops, 6u);
+  const DecodedInst& tail = p.insts[span.first + span.count];
+  ASSERT_EQ(tail.handler, Handler::JumpI);
+  ASSERT_NE(tail.target, kNoJumpTarget);
+  EXPECT_EQ(p.insts[tail.target].handler, Handler::JumpDest);
+  EXPECT_EQ(p.insts[tail.target].pc, 4u);
+  // The summary the cache aggregates counts the widened coverage.
+  EXPECT_EQ(p.analysis.resolved_jumps, 1u);
+  EXPECT_GT(p.analysis.span_slots, 0u);
+}
+
 TEST(Analysis, StackEffectMatchesOpcodeTable) {
   // For every executable single opcode, the analyzer's require/delta must
   // agree with the opcode table's operand counts under both profiles.
@@ -385,15 +571,28 @@ TEST(Analysis, RobustOnGarbage) {
     }
     ASSERT_EQ(covered, p.insts.size());
     for (const ElideSpan& span : p.spans) {
-      const std::uint32_t tail_slots =
-          span.tail != kSpanTailNone ? 2u : 0u;
+      const bool fused_tail =
+          span.tail == kSpanTailJump || span.tail == kSpanTailJumpI;
+      const bool dyn_tail =
+          span.tail == kSpanTailDynJump || span.tail == kSpanTailDynJumpI;
+      const std::uint32_t tail_slots = fused_tail ? 2u : dyn_tail ? 1u : 0u;
       ASSERT_LE(span.first + span.count + tail_slots, p.insts.size());
       ASSERT_GE(span.count + tail_slots, kMinElideSpanSlots);
-      if (span.tail != kSpanTailNone) {
+      if (fused_tail) {
         const DecodedInst& t = p.insts[span.first + span.count];
         ASSERT_TRUE(t.handler == Handler::PushJump ||
                     t.handler == Handler::PushJumpI);
         ASSERT_NE(t.target, kNoJumpTarget);
+      }
+      if (dyn_tail) {
+        // A plain JUMP/JUMPI tail is only attachable when the dataflow
+        // resolved its stack operand to one proven JUMPDEST.
+        const DecodedInst& t = p.insts[span.first + span.count];
+        ASSERT_TRUE(t.handler == Handler::Jump ||
+                    t.handler == Handler::JumpI);
+        ASSERT_NE(t.target, kNoJumpTarget);
+        ASSERT_LT(t.target, p.insts.size());
+        ASSERT_EQ(p.insts[t.target].handler, Handler::JumpDest);
       }
     }
   }

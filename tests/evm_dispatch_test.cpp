@@ -576,6 +576,40 @@ TEST(DispatchGolden, ElisionBoundarySweeps) {
              line_code, {}, config, 10'000'000);
   }
 
+  // The DUP-fed variant of the counting loop: the target is pushed once
+  // before the loop and DUPed to the top each iteration, so the back
+  // edge is a *plain* JUMPI until the constant dataflow resolves it.
+  // The elided engine then runs it as a one-slot span tail
+  // (kSpanTailDynJumpI); these sweeps drive every limit through that
+  // tail and the checked engines must agree at each boundary.
+  Assembler dyn;
+  dyn.push(4);                        // jump target: the JUMPDEST below
+  dyn.push(10);                       // counter
+  dyn.op(Opcode::JUMPDEST);           // pc 4: loop head
+  dyn.push(1).swap(1).op(Opcode::SUB);
+  dyn.dup(1);
+  dyn.dup(3);
+  dyn.op(Opcode::JUMPI);              // counter != 0 -> loop (resolved)
+  dyn.op(Opcode::POP).op(Opcode::POP);
+  const Bytes dyn_code = dyn.take();
+
+  for (std::int64_t gas = 0; gas <= 140; ++gas) {
+    run_case(golden, "elision/dynloop-gas/" + std::to_string(gas), dyn_code,
+             {}, VmConfig::ethereum(), gas);
+  }
+  for (std::uint64_t cap = 1; cap <= 80; ++cap) {
+    VmConfig config = VmConfig::tiny();
+    config.max_ops = cap;
+    run_case(golden, "elision/dynloop-watchdog/" + std::to_string(cap),
+             dyn_code, {}, config, 10'000'000);
+  }
+  for (std::size_t limit = 1; limit <= 6; ++limit) {
+    VmConfig config = VmConfig::tiny();
+    config.stack_limit = limit;
+    run_case(golden, "elision/dynloop-stack-cap/" + std::to_string(limit),
+             dyn_code, {}, config, 10'000'000);
+  }
+
   golden.finish();
 }
 

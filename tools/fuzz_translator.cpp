@@ -7,7 +7,11 @@
 // installed contracts aborts, which libFuzzer reports as a crash. A
 // fourth engine registered at startup is fuzzed for free. The static
 // analyzer also runs over every input's translation: it must never crash,
-// whatever the bytes.
+// whatever the bytes, and its proofs are held to execution — the block
+// partition must cover the stream after dead-block pruning, dead-marked
+// JUMPDESTs must carry no elide span, every statically-resolved dynamic
+// jump must land where the dataflow said (via Message::jump_trace), and
+// observed gas/cycles/ops/stack must stay within any certified WCET bound.
 //
 // Built behind TINYEVM_BUILD_FUZZERS. Under clang the binary is a real
 // libFuzzer target (-fsanitize=fuzzer); elsewhere a standalone main() runs
@@ -23,6 +27,8 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "channel/hub.hpp"
@@ -52,7 +58,8 @@ struct Observation {
 };
 
 Observation run_once(std::span<const std::uint8_t> code,
-                     const evm::VmConfig& config, const std::string& engine) {
+                     const evm::VmConfig& config, const std::string& engine,
+                     std::vector<evm::JumpEdge>* jump_trace = nullptr) {
   evm::VmConfig run_config = config;
   run_config.engine = engine;
   // A private cache per run: the oracle must never see another input's
@@ -67,6 +74,7 @@ Observation run_once(std::span<const std::uint8_t> code,
   msg.code.assign(code.begin(), code.end());
   msg.data = {0xde, 0xad, 0xbe, 0xef};
   msg.gas = 1'000'000;
+  msg.jump_trace = jump_trace;
   Observation obs;
   obs.result = vm.execute(host, msg);
   obs.log_count = host.logs().size();
@@ -83,6 +91,15 @@ Observation run_once(std::span<const std::uint8_t> code,
     }                                                                     \
   } while (0)
 
+#define ORACLE_CHECK(cond, what)                                        \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "analyzer oracle failed: %s — %s (%s:%d)\n", \
+                   what, #cond, __FILE__, __LINE__);                    \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
 void check_one_input(const std::uint8_t* data, std::size_t size) {
   if (size == 0 || size > 4096) return;  // translator cap territory is
                                          // covered by unit tests
@@ -90,23 +107,44 @@ void check_one_input(const std::uint8_t* data, std::size_t size) {
   const std::span<const std::uint8_t> code{data + 1, size - 1};
 
   // The analyzer must accept any translation without crashing, and its
-  // internal invariants (block partition covers the stream) must hold.
-  {
-    const evm::TranslationProfile profile{
-        config.profile == evm::VmProfile::TinyEvm, config.iot_opcodes,
-        config.block_opcodes};
-    const evm::DecodedProgram program = evm::translate(code, profile);
-    evm::AnalysisOptions aopt;
-    aopt.stack_limit = config.stack_limit;
-    aopt.code = code;
-    const evm::AnalysisReport report = evm::analyze(program, aopt);
-    std::size_t covered = 0;
-    for (const evm::BasicBlock& b : report.blocks) covered += b.count;
-    if (covered != program.insts.size()) {
-      std::fprintf(stderr, "analyzer block partition does not cover stream\n");
-      std::abort();
+  // structural invariants must hold whatever the bytes.
+  const evm::TranslationProfile profile{
+      config.profile == evm::VmProfile::TinyEvm, config.iot_opcodes,
+      config.block_opcodes};
+  const evm::DecodedProgram program = evm::translate(code, profile);
+  evm::AnalysisOptions aopt;
+  aopt.stack_limit = config.stack_limit;
+  aopt.code = code;
+  const evm::AnalysisReport report = evm::analyze(program, aopt);
+
+  // Block partition still covers the stream after dead-block pruning.
+  std::size_t covered = 0;
+  for (const evm::BasicBlock& b : report.blocks) covered += b.count;
+  ORACLE_CHECK(covered == program.insts.size(),
+               "block partition does not cover stream");
+
+  // Pruning: a JUMPDEST leader the translator marked dead must carry no
+  // elide span, and the standalone analyzer must agree it is unreachable.
+  for (const evm::BasicBlock& b : report.blocks) {
+    const evm::DecodedInst& lead = program.insts[b.first];
+    if (lead.handler == evm::Handler::JumpDest &&
+        (lead.aux2 & evm::kJumpDestDeadFlag) != 0) {
+      ORACLE_CHECK(lead.target == evm::kNoJumpTarget,
+                   "dead JUMPDEST leader still owns an elide span");
+      ORACLE_CHECK(!b.reachable, "dead-marked block is reachable");
     }
   }
+
+  // The translate-time summary and the standalone analyzer are two runs
+  // of the same dataflow; their counters must agree exactly.
+  ORACLE_CHECK(program.analysis.resolved_jumps == report.resolved_jumps,
+               "resolved_jumps summary mismatch");
+  ORACLE_CHECK(program.analysis.unresolved_jumps == report.unresolved_jumps,
+               "unresolved_jumps summary mismatch");
+  ORACLE_CHECK(program.analysis.dead_blocks == report.dead_blocks,
+               "dead_blocks summary mismatch");
+  ORACLE_CHECK(program.analysis.dead_slots == report.dead_slots,
+               "dead_slots summary mismatch");
 
   // N-way sweep: the registry's first engine ("raw", the semantic
   // reference) sets the expectation; every other engine must match it
@@ -130,6 +168,59 @@ void check_one_input(const std::uint8_t* data, std::size_t size) {
                            reference.result.stats.peak_memory);
     FUZZ_CHECK(engine, obs.log_count == reference.log_count);
     FUZZ_CHECK(engine, obs.contract_count == reference.contract_count);
+  }
+
+  // Soundness of the dataflow's jump resolutions: rerun the checked
+  // pre-decoded engine with the jump trace on. Every taken dynamic jump
+  // whose block the analysis resolved must land exactly on the resolved
+  // target, and a proven-bad constant jump must never succeed (the
+  // checked handler records an edge only after validating the target).
+  std::vector<evm::JumpEdge> trace;
+  const Observation traced = run_once(code, config, "predecoded", &trace);
+  std::unordered_map<std::uint32_t, std::uint32_t> resolved_edge;
+  std::unordered_set<std::uint32_t> proven_bad;
+  for (const evm::BasicBlock& b : report.blocks) {
+    if (!b.dynamic_exit || !b.resolved) continue;
+    const std::uint32_t from = program.insts[b.first + b.count - 1].pc;
+    if (b.target != evm::BasicBlock::kNoBlock) {
+      resolved_edge[from] = report.blocks[b.target].pc;
+    } else {
+      proven_bad.insert(from);
+    }
+  }
+  for (const evm::JumpEdge& edge : trace) {
+    const auto it = resolved_edge.find(edge.from_pc);
+    if (it != resolved_edge.end()) {
+      ORACLE_CHECK(edge.to_pc == it->second,
+                   "resolved jump took a different edge at run time");
+    }
+    ORACLE_CHECK(proven_bad.count(edge.from_pc) == 0,
+                 "proven-bad jump succeeded at run time");
+  }
+
+  // Soundness of the WCET certificate: whatever the run's status, the
+  // observed per-frame statistics must stay within every certified bound
+  // (a faulting run's consumption is a prefix of some complete path).
+  const evm::ExecStats& stats = traced.result.stats;
+  if (report.wcet.ops.certified) {
+    ORACLE_CHECK(stats.ops_executed <= report.wcet.ops.bound,
+                 "executed ops exceed the certified WCET bound");
+  }
+  if (report.wcet.cycles.certified) {
+    ORACLE_CHECK(stats.mcu_cycles <= report.wcet.cycles.bound,
+                 "modeled cycles exceed the certified WCET bound");
+  }
+  if (report.wcet.stack.certified) {
+    ORACLE_CHECK(stats.max_stack_pointer <= report.wcet.stack.bound,
+                 "stack peak exceeds the certified WCET bound");
+  }
+  if (report.wcet.gas.certified && config.metering &&
+      (traced.result.status == evm::Status::Success ||
+       traced.result.status == evm::Status::Revert)) {
+    const std::uint64_t gas_used = static_cast<std::uint64_t>(
+        1'000'000 - traced.result.gas_left);
+    ORACLE_CHECK(gas_used <= report.wcet.gas.bound,
+                 "metered gas exceeds the certified WCET bound");
   }
 }
 
@@ -158,6 +249,8 @@ std::vector<std::vector<std::uint8_t>> builtin_seeds() {
       {0x00, 0x60, 0x00, 0x60, 0x00, 0x0c, 0x50, 0x00},  // SENSOR read
       {0x00, 0x60, 0x0a, 0x5b, 0x60, 0x01, 0x90, 0x03,
        0x80, 0x60, 0x02, 0x57, 0x00},                    // counting loop
+      {0x00, 0x60, 0x04, 0x60, 0x0a, 0x5b, 0x60, 0x01, 0x90, 0x03,
+       0x80, 0x82, 0x57, 0x50, 0x50, 0x00},  // DUP-fed resolved dyn loop
       {0x01, 0x60, 0x00, 0x60, 0x00, 0x60, 0x00, 0xf0, 0x50, 0x00},  // CREATE
   };
   // A biased-random blob to poke undefined bytes and odd pairings.

@@ -4,9 +4,12 @@
 //
 //   tinyevm-lint 6001600201                # lint hex bytecode
 //   tinyevm-lint --blocks <hex>            # also print the block table
+//   tinyevm-lint --wcet <hex>              # loops + WCET certificate
+//   tinyevm-lint --json <hex>              # machine-readable report
 //   tinyevm-lint --file contract.bin       # raw or hex file
 //   tinyevm-lint --profile ethereum <hex>  # Ethereum opcode profile
 //   tinyevm-lint --corpus 100              # lint synthetic corpus entries
+//   tinyevm-lint --corpus 2000 --json      # aggregate counters (CI gate)
 //
 // Exit status: 0 when the analysis is clean, 1 when it has findings
 // (dead code, proven stack faults, invalid/forbidden opcodes, bad jump
@@ -19,6 +22,7 @@
 
 #include "corpus/corpus.hpp"
 #include "crypto/hash.hpp"
+#include "device/energest.hpp"
 #include "evm/analysis.hpp"
 #include "evm/decoded.hpp"
 #include "evm/vm.hpp"
@@ -35,6 +39,9 @@ void usage() {
       "  --corpus <n>              lint the first n synthetic corpus\n"
       "                            contracts instead of one program\n"
       "  --blocks                  print the basic-block table\n"
+      "  --wcet                    print loops and the WCET certificate\n"
+      "  --json                    machine-readable report (with --corpus:\n"
+      "                            aggregate counters over the corpus)\n"
       "  --quiet                   diagnostics only, no summary\n"
       "exit status: 0 clean, 1 findings, 2 usage error\n");
 }
@@ -43,19 +50,105 @@ struct Options {
   evm::TranslationProfile profile;  // defaults match VmConfig::tiny()
   std::size_t stack_limit = 96;
   bool blocks = false;
+  bool wcet = false;
+  bool json = false;
   bool quiet = false;
+  bool silent = false;  ///< corpus --json: counters only, no diagnostics
 };
+
+/// Per-contract analysis counters, summed by corpus mode into the CI
+/// baseline (tests/lint_baseline.json compares these; see ci.yml).
+struct LintTotals {
+  std::uint64_t contracts = 0;
+  std::uint64_t flagged = 0;  ///< contracts with >= 1 diagnostic
+  std::uint64_t insts = 0;    ///< stream slots
+  std::uint64_t blocks = 0;
+  std::uint64_t spans = 0;
+  std::uint64_t span_slots = 0;
+  std::uint64_t resolved_jumps = 0;
+  std::uint64_t unresolved_jumps = 0;
+  std::uint64_t dead_blocks = 0;
+  std::uint64_t dead_slots = 0;
+  std::uint64_t loops = 0;
+  std::uint64_t bounded_loops = 0;
+  std::uint64_t wcet_gas_certified = 0;
+  std::uint64_t wcet_cycles_certified = 0;
+  std::uint64_t wcet_ops_certified = 0;
+  std::uint64_t wcet_stack_certified = 0;
+  std::uint64_t diagnostics = 0;
+
+  void add(const evm::DecodedProgram& program,
+           const evm::AnalysisReport& report) {
+    ++contracts;
+    if (!report.clean()) ++flagged;
+    insts += program.insts.size();
+    blocks += report.blocks.size();
+    spans += program.spans.size();
+    span_slots += program.analysis.span_slots;
+    resolved_jumps += report.resolved_jumps;
+    unresolved_jumps += report.unresolved_jumps;
+    dead_blocks += report.dead_blocks;
+    dead_slots += report.dead_slots;
+    loops += report.loops.size();
+    for (const evm::LoopInfo& loop : report.loops) {
+      if (loop.bounded) ++bounded_loops;
+    }
+    wcet_gas_certified += report.wcet.gas.certified ? 1 : 0;
+    wcet_cycles_certified += report.wcet.cycles.certified ? 1 : 0;
+    wcet_ops_certified += report.wcet.ops.certified ? 1 : 0;
+    wcet_stack_certified += report.wcet.stack.certified ? 1 : 0;
+    diagnostics += report.diagnostics.size();
+  }
+};
+
+/// Worst-case CPU energy for `cycles` M3 cycles on the cc2538 model:
+/// E = I_active x V_supply x (cycles / f_cpu), reported in microjoules.
+double cycles_to_uj(std::uint64_t cycles) {
+  const double seconds = static_cast<double>(cycles) /
+                         static_cast<double>(device::Cc2538Spec::kCpuHz);
+  return device::current_ma(device::PowerState::CpuActive) *
+         device::Cc2538Spec::kSupplyVolts * seconds * 1000.0;
+}
+
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 void print_block_table(const evm::AnalysisReport& report,
                        const evm::DecodedProgram& program) {
   std::printf(
       "  blk  pc-range     insts  exit         target  stack(req/net/peak)"
-      "  gas     cycles   height  span\n");
+      "  gas     cycles   height  loop  span\n");
   for (std::size_t i = 0; i < report.blocks.size(); ++i) {
     const evm::BasicBlock& b = report.blocks[i];
     char target[16] = "-";
     if (b.dynamic_exit) {
-      std::snprintf(target, sizeof target, "dyn");
+      if (b.resolved && b.target != evm::BasicBlock::kNoBlock) {
+        // The constant dataflow turned this run-time jump into one edge.
+        std::snprintf(target, sizeof target, "dyn>%u", b.target);
+      } else if (b.resolved) {
+        std::snprintf(target, sizeof target, "dyn!");  // proven fault
+      } else {
+        std::snprintf(target, sizeof target, "dyn");
+      }
     } else if (b.target != evm::BasicBlock::kNoBlock) {
       std::snprintf(target, sizeof target, "%u", b.target);
     } else if (b.exit == evm::BlockExit::Jump ||
@@ -70,6 +163,10 @@ void print_block_table(const evm::AnalysisReport& report,
                     b.entry_height == evm::BasicBlock::kConflictHeight
                         ? "conflict"
                         : "?");
+    }
+    char loop[16] = "-";
+    if (b.loop != evm::BasicBlock::kNoLoop) {
+      std::snprintf(loop, sizeof loop, "L%u", b.loop);
     }
     // Span coverage: the leader's elidable run, if the analyzer kept one.
     const evm::DecodedInst& lead = program.insts[b.first];
@@ -86,30 +183,187 @@ void print_block_table(const evm::AnalysisReport& report,
     }
     std::printf(
         "  %-4zu %04x..%04x   %-6u %-12s %-7s %3d/%+3d/%-3d"
-        "          %-7llu %-8llu %-7s %s%s\n",
+        "          %-7llu %-8llu %-7s %-5s %s%s\n",
         i, b.pc, b.pc_end, b.ops,
         std::string(evm::to_string(b.exit)).c_str(), target,
         b.stack_require, b.stack_delta, b.stack_peak,
         static_cast<unsigned long long>(b.static_gas),
-        static_cast<unsigned long long>(b.cycles), height, span,
+        static_cast<unsigned long long>(b.cycles), height, loop, span,
         b.reachable ? "" : "  [unreachable]");
   }
 }
 
-int lint_one(const evm::Bytes& code, const Options& opt,
-             const char* label) {
+void print_wcet(const evm::AnalysisReport& report) {
+  if (report.loops.empty()) {
+    std::printf("  loops: none\n");
+  } else {
+    std::printf("  loops:\n");
+    for (std::size_t i = 0; i < report.loops.size(); ++i) {
+      const evm::LoopInfo& loop = report.loops[i];
+      std::printf("    L%zu: header blk %u (pc %04x), %zu block(s)", i,
+                  loop.header, report.blocks[loop.header].pc,
+                  loop.blocks.size());
+      if (loop.parent != evm::BasicBlock::kNoLoop) {
+        std::printf(", inside L%u", loop.parent);
+      }
+      if (loop.bounded) {
+        std::printf(" -> bounded, <= %llu trips (%s)\n",
+                    static_cast<unsigned long long>(loop.trip_bound),
+                    loop.note.c_str());
+      } else {
+        std::printf(" -> unbounded (%s)\n", loop.note.c_str());
+      }
+    }
+  }
+  if (report.irreducible) {
+    std::printf("  control flow: irreducible\n");
+  }
+  const auto row = [](const char* name, const evm::WcetBound& bound,
+                      const char* unit) {
+    if (bound.certified) {
+      std::printf("  wcet %-7s certified, <= %llu %s\n", name,
+                  static_cast<unsigned long long>(bound.bound), unit);
+    } else {
+      std::printf("  wcet %-7s unbounded: %s\n", name,
+                  bound.reason.c_str());
+    }
+  };
+  row("gas:", report.wcet.gas, "gas");
+  row("cycles:", report.wcet.cycles, "cycles");
+  row("ops:", report.wcet.ops, "instructions");
+  row("stack:", report.wcet.stack, "slots");
+  if (report.wcet.cycles.certified) {
+    std::printf("  wcet energy:  <= %.3f uJ (cc2538 @ 32 MHz, %.1f mA, "
+                "%.1f V)\n",
+                cycles_to_uj(report.wcet.cycles.bound),
+                device::current_ma(device::PowerState::CpuActive),
+                device::Cc2538Spec::kSupplyVolts);
+  }
+}
+
+void print_json_wcet_bound(const char* name, const evm::WcetBound& bound,
+                           bool trailing_comma) {
+  std::printf("    \"%s\": {\"certified\": %s, \"bound\": %llu, "
+              "\"reason\": \"%s\"}%s\n",
+              name, bound.certified ? "true" : "false",
+              static_cast<unsigned long long>(bound.bound),
+              json_escape(bound.reason).c_str(),
+              trailing_comma ? "," : "");
+}
+
+void print_json_report(const evm::Bytes& code,
+                       const evm::DecodedProgram& program,
+                       const evm::AnalysisReport& report,
+                       const char* label) {
+  std::uint64_t bounded = 0;
+  for (const evm::LoopInfo& loop : report.loops) {
+    if (loop.bounded) ++bounded;
+  }
+  std::printf("{\n");
+  std::printf("  \"label\": \"%s\",\n", json_escape(label).c_str());
+  std::printf("  \"bytes\": %zu,\n", code.size());
+  std::printf("  \"insts\": %zu,\n", program.insts.size());
+  std::printf("  \"blocks\": %zu,\n", report.blocks.size());
+  std::printf("  \"spans\": %zu,\n", program.spans.size());
+  std::printf("  \"span_slots\": %u,\n", program.analysis.span_slots);
+  std::printf("  \"resolved_jumps\": %u,\n", report.resolved_jumps);
+  std::printf("  \"unresolved_jumps\": %u,\n", report.unresolved_jumps);
+  std::printf("  \"dead_blocks\": %u,\n", report.dead_blocks);
+  std::printf("  \"dead_slots\": %u,\n", report.dead_slots);
+  std::printf("  \"loops\": %zu,\n", report.loops.size());
+  std::printf("  \"bounded_loops\": %llu,\n",
+              static_cast<unsigned long long>(bounded));
+  std::printf("  \"irreducible\": %s,\n",
+              report.irreducible ? "true" : "false");
+  std::printf("  \"wcet\": {\n");
+  print_json_wcet_bound("gas", report.wcet.gas, true);
+  print_json_wcet_bound("cycles", report.wcet.cycles, true);
+  print_json_wcet_bound("ops", report.wcet.ops, true);
+  print_json_wcet_bound("stack", report.wcet.stack, false);
+  std::printf("  },\n");
+  if (report.wcet.cycles.certified) {
+    std::printf("  \"wcet_energy_uj\": %.6f,\n",
+                cycles_to_uj(report.wcet.cycles.bound));
+  }
+  std::printf("  \"diagnostics\": [\n");
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const evm::Diagnostic& d = report.diagnostics[i];
+    std::printf("    {\"pc\": %u, \"kind\": \"%s\", \"severity\": \"%s\", "
+                "\"message\": \"%s\"}%s\n",
+                d.pc, std::string(evm::to_string(d.kind)).c_str(),
+                d.severity == evm::Severity::Error ? "error" : "warning",
+                json_escape(d.message).c_str(),
+                i + 1 < report.diagnostics.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"errors\": %zu,\n", report.error_count());
+  std::printf("  \"warnings\": %zu\n", report.warning_count());
+  std::printf("}\n");
+}
+
+void print_json_totals(const LintTotals& t) {
+  std::printf("{\n");
+  std::printf("  \"contracts\": %llu,\n",
+              static_cast<unsigned long long>(t.contracts));
+  std::printf("  \"contracts_flagged\": %llu,\n",
+              static_cast<unsigned long long>(t.flagged));
+  std::printf("  \"insts\": %llu,\n",
+              static_cast<unsigned long long>(t.insts));
+  std::printf("  \"blocks\": %llu,\n",
+              static_cast<unsigned long long>(t.blocks));
+  std::printf("  \"spans\": %llu,\n",
+              static_cast<unsigned long long>(t.spans));
+  std::printf("  \"span_slots\": %llu,\n",
+              static_cast<unsigned long long>(t.span_slots));
+  std::printf("  \"resolved_jumps\": %llu,\n",
+              static_cast<unsigned long long>(t.resolved_jumps));
+  std::printf("  \"unresolved_jumps\": %llu,\n",
+              static_cast<unsigned long long>(t.unresolved_jumps));
+  std::printf("  \"dead_blocks\": %llu,\n",
+              static_cast<unsigned long long>(t.dead_blocks));
+  std::printf("  \"dead_slots\": %llu,\n",
+              static_cast<unsigned long long>(t.dead_slots));
+  std::printf("  \"loops\": %llu,\n",
+              static_cast<unsigned long long>(t.loops));
+  std::printf("  \"bounded_loops\": %llu,\n",
+              static_cast<unsigned long long>(t.bounded_loops));
+  std::printf("  \"wcet_gas_certified\": %llu,\n",
+              static_cast<unsigned long long>(t.wcet_gas_certified));
+  std::printf("  \"wcet_cycles_certified\": %llu,\n",
+              static_cast<unsigned long long>(t.wcet_cycles_certified));
+  std::printf("  \"wcet_ops_certified\": %llu,\n",
+              static_cast<unsigned long long>(t.wcet_ops_certified));
+  std::printf("  \"wcet_stack_certified\": %llu,\n",
+              static_cast<unsigned long long>(t.wcet_stack_certified));
+  std::printf("  \"diagnostics\": %llu\n",
+              static_cast<unsigned long long>(t.diagnostics));
+  std::printf("}\n");
+}
+
+int lint_one(const evm::Bytes& code, const Options& opt, const char* label,
+             LintTotals* totals) {
   const evm::DecodedProgram program = evm::translate(code, opt.profile);
   evm::AnalysisOptions aopt;
   aopt.stack_limit = opt.stack_limit;
   aopt.code = code;
   const evm::AnalysisReport report = evm::analyze(program, aopt);
+  if (totals != nullptr) totals->add(program, report);
 
+  if (opt.silent) return report.clean() ? 0 : 1;
+  if (opt.json) {
+    print_json_report(code, program, report, label);
+    return report.clean() ? 0 : 1;
+  }
   if (!opt.quiet) {
-    std::printf("%s: %zu bytes, %zu instructions, %zu blocks, %zu spans\n",
+    std::printf("%s: %zu bytes, %zu instructions, %zu blocks, %zu spans, "
+                "%u/%u dynamic jumps resolved\n",
                 label, code.size(), program.insts.size(),
-                report.blocks.size(), program.spans.size());
+                report.blocks.size(), program.spans.size(),
+                report.resolved_jumps,
+                report.resolved_jumps + report.unresolved_jumps);
   }
   if (opt.blocks) print_block_table(report, program);
+  if (opt.wcet) print_wcet(report);
   for (const evm::Diagnostic& d : report.diagnostics) {
     std::printf("%s:%04x: %s: [%s] %s\n", label, d.pc,
                 d.severity == evm::Severity::Error ? "error" : "warning",
@@ -199,6 +453,14 @@ int main(int argc, char** argv) {
       opt.blocks = true;
       continue;
     }
+    if (arg == "--wcet") {
+      opt.wcet = true;
+      continue;
+    }
+    if (arg == "--json") {
+      opt.json = true;
+      continue;
+    }
     if (arg == "--quiet") {
       opt.quiet = true;
       continue;
@@ -220,17 +482,23 @@ int main(int argc, char** argv) {
     Options quiet_opt = opt;
     quiet_opt.quiet = true;
     quiet_opt.blocks = false;
-    std::size_t flagged = 0;
+    quiet_opt.wcet = false;
+    quiet_opt.json = false;  // per-contract reports off; totals below
+    quiet_opt.silent = opt.json;  // CI gate diffs counters, not findings
+    LintTotals totals;
     for (std::size_t i = 0; i < corpus_count; ++i) {
       char label[32];
       std::snprintf(label, sizeof label, "corpus[%zu]", i);
-      if (lint_one(gen.make(i).init_code, quiet_opt, label) != 0) {
-        ++flagged;
-      }
+      lint_one(gen.make(i).init_code, quiet_opt, label, &totals);
     }
-    std::printf("linted %zu corpus contracts: %zu with findings\n",
-                corpus_count, flagged);
-    return flagged == 0 ? 0 : 1;
+    if (opt.json) {
+      print_json_totals(totals);
+    } else {
+      std::printf("linted %zu corpus contracts: %llu with findings\n",
+                  corpus_count,
+                  static_cast<unsigned long long>(totals.flagged));
+    }
+    return totals.flagged == 0 ? 0 : 1;
   }
 
   evm::Bytes code;
@@ -257,5 +525,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "tinyevm-lint: empty bytecode\n");
     return 2;
   }
-  return lint_one(code, opt, file_path.empty() ? "code" : file_path.c_str());
+  return lint_one(code, opt, file_path.empty() ? "code" : file_path.c_str(),
+                  nullptr);
 }
