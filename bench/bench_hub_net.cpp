@@ -1,0 +1,311 @@
+// Networked-hub throughput: the full socket path — LoadGenerator clients
+// running real-ECDSA payment rounds over localhost TCP against a
+// HubServer/ChannelHub — swept over connection counts up to 10,000.
+// Reports end-to-end rounds/s and the split between end-to-end latency
+// (client send → response applied) and hub-side service/queue time, plus
+// the backpressure counters (which must stay zero below capacity).
+//
+// Process layout: the client runs in a forked child, the server in the
+// parent. Two reasons: (a) the per-process fd ceiling — 10k sessions need
+// ~10k server-side fds *and* ~10k client-side fds, which only fit when
+// split across two processes; (b) the measurement is honest — client and
+// server share nothing but the socket. Each sweep point forks while the
+// parent is still (again) single-threaded, so fork never races server
+// threads; the port travels down a pipe, the child's report travels back
+// up another.
+//
+// Environment knobs:
+//   TINYEVM_BENCH_NET_WORKERS  hub worker threads (default 2)
+//   TINYEVM_BENCH_NET_10K      0 skips the 10,000-connection point
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "channel/hub.hpp"
+#include "evm/code_cache.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+namespace {
+
+using namespace tinyevm;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kDev = 7;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const long parsed = std::atol(raw);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::atoi(raw) != 0;
+}
+
+std::uint32_t percentile(std::vector<std::uint32_t>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[rank];
+}
+
+/// What the client child sends back up its pipe: counts plus percentiles
+/// computed child-side (the raw latency vectors stay in the child).
+struct ChildReport {
+  std::uint64_t connections_done = 0;
+  std::uint64_t rounds_done = 0;
+  std::uint64_t busy_retries = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t connect_failures = 0;
+  double elapsed_s = 0;
+  std::uint32_t e2e_p50_us = 0;
+  std::uint32_t e2e_p99_us = 0;
+  std::uint32_t service_p50_us = 0;
+  std::uint32_t service_p99_us = 0;
+  std::uint32_t queue_p50_us = 0;
+  std::uint32_t queue_p99_us = 0;
+};
+
+bool read_full(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::read(fd, p + off, len - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool write_full(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, p + off, len - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// The forked client: wait for the port, run the load, report, _exit.
+[[noreturn]] void run_client_child(int port_rd, int report_wr,
+                                   std::size_t connections,
+                                   std::size_t rounds, bool close_channels) {
+  std::uint16_t port = 0;
+  if (!read_full(port_rd, &port, sizeof(port))) ::_exit(2);
+  ::close(port_rd);
+
+  net::LoadGenerator::Config config;
+  config.port = port;
+  config.connections = connections;
+  config.rounds = rounds;
+  config.close_channels = close_channels;
+  config.onchain_root = keccak256("hub-net-bench-anchor");
+  const auto start = Clock::now();
+  auto report = net::LoadGenerator(config).run();
+
+  ChildReport out;
+  out.connections_done = report.connections_done;
+  out.rounds_done = report.rounds_done;
+  out.busy_retries = report.busy_retries;
+  out.failures = report.failures;
+  out.connect_failures = report.connect_failures;
+  out.elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
+  std::sort(report.e2e_us.begin(), report.e2e_us.end());
+  out.e2e_p50_us = percentile(report.e2e_us, 0.50);
+  out.e2e_p99_us = percentile(report.e2e_us, 0.99);
+  std::sort(report.service_us.begin(), report.service_us.end());
+  out.service_p50_us = percentile(report.service_us, 0.50);
+  out.service_p99_us = percentile(report.service_us, 0.99);
+  std::sort(report.queue_us.begin(), report.queue_us.end());
+  out.queue_p50_us = percentile(report.queue_us, 0.50);
+  out.queue_p99_us = percentile(report.queue_us, 0.99);
+
+  write_full(report_wr, &out, sizeof(out));
+  ::close(report_wr);
+  ::_exit(0);
+}
+
+struct SweepResult {
+  bool ok = false;
+  ChildReport client;
+  net::HubServer::Stats server;
+  std::uint64_t hub_payments = 0;
+};
+
+SweepResult run_sweep_point(std::size_t connections, std::size_t rounds,
+                            bool close_channels, std::size_t workers) {
+  SweepResult result;
+
+  int port_pipe[2];
+  int report_pipe[2];
+  if (::pipe(port_pipe) != 0 || ::pipe(report_pipe) != 0) return result;
+
+  // Fork before the server spins up its threads: at this point the
+  // process is single-threaded (previous sweep points joined everything),
+  // so the child inherits a clean world.
+  std::fflush(stdout);
+  const pid_t child = ::fork();
+  if (child < 0) return result;
+  if (child == 0) {
+    ::close(port_pipe[1]);
+    ::close(report_pipe[0]);
+    run_client_child(port_pipe[0], report_pipe[1], connections, rounds,
+                     close_channels);
+  }
+  ::close(port_pipe[0]);
+  ::close(report_pipe[1]);
+
+  {
+    channel::ChannelHub::Config hub_config;
+    hub_config.workers = workers;
+    hub_config.code_cache = std::make_shared<evm::CodeCache>();
+    channel::ChannelHub hub("net-bench",
+                            channel::PrivateKey::from_seed("hub-key"),
+                            keccak256("hub-net-bench-anchor"), hub_config);
+    hub.set_sensor_default(kDev, U256{21});
+
+    net::HubServer::Config server_config;
+    server_config.name = "net-bench";
+    net::HubServer server(hub, server_config);
+    const std::uint16_t port = server.bind();
+    std::thread serve_thread([&server] { server.serve(); });
+
+    bool handshake_ok = write_full(port_pipe[1], &port, sizeof(port));
+    ::close(port_pipe[1]);
+
+    // The child's report arriving is the load-complete signal.
+    const bool report_ok =
+        handshake_ok &&
+        read_full(report_pipe[0], &result.client, sizeof(result.client));
+    ::close(report_pipe[0]);
+
+    server.request_stop();
+    serve_thread.join();
+    result.server = server.stats();
+    result.hub_payments = hub.stats().payments;
+    result.ok = report_ok && hub.audit_all();
+  }
+
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) result.ok = false;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t workers = env_size("TINYEVM_BENCH_NET_WORKERS", 2);
+  const bool with_10k = env_flag("TINYEVM_BENCH_NET_10K", true);
+
+  struct Point {
+    std::size_t connections;
+    std::size_t rounds;
+    bool close_channels;
+  };
+  // Sized to this class of hardware: every round costs one client-side
+  // ECDSA sign + verify and one hub-side countersign, so total rounds —
+  // not concurrency — dominates wall clock. Large points skip the close
+  // phase (3 ms of hub VM each) to keep the sweep affordable.
+  std::vector<Point> sweep{
+      {64, 16, true},
+      {512, 4, true},
+      {2048, 1, false},
+  };
+  if (with_10k) sweep.push_back({10000, 1, false});
+
+  std::printf("==========================================================\n");
+  std::printf("Networked hub: LoadGenerator over localhost TCP, %zu workers\n",
+              workers);
+  std::printf("==========================================================\n\n");
+
+  benchjson::Emitter json("hub_net");
+  json.metric("workers", static_cast<double>(workers));
+  json.metric("sweep_points", static_cast<double>(sweep.size()));
+
+  bool all_ok = true;
+  for (const auto& point : sweep) {
+    const SweepResult r = run_sweep_point(point.connections, point.rounds,
+                                          point.close_channels, workers);
+    const auto& c = r.client;
+    const double rounds_per_s =
+        c.elapsed_s > 0 ? static_cast<double>(c.rounds_done) / c.elapsed_s
+                        : 0;
+    const bool point_ok =
+        r.ok && c.connections_done == point.connections &&
+        c.rounds_done == point.connections * point.rounds &&
+        c.failures == 0 && c.connect_failures == 0 &&
+        // Lockstep clients never outrun the per-connection budget, so a
+        // healthy steady state sheds nothing.
+        c.busy_retries == 0 && r.server.busy_rejections == 0 &&
+        r.server.protocol_errors == 0;
+    all_ok = all_ok && point_ok;
+
+    std::printf(
+        "conns=%-5zu rounds=%-2zu %s  rounds/s %7.1f  elapsed %6.1f s%s\n"
+        "            e2e     p50 %7u us  p99 %7u us\n"
+        "            service p50 %7u us  p99 %7u us\n"
+        "            queue   p50 %7u us  p99 %7u us\n"
+        "            busy %llu  failures %llu  frames in/out %llu/%llu\n",
+        point.connections, point.rounds, point.close_channels ? "close" : "     ",
+        rounds_per_s, c.elapsed_s, point_ok ? "" : "  [FAILED]",
+        c.e2e_p50_us, c.e2e_p99_us, c.service_p50_us, c.service_p99_us,
+        c.queue_p50_us, c.queue_p99_us,
+        static_cast<unsigned long long>(c.busy_retries +
+                                        r.server.busy_rejections),
+        static_cast<unsigned long long>(c.failures),
+        static_cast<unsigned long long>(r.server.frames_in),
+        static_cast<unsigned long long>(r.server.frames_out));
+
+    const std::string prefix = "c" + std::to_string(point.connections) + "_";
+    json.metric(prefix + "rounds", static_cast<double>(point.rounds));
+    json.metric(prefix + "rounds_per_s", rounds_per_s);
+    json.metric(prefix + "elapsed_s", c.elapsed_s);
+    json.metric(prefix + "e2e_p50_us", c.e2e_p50_us);
+    json.metric(prefix + "e2e_p99_us", c.e2e_p99_us);
+    json.metric(prefix + "service_p50_us", c.service_p50_us);
+    json.metric(prefix + "service_p99_us", c.service_p99_us);
+    json.metric(prefix + "queue_p50_us", c.queue_p50_us);
+    json.metric(prefix + "queue_p99_us", c.queue_p99_us);
+    json.metric(prefix + "busy_rejections",
+                static_cast<double>(r.server.busy_rejections));
+    json.metric(prefix + "busy_retries",
+                static_cast<double>(c.busy_retries));
+    json.metric(prefix + "failures", static_cast<double>(c.failures));
+    json.metric(prefix + "connections_done",
+                static_cast<double>(c.connections_done));
+    json.metric(prefix + "hub_payments",
+                static_cast<double>(r.hub_payments));
+    json.metric(prefix + "frames_in", static_cast<double>(r.server.frames_in));
+    json.metric(prefix + "ok", point_ok ? 1 : 0);
+  }
+
+  json.metric("all_ok", all_ok ? 1 : 0);
+  std::printf("%s\n", all_ok ? "all sweep points ok"
+                             : "SOME SWEEP POINTS FAILED");
+  return all_ok ? 0 : 1;
+}

@@ -17,7 +17,7 @@ namespace tinyevm::channel {
 /// share a name share series (counters accumulate across them).
 struct ChannelHub::Instruments {
   static constexpr std::size_t kKinds = 3;     // HubResponseKind values
-  static constexpr std::size_t kStatuses = 7;  // HubStatus values
+  static constexpr std::size_t kStatuses = 8;  // HubStatus values
   std::array<std::array<obs::Counter*, kStatuses>, kKinds> requests{};
   std::array<obs::Histogram*, kKinds> service_us{};
   obs::Histogram* queue_us = nullptr;
@@ -314,6 +314,7 @@ std::string_view to_string(HubStatus s) {
     case HubStatus::VmFailure: return "vm-failure";
     case HubStatus::BadState: return "bad-state";
     case HubStatus::BadSignature: return "bad-signature";
+    case HubStatus::Busy: return "busy";
   }
   return "?";
 }
@@ -380,6 +381,35 @@ ChannelHub::ChannelHub(std::string name, const PrivateKey& key,
       });
 }
 
+// RAII admission into the lifecycle gate. A gate that fails to admit means
+// the hub is tearing down: the caller must answer Busy WITHOUT touching any
+// other member, because the destructor is no longer waiting for it.
+struct ChannelHub::CallGate {
+  explicit CallGate(ChannelHub& hub) {
+    std::lock_guard lock(hub.lifecycle_mu_);
+    if (hub.closing_) return;
+    ++hub.active_calls_;
+    hub_ = &hub;
+  }
+  CallGate(const CallGate&) = delete;
+  CallGate& operator=(const CallGate&) = delete;
+  ~CallGate() {
+    if (hub_ == nullptr) return;
+    std::lock_guard lock(hub_->lifecycle_mu_);
+    if (--hub_->active_calls_ == 0) hub_->lifecycle_cv_.notify_all();
+  }
+  [[nodiscard]] bool admitted() const { return hub_ != nullptr; }
+
+ private:
+  ChannelHub* hub_ = nullptr;
+};
+
+ChannelHub::~ChannelHub() {
+  std::unique_lock lock(lifecycle_mu_);
+  closing_ = true;
+  lifecycle_cv_.wait(lock, [this] { return active_calls_ == 0; });
+}
+
 void ChannelHub::set_sensor_default(std::uint32_t device, const U256& value) {
   runtime::MutexLock lock(sessions_mu_);
   sensor_defaults_.set_reading(device, value);
@@ -417,6 +447,26 @@ const U256& ChannelHub::channel_of(const HubRequest& request) {
   return std::visit([](const auto& r) -> const U256& { return r.channel_id; },
                     request);
 }
+
+HubResponseKind ChannelHub::kind_of(const HubRequest& request) {
+  // Variant order == kind order (see dispatch()).
+  return static_cast<HubResponseKind>(request.index());
+}
+
+namespace {
+
+// A Busy answer built without touching the hub: used when the lifecycle
+// gate refuses admission, at which point the hub may already be past the
+// destructor's drain wait.
+HubResponse shutdown_busy(HubResponseKind kind, const U256& channel_id) {
+  HubResponse response;
+  response.status = HubStatus::Busy;
+  response.kind = kind;
+  response.channel_id = channel_id;
+  return response;
+}
+
+}  // namespace
 
 HubResponse ChannelHub::reject(HubStatus status, HubResponseKind kind,
                                const U256& channel_id) {
@@ -545,6 +595,10 @@ HubResponse ChannelHub::dispatch(const HubRequest& request, evm::Vm* vm,
 }
 
 HubResponse ChannelHub::handle(const HubRequest& request) {
+  CallGate gate(*this);
+  if (!gate.admitted()) {
+    return shutdown_busy(kind_of(request), channel_of(request));
+  }
   if (std::holds_alternative<PaymentUpdate>(request)) {
     // Countersigning is pure ECDSA + log work; don't queue ~6 ms of it
     // behind the bounded interpreter set the request never touches.
@@ -585,6 +639,14 @@ std::vector<HubResponse> ChannelHub::handle_batch(
     std::span<const HubRequest> requests) {
   std::vector<HubResponse> responses(requests.size());
   if (requests.empty()) return responses;
+  CallGate gate(*this);
+  if (!gate.admitted()) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      responses[i] =
+          shutdown_busy(kind_of(requests[i]), channel_of(requests[i]));
+    }
+    return responses;
+  }
 
   // Group by channel id: one group is one session's requests in batch
   // order, so per-session effects are deterministic at any worker count.

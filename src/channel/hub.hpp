@@ -217,6 +217,9 @@ enum class HubStatus : std::uint8_t {
   VmFailure,         ///< template execution failed on the hub side
   BadState,          ///< proposal failed log validation (replay, regression)
   BadSignature,      ///< countersigned state failed recovery / append
+  Busy,              ///< overload shed: hub shutting down, or the socket
+                     ///< front-end's per-connection budget was exceeded —
+                     ///< retry after backoff
 };
 
 [[nodiscard]] std::string_view to_string(HubStatus s);
@@ -227,6 +230,9 @@ struct OpenRequest {
   U256 channel_id;
   U256 rate;
   std::uint32_t sensor_device = 0;
+
+  friend bool operator==(const OpenRequest& a,
+                         const OpenRequest& b) = default;
 };
 
 /// One payment round: the endpoint's half-signed next channel state. The
@@ -235,12 +241,18 @@ struct OpenRequest {
 struct PaymentUpdate {
   U256 channel_id;
   SignedState proposal;  ///< sender_sig set; receiver_sig empty
+
+  friend bool operator==(const PaymentUpdate& a,
+                         const PaymentUpdate& b) = default;
 };
 
 /// Close the channel: the hub runs close() on its contract and returns its
 /// signed final state.
 struct CloseRequest {
   U256 channel_id;
+
+  friend bool operator==(const CloseRequest& a,
+                         const CloseRequest& b) = default;
 };
 
 using HubRequest = std::variant<OpenRequest, PaymentUpdate, CloseRequest>;
@@ -313,6 +325,10 @@ class ChannelHub {
              const Hash256& onchain_root);
   ChannelHub(std::string name, const PrivateKey& key,
              const Hash256& onchain_root, Config config);
+  /// Blocks until every in-flight handle()/handle_batch() call drains, so
+  /// destruction never races the session table a live batch is walking;
+  /// calls arriving after teardown begins are answered `Busy`.
+  ~ChannelHub();
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Address address() const { return key_.address(); }
@@ -378,6 +394,7 @@ class ChannelHub {
   [[nodiscard]] std::shared_ptr<SessionSlot> find_session(
       const U256& channel_id) const;
   static const U256& channel_of(const HubRequest& request);
+  static HubResponseKind kind_of(const HubRequest& request);
 
   /// `vm` may be null only when the request is a PaymentUpdate, which
   /// never touches an interpreter. `queue_us` is the wait the caller
@@ -406,6 +423,18 @@ class ChannelHub {
   mutable runtime::Mutex sessions_mu_;
   std::map<U256, std::shared_ptr<SessionSlot>> sessions_
       GUARDED_BY(sessions_mu_);
+
+  /// Lifecycle gate: counts in-flight handle()/handle_batch() calls. The
+  /// destructor flips `closing_` and waits for the count to reach zero
+  /// before member teardown begins, so a batch racing destruction always
+  /// finishes against a live session table. Plain std::mutex (not
+  /// runtime::Mutex): a condition_variable needs the real type.
+  struct CallGate;
+  friend struct CallGate;
+  mutable std::mutex lifecycle_mu_;
+  std::condition_variable lifecycle_cv_;
+  std::size_t active_calls_ = 0;
+  bool closing_ = false;
 
   std::atomic<std::uint64_t> opens_{0};
   std::atomic<std::uint64_t> payments_{0};

@@ -1,0 +1,415 @@
+#include "net/frame.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace tinyevm::net {
+namespace {
+
+using channel::ChannelState;
+using channel::CloseRequest;
+using channel::HubRequest;
+using channel::HubResponse;
+using channel::HubResponseKind;
+using channel::HubStatus;
+using channel::OpenRequest;
+using channel::PaymentUpdate;
+using channel::SignedState;
+using secp256k1::Signature;
+
+constexpr std::size_t kHeaderBytes = 1 + 1 + 4;  // version, kind, seq
+constexpr std::size_t kCrcBytes = 4;
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+bool known_kind(std::uint8_t k) {
+  switch (static_cast<FrameKind>(k)) {
+    case FrameKind::Open:
+    case FrameKind::Payment:
+    case FrameKind::Close:
+    case FrameKind::Response:
+    case FrameKind::StatsRequest:
+    case FrameKind::StatsResponse:
+      return true;
+  }
+  return false;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+// ---- RLP helpers ----------------------------------------------------------
+
+rlp::Item u32_item(std::uint32_t v) { return rlp::Item::quantity(v); }
+
+/// Quantity field -> uint32_t, rejecting anything wider.
+std::optional<std::uint32_t> as_u32(const rlp::Item& item) {
+  if (item.is_list()) return std::nullopt;
+  const U256 v = item.as_quantity();  // throws handled by caller
+  if (!v.fits_u64() || v.as_u64() > 0xFFFF'FFFFull) return std::nullopt;
+  return static_cast<std::uint32_t>(v.as_u64());
+}
+
+rlp::Item signature_item(const Signature& sig) {
+  const auto wire = sig.serialize();
+  return rlp::Item::bytes(std::span<const std::uint8_t>{wire});
+}
+
+std::optional<Signature> parse_signature(const rlp::Item& item) {
+  if (item.is_list()) return std::nullopt;
+  return Signature::deserialize(item.as_bytes());
+}
+
+rlp::Item state_item(const ChannelState& state) {
+  return rlp::Item::list({
+      rlp::Item::quantity(state.channel_id),
+      rlp::Item::quantity(U256{state.sequence}),
+      rlp::Item::quantity(state.paid_total),
+      rlp::Item::quantity(state.sensor_data),
+      rlp::Item::bytes(std::span<const std::uint8_t>{state.prev_hash}),
+  });
+}
+
+std::optional<ChannelState> parse_state(const rlp::Item& item) {
+  if (!item.is_list()) return std::nullopt;
+  const auto& f = item.as_list();
+  if (f.size() != 5) return std::nullopt;
+  for (unsigned i = 0; i < 4; ++i) {
+    if (f[i].is_list()) return std::nullopt;
+  }
+  if (f[4].is_list() || f[4].as_bytes().size() != 32) return std::nullopt;
+  ChannelState out;
+  out.channel_id = f[0].as_quantity();
+  const U256 seq = f[1].as_quantity();
+  if (!seq.fits_u64()) return std::nullopt;
+  out.sequence = seq.as_u64();
+  out.paid_total = f[2].as_quantity();
+  out.sensor_data = f[3].as_quantity();
+  std::memcpy(out.prev_hash.data(), f[4].as_bytes().data(), 32);
+  return out;
+}
+
+rlp::Item signed_state_item(const SignedState& ss) {
+  return rlp::Item::list({
+      state_item(ss.state),
+      signature_item(ss.sender_sig),
+      signature_item(ss.receiver_sig),
+  });
+}
+
+std::optional<SignedState> parse_signed_state(const rlp::Item& item) {
+  if (!item.is_list()) return std::nullopt;
+  const auto& f = item.as_list();
+  if (f.size() != 3) return std::nullopt;
+  const auto state = parse_state(f[0]);
+  const auto sender = parse_signature(f[1]);
+  const auto receiver = parse_signature(f[2]);
+  if (!state || !sender || !receiver) return std::nullopt;
+  return SignedState{*state, *sender, *receiver};
+}
+
+Bytes finish_frame(FrameKind kind, std::uint32_t seq, const rlp::Item& body) {
+  return encode_frame(Frame{kind, seq, rlp::encode(body)});
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFF'FFFFu;
+  for (const std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFF'FFFFu;
+}
+
+std::string_view to_string(FrameError e) {
+  switch (e) {
+    case FrameError::None: return "none";
+    case FrameError::BadVersion: return "bad-version";
+    case FrameError::BadChecksum: return "bad-checksum";
+    case FrameError::BadLength: return "bad-length";
+    case FrameError::Oversized: return "oversized";
+  }
+  return "?";
+}
+
+Bytes encode_frame(const Frame& frame) {
+  const std::size_t payload =
+      kHeaderBytes + frame.body.size() + kCrcBytes;
+  Bytes out;
+  out.reserve(4 + payload);
+  put_u32(out, static_cast<std::uint32_t>(payload));
+  out.push_back(kProtocolVersion);
+  out.push_back(static_cast<std::uint8_t>(frame.kind));
+  put_u32(out, frame.seq);
+  out.insert(out.end(), frame.body.begin(), frame.body.end());
+  const std::uint32_t crc =
+      crc32(std::span<const std::uint8_t>{out.data() + 4, out.size() - 4});
+  put_u32(out, crc);
+  return out;
+}
+
+void FrameReader::feed(std::span<const std::uint8_t> data) {
+  if (error_ != FrameError::None) return;
+  // Compact the consumed prefix before it outgrows the useful tail.
+  if (pos_ > 0 && (pos_ >= buffer_.size() || pos_ > 64 * 1024)) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (error_ != FrameError::None) return std::nullopt;
+  const std::size_t avail = buffer_.size() - pos_;
+  if (avail < 4) return std::nullopt;
+  const std::uint32_t payload = get_u32(buffer_.data() + pos_);
+  if (payload < kHeaderBytes + kCrcBytes) {
+    error_ = FrameError::BadLength;
+    return std::nullopt;
+  }
+  if (payload > max_frame_bytes_) {
+    error_ = FrameError::Oversized;
+    return std::nullopt;
+  }
+  if (avail < 4 + static_cast<std::size_t>(payload)) return std::nullopt;
+
+  const std::uint8_t* p = buffer_.data() + pos_ + 4;
+  const std::uint32_t declared_crc = get_u32(p + payload - kCrcBytes);
+  const std::uint32_t actual_crc =
+      crc32(std::span<const std::uint8_t>{p, payload - kCrcBytes});
+  if (declared_crc != actual_crc) {
+    error_ = FrameError::BadChecksum;
+    return std::nullopt;
+  }
+  if (p[0] != kProtocolVersion) {
+    error_ = FrameError::BadVersion;
+    return std::nullopt;
+  }
+  if (!known_kind(p[1])) {
+    // Unknown kinds fail the stream the same way a version skew would:
+    // the peer speaks a protocol we don't.
+    error_ = FrameError::BadVersion;
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.kind = static_cast<FrameKind>(p[1]);
+  frame.seq = get_u32(p + 2);
+  frame.body.assign(p + kHeaderBytes, p + payload - kCrcBytes);
+  pos_ += 4 + static_cast<std::size_t>(payload);
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  }
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+Bytes encode_request(const HubRequest& request, std::uint32_t seq) {
+  if (const auto* open = std::get_if<OpenRequest>(&request)) {
+    return finish_frame(FrameKind::Open, seq,
+                        rlp::Item::list({
+                            rlp::Item::quantity(open->channel_id),
+                            rlp::Item::quantity(open->rate),
+                            u32_item(open->sensor_device),
+                        }));
+  }
+  if (const auto* pay = std::get_if<PaymentUpdate>(&request)) {
+    return finish_frame(FrameKind::Payment, seq,
+                        rlp::Item::list({
+                            rlp::Item::quantity(pay->channel_id),
+                            signed_state_item(pay->proposal),
+                        }));
+  }
+  const auto& close = std::get<CloseRequest>(request);
+  return finish_frame(FrameKind::Close, seq,
+                      rlp::Item::list({
+                          rlp::Item::quantity(close.channel_id),
+                      }));
+}
+
+std::optional<HubRequest> decode_request(const Frame& frame) {
+  const auto item = rlp::decode(frame.body);
+  if (!item || !item->is_list()) return std::nullopt;
+  const auto& f = item->as_list();
+  try {
+    switch (frame.kind) {
+      case FrameKind::Open: {
+        if (f.size() != 3 || f[0].is_list() || f[1].is_list()) {
+          return std::nullopt;
+        }
+        const auto device = as_u32(f[2]);
+        if (!device) return std::nullopt;
+        OpenRequest open;
+        open.channel_id = f[0].as_quantity();
+        open.rate = f[1].as_quantity();
+        open.sensor_device = *device;
+        return HubRequest{open};
+      }
+      case FrameKind::Payment: {
+        if (f.size() != 2 || f[0].is_list()) return std::nullopt;
+        const auto proposal = parse_signed_state(f[1]);
+        if (!proposal) return std::nullopt;
+        PaymentUpdate pay;
+        pay.channel_id = f[0].as_quantity();
+        pay.proposal = *proposal;
+        return HubRequest{pay};
+      }
+      case FrameKind::Close: {
+        if (f.size() != 1 || f[0].is_list()) return std::nullopt;
+        return HubRequest{CloseRequest{f[0].as_quantity()}};
+      }
+      default:
+        return std::nullopt;
+    }
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;  // non-canonical quantity
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+Bytes encode_response(const HubResponse& response, std::uint32_t seq) {
+  std::vector<rlp::Item> fields;
+  fields.reserve(7);
+  fields.push_back(
+      rlp::Item::quantity(static_cast<std::uint64_t>(response.status)));
+  fields.push_back(
+      rlp::Item::quantity(static_cast<std::uint64_t>(response.kind)));
+  fields.push_back(rlp::Item::quantity(response.channel_id));
+  fields.push_back(
+      response.contract
+          ? rlp::Item::bytes(std::span<const std::uint8_t>{*response.contract})
+          : rlp::Item::bytes(Bytes{}));
+  fields.push_back(response.state ? signed_state_item(*response.state)
+                                  : rlp::Item::bytes(Bytes{}));
+  fields.push_back(u32_item(response.queue_us));
+  fields.push_back(u32_item(response.service_us));
+  return finish_frame(FrameKind::Response, seq,
+                      rlp::Item::list(std::move(fields)));
+}
+
+std::optional<HubResponse> decode_response(const Frame& frame) {
+  if (frame.kind != FrameKind::Response) return std::nullopt;
+  const auto item = rlp::decode(frame.body);
+  if (!item || !item->is_list()) return std::nullopt;
+  const auto& f = item->as_list();
+  if (f.size() != 7) return std::nullopt;
+  try {
+    const auto status = as_u32(f[0]);
+    const auto kind = as_u32(f[1]);
+    if (!status || *status > static_cast<std::uint32_t>(HubStatus::Busy)) {
+      return std::nullopt;
+    }
+    if (!kind || *kind > static_cast<std::uint32_t>(HubResponseKind::Close)) {
+      return std::nullopt;
+    }
+    if (f[2].is_list()) return std::nullopt;
+
+    HubResponse out;
+    out.status = static_cast<HubStatus>(*status);
+    out.kind = static_cast<HubResponseKind>(*kind);
+    out.channel_id = f[2].as_quantity();
+
+    if (f[3].is_list()) return std::nullopt;
+    const auto& contract = f[3].as_bytes();
+    if (!contract.empty()) {
+      if (contract.size() != 20) return std::nullopt;
+      evm::Address addr;
+      std::memcpy(addr.data(), contract.data(), 20);
+      out.contract = addr;
+    }
+    if (f[4].is_list()) {
+      const auto state = parse_signed_state(f[4]);
+      if (!state) return std::nullopt;
+      out.state = *state;
+    } else if (!f[4].as_bytes().empty()) {
+      return std::nullopt;
+    }
+    const auto queue_us = as_u32(f[5]);
+    const auto service_us = as_u32(f[6]);
+    if (!queue_us || !service_us) return std::nullopt;
+    out.queue_us = *queue_us;
+    out.service_us = *service_us;
+    return out;
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stats scrape
+// ---------------------------------------------------------------------------
+
+Bytes encode_stats_request(const StatsRequest& request, std::uint32_t seq) {
+  return finish_frame(
+      FrameKind::StatsRequest, seq,
+      rlp::Item::list(
+          {rlp::Item::quantity(static_cast<std::uint64_t>(request.format))}));
+}
+
+std::optional<StatsRequest> decode_stats_request(const Frame& frame) {
+  if (frame.kind != FrameKind::StatsRequest) return std::nullopt;
+  const auto item = rlp::decode(frame.body);
+  if (!item || !item->is_list()) return std::nullopt;
+  const auto& f = item->as_list();
+  if (f.size() != 1) return std::nullopt;
+  try {
+    const auto format = as_u32(f[0]);
+    if (!format ||
+        *format > static_cast<std::uint32_t>(StatsRequest::Format::Json)) {
+      return std::nullopt;
+    }
+    return StatsRequest{static_cast<StatsRequest::Format>(*format)};
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+Bytes encode_stats_response(std::string_view text, std::uint32_t seq) {
+  return finish_frame(FrameKind::StatsResponse, seq,
+                      rlp::Item::list({rlp::Item::string(text)}));
+}
+
+std::optional<std::string> decode_stats_response(const Frame& frame) {
+  if (frame.kind != FrameKind::StatsResponse) return std::nullopt;
+  const auto item = rlp::decode(frame.body);
+  if (!item || !item->is_list()) return std::nullopt;
+  const auto& f = item->as_list();
+  if (f.size() != 1 || f[0].is_list()) return std::nullopt;
+  const auto& b = f[0].as_bytes();
+  return std::string{b.begin(), b.end()};
+}
+
+}  // namespace tinyevm::net

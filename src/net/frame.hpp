@@ -1,0 +1,163 @@
+// Wire framing for the networked channel hub (ROADMAP "Networked hub
+// front-end").
+//
+// The hub's wire surface (OpenRequest / PaymentUpdate / CloseRequest →
+// HubResponse, hub.hpp) gains a byte encoding here so it can cross a TCP
+// connection instead of a function call. Each message travels in one
+// length-prefixed frame:
+//
+//   ┌────────────┬─────────┬──────┬─────────┬──────────────┬───────────┐
+//   │ length u32 │ version │ kind │ seq u32 │ RLP body     │ crc32 u32 │
+//   │ big-endian │ 1 byte  │ 1 B  │ BE      │ length-10 B  │ BE        │
+//   └────────────┴─────────┴──────┴─────────┴──────────────┴───────────┘
+//
+// `length` counts everything after itself (version through crc32, so the
+// minimum is 10); `seq` is a caller-chosen correlation id the hub echoes
+// in the matching response, so clients may pipeline; `crc32` (IEEE
+// 802.3, reflected) covers version..body and catches corruption that TCP
+// checksums let through on middleboxes. Message bodies reuse `src/rlp` —
+// the same canonical encoding the channel states are hashed and signed
+// under — so a PaymentUpdate's signed state crosses the wire in exactly
+// the bytes its digest commits to.
+//
+// `FrameReader` is the receive side: an accumulation buffer fed from
+// nonblocking reads that yields complete frames and flags stream
+// corruption (bad version, checksum mismatch, oversized or short
+// declared length). After an error the stream is unrecoverable — framing
+// is lost — so connections drop on the first bad frame.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "channel/hub.hpp"
+#include "rlp/rlp.hpp"
+
+namespace tinyevm::net {
+
+using Bytes = rlp::Bytes;
+
+/// Protocol version carried in every frame; receivers reject mismatches
+/// instead of guessing at future layouts.
+inline constexpr std::uint8_t kProtocolVersion = 0x01;
+
+/// Frame kinds. Requests flow client→hub, Response/StatsResponse hub→
+/// client; a hub closes any connection that sends it a response kind.
+enum class FrameKind : std::uint8_t {
+  Open = 0x01,
+  Payment = 0x02,
+  Close = 0x03,
+  Response = 0x10,
+  StatsRequest = 0x20,   ///< remote metrics scrape, same port as payments
+  StatsResponse = 0x21,
+};
+
+[[nodiscard]] constexpr bool is_request_kind(FrameKind k) {
+  return k == FrameKind::Open || k == FrameKind::Payment ||
+         k == FrameKind::Close || k == FrameKind::StatsRequest;
+}
+
+/// Bytes of frame overhead around the RLP body: the u32 length prefix plus
+/// version, kind, seq, and the trailing crc32.
+inline constexpr std::size_t kFrameOverhead = 4 + 1 + 1 + 4 + 4;
+
+/// Default cap on one frame's declared length (version..crc). Channel
+/// messages are a few hundred bytes; the stats scrape can reach a few
+/// hundred KiB on a long-lived hub. Anything larger is a hostile or
+/// corrupt peer.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;
+
+/// One decoded frame: kind, correlation id, and the raw RLP body.
+struct Frame {
+  FrameKind kind = FrameKind::Open;
+  std::uint32_t seq = 0;
+  Bytes body;
+
+  friend bool operator==(const Frame& a, const Frame& b) = default;
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Serializes one frame (length prefix, header, body, checksum).
+[[nodiscard]] Bytes encode_frame(const Frame& frame);
+
+/// Why a FrameReader refused its stream. `None` means healthy.
+enum class FrameError : std::uint8_t {
+  None,
+  BadVersion,    ///< version byte != kProtocolVersion
+  BadChecksum,   ///< crc32 mismatch — corruption in flight
+  BadLength,     ///< declared length shorter than the fixed header
+  Oversized,     ///< declared length beyond the configured cap
+};
+
+[[nodiscard]] std::string_view to_string(FrameError e);
+
+/// Incremental frame decoder over a byte stream delivered in arbitrary
+/// chunks (nonblocking reads). Feed bytes, then drain complete frames
+/// with next(); once error() != None the stream is dead and next() stays
+/// empty.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(std::span<const std::uint8_t> data);
+
+  /// The next complete, checksum-valid frame, or nullopt when more bytes
+  /// are needed (or the stream already failed).
+  std::optional<Frame> next();
+
+  [[nodiscard]] FrameError error() const { return error_; }
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  Bytes buffer_;
+  std::size_t pos_ = 0;  ///< consumed prefix, compacted lazily
+  FrameError error_ = FrameError::None;
+};
+
+// ---------------------------------------------------------------------------
+// Message codecs: hub wire structs <-> frames
+// ---------------------------------------------------------------------------
+
+/// Encodes one hub request as a complete frame (kind derived from the
+/// variant alternative).
+[[nodiscard]] Bytes encode_request(const channel::HubRequest& request,
+                                   std::uint32_t seq);
+
+/// Decodes an Open/Payment/Close frame body. nullopt on shape mismatch
+/// (wrong field count, non-canonical quantities, bad signature length).
+[[nodiscard]] std::optional<channel::HubRequest> decode_request(
+    const Frame& frame);
+
+[[nodiscard]] Bytes encode_response(const channel::HubResponse& response,
+                                    std::uint32_t seq);
+[[nodiscard]] std::optional<channel::HubResponse> decode_response(
+    const Frame& frame);
+
+/// Remote metrics scrape request: which exposition format to return.
+struct StatsRequest {
+  enum class Format : std::uint8_t { Prometheus = 0, Json = 1 };
+  Format format = Format::Prometheus;
+
+  friend bool operator==(const StatsRequest& a, const StatsRequest& b) =
+      default;
+};
+
+[[nodiscard]] Bytes encode_stats_request(const StatsRequest& request,
+                                         std::uint32_t seq);
+[[nodiscard]] std::optional<StatsRequest> decode_stats_request(
+    const Frame& frame);
+
+[[nodiscard]] Bytes encode_stats_response(std::string_view text,
+                                          std::uint32_t seq);
+[[nodiscard]] std::optional<std::string> decode_stats_response(
+    const Frame& frame);
+
+}  // namespace tinyevm::net

@@ -1,0 +1,314 @@
+// libFuzzer harness for the net frame codec. Two oracles per input:
+//
+//  1. Decoder robustness — the raw input bytes are fed to a FrameReader in
+//     input-derived chunk sizes (exercising reassembly), and every frame
+//     that survives the checksum is pushed through the message decoders.
+//     Nothing may crash, throw, or read out of bounds, whatever the bytes;
+//     a frame the reader accepts must re-encode to the identical wire
+//     bytes (header canonicality).
+//
+//  2. Round-trip — the input is also used as entropy to build one of each
+//     message type (OpenRequest, PaymentUpdate, CloseRequest, HubResponse,
+//     plus the stats pair), which must encode → decode to an equal value.
+//     Any mismatch aborts, which libFuzzer reports as a crash.
+//
+// Built behind TINYEVM_BUILD_FUZZERS; same build scheme as
+// fuzz_translator: a real libFuzzer target under clang, a standalone
+// main() over file args / built-in seeds elsewhere.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "channel/hub.hpp"
+#include "net/frame.hpp"
+
+namespace {
+
+using namespace tinyevm;
+using net::Frame;
+using net::FrameReader;
+
+/// Deterministic byte source over the input (wraps around; zero when the
+/// input is empty) — enough structure to build valid messages from fuzz
+/// entropy without consuming alignment.
+class Entropy {
+ public:
+  Entropy(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    if (size_ == 0) return 0;
+    return data_[pos_++ % size_];
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | u8();
+    return v;
+  }
+  U256 u256() { return U256{u64(), u64(), u64(), u64()}; }
+  Hash256 hash() {
+    Hash256 h{};
+    for (auto& b : h) b = u8();
+    return h;
+  }
+  secp256k1::Signature signature() {
+    secp256k1::Signature sig;
+    sig.r = u256();
+    sig.s = u256();
+    sig.recovery_id = u8() & 1;
+    return sig;
+  }
+  channel::SignedState signed_state() {
+    channel::SignedState ss;
+    ss.state.channel_id = u256();
+    ss.state.sequence = u64();
+    ss.state.paid_total = u256();
+    ss.state.sensor_data = u256();
+    ss.state.prev_hash = hash();
+    ss.sender_sig = signature();
+    ss.receiver_sig = signature();
+    return ss;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz_frames: %s\n", what);
+    std::abort();
+  }
+}
+
+/// Oracle 1: arbitrary bytes through the reader, in reassembly chunks.
+void fuzz_decoder(const std::uint8_t* data, std::size_t size) {
+  // Small cap: hostile length prefixes must be rejected, not buffered.
+  FrameReader reader(64 * 1024);
+  const std::size_t chunk = size == 0 ? 1 : 1 + (data[0] % 97);
+  std::size_t off = 0;
+  while (off < size) {
+    const std::size_t n = std::min(chunk, size - off);
+    reader.feed({data + off, n});
+    off += n;
+    while (auto frame = reader.next()) {
+      // A frame the reader accepted must re-encode bit-identically: the
+      // wire form has exactly one representation.
+      const auto bytes = net::encode_frame(*frame);
+      FrameReader second;
+      second.feed(bytes);
+      const auto again = second.next();
+      check(again.has_value(), "re-encoded frame did not decode");
+      check(*again == *frame, "re-encoded frame changed");
+      // The message decoders must never crash or throw on any body.
+      (void)net::decode_request(*frame);
+      (void)net::decode_response(*frame);
+      (void)net::decode_stats_request(*frame);
+      (void)net::decode_stats_response(*frame);
+    }
+    if (reader.error() != net::FrameError::None) return;  // stream dead
+  }
+}
+
+/// Oracle 2: every message type round-trips through its codec.
+void fuzz_round_trip(const std::uint8_t* data, std::size_t size) {
+  Entropy entropy(data, size);
+  const std::uint32_t seq = static_cast<std::uint32_t>(entropy.u64());
+
+  channel::OpenRequest open;
+  open.channel_id = entropy.u256();
+  open.rate = entropy.u256();
+  open.sensor_device = static_cast<std::uint32_t>(entropy.u64());
+  channel::PaymentUpdate payment;
+  payment.channel_id = entropy.u256();
+  payment.proposal = entropy.signed_state();
+  channel::CloseRequest close{entropy.u256()};
+
+  const channel::HubRequest requests[] = {
+      channel::HubRequest{open},
+      channel::HubRequest{payment},
+      channel::HubRequest{close},
+  };
+  for (const auto& request : requests) {
+    const auto bytes = net::encode_request(request, seq);
+    FrameReader reader;
+    reader.feed(bytes);
+    const auto frame = reader.next();
+    check(frame.has_value(), "request frame did not decode");
+    check(frame->seq == seq, "request seq changed");
+    const auto back = net::decode_request(*frame);
+    check(back.has_value(), "request body did not decode");
+    check(*back == request, "request round-trip changed");
+  }
+
+  channel::HubResponse response;
+  response.status =
+      static_cast<channel::HubStatus>(entropy.u8() % 8);  // all 8 statuses
+  response.kind = static_cast<channel::HubResponseKind>(entropy.u8() % 3);
+  response.channel_id = entropy.u256();
+  if ((entropy.u8() & 1) != 0) {
+    evm::Address contract{};
+    for (auto& b : contract) b = entropy.u8();
+    response.contract = contract;
+  }
+  if ((entropy.u8() & 1) != 0) response.state = entropy.signed_state();
+  response.queue_us = static_cast<std::uint32_t>(entropy.u64());
+  response.service_us = static_cast<std::uint32_t>(entropy.u64());
+  {
+    const auto bytes = net::encode_response(response, seq);
+    FrameReader reader;
+    reader.feed(bytes);
+    const auto frame = reader.next();
+    check(frame.has_value(), "response frame did not decode");
+    const auto back = net::decode_response(*frame);
+    check(back.has_value(), "response body did not decode");
+    check(back->status == response.status &&
+              back->kind == response.kind &&
+              back->channel_id == response.channel_id &&
+              back->contract == response.contract &&
+              back->state == response.state &&
+              back->queue_us == response.queue_us &&
+              back->service_us == response.service_us,
+          "response round-trip changed");
+  }
+
+  const net::StatsRequest stats{(entropy.u8() & 1) != 0
+                                    ? net::StatsRequest::Format::Json
+                                    : net::StatsRequest::Format::Prometheus};
+  {
+    const auto bytes = net::encode_stats_request(stats, seq);
+    FrameReader reader;
+    reader.feed(bytes);
+    const auto frame = reader.next();
+    check(frame.has_value(), "stats request frame did not decode");
+    const auto back = net::decode_stats_request(*frame);
+    check(back.has_value() && *back == stats,
+          "stats request round-trip changed");
+  }
+  {
+    std::string text(size % 300, 'x');
+    for (auto& c : text) c = static_cast<char>('!' + entropy.u8() % 90);
+    const auto bytes = net::encode_stats_response(text, seq);
+    FrameReader reader;
+    reader.feed(bytes);
+    const auto frame = reader.next();
+    check(frame.has_value(), "stats response frame did not decode");
+    const auto back = net::decode_stats_response(*frame);
+    check(back.has_value() && *back == text,
+          "stats response round-trip changed");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzz_decoder(data, size);
+  fuzz_round_trip(data, size);
+  return 0;
+}
+
+#ifndef TINYEVM_FUZZ_WITH_LIBFUZZER
+namespace {
+
+/// Built-in seeds for the bare standalone invocation: valid frames of
+/// every kind, plus corrupted variants (flipped crc, bad version, huge
+/// declared length, truncation) and plain junk.
+std::vector<std::vector<std::uint8_t>> builtin_seeds() {
+  std::vector<std::vector<std::uint8_t>> seeds;
+  // Valid frames of each message kind, from fixed entropy.
+  std::vector<std::uint8_t> entropy;
+  for (int i = 0; i < 256; ++i) {
+    entropy.push_back(static_cast<std::uint8_t>(i * 37 + 11));
+  }
+  seeds.push_back(entropy);
+  {
+    channel::OpenRequest open;
+    open.channel_id = U256{7};
+    open.rate = U256{10};
+    open.sensor_device = 7;
+    seeds.push_back(net::encode_request(channel::HubRequest{open}, 1));
+  }
+  {
+    channel::CloseRequest close{U256{7}};
+    auto bytes = net::encode_request(channel::HubRequest{close}, 2);
+    seeds.push_back(bytes);
+    // Flip one checksum byte.
+    bytes.back() ^= 0xff;
+    seeds.push_back(bytes);
+    // Bad version byte.
+    auto bad_version = seeds[seeds.size() - 2];
+    bad_version[4] ^= 0x10;
+    seeds.push_back(bad_version);
+    // Truncated.
+    auto truncated = seeds[seeds.size() - 3];
+    truncated.resize(truncated.size() / 2);
+    seeds.push_back(truncated);
+  }
+  {
+    // Hostile declared length (caps at the reader's max).
+    std::vector<std::uint8_t> huge = {0xff, 0xff, 0xff, 0xff, 0x01, 0x03};
+    seeds.push_back(huge);
+  }
+  seeds.push_back(net::encode_stats_request(
+      net::StatsRequest{net::StatsRequest::Format::Prometheus}, 3));
+  seeds.push_back(net::encode_stats_response("tinyevm_up 1\n", 4));
+  return seeds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t ran = 0;
+  if (argc == 3 && std::string_view(argv[1]) == "--dump-seeds") {
+    // Writes the built-in seeds as files — how tests/fuzz_corpus_frames/
+    // is (re)generated for the libFuzzer runs in CI.
+    const auto seeds = builtin_seeds();
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      char path[512];
+      std::snprintf(path, sizeof path, "%s/seed-%02zu", argv[2], i);
+      std::FILE* f = std::fopen(path, "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "fuzz_frames: cannot write %s\n", path);
+        return 1;
+      }
+      std::fwrite(seeds[i].data(), 1, seeds[i].size(), f);
+      std::fclose(f);
+    }
+    std::printf("fuzz_frames: wrote %zu seeds to %s\n", seeds.size(),
+                argv[2]);
+    return 0;
+  }
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      std::FILE* f = std::fopen(argv[i], "rb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "fuzz_frames: cannot open %s\n", argv[i]);
+        return 1;
+      }
+      std::vector<std::uint8_t> data;
+      std::uint8_t buf[4096];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+        data.insert(data.end(), buf, buf + n);
+      }
+      std::fclose(f);
+      LLVMFuzzerTestOneInput(data.data(), data.size());
+      ++ran;
+    }
+  } else {
+    for (const auto& seed : builtin_seeds()) {
+      LLVMFuzzerTestOneInput(seed.data(), seed.size());
+      ++ran;
+    }
+  }
+  std::printf("fuzz_frames (standalone): %zu inputs, no divergence\n", ran);
+  return 0;
+}
+#endif  // TINYEVM_FUZZ_WITH_LIBFUZZER

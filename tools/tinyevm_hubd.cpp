@@ -1,0 +1,191 @@
+// tinyevm-hubd — the networked channel hub daemon. Binds a TCP port,
+// speaks the src/net frame protocol (RLP message bodies, version byte,
+// per-frame CRC), and feeds decoded requests to an in-process ChannelHub
+// through its batched worker-pool path. SIGINT/SIGTERM trigger a graceful
+// drain: in-flight batches finish, write queues flush (bounded by
+// --drain-ms), then the process exits 0.
+//
+//   tinyevm-hubd --port 9545 --workers 4
+//   tinyevm-hubd --port 0 --port-file /tmp/hubd.port   # ephemeral port
+//   tinyevm-hubload --port-file /tmp/hubd.port ...     # companion client
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "channel/hub.hpp"
+#include "evm/code_cache.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+
+using namespace tinyevm;
+using namespace tinyevm::channel;
+
+namespace {
+
+net::HubServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+void usage() {
+  std::printf(
+      "usage: tinyevm-hubd [options]\n"
+      "  --port <n>            TCP port (0 = ephemeral; default 9545)\n"
+      "  --bind <addr>         bind address (default 127.0.0.1)\n"
+      "  --port-file <path>    write the bound port to this file\n"
+      "  --workers <n>         hub worker threads (default 2)\n"
+      "  --engine <name>       hub execution engine (default: profile)\n"
+      "  --sensor <dev>=<val>  hub-side sensor default (default 7=21)\n"
+      "  --inflight <n>        per-connection request budget (default 64)\n"
+      "  --batch-max <n>       max requests per hub batch (default 256)\n"
+      "  --drain-ms <n>        graceful-drain deadline (default 2000)\n"
+      "  --key-seed <s>        hub key seed (default hub-key)\n"
+      "  --anchor <s>          on-chain anchor preimage (default "
+      "hub-anchor)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 9545;
+  std::string bind_address = "127.0.0.1";
+  std::string port_file;
+  std::size_t workers = 2;
+  std::string engine;
+  std::string key_seed = "hub-key";
+  std::string anchor = "hub-anchor";
+  net::HubServer::Config server_config;
+  bool sensor_set = false;
+  std::uint32_t sensor_dev = 7;
+  std::uint64_t sensor_val = 21;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    }
+    if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+      continue;
+    }
+    if (arg == "--bind" && i + 1 < argc) {
+      bind_address = argv[++i];
+      continue;
+    }
+    if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
+      continue;
+    }
+    if (arg == "--workers" && i + 1 < argc) {
+      workers = static_cast<std::size_t>(std::atol(argv[++i]));
+      continue;
+    }
+    if (arg == "--engine" && i + 1 < argc) {
+      engine = argv[++i];
+      continue;
+    }
+    if (arg == "--sensor" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "bad --sensor '%s' (want dev=value)\n",
+                     spec.c_str());
+        return 2;
+      }
+      sensor_dev =
+          static_cast<std::uint32_t>(std::atol(spec.substr(0, eq).c_str()));
+      sensor_val = static_cast<std::uint64_t>(
+          std::atoll(spec.substr(eq + 1).c_str()));
+      sensor_set = true;
+      continue;
+    }
+    if (arg == "--inflight" && i + 1 < argc) {
+      server_config.inflight_budget =
+          static_cast<std::size_t>(std::atol(argv[++i]));
+      continue;
+    }
+    if (arg == "--batch-max" && i + 1 < argc) {
+      server_config.batch_max =
+          static_cast<std::size_t>(std::atol(argv[++i]));
+      continue;
+    }
+    if (arg == "--drain-ms" && i + 1 < argc) {
+      server_config.drain_deadline =
+          std::chrono::milliseconds(std::atol(argv[++i]));
+      continue;
+    }
+    if (arg == "--key-seed" && i + 1 < argc) {
+      key_seed = argv[++i];
+      continue;
+    }
+    if (arg == "--anchor" && i + 1 < argc) {
+      anchor = argv[++i];
+      continue;
+    }
+    std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+    usage();
+    return 2;
+  }
+
+  // Metrics always on: the StatsRequest frame kind serves remote scrapes.
+  obs::set_metrics_enabled(true);
+
+  ChannelHub::Config hub_config;
+  hub_config.workers = workers;
+  hub_config.engine = engine;
+  ChannelHub hub("hubd", PrivateKey::from_seed(key_seed), keccak256(anchor),
+                 hub_config);
+  hub.set_sensor_default(sensor_dev, U256{sensor_val});
+  if (!sensor_set) hub.set_sensor_default(7, U256{21});
+
+  server_config.bind_address = bind_address;
+  server_config.port = port;
+  net::HubServer server(hub, server_config);
+  std::uint16_t bound = 0;
+  try {
+    bound = server.bind();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot bind %s:%u: %s\n", bind_address.c_str(),
+                 port, e.what());
+    return 1;
+  }
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write port file '%s'\n",
+                   port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", bound);
+    std::fclose(f);
+  }
+  std::printf("tinyevm-hubd listening on %s:%u (%zu workers)\n",
+              bind_address.c_str(), bound, hub.worker_count());
+  std::fflush(stdout);
+
+  g_server = &server;
+  struct sigaction sa{};
+  sa.sa_handler = handle_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  server.serve();
+
+  const auto s = server.stats();
+  const auto h = hub.stats();
+  std::printf(
+      "drained: conns=%llu frames_in=%llu frames_out=%llu busy=%llu "
+      "protocol_errors=%llu opens=%llu payments=%llu closes=%llu\n",
+      static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.frames_in),
+      static_cast<unsigned long long>(s.frames_out),
+      static_cast<unsigned long long>(s.busy_rejections),
+      static_cast<unsigned long long>(s.protocol_errors),
+      static_cast<unsigned long long>(h.opens),
+      static_cast<unsigned long long>(h.payments),
+      static_cast<unsigned long long>(h.closes));
+  return 0;
+}

@@ -1,0 +1,168 @@
+// tinyevm-hubload — load generator for a running tinyevm-hubd. Opens N
+// concurrent TCP connections and drives the deterministic payment-channel
+// script on each (open → R real-ECDSA payment rounds → close), reporting
+// rounds/s and the end-to-end vs hub-service latency split.
+//
+//   tinyevm-hubload --port 9545 --connections 64 --rounds 8
+//   tinyevm-hubload --port-file /tmp/hubd.port --connections 4 --rounds 25
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+
+using namespace tinyevm;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: tinyevm-hubload [options]\n"
+      "  --host <addr>        server address (default 127.0.0.1)\n"
+      "  --port <n>           server port\n"
+      "  --port-file <path>   read the port from this file (waits for it)\n"
+      "  --connections <n>    concurrent sockets (default 8)\n"
+      "  --rounds <n>         payment rounds per connection (default 16)\n"
+      "  --threads <n>        client I/O threads (default 1)\n"
+      "  --burst <n>          connects in flight at once (default 256)\n"
+      "  --no-close           leave channels open\n"
+      "  --key-seed <s>       endpoint key-seed prefix (default car-key-)\n"
+      "  --anchor <s>         on-chain anchor preimage (default hub-anchor)\n"
+      "  --json               machine-readable summary on stdout\n");
+}
+
+std::uint32_t percentile(std::vector<std::uint32_t>& v, double p) {
+  if (v.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx),
+                   v.end());
+  return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::LoadGenerator::Config config;
+  std::string port_file;
+  std::string anchor = "hub-anchor";
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    }
+    if (arg == "--host" && i + 1 < argc) {
+      config.host = argv[++i];
+      continue;
+    }
+    if (arg == "--port" && i + 1 < argc) {
+      config.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+      continue;
+    }
+    if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
+      continue;
+    }
+    if (arg == "--connections" && i + 1 < argc) {
+      config.connections = static_cast<std::size_t>(std::atol(argv[++i]));
+      continue;
+    }
+    if (arg == "--rounds" && i + 1 < argc) {
+      config.rounds = static_cast<std::size_t>(std::atol(argv[++i]));
+      continue;
+    }
+    if (arg == "--threads" && i + 1 < argc) {
+      config.threads = static_cast<std::size_t>(std::atol(argv[++i]));
+      continue;
+    }
+    if (arg == "--burst" && i + 1 < argc) {
+      config.connect_burst = static_cast<std::size_t>(std::atol(argv[++i]));
+      continue;
+    }
+    if (arg == "--no-close") {
+      config.close_channels = false;
+      continue;
+    }
+    if (arg == "--key-seed" && i + 1 < argc) {
+      config.key_seed = argv[++i];
+      continue;
+    }
+    if (arg == "--anchor" && i + 1 < argc) {
+      anchor = argv[++i];
+      continue;
+    }
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+    usage();
+    return 2;
+  }
+  config.onchain_root = keccak256(anchor);
+
+  if (!port_file.empty()) {
+    // The companion hubd writes the file after binding; wait briefly.
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      std::FILE* f = std::fopen(port_file.c_str(), "r");
+      if (f != nullptr) {
+        unsigned p = 0;
+        const int got = std::fscanf(f, "%u", &p);
+        std::fclose(f);
+        if (got == 1 && p > 0) {
+          config.port = static_cast<std::uint16_t>(p);
+          break;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  if (config.port == 0) {
+    std::fprintf(stderr, "no server port (use --port or --port-file)\n");
+    return 2;
+  }
+
+  net::LoadGenerator generator(config);
+  auto report = generator.run();
+
+  const double rounds_per_s =
+      report.elapsed_s > 0
+          ? static_cast<double>(report.rounds_done) / report.elapsed_s
+          : 0.0;
+  const std::uint32_t e2e_p50 = percentile(report.e2e_us, 0.50);
+  const std::uint32_t e2e_p99 = percentile(report.e2e_us, 0.99);
+  const std::uint32_t svc_p50 = percentile(report.service_us, 0.50);
+  const std::uint32_t svc_p99 = percentile(report.service_us, 0.99);
+
+  if (json) {
+    std::printf(
+        "{\"connections\":%zu,\"connections_done\":%zu,\"rounds\":%zu,"
+        "\"rounds_done\":%zu,\"failures\":%zu,\"connect_failures\":%zu,"
+        "\"busy_retries\":%zu,\"elapsed_s\":%.3f,\"rounds_per_s\":%.1f,"
+        "\"e2e_p50_us\":%u,\"e2e_p99_us\":%u,\"service_p50_us\":%u,"
+        "\"service_p99_us\":%u}\n",
+        config.connections, report.connections_done, config.rounds,
+        report.rounds_done, report.failures, report.connect_failures,
+        report.busy_retries, report.elapsed_s, rounds_per_s, e2e_p50,
+        e2e_p99, svc_p50, svc_p99);
+  } else {
+    std::printf(
+        "%zu/%zu connections, %zu rounds in %.2fs (%.1f rounds/s)\n"
+        "e2e p50/p99: %u/%u us   service p50/p99: %u/%u us\n"
+        "busy retries: %zu   failures: %zu   connect failures: %zu\n",
+        report.connections_done, config.connections, report.rounds_done,
+        report.elapsed_s, rounds_per_s, e2e_p50, e2e_p99, svc_p50, svc_p99,
+        report.busy_retries, report.failures, report.connect_failures);
+  }
+  const std::size_t expected = config.connections * config.rounds;
+  return (report.failures == 0 && report.connect_failures == 0 &&
+          report.rounds_done == expected)
+             ? 0
+             : 1;
+}

@@ -6,10 +6,14 @@
 // JSON). With --trace-out it also writes a Chrome trace-event file of the
 // run, loadable in chrome://tracing or Perfetto.
 //
+// With --connect it instead scrapes a running tinyevm-hubd over its
+// StatsRequest frame kind — live-hub monitoring with no sidecar.
+//
 //   tinyevm-stats                          # 8 sessions x 2 rounds, text
 //   tinyevm-stats --sessions 100 --rounds 4 --workers 4
 //   tinyevm-stats --format json
 //   tinyevm-stats --trace-out run.trace.json
+//   tinyevm-stats --connect 127.0.0.1:9545 # scrape a live hubd
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,6 +21,7 @@
 
 #include "channel/manager.hpp"
 #include "evm/code_cache.hpp"
+#include "net/client.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -36,7 +41,9 @@ void usage() {
       "  --workers <n>       hub worker threads (default 2)\n"
       "  --engine <name>     hub execution engine (default: config default)\n"
       "  --format prom|json  scrape format (default prom)\n"
-      "  --trace-out <path>  write a Chrome trace of the workload\n");
+      "  --trace-out <path>  write a Chrome trace of the workload\n"
+      "  --connect <host:port>  scrape a live tinyevm-hubd instead of\n"
+      "                      running the in-process workload\n");
 }
 
 }  // namespace
@@ -48,6 +55,7 @@ int main(int argc, char** argv) {
   std::string engine;
   std::string format = "prom";
   std::string trace_out;
+  std::string connect;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -84,11 +92,41 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
       continue;
     }
+    if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+      continue;
+    }
     std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
     usage();
     return 2;
   }
   if (sessions == 0) sessions = 1;
+
+  if (!connect.empty()) {
+    const auto colon = connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "bad --connect '%s' (want host:port)\n",
+                   connect.c_str());
+      return 2;
+    }
+    const std::string host = connect.substr(0, colon);
+    const int port = std::atoi(connect.substr(colon + 1).c_str());
+    net::HubClient client;
+    if (port <= 0 || port > 65535 ||
+        !client.connect(host, static_cast<std::uint16_t>(port))) {
+      std::fprintf(stderr, "cannot connect to %s\n", connect.c_str());
+      return 1;
+    }
+    const auto scrape = client.scrape(
+        format == "json" ? net::StatsRequest::Format::Json
+                         : net::StatsRequest::Format::Prometheus);
+    if (!scrape) {
+      std::fprintf(stderr, "scrape of %s failed\n", connect.c_str());
+      return 1;
+    }
+    std::fputs(scrape->c_str(), stdout);
+    return 0;
+  }
 
   obs::set_metrics_enabled(true);
   if (!trace_out.empty()) obs::Tracer::instance().enable();
